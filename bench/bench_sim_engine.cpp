@@ -1,0 +1,88 @@
+// Microbenchmarks of the discrete-event engine itself (google-benchmark):
+// the simulator must stay fast enough that 32-node application runs finish
+// in seconds of host time.
+#include <benchmark/benchmark.h>
+
+#include "sim/co.h"
+#include "sim/cpu.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace {
+
+void BM_EventDispatch(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    for (int i = 0; i < 1000; ++i) {
+      s.after(i, [] {});
+    }
+    benchmark::DoNotOptimize(s.run());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventDispatch);
+
+void BM_CoroutineChain(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    auto chain = [](sim::Simulator& sim) -> sim::Co<int> {
+      int total = 0;
+      for (int i = 0; i < 100; ++i) {
+        co_await sim::delay(sim, 1);
+        ++total;
+      }
+      co_return total;
+    };
+    benchmark::DoNotOptimize(sim::run(s, chain(s)));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_CoroutineChain);
+
+void BM_CpuContention(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::Cpu cpu(s);
+    for (int i = 0; i < 64; ++i) {
+      sim::spawn([](sim::Cpu& c) -> sim::Co<void> {
+        for (int k = 0; k < 10; ++k) {
+          co_await c.run(sim::usec(10), sim::Prio::kUser);
+        }
+      }(cpu));
+    }
+    s.run();
+  }
+  state.SetItemsProcessed(state.iterations() * 640);
+}
+BENCHMARK(BM_CpuContention);
+
+void BM_CondVarPingPong(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::CondVar a(s);
+    sim::CondVar b(s);
+    int rounds = 0;
+    sim::spawn([](sim::CondVar& mine, sim::CondVar& theirs, int& r) -> sim::Co<void> {
+      for (int i = 0; i < 100; ++i) {
+        theirs.notify_one();
+        co_await mine.wait();
+        ++r;
+      }
+    }(a, b, rounds));
+    sim::spawn([](sim::CondVar& mine, sim::CondVar& theirs, int& r) -> sim::Co<void> {
+      for (int i = 0; i < 100; ++i) {
+        co_await mine.wait();
+        theirs.notify_one();
+        ++r;
+      }
+    }(b, a, rounds));
+    s.run();
+    benchmark::DoNotOptimize(rounds);
+  }
+  state.SetItemsProcessed(state.iterations() * 200);
+}
+BENCHMARK(BM_CondVarPingPong);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,179 @@
+// Reproduces Table 3 of the paper: execution times (seconds) of six parallel
+// Orca applications on 1/8/16/32 processors, on the kernel-space and
+// user-space protocol stacks (plus the dedicated-sequencer variant for the
+// Linear Equation Solver).
+//
+// Absolute single-processor times are calibrated (the per-unit work
+// constants in the app parameter structs); what the simulation must
+// *reproduce* is the shape: which binding wins where, roughly by how much,
+// and the saturation/overload effects the paper explains in §5.
+//
+// Usage: bench_table3_applications [--app=tsp|asp|ab|rl|sor|leq] [--quick]
+//   --quick runs only {1,8} processors (for CI smoke runs).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/ab.h"
+#include "apps/asp.h"
+#include "apps/leq.h"
+#include "apps/rl.h"
+#include "apps/sor.h"
+#include "apps/tsp.h"
+
+namespace {
+
+using apps::RunConfig;
+using panda::Binding;
+
+struct PaperRow {
+  const char* impl;
+  double t1, t8, t16, t32;
+};
+
+void print_paper(const char* app, const std::vector<PaperRow>& rows) {
+  std::printf("\n--- %s ---\n", app);
+  std::printf("%-24s | %8s %8s %8s %8s\n", "paper [sec]", "1", "8", "16", "32");
+  for (const auto& r : rows) {
+    std::printf("%-24s | %8.0f %8.0f %8.0f %8.0f\n", r.impl, r.t1, r.t8, r.t16,
+                r.t32);
+  }
+}
+
+template <typename Runner>
+void measure(const char* impl, const std::vector<std::size_t>& procs,
+             bool dedicated, Runner&& run_one) {
+  std::printf("%-24s |", impl);
+  std::fflush(stdout);
+  double t1 = 0.0;
+  for (const std::size_t p : procs) {
+    RunConfig rc;
+    rc.processors = p;
+    rc.dedicated_sequencer = dedicated;
+    rc.binding = std::strstr(impl, "Kernel") != nullptr ? Binding::kKernelSpace
+                                                        : Binding::kUserSpace;
+    if (dedicated && p == 1) {
+      std::printf(" %8s", "-");
+      std::fflush(stdout);
+      continue;
+    }
+    const double t = run_one(rc);
+    if (p == 1) t1 = t;
+    std::printf(" %8.0f", t);
+    std::fflush(stdout);
+  }
+  if (t1 > 0.0) std::printf("   (T1=%.0f)", t1);
+  std::printf("\n");
+}
+
+bool want(const std::string& filter, const char* app) {
+  return filter.empty() || filter == app;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string filter;
+  bool quick = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--app=", 0) == 0) filter = arg.substr(6);
+    if (arg == "--quick") quick = true;
+  }
+  const std::vector<std::size_t> procs =
+      quick ? std::vector<std::size_t>{1, 8} : std::vector<std::size_t>{1, 8, 16, 32};
+
+  std::printf("==================================================================\n");
+  std::printf("Table 3 — Orca application execution times (paper vs. simulation)\n");
+  std::printf("==================================================================\n");
+
+  if (want(filter, "tsp")) {
+    print_paper("Travelling Salesman Problem",
+                {{"Kernel-space", 790, 87, 44, 23}, {"User-space", 783, 92, 46, 24}});
+    std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
+    for (const char* impl : {"Kernel-space", "User-space"}) {
+      measure(impl, procs, false, [](const RunConfig& rc) {
+        apps::TspParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_tsp(p).elapsed);
+      });
+    }
+  }
+
+  if (want(filter, "asp")) {
+    print_paper("All-pairs Shortest Paths",
+                {{"Kernel-space", 213, 30, 17, 11}, {"User-space", 216, 31, 18, 11}});
+    std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
+    for (const char* impl : {"Kernel-space", "User-space"}) {
+      measure(impl, procs, false, [](const RunConfig& rc) {
+        apps::AspParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_asp(p).elapsed);
+      });
+    }
+  }
+
+  if (want(filter, "ab")) {
+    print_paper("Alpha-Beta Search",
+                {{"Kernel-space", 565, 106, 78, 60}, {"User-space", 567, 106, 78, 59}});
+    std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
+    for (const char* impl : {"Kernel-space", "User-space"}) {
+      measure(impl, procs, false, [](const RunConfig& rc) {
+        apps::AbParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_ab(p).elapsed);
+      });
+    }
+  }
+
+  if (want(filter, "rl")) {
+    print_paper("Region Labeling",
+                {{"Kernel-space", 759, 132, 115, 114}, {"User-space", 767, 133, 119, 108}});
+    std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
+    for (const char* impl : {"Kernel-space", "User-space"}) {
+      measure(impl, procs, false, [](const RunConfig& rc) {
+        apps::RlParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_rl(p).elapsed);
+      });
+    }
+  }
+
+  if (want(filter, "sor")) {
+    print_paper("Successive Overrelaxation",
+                {{"Kernel-space", 118, 20, 14, 13}, {"User-space", 118, 19, 13, 11}});
+    std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
+    for (const char* impl : {"Kernel-space", "User-space"}) {
+      measure(impl, procs, false, [](const RunConfig& rc) {
+        apps::SorParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_sor(p).elapsed);
+      });
+    }
+  }
+
+  if (want(filter, "leq")) {
+    print_paper("Linear Equation Solver",
+                {{"Kernel-space", 521, 102, 91, 127},
+                 {"User-space", 527, 113, 112, 164},
+                 {"User-space-dedicated", 527, 116, 94, 128}});
+    std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
+    for (const char* impl :
+         {"Kernel-space", "User-space", "User-space-dedicated"}) {
+      const bool dedicated = std::strstr(impl, "dedicated") != nullptr;
+      measure(impl, procs, dedicated, [](const RunConfig& rc) {
+        apps::LeqParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_leq(p).elapsed);
+      });
+    }
+  }
+
+  std::printf("\nShape checklist (§5): coarse-grained apps (TSP, ASP, AB) show no\n"
+              "significant protocol difference; RL/SOR favour user space at high\n"
+              "processor counts (guarded-operation continuations); LEQ favours\n"
+              "kernel space (sequencer overload) and degrades from 16 to 32\n"
+              "processors on every implementation.\n");
+  return 0;
+}

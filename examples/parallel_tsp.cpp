@@ -1,0 +1,48 @@
+// Domain example: the paper's Travelling Salesman application end to end —
+// replicated branch-and-bound over a 15-city instance (2184 jobs, as in §5),
+// run on 1 and 8 processors on both protocol stacks.
+//
+//   $ ./build/examples/parallel_tsp
+#include <cstdio>
+
+#include "apps/tsp.h"
+
+int main() {
+  std::printf("Parallel branch-and-bound TSP (the paper's §5 workload)\n\n");
+
+  apps::TspParams base;  // 15 cities, 2184 depth-4 prefix jobs
+  std::printf("instance: %d cities, optimal tour (sequential check) = %lld\n\n",
+              base.cities,
+              static_cast<long long>(
+                  apps::tsp_reference(base.cities, base.instance_seed)));
+
+  double t1 = 0.0;
+  for (const std::size_t procs : {1UL, 8UL}) {
+    for (const panda::Binding binding :
+         {panda::Binding::kKernelSpace, panda::Binding::kUserSpace}) {
+      apps::TspParams p = base;
+      p.run.processors = procs;
+      p.run.binding = binding;
+      const apps::TspResult r = apps::run_tsp(p);
+      const double secs = sim::to_sec(r.elapsed);
+      if (procs == 1 && binding == panda::Binding::kKernelSpace) t1 = secs;
+      std::printf("P=%-2zu %-12s  %7.1f s   best=%-4lld  jobs=%llu  "
+                  "nodes=%llu  bound-updates=%llu%s\n",
+                  procs,
+                  binding == panda::Binding::kKernelSpace ? "kernel-space"
+                                                          : "user-space",
+                  secs, static_cast<long long>(r.best_cost),
+                  static_cast<unsigned long long>(r.jobs),
+                  static_cast<unsigned long long>(r.nodes_expanded),
+                  static_cast<unsigned long long>(r.bound_updates),
+                  t1 > 0.0 && procs > 1
+                      ? (" (speedup " + std::to_string(t1 / secs) + ")").c_str()
+                      : "");
+    }
+  }
+
+  std::printf("\nThe bound object is replicated (reads are free and local);\n"
+              "only job fetches and bound improvements touch the network —\n"
+              "which is why the protocol choice barely matters here (§5).\n");
+  return 0;
+}

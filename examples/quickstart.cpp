@@ -1,0 +1,94 @@
+// Quickstart: boot a simulated Amoeba pool, run an RPC and a totally-ordered
+// group broadcast on both protocol stacks, and print what they cost.
+//
+//   $ ./build/examples/quickstart
+//
+// This touches the whole public API surface: World (nodes/kernels/network),
+// make_panda (the two protocol bindings), RPC with reply-from-upcall, and
+// blocking group send.
+#include <cstdio>
+
+#include "amoeba/world.h"
+#include "panda/panda.h"
+
+namespace {
+
+using amoeba::Thread;
+using panda::Binding;
+
+void demo(Binding binding) {
+  const char* name =
+      binding == Binding::kKernelSpace ? "kernel-space" : "user-space";
+  std::printf("--- %s protocols ---\n", name);
+
+  // A 4-node processor pool on a simulated 10 Mbit/s Ethernet.
+  amoeba::World world;
+  world.add_nodes(4);
+
+  panda::ClusterConfig cfg;
+  cfg.binding = binding;
+  cfg.nodes = {0, 1, 2, 3};
+  cfg.sequencer = 0;
+  std::vector<std::unique_ptr<panda::Panda>> pandas;
+  for (amoeba::NodeId i = 0; i < 4; ++i) {
+    pandas.push_back(panda::make_panda(world.kernel(i), cfg));
+  }
+
+  // Node 1 serves RPC requests: echo with a greeting.
+  pandas[1]->set_rpc_handler(
+      [&](Thread& upcall, panda::RpcTicket t, net::Payload req) -> sim::Co<void> {
+        net::Reader r(req);
+        net::Writer w;
+        w.str("hello, " + r.str());
+        co_await pandas[1]->rpc_reply(upcall, t, w.take());
+      });
+
+  // Everyone prints ordered group messages.
+  int deliveries = 0;
+  for (auto& p : pandas) {
+    p->set_group_handler([&deliveries](Thread&, amoeba::NodeId sender,
+                                       std::uint32_t seqno,
+                                       net::Payload) -> sim::Co<void> {
+      ++deliveries;
+      (void)sender;
+      (void)seqno;
+      co_return;
+    });
+  }
+  for (auto& p : pandas) p->start();
+
+  // A client thread on node 0 does one RPC and one broadcast.
+  Thread& client = world.kernel(0).create_thread("client");
+  sim::spawn([](amoeba::World& w, panda::Panda& panda) -> sim::Co<void> {
+    Thread& self = w.kernel(0).create_thread("demo");
+    net::Writer req;
+    req.str("amoeba");
+    const sim::Time t0 = w.sim().now();
+    panda::RpcReply reply = co_await panda.rpc(self, 1, req.take());
+    const sim::Time rpc_time = w.sim().now() - t0;
+    net::Reader r(reply.reply);
+    std::printf("  rpc reply: \"%s\" in %.2f ms\n", r.str().c_str(),
+                sim::to_ms(rpc_time));
+
+    const sim::Time t1 = w.sim().now();
+    co_await panda.group_send(self, net::Payload::zeros(64));
+    std::printf("  group broadcast delivered (own copy back) in %.2f ms\n",
+                sim::to_ms(w.sim().now() - t1));
+  }(world, *pandas[0]));
+  (void)client;
+
+  world.sim().run();
+  std::printf("  ordered deliveries across 4 members: %d\n\n", deliveries);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Quickstart: Panda on simulated Amoeba, both protocol stacks\n\n");
+  demo(Binding::kKernelSpace);
+  demo(Binding::kUserSpace);
+  std::printf("The user-space stack is a little slower per primitive (Table 1)\n"
+              "but identical in behaviour — and far more flexible (see the\n"
+              "shared_objects example for what that buys the Orca runtime).\n");
+  return 0;
+}

@@ -1,0 +1,308 @@
+#include "amoeba/flip.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "amoeba/kernel.h"
+#include "sim/require.h"
+
+namespace amoeba {
+
+namespace {
+
+constexpr int kMaxLocateAttempts = 5;
+constexpr sim::Time kLocateRetryInterval = sim::msec(10);
+
+struct FragmentHeader {
+  std::uint8_t type = 0;
+  std::uint8_t flags = 0;
+  FlipAddr dst = kNoFlipAddr;
+  FlipAddr src = kNoFlipAddr;
+  std::uint32_t msg_id = 0;
+  std::uint32_t offset = 0;
+  std::uint32_t total_len = 0;
+};
+
+net::Payload serialize_fragment(const FragmentHeader& h, const net::Payload& data) {
+  net::Writer w;
+  w.u8(h.type).u8(h.flags).u16(0);
+  w.u64(h.dst).u64(h.src);
+  w.u32(h.msg_id).u32(h.offset).u32(h.total_len);
+  w.payload(data);
+  return w.take();
+}
+
+FragmentHeader parse_fragment(net::Reader& r) {
+  FragmentHeader h;
+  h.type = r.u8();
+  h.flags = r.u8();
+  (void)r.u16();
+  h.dst = r.u64();
+  h.src = r.u64();
+  h.msg_id = r.u32();
+  h.offset = r.u32();
+  h.total_len = r.u32();
+  return h;
+}
+
+}  // namespace
+
+Flip::Flip(Kernel& kernel) : kernel_(&kernel), sweep_timer_(kernel.sim()) {
+  kernel_->nic().set_rx_handler([this](const net::Frame& f) { on_frame(f); });
+  // Every kernel owns its kernel endpoint implicitly for LOCATE replies.
+}
+
+void Flip::register_endpoint(FlipAddr addr, FlipHandler handler) {
+  sim::require(!is_flip_group(addr), "Flip: group address used as endpoint");
+  endpoints_[addr] = std::move(handler);
+}
+
+void Flip::unregister_endpoint(FlipAddr addr) { endpoints_.erase(addr); }
+
+void Flip::register_group(FlipAddr group, FlipHandler handler) {
+  sim::require(is_flip_group(group), "Flip: endpoint address used as group");
+  groups_[group] = std::move(handler);
+  kernel_->nic().join_multicast(flip_group_mac(group));
+}
+
+void Flip::unregister_group(FlipAddr group) {
+  groups_.erase(group);
+  kernel_->nic().leave_multicast(flip_group_mac(group));
+}
+
+std::size_t Flip::fragment_count(std::size_t bytes) const noexcept {
+  const std::size_t capacity =
+      kernel_->nic().segment().wire().mtu - kHeaderBytes;
+  if (bytes == 0) return 1;
+  return (bytes + capacity - 1) / capacity;
+}
+
+sim::Co<void> Flip::unicast(FlipAddr dst, net::Payload message, sim::Prio prio) {
+  const FlipAddr src = kernel_flip_addr(kernel_->node());
+  // Local destination? FLIP delivers without touching the wire.
+  if (const auto it = endpoints_.find(dst); it != endpoints_.end()) {
+    const CostModel& c = kernel_->costs();
+    co_await kernel_->charge(prio, sim::Mechanism::kProtocolProcessing,
+                             c.flip_send_per_message);
+    ++messages_sent_;
+    co_await deliver(FlipMessage(dst, src, std::move(message)));
+    co_return;
+  }
+  const auto route = route_cache_.find(dst);
+  if (route == route_cache_.end()) {
+    auto& pending = locating_[dst];
+    pending.queued.push_back(std::move(message));
+    if (pending.timer == nullptr) start_locate(dst);
+    co_return;  // unreliable: will go out once located, or vanish
+  }
+  co_await send_fragments(route->second, dst, src, std::move(message), prio);
+}
+
+sim::Co<void> Flip::multicast(FlipAddr group, net::Payload message, sim::Prio prio) {
+  sim::require(is_flip_group(group), "Flip::multicast: not a group address");
+  co_await send_fragments(flip_group_mac(group), group,
+                          kernel_flip_addr(kernel_->node()), std::move(message),
+                          prio);
+}
+
+sim::Co<void> Flip::send_fragments(net::MacAddr dst_mac, FlipAddr dst, FlipAddr src,
+                                   net::Payload message, sim::Prio prio) {
+  const CostModel& c = kernel_->costs();
+  const std::size_t capacity =
+      kernel_->nic().segment().wire().mtu - kHeaderBytes;
+  const std::uint32_t msg_id = next_msg_id_++;
+  ++messages_sent_;
+
+  co_await kernel_->charge(prio, sim::Mechanism::kProtocolProcessing,
+                           c.flip_send_per_message);
+
+  std::size_t offset = 0;
+  do {
+    const std::size_t chunk = std::min(capacity, message.size() - offset);
+    co_await kernel_->charge(prio, sim::Mechanism::kProtocolProcessing,
+                             c.flip_send_per_fragment);
+    FragmentHeader h;
+    h.type = static_cast<std::uint8_t>(FrameType::kData);
+    h.flags = is_flip_group(dst) ? 1 : 0;
+    h.dst = dst;
+    h.src = src;
+    h.msg_id = msg_id;
+    h.offset = static_cast<std::uint32_t>(offset);
+    h.total_len = static_cast<std::uint32_t>(message.size());
+    net::Frame frame;
+    frame.dst = dst_mac;
+    frame.id = (static_cast<std::uint64_t>(kernel_->node()) << 48) |
+               (static_cast<std::uint64_t>(msg_id) << 16) |
+               static_cast<std::uint64_t>(offset / std::max<std::size_t>(capacity, 1));
+    frame.payload = serialize_fragment(h, message.slice(offset, chunk));
+    kernel_->nic().send(std::move(frame));
+    offset += chunk;
+  } while (offset < message.size());
+}
+
+void Flip::on_frame(const net::Frame& frame) { sim::spawn(handle_frame(frame)); }
+
+sim::Co<void> Flip::handle_frame(net::Frame frame) {
+  const CostModel& c = kernel_->costs();
+  const auto type = static_cast<FrameType>(frame.payload.data()[0]);
+  switch (type) {
+    case FrameType::kData:
+      co_await kernel_->charge(sim::Prio::kInterrupt,
+                               sim::Mechanism::kInterruptDispatch,
+                               c.interrupt_dispatch + c.flip_recv_per_fragment);
+      co_await handle_data(frame);
+      break;
+    case FrameType::kLocate:
+      co_await kernel_->charge(sim::Prio::kInterrupt,
+                               sim::Mechanism::kInterruptDispatch,
+                               c.interrupt_dispatch);
+      co_await handle_locate(frame);
+      break;
+    case FrameType::kHereIs:
+      co_await kernel_->charge(sim::Prio::kInterrupt,
+                               sim::Mechanism::kInterruptDispatch,
+                               c.interrupt_dispatch);
+      handle_here_is(frame);
+      break;
+  }
+}
+
+sim::Co<void> Flip::handle_data(const net::Frame& frame) {
+  net::Reader r(frame.payload);
+  const FragmentHeader h = parse_fragment(r);
+  net::Payload data = r.rest();
+
+  // Nothing here for this destination? Stale frame; drop.
+  const bool group = is_flip_group(h.dst);
+  if (group ? !groups_.contains(h.dst) : !endpoints_.contains(h.dst)) co_return;
+
+  if (h.offset == 0 && data.size() == h.total_len) {
+    // Single-fragment message: no reassembly state needed.
+    co_await deliver(FlipMessage(h.dst, h.src, std::move(data)));
+    co_return;
+  }
+
+  const ReassemblyKey key{h.src, h.msg_id};
+  auto [it, fresh] = reassembly_.try_emplace(key);
+  Reassembly& ra = it->second;
+  const CostModel& c = kernel_->costs();
+  const std::size_t capacity =
+      kernel_->nic().segment().wire().mtu - kHeaderBytes;
+  if (fresh) {
+    ra.dst = h.dst;
+    ra.total = h.total_len;
+    ra.bytes.resize(h.total_len);
+    ra.have.assign((h.total_len + capacity - 1) / capacity, false);
+    ra.deadline = kernel_->sim().now() + c.reassembly_timeout;
+    if (!sweep_timer_.pending()) {
+      sweep_timer_.schedule(c.reassembly_timeout, [this] { sweep_reassembly(); });
+    }
+  }
+  const std::size_t slot = h.offset / capacity;
+  if (slot < ra.have.size() && !ra.have[slot]) {
+    ra.have[slot] = true;
+    std::copy(data.bytes().begin(), data.bytes().end(), ra.bytes.begin() + h.offset);
+    ra.received += data.size();
+  }
+  if (ra.received == ra.total) {
+    net::Payload whole{std::move(ra.bytes)};
+    const FlipAddr src = h.src;
+    const FlipAddr dst = ra.dst;
+    reassembly_.erase(it);
+    co_await kernel_->charge(sim::Prio::kInterrupt,
+                             sim::Mechanism::kProtocolProcessing,
+                             c.flip_reassembly);
+    co_await deliver(FlipMessage(dst, src, std::move(whole)));
+  }
+}
+
+sim::Co<void> Flip::deliver(FlipMessage message) {
+  const bool group = is_flip_group(message.dst);
+  auto& table = group ? groups_ : endpoints_;
+  const auto it = table.find(message.dst);
+  if (it == table.end()) co_return;
+  ++messages_delivered_;
+  co_await kernel_->charge(sim::Prio::kInterrupt,
+                           sim::Mechanism::kProtocolProcessing,
+                           kernel_->costs().flip_deliver_per_message);
+  co_await it->second(std::move(message));
+}
+
+sim::Co<void> Flip::handle_locate(net::Frame frame) {
+  net::Reader r(frame.payload);
+  const FragmentHeader h = parse_fragment(r);
+  const net::MacAddr requester_mac = r.u32();
+  if (!endpoints_.contains(h.dst)) co_return;  // not ours
+  FragmentHeader reply;
+  reply.type = static_cast<std::uint8_t>(FrameType::kHereIs);
+  reply.dst = h.dst;  // the located address
+  reply.src = kernel_flip_addr(kernel_->node());
+  net::Writer w;
+  w.u32(kernel_->nic().mac());
+  net::Frame out;
+  out.dst = requester_mac;
+  out.payload = serialize_fragment(reply, w.take());
+  kernel_->nic().send(std::move(out));
+}
+
+void Flip::handle_here_is(const net::Frame& frame) {
+  net::Reader r(frame.payload);
+  const FragmentHeader h = parse_fragment(r);
+  const net::MacAddr owner_mac = r.u32();
+  route_cache_[h.dst] = owner_mac;
+  const auto it = locating_.find(h.dst);
+  if (it == locating_.end()) return;
+  auto queued = std::move(it->second.queued);
+  locating_.erase(it);
+  for (auto& message : queued) {
+    sim::spawn(send_fragments(owner_mac, h.dst, kernel_flip_addr(kernel_->node()),
+                              std::move(message), sim::Prio::kKernel));
+  }
+}
+
+void Flip::start_locate(FlipAddr dst) {
+  auto& pending = locating_[dst];
+  pending.timer = std::make_unique<sim::Timer>(kernel_->sim());
+  locate_tick(dst);
+}
+
+void Flip::locate_tick(FlipAddr dst) {
+  const auto it = locating_.find(dst);
+  if (it == locating_.end()) return;  // resolved meanwhile
+  PendingLocate& pending = it->second;
+  if (pending.attempts >= kMaxLocateAttempts) {
+    locating_.erase(it);  // give up; queued messages vanish (unreliable layer)
+    return;
+  }
+  ++pending.attempts;
+  ++locates_sent_;
+  FragmentHeader h;
+  h.type = static_cast<std::uint8_t>(FrameType::kLocate);
+  h.dst = dst;
+  h.src = kernel_flip_addr(kernel_->node());
+  net::Writer w;
+  w.u32(kernel_->nic().mac());
+  net::Frame frame;
+  frame.dst = net::kBroadcast;
+  frame.payload = serialize_fragment(h, w.take());
+  kernel_->nic().send(std::move(frame));
+  pending.timer->schedule(kLocateRetryInterval, [this, dst] { locate_tick(dst); });
+}
+
+void Flip::sweep_reassembly() {
+  const sim::Time now = kernel_->sim().now();
+  for (auto it = reassembly_.begin(); it != reassembly_.end();) {
+    if (it->second.deadline <= now) {
+      ++reassembly_timeouts_;
+      it = reassembly_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!reassembly_.empty()) {
+    sweep_timer_.schedule(kernel_->costs().reassembly_timeout / 2,
+                          [this] { sweep_reassembly(); });
+  }
+}
+
+}  // namespace amoeba

@@ -1,0 +1,179 @@
+// FLIP (Fast Local Internet Protocol) — Amoeba's network layer.
+//
+// FLIP provides location-transparent, unreliable unicast and multicast of
+// arbitrarily sized messages (Kaashoek et al., ACM TOCS 1993). This model
+// implements the properties the paper's protocols rely on:
+//
+//   * location transparency: endpoints are 64-bit addresses; the kernel
+//     resolves an unknown address with a broadcast LOCATE / HERE-IS exchange
+//     and caches the route;
+//   * fragmentation: messages are split into <=1500-byte Ethernet frames in
+//     the kernel and reassembled at the receiver ("the nonlinear relation
+//     between latency and message length is due to the fragmentation
+//     performed by the low-level FLIP primitives in the Amoeba kernel",
+//     §4.1);
+//   * group communication: a multicast address maps onto hardware Ethernet
+//     multicast, so reaching a group costs one transmission;
+//   * unreliability: lost fragments mean the whole message silently never
+//     arrives (reassembly state times out); reliability is the business of
+//     the RPC/group protocols above.
+//
+// Handlers run at interrupt priority. A sender never receives its own
+// multicast from the wire (Ethernet NICs do not loop back); protocol code
+// that needs self-delivery does it locally.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "net/buffer.h"
+#include "net/frame.h"
+#include "sim/co.h"
+#include "sim/cpu.h"
+#include "sim/timer.h"
+
+namespace amoeba {
+
+class Kernel;
+
+using FlipAddr = std::uint64_t;
+
+inline constexpr FlipAddr kNoFlipAddr = 0;
+inline constexpr FlipAddr kFlipGroupBit = 0x8000'0000'0000'0000ULL;
+
+[[nodiscard]] constexpr bool is_flip_group(FlipAddr a) noexcept {
+  return (a & kFlipGroupBit) != 0;
+}
+
+/// The FLIP address of node `n`'s kernel itself (used by LOCATE replies and
+/// kernel-to-kernel protocol traffic).
+[[nodiscard]] constexpr FlipAddr kernel_flip_addr(std::uint32_t node) noexcept {
+  return 0x00F0'0000'0000'0000ULL | node;
+}
+
+/// A reassembled FLIP message as handed to an endpoint.
+///
+/// User-declared constructor by project rule: aggregate temporaries inside
+/// co_await expressions are miscompiled by GCC 12 (see sim/co.h).
+struct FlipMessage {
+  FlipMessage() = default;
+  FlipMessage(FlipAddr d, FlipAddr s, net::Payload p)
+      : dst(d), src(s), payload(std::move(p)) {}
+  FlipAddr dst = kNoFlipAddr;
+  FlipAddr src = kNoFlipAddr;
+  net::Payload payload;
+};
+
+/// Endpoint upcall; runs at interrupt priority on the receiving node's CPU.
+using FlipHandler = std::function<sim::Co<void>(FlipMessage)>;
+
+class Flip {
+ public:
+  /// Bytes of FLIP header per fragment (32, per CostModel::flip_header).
+  static constexpr std::size_t kHeaderBytes = 32;
+
+  explicit Flip(Kernel& kernel);
+
+  Flip(const Flip&) = delete;
+  Flip& operator=(const Flip&) = delete;
+
+  /// Register a point-to-point endpoint on this node.
+  void register_endpoint(FlipAddr addr, FlipHandler handler);
+  void unregister_endpoint(FlipAddr addr);
+
+  /// Join a multicast group address: subscribes the NIC to the hardware
+  /// multicast address and installs the delivery handler.
+  void register_group(FlipAddr group, FlipHandler handler);
+  void unregister_group(FlipAddr group);
+
+  /// Send a message to a point-to-point address. Fragments, resolves the
+  /// route (broadcast LOCATE on cache miss), charges kernel send costs at
+  /// `prio`, and completes once every fragment is handed to the NIC.
+  /// Unreliable: undeliverable or lost messages vanish silently.
+  [[nodiscard]] sim::Co<void> unicast(FlipAddr dst, net::Payload message,
+                                      sim::Prio prio = sim::Prio::kKernel);
+
+  /// Send a message to a multicast group (hardware multicast; one wire
+  /// transmission per fragment regardless of member count).
+  [[nodiscard]] sim::Co<void> multicast(FlipAddr group, net::Payload message,
+                                        sim::Prio prio = sim::Prio::kKernel);
+
+  /// Number of fragments a message of `bytes` occupies on the wire.
+  [[nodiscard]] std::size_t fragment_count(std::size_t bytes) const noexcept;
+
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return messages_sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept {
+    return messages_delivered_;
+  }
+  [[nodiscard]] std::uint64_t reassembly_timeouts() const noexcept {
+    return reassembly_timeouts_;
+  }
+  [[nodiscard]] std::uint64_t locates_sent() const noexcept { return locates_sent_; }
+
+ private:
+  enum class FrameType : std::uint8_t {
+    kData = 1,
+    kLocate = 2,
+    kHereIs = 3,
+  };
+
+  struct ReassemblyKey {
+    FlipAddr src;
+    std::uint32_t msg_id;
+    bool operator<(const ReassemblyKey& o) const noexcept {
+      return src != o.src ? src < o.src : msg_id < o.msg_id;
+    }
+  };
+  struct Reassembly {
+    FlipAddr dst = kNoFlipAddr;
+    std::size_t total = 0;
+    std::size_t received = 0;
+    std::vector<std::uint8_t> bytes;
+    std::vector<bool> have;  // per fragment slot
+    sim::Time deadline = 0;
+  };
+  struct PendingLocate {
+    std::deque<net::Payload> queued;  // serialized messages awaiting a route
+    int attempts = 0;
+    std::unique_ptr<sim::Timer> timer;
+  };
+
+  void on_frame(const net::Frame& frame);
+  [[nodiscard]] sim::Co<void> handle_frame(net::Frame frame);
+  [[nodiscard]] sim::Co<void> handle_data(const net::Frame& frame);
+  [[nodiscard]] sim::Co<void> handle_locate(net::Frame frame);
+  void handle_here_is(const net::Frame& frame);
+  [[nodiscard]] sim::Co<void> deliver(FlipMessage message);
+
+  [[nodiscard]] sim::Co<void> send_fragments(net::MacAddr dst_mac, FlipAddr dst,
+                                             FlipAddr src, net::Payload message,
+                                             sim::Prio prio);
+  void start_locate(FlipAddr dst);
+  void locate_tick(FlipAddr dst);
+  void sweep_reassembly();
+
+  Kernel* kernel_;
+  std::unordered_map<FlipAddr, FlipHandler> endpoints_;
+  std::unordered_map<FlipAddr, FlipHandler> groups_;
+  std::unordered_map<FlipAddr, net::MacAddr> route_cache_;
+  std::unordered_map<FlipAddr, PendingLocate> locating_;
+  std::map<ReassemblyKey, Reassembly> reassembly_;
+  sim::Timer sweep_timer_;
+  std::uint32_t next_msg_id_ = 1;
+  std::uint64_t messages_sent_ = 0;
+  std::uint64_t messages_delivered_ = 0;
+  std::uint64_t reassembly_timeouts_ = 0;
+  std::uint64_t locates_sent_ = 0;
+};
+
+/// Hardware multicast address for a FLIP group.
+[[nodiscard]] constexpr net::MacAddr flip_group_mac(FlipAddr group) noexcept {
+  return net::multicast_group(static_cast<std::uint32_t>(group & 0x00FF'FFFF));
+}
+
+}  // namespace amoeba

@@ -1,0 +1,541 @@
+#include "amoeba/group.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/require.h"
+
+namespace amoeba {
+
+namespace {
+constexpr std::size_t kHeaderFixed = 28;  // serialized fields before padding
+}
+
+net::Payload KernelGroup::make_wire(MsgType type, GroupId gid, SeqNo seqno,
+                                    NodeId sender, std::uint64_t uid, SeqNo horizon,
+                                    const net::Payload& body) const {
+  net::Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(0).u16(0);
+  w.u32(gid);
+  w.u32(seqno);
+  w.u32(sender);
+  w.u64(uid);
+  w.u32(horizon);
+  // Pad to the kernel protocol's 52-byte header (§4.3: "52 byte header").
+  w.zeros(kernel_->costs().amoeba_group_header - kHeaderFixed);
+  w.payload(body);
+  return w.take();
+}
+
+void KernelGroup::join(GroupId gid, GroupConfig config) {
+  sim::require(!groups_.contains(gid), "KernelGroup::join: already a member");
+  sim::require(!config.members.empty(), "KernelGroup::join: empty group");
+  MemberState& ms = groups_[gid];
+  ms.config = std::move(config);
+  ms.gap_timer = std::make_unique<sim::Timer>(kernel_->sim());
+  ms.is_sequencer = ms.config.sequencer_node() == kernel_->node();
+  if (ms.is_sequencer) {
+    ms.seq = std::make_unique<SequencerState>();
+    ms.seq->lag_timer = std::make_unique<sim::Timer>(kernel_->sim());
+    kernel_->flip().register_endpoint(
+        group_sequencer_addr(gid), [this, gid](FlipMessage m) -> sim::Co<void> {
+          co_await on_sequencer_message(gid, std::move(m));
+        });
+  }
+  kernel_->flip().register_group(
+      group_flip_addr(gid), [this, gid](FlipMessage m) -> sim::Co<void> {
+        co_await on_group_message(gid, std::move(m));
+      });
+  // Point-to-point retransmissions from the sequencer arrive here.
+  kernel_->flip().register_endpoint(
+      group_member_addr(gid, kernel_->node()),
+      [this, gid](FlipMessage m) -> sim::Co<void> {
+        co_await on_group_message(gid, std::move(m));
+      });
+}
+
+KernelGroup::MemberState& KernelGroup::state(GroupId gid) {
+  const auto it = groups_.find(gid);
+  sim::require(it != groups_.end(), "KernelGroup: not a member of this group");
+  return it->second;
+}
+
+const KernelGroup::MemberState& KernelGroup::state(GroupId gid) const {
+  const auto it = groups_.find(gid);
+  sim::require(it != groups_.end(), "KernelGroup: not a member of this group");
+  return it->second;
+}
+
+SeqNo KernelGroup::delivered_up_to(GroupId gid) const {
+  return state(gid).next_expected - 1;
+}
+
+std::uint64_t KernelGroup::sequenced_count(GroupId gid) const {
+  const MemberState& ms = state(gid);
+  return ms.seq ? ms.seq->total_sequenced : 0;
+}
+
+sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
+  MemberState& ms = state(gid);
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->syscall_enter();
+  co_await kernel_->copy_boundary(msg.size());
+  co_await kernel_->charge(sim::Prio::kKernel, sim::Mechanism::kProtocolProcessing,
+                           c.group_protocol_processing);
+
+  const std::uint64_t uid =
+      (static_cast<std::uint64_t>(kernel_->node()) << 32) | next_uid_++;
+  const bool bb = msg.size() > ms.config.bb_threshold;
+  const SeqNo horizon = ms.next_expected - 1;
+
+  auto ps = std::make_unique<PendingSend>();
+  ps->thread = &self;
+  ps->uid = uid;
+  ps->bb = bb;
+  ps->timer = std::make_unique<sim::Timer>(kernel_->sim());
+  PendingSend* raw = ps.get();
+  ms.sends_in_flight.emplace(uid, raw);
+  // Keep ownership alongside the in-flight map entry.
+  std::unique_ptr<PendingSend> owner = std::move(ps);
+
+  if (ms.is_sequencer) {
+    if (bb) {
+      // The members still need the body: broadcast it before sequencing
+      // locally (the accept will follow the body fragments on the wire).
+      ++bb_sends_;
+      ms.bb_bodies.emplace(uid, msg);
+      net::Payload body_wire =
+          make_wire(MsgType::kBody, gid, 0, kernel_->node(), uid, horizon, msg);
+      co_await kernel_->flip().multicast(group_flip_addr(gid),
+                                         std::move(body_wire), sim::Prio::kKernel);
+    }
+    // Local sequencing: no wire hop to the sequencer.
+    co_await sequence(gid, ms, kernel_->node(), uid, msg, bb, horizon);
+  } else if (bb) {
+    ++bb_sends_;
+    ms.bb_bodies.emplace(uid, msg);  // own body for self-delivery
+    raw->wire = make_wire(MsgType::kBody, gid, 0, kernel_->node(), uid, horizon, msg);
+    co_await kernel_->flip().multicast(group_flip_addr(gid), raw->wire,
+                                       sim::Prio::kKernel);
+  } else {
+    raw->wire =
+        make_wire(MsgType::kRequest, gid, 0, kernel_->node(), uid, horizon, msg);
+    co_await kernel_->flip().unicast(group_sequencer_addr(gid), raw->wire,
+                                     sim::Prio::kKernel);
+  }
+
+  if (!ms.is_sequencer) {
+    raw->timer->schedule(ms.config.send_retry_interval,
+                         [this, gid, uid] { send_retry_tick(gid, uid); });
+  }
+
+  // "the calling thread is suspended until the message has returned from the
+  //  sequencer"
+  while (!raw->done) co_await self.block();
+
+  ms.sends_in_flight.erase(uid);
+  co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
+}
+
+void KernelGroup::send_retry_tick(GroupId gid, std::uint64_t uid) {
+  MemberState& ms = state(gid);
+  const auto it = ms.sends_in_flight.find(uid);
+  if (it == ms.sends_in_flight.end() || it->second->done) return;
+  PendingSend& pending = *it->second;
+  ++pending.sends;
+  if (pending.bb) {
+    sim::spawn(kernel_->flip().multicast(group_flip_addr(gid), pending.wire,
+                                         sim::Prio::kKernel));
+  } else {
+    sim::spawn(kernel_->flip().unicast(group_sequencer_addr(gid), pending.wire,
+                                       sim::Prio::kKernel));
+  }
+  // Exponential backoff: under saturation the first attempt is often just
+  // queued behind other traffic, not lost.
+  const sim::Time backoff =
+      ms.config.send_retry_interval * (1LL << std::min(pending.sends, 4));
+  pending.timer->schedule(backoff, [this, gid, uid] { send_retry_tick(gid, uid); });
+}
+
+sim::Co<GroupMsg> KernelGroup::receive(Thread& self, GroupId gid) {
+  MemberState& ms = state(gid);
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->syscall_enter();
+  while (ms.inbox.empty()) {
+    ms.waiting_receivers.push_back(&self);
+    co_await self.block();
+  }
+  GroupMsg msg = std::move(ms.inbox.front());
+  ms.inbox.pop_front();
+  co_await kernel_->copy_boundary(msg.payload.size());
+  co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
+  co_return msg;
+}
+
+// --- Wire ingress -----------------------------------------------------------
+
+namespace {
+struct ParsedHeader {
+  std::uint8_t type;
+  GroupId gid;
+  SeqNo seqno;
+  NodeId sender;
+  std::uint64_t uid;
+  SeqNo horizon;
+};
+}  // namespace
+
+struct KernelGroup::Header {
+  static ParsedHeader parse(const net::Payload& p, std::size_t header_bytes,
+                            net::Payload& body_out) {
+    net::Reader r(p);
+    ParsedHeader h{};
+    h.type = r.u8();
+    (void)r.u8();
+    (void)r.u16();
+    h.gid = r.u32();
+    h.seqno = r.u32();
+    h.sender = r.u32();
+    h.uid = r.u64();
+    h.horizon = r.u32();
+    body_out = p.slice(header_bytes, p.size() - header_bytes);
+    return h;
+  }
+};
+
+sim::Co<void> KernelGroup::on_group_message(GroupId gid, FlipMessage m) {
+  MemberState& ms = state(gid);
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->charge(sim::Prio::kInterrupt,
+                           sim::Mechanism::kProtocolProcessing,
+                           c.group_protocol_processing);
+  net::Payload body;
+  const ParsedHeader h =
+      Header::parse(m.payload, c.amoeba_group_header, body);
+  switch (static_cast<MsgType>(h.type)) {
+    case MsgType::kBody: {
+      ms.bb_bodies.emplace(h.uid, body);
+      // An accept that raced ahead of this body can now be honoured.
+      if (const auto pa = ms.pending_accepts.find(h.uid);
+          pa != ms.pending_accepts.end()) {
+        SequencedMsg sm = std::move(pa->second);
+        ms.pending_accepts.erase(pa);
+        sm.payload = ms.bb_bodies.at(h.uid);
+        co_await accept(gid, ms, std::move(sm));
+      }
+      if (ms.is_sequencer) {
+        SequencerState& seq = *ms.seq;
+        if (const auto it = seq.sequenced_uids.find(h.uid);
+            it != seq.sequenced_uids.end()) {
+          // Duplicate body: the sender missed the accept. Resend only the
+          // *small* accept (the sender already has the body) — resending the
+          // full payload under load would melt the saturated wire.
+          net::Payload wire = make_wire(MsgType::kAcceptRef, gid, it->second,
+                                        h.sender, h.uid, 0, net::Payload());
+          co_await kernel_->flip().unicast(group_member_addr(gid, h.sender),
+                                           std::move(wire), sim::Prio::kKernel);
+        } else {
+          co_await sequence(gid, ms, h.sender, h.uid, std::move(body),
+                            /*bb=*/true, h.horizon);
+        }
+      }
+      break;
+    }
+    case MsgType::kAcceptFull:
+    case MsgType::kRetrans:
+      ms.pending_accepts.erase(h.uid);
+      co_await accept(gid, ms, SequencedMsg(h.seqno, h.sender, h.uid, std::move(body)));
+      break;
+    case MsgType::kAcceptRef: {
+      const auto it = ms.bb_bodies.find(h.uid);
+      if (it == ms.bb_bodies.end()) {
+        // Body not here yet (in flight, or lost): remember the accept; the
+        // body's arrival or the gap-driven retransmission completes it.
+        ms.pending_accepts.emplace(h.uid,
+                                   SequencedMsg(h.seqno, h.sender, h.uid,
+                                                net::Payload()));
+        break;
+      }
+      net::Payload full = it->second;
+      co_await accept(gid, ms, SequencedMsg(h.seqno, h.sender, h.uid, std::move(full)));
+      break;
+    }
+    case MsgType::kStatusReq: {
+      net::Payload wire = make_wire(MsgType::kStatus, gid, 0, kernel_->node(), 0,
+                                    ms.next_expected - 1, net::Payload());
+      co_await kernel_->flip().unicast(group_sequencer_addr(gid), std::move(wire),
+                                       sim::Prio::kKernel);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+sim::Co<void> KernelGroup::on_sequencer_message(GroupId gid, FlipMessage m) {
+  MemberState& ms = state(gid);
+  sim::require(ms.is_sequencer, "sequencer message arrived at a non-sequencer");
+  const CostModel& c = kernel_->costs();
+  // "the sequencer runs entirely inside the Amoeba kernel" — processed at
+  // interrupt level, no crossings, no thread switch.
+  co_await kernel_->charge(sim::Prio::kInterrupt,
+                           sim::Mechanism::kProtocolProcessing,
+                           c.group_protocol_processing);
+  net::Payload body;
+  const ParsedHeader h = Header::parse(m.payload, c.amoeba_group_header, body);
+  SequencerState& seq = *ms.seq;
+  switch (static_cast<MsgType>(h.type)) {
+    case MsgType::kRequest: {
+      seq.member_horizon[h.sender] =
+          std::max(seq.member_horizon[h.sender], h.horizon);
+      if (const auto it = seq.sequenced_uids.find(h.uid);
+          it != seq.sequenced_uids.end()) {
+        // Duplicate: resend the accept content straight to the sender.
+        for (const SequencedMsg& sm : seq.history) {
+          if (sm.seqno == it->second) {
+            net::Payload wire = make_wire(MsgType::kRetrans, gid, sm.seqno,
+                                          sm.sender, sm.uid, 0, sm.payload);
+            co_await kernel_->flip().unicast(group_member_addr(gid, h.sender),
+                                             std::move(wire), sim::Prio::kKernel);
+            break;
+          }
+        }
+        co_return;
+      }
+      co_await sequence(gid, ms, h.sender, h.uid, std::move(body), /*bb=*/false,
+                        h.horizon);
+      break;
+    }
+    case MsgType::kRetransReq: {
+      ++retreqs_;
+      seq.member_horizon[h.sender] =
+          std::max(seq.member_horizon[h.sender], h.horizon);
+      for (const SequencedMsg& sm : seq.history) {
+        if (sm.seqno == h.seqno) {
+          net::Payload wire = make_wire(MsgType::kRetrans, gid, sm.seqno, sm.sender,
+                                        sm.uid, 0, sm.payload);
+          co_await kernel_->flip().unicast(group_member_addr(gid, h.sender),
+                                           std::move(wire), sim::Prio::kKernel);
+          break;
+        }
+      }
+      break;
+    }
+    case MsgType::kStatus: {
+      seq.member_horizon[h.sender] =
+          std::max(seq.member_horizon[h.sender], h.horizon);
+      trim_history(ms);
+      co_await drain_pending(gid, ms);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+sim::Co<void> KernelGroup::sequence(GroupId gid, MemberState& ms, NodeId sender,
+                                    std::uint64_t uid, net::Payload body, bool bb,
+                                    SeqNo sender_horizon) {
+  SequencerState& seq = *ms.seq;
+  seq.member_horizon[sender] = std::max(seq.member_horizon[sender], sender_horizon);
+  trim_history(ms);
+  if (seq.history.size() >= ms.config.history_capacity) {
+    // History full: hold the message and solicit horizons from the members.
+    SequencedMsg sm(0, sender, uid, std::move(body));
+    sm.bb = bb;
+    seq.pending.push_back(std::move(sm));
+    if (!seq.status_round_active) {
+      co_await run_status_round(gid, ms);
+      // Our own horizon may already free space (single-member groups, or a
+      // sequencer that lags no one).
+      trim_history(ms);
+      co_await drain_pending(gid, ms);
+    }
+    co_return;
+  }
+  SequencedMsg sm(seq.next_seqno++, sender, uid, std::move(body));
+  sm.bb = bb;
+  seq.sequenced_uids.emplace(uid, sm.seqno);
+  seq.history.push_back(sm);
+  ++seq.total_sequenced;
+  seq.last_progress = kernel_->sim().now();
+  co_await emit_accept(gid, ms, sm, bb);
+  arm_lag_watchdog(gid);
+}
+
+void KernelGroup::arm_lag_watchdog(GroupId gid) {
+  MemberState& ms = state(gid);
+  if (ms.seq->lag_timer->pending()) return;
+  ms.seq->lag_timer->schedule(sim::msec(200),
+                              [this, gid] { lag_watchdog_tick(gid); });
+}
+
+void KernelGroup::lag_watchdog_tick(GroupId gid) {
+  MemberState& ms = state(gid);
+  SequencerState& seq = *ms.seq;
+  // Probe only once sequencing has gone quiet (see user-space counterpart).
+  if (kernel_->sim().now() - seq.last_progress < sim::msec(200)) {
+    ms.seq->lag_timer->schedule(sim::msec(200),
+                                [this, gid] { lag_watchdog_tick(gid); });
+    return;
+  }
+  const SeqNo target = seq.next_seqno - 1;
+  bool lagging = false;
+  for (const NodeId member : ms.config.members) {
+    const SeqNo h = member == kernel_->node()
+                        ? ms.next_expected - 1
+                        : (seq.member_horizon.contains(member)
+                               ? seq.member_horizon.at(member)
+                               : 0);
+    if (h >= target) continue;
+    lagging = true;
+    for (const SequencedMsg& sm : seq.history) {
+      if (sm.seqno == h + 1) {
+        net::Payload wire = make_wire(MsgType::kRetrans, gid, sm.seqno,
+                                      sm.sender, sm.uid, 0, sm.payload);
+        sim::spawn(kernel_->flip().unicast(group_member_addr(gid, member),
+                                           std::move(wire), sim::Prio::kKernel));
+        break;
+      }
+    }
+  }
+  if (lagging) {
+    net::Payload probe = make_wire(MsgType::kStatusReq, gid, 0, kernel_->node(),
+                                   0, 0, net::Payload());
+    sim::spawn(kernel_->flip().multicast(group_flip_addr(gid), std::move(probe),
+                                         sim::Prio::kKernel));
+    ms.seq->lag_timer->schedule(sim::msec(200),
+                                [this, gid] { lag_watchdog_tick(gid); });
+  }
+}
+
+sim::Co<void> KernelGroup::emit_accept(GroupId gid, MemberState& ms,
+                                       const SequencedMsg& sm, bool bb) {
+  if (bb) {
+    net::Payload wire = make_wire(MsgType::kAcceptRef, gid, sm.seqno, sm.sender,
+                                  sm.uid, 0, net::Payload());
+    co_await kernel_->flip().multicast(group_flip_addr(gid), std::move(wire),
+                                       sim::Prio::kKernel);
+  } else {
+    net::Payload wire = make_wire(MsgType::kAcceptFull, gid, sm.seqno, sm.sender,
+                                  sm.uid, 0, sm.payload);
+    co_await kernel_->flip().multicast(group_flip_addr(gid), std::move(wire),
+                                       sim::Prio::kKernel);
+  }
+  // The sequencer's NIC does not hear its own multicast: deliver locally.
+  co_await accept(gid, ms, sm);
+}
+
+sim::Co<void> KernelGroup::run_status_round(GroupId gid, MemberState& ms) {
+  SequencerState& seq = *ms.seq;
+  seq.status_round_active = true;
+  ++status_rounds_;
+  seq.member_horizon[kernel_->node()] = ms.next_expected - 1;
+  net::Payload wire = make_wire(MsgType::kStatusReq, gid, 0, kernel_->node(), 0, 0,
+                                net::Payload());
+  co_await kernel_->flip().multicast(group_flip_addr(gid), std::move(wire),
+                                     sim::Prio::kKernel);
+}
+
+void KernelGroup::trim_history(MemberState& ms) {
+  SequencerState& seq = *ms.seq;
+  if (ms.config.members.size() > 1 &&
+      seq.member_horizon.size() < ms.config.members.size()) {
+    // Some member has never reported: only trim against known horizons if
+    // everyone has reported at least once.
+    return;
+  }
+  SeqNo min_horizon = ms.next_expected - 1;  // the sequencer's own horizon
+  for (const NodeId member : ms.config.members) {
+    if (member == kernel_->node()) continue;
+    const auto it = seq.member_horizon.find(member);
+    if (it == seq.member_horizon.end()) return;
+    min_horizon = std::min(min_horizon, it->second);
+  }
+  while (!seq.history.empty() && seq.history.front().seqno <= min_horizon) {
+    seq.sequenced_uids.erase(seq.history.front().uid);
+    seq.history.pop_front();
+  }
+}
+
+sim::Co<void> KernelGroup::drain_pending(GroupId gid, MemberState& ms) {
+  SequencerState& seq = *ms.seq;
+  while (!seq.pending.empty() &&
+         seq.history.size() < ms.config.history_capacity) {
+    seq.status_round_active = false;
+    SequencedMsg sm = std::move(seq.pending.front());
+    seq.pending.pop_front();
+    sm.seqno = seq.next_seqno++;
+    seq.sequenced_uids.emplace(sm.uid, sm.seqno);
+    seq.history.push_back(sm);
+    ++seq.total_sequenced;
+    co_await emit_accept(gid, ms, sm, sm.bb);
+  }
+}
+
+sim::Co<void> KernelGroup::accept(GroupId gid, MemberState& ms, SequencedMsg sm) {
+  if (sm.seqno < ms.next_expected) co_return;  // duplicate
+  ms.out_of_order.emplace(sm.seqno, std::move(sm));
+  co_await deliver_in_order(gid, ms);
+  if (!ms.out_of_order.empty()) arm_gap_timer(gid);
+}
+
+sim::Co<void> KernelGroup::deliver_in_order(GroupId gid, MemberState& ms) {
+  (void)gid;
+  // All ordering-relevant bookkeeping happens synchronously (no suspension),
+  // so concurrent accept() activities cannot interleave inbox pushes out of
+  // order. The dispatch cost charges — which do suspend — run afterwards.
+  std::vector<Thread*> unblocked_senders;
+  std::vector<Thread*> woken_receivers;
+  while (true) {
+    const auto it = ms.out_of_order.find(ms.next_expected);
+    if (it == ms.out_of_order.end()) break;
+    SequencedMsg sm = std::move(it->second);
+    ms.out_of_order.erase(it);
+    ++ms.next_expected;
+    ms.gap_timer->cancel();
+    ms.bb_bodies.erase(sm.uid);
+
+    if (sm.sender == kernel_->node()) {
+      // Our own message came back: complete the blocking grp_send. In-kernel
+      // unblock — "does not require an expensive address space crossing".
+      const auto sit = ms.sends_in_flight.find(sm.uid);
+      if (sit != ms.sends_in_flight.end() && !sit->second->done) {
+        sit->second->done = true;
+        sit->second->timer->cancel();
+        unblocked_senders.push_back(sit->second->thread);
+      }
+    }
+    ms.inbox.emplace_back(sm.sender, sm.seqno, std::move(sm.payload));
+    if (!ms.waiting_receivers.empty()) {
+      woken_receivers.push_back(ms.waiting_receivers.front());
+      ms.waiting_receivers.pop_front();
+    }
+  }
+  // The interrupt handler finishes delivery to the waiting receive() thread
+  // before the blocked grp_send is resumed — the receive dispatch is on the
+  // sender's critical path (group latency exceeds RPC latency in Table 1
+  // even though both are two network hops).
+  for (Thread* receiver : woken_receivers) {
+    co_await kernel_->dispatch_from_interrupt(*receiver);
+  }
+  for (Thread* sender : unblocked_senders) co_await kernel_->dispatch(*sender);
+}
+
+void KernelGroup::arm_gap_timer(GroupId gid) {
+  MemberState& ms = state(gid);
+  if (ms.gap_timer->pending()) return;
+  ms.gap_timer->schedule(ms.config.gap_request_delay, [this, gid] {
+    MemberState& m = state(gid);
+    if (m.out_of_order.empty()) return;
+    net::Payload wire = make_wire(MsgType::kRetransReq, gid, m.next_expected,
+                                  kernel_->node(), 0, m.next_expected - 1,
+                                  net::Payload());
+    sim::spawn(kernel_->flip().unicast(group_sequencer_addr(gid), std::move(wire),
+                                       sim::Prio::kKernel));
+    arm_gap_timer(gid);  // keep asking until the gap closes
+  });
+}
+
+}  // namespace amoeba

@@ -1,0 +1,210 @@
+// Amoeba's kernel-space totally-ordered group communication
+// (Kaashoek's sequencer protocol, §2/§4.3).
+//
+// One member node hosts the sequencer. For small messages (the PB method)
+// the sender's kernel forwards the message point-to-point to the sequencer,
+// which stamps the next sequence number and multicasts it to the group. For
+// large messages (the BB method) the sender multicasts the body itself and
+// the sequencer multicasts a short accept carrying the sequence number —
+// "for large messages ... the senders broadcast messages themselves and the
+// sequencer broadcasts (small) acknowledgement messages".
+//
+// Receivers deliver strictly in sequence-number order; a gap triggers a
+// retransmission request to the sequencer, which answers from its history
+// buffer. The history is bounded: members piggyback their delivery horizon
+// on requests, and when the buffer fills the sequencer runs an explicit
+// status round before accepting more traffic ("several mechanisms to prevent
+// overflow of the history buffer").
+//
+// grp_send is blocking: "the calling thread is suspended until the message
+// has returned from the sequencer". In this kernel-space implementation the
+// sequencer runs at interrupt level ("the Amoeba group code is invoked from
+// within the (software) interrupt handler"), so sequencing costs no thread
+// switch and no user/kernel crossing — the property that makes the
+// kernel-space LEQ application win in §5.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "amoeba/flip.h"
+#include "amoeba/kernel.h"
+#include "net/buffer.h"
+#include "sim/co.h"
+#include "sim/timer.h"
+
+namespace amoeba {
+
+using GroupId = std::uint32_t;
+using SeqNo = std::uint32_t;
+
+[[nodiscard]] constexpr FlipAddr group_flip_addr(GroupId g) noexcept {
+  return kFlipGroupBit | 0x00B0'0000'0000'0000ULL | g;
+}
+[[nodiscard]] constexpr FlipAddr group_sequencer_addr(GroupId g) noexcept {
+  return 0x00B1'0000'0000'0000ULL | g;
+}
+/// Per-member endpoint for point-to-point retransmissions from the sequencer.
+[[nodiscard]] constexpr FlipAddr group_member_addr(GroupId g, NodeId node) noexcept {
+  return 0x00B2'0000'0000'0000ULL | (static_cast<FlipAddr>(g & 0xFFFF) << 32) | node;
+}
+
+struct GroupConfig {
+  std::vector<NodeId> members;
+  std::size_t sequencer_index = 0;
+  /// Sequencer history capacity (messages); small values exercise the
+  /// overflow-prevention protocol.
+  std::size_t history_capacity = 256;
+  /// Messages larger than this use the BB method (sender broadcasts the
+  /// body; sequencer broadcasts a short accept).
+  std::size_t bb_threshold = 1400;
+  /// Sender retries its request if its message is not sequenced in time.
+  sim::Time send_retry_interval = sim::msec(100);
+  /// Delay before a gap triggers a retransmission request (allows simple
+  /// reordering to resolve itself).
+  sim::Time gap_request_delay = sim::msec(5);
+
+  [[nodiscard]] NodeId sequencer_node() const { return members.at(sequencer_index); }
+};
+
+struct GroupMsg {
+  GroupMsg() = default;
+  GroupMsg(NodeId s, SeqNo n, net::Payload p)
+      : sender(s), seqno(n), payload(std::move(p)) {}
+  NodeId sender = 0;
+  SeqNo seqno = 0;
+  net::Payload payload;
+};
+
+class KernelGroup {
+ public:
+  explicit KernelGroup(Kernel& kernel) : kernel_(&kernel) {}
+
+  KernelGroup(const KernelGroup&) = delete;
+  KernelGroup& operator=(const KernelGroup&) = delete;
+
+  /// Join a group. Every member calls this with an identical config; the
+  /// node at `sequencer_index` additionally becomes the sequencer.
+  void join(GroupId gid, GroupConfig config);
+
+  /// Blocking totally-ordered send (returns once this member has delivered
+  /// its own message, i.e. it has been sequenced and come back).
+  [[nodiscard]] sim::Co<void> send(Thread& self, GroupId gid, net::Payload msg);
+
+  /// Blocking receive of the next message in total order.
+  [[nodiscard]] sim::Co<GroupMsg> receive(Thread& self, GroupId gid);
+
+  /// Messages delivered to this member so far (high-water mark of seqno).
+  [[nodiscard]] SeqNo delivered_up_to(GroupId gid) const;
+
+  // Introspection for tests and benchmarks.
+  [[nodiscard]] std::uint64_t sequenced_count(GroupId gid) const;
+  [[nodiscard]] std::uint64_t retransmit_requests() const noexcept { return retreqs_; }
+  [[nodiscard]] std::uint64_t status_rounds() const noexcept { return status_rounds_; }
+  [[nodiscard]] std::uint64_t bb_sends() const noexcept { return bb_sends_; }
+
+ private:
+  enum class MsgType : std::uint8_t {
+    kRequest = 1,      // member -> sequencer (PB: body included)
+    kBody = 2,         // member -> group (BB: body broadcast by sender)
+    kAcceptFull = 3,   // sequencer -> group (PB: seqno + body)
+    kAcceptRef = 4,    // sequencer -> group (BB: seqno + uid reference)
+    kRetransReq = 5,   // member -> sequencer (I'm missing `seqno`)
+    kRetrans = 6,      // sequencer -> member (one sequenced message, full)
+    kStatusReq = 7,    // sequencer -> group (report your horizon)
+    kStatus = 8,       // member -> sequencer (piggyback is implicit elsewhere)
+  };
+
+  struct Header;
+
+  struct PendingSend {
+    Thread* thread = nullptr;
+    std::uint64_t uid = 0;
+    net::Payload wire;      // serialized request/body, for retries
+    bool bb = false;
+    bool done = false;
+    std::unique_ptr<sim::Timer> timer;
+    int sends = 0;
+  };
+
+  struct SequencedMsg {
+    SequencedMsg() = default;
+    SequencedMsg(SeqNo n, NodeId s, std::uint64_t u, net::Payload p)
+        : seqno(n), sender(s), uid(u), payload(std::move(p)) {}
+    SeqNo seqno = 0;
+    NodeId sender = 0;
+    std::uint64_t uid = 0;
+    net::Payload payload;
+    bool bb = false;
+  };
+
+  struct SequencerState {
+    SeqNo next_seqno = 1;
+    std::deque<SequencedMsg> history;
+    std::unordered_map<std::uint64_t, SeqNo> sequenced_uids;
+    std::unordered_map<NodeId, SeqNo> member_horizon;
+    std::deque<SequencedMsg> pending;  // waiting for history space
+    bool status_round_active = false;
+    std::uint64_t total_sequenced = 0;
+    // Tail-loss watchdog (see the user-space counterpart for rationale).
+    std::unique_ptr<sim::Timer> lag_timer;
+    sim::Time last_progress = 0;
+  };
+
+  struct MemberState {
+    GroupConfig config;
+    bool is_sequencer = false;
+    SeqNo next_expected = 1;
+    std::map<SeqNo, SequencedMsg> out_of_order;
+    std::unordered_map<std::uint64_t, net::Payload> bb_bodies;
+    // Accepts that arrived before their (BB) body.
+    std::unordered_map<std::uint64_t, SequencedMsg> pending_accepts;
+    std::deque<GroupMsg> inbox;
+    std::deque<Thread*> waiting_receivers;
+    std::unordered_map<std::uint64_t, PendingSend*> sends_in_flight;
+    std::unique_ptr<sim::Timer> gap_timer;
+    std::unique_ptr<SequencerState> seq;  // non-null on the sequencer node
+  };
+
+  [[nodiscard]] sim::Co<void> on_group_message(GroupId gid, FlipMessage m);
+  [[nodiscard]] sim::Co<void> on_sequencer_message(GroupId gid, FlipMessage m);
+
+  // Sequencer side.
+  [[nodiscard]] sim::Co<void> sequence(GroupId gid, MemberState& ms, NodeId sender,
+                                       std::uint64_t uid, net::Payload body,
+                                       bool bb, SeqNo sender_horizon);
+  [[nodiscard]] sim::Co<void> emit_accept(GroupId gid, MemberState& ms,
+                                          const SequencedMsg& sm, bool bb);
+  [[nodiscard]] sim::Co<void> run_status_round(GroupId gid, MemberState& ms);
+  void trim_history(MemberState& ms);
+  void arm_lag_watchdog(GroupId gid);
+  void lag_watchdog_tick(GroupId gid);
+  [[nodiscard]] sim::Co<void> drain_pending(GroupId gid, MemberState& ms);
+
+  // Member side.
+  [[nodiscard]] sim::Co<void> accept(GroupId gid, MemberState& ms, SequencedMsg sm);
+  [[nodiscard]] sim::Co<void> deliver_in_order(GroupId gid, MemberState& ms);
+  void arm_gap_timer(GroupId gid);
+  void send_retry_tick(GroupId gid, std::uint64_t uid);
+
+  [[nodiscard]] net::Payload make_wire(MsgType type, GroupId gid, SeqNo seqno,
+                                       NodeId sender, std::uint64_t uid,
+                                       SeqNo horizon,
+                                       const net::Payload& body) const;
+
+  [[nodiscard]] MemberState& state(GroupId gid);
+  [[nodiscard]] const MemberState& state(GroupId gid) const;
+
+  Kernel* kernel_;
+  std::map<GroupId, MemberState> groups_;
+  std::uint64_t next_uid_ = 1;
+  std::uint64_t retreqs_ = 0;
+  std::uint64_t status_rounds_ = 0;
+  std::uint64_t bb_sends_ = 0;
+};
+
+}  // namespace amoeba

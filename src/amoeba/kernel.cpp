@@ -1,0 +1,159 @@
+#include "amoeba/kernel.h"
+
+#include <utility>
+
+#include "amoeba/flip.h"
+#include "sim/require.h"
+
+namespace amoeba {
+
+Thread::Thread(Kernel& kernel, ThreadId id, std::string name)
+    : kernel_(&kernel), id_(id), name_(std::move(name)), cv_(kernel.sim()) {}
+
+sim::Co<void> Thread::block() {
+  while (tokens_ == 0) co_await cv_.wait();
+  --tokens_;
+}
+
+sim::Co<bool> Thread::block_for(sim::Time timeout) {
+  const sim::Time deadline = kernel_->sim().now() + timeout;
+  while (tokens_ == 0) {
+    const sim::Time left = deadline - kernel_->sim().now();
+    if (left <= 0) co_return false;
+    (void)co_await cv_.wait_for(left);
+  }
+  --tokens_;
+  co_return true;
+}
+
+void Thread::unblock() {
+  ++tokens_;
+  cv_.notify_one();
+}
+
+Kernel::Kernel(sim::Simulator& s, net::Nic& nic, const CostModel& costs, NodeId node)
+    : sim_(&s), nic_(&nic), costs_(costs), node_(node), cpu_(s) {
+  flip_ = std::make_unique<Flip>(*this);
+}
+
+Kernel::~Kernel() = default;
+
+Thread& Kernel::create_thread(std::string name) {
+  const ThreadId id = (static_cast<ThreadId>(node_) << 20) | next_thread_++;
+  threads_.push_back(std::make_unique<Thread>(*this, id, std::move(name)));
+  return *threads_.back();
+}
+
+namespace {
+// The function object must outlive the coroutine it creates (a lambda
+// coroutine's frame references its closure). Holding it as a parameter of
+// this wrapper coroutine guarantees that.
+sim::Co<void> run_thread_body(std::function<sim::Co<void>(Thread&)> body,
+                              Thread& t) {
+  co_await body(t);
+}
+}  // namespace
+
+Thread& Kernel::start_thread(std::string name,
+                             std::function<sim::Co<void>(Thread&)> body) {
+  Thread& t = create_thread(std::move(name));
+  sim::spawn(run_thread_body(std::move(body), t));
+  return t;
+}
+
+sim::Co<void> Kernel::charge(sim::Prio prio, sim::Mechanism m, sim::Time cost,
+                             std::uint64_t count) {
+  ledger_.add(m, cost, count);
+  co_await cpu_.run(cost, prio);
+}
+
+sim::Co<void> Kernel::syscall_enter() {
+  co_await charge(sim::Prio::kKernel, sim::Mechanism::kSyscallCrossing,
+                  costs_.syscall_enter);
+}
+
+sim::Co<void> Kernel::syscall_return(int stack_depth) {
+  const int traps = std::min(stack_depth, costs_.register_windows);
+  co_await charge(sim::Prio::kKernel, sim::Mechanism::kSyscallCrossing,
+                  costs_.syscall_return);
+  if (traps > 0) {
+    co_await charge(sim::Prio::kKernel, sim::Mechanism::kUnderflowTrap,
+                    costs_.underflow_trap * traps,
+                    static_cast<std::uint64_t>(traps));
+  }
+}
+
+sim::Co<void> Kernel::copy_boundary(std::size_t bytes) {
+  if (bytes == 0) co_return;
+  co_await charge(sim::Prio::kKernel, sim::Mechanism::kUserKernelCopy,
+                  costs_.copy_ns_per_byte * static_cast<sim::Time>(bytes));
+}
+
+sim::Co<void> Kernel::user_flip_translation() {
+  co_await charge(sim::Prio::kKernel, sim::Mechanism::kAddressTranslation,
+                  costs_.user_flip_translation);
+}
+
+sim::Co<void> Kernel::dispatch(Thread& target) {
+  if (loaded_ctx_ == target.id()) {
+    co_await charge(sim::Prio::kKernel, sim::Mechanism::kSignal, costs_.resume_loaded);
+  } else {
+    co_await charge(sim::Prio::kKernel, sim::Mechanism::kContextSwitch,
+                    costs_.context_switch);
+  }
+  loaded_ctx_ = target.id();
+  target.unblock();
+}
+
+sim::Co<void> Kernel::dispatch_from_interrupt(Thread& target) {
+  if (loaded_ctx_ == target.id()) {
+    co_await charge(sim::Prio::kInterrupt, sim::Mechanism::kThreadSwitch,
+                    costs_.interrupt_thread_switch_loaded);
+  } else {
+    co_await charge(sim::Prio::kInterrupt, sim::Mechanism::kThreadSwitch,
+                    costs_.interrupt_thread_switch);
+  }
+  loaded_ctx_ = target.id();
+  target.unblock();
+}
+
+sim::Co<void> Kernel::signal_thread(Thread& target, int stack_depth) {
+  // The signalling thread traps into the kernel, delivers the signal, and
+  // returns through `stack_depth` underflow traps (the daemon "is using all
+  // register windows" when it enters the kernel, §4.2).
+  co_await syscall_enter();
+  co_await charge(sim::Prio::kKernel, sim::Mechanism::kSignal, costs_.signal_delivery);
+  co_await dispatch(target);
+  co_await syscall_return(stack_depth);
+}
+
+sim::Co<void> Kernel::compute(Thread& self, sim::Time amount) {
+  if (loaded_ctx_ != self.id()) {
+    // Resuming a preempted/descheduled process costs a full switch.
+    co_await charge(sim::Prio::kUser, sim::Mechanism::kContextSwitch,
+                    costs_.context_switch);
+    loaded_ctx_ = self.id();
+  }
+  std::uint64_t thread_preemptions = 0;
+  co_await cpu_.run(amount, sim::Prio::kUser, &thread_preemptions);
+  // Every time thread-level work (a daemon, the sequencer, syscall service)
+  // preempted this compute slice, the process was switched out and back in:
+  // "the overhead of preempting the Orca process ... for each incoming
+  // message" (§5).
+  if (thread_preemptions > 0) {
+    co_await charge(sim::Prio::kUser, sim::Mechanism::kContextSwitch,
+                    costs_.context_switch *
+                        static_cast<sim::Time>(thread_preemptions),
+                    thread_preemptions);
+  }
+  // The CPU may have served interrupts/daemons meanwhile; if they dispatched
+  // other threads, loaded_ctx_ reflects that and the next compute() charges
+  // the resume switch. Re-assert only if nothing intervened.
+  if (loaded_ctx_ == kNoThread) loaded_ctx_ = self.id();
+}
+
+sim::Co<void> Kernel::lock_op() {
+  co_await charge(sim::Prio::kUserHigh, sim::Mechanism::kLockOp, costs_.lock_op);
+}
+
+}  // namespace amoeba

@@ -1,0 +1,161 @@
+// The per-node Amoeba microkernel model.
+//
+// A Kernel owns the node's CPU, its cost ledger, and the FLIP network layer,
+// and provides the thread and cost-charging primitives the protocol stacks
+// are built from. Threads are kernel-level (Amoeba provides only kernel
+// threads), so signalling and blocking cross the user/kernel boundary — the
+// source of several of the paper's measured overheads.
+//
+// Context-switch accounting follows the paper's mechanism: the kernel tracks
+// which thread's register/address-space context is loaded on the CPU.
+// Dispatching a thread whose context is loaded is cheap (the kernel-space
+// RPC client resuming after a reply: "no context switches are needed since
+// no other thread was scheduled between sending the request and receiving
+// the reply"); dispatching any other thread charges a full switch (70 us, or
+// 110/60 us on the interrupt-handler-to-thread path of §4.3).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "amoeba/cost_model.h"
+#include "net/network.h"
+#include "net/nic.h"
+#include "sim/co.h"
+#include "sim/cpu.h"
+#include "sim/ledger.h"
+#include "sim/simulator.h"
+#include "sim/sync.h"
+
+namespace amoeba {
+
+using NodeId = net::NodeId;
+using ThreadId = std::uint64_t;
+inline constexpr ThreadId kNoThread = 0;
+
+class Kernel;
+class Flip;
+
+/// A kernel-scheduled thread: an identity plus a park/unpark point.
+/// Wakeups are token-counted so an unblock that races ahead of the block is
+/// not lost.
+class Thread {
+ public:
+  Thread(Kernel& kernel, ThreadId id, std::string name);
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  [[nodiscard]] ThreadId id() const noexcept { return id_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Kernel& kernel() noexcept { return *kernel_; }
+
+  /// Park until a wakeup token arrives.
+  [[nodiscard]] sim::Co<void> block();
+
+  /// Park until a wakeup token arrives or `timeout` passes.
+  /// Returns false on timeout.
+  [[nodiscard]] sim::Co<bool> block_for(sim::Time timeout);
+
+  /// Deposit a wakeup token (cost-free: callers charge dispatch costs via
+  /// Kernel::dispatch*, which call this).
+  void unblock();
+
+ private:
+  Kernel* kernel_;
+  ThreadId id_;
+  std::string name_;
+  sim::CondVar cv_;
+  int tokens_ = 0;
+};
+
+class Kernel {
+ public:
+  Kernel(sim::Simulator& s, net::Nic& nic, const CostModel& costs, NodeId node);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  [[nodiscard]] sim::Simulator& sim() noexcept { return *sim_; }
+  [[nodiscard]] net::Nic& nic() noexcept { return *nic_; }
+  [[nodiscard]] sim::Cpu& cpu() noexcept { return cpu_; }
+  [[nodiscard]] sim::Ledger& ledger() noexcept { return ledger_; }
+  [[nodiscard]] const sim::Ledger& ledger() const noexcept { return ledger_; }
+  [[nodiscard]] const CostModel& costs() const noexcept { return costs_; }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] Flip& flip() noexcept { return *flip_; }
+
+  // --- Threads -------------------------------------------------------------
+
+  /// Create a thread object (identity only; pair with spawn of its body).
+  Thread& create_thread(std::string name);
+
+  /// Create a thread and launch its body as a detached activity.
+  Thread& start_thread(std::string name,
+                       std::function<sim::Co<void>(Thread&)> body);
+
+  /// The thread whose context is currently loaded (kNoThread if none yet).
+  [[nodiscard]] ThreadId loaded_context() const noexcept { return loaded_ctx_; }
+
+  /// Record that `t` is now running (called by compute and dispatch paths).
+  void note_running(ThreadId t) noexcept { loaded_ctx_ = t; }
+
+  // --- Cost charging -------------------------------------------------------
+  // Each helper occupies the node CPU for the charged time and records the
+  // charge in the ledger.
+
+  [[nodiscard]] sim::Co<void> charge(sim::Prio prio, sim::Mechanism m, sim::Time cost,
+                                     std::uint64_t count = 1);
+
+  /// User->kernel trap (window save + crossing).
+  [[nodiscard]] sim::Co<void> syscall_enter();
+
+  /// Kernel->user return; `stack_depth` windows fault back in via underflow
+  /// traps (Amoeba restores only the topmost window).
+  [[nodiscard]] sim::Co<void> syscall_return(int stack_depth);
+
+  /// Copy `bytes` across the user/kernel boundary.
+  [[nodiscard]] sim::Co<void> copy_boundary(std::size_t bytes);
+
+  /// The untuned user-level FLIP interface's address-translation cost.
+  [[nodiscard]] sim::Co<void> user_flip_translation();
+
+  /// Dispatch `target` from ordinary (thread) context: charges a full
+  /// context switch unless target's context is loaded, then wakes it.
+  [[nodiscard]] sim::Co<void> dispatch(Thread& target);
+
+  /// Dispatch `target` from an interrupt handler (§4.3's 110/60 us path).
+  [[nodiscard]] sim::Co<void> dispatch_from_interrupt(Thread& target);
+
+  /// Signal another thread from user code: kernel-mediated (syscall +
+  /// signal delivery + return traps) followed by a dispatch. This is the
+  /// "about 50 us" crossing+trap bundle of §4.2 plus the switch proper.
+  [[nodiscard]] sim::Co<void> signal_thread(Thread& target, int stack_depth);
+
+  /// Application compute: occupies the CPU at kUser priority, preemptible by
+  /// interrupts and daemon threads. Charges a context switch first if some
+  /// other thread's context is loaded (the resumption of a preempted
+  /// process).
+  [[nodiscard]] sim::Co<void> compute(Thread& self, sim::Time amount);
+
+  /// Charge an uncontended user-space lock operation.
+  [[nodiscard]] sim::Co<void> lock_op();
+
+ private:
+  sim::Simulator* sim_;
+  net::Nic* nic_;
+  CostModel costs_;
+  NodeId node_;
+  sim::Cpu cpu_;
+  sim::Ledger ledger_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::uint64_t next_thread_ = 1;
+  ThreadId loaded_ctx_ = kNoThread;
+  std::unique_ptr<Flip> flip_;
+};
+
+}  // namespace amoeba

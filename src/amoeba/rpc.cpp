@@ -1,0 +1,260 @@
+#include "amoeba/rpc.h"
+
+#include <utility>
+
+#include "sim/require.h"
+
+namespace amoeba {
+
+namespace {
+
+/// The client-side RPC endpoint of a node's kernel (replies arrive here).
+[[nodiscard]] constexpr FlipAddr rpc_client_addr(NodeId node) noexcept {
+  return 0x00A1'0000'0000'0000ULL | node;
+}
+
+}  // namespace
+
+net::Payload KernelRpc::make_header(MsgType type, std::uint32_t trans_id,
+                                    ServiceId svc, const net::Payload& body) const {
+  net::Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u32(trans_id);
+  w.u32(kernel_->node());
+  w.u32(svc);
+  // Pad the protocol header to Amoeba's 56 bytes (§4.2: "56 bytes").
+  w.zeros(kernel_->costs().amoeba_rpc_header - w.size());
+  w.payload(body);
+  return w.take();
+}
+
+void KernelRpc::ensure_client_endpoint() {
+  if (client_endpoint_ready_) return;
+  client_endpoint_ready_ = true;
+  kernel_->flip().register_endpoint(
+      rpc_client_addr(kernel_->node()),
+      [this](FlipMessage m) -> sim::Co<void> { co_await on_message(std::move(m)); });
+}
+
+void KernelRpc::ensure_service_endpoint(ServiceId svc) {
+  if (services_.contains(svc)) return;
+  services_.emplace(svc, Service{});
+  kernel_->flip().register_endpoint(
+      service_flip_addr(svc),
+      [this](FlipMessage m) -> sim::Co<void> { co_await on_message(std::move(m)); });
+}
+
+sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
+                                    net::Payload request) {
+  ensure_client_endpoint();
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->syscall_enter();
+  co_await kernel_->copy_boundary(request.size());
+  co_await kernel_->charge(sim::Prio::kKernel, sim::Mechanism::kProtocolProcessing,
+                           c.rpc_protocol_processing);
+
+  const std::uint32_t trans_id = next_trans_++;
+  auto call = std::make_unique<ClientCall>();
+  call->thread = &self;
+  call->wire = make_header(MsgType::kRequest, trans_id, svc, request);
+  call->dst = service_flip_addr(svc);
+  call->timer = std::make_unique<sim::Timer>(kernel_->sim());
+  ClientCall* raw = call.get();
+  calls_.emplace(trans_id, std::move(call));
+
+  ++raw->sends;
+  co_await kernel_->flip().unicast(raw->dst, raw->wire, sim::Prio::kKernel);
+  raw->timer->schedule(c.rpc_retransmit_interval,
+                       [this, trans_id] { retransmit_tick(trans_id); });
+
+  while (!raw->done) co_await self.block();
+
+  RpcResult result(raw->status, std::move(raw->reply));
+  calls_.erase(trans_id);
+  co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
+  co_return result;
+}
+
+void KernelRpc::retransmit_tick(std::uint32_t trans_id) {
+  const auto it = calls_.find(trans_id);
+  if (it == calls_.end() || it->second->done) return;
+  ClientCall& call = *it->second;
+  const CostModel& c = kernel_->costs();
+  if (call.sends > c.rpc_max_retransmits) {
+    call.done = true;
+    call.status = RpcStatus::kTimeout;
+    call.thread->unblock();
+    return;
+  }
+  ++call.sends;
+  ++retransmits_;
+  sim::spawn(kernel_->flip().unicast(call.dst, call.wire, sim::Prio::kKernel));
+  call.timer->schedule(c.rpc_retransmit_interval,
+                       [this, trans_id] { retransmit_tick(trans_id); });
+}
+
+sim::Co<RpcRequestHandle> KernelRpc::get_request(Thread& self, ServiceId svc) {
+  ensure_service_endpoint(svc);
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->syscall_enter();
+  Service& service = services_[svc];
+  while (service.pending.empty()) {
+    service.waiting.push_back(&self);
+    co_await self.block();
+  }
+  PendingRequest req = std::move(service.pending.front());
+  service.pending.pop_front();
+  co_await kernel_->copy_boundary(req.payload.size());
+  co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
+  co_return RpcRequestHandle(req.client, req.trans_id, svc, std::move(req.payload),
+                             self.id());
+}
+
+sim::Co<void> KernelRpc::put_reply(Thread& self, const RpcRequestHandle& req,
+                                   net::Payload reply) {
+  sim::require(self.id() == req.server_thread,
+               "Amoeba RPC: put_reply must be issued by the thread that called "
+               "get_request");
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->syscall_enter();
+  co_await kernel_->copy_boundary(reply.size());
+  co_await kernel_->charge(sim::Prio::kKernel, sim::Mechanism::kProtocolProcessing,
+                           c.rpc_protocol_processing);
+
+  const ServedKey key{req.client, req.trans_id};
+  auto& entry = served_[key];
+  entry.replied = true;
+  entry.service = req.service;
+  entry.cached_reply = make_header(MsgType::kReply, req.trans_id, req.service, reply);
+  entry.expires = kernel_->sim().now() + c.reply_cache_ttl;
+  if (!gc_timer_.pending()) {
+    gc_timer_.schedule(c.reply_cache_ttl, [this] { gc_served(); });
+  }
+  ++served_count_;
+
+  co_await kernel_->flip().unicast(rpc_client_addr(req.client), entry.cached_reply,
+                                   sim::Prio::kKernel);
+  co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
+}
+
+sim::Co<void> KernelRpc::on_message(FlipMessage m) {
+  net::Reader r(m.payload);
+  const auto type = static_cast<MsgType>(r.u8());
+  const std::uint32_t trans_id = r.u32();
+  const NodeId peer = r.u32();
+  const ServiceId svc = r.u32();
+  net::Payload body =
+      m.payload.slice(kernel_->costs().amoeba_rpc_header,
+                      m.payload.size() - kernel_->costs().amoeba_rpc_header);
+  switch (type) {
+    case MsgType::kRequest:
+      co_await on_request(peer, trans_id, svc, std::move(body));
+      break;
+    case MsgType::kReply:
+      co_await on_reply(trans_id, svc, std::move(body));
+      break;
+    case MsgType::kAck:
+      on_ack(peer, trans_id);
+      break;
+    case MsgType::kServerBusy: {
+      // The server is alive and still working: keep retransmitting (as a
+      // liveness probe) but never give up on this transaction.
+      const auto it = calls_.find(trans_id);
+      if (it != calls_.end() && !it->second->done) it->second->sends = 1;
+      break;
+    }
+  }
+}
+
+sim::Co<void> KernelRpc::on_request(NodeId client, std::uint32_t trans_id,
+                                    ServiceId svc, net::Payload payload) {
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->charge(sim::Prio::kInterrupt,
+                           sim::Mechanism::kProtocolProcessing,
+                           c.rpc_protocol_processing);
+  const ServedKey key{client, trans_id};
+  if (const auto it = served_.find(key); it != served_.end()) {
+    if (it->second.replied) {
+      // Client missed the reply: resend the cached one.
+      ++retransmits_;
+      co_await kernel_->flip().unicast(rpc_client_addr(client),
+                                       it->second.cached_reply,
+                                       sim::Prio::kKernel);
+    } else {
+      ++dup_dropped_;
+      // Still being served (e.g. a long-blocking guarded operation): tell
+      // the client we are alive so it does not abort the transaction.
+      net::Payload busy =
+          make_header(MsgType::kServerBusy, trans_id, svc, net::Payload());
+      sim::spawn(kernel_->flip().unicast(rpc_client_addr(client), std::move(busy),
+                                         sim::Prio::kKernel));
+    }
+    co_return;
+  }
+  auto service_it = services_.find(svc);
+  if (service_it == services_.end()) co_return;  // nobody serves this here
+
+  served_[key].replied = false;
+  served_[key].expires = kernel_->sim().now() + c.reply_cache_ttl;
+  if (!gc_timer_.pending()) {
+    gc_timer_.schedule(c.reply_cache_ttl, [this] { gc_served(); });
+  }
+  Service& service = service_it->second;
+  service.pending.emplace_back(client, trans_id, std::move(payload));
+  if (!service.waiting.empty()) {
+    Thread* server = service.waiting.front();
+    service.waiting.pop_front();
+    // "At the server machine both ... implementations cause one context
+    //  switch and two address space crossings."
+    co_await kernel_->dispatch(*server);
+  }
+}
+
+sim::Co<void> KernelRpc::on_reply(std::uint32_t trans_id, ServiceId svc,
+                                  net::Payload payload) {
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->charge(sim::Prio::kInterrupt,
+                           sim::Mechanism::kProtocolProcessing,
+                           c.rpc_protocol_processing);
+  const auto it = calls_.find(trans_id);
+  if (it != calls_.end() && !it->second->done) {
+    ClientCall& call = *it->second;
+    call.timer->cancel();
+    call.done = true;
+    call.status = RpcStatus::kOk;
+    call.reply = std::move(payload);
+    // "Amoeba immediately delivers the reply message to the blocked client
+    //  thread; no context switches are needed since no other thread was
+    //  scheduled between sending the request and receiving the reply."
+    co_await kernel_->copy_boundary(call.reply.size());
+    co_await kernel_->dispatch(*call.thread);
+  }
+  // Third leg of the 3-way protocol: the explicit acknowledgement, sent to
+  // the server's service endpoint (off the client's critical path).
+  net::Payload ack = make_header(MsgType::kAck, trans_id, svc, net::Payload());
+  sim::spawn(kernel_->flip().unicast(service_flip_addr(svc), std::move(ack),
+                                     sim::Prio::kKernel));
+}
+
+void KernelRpc::on_ack(NodeId client, std::uint32_t trans_id) {
+  served_.erase(ServedKey{client, trans_id});
+}
+
+void KernelRpc::gc_served() {
+  const sim::Time now = kernel_->sim().now();
+  for (auto it = served_.begin(); it != served_.end();) {
+    // Only *completed* transactions age out; an in-progress one (e.g. a
+    // guarded Orca operation parked as a continuation) must keep its
+    // duplicate suppression no matter how long it blocks.
+    if (it->second.replied && it->second.expires <= now) {
+      it = served_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (!served_.empty()) {
+    gc_timer_.schedule(kernel_->costs().reply_cache_ttl / 2, [this] { gc_served(); });
+  }
+}
+
+}  // namespace amoeba

@@ -1,0 +1,163 @@
+// Amoeba's kernel-space RPC: the 3-way protocol (§2, §4.2).
+//
+// The client's `trans` traps into the kernel and blocks; the kernel sends the
+// request, retransmits it on a timer, and on reply arrival "immediately
+// delivers the reply message to the blocked client thread" and sends an
+// explicit acknowledgement (the third message — Panda's 2-way protocol
+// piggybacks this ack instead). Servers call `get_request` to wait for work
+// and must send the reply from the *same thread* via `put_reply` — the
+// restriction that forces the kernel-space Panda binding to re-introduce a
+// context switch for blocked guarded Orca operations.
+//
+// At-most-once semantics: the server keeps a per-(client, transaction) table;
+// duplicate requests of an in-progress transaction are dropped, duplicates of
+// a completed one re-send the cached reply. The client's explicit ack (or a
+// TTL) clears the cache.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "amoeba/flip.h"
+#include "amoeba/kernel.h"
+#include "net/buffer.h"
+#include "sim/co.h"
+#include "sim/timer.h"
+
+namespace amoeba {
+
+/// A service ("port" in Amoeba terms): location independent; FLIP finds the
+/// node currently serving it.
+using ServiceId = std::uint32_t;
+
+[[nodiscard]] constexpr FlipAddr service_flip_addr(ServiceId svc) noexcept {
+  return 0x00A0'0000'0000'0000ULL | svc;
+}
+
+enum class RpcStatus : std::uint8_t { kOk, kTimeout };
+
+struct RpcResult {
+  RpcResult() = default;
+  RpcResult(RpcStatus s, net::Payload r) : status(s), reply(std::move(r)) {}
+  RpcStatus status = RpcStatus::kTimeout;
+  net::Payload reply;
+};
+
+/// What get_request hands the server thread. put_reply must be called by the
+/// same thread that received the handle.
+struct RpcRequestHandle {
+  RpcRequestHandle() = default;
+  RpcRequestHandle(NodeId c, std::uint32_t t, ServiceId s, net::Payload p,
+                   ThreadId owner)
+      : client(c), trans_id(t), service(s), payload(std::move(p)),
+        server_thread(owner) {}
+  NodeId client = 0;
+  std::uint32_t trans_id = 0;
+  ServiceId service = 0;
+  net::Payload payload;
+  ThreadId server_thread = kNoThread;
+};
+
+class KernelRpc {
+ public:
+  explicit KernelRpc(Kernel& kernel) : kernel_(&kernel) {}
+
+  KernelRpc(const KernelRpc&) = delete;
+  KernelRpc& operator=(const KernelRpc&) = delete;
+
+  /// Client: perform a transaction (request out, block, reply back).
+  [[nodiscard]] sim::Co<RpcResult> trans(Thread& self, ServiceId svc,
+                                         net::Payload request);
+
+  /// Server: block until a request for `svc` arrives. The first call
+  /// registers this node as the server for `svc`.
+  [[nodiscard]] sim::Co<RpcRequestHandle> get_request(Thread& self, ServiceId svc);
+
+  /// Server: reply to a request. Must be called from the thread that issued
+  /// the matching get_request (Amoeba kernel restriction).
+  [[nodiscard]] sim::Co<void> put_reply(Thread& self, const RpcRequestHandle& req,
+                                        net::Payload reply);
+
+  [[nodiscard]] std::uint64_t requests_served() const noexcept { return served_count_; }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept { return retransmits_; }
+  [[nodiscard]] std::uint64_t duplicates_dropped() const noexcept { return dup_dropped_; }
+
+ private:
+  enum class MsgType : std::uint8_t {
+    kRequest = 1,
+    kReply = 2,
+    kAck = 3,
+    kServerBusy = 4,  // keepalive: request received, reply pending
+  };
+
+  struct ClientCall {
+    Thread* thread = nullptr;
+    bool done = false;
+    RpcStatus status = RpcStatus::kTimeout;
+    net::Payload reply;
+    net::Payload wire;  // serialized request, kept for retransmission
+    FlipAddr dst = kNoFlipAddr;
+    std::unique_ptr<sim::Timer> timer;
+    int sends = 0;
+  };
+
+  struct PendingRequest {
+    PendingRequest() = default;
+    PendingRequest(NodeId c, std::uint32_t t, net::Payload p)
+        : client(c), trans_id(t), payload(std::move(p)) {}
+    NodeId client = 0;
+    std::uint32_t trans_id = 0;
+    net::Payload payload;
+  };
+
+  struct Service {
+    std::deque<PendingRequest> pending;
+    std::deque<Thread*> waiting;
+  };
+
+  struct ServedKey {
+    NodeId client;
+    std::uint32_t trans_id;
+    bool operator<(const ServedKey& o) const noexcept {
+      return client != o.client ? client < o.client : trans_id < o.trans_id;
+    }
+  };
+  struct ServedEntry {
+    bool replied = false;
+    ServiceId service = 0;
+    net::Payload cached_reply;  // valid once replied
+    sim::Time expires = 0;
+  };
+
+  [[nodiscard]] sim::Co<void> on_message(FlipMessage m);
+  [[nodiscard]] sim::Co<void> on_request(NodeId client, std::uint32_t trans_id,
+                                         ServiceId svc, net::Payload payload);
+  [[nodiscard]] sim::Co<void> on_reply(std::uint32_t trans_id, ServiceId svc,
+                                       net::Payload payload);
+  void on_ack(NodeId client, std::uint32_t trans_id);
+
+  void ensure_client_endpoint();
+  void ensure_service_endpoint(ServiceId svc);
+  void retransmit_tick(std::uint32_t trans_id);
+  void gc_served();
+
+  [[nodiscard]] net::Payload make_header(MsgType type, std::uint32_t trans_id,
+                                         ServiceId svc,
+                                         const net::Payload& body) const;
+
+  Kernel* kernel_;
+  bool client_endpoint_ready_ = false;
+  std::uint32_t next_trans_ = 1;
+  std::unordered_map<std::uint32_t, std::unique_ptr<ClientCall>> calls_;
+  std::unordered_map<ServiceId, Service> services_;
+  std::map<ServedKey, ServedEntry> served_;
+  sim::Timer gc_timer_{kernel_->sim()};
+  std::uint64_t served_count_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t dup_dropped_ = 0;
+};
+
+}  // namespace amoeba

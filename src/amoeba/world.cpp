@@ -1,0 +1,32 @@
+#include "amoeba/world.h"
+
+#include "sim/require.h"
+
+namespace amoeba {
+
+World::World(WorldConfig config)
+    : config_(config), sim_(config.seed), network_(sim_, config.network) {}
+
+Kernel& World::add_node() {
+  const NodeId id = network_.add_node();
+  kernels_.push_back(
+      std::make_unique<Kernel>(sim_, network_.nic(id), config_.costs, id));
+  return *kernels_.back();
+}
+
+void World::add_nodes(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) (void)add_node();
+}
+
+Kernel& World::kernel(NodeId id) {
+  sim::require(id < kernels_.size(), "World::kernel: unknown node");
+  return *kernels_[id];
+}
+
+sim::Ledger World::aggregate_ledger() const {
+  sim::Ledger total;
+  for (const auto& k : kernels_) total += k->ledger();
+  return total;
+}
+
+}  // namespace amoeba

@@ -1,0 +1,52 @@
+// A processor pool: simulator + network topology + one Amoeba kernel per
+// node. This is the substrate every protocol test, benchmark and application
+// run builds on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "amoeba/cost_model.h"
+#include "amoeba/kernel.h"
+#include "net/network.h"
+#include "sim/ledger.h"
+#include "sim/simulator.h"
+
+namespace amoeba {
+
+struct WorldConfig {
+  net::NetworkConfig network;
+  CostModel costs;
+  std::uint64_t seed = 42;
+};
+
+class World {
+ public:
+  explicit World(WorldConfig config = {});
+
+  World(const World&) = delete;
+  World& operator=(const World&) = delete;
+
+  /// Boot a node: NIC on the pool topology plus a kernel.
+  Kernel& add_node();
+
+  /// Boot `n` nodes at once.
+  void add_nodes(std::size_t n);
+
+  [[nodiscard]] Kernel& kernel(NodeId id);
+  [[nodiscard]] std::size_t node_count() const noexcept { return kernels_.size(); }
+  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  [[nodiscard]] net::Network& network() noexcept { return network_; }
+  [[nodiscard]] const CostModel& costs() const noexcept { return config_.costs; }
+
+  /// Sum of all per-node mechanism ledgers.
+  [[nodiscard]] sim::Ledger aggregate_ledger() const;
+
+ private:
+  WorldConfig config_;
+  sim::Simulator sim_;
+  net::Network network_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+};
+
+}  // namespace amoeba

@@ -1,0 +1,224 @@
+#include "apps/ab.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "sim/require.h"
+
+namespace apps {
+
+namespace {
+
+using orca::ObjectHints;
+using orca::ObjectState;
+using orca::OpDef;
+using orca::TypeRegistry;
+
+constexpr int kInfScore = 1 << 20;
+
+/// Deterministic synthetic game tree: a node is identified by the hash of
+/// its path; leaves evaluate to a pseudo-random score.
+struct Tree {
+  int depth;
+  int branching;
+  std::uint64_t seed;
+
+  [[nodiscard]] int leaf_value(std::uint64_t node) const {
+    return static_cast<int>(mix64(node ^ seed) % 2001) - 1000;
+  }
+  [[nodiscard]] std::uint64_t child(std::uint64_t node, int i) const {
+    return mix64(node * 31 + static_cast<std::uint64_t>(i) + 1);
+  }
+};
+
+/// Negamax alpha-beta. Counts visited nodes.
+int alphabeta(const Tree& t, std::uint64_t node, int depth, int alpha, int beta,
+              std::uint64_t& nodes) {
+  ++nodes;
+  if (depth == 0) return t.leaf_value(node);
+  int best = -kInfScore;
+  for (int i = 0; i < t.branching; ++i) {
+    const int v =
+        -alphabeta(t, t.child(node, i), depth - 1, -beta, -alpha, nodes);
+    best = std::max(best, v);
+    alpha = std::max(alpha, v);
+    if (alpha >= beta) break;
+  }
+  return best;
+}
+
+// --- Orca objects ------------------------------------------------------------
+
+struct JobsState final : ObjectState {
+  std::deque<int> moves;
+};
+
+struct ScoreState final : ObjectState {
+  int best = -kInfScore;
+  int best_move = -1;
+};
+
+struct AbTypes {
+  orca::TypeId jobs = 0;
+  orca::TypeId score = 0;
+  orca::OpId get_move = 0;
+  orca::OpId read_score = 0;
+  orca::OpId offer_score = 0;
+};
+
+AbTypes register_types(TypeRegistry& reg) {
+  AbTypes t;
+  orca::ObjectType jobs("ab-jobs", [](const net::Payload& init) {
+    auto s = std::make_unique<JobsState>();
+    net::Reader r(init);
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) s->moves.push_back(r.i32());
+    return s;
+  });
+  t.get_move = jobs.add_operation(OpDef{
+      .name = "get_move",
+      .is_write = true,
+      .guard = nullptr,
+      .apply =
+          [](ObjectState& s, const net::Payload&) {
+            auto& q = static_cast<JobsState&>(s);
+            net::Writer w;
+            if (q.moves.empty()) {
+              w.i32(-1);
+            } else {
+              w.i32(q.moves.front());
+              q.moves.pop_front();
+            }
+            return w.take();
+          },
+      .cost = sim::usec(10)});
+  t.jobs = reg.register_type(std::move(jobs));
+
+  orca::ObjectType score("ab-score", [](const net::Payload&) {
+    return std::make_unique<ScoreState>();
+  });
+  t.read_score = score.add_operation(OpDef{
+      .name = "read",
+      .is_write = false,
+      .guard = nullptr,
+      .apply =
+          [](ObjectState& s, const net::Payload&) {
+            auto& sc = static_cast<ScoreState&>(s);
+            net::Writer w;
+            w.i32(sc.best);
+            w.i32(sc.best_move);
+            return w.take();
+          },
+      .cost = 0});
+  t.offer_score = score.add_operation(OpDef{
+      .name = "offer",
+      .is_write = true,
+      .guard = nullptr,
+      .apply =
+          [](ObjectState& s, const net::Payload& args) {
+            auto& sc = static_cast<ScoreState&>(s);
+            net::Reader r(args);
+            const int v = r.i32();
+            const int move = r.i32();
+            if (v > sc.best) {
+              sc.best = v;
+              sc.best_move = move;
+            }
+            net::Writer w;
+            w.i32(sc.best);
+            w.i32(sc.best_move);
+            return w.take();
+          },
+      .cost = sim::usec(5)});
+  t.score = reg.register_type(std::move(score));
+  return t;
+}
+
+}  // namespace
+
+AbResult ab_reference(const AbParams& params) {
+  const Tree tree{params.depth, params.branching, params.instance_seed};
+  AbResult r;
+  int alpha = -kInfScore;
+  for (int move = 0; move < params.root_moves; ++move) {
+    const std::uint64_t subtree = mix64(0xAB00 + move);
+    const int v = -alphabeta(tree, subtree, params.depth, -kInfScore, -alpha,
+                             r.nodes_visited);
+    if (v > r.best_score || r.best_move < 0) {
+      r.best_score = v;
+      r.best_move = move;
+      alpha = std::max(alpha, v);
+    }
+  }
+  return r;
+}
+
+AbResult run_ab(const AbParams& params) {
+  TypeRegistry registry;
+  const AbTypes types = register_types(registry);
+  Cluster cluster(params.run, registry);
+  const Tree tree{params.depth, params.branching, params.instance_seed};
+
+  ObjHandle jobs;
+  ObjHandle score;
+  const auto setup = [&](Process& p) -> sim::Co<void> {
+    net::Writer jinit;
+    jinit.u32(static_cast<std::uint32_t>(params.root_moves));
+    for (int m = 0; m < params.root_moves; ++m) jinit.i32(m);
+    jobs = co_await p.rts().create_object(
+        p.thread(), types.jobs, jinit.take(),
+        ObjectHints{.expected_read_fraction = 0.0});
+    score = co_await p.rts().create_object(
+        p.thread(), types.score, net::Payload(),
+        ObjectHints{.expected_read_fraction = 0.95});
+  };
+
+  std::uint64_t total_nodes = 0;
+  int best_score = -kInfScore;
+  int best_move = -1;
+
+  const auto worker = [&](Process& p, std::size_t, std::size_t) -> sim::Co<void> {
+    for (;;) {
+      net::Payload mp = co_await p.invoke(jobs, types.get_move);
+      net::Reader mr(mp);
+      const int move = mr.i32();
+      if (move < 0) break;
+      // Read the global alpha from the local replica (possibly stale:
+      // this is the source of parallel search overhead).
+      net::Payload sp = co_await p.invoke(score, types.read_score);
+      net::Reader sr(sp);
+      const int alpha = sr.i32();
+      std::uint64_t nodes = 0;
+      const std::uint64_t subtree = mix64(0xAB00 + move);
+      const int v = -alphabeta(tree, subtree, params.depth, -kInfScore, -alpha,
+                               nodes);
+      total_nodes += nodes;
+      co_await p.work(params.work_per_node * static_cast<sim::Time>(nodes));
+      if (v > alpha) {
+        net::Writer w;
+        w.i32(v);
+        w.i32(move);
+        net::Payload res = co_await p.invoke(score, types.offer_score, w.take());
+        net::Reader rr(res);
+        // Offer results are monotone in total order; keep the maximum seen.
+        const int cur = rr.i32();
+        const int cur_move = rr.i32();
+        if (cur > best_score) {
+          best_score = cur;
+          best_move = cur_move;
+        }
+      }
+    }
+  };
+
+  AbResult result;
+  result.elapsed = cluster.run(setup, worker);
+  result.nodes_visited = total_nodes;
+  result.best_score = best_score;
+  result.best_move = best_move;
+  result.stats = cluster.stats();
+  return result;
+}
+
+}  // namespace apps

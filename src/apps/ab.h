@@ -1,0 +1,45 @@
+// Alpha-Beta game-tree search (§5).
+//
+// "The Alpha-Beta Search program has also been written in a coarse-grained
+//  style and does not communicate a lot. The poor speedups are caused by the
+//  search overhead the parallel algorithm incurs; efficient pruning in
+//  parallel search is a known hard problem."
+//
+// Workers take root moves from a central job queue and search their subtrees
+// with negamax alpha-beta. The best root score so far is a replicated object:
+// workers read it locally as their alpha and broadcast improvements. Search
+// overhead arises naturally — a worker starting a subtree with a stale alpha
+// prunes less than the sequential left-to-right search would.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.h"
+
+namespace apps {
+
+struct AbParams {
+  RunConfig run;
+  int root_moves = 24;
+  int depth = 6;       // plies below the root move
+  int branching = 8;   // internal branching factor
+  std::uint64_t instance_seed = 9;
+  /// Simulated CPU per visited tree node.
+  sim::Time work_per_node = sim::usec(1860);
+};
+
+struct AbResult {
+  sim::Time elapsed = 0;
+  int best_score = 0;
+  int best_move = -1;
+  std::uint64_t nodes_visited = 0;   // across all workers (search overhead!)
+  ClusterStats stats;
+};
+
+/// Sequential alpha-beta over the same tree (verification + overhead
+/// baseline).
+[[nodiscard]] AbResult ab_reference(const AbParams& params);
+
+[[nodiscard]] AbResult run_ab(const AbParams& params);
+
+}  // namespace apps

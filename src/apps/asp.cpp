@@ -1,0 +1,191 @@
+#include "apps/asp.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "sim/require.h"
+
+namespace apps {
+
+namespace {
+
+using orca::ObjectHints;
+using orca::ObjectState;
+using orca::OpDef;
+using orca::TypeRegistry;
+
+constexpr int kInf = 1 << 28;
+
+std::vector<std::vector<int>> make_graph(int n, std::uint64_t seed) {
+  // Sparse-ish random digraph: ~8 out-edges per vertex plus a ring for
+  // connectivity.
+  std::vector<std::vector<int>> d(n, std::vector<int>(n, kInf));
+  for (int i = 0; i < n; ++i) {
+    d[i][i] = 0;
+    d[i][(i + 1) % n] = 1 + static_cast<int>(mix64(seed ^ i) % 16);
+    for (int e = 0; e < 8; ++e) {
+      const auto h = mix64(seed ^ (static_cast<std::uint64_t>(i) << 20 | e));
+      const int j = static_cast<int>(h % n);
+      if (j != i) d[i][j] = std::min(d[i][j], 1 + static_cast<int>(h >> 32 & 63));
+    }
+  }
+  return d;
+}
+
+std::uint64_t checksum(const std::vector<std::vector<int>>& d) {
+  std::uint64_t sum = 0;
+  for (const auto& row : d) {
+    for (const int v : row) sum = sum * 1099511628211ULL + static_cast<unsigned>(v);
+  }
+  return sum;
+}
+
+/// The replicated pivot-row board: rows published so far (a sliding window;
+/// consumers only ever wait for the current iteration's row).
+struct BoardState final : ObjectState {
+  std::map<int, std::vector<int>> rows;
+};
+
+struct AspTypes {
+  orca::TypeId board = 0;
+  orca::OpId publish = 0;   // write: add row k
+  orca::OpId await_row = 0; // guarded read: block until row k present
+};
+
+AspTypes register_types(TypeRegistry& reg) {
+  AspTypes t;
+  orca::ObjectType board("asp-board", [](const net::Payload&) {
+    return std::make_unique<BoardState>();
+  });
+  t.publish = board.add_operation(OpDef{
+      .name = "publish",
+      .is_write = true,
+      .guard = nullptr,
+      .apply =
+          [](ObjectState& s, const net::Payload& args) {
+            auto& b = static_cast<BoardState&>(s);
+            net::Reader r(args);
+            const int k = r.i32();
+            const std::uint32_t len = r.u32();
+            std::vector<int> row(len);
+            for (auto& v : row) v = r.i32();
+            b.rows.emplace(k, std::move(row));
+            // Old rows are dead; keep a window generous enough for any
+            // worker lag (workers self-synchronize through the guard, so the
+            // lag is bounded by the compute pipeline depth).
+            while (b.rows.size() > 40) b.rows.erase(b.rows.begin());
+            return net::Payload();
+          },
+      .cost = sim::usec(40)});
+  t.await_row = board.add_operation(OpDef{
+      .name = "await_row",
+      .is_write = false,
+      .guard =
+          [](const ObjectState& s, const net::Payload& args) {
+            net::Reader r(args);
+            return static_cast<const BoardState&>(s).rows.contains(r.i32());
+          },
+      .apply =
+          [](ObjectState& s, const net::Payload& args) {
+            auto& b = static_cast<BoardState&>(s);
+            net::Reader r(args);
+            const int k = r.i32();
+            sim::require(b.rows.contains(k), "asp: pivot row evicted too early");
+            const auto& row = b.rows.at(k);
+            net::Writer w;
+            w.u32(static_cast<std::uint32_t>(row.size()));
+            for (const int v : row) w.i32(v);
+            return w.take();
+          },
+      .cost = sim::usec(20)});
+  t.board = reg.register_type(std::move(board));
+  return t;
+}
+
+}  // namespace
+
+std::uint64_t asp_reference(int n, std::uint64_t seed) {
+  auto d = make_graph(n, seed);
+  for (int k = 0; k < n; ++k) {
+    for (int i = 0; i < n; ++i) {
+      const int dik = d[i][k];
+      if (dik >= kInf) continue;
+      for (int j = 0; j < n; ++j) {
+        d[i][j] = std::min(d[i][j], dik + d[k][j]);
+      }
+    }
+  }
+  return checksum(d);
+}
+
+AspResult run_asp(const AspParams& params) {
+  TypeRegistry registry;
+  const AspTypes types = register_types(registry);
+  Cluster cluster(params.run, registry);
+  const int n = params.n;
+  const std::size_t workers = cluster.workers();
+
+  // Row-block partition. Worker w owns rows [lo(w), hi(w)).
+  const auto lo = [&](std::size_t w) { return static_cast<int>(w * n / workers); };
+  const auto hi = [&](std::size_t w) {
+    return static_cast<int>((w + 1) * n / workers);
+  };
+
+  // Host-side matrix, row-partitioned: each worker touches only its rows,
+  // except through published pivot rows (which travel through the object).
+  auto matrix = make_graph(n, params.instance_seed);
+
+  ObjHandle board;
+  const auto setup = [&](Process& p) -> sim::Co<void> {
+    board = co_await p.rts().create_object(
+        p.thread(), types.board, net::Payload(),
+        ObjectHints{.expected_read_fraction = 0.9});
+  };
+
+  const auto worker = [&](Process& p, std::size_t w, std::size_t) -> sim::Co<void> {
+    for (int k = 0; k < n; ++k) {
+      // The owner of row k publishes it (a ~3.1 KB group message).
+      if (k >= lo(w) && k < hi(w)) {
+        net::Writer pub;
+        pub.i32(k);
+        pub.u32(static_cast<std::uint32_t>(n));
+        for (int j = 0; j < n; ++j) pub.i32(matrix[k][j]);
+        (void)co_await p.invoke(board, types.publish, pub.take());
+      }
+      // Everyone waits for the pivot row, then relaxes its block.
+      net::Writer ask;
+      ask.i32(k);
+      net::Payload rp = co_await p.invoke(board, types.await_row, ask.take());
+      net::Reader rr(rp);
+      const std::uint32_t len = rr.u32();
+      sim::require(len == static_cast<std::uint32_t>(n), "asp: bad row");
+      std::vector<int> pivot(n);
+      for (auto& v : pivot) v = rr.i32();
+
+      std::uint64_t relaxations = 0;
+      for (int i = lo(w); i < hi(w); ++i) {
+        const int dik = matrix[i][k];
+        if (dik >= kInf) continue;
+        auto& row = matrix[i];
+        for (int j = 0; j < n; ++j) {
+          row[j] = std::min(row[j], dik + pivot[j]);
+        }
+        relaxations += static_cast<std::uint64_t>(n);
+      }
+      co_await p.work(params.work_per_cell *
+                      static_cast<sim::Time>(n) *
+                      static_cast<sim::Time>(hi(w) - lo(w)));
+      (void)relaxations;
+    }
+  };
+
+  AspResult result;
+  result.elapsed = cluster.run(setup, worker);
+  result.checksum = checksum(matrix);
+  result.group_messages = cluster.stats().group_writes;
+  result.stats = cluster.stats();
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,38 @@
+// All-pairs Shortest Paths (§5): row-parallel Floyd-Warshall.
+//
+// "the program sends 768 group messages to coordinate an iterative process
+//  ... each group message of 3200 bytes incurs about 5 ms" — an n=768
+// instance where, in iteration k, the owner of row k broadcasts it (a
+// totally-ordered write on a replicated pivot-row object) and every worker
+// relaxes its own block of rows against it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace apps {
+
+struct AspParams {
+  RunConfig run;
+  int n = 768;
+  std::uint64_t instance_seed = 5;
+  /// Simulated CPU per relaxation (calibrated to Table 3's single-processor
+  /// 213 s: n^3 relaxations).
+  sim::Time work_per_cell = sim::nsec(470);
+};
+
+struct AspResult {
+  sim::Time elapsed = 0;
+  std::uint64_t checksum = 0;  // sum of all shortest distances
+  std::uint64_t group_messages = 0;
+  ClusterStats stats;
+};
+
+/// Sequential Floyd-Warshall checksum for verification.
+[[nodiscard]] std::uint64_t asp_reference(int n, std::uint64_t seed);
+
+[[nodiscard]] AspResult run_asp(const AspParams& params);
+
+}  // namespace apps

@@ -1,0 +1,76 @@
+#include "apps/common.h"
+
+#include "sim/require.h"
+
+namespace apps {
+
+Cluster::Cluster(const RunConfig& config, const orca::TypeRegistry& registry)
+    : config_(config) {
+  sim::require(config.processors >= 1, "Cluster: need at least one processor");
+  sim::require(!config.dedicated_sequencer || config.processors >= 2,
+               "Cluster: a dedicated sequencer needs a second processor");
+  workers_ = config.dedicated_sequencer ? config.processors - 1 : config.processors;
+
+  amoeba::WorldConfig wc;
+  wc.seed = config.seed;
+  world_ = std::make_unique<amoeba::World>(wc);
+  world_->add_nodes(config.processors);
+
+  panda::ClusterConfig cc;
+  cc.binding = config.binding;
+  for (amoeba::NodeId i = 0; i < config.processors; ++i) cc.nodes.push_back(i);
+  // With a dedicated sequencer the *last* node runs only the sequencer; the
+  // default places the sequencer on worker 0's node.
+  cc.sequencer = config.dedicated_sequencer
+                     ? static_cast<amoeba::NodeId>(config.processors - 1)
+                     : 0;
+  for (amoeba::NodeId i = 0; i < config.processors; ++i) {
+    pandas_.push_back(panda::make_panda(world_->kernel(i), cc));
+    rtses_.push_back(std::make_unique<Rts>(*pandas_.back(), registry));
+    rtses_.back()->attach();
+  }
+  for (auto& p : pandas_) p->start();
+}
+
+Cluster::~Cluster() = default;
+
+sim::Time Cluster::run(const SetupFn& setup, const WorkerFn& worker) {
+  bool setup_done = false;
+  rtses_[0]->fork("setup", [&](Process& p) -> sim::Co<void> {
+    co_await setup(p);
+    setup_done = true;
+  });
+  world_->sim().run();
+  sim::require(setup_done, "Cluster::run: setup did not complete");
+
+  const sim::Time t0 = world_->sim().now();
+  std::size_t done = 0;
+  for (std::size_t w = 0; w < workers_; ++w) {
+    rtses_[w]->fork("worker", [&, w](Process& p) -> sim::Co<void> {
+      co_await worker(p, w, workers_);
+      ++done;
+    });
+  }
+  world_->sim().run();
+  sim::require(done == workers_, "Cluster::run: a worker failed to finish");
+  return world_->sim().now() - t0;
+}
+
+ClusterStats Cluster::stats() const {
+  ClusterStats s;
+  for (const auto& r : rtses_) {
+    s.group_writes += r->group_writes();
+    s.remote_invocations += r->remote_invocations();
+    s.continuations_created += r->continuations_created();
+    s.continuations_resumed += r->continuations_resumed();
+  }
+  s.bytes_on_wire = world_->network().total_bytes_carried();
+  amoeba::World& w = const_cast<amoeba::World&>(*world_);
+  for (std::size_t i = 0; i < w.network().segment_count(); ++i) {
+    s.max_segment_utilization = std::max(s.max_segment_utilization,
+                                         w.network().segment(i).utilization());
+  }
+  return s;
+}
+
+}  // namespace apps

@@ -1,0 +1,81 @@
+// Shared harness for the six parallel Orca applications of §5.
+//
+// A Cluster boots `processors` nodes with the chosen Panda binding, an Orca
+// RTS per node, and runs an application: a setup phase on node 0 (creating
+// the shared objects) followed by one worker process per worker node. The
+// paper's "user-space-dedicated" configuration sacrifices one of the
+// processors to run only the group sequencer; the workers run on the rest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "amoeba/world.h"
+#include "orca/rts.h"
+#include "panda/panda.h"
+#include "sim/rng.h"
+
+namespace apps {
+
+using orca::ObjHandle;
+using orca::Process;
+using orca::Rts;
+
+struct RunConfig {
+  panda::Binding binding = panda::Binding::kUserSpace;
+  /// Total processors (pool size). With a dedicated sequencer, one of them
+  /// runs only the sequencer and workers() == processors - 1.
+  std::size_t processors = 1;
+  bool dedicated_sequencer = false;
+  std::uint64_t seed = 42;
+};
+
+struct ClusterStats {
+  std::uint64_t group_writes = 0;
+  std::uint64_t remote_invocations = 0;
+  std::uint64_t continuations_created = 0;
+  std::uint64_t continuations_resumed = 0;
+  std::uint64_t bytes_on_wire = 0;
+  double max_segment_utilization = 0.0;
+};
+
+class Cluster {
+ public:
+  Cluster(const RunConfig& config, const orca::TypeRegistry& registry);
+  ~Cluster();
+
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+  [[nodiscard]] Rts& rts(std::size_t worker) { return *rtses_.at(worker); }
+  [[nodiscard]] amoeba::World& world() noexcept { return *world_; }
+  [[nodiscard]] sim::Simulator& sim() noexcept { return world_->sim(); }
+
+  using SetupFn = std::function<sim::Co<void>(Process&)>;
+  using WorkerFn =
+      std::function<sim::Co<void>(Process&, std::size_t index, std::size_t count)>;
+
+  /// Run `setup` on worker 0 to completion, then fork one worker process per
+  /// worker node and drive the simulation until all complete. Returns the
+  /// simulated time the parallel phase took.
+  sim::Time run(const SetupFn& setup, const WorkerFn& worker);
+
+  [[nodiscard]] ClusterStats stats() const;
+
+ private:
+  RunConfig config_;
+  std::size_t workers_;
+  std::unique_ptr<amoeba::World> world_;
+  std::vector<std::unique_ptr<panda::Panda>> pandas_;
+  std::vector<std::unique_ptr<Rts>> rtses_;
+};
+
+/// Deterministic helper shared by the workload generators.
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace apps

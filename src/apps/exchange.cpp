@@ -1,0 +1,139 @@
+#include "apps/exchange.h"
+
+#include <deque>
+#include <map>
+#include <memory>
+
+#include "sim/require.h"
+
+namespace apps {
+
+namespace {
+
+using orca::ObjectState;
+using orca::OpDef;
+
+constexpr std::size_t kBufferCapacity = 2;
+
+struct BufferState final : ObjectState {
+  std::deque<net::Payload> rows;
+};
+
+struct ReduceState final : ObjectState {
+  std::size_t expected = 0;
+  struct Round {
+    std::size_t reports = 0;
+    bool flag = false;
+    double value = 0.0;
+  };
+  std::map<std::int32_t, Round> rounds;
+};
+
+}  // namespace
+
+BufferTypes register_buffer_type(orca::TypeRegistry& reg) {
+  BufferTypes t;
+  orca::ObjectType buffer("exchange-buffer", [](const net::Payload&) {
+    return std::make_unique<BufferState>();
+  });
+  t.put = buffer.add_operation(OpDef{
+      .name = "buf_put",
+      .is_write = true,
+      .guard =
+          [](const ObjectState& s, const net::Payload&) {
+            return static_cast<const BufferState&>(s).rows.size() <
+                   kBufferCapacity;
+          },
+      .apply =
+          [](ObjectState& s, const net::Payload& args) {
+            static_cast<BufferState&>(s).rows.push_back(args);
+            return net::Payload();
+          },
+      .cost = sim::usec(15)});
+  t.get = buffer.add_operation(OpDef{
+      .name = "buf_get",
+      .is_write = true,  // pops
+      .guard =
+          [](const ObjectState& s, const net::Payload&) {
+            return !static_cast<const BufferState&>(s).rows.empty();
+          },
+      .apply =
+          [](ObjectState& s, const net::Payload&) {
+            auto& b = static_cast<BufferState&>(s);
+            net::Payload row = std::move(b.rows.front());
+            b.rows.pop_front();
+            return row;
+          },
+      .cost = sim::usec(15)});
+  t.type = reg.register_type(std::move(buffer));
+  return t;
+}
+
+ReduceTypes register_reduce_type(orca::TypeRegistry& reg) {
+  ReduceTypes t;
+  orca::ObjectType reduce("exchange-reduce", [](const net::Payload& init) {
+    auto s = std::make_unique<ReduceState>();
+    net::Reader r(init);
+    s->expected = r.u32();
+    return s;
+  });
+  t.report = reduce.add_operation(OpDef{
+      .name = "report",
+      .is_write = true,
+      .guard = nullptr,
+      .apply =
+          [](ObjectState& s, const net::Payload& args) {
+            auto& st = static_cast<ReduceState&>(s);
+            net::Reader r(args);
+            const std::int32_t iter = r.i32();
+            const bool flag = r.u8() != 0;
+            const double value = r.f64();
+            auto& round = st.rounds[iter];
+            ++round.reports;
+            round.flag = round.flag || flag;
+            round.value = std::max(round.value, value);
+            // Old rounds can never be awaited again.
+            while (st.rounds.size() > 4) st.rounds.erase(st.rounds.begin());
+            return net::Payload();
+          },
+      .cost = sim::usec(10)});
+  t.await_verdict = reduce.add_operation(OpDef{
+      .name = "await_verdict",
+      .is_write = false,
+      .guard =
+          [](const ObjectState& s, const net::Payload& args) {
+            const auto& st = static_cast<const ReduceState&>(s);
+            net::Reader r(args);
+            const auto it = st.rounds.find(r.i32());
+            return it != st.rounds.end() && it->second.reports >= st.expected;
+          },
+      .apply =
+          [](ObjectState& s, const net::Payload& args) {
+            auto& st = static_cast<ReduceState&>(s);
+            net::Reader r(args);
+            const auto& round = st.rounds.at(r.i32());
+            net::Writer w;
+            w.u8(round.flag ? 1 : 0);
+            w.f64(round.value);
+            return w.take();
+          },
+      .cost = sim::usec(5)});
+  t.type = reg.register_type(std::move(reduce));
+  return t;
+}
+
+net::Payload encode_row(const std::vector<int>& row) {
+  net::Writer w;
+  w.u32(static_cast<std::uint32_t>(row.size()));
+  for (const int v : row) w.i32(v);
+  return w.take();
+}
+
+std::vector<int> decode_row(const net::Payload& p) {
+  net::Reader r(p);
+  std::vector<int> row(r.u32());
+  for (auto& v : row) v = r.i32();
+  return row;
+}
+
+}  // namespace apps

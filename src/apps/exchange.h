@@ -1,0 +1,48 @@
+// Shared-object building blocks for the grid applications (RL, SOR).
+//
+// Boundary rows travel through *shared buffer objects* exactly as in the
+// paper: "processors exchange boundary elements with their neighbors by
+// means of shared buffer objects. ... the kernel-space implementation
+// suffers from an additional context switch per remote guarded BufGet
+// operation that blocks until the buffer is filled by its owning processor.
+// Likewise the BufPut operation blocks if the buffer is full."
+//
+// Each buffer is a bounded queue placed on the *producer's* node; the
+// consumer's BufGet is a remote guarded operation (a continuation at the
+// owner until the producer fills the buffer).
+//
+// Global convergence tests go through a reduction object on node 0: every
+// worker Reports its local flag for iteration k, then blocks in a guarded
+// AwaitVerdict until all reports for k are in.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.h"
+
+namespace apps {
+
+struct BufferTypes {
+  orca::TypeId type = 0;
+  orca::OpId put = 0;  // guarded write: blocks while full
+  orca::OpId get = 0;  // guarded write (pops): blocks while empty
+};
+
+/// Register the bounded-buffer type (capacity 2 rows).
+[[nodiscard]] BufferTypes register_buffer_type(orca::TypeRegistry& reg);
+
+struct ReduceTypes {
+  orca::TypeId type = 0;
+  orca::OpId report = 0;         // write: (iteration, flag, value)
+  orca::OpId await_verdict = 0;  // guarded read: all reports in -> verdict
+};
+
+/// Register the per-iteration OR/MAX reduction type. The object is created
+/// with the worker count as init payload.
+[[nodiscard]] ReduceTypes register_reduce_type(orca::TypeRegistry& reg);
+
+/// Helpers used by the workers.
+[[nodiscard]] net::Payload encode_row(const std::vector<int>& row);
+[[nodiscard]] std::vector<int> decode_row(const net::Payload& p);
+
+}  // namespace apps

@@ -1,0 +1,243 @@
+#include "apps/leq.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "sim/require.h"
+
+namespace apps {
+
+namespace {
+
+using orca::ObjectHints;
+using orca::ObjectState;
+using orca::OpDef;
+
+/// Diagonally dominant dense system Ax = b (Jacobi converges).
+struct System {
+  int n;
+  std::uint64_t seed;
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+};
+
+System make_system(int n, std::uint64_t seed) {
+  System s;
+  s.n = n;
+  s.seed = seed;
+  s.a.assign(n, std::vector<double>(n, 0.0));
+  s.b.resize(n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      if (i == j) continue;
+      s.a[i][j] =
+          static_cast<double>(mix64(seed ^ (static_cast<std::uint64_t>(i) << 32 |
+                                            static_cast<std::uint64_t>(j))) %
+                              100) /
+          100.0;
+    }
+    s.a[i][i] = static_cast<double>(n) + 1.0;
+    s.b[i] = static_cast<double>(mix64(seed ^ (i + 424242)) % 1000) / 10.0;
+  }
+  return s;
+}
+
+std::uint64_t vec_hash(const std::vector<double>& x) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const double v : x) {
+    std::uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    h = (h ^ bits) * 1099511628211ULL;
+  }
+  return h;
+}
+
+/// The replicated iteration board: per iteration, the P solution blocks and
+/// the running max-delta.
+struct BoardState final : ObjectState {
+  std::size_t expected = 0;
+  struct Round {
+    std::size_t blocks = 0;
+    std::vector<double> x;
+    double delta = 0.0;
+  };
+  int n = 0;
+  std::map<std::int32_t, Round> rounds;
+};
+
+struct LeqTypes {
+  orca::TypeId board = 0;
+  orca::OpId publish = 0;     // write: (iter, offset, block values, delta)
+  orca::OpId await_iter = 0;  // guarded read: all blocks in -> (x, delta)
+};
+
+LeqTypes register_types(orca::TypeRegistry& reg) {
+  LeqTypes t;
+  orca::ObjectType board("leq-board", [](const net::Payload& init) {
+    auto s = std::make_unique<BoardState>();
+    net::Reader r(init);
+    s->expected = r.u32();
+    s->n = r.i32();
+    return s;
+  });
+  t.publish = board.add_operation(OpDef{
+      .name = "publish",
+      .is_write = true,
+      .guard = nullptr,
+      .apply =
+          [](ObjectState& s, const net::Payload& args) {
+            auto& st = static_cast<BoardState&>(s);
+            net::Reader r(args);
+            const std::int32_t iter = r.i32();
+            const std::int32_t offset = r.i32();
+            const std::uint32_t len = r.u32();
+            const double delta = r.f64();
+            auto& round = st.rounds[iter];
+            if (round.x.empty()) round.x.assign(st.n, 0.0);
+            for (std::uint32_t k = 0; k < len; ++k) {
+              round.x[offset + static_cast<std::int32_t>(k)] = r.f64();
+            }
+            ++round.blocks;
+            round.delta = std::max(round.delta, delta);
+            while (st.rounds.size() > 3) st.rounds.erase(st.rounds.begin());
+            return net::Payload();
+          },
+      .cost = sim::usec(30)});
+  t.await_iter = board.add_operation(OpDef{
+      .name = "await_iter",
+      .is_write = false,
+      .guard =
+          [](const ObjectState& s, const net::Payload& args) {
+            const auto& st = static_cast<const BoardState&>(s);
+            net::Reader r(args);
+            const auto it = st.rounds.find(r.i32());
+            return it != st.rounds.end() && it->second.blocks >= st.expected;
+          },
+      .apply =
+          [](ObjectState& s, const net::Payload& args) {
+            auto& st = static_cast<BoardState&>(s);
+            net::Reader r(args);
+            const auto& round = st.rounds.at(r.i32());
+            net::Writer w;
+            w.f64(round.delta);
+            w.u32(static_cast<std::uint32_t>(round.x.size()));
+            for (const double v : round.x) w.f64(v);
+            return w.take();
+          },
+      .cost = sim::usec(25)});
+  t.board = reg.register_type(std::move(board));
+  return t;
+}
+
+}  // namespace
+
+std::uint64_t leq_reference(const LeqParams& params, double* residual) {
+  const System sys = make_system(params.n, params.instance_seed);
+  std::vector<double> x(params.n, 0.0);
+  std::vector<double> next(params.n, 0.0);
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    for (int i = 0; i < params.n; ++i) {
+      double acc = sys.b[i];
+      const auto& row = sys.a[i];
+      for (int j = 0; j < params.n; ++j) {
+        if (j != i) acc -= row[j] * x[j];
+      }
+      next[i] = acc / row[i];
+    }
+    std::swap(x, next);
+  }
+  if (residual != nullptr) {
+    double r = 0.0;
+    for (int i = 0; i < params.n; ++i) {
+      double acc = -sys.b[i];
+      for (int j = 0; j < params.n; ++j) acc += sys.a[i][j] * x[j];
+      r = std::max(r, std::fabs(acc));
+    }
+    *residual = r;
+  }
+  return vec_hash(x);
+}
+
+LeqResult run_leq(const LeqParams& params) {
+  orca::TypeRegistry registry;
+  const LeqTypes types = register_types(registry);
+  Cluster cluster(params.run, registry);
+  const int n = params.n;
+  const std::size_t workers = cluster.workers();
+  const auto lo = [&](std::size_t w) { return static_cast<int>(w * n / workers); };
+  const auto hi = [&](std::size_t w) {
+    return static_cast<int>((w + 1) * n / workers);
+  };
+
+  const System sys = make_system(params.n, params.instance_seed);
+  std::vector<double> x_final(n, 0.0);
+  double residual = 0.0;
+
+  ObjHandle board;
+  const auto setup = [&](Process& p) -> sim::Co<void> {
+    net::Writer init;
+    init.u32(static_cast<std::uint32_t>(workers));
+    init.i32(n);
+    board = co_await p.rts().create_object(
+        p.thread(), types.board, init.take(),
+        ObjectHints{.expected_read_fraction = 0.9});
+  };
+
+  const auto worker = [&](Process& p, std::size_t w, std::size_t) -> sim::Co<void> {
+    std::vector<double> x(n, 0.0);
+    std::vector<double> block(hi(w) - lo(w), 0.0);
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      // Recompute my block from the previous global x.
+      double delta = 0.0;
+      for (int i = lo(w); i < hi(w); ++i) {
+        double acc = sys.b[i];
+        const auto& row = sys.a[i];
+        for (int j = 0; j < n; ++j) {
+          if (j != i) acc -= row[j] * x[j];
+        }
+        const double v = acc / row[i];
+        delta = std::max(delta, std::fabs(v - x[i]));
+        block[i - lo(w)] = v;
+      }
+      co_await p.work(params.work_per_cell * static_cast<sim::Time>(n) *
+                      static_cast<sim::Time>(hi(w) - lo(w)));
+      // Broadcast my block (a totally-ordered group write).
+      net::Writer pub;
+      pub.i32(iter);
+      pub.i32(lo(w));
+      pub.u32(static_cast<std::uint32_t>(block.size()));
+      pub.f64(delta);
+      for (const double v : block) pub.f64(v);
+      (void)co_await p.invoke(board, types.publish, pub.take());
+      // Barrier: wait for every block of this iteration, read the new x.
+      net::Writer ask;
+      ask.i32(iter);
+      net::Payload xp = co_await p.invoke(board, types.await_iter, ask.take());
+      net::Reader xr(xp);
+      (void)xr.f64();  // global delta (available for convergence tests)
+      const std::uint32_t len = xr.u32();
+      sim::require(len == static_cast<std::uint32_t>(n), "leq: bad board");
+      for (int i = 0; i < n; ++i) x[i] = xr.f64();
+    }
+    if (w == 0) x_final = x;
+  };
+
+  LeqResult result;
+  result.elapsed = cluster.run(setup, worker);
+  result.checksum = vec_hash(x_final);
+  for (int i = 0; i < n; ++i) {
+    double acc = -sys.b[i];
+    for (int j = 0; j < n; ++j) acc += sys.a[i][j] * x_final[j];
+    residual = std::max(residual, std::fabs(acc));
+  }
+  result.residual = residual;
+  result.group_messages = cluster.stats().group_writes;
+  result.stats = cluster.stats();
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,45 @@
+// Linear Equation Solver (§5): Jacobi iteration on a dense system.
+//
+// Every iteration each worker recomputes its block of the solution vector
+// and broadcasts it (a totally-ordered write on a replicated board object);
+// the iteration barrier is the guarded read that waits for all blocks.
+//
+// This is the group-communication-bound application: "the only application
+// that shows a clear advantage for the kernel-space protocol. The poor
+// performance on the user-space implementation is due to the sequencer's
+// machine ... overloaded". Dedicating a processor to the sequencer
+// (RunConfig::dedicated_sequencer) reproduces the paper's
+// "user-space-dedicated" row. Halving the processor count doubles the
+// per-iteration message count of half the size — the effect that makes the
+// 32-processor runs *slower* than the 16-processor ones.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.h"
+
+namespace apps {
+
+struct LeqParams {
+  RunConfig run;
+  int n = 600;
+  int iterations = 2400;
+  std::uint64_t instance_seed = 77;
+  /// Simulated CPU per multiply-accumulate (calibrated to Table 3's 521 s).
+  sim::Time work_per_cell = sim::nsec(600);
+};
+
+struct LeqResult {
+  sim::Time elapsed = 0;
+  std::uint64_t checksum = 0;  // bit hash of the final solution vector
+  double residual = 0.0;
+  std::uint64_t group_messages = 0;
+  ClusterStats stats;
+};
+
+[[nodiscard]] std::uint64_t leq_reference(const LeqParams& params,
+                                          double* residual);
+
+[[nodiscard]] LeqResult run_leq(const LeqParams& params);
+
+}  // namespace apps

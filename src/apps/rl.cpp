@@ -1,0 +1,192 @@
+#include "apps/rl.h"
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "apps/exchange.h"
+#include "sim/require.h"
+
+namespace apps {
+
+namespace {
+
+std::vector<std::vector<int>> make_image(int n, int density_pct,
+                                         std::uint64_t seed) {
+  // Foreground cells carry unique labels; background is 0.
+  std::vector<std::vector<int>> labels(n, std::vector<int>(n, 0));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      const auto h =
+          mix64(seed ^ (static_cast<std::uint64_t>(i) << 32 | static_cast<std::uint64_t>(j)));
+      if (static_cast<int>(h % 100) < density_pct) labels[i][j] = i * n + j + 1;
+    }
+  }
+  return labels;
+}
+
+/// One Jacobi relabeling pass over rows [lo, hi). `up` and `down` are the
+/// ghost rows (empty at the image edges). Returns true if anything changed.
+bool relabel_block(const std::vector<std::vector<int>>& cur,
+                   std::vector<std::vector<int>>& next, int lo, int hi,
+                   const std::vector<int>& up, const std::vector<int>& down) {
+  const int n = static_cast<int>(cur[0].size());
+  bool changed = false;
+  for (int i = lo; i < hi; ++i) {
+    const std::vector<int>* above =
+        i > lo ? &cur[i - 1] : (up.empty() ? nullptr : &up);
+    const std::vector<int>* below =
+        i + 1 < hi ? &cur[i + 1] : (down.empty() ? nullptr : &down);
+    for (int j = 0; j < n; ++j) {
+      const int old = cur[i][j];
+      if (old == 0) {
+        next[i][j] = 0;
+        continue;
+      }
+      int m = old;
+      if (above != nullptr && (*above)[j] != 0) m = std::min(m, (*above)[j]);
+      if (below != nullptr && (*below)[j] != 0) m = std::min(m, (*below)[j]);
+      if (j > 0 && cur[i][j - 1] != 0) m = std::min(m, cur[i][j - 1]);
+      if (j + 1 < n && cur[i][j + 1] != 0) m = std::min(m, cur[i][j + 1]);
+      next[i][j] = m;
+      changed = changed || m != old;
+    }
+  }
+  return changed;
+}
+
+std::uint64_t grid_checksum(const std::vector<std::vector<int>>& g) {
+  std::uint64_t sum = 0;
+  for (const auto& row : g) {
+    for (const int v : row) sum = sum * 1099511628211ULL + static_cast<unsigned>(v);
+  }
+  return sum;
+}
+
+}  // namespace
+
+std::uint64_t rl_reference(int n, int density_pct, std::uint64_t seed,
+                           int* iterations) {
+  auto cur = make_image(n, density_pct, seed);
+  auto next = cur;
+  int iters = 0;
+  for (;;) {
+    ++iters;
+    const bool changed =
+        relabel_block(cur, next, 0, n, std::vector<int>(), std::vector<int>());
+    std::swap(cur, next);
+    if (!changed) break;
+  }
+  if (iterations != nullptr) *iterations = iters;
+  return grid_checksum(cur);
+}
+
+RlResult run_rl(const RlParams& params) {
+  orca::TypeRegistry registry;
+  const BufferTypes buf = register_buffer_type(registry);
+  const ReduceTypes red = register_reduce_type(registry);
+  Cluster cluster(params.run, registry);
+  const int n = params.n;
+  const std::size_t workers = cluster.workers();
+  const auto lo = [&](std::size_t w) { return static_cast<int>(w * n / workers); };
+  const auto hi = [&](std::size_t w) {
+    return static_cast<int>((w + 1) * n / workers);
+  };
+
+  auto cur = make_image(params.n, params.density_pct, params.instance_seed);
+  auto next = cur;
+
+  // Buffers: up_out[w] carries w's top row to w-1; down_out[w] carries w's
+  // bottom row to w+1. Each lives on the producer's node.
+  std::vector<ObjHandle> up_out(workers);
+  std::vector<ObjHandle> down_out(workers);
+  ObjHandle reduce;
+
+  const auto setup = [&](Process& p) -> sim::Co<void> {
+    net::Writer rinit;
+    rinit.u32(static_cast<std::uint32_t>(workers));
+    reduce = co_await p.rts().create_object(
+        p.thread(), red.type, rinit.take(),
+        orca::ObjectHints{.expected_read_fraction = 0.0});
+    co_return;
+  };
+
+  // Per-worker buffer creation happens inside the worker (so the object
+  // lives on the producer's node); a host-side latch hands the handles over.
+  std::vector<bool> buffers_ready(workers, false);
+
+  int iterations = 0;
+  std::uint64_t buffer_ops = 0;
+
+  const auto worker = [&](Process& p, std::size_t w, std::size_t) -> sim::Co<void> {
+    if (w > 0) {
+      up_out[w] = co_await p.rts().create_object(
+          p.thread(), buf.type, net::Payload(),
+          orca::ObjectHints{.expected_read_fraction = 0.0});
+    }
+    if (w + 1 < workers) {
+      down_out[w] = co_await p.rts().create_object(
+          p.thread(), buf.type, net::Payload(),
+          orca::ObjectHints{.expected_read_fraction = 0.0});
+    }
+    buffers_ready[w] = true;
+    // Wait until the neighbours' buffers exist.
+    const auto neighbours_ready = [&] {
+      return (w == 0 || buffers_ready[w - 1]) &&
+             (w + 1 >= workers || buffers_ready[w + 1]);
+    };
+    while (!neighbours_ready()) co_await sim::delay(p.rts().panda().sim(), sim::usec(200));
+
+    for (int iter = 1;; ++iter) {
+      // 1. Publish boundary rows (non-blocking unless the buffer is full).
+      if (w > 0) {
+        (void)co_await p.invoke(up_out[w], buf.put, encode_row(cur[lo(w)]));
+        ++buffer_ops;
+      }
+      if (w + 1 < workers) {
+        (void)co_await p.invoke(down_out[w], buf.put, encode_row(cur[hi(w) - 1]));
+        ++buffer_ops;
+      }
+      // 2. Fetch ghost rows (remote guarded BufGet on the neighbour's node).
+      std::vector<int> up_ghost;
+      std::vector<int> down_ghost;
+      if (w > 0) {
+        up_ghost = decode_row(co_await p.invoke(down_out[w - 1], buf.get));
+        ++buffer_ops;
+      }
+      if (w + 1 < workers) {
+        down_ghost = decode_row(co_await p.invoke(up_out[w + 1], buf.get));
+        ++buffer_ops;
+      }
+      // 3. Relabel the block.
+      const bool changed =
+          relabel_block(cur, next, lo(w), hi(w), up_ghost, down_ghost);
+      co_await p.work(params.work_per_cell * static_cast<sim::Time>(n) *
+                      static_cast<sim::Time>(hi(w) - lo(w)));
+      for (int i = lo(w); i < hi(w); ++i) cur[i] = next[i];
+      // 4. Global convergence test through the reduction object.
+      net::Writer rep;
+      rep.i32(iter);
+      rep.u8(changed ? 1 : 0);
+      rep.f64(0.0);
+      (void)co_await p.invoke(reduce, red.report, rep.take());
+      net::Writer ask;
+      ask.i32(iter);
+      net::Payload verdict = co_await p.invoke(reduce, red.await_verdict, ask.take());
+      net::Reader vr(verdict);
+      const bool any_changed = vr.u8() != 0;
+      if (w == 0) iterations = iter;
+      if (!any_changed) break;
+    }
+  };
+
+  RlResult result;
+  result.elapsed = cluster.run(setup, worker);
+  result.checksum = grid_checksum(cur);
+  result.iterations = iterations;
+  result.buffer_ops = buffer_ops;
+  result.stats = cluster.stats();
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,41 @@
+// Region Labeling (§5): iterative connected-component labeling.
+//
+// A finite-element-style grid method: every iteration each cell of the
+// foreground takes the minimum label of its 4-neighbourhood; iterate until
+// nothing changes anywhere. Workers own row blocks and "exchange boundary
+// elements with their neighbors by means of shared buffer objects" —
+// remote guarded BufGet/BufPut operations, the workload where the
+// user-space protocols beat the kernel-space ones in Table 3.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.h"
+
+namespace apps {
+
+struct RlParams {
+  RunConfig run;
+  int n = 512;
+  /// Foreground density in percent; drives cluster diameters and hence the
+  /// iteration count.
+  int density_pct = 58;
+  std::uint64_t instance_seed = 20;
+  /// Simulated CPU per cell update (calibrated to Table 3's 759 s).
+  sim::Time work_per_cell = sim::nsec(4700);
+};
+
+struct RlResult {
+  sim::Time elapsed = 0;
+  std::uint64_t checksum = 0;
+  int iterations = 0;
+  std::uint64_t buffer_ops = 0;  // remote guarded Put/Get invocations
+  ClusterStats stats;
+};
+
+[[nodiscard]] std::uint64_t rl_reference(int n, int density_pct,
+                                         std::uint64_t seed, int* iterations);
+
+[[nodiscard]] RlResult run_rl(const RlParams& params);
+
+}  // namespace apps

@@ -1,0 +1,197 @@
+#include "apps/sor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <memory>
+#include <vector>
+
+#include "apps/exchange.h"
+#include "sim/require.h"
+
+namespace apps {
+
+namespace {
+
+using Grid = std::vector<std::vector<double>>;
+
+Grid make_grid(int n, std::uint64_t seed) {
+  Grid g(n, std::vector<double>(n, 0.0));
+  // Fixed boundary values; interior starts at 0.
+  for (int j = 0; j < n; ++j) {
+    g[0][j] = static_cast<double>(mix64(seed ^ j) % 1000) / 10.0;
+    g[n - 1][j] = static_cast<double>(mix64(seed ^ (j + 7777)) % 1000) / 10.0;
+  }
+  for (int i = 0; i < n; ++i) {
+    g[i][0] = static_cast<double>(mix64(seed ^ (i + 3333)) % 1000) / 10.0;
+    g[i][n - 1] = static_cast<double>(mix64(seed ^ (i + 5555)) % 1000) / 10.0;
+  }
+  return g;
+}
+
+/// One colour phase over rows [max(lo,1), min(hi,n-1)). Ghost rows stand in
+/// for rows lo-1 / hi when they belong to a neighbour. Returns max |change|.
+double sor_phase(Grid& g, int lo, int hi, int colour, double omega,
+                 const std::vector<double>& up, const std::vector<double>& down) {
+  const int n = static_cast<int>(g[0].size());
+  double delta = 0.0;
+  for (int i = std::max(lo, 1); i < std::min(hi, n - 1); ++i) {
+    const std::vector<double>& above = (i - 1 >= lo) ? g[i - 1] : up;
+    const std::vector<double>& below = (i + 1 < hi) ? g[i + 1] : down;
+    for (int j = 1 + (i + colour) % 2; j < n - 1; j += 2) {
+      const double nb = above[j] + below[j] + g[i][j - 1] + g[i][j + 1];
+      const double updated = (1.0 - omega) * g[i][j] + omega * nb / 4.0;
+      delta = std::max(delta, std::fabs(updated - g[i][j]));
+      g[i][j] = updated;
+    }
+  }
+  return delta;
+}
+
+std::uint64_t grid_hash(const Grid& g) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const auto& row : g) {
+    for (const double v : row) {
+      std::uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(v));
+      std::memcpy(&bits, &v, sizeof(bits));
+      h = (h ^ bits) * 1099511628211ULL;
+    }
+  }
+  return h;
+}
+
+net::Payload encode_drow(const std::vector<double>& row) {
+  net::Writer w;
+  w.u32(static_cast<std::uint32_t>(row.size()));
+  for (const double v : row) w.f64(v);
+  return w.take();
+}
+
+std::vector<double> decode_drow(const net::Payload& p) {
+  net::Reader r(p);
+  std::vector<double> row(r.u32());
+  for (auto& v : row) v = r.f64();
+  return row;
+}
+
+}  // namespace
+
+std::uint64_t sor_reference(const SorParams& params, double* final_delta) {
+  Grid g = make_grid(params.n, params.instance_seed);
+  double delta = 0.0;
+  const std::vector<double> none;
+  for (int iter = 0; iter < params.iterations; ++iter) {
+    delta = sor_phase(g, 0, params.n, 0, params.omega, none, none);
+    delta = std::max(delta,
+                     sor_phase(g, 0, params.n, 1, params.omega, none, none));
+  }
+  if (final_delta != nullptr) *final_delta = delta;
+  return grid_hash(g);
+}
+
+SorResult run_sor(const SorParams& params) {
+  orca::TypeRegistry registry;
+  const BufferTypes buf = register_buffer_type(registry);
+  const ReduceTypes red = register_reduce_type(registry);
+  Cluster cluster(params.run, registry);
+  const int n = params.n;
+  const std::size_t workers = cluster.workers();
+  const auto lo = [&](std::size_t w) { return static_cast<int>(w * n / workers); };
+  const auto hi = [&](std::size_t w) {
+    return static_cast<int>((w + 1) * n / workers);
+  };
+
+  Grid grid = make_grid(params.n, params.instance_seed);
+
+  std::vector<ObjHandle> up_out(workers);
+  std::vector<ObjHandle> down_out(workers);
+  ObjHandle reduce;
+  std::vector<bool> buffers_ready(workers, false);
+
+  const auto setup = [&](Process& p) -> sim::Co<void> {
+    net::Writer rinit;
+    rinit.u32(static_cast<std::uint32_t>(workers));
+    reduce = co_await p.rts().create_object(
+        p.thread(), red.type, rinit.take(),
+        orca::ObjectHints{.expected_read_fraction = 0.0});
+  };
+
+  std::uint64_t buffer_ops = 0;
+  double final_delta = 0.0;
+
+  const auto worker = [&](Process& p, std::size_t w, std::size_t) -> sim::Co<void> {
+    if (w > 0) {
+      up_out[w] = co_await p.rts().create_object(
+          p.thread(), buf.type, net::Payload(),
+          orca::ObjectHints{.expected_read_fraction = 0.0});
+    }
+    if (w + 1 < workers) {
+      down_out[w] = co_await p.rts().create_object(
+          p.thread(), buf.type, net::Payload(),
+          orca::ObjectHints{.expected_read_fraction = 0.0});
+    }
+    buffers_ready[w] = true;
+    const auto neighbours_ready = [&] {
+      return (w == 0 || buffers_ready[w - 1]) &&
+             (w + 1 >= workers || buffers_ready[w + 1]);
+    };
+    while (!neighbours_ready()) {
+      co_await sim::delay(p.rts().panda().sim(), sim::usec(200));
+    }
+
+    std::vector<double> none;
+    for (int iter = 0; iter < params.iterations; ++iter) {
+      double delta = 0.0;
+      for (int colour = 0; colour < 2; ++colour) {
+        // Exchange boundary rows for this phase.
+        if (w > 0) {
+          (void)co_await p.invoke(up_out[w], buf.put, encode_drow(grid[lo(w)]));
+          ++buffer_ops;
+        }
+        if (w + 1 < workers) {
+          (void)co_await p.invoke(down_out[w], buf.put,
+                                  encode_drow(grid[hi(w) - 1]));
+          ++buffer_ops;
+        }
+        std::vector<double> up_ghost;
+        std::vector<double> down_ghost;
+        if (w > 0) {
+          up_ghost = decode_drow(co_await p.invoke(down_out[w - 1], buf.get));
+          ++buffer_ops;
+        }
+        if (w + 1 < workers) {
+          down_ghost = decode_drow(co_await p.invoke(up_out[w + 1], buf.get));
+          ++buffer_ops;
+        }
+        delta = std::max(delta, sor_phase(grid, lo(w), hi(w), colour,
+                                          params.omega, up_ghost, down_ghost));
+        co_await p.work(params.work_per_cell * static_cast<sim::Time>(n) *
+                        static_cast<sim::Time>(hi(w) - lo(w)) / 2);
+      }
+      // Per-iteration max-delta reduction (the convergence test).
+      net::Writer rep;
+      rep.i32(iter);
+      rep.u8(0);
+      rep.f64(delta);
+      (void)co_await p.invoke(reduce, red.report, rep.take());
+      net::Writer ask;
+      ask.i32(iter);
+      net::Payload verdict =
+          co_await p.invoke(reduce, red.await_verdict, ask.take());
+      net::Reader vr(verdict);
+      (void)vr.u8();
+      final_delta = vr.f64();
+    }
+  };
+
+  SorResult result;
+  result.elapsed = cluster.run(setup, worker);
+  result.checksum = grid_hash(grid);
+  result.final_delta = final_delta;
+  result.buffer_ops = buffer_ops;
+  result.stats = cluster.stats();
+  return result;
+}
+
+}  // namespace apps

@@ -1,0 +1,39 @@
+// Successive Overrelaxation (§5): red-black SOR on a 2-D grid.
+//
+// Like Region Labeling, a finite-element method whose workers exchange
+// boundary rows with their neighbours through shared buffer objects (remote
+// guarded BufGet/BufPut) once per colour phase, plus a per-iteration
+// max-delta reduction. The fine grain is what makes the kernel-space
+// binding's extra context switch per blocked guarded operation visible.
+#pragma once
+
+#include <cstdint>
+
+#include "apps/common.h"
+
+namespace apps {
+
+struct SorParams {
+  RunConfig run;
+  int n = 512;
+  int iterations = 100;
+  double omega = 1.2;
+  std::uint64_t instance_seed = 33;
+  /// Simulated CPU per cell update (calibrated to Table 3's 118 s).
+  sim::Time work_per_cell = sim::nsec(4500);
+};
+
+struct SorResult {
+  sim::Time elapsed = 0;
+  std::uint64_t checksum = 0;  // bit pattern hash of the final grid
+  double final_delta = 0.0;
+  std::uint64_t buffer_ops = 0;
+  ClusterStats stats;
+};
+
+[[nodiscard]] std::uint64_t sor_reference(const SorParams& params,
+                                          double* final_delta);
+
+[[nodiscard]] SorResult run_sor(const SorParams& params);
+
+}  // namespace apps

@@ -1,0 +1,324 @@
+#include "apps/tsp.h"
+
+#include <algorithm>
+#include <deque>
+#include <memory>
+
+#include "sim/require.h"
+
+namespace apps {
+
+namespace {
+
+using orca::ObjectHints;
+using orca::ObjectState;
+using orca::OpDef;
+using orca::TypeRegistry;
+
+std::vector<std::vector<int>> make_distances(int cities, std::uint64_t seed) {
+  std::vector<std::vector<int>> d(cities, std::vector<int>(cities, 0));
+  for (int i = 0; i < cities; ++i) {
+    for (int j = i + 1; j < cities; ++j) {
+      const int w = static_cast<int>(
+          mix64(seed ^ (static_cast<std::uint64_t>(i) << 32 | j)) % 99 + 1);
+      d[i][j] = w;
+      d[j][i] = w;
+    }
+  }
+  return d;
+}
+
+/// Nearest-neighbour tour cost: the initial global bound.
+std::int64_t nn_tour(const std::vector<std::vector<int>>& d) {
+  const int n = static_cast<int>(d.size());
+  std::vector<bool> used(n, false);
+  used[0] = true;
+  int at = 0;
+  std::int64_t cost = 0;
+  for (int step = 1; step < n; ++step) {
+    int best = -1;
+    for (int c = 0; c < n; ++c) {
+      if (!used[c] && (best < 0 || d[at][c] < d[at][best])) best = c;
+    }
+    cost += d[at][best];
+    used[best] = true;
+    at = best;
+  }
+  return cost + d[at][0];
+}
+
+/// Branch-and-bound search state shared by workers (host-side; the shared
+/// *simulated* state lives in the Orca objects).
+struct SearchContext {
+  std::vector<std::vector<int>> dist;
+  std::vector<int> min_edge;  // minimum incident edge per city
+  int cities = 0;
+};
+
+SearchContext make_context(int cities, std::uint64_t seed) {
+  SearchContext ctx;
+  ctx.cities = cities;
+  ctx.dist = make_distances(cities, seed);
+  ctx.min_edge.resize(cities);
+  for (int i = 0; i < cities; ++i) {
+    int m = 1 << 30;
+    for (int j = 0; j < cities; ++j) {
+      if (j != i) m = std::min(m, ctx.dist[i][j]);
+    }
+    ctx.min_edge[i] = m;
+  }
+  return ctx;
+}
+
+/// DFS with pruning. Returns nodes visited; updates `best` (host-local copy
+/// of the bound) and `best_found` when improving.
+struct Dfs {
+  const SearchContext* ctx;
+  std::int64_t best;
+  bool improved = false;
+  std::uint64_t nodes = 0;
+
+  void run(std::vector<int>& path, std::uint64_t visited_mask, std::int64_t cost) {
+    ++nodes;
+    const int n = ctx->cities;
+    const int at = path.back();
+    if (static_cast<int>(path.size()) == n) {
+      const std::int64_t total = cost + ctx->dist[at][0];
+      if (total < best) {
+        best = total;
+        improved = true;
+      }
+      return;
+    }
+    // Lower bound: current cost + min incident edge of every unvisited city
+    // and of the current city (we must leave it).
+    std::int64_t lb = cost + ctx->min_edge[at];
+    for (int c = 0; c < n; ++c) {
+      if (!(visited_mask & (1ULL << c))) lb += ctx->min_edge[c];
+    }
+    if (lb >= best) return;
+    for (int c = 0; c < n; ++c) {
+      if (visited_mask & (1ULL << c)) continue;
+      const std::int64_t next = cost + ctx->dist[at][c];
+      if (next + ctx->min_edge[c] >= best) continue;
+      path.push_back(c);
+      run(path, visited_mask | (1ULL << c), next);
+      path.pop_back();
+    }
+  }
+};
+
+// --- Orca object types -------------------------------------------------------
+
+struct QueueState final : ObjectState {
+  std::deque<std::vector<int>> jobs;
+};
+
+struct BoundState final : ObjectState {
+  std::int64_t best = 0;
+};
+
+struct TspTypes {
+  orca::TypeId queue_type = 0;
+  orca::TypeId bound_type = 0;
+  orca::OpId get_job = 0;
+  orca::OpId read_bound = 0;
+  orca::OpId update_bound = 0;
+};
+
+TspTypes register_types(TypeRegistry& reg) {
+  TspTypes t;
+  orca::ObjectType queue("tsp-queue", [](const net::Payload& init) {
+    auto s = std::make_unique<QueueState>();
+    net::Reader r(init);
+    const std::uint32_t count = r.u32();
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint8_t len = r.u8();
+      std::vector<int> job(len);
+      for (auto& c : job) c = r.u8();
+      s->jobs.push_back(std::move(job));
+    }
+    return s;
+  });
+  t.get_job = queue.add_operation(OpDef{
+      .name = "get_job",
+      .is_write = true,
+      .guard = nullptr,
+      .apply =
+          [](ObjectState& s, const net::Payload&) {
+            auto& q = static_cast<QueueState&>(s);
+            net::Writer w;
+            if (q.jobs.empty()) {
+              w.u8(0);
+            } else {
+              w.u8(1);
+              const auto& job = q.jobs.front();
+              w.u8(static_cast<std::uint8_t>(job.size()));
+              for (const int c : job) w.u8(static_cast<std::uint8_t>(c));
+              q.jobs.pop_front();
+            }
+            return w.take();
+          },
+      .cost = sim::usec(10)});
+  t.queue_type = reg.register_type(std::move(queue));
+
+  orca::ObjectType bound("tsp-bound", [](const net::Payload& init) {
+    auto s = std::make_unique<BoundState>();
+    net::Reader r(init);
+    s->best = r.i64();
+    return s;
+  });
+  t.read_bound = bound.add_operation(OpDef{
+      .name = "read",
+      .is_write = false,
+      .guard = nullptr,
+      .apply =
+          [](ObjectState& s, const net::Payload&) {
+            net::Writer w;
+            w.i64(static_cast<BoundState&>(s).best);
+            return w.take();
+          },
+      .cost = 0});
+  t.update_bound = bound.add_operation(OpDef{
+      .name = "update_min",
+      .is_write = true,
+      .guard = nullptr,
+      .apply =
+          [](ObjectState& s, const net::Payload& args) {
+            net::Reader r(args);
+            auto& b = static_cast<BoundState&>(s);
+            b.best = std::min(b.best, r.i64());
+            net::Writer w;
+            w.i64(b.best);
+            return w.take();
+          },
+      .cost = sim::usec(5)});
+  t.bound_type = reg.register_type(std::move(bound));
+  return t;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> tsp_distances(int cities, std::uint64_t seed) {
+  return make_distances(cities, seed);
+}
+
+std::int64_t tsp_reference(int cities, std::uint64_t seed) {
+  SearchContext ctx = make_context(cities, seed);
+  Dfs dfs{&ctx, nn_tour(ctx.dist)};
+  std::vector<int> path{0};
+  dfs.run(path, 1ULL, 0);
+  return dfs.best;
+}
+
+TspResult run_tsp(const TspParams& params) {
+  sim::require(params.cities <= 24, "run_tsp: at most 24 cities");
+  TypeRegistry registry;
+  const TspTypes types = register_types(registry);
+  Cluster cluster(params.run, registry);
+
+  const SearchContext ctx = make_context(params.cities, params.instance_seed);
+  const std::int64_t initial_bound = nn_tour(ctx.dist);
+
+  // Generate jobs: all prefixes [0, a, b, c, ...] of the configured depth.
+  std::vector<std::vector<int>> jobs;
+  std::vector<int> prefix{0};
+  const std::function<void(int)> gen = [&](int depth) {
+    if (depth == 0) {
+      jobs.push_back(prefix);
+      return;
+    }
+    for (int c = 1; c < params.cities; ++c) {
+      if (std::find(prefix.begin(), prefix.end(), c) != prefix.end()) continue;
+      prefix.push_back(c);
+      gen(depth - 1);
+      prefix.pop_back();
+    }
+  };
+  gen(params.prefix_depth - 1);
+
+  TspResult result;
+  result.jobs = jobs.size();
+
+  ObjHandle queue;
+  ObjHandle bound;
+  const auto setup = [&](Process& p) -> sim::Co<void> {
+    net::Writer qinit;
+    qinit.u32(static_cast<std::uint32_t>(jobs.size()));
+    for (const auto& job : jobs) {
+      qinit.u8(static_cast<std::uint8_t>(job.size()));
+      for (const int c : job) qinit.u8(static_cast<std::uint8_t>(c));
+    }
+    // Job queue: low read ratio -> single copy on node 0.
+    queue = co_await p.rts().create_object(
+        p.thread(), types.queue_type, qinit.take(),
+        ObjectHints{.expected_read_fraction = 0.0});
+    net::Writer binit;
+    binit.i64(initial_bound);
+    // Bound: read-heavy -> replicated.
+    bound = co_await p.rts().create_object(
+        p.thread(), types.bound_type, binit.take(),
+        ObjectHints{.expected_read_fraction = 0.99});
+  };
+
+  std::uint64_t total_nodes = 0;
+  std::uint64_t updates = 0;
+  std::int64_t best_seen = initial_bound;
+
+  const auto worker = [&](Process& p, std::size_t, std::size_t) -> sim::Co<void> {
+    for (;;) {
+      net::Payload jp = co_await p.invoke(queue, types.get_job);
+      net::Reader jr(jp);
+      if (jr.u8() == 0) break;  // queue drained
+      const std::uint8_t len = jr.u8();
+      std::vector<int> path(len);
+      std::uint64_t mask = 0;
+      std::int64_t cost = 0;
+      for (int i = 0; i < len; ++i) {
+        path[i] = jr.u8();
+        mask |= 1ULL << path[i];
+        if (i > 0) cost += ctx.dist[path[i - 1]][path[i]];
+      }
+      // Search the job one top-level branch at a time, re-reading the
+      // replicated bound (a free local operation) between branches so other
+      // workers' improvements prune our subtree promptly.
+      bool improved_any = false;
+      std::int64_t job_best = 0;
+      for (int c = 0; c < ctx.cities; ++c) {
+        if (mask & (1ULL << c)) continue;
+        net::Payload bp = co_await p.invoke(bound, types.read_bound);
+        net::Reader br(bp);
+        Dfs dfs{&ctx, br.i64()};
+        const int at = path.back();
+        path.push_back(c);
+        dfs.run(path, mask | (1ULL << c), cost + ctx.dist[at][c]);
+        path.pop_back();
+        total_nodes += dfs.nodes;
+        co_await p.work(params.work_per_node * static_cast<sim::Time>(dfs.nodes));
+        if (dfs.improved) {
+          improved_any = true;
+          job_best = improved_any && job_best != 0
+                         ? std::min(job_best, dfs.best)
+                         : dfs.best;
+          // Publish promptly so other workers prune with it.
+          net::Writer w;
+          w.i64(dfs.best);
+          net::Payload res =
+              co_await p.invoke(bound, types.update_bound, w.take());
+          net::Reader rr(res);
+          best_seen = std::min(best_seen, rr.i64());
+          ++updates;
+        }
+      }
+    }
+  };
+
+  result.elapsed = cluster.run(setup, worker);
+  result.nodes_expanded = total_nodes;
+  result.bound_updates = updates;
+  result.best_cost = best_seen;
+  result.stats = cluster.stats();
+  return result;
+}
+
+}  // namespace apps

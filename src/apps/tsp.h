@@ -1,0 +1,54 @@
+// The Travelling Salesman Problem (§5): replicated branch-and-bound.
+//
+// "The frequently accessed data object holding the shortest path is
+//  replicated by the Orca RTS, so it can be read locally. The only
+//  communication that takes place is needed for operations to fetch jobs
+//  from a central queue object, but the number of jobs is small: 2184."
+//
+// 2184 = 14 x 13 x 12: a 15-city instance with jobs generated to prefix
+// depth 4 (start city fixed). Workers expand jobs with depth-first search,
+// pruning on (partial cost + minimum-outgoing-edge bound) against the
+// replicated global bound; improvements are broadcast as totally-ordered
+// writes. Superlinear speedups can occur because parallel search finds good
+// bounds earlier.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "apps/common.h"
+
+namespace apps {
+
+struct TspParams {
+  RunConfig run;
+  int cities = 15;
+  std::uint64_t instance_seed = 11;
+  /// Simulated CPU per search-tree node (calibrated to Table 3's
+  /// single-processor time).
+  sim::Time work_per_node = sim::usec(1100);
+  /// Nodes searched between global-bound refreshes / work charges.
+  int batch = 512;
+  int prefix_depth = 4;
+};
+
+struct TspResult {
+  sim::Time elapsed = 0;
+  std::int64_t best_cost = 0;
+  std::uint64_t nodes_expanded = 0;
+  std::uint64_t jobs = 0;
+  std::uint64_t bound_updates = 0;
+  ClusterStats stats;
+};
+
+/// Deterministic distance matrix for the instance.
+[[nodiscard]] std::vector<std::vector<int>> tsp_distances(int cities,
+                                                          std::uint64_t seed);
+
+/// Sequential exact solver (for verification at small sizes).
+[[nodiscard]] std::int64_t tsp_reference(int cities, std::uint64_t seed);
+
+/// Run the parallel Orca TSP application.
+[[nodiscard]] TspResult run_tsp(const TspParams& params);
+
+}  // namespace apps

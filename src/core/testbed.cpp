@@ -1,0 +1,221 @@
+#include "core/testbed.h"
+
+#include <utility>
+
+#include "panda/pan_sys.h"
+#include "sim/require.h"
+
+namespace core {
+
+Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  amoeba::WorldConfig wc;
+  wc.network = config_.network;
+  wc.costs = config_.costs;
+  wc.seed = config_.seed;
+  world_ = std::make_unique<amoeba::World>(wc);
+  world_->add_nodes(config_.nodes);
+
+  panda::ClusterConfig cc;
+  cc.binding = config_.binding;
+  for (NodeId i = 0; i < config_.nodes; ++i) cc.nodes.push_back(i);
+  cc.sequencer = config_.sequencer;
+  for (NodeId i = 0; i < config_.nodes; ++i) {
+    pandas_.push_back(panda::make_panda(world_->kernel(i), cc));
+  }
+}
+
+void Testbed::start() {
+  for (auto& p : pandas_) p->start();
+}
+
+namespace {
+
+using amoeba::Thread;
+using panda::PanSys;
+using panda::SysMsg;
+
+/// Ping-pong at the pan_sys level. `multicast` switches the transport.
+sim::Time measure_sys_latency(std::size_t bytes, int rounds, bool multicast) {
+  amoeba::World world;
+  world.add_nodes(2);
+  PanSys a(world.kernel(0));
+  PanSys b(world.kernel(1));
+
+  int remaining = rounds + 1;  // one warm-up round
+  sim::Time window_start = 0;
+  sim::Time window_end = 0;
+  int pongs = 0;
+
+  // B echoes everything back from within the upcall.
+  b.register_handler(PanSys::Module::kRpc, [&](SysMsg m) -> sim::Co<void> {
+    Thread* daemon = b.daemon_thread();
+    if (multicast) {
+      co_await b.multicast(*daemon, PanSys::Module::kRpc, std::move(m.payload));
+    } else {
+      co_await b.unicast(*daemon, m.src, PanSys::Module::kRpc,
+                         std::move(m.payload));
+    }
+  });
+  // A re-sends on each pong until `remaining` hits zero.
+  a.register_handler(PanSys::Module::kRpc, [&](SysMsg m) -> sim::Co<void> {
+    ++pongs;
+    if (pongs == 1) window_start = world.sim().now();  // warm-up done
+    if (--remaining <= 0) {
+      window_end = world.sim().now();
+      co_return;
+    }
+    Thread* daemon = a.daemon_thread();
+    if (multicast) {
+      co_await a.multicast(*daemon, PanSys::Module::kRpc, std::move(m.payload));
+    } else {
+      co_await a.unicast(*daemon, m.src, PanSys::Module::kRpc,
+                         std::move(m.payload));
+    }
+  });
+  a.start();
+  b.start();
+  world.kernel(0).start_thread("kick", [&](Thread& self) -> sim::Co<void> {
+    co_await a.unicast(self, 1, PanSys::Module::kRpc, net::Payload::zeros(bytes));
+  });
+  world.sim().run();
+  sim::require(window_end > window_start, "sys latency: ping-pong never finished");
+  // Each round is two one-way trips.
+  return (window_end - window_start) / (2 * rounds);
+}
+
+}  // namespace
+
+sim::Time measure_sys_unicast_latency(std::size_t bytes, int rounds) {
+  return measure_sys_latency(bytes, rounds, /*multicast=*/false);
+}
+
+sim::Time measure_sys_multicast_latency(std::size_t bytes, int rounds) {
+  return measure_sys_latency(bytes, rounds, /*multicast=*/true);
+}
+
+sim::Time measure_rpc_latency(Binding binding, std::size_t bytes, int rounds) {
+  TestbedConfig cfg;
+  cfg.binding = binding;
+  cfg.nodes = 2;
+  Testbed bed(cfg);
+  bed.panda(1).set_rpc_handler(
+      [&bed](Thread& upcall, panda::RpcTicket t, net::Payload) -> sim::Co<void> {
+        // Reply from within the upcall, empty reply (Table 1 methodology).
+        co_await bed.panda(1).rpc_reply(upcall, t, net::Payload());
+      });
+  bed.start();
+  sim::Time elapsed = 0;
+  Thread& client = bed.world().kernel(0).create_thread("client");
+  sim::spawn([](panda::Panda& p, Thread& self, sim::Simulator& s,
+                std::size_t sz, int n, sim::Time& out) -> sim::Co<void> {
+    (void)co_await p.rpc(self, 1, net::Payload::zeros(sz));  // warm-up
+    const sim::Time t0 = s.now();
+    for (int i = 0; i < n; ++i) {
+      (void)co_await p.rpc(self, 1, net::Payload::zeros(sz));
+    }
+    out = (s.now() - t0) / n;
+  }(bed.panda(0), client, bed.sim(), bytes, rounds, elapsed));
+  bed.sim().run();
+  sim::require(elapsed > 0, "rpc latency: no result");
+  return elapsed;
+}
+
+sim::Time measure_group_latency(Binding binding, std::size_t bytes, int rounds) {
+  TestbedConfig cfg;
+  cfg.binding = binding;
+  cfg.nodes = 2;
+  cfg.sequencer = 1;  // "the sequencer (which is on the other processor)"
+  Testbed bed(cfg);
+  for (NodeId n = 0; n < 2; ++n) {
+    bed.panda(n).set_group_handler(
+        [](Thread&, NodeId, std::uint32_t, net::Payload) -> sim::Co<void> {
+          co_return;
+        });
+  }
+  bed.start();
+  sim::Time elapsed = 0;
+  Thread& sender = bed.world().kernel(0).create_thread("sender");
+  sim::spawn([](panda::Panda& p, Thread& self, sim::Simulator& s,
+                std::size_t sz, int n, sim::Time& out) -> sim::Co<void> {
+    co_await p.group_send(self, net::Payload::zeros(sz));  // warm-up
+    const sim::Time t0 = s.now();
+    for (int i = 0; i < n; ++i) {
+      co_await p.group_send(self, net::Payload::zeros(sz));
+    }
+    out = (s.now() - t0) / n;
+  }(bed.panda(0), sender, bed.sim(), bytes, rounds, elapsed));
+  bed.sim().run();
+  sim::require(elapsed > 0, "group latency: no result");
+  return elapsed;
+}
+
+double measure_rpc_throughput_kbs(Binding binding, std::size_t request_bytes,
+                                  int rounds) {
+  TestbedConfig cfg;
+  cfg.binding = binding;
+  cfg.nodes = 2;
+  Testbed bed(cfg);
+  bed.panda(1).set_rpc_handler(
+      [&bed](Thread& upcall, panda::RpcTicket t, net::Payload) -> sim::Co<void> {
+        co_await bed.panda(1).rpc_reply(upcall, t, net::Payload());
+      });
+  bed.start();
+  sim::Time elapsed = 0;
+  Thread& client = bed.world().kernel(0).create_thread("client");
+  sim::spawn([](panda::Panda& p, Thread& self, sim::Simulator& s,
+                std::size_t sz, int n, sim::Time& out) -> sim::Co<void> {
+    (void)co_await p.rpc(self, 1, net::Payload::zeros(sz));  // warm-up
+    const sim::Time t0 = s.now();
+    for (int i = 0; i < n; ++i) {
+      (void)co_await p.rpc(self, 1, net::Payload::zeros(sz));
+    }
+    out = s.now() - t0;
+  }(bed.panda(0), client, bed.sim(), request_bytes, rounds, elapsed));
+  bed.sim().run();
+  sim::require(elapsed > 0, "rpc throughput: no result");
+  const double bytes_total = static_cast<double>(request_bytes) * rounds;
+  return bytes_total / 1024.0 / sim::to_sec(elapsed);
+}
+
+double measure_group_throughput_kbs(Binding binding, std::size_t members,
+                                    std::size_t message_bytes,
+                                    int messages_per_member) {
+  TestbedConfig cfg;
+  cfg.binding = binding;
+  cfg.nodes = members;
+  Testbed bed(cfg);
+  std::uint64_t delivered_bytes = 0;
+  sim::Time last_delivery = 0;
+  for (NodeId n = 0; n < members; ++n) {
+    bed.panda(n).set_group_handler(
+        [&delivered_bytes, &last_delivery, &bed, n](
+            Thread&, NodeId, std::uint32_t, net::Payload msg) -> sim::Co<void> {
+          if (n == 0) {
+            delivered_bytes += msg.size();
+            last_delivery = bed.sim().now();
+          }
+          co_return;
+        });
+  }
+  bed.start();
+  int finished = 0;
+  for (NodeId n = 0; n < members; ++n) {
+    Thread& t = bed.world().kernel(n).create_thread("sender");
+    sim::spawn([](panda::Panda& p, Thread& self, std::size_t sz, int k,
+                  int& done) -> sim::Co<void> {
+      for (int i = 0; i < k; ++i) {
+        co_await p.group_send(self, net::Payload::zeros(sz));
+      }
+      ++done;
+    }(bed.panda(n), t, message_bytes, messages_per_member, finished));
+  }
+  bed.sim().run();
+  sim::require(finished == static_cast<int>(members),
+               "group throughput: senders did not finish");
+  // Trailing protocol timers (flow-control/watchdog quiet periods) run after
+  // the last delivery; they are not part of the transfer.
+  const sim::Time elapsed = last_delivery;
+  return static_cast<double>(delivered_bytes) / 1024.0 / sim::to_sec(elapsed);
+}
+
+}  // namespace core

@@ -1,0 +1,84 @@
+// The experiment testbed: a booted processor pool with one Panda instance
+// per node, plus the measurement routines that regenerate the paper's
+// tables. Shared by the calibration tests and the benchmark binaries.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "amoeba/world.h"
+#include "panda/panda.h"
+
+namespace core {
+
+using amoeba::NodeId;
+using panda::Binding;
+
+struct TestbedConfig {
+  Binding binding = Binding::kUserSpace;
+  std::size_t nodes = 2;
+  NodeId sequencer = 0;
+  std::uint64_t seed = 42;
+  amoeba::CostModel costs;
+  net::NetworkConfig network;
+};
+
+/// A booted pool: world + per-node Panda instances (started lazily so tests
+/// can install handlers first).
+class Testbed {
+ public:
+  explicit Testbed(TestbedConfig config);
+
+  [[nodiscard]] amoeba::World& world() noexcept { return *world_; }
+  [[nodiscard]] sim::Simulator& sim() noexcept { return world_->sim(); }
+  [[nodiscard]] panda::Panda& panda(NodeId n) { return *pandas_.at(n); }
+  [[nodiscard]] std::size_t node_count() const noexcept { return pandas_.size(); }
+  [[nodiscard]] const TestbedConfig& config() const noexcept { return config_; }
+
+  /// Start every Panda instance (after handlers are installed).
+  void start();
+
+ private:
+  TestbedConfig config_;
+  std::unique_ptr<amoeba::World> world_;
+  std::vector<std::unique_ptr<panda::Panda>> pandas_;
+};
+
+// --- Table 1 / Table 2 measurement routines ---------------------------------
+// Each boots a fresh deterministic testbed, runs warm-up rounds first (route
+// caches), and returns averages, mirroring the paper's methodology ("average
+// values of 10 runs with little variation").
+
+/// System-layer (pan_sys over FLIP) one-way latency, user process to user
+/// process, replies sent from within the upcall (Table 1, "unicast user").
+[[nodiscard]] sim::Time measure_sys_unicast_latency(std::size_t bytes,
+                                                    int rounds = 10);
+
+/// Same with hardware multicast to a 2-member group (Table 1, "multicast").
+[[nodiscard]] sim::Time measure_sys_multicast_latency(std::size_t bytes,
+                                                      int rounds = 10);
+
+/// Full RPC latency: request of `bytes`, empty reply (Table 1, RPC columns).
+[[nodiscard]] sim::Time measure_rpc_latency(Binding binding, std::size_t bytes,
+                                            int rounds = 10);
+
+/// Group latency: 2 members, sequencer on the other machine, sender waits
+/// for its own message (Table 1, group columns).
+[[nodiscard]] sim::Time measure_group_latency(Binding binding, std::size_t bytes,
+                                              int rounds = 10);
+
+/// RPC throughput in KB/s: stream of 8000-byte requests with empty replies
+/// (Table 2).
+[[nodiscard]] double measure_rpc_throughput_kbs(Binding binding,
+                                                std::size_t request_bytes = 8000,
+                                                int rounds = 25);
+
+/// Group throughput in KB/s: several members sending 8000-byte messages in
+/// parallel until the Ethernet saturates (Table 2).
+[[nodiscard]] double measure_group_throughput_kbs(Binding binding,
+                                                  std::size_t members = 4,
+                                                  std::size_t message_bytes = 8000,
+                                                  int messages_per_member = 12);
+
+}  // namespace core

@@ -1,0 +1,149 @@
+#include "net/buffer.h"
+
+#include <bit>
+#include <cstring>
+#include <utility>
+
+#include "sim/require.h"
+
+namespace net {
+
+namespace {
+const std::uint8_t kNoData = 0;
+}
+
+Payload::Payload(std::vector<std::uint8_t> bytes)
+    : storage_(std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes))),
+      offset_(0),
+      length_(storage_->size()) {}
+
+Payload Payload::zeros(std::size_t n) {
+  return Payload(std::vector<std::uint8_t>(n, 0));
+}
+
+const std::uint8_t* Payload::data() const noexcept {
+  if (storage_ == nullptr || length_ == 0) return &kNoData;
+  return storage_->data() + offset_;
+}
+
+std::span<const std::uint8_t> Payload::bytes() const noexcept {
+  return {data(), length_};
+}
+
+Payload Payload::slice(std::size_t offset, std::size_t length) const {
+  sim::require(offset + length <= length_, "Payload::slice: out of range");
+  Payload out;
+  out.storage_ = storage_;
+  out.offset_ = offset_ + offset;
+  out.length_ = length;
+  return out;
+}
+
+bool Payload::content_equals(const Payload& other) const noexcept {
+  if (length_ != other.length_) return false;
+  return std::memcmp(data(), other.data(), length_) == 0;
+}
+
+Writer& Writer::u8(std::uint8_t v) {
+  bytes_.push_back(v);
+  return *this;
+}
+
+Writer& Writer::u16(std::uint16_t v) {
+  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
+  bytes_.push_back(static_cast<std::uint8_t>(v));
+  return *this;
+}
+
+Writer& Writer::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+  return *this;
+}
+
+Writer& Writer::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+  return *this;
+}
+
+Writer& Writer::i32(std::int32_t v) { return u32(static_cast<std::uint32_t>(v)); }
+Writer& Writer::i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+
+Writer& Writer::f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+
+Writer& Writer::raw(std::span<const std::uint8_t> bytes) {
+  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  return *this;
+}
+
+Writer& Writer::payload(const Payload& p) { return raw(p.bytes()); }
+
+Writer& Writer::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_.insert(bytes_.end(), s.begin(), s.end());
+  return *this;
+}
+
+Writer& Writer::zeros(std::size_t n) {
+  bytes_.insert(bytes_.end(), n, 0);
+  return *this;
+}
+
+Payload Writer::take() { return Payload(std::exchange(bytes_, {})); }
+
+void Reader::need(std::size_t n) const {
+  sim::require(offset_ + n <= payload_.size(), "Reader: payload underrun");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return payload_.data()[offset_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  const auto* p = payload_.data() + offset_;
+  offset_ += 2;
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  const auto* p = payload_.data() + offset_;
+  offset_ += 4;
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
+}
+
+std::uint64_t Reader::u64() {
+  const std::uint64_t hi = u32();
+  const std::uint64_t lo = u32();
+  return (hi << 32) | lo;
+}
+
+std::int32_t Reader::i32() { return static_cast<std::int32_t>(u32()); }
+std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint32_t n = u32();
+  need(n);
+  std::string s(reinterpret_cast<const char*>(payload_.data() + offset_), n);
+  offset_ += n;
+  return s;
+}
+
+Payload Reader::raw(std::size_t n) {
+  need(n);
+  Payload out = payload_.slice(offset_, n);
+  offset_ += n;
+  return out;
+}
+
+Payload Reader::rest() { return raw(remaining()); }
+
+}  // namespace net

@@ -1,0 +1,62 @@
+// Ethernet frames and addressing.
+#pragma once
+
+#include <cstdint>
+
+#include "net/buffer.h"
+#include "sim/time.h"
+
+namespace net {
+
+/// A link-layer address. Unicast addresses are small positive integers
+/// assigned by the Network; multicast group addresses have the high bit set;
+/// kBroadcast reaches every station.
+using MacAddr = std::uint32_t;
+
+inline constexpr MacAddr kNoMac = 0;
+inline constexpr MacAddr kBroadcast = 0xFFFF'FFFF;
+inline constexpr MacAddr kMulticastBit = 0x8000'0000;
+
+[[nodiscard]] constexpr bool is_multicast(MacAddr a) noexcept {
+  return a != kBroadcast && (a & kMulticastBit) != 0;
+}
+[[nodiscard]] constexpr bool is_unicast(MacAddr a) noexcept {
+  return a != kNoMac && a != kBroadcast && (a & kMulticastBit) == 0;
+}
+[[nodiscard]] constexpr MacAddr multicast_group(std::uint32_t group_id) noexcept {
+  return kMulticastBit | group_id;
+}
+
+/// One Ethernet frame. `payload` is what the network layer handed down
+/// (FLIP header + fragment data); the physical overhead (preamble, MAC
+/// header, CRC, interframe gap) is added by the wire-time model.
+struct Frame {
+  MacAddr src = kNoMac;
+  MacAddr dst = kNoMac;
+  Payload payload;
+  std::uint64_t id = 0;  // globally unique, for tracing and loss injection
+};
+
+/// Physical-layer parameters. Defaults model the paper's 10 Mbit/s Ethernet.
+struct WireParams {
+  /// 10 Mbit/s = 1.25 MB/s = 0.8 us/byte = 800 ns/byte.
+  std::int64_t ns_per_byte = 800;
+  /// Preamble(8) + MAC header(14) + CRC(4) + interframe gap(12 byte-times).
+  std::size_t frame_overhead = 38;
+  /// Minimum MAC payload (padding applies below this).
+  std::size_t min_payload = 46;
+  /// Maximum MAC payload: the 1500-byte fragmentation limit of §4.1.
+  std::size_t mtu = 1500;
+  /// Signal propagation + receiver latch time per segment.
+  sim::Time propagation = sim::usec(2);
+};
+
+/// Time the medium is occupied transmitting `payload_bytes` of MAC payload.
+[[nodiscard]] constexpr sim::Time wire_time(const WireParams& wp,
+                                            std::size_t payload_bytes) noexcept {
+  const std::size_t padded =
+      payload_bytes < wp.min_payload ? wp.min_payload : payload_bytes;
+  return static_cast<sim::Time>(padded + wp.frame_overhead) * wp.ns_per_byte;
+}
+
+}  // namespace net

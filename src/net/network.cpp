@@ -1,0 +1,41 @@
+#include "net/network.h"
+
+#include "sim/require.h"
+
+namespace net {
+
+Network::Network(sim::Simulator& s, NetworkConfig config)
+    : sim_(&s), config_(config), switch_(s, config.switch_forward_latency) {
+  sim::require(config_.nodes_per_segment > 0, "Network: nodes_per_segment must be positive");
+}
+
+NodeId Network::add_node() {
+  const NodeId id = static_cast<NodeId>(nics_.size());
+  const std::size_t segment_index = id / config_.nodes_per_segment;
+  if (segment_index == segments_.size()) {
+    segments_.push_back(std::make_unique<Segment>(*sim_, config_.wire));
+    switch_.connect(*segments_.back());
+  }
+  Segment& home = *segments_[segment_index];
+  nics_.push_back(std::make_unique<Nic>(mac_of(id), home));
+  switch_.learn(mac_of(id), home);
+  return id;
+}
+
+Nic& Network::nic(NodeId id) {
+  sim::require(id < nics_.size(), "Network::nic: unknown node");
+  return *nics_[id];
+}
+
+const Nic& Network::nic(NodeId id) const {
+  sim::require(id < nics_.size(), "Network::nic: unknown node");
+  return *nics_[id];
+}
+
+std::uint64_t Network::total_bytes_carried() const noexcept {
+  std::uint64_t total = 0;
+  for (const auto& seg : segments_) total += seg->bytes_carried();
+  return total;
+}
+
+}  // namespace net

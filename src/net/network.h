@@ -1,0 +1,63 @@
+// Topology builder for the paper's processor pool.
+//
+// Nodes are added one at a time; every `nodes_per_segment` nodes a fresh
+// segment is created and connected to the central switch. With 8 nodes per
+// segment (the paper's pool layout) a 32-node run spans four segments.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/nic.h"
+#include "net/segment.h"
+#include "net/switch.h"
+#include "sim/simulator.h"
+
+namespace net {
+
+using NodeId = std::uint32_t;
+
+struct NetworkConfig {
+  WireParams wire;
+  std::size_t nodes_per_segment = 8;
+  sim::Time switch_forward_latency = sim::usec(10);
+};
+
+class Network {
+ public:
+  Network(sim::Simulator& s, NetworkConfig config = {});
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Create a node (a NIC on the appropriate segment). Node ids are dense
+  /// from 0; station addresses are id + 1 (0 is reserved as "no address").
+  NodeId add_node();
+
+  [[nodiscard]] Nic& nic(NodeId id);
+  [[nodiscard]] const Nic& nic(NodeId id) const;
+  [[nodiscard]] std::size_t node_count() const noexcept { return nics_.size(); }
+
+  [[nodiscard]] Segment& segment(std::size_t index) { return *segments_.at(index); }
+  [[nodiscard]] std::size_t segment_count() const noexcept { return segments_.size(); }
+  [[nodiscard]] Switch& backbone() noexcept { return switch_; }
+
+  [[nodiscard]] static MacAddr mac_of(NodeId id) noexcept { return id + 1; }
+
+  /// Aggregate bytes carried across all segments (throughput accounting).
+  [[nodiscard]] std::uint64_t total_bytes_carried() const noexcept;
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+  [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
+
+ private:
+  sim::Simulator* sim_;
+  NetworkConfig config_;
+  Switch switch_;
+  std::vector<std::unique_ptr<Segment>> segments_;
+  std::vector<std::unique_ptr<Nic>> nics_;
+};
+
+}  // namespace net

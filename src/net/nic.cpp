@@ -1,0 +1,17 @@
+#include "net/nic.h"
+
+namespace net {
+
+void Nic::on_frame(const Frame& frame) {
+  const bool for_me = frame.dst == mac_ || frame.dst == kBroadcast ||
+                      (is_multicast(frame.dst) && groups_.contains(frame.dst));
+  if (!for_me) return;
+  if (rx_drop_hook_ && rx_drop_hook_(frame)) {
+    ++rx_dropped_;
+    return;
+  }
+  ++rx_frames_;
+  if (rx_handler_) rx_handler_(frame);
+}
+
+}  // namespace net

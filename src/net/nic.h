@@ -1,0 +1,67 @@
+// A network interface attached to a segment.
+//
+// Receive filtering happens "in hardware": a NIC passes up only frames
+// addressed to its own station address, the broadcast address, or a
+// multicast group it joined — non-members take no interrupt (this matters
+// for CPU-load fidelity at nodes outside a FLIP group).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+
+#include "net/frame.h"
+#include "net/segment.h"
+
+namespace net {
+
+class Nic final : public Attachment {
+ public:
+  Nic(MacAddr mac, Segment& segment) : mac_(mac), segment_(&segment) {
+    segment.attach(*this);
+  }
+
+  [[nodiscard]] MacAddr mac() const noexcept { return mac_; }
+
+  /// Transmit a frame (non-blocking; the segment arbitrates).
+  void send(Frame frame) {
+    frame.src = mac_;
+    ++tx_frames_;
+    segment_->transmit(std::move(frame), this);
+  }
+
+  /// The kernel hooks this to take the receive interrupt.
+  void set_rx_handler(std::function<void(const Frame&)> handler) {
+    rx_handler_ = std::move(handler);
+  }
+
+  /// Receiver-side loss (buffer overrun injection): return true to drop.
+  void set_rx_drop_hook(std::function<bool(const Frame&)> hook) {
+    rx_drop_hook_ = std::move(hook);
+  }
+
+  void join_multicast(MacAddr group) { groups_.insert(group); }
+  void leave_multicast(MacAddr group) { groups_.erase(group); }
+  [[nodiscard]] bool member_of(MacAddr group) const {
+    return groups_.contains(group);
+  }
+
+  void on_frame(const Frame& frame) override;
+
+  [[nodiscard]] std::uint64_t rx_frames() const noexcept { return rx_frames_; }
+  [[nodiscard]] std::uint64_t tx_frames() const noexcept { return tx_frames_; }
+  [[nodiscard]] std::uint64_t rx_dropped() const noexcept { return rx_dropped_; }
+  [[nodiscard]] Segment& segment() noexcept { return *segment_; }
+
+ private:
+  MacAddr mac_;
+  Segment* segment_;
+  std::function<void(const Frame&)> rx_handler_;
+  std::function<bool(const Frame&)> rx_drop_hook_;
+  std::unordered_set<MacAddr> groups_;
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t tx_frames_ = 0;
+  std::uint64_t rx_dropped_ = 0;
+};
+
+}  // namespace net

@@ -1,0 +1,53 @@
+#include "net/segment.h"
+
+#include <utility>
+
+#include "sim/require.h"
+
+namespace net {
+
+void Segment::transmit(Frame frame, const Attachment* originator) {
+  sim::require(frame.payload.size() <= wire_.mtu,
+               "Segment::transmit: frame exceeds the 1500-byte MTU; the "
+               "network layer must fragment");
+  queue_.push_back(Pending{std::move(frame), originator});
+  if (!busy_) start_next();
+}
+
+void Segment::start_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Pending p = std::move(queue_.front());
+  queue_.pop_front();
+
+  const sim::Time occupy = wire_time(wire_, p.frame.payload.size());
+  busy_time_ += occupy;
+  ++frames_;
+  bytes_ += p.frame.payload.size();
+
+  sim_->after(occupy + wire_.propagation,
+              [this, p = std::move(p)]() mutable {
+                const bool lost = loss_hook_ && loss_hook_(p.frame);
+                if (lost) {
+                  ++dropped_;
+                } else {
+                  for (Attachment* a : attachments_) {
+                    if (a != p.originator) a->on_frame(p.frame);
+                  }
+                }
+              });
+  // The medium frees up after the occupy time (propagation overlaps the next
+  // transmission on real Ethernet once the carrier drops).
+  sim_->after(occupy, [this] { start_next(); });
+}
+
+double Segment::utilization() const noexcept {
+  const sim::Time now = sim_->now();
+  if (now <= 0) return 0.0;
+  return static_cast<double>(busy_time_) / static_cast<double>(now);
+}
+
+}  // namespace net

@@ -1,0 +1,78 @@
+// A shared 10 Mbit/s Ethernet segment.
+//
+// One frame occupies the medium at a time; stations contend FIFO (an
+// approximation of CSMA/CD that is exact under light load and fair under
+// saturation, which is all the paper's results depend on). Hardware
+// multicast: one transmission reaches every attached station, which is why
+// the paper's unicast and multicast latencies are nearly identical (§4.1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/frame.h"
+#include "sim/simulator.h"
+
+namespace net {
+
+/// Anything listening on a segment: a NIC or a switch port.
+class Attachment {
+ public:
+  virtual ~Attachment() = default;
+  /// Called at frame arrival time. Filtering (is this frame for me?) is the
+  /// attachment's business.
+  virtual void on_frame(const Frame& frame) = 0;
+};
+
+class Segment {
+ public:
+  Segment(sim::Simulator& s, WireParams wp) : sim_(&s), wire_(wp) {}
+
+  Segment(const Segment&) = delete;
+  Segment& operator=(const Segment&) = delete;
+
+  void attach(Attachment& a) { attachments_.push_back(&a); }
+
+  /// Queue a frame for transmission. `originator` (if given) does not hear
+  /// its own transmission.
+  void transmit(Frame frame, const Attachment* originator = nullptr);
+
+  /// Install a wire-level loss hook: return true to drop the frame after it
+  /// consumed wire time (no station receives it).
+  void set_loss_hook(std::function<bool(const Frame&)> hook) {
+    loss_hook_ = std::move(hook);
+  }
+
+  [[nodiscard]] const WireParams& wire() const noexcept { return wire_; }
+  [[nodiscard]] sim::Time busy_time() const noexcept { return busy_time_; }
+  [[nodiscard]] std::uint64_t frames_carried() const noexcept { return frames_; }
+  [[nodiscard]] std::uint64_t bytes_carried() const noexcept { return bytes_; }
+  [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return dropped_; }
+  [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+
+  /// Fraction of [0, now] the medium was busy.
+  [[nodiscard]] double utilization() const noexcept;
+
+ private:
+  struct Pending {
+    Frame frame;
+    const Attachment* originator;
+  };
+
+  void start_next();
+
+  sim::Simulator* sim_;
+  WireParams wire_;
+  std::vector<Attachment*> attachments_;
+  std::deque<Pending> queue_;
+  bool busy_ = false;
+  std::function<bool(const Frame&)> loss_hook_;
+  sim::Time busy_time_ = 0;
+  std::uint64_t frames_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace net

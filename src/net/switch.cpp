@@ -1,0 +1,47 @@
+#include "net/switch.h"
+
+#include <utility>
+
+namespace net {
+
+void Switch::connect(Segment& segment) {
+  auto port = std::make_unique<Port>(*this, segment);
+  segment.attach(*port);
+  ports_.push_back(std::move(port));
+}
+
+void Switch::forward(Segment& from, const Frame& frame) {
+  if (is_unicast(frame.dst)) {
+    const auto it = where_.find(frame.dst);
+    if (it == where_.end()) return;  // unknown station: drop
+    Segment* egress = it->second;
+    if (egress == &from) return;  // local traffic: nothing to do
+    emit(*egress, frame);
+    return;
+  }
+  // Broadcast / multicast: flood all other ports.
+  for (const auto& port : ports_) {
+    if (&port->segment() != &from) emit(port->segment(), frame);
+  }
+}
+
+void Switch::emit(Segment& to, Frame frame) {
+  ++forwarded_;
+  // Store-and-forward: the frame was fully received at on_frame time; after
+  // the forwarding latency it contends for the egress medium. The port that
+  // enqueues it must not hear the copy back (loop prevention), which
+  // transmit() guarantees via the originator argument — but the originator
+  // here must be the egress port, so find it.
+  const Port* egress_port = nullptr;
+  for (const auto& port : ports_) {
+    if (&port->segment() == &to) {
+      egress_port = port.get();
+      break;
+    }
+  }
+  sim_->after(forward_latency_, [&to, frame = std::move(frame), egress_port]() mutable {
+    to.transmit(std::move(frame), egress_port);
+  });
+}
+
+}  // namespace net

@@ -1,0 +1,61 @@
+// A store-and-forward Ethernet switch joining segments.
+//
+// The paper's processor pool is "several Ethernet segments connected by an
+// Ethernet switch", eight processors per segment. Unicast frames whose
+// destination is on the ingress segment are not forwarded; broadcast and
+// multicast frames flood every other segment (each forwarded copy consumes
+// wire time on its egress segment).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/segment.h"
+#include "sim/simulator.h"
+
+namespace net {
+
+class Switch {
+ public:
+  Switch(sim::Simulator& s, sim::Time forward_latency)
+      : sim_(&s), forward_latency_(forward_latency) {}
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  /// Connect a segment as a switch port.
+  void connect(Segment& segment);
+
+  /// Register which segment a station lives on (static topology; no
+  /// dynamic MAC learning needed for a fixed pool).
+  void learn(MacAddr mac, Segment& segment) { where_[mac] = &segment; }
+
+  [[nodiscard]] std::uint64_t frames_forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] std::size_t port_count() const noexcept { return ports_.size(); }
+
+ private:
+  class Port final : public Attachment {
+   public:
+    Port(Switch& owner, Segment& segment) : owner_(&owner), segment_(&segment) {}
+    void on_frame(const Frame& frame) override { owner_->forward(*segment_, frame); }
+    [[nodiscard]] Segment& segment() noexcept { return *segment_; }
+
+   private:
+    Switch* owner_;
+    Segment* segment_;
+  };
+
+  void forward(Segment& from, const Frame& frame);
+  void emit(Segment& to, Frame frame);
+
+  sim::Simulator* sim_;
+  sim::Time forward_latency_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<MacAddr, Segment*> where_;
+  std::uint64_t forwarded_ = 0;
+};
+
+}  // namespace net

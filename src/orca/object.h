@@ -1,0 +1,121 @@
+// Orca shared data-objects: types, operations, guards, placement hints.
+//
+// An Orca object is an instance of an abstract data type whose operations
+// execute indivisibly. The runtime may keep an object on one processor
+// (operations from elsewhere become RPCs) or replicate it on all processors
+// (read operations run locally; write operations are broadcast with total
+// ordering so all copies stay consistent). Operations may carry a guard: the
+// operation blocks until the guard holds.
+//
+// Application code defines a state class, registers operations on an
+// ObjectType, and interacts with objects exclusively through Rts::invoke.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/buffer.h"
+#include "sim/require.h"
+#include "sim/time.h"
+
+namespace orca {
+
+/// Base class for application-defined object state. Lives per replica.
+class ObjectState {
+ public:
+  virtual ~ObjectState() = default;
+};
+
+using TypeId = std::uint32_t;
+using OpId = std::uint32_t;
+using ObjId = std::uint64_t;
+
+/// One operation of an abstract data type.
+struct OpDef {
+  std::string name;
+  /// Write operations mutate state; on replicated objects they are
+  /// broadcast. Read operations run on the local replica without
+  /// communication.
+  bool is_write = false;
+  /// Optional guard: the operation may not start until this holds.
+  std::function<bool(const ObjectState&, const net::Payload& args)> guard;
+  /// The operation body; returns the marshalled result.
+  std::function<net::Payload(ObjectState&, const net::Payload& args)> apply;
+  /// Simulated CPU cost of executing the operation body.
+  sim::Time cost = sim::usec(5);
+};
+
+/// An abstract data type: a state factory plus its operations.
+class ObjectType {
+ public:
+  ObjectType(std::string name,
+             std::function<std::unique_ptr<ObjectState>(const net::Payload& init)>
+                 factory)
+      : name_(std::move(name)), factory_(std::move(factory)) {}
+
+  OpId add_operation(OpDef op) {
+    ops_.push_back(std::move(op));
+    return static_cast<OpId>(ops_.size() - 1);
+  }
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const OpDef& op(OpId id) const {
+    sim::require(id < ops_.size(), "ObjectType: unknown operation");
+    return ops_[id];
+  }
+  [[nodiscard]] std::size_t op_count() const noexcept { return ops_.size(); }
+  [[nodiscard]] std::unique_ptr<ObjectState> make_state(
+      const net::Payload& init) const {
+    return factory_(init);
+  }
+
+ private:
+  std::string name_;
+  std::function<std::unique_ptr<ObjectState>(const net::Payload&)> factory_;
+  std::vector<OpDef> ops_;
+};
+
+/// The shared catalogue of types — identical on every node, mirroring an
+/// Orca program whose compiled code is the same everywhere.
+class TypeRegistry {
+ public:
+  TypeId register_type(ObjectType type) {
+    types_.push_back(std::move(type));
+    return static_cast<TypeId>(types_.size() - 1);
+  }
+  [[nodiscard]] const ObjectType& type(TypeId id) const {
+    sim::require(id < types_.size(), "TypeRegistry: unknown type");
+    return types_[id];
+  }
+
+ private:
+  std::vector<ObjectType> types_;
+};
+
+/// Compiler-derived placement hints (Bal & Kaashoek, OOPSLA'93): the RTS
+/// replicates objects expected to be read frequently and keeps
+/// low-read-ratio objects on a single processor.
+struct ObjectHints {
+  /// Expected fraction of operations that are reads.
+  double expected_read_fraction = 0.5;
+  /// Threshold above which the RTS replicates.
+  static constexpr double kReplicateThreshold = 0.75;
+};
+
+enum class Placement : std::uint8_t { kReplicated, kSingleCopy };
+
+/// A location-transparent object reference, passable between processes.
+struct ObjHandle {
+  ObjHandle() = default;
+  ObjHandle(ObjId i, TypeId t, Placement p, std::uint32_t o)
+      : id(i), type(t), placement(p), owner(o) {}
+  ObjId id = 0;
+  TypeId type = 0;
+  Placement placement = Placement::kSingleCopy;
+  std::uint32_t owner = 0;  // meaningful for single-copy objects
+};
+
+}  // namespace orca

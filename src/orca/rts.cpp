@@ -1,0 +1,314 @@
+#include "orca/rts.h"
+
+#include <utility>
+
+#include "sim/require.h"
+
+namespace orca {
+
+using panda::RpcStatus;
+using panda::RpcTicket;
+using sim::Mechanism;
+using sim::Prio;
+
+NodeId Process::node() const noexcept { return rts_->node(); }
+
+sim::Co<void> Process::work(sim::Time amount) {
+  co_await rts_->panda().kernel().compute(*thread_, amount);
+}
+
+sim::Co<net::Payload> Process::invoke(const ObjHandle& obj, OpId op,
+                                      net::Payload args) {
+  co_return co_await rts_->invoke(*thread_, obj, op, std::move(args));
+}
+
+Rts::Rts(panda::Panda& panda, const TypeRegistry& registry)
+    : panda_(&panda), registry_(&registry), replica_created_(panda.sim()) {}
+
+void Rts::attach() {
+  panda_->set_group_handler(
+      [this](Thread& upcall, NodeId sender, std::uint32_t seqno,
+             net::Payload msg) -> sim::Co<void> {
+        group_upcall_thread_ = &upcall;
+        co_await on_group(sender, seqno, std::move(msg));
+      });
+  panda_->set_rpc_handler(
+      [this](Thread& upcall, RpcTicket ticket, net::Payload req) -> sim::Co<void> {
+        co_await on_rpc_upcall(upcall, ticket, std::move(req));
+      });
+}
+
+Thread& Rts::fork(std::string name, std::function<sim::Co<void>(Process&)> body) {
+  return panda_->kernel().start_thread(
+      std::move(name),
+      [this, body = std::move(body)](Thread& self) -> sim::Co<void> {
+        Process process(*this, self);
+        co_await body(process);
+      });
+}
+
+Rts::Replica& Rts::replica(ObjId id) {
+  const auto it = objects_.find(id);
+  sim::require(it != objects_.end(), "Rts: unknown object");
+  return it->second;
+}
+
+sim::Co<void> Rts::wait_for_replica(ObjId id) {
+  while (!objects_.contains(id)) co_await replica_created_.wait();
+}
+
+sim::Co<ObjHandle> Rts::create_object(Thread& self, TypeId type, net::Payload init,
+                                      ObjectHints hints) {
+  const ObjId id = (static_cast<ObjId>(node()) << 32) | next_obj_++;
+  if (hints.expected_read_fraction >= ObjectHints::kReplicateThreshold) {
+    // Replicate: broadcast the creation so every node instantiates a copy
+    // before any (totally ordered, hence later) write arrives.
+    net::Writer w;
+    w.u8(static_cast<std::uint8_t>(GroupKind::kCreate));
+    w.u64(id);
+    w.u32(type);
+    w.payload(init);
+    co_await panda_->group_send(self, w.take());
+    co_await wait_for_replica(id);
+    co_return ObjHandle(id, type, Placement::kReplicated, node());
+  }
+  Replica r;
+  r.type = type;
+  r.state = registry_->type(type).make_state(init);
+  objects_.emplace(id, std::move(r));
+  replica_created_.notify_all();
+  co_return ObjHandle(id, type, Placement::kSingleCopy, node());
+}
+
+sim::Co<net::Payload> Rts::invoke(Thread& self, const ObjHandle& obj, OpId opid,
+                                  net::Payload args) {
+  const OpDef& op = registry_->type(obj.type).op(opid);
+
+  if (obj.placement == Placement::kReplicated) {
+    if (!op.is_write) {
+      // Read-only on a replicated object: local, no communication.
+      co_await wait_for_replica(obj.id);
+      Replica& r = replica(obj.id);
+      if (op.guard && !op.guard(*r.state, args)) {
+        // Block locally; a later (broadcast) write re-evaluates the guard.
+        sim::CondVar cv(panda_->sim());
+        auto blocked = std::make_shared<Replica::Blocked>();
+        blocked->op = opid;
+        blocked->args = std::move(args);
+        blocked->wake = &cv;
+        r.blocked.push_back(blocked);
+        while (!blocked->done) co_await cv.wait();
+        co_return std::move(blocked->result);
+      }
+      ++local_reads_;
+      if (op.cost > 0) {
+        co_await panda_->kernel().charge(Prio::kUser,
+                                         Mechanism::kProtocolProcessing, op.cost);
+      }
+      co_return op.apply(*r.state, args);
+    }
+    // Write on a replicated object: totally-ordered broadcast; every replica
+    // applies it; we wait until *our* replica has (guard included).
+    ++group_writes_;
+    const std::uint64_t wseq = next_write_++;
+    sim::CondVar cv(panda_->sim());
+    PendingWrite pending;
+    pending.wake = &cv;
+    pending_writes_.emplace(wseq, &pending);
+    net::Writer w;
+    w.u8(static_cast<std::uint8_t>(GroupKind::kWrite));
+    w.u64(obj.id);
+    w.u32(opid);
+    w.u32(node());
+    w.u64(wseq);
+    w.payload(args);
+    co_await panda_->group_send(self, w.take());
+    while (!pending.done) co_await cv.wait();
+    pending_writes_.erase(wseq);
+    co_return std::move(pending.result);
+  }
+
+  // Single-copy object.
+  if (obj.owner == node()) {
+    co_await wait_for_replica(obj.id);
+    Replica& r = replica(obj.id);
+    if (op.guard && !op.guard(*r.state, args)) {
+      sim::CondVar cv(panda_->sim());
+      auto blocked = std::make_shared<Replica::Blocked>();
+      blocked->op = opid;
+      blocked->args = std::move(args);
+      blocked->wake = &cv;
+      r.blocked.push_back(blocked);
+      while (!blocked->done) co_await cv.wait();
+      co_return std::move(blocked->result);
+    }
+    if (!op.is_write) ++local_reads_;
+    co_return co_await apply_and_wake(self, obj.id, r, opid, args);
+  }
+
+  // Remote invocation via Panda RPC.
+  ++remote_invocations_;
+  net::Writer w;
+  w.u8(static_cast<std::uint8_t>(RpcKind::kInvoke));
+  w.u64(obj.id);
+  w.u32(opid);
+  w.payload(args);
+  panda::RpcReply reply = co_await panda_->rpc(self, obj.owner, w.take());
+  sim::require(reply.status == RpcStatus::kOk,
+               "Rts::invoke: remote invocation failed (op " +
+                   registry_->type(obj.type).op(opid).name + " on node " +
+                   std::to_string(node()) + " -> owner " +
+                   std::to_string(obj.owner) + ")");
+  net::Reader r(reply.reply);
+  const auto status = static_cast<ReplyStatus>(r.u8());
+  sim::require(status == ReplyStatus::kOk,
+               "Rts::invoke: no such object at owner");
+  co_return r.rest();
+}
+
+sim::Co<net::Payload> Rts::apply_and_wake(Thread& ctx, ObjId id, Replica& r,
+                                          OpId opid, const net::Payload& args) {
+  const OpDef& op = registry_->type(r.type).op(opid);
+  if (op.cost > 0) {
+    co_await panda_->kernel().charge(Prio::kUserHigh,
+                                     Mechanism::kProtocolProcessing, op.cost);
+  }
+  net::Payload result = op.apply(*r.state, args);
+  if (op.is_write && !r.blocked.empty()) {
+    co_await reevaluate_blocked(ctx, id, r);
+  }
+  co_return result;
+}
+
+sim::Co<void> Rts::reevaluate_blocked(Thread& ctx, ObjId id, Replica& r) {
+  // Repeatedly scan the FIFO queue; applying one blocked operation can make
+  // another guard true.
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto it = r.blocked.begin(); it != r.blocked.end(); ++it) {
+      const OpDef& op = registry_->type(r.type).op((*it)->op);
+      if (op.guard && !op.guard(*r.state, (*it)->args)) continue;
+      std::shared_ptr<Replica::Blocked> entry = *it;
+      r.blocked.erase(it);
+      if (op.cost > 0) {
+        co_await panda_->kernel().charge(Prio::kUserHigh,
+                                         Mechanism::kProtocolProcessing, op.cost);
+      }
+      net::Payload result = op.apply(*r.state, entry->args);
+      if (entry->ticket.has_value()) {
+        // A parked remote invocation: reply from *this* thread — the Orca
+        // continuation optimization. Cheap on the user-space binding; the
+        // kernel-space binding pays the signal + context switch here.
+        ++continuations_resumed_;
+        net::Writer w;
+        w.u8(static_cast<std::uint8_t>(ReplyStatus::kOk));
+        w.payload(result);
+        co_await panda_->rpc_reply(ctx, *entry->ticket, w.take());
+      } else if (entry->wake != nullptr) {
+        entry->done = true;
+        entry->result = std::move(result);
+        entry->wake->notify_all();
+      } else if (entry->origin_wseq != 0 && entry->origin == node()) {
+        // A replicated guarded write originated here: report its result.
+        const auto pit = pending_writes_.find(entry->origin_wseq);
+        if (pit != pending_writes_.end()) {
+          pit->second->done = true;
+          pit->second->result = std::move(result);
+          pit->second->wake->notify_all();
+        }
+      }
+      progress = true;
+      break;  // iterator invalidated; rescan
+    }
+  }
+  (void)id;
+}
+
+sim::Co<void> Rts::on_group(NodeId sender, std::uint32_t seqno, net::Payload msg) {
+  (void)seqno;
+  net::Reader rd(msg);
+  const auto kind = static_cast<GroupKind>(rd.u8());
+  switch (kind) {
+    case GroupKind::kCreate: {
+      const ObjId id = rd.u64();
+      const TypeId type = rd.u32();
+      net::Payload init = rd.rest();
+      Replica r;
+      r.type = type;
+      r.state = registry_->type(type).make_state(init);
+      objects_.emplace(id, std::move(r));
+      replica_created_.notify_all();
+      break;
+    }
+    case GroupKind::kWrite: {
+      const ObjId id = rd.u64();
+      const OpId opid = rd.u32();
+      const NodeId origin = rd.u32();
+      const std::uint64_t wseq = rd.u64();
+      net::Payload args = rd.rest();
+      Replica& r = replica(id);
+      const OpDef& op = registry_->type(r.type).op(opid);
+      Thread* upcall = group_upcall_thread_;
+      sim::require(upcall != nullptr, "Rts::on_group: no upcall thread");
+      if (op.guard && !op.guard(*r.state, args)) {
+        auto blocked = std::make_shared<Replica::Blocked>();
+        blocked->op = opid;
+        blocked->args = std::move(args);
+        blocked->origin = origin;
+        blocked->origin_wseq = wseq;
+        r.blocked.push_back(std::move(blocked));
+        co_return;
+      }
+      net::Payload result = co_await apply_and_wake(*upcall, id, r, opid, args);
+      if (origin == node()) {
+        const auto it = pending_writes_.find(wseq);
+        if (it != pending_writes_.end()) {
+          it->second->done = true;
+          it->second->result = std::move(result);
+          it->second->wake->notify_all();
+        }
+      }
+      break;
+    }
+  }
+}
+
+sim::Co<void> Rts::on_rpc_upcall(Thread& upcall, RpcTicket ticket,
+                                 net::Payload request) {
+  net::Reader rd(request);
+  const auto kind = static_cast<RpcKind>(rd.u8());
+  sim::require(kind == RpcKind::kInvoke, "Rts: unknown RPC kind");
+  const ObjId id = rd.u64();
+  const OpId opid = rd.u32();
+  net::Payload args = rd.rest();
+
+  const auto it = objects_.find(id);
+  if (it == objects_.end()) {
+    net::Writer w;
+    w.u8(static_cast<std::uint8_t>(ReplyStatus::kNoSuchObject));
+    co_await panda_->rpc_reply(upcall, ticket, w.take());
+    co_return;
+  }
+  Replica& r = it->second;
+  const OpDef& op = registry_->type(r.type).op(opid);
+  if (op.guard && !op.guard(*r.state, args)) {
+    // Queue a continuation at the object instead of blocking the server
+    // thread; the reply will be sent by whichever thread makes the guard
+    // true (§2: "queues a continuation at the object").
+    ++continuations_created_;
+    auto blocked = std::make_shared<Replica::Blocked>();
+    blocked->op = opid;
+    blocked->args = std::move(args);
+    blocked->ticket = ticket;
+    r.blocked.push_back(std::move(blocked));
+    co_return;  // no reply yet
+  }
+  net::Payload result = co_await apply_and_wake(upcall, id, r, opid, args);
+  net::Writer w;
+  w.u8(static_cast<std::uint8_t>(ReplyStatus::kOk));
+  w.payload(result);
+  co_await panda_->rpc_reply(upcall, ticket, w.take());
+}
+
+}  // namespace orca

@@ -1,0 +1,169 @@
+// The Orca runtime system (one instance per node, over one Panda binding).
+//
+// Invocation paths (paper §2):
+//   * read on a replicated object  -> applied to the local replica, no
+//     communication;
+//   * write on a replicated object -> broadcast via totally-ordered group
+//     communication; every replica applies it in the same order;
+//   * any op on a single-copy object owned here -> local;
+//   * any op on a remote single-copy object -> Panda RPC to the owner.
+//
+// Guards: an operation whose guard is false blocks. On the owner of a
+// single-copy object a *remote* blocked invocation is turned into a
+// continuation — the RPC server upcall returns without replying, and when a
+// later write makes the guard true, the reply is sent by the thread that
+// applied that write via the asynchronous pan_rpc_reply. The user-space
+// binding does this directly; the kernel-space binding must signal the
+// original daemon thread (an extra context switch), which is the
+// application-visible difference the paper measures with RL and SOR.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "orca/object.h"
+#include "panda/panda.h"
+#include "sim/co.h"
+#include "sim/sync.h"
+
+namespace orca {
+
+using amoeba::NodeId;
+using amoeba::Thread;
+
+class Rts;
+
+/// An Orca process: a thread on some node with access to that node's RTS.
+/// `work(t)` charges application compute (preemptible at user priority).
+class Process {
+ public:
+  Process(Rts& rts, Thread& thread) : rts_(&rts), thread_(&thread) {}
+
+  [[nodiscard]] Rts& rts() noexcept { return *rts_; }
+  [[nodiscard]] Thread& thread() noexcept { return *thread_; }
+  [[nodiscard]] NodeId node() const noexcept;
+
+  /// Consume `amount` of CPU as application compute.
+  [[nodiscard]] sim::Co<void> work(sim::Time amount);
+
+  /// Invoke `op` on `obj` with `args`; blocks per guard semantics.
+  [[nodiscard]] sim::Co<net::Payload> invoke(const ObjHandle& obj, OpId op,
+                                             net::Payload args = {});
+
+ private:
+  Rts* rts_;
+  Thread* thread_;
+};
+
+class Rts {
+ public:
+  Rts(panda::Panda& panda, const TypeRegistry& registry);
+
+  Rts(const Rts&) = delete;
+  Rts& operator=(const Rts&) = delete;
+
+  /// Install handlers on the Panda instance. Call before Panda::start().
+  void attach();
+
+  [[nodiscard]] panda::Panda& panda() noexcept { return *panda_; }
+  [[nodiscard]] NodeId node() const noexcept { return panda_->node(); }
+  [[nodiscard]] const TypeRegistry& registry() const noexcept { return *registry_; }
+
+  /// Create a shared object. The RTS picks the placement from the hints:
+  /// replicate when the expected read fraction is high, else keep a single
+  /// copy on this node. Replicated creation is broadcast so every node
+  /// instantiates the replica before any subsequent write reaches it.
+  [[nodiscard]] sim::Co<ObjHandle> create_object(Thread& self, TypeId type,
+                                                 net::Payload init,
+                                                 ObjectHints hints = {});
+
+  /// Invoke an operation; blocks until the guard holds and the operation has
+  /// executed (for replicated writes: until the local replica applied it).
+  [[nodiscard]] sim::Co<net::Payload> invoke(Thread& self, const ObjHandle& obj,
+                                             OpId op, net::Payload args);
+
+  /// Fork an Orca process on this node.
+  Thread& fork(std::string name, std::function<sim::Co<void>(Process&)> body);
+
+  // Statistics for the evaluation section.
+  [[nodiscard]] std::uint64_t local_reads() const noexcept { return local_reads_; }
+  [[nodiscard]] std::uint64_t group_writes() const noexcept { return group_writes_; }
+  [[nodiscard]] std::uint64_t remote_invocations() const noexcept {
+    return remote_invocations_;
+  }
+  [[nodiscard]] std::uint64_t continuations_created() const noexcept {
+    return continuations_created_;
+  }
+  [[nodiscard]] std::uint64_t continuations_resumed() const noexcept {
+    return continuations_resumed_;
+  }
+
+ private:
+  enum class GroupKind : std::uint8_t { kCreate = 1, kWrite = 2 };
+  enum class RpcKind : std::uint8_t { kInvoke = 1 };
+  enum class ReplyStatus : std::uint8_t { kOk = 1, kNoSuchObject = 2 };
+
+  struct Replica {
+    TypeId type = 0;
+    std::unique_ptr<ObjectState> state;
+    // Blocked invocations (guards pending), FIFO. Entries are co-owned by
+    // the queue and (for local invocations) the waiting coroutine.
+    struct Blocked {
+      OpId op = 0;
+      net::Payload args;
+      bool done = false;
+      net::Payload result;
+      sim::CondVar* wake = nullptr;             // local waiter
+      std::optional<panda::RpcTicket> ticket;   // remote continuation
+      NodeId origin = 0;                        // replicated guarded write:
+      std::uint64_t origin_wseq = 0;            //   who to report the result to
+    };
+    std::deque<std::shared_ptr<Blocked>> blocked;
+  };
+
+  struct PendingWrite {
+    bool done = false;
+    net::Payload result;
+    sim::CondVar* wake = nullptr;
+  };
+
+  [[nodiscard]] sim::Co<void> on_group(NodeId sender, std::uint32_t seqno,
+                                       net::Payload msg);
+  [[nodiscard]] sim::Co<void> on_rpc_upcall(Thread& upcall,
+                                            panda::RpcTicket ticket,
+                                            net::Payload request);
+
+  /// Apply `op` to a replica (charging its cost), then re-evaluate blocked
+  /// operations whose guards may have become true. Replies to any remote
+  /// continuations from the *current* thread (the paper's optimization).
+  [[nodiscard]] sim::Co<net::Payload> apply_and_wake(Thread& ctx, ObjId id,
+                                                     Replica& replica, OpId op,
+                                                     const net::Payload& args);
+  [[nodiscard]] sim::Co<void> reevaluate_blocked(Thread& ctx, ObjId id,
+                                                 Replica& replica);
+
+  [[nodiscard]] Replica& replica(ObjId id);
+  [[nodiscard]] sim::Co<void> wait_for_replica(ObjId id);
+
+  panda::Panda* panda_;
+  const TypeRegistry* registry_;
+  Thread* group_upcall_thread_ = nullptr;
+  std::unordered_map<ObjId, Replica> objects_;
+  sim::CondVar replica_created_;
+  std::uint32_t next_obj_ = 1;
+  std::uint64_t next_write_ = 1;
+  std::map<std::uint64_t, PendingWrite*> pending_writes_;
+  std::uint64_t local_reads_ = 0;
+  std::uint64_t group_writes_ = 0;
+  std::uint64_t remote_invocations_ = 0;
+  std::uint64_t continuations_created_ = 0;
+  std::uint64_t continuations_resumed_ = 0;
+};
+
+}  // namespace orca

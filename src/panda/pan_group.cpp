@@ -1,0 +1,568 @@
+#include "panda/pan_group.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/require.h"
+
+namespace panda {
+
+using amoeba::CostModel;
+using sim::Mechanism;
+using sim::Prio;
+
+namespace {
+/// User data per sequencing unit: unit (40-byte group header + chunk) must
+/// fit PanSys::kFragmentData so one unit is one FLIP packet.
+constexpr std::size_t kUnitData = 1400;
+constexpr sim::Time kSendRetryInterval = sim::msec(100);
+constexpr sim::Time kGapRequestDelay = sim::msec(5);
+constexpr sim::Time kLagWatchdogInterval = sim::msec(200);
+}  // namespace
+
+net::Payload PanGroup::make_wire(MsgType type, const Unit& unit,
+                                 std::uint32_t horizon) const {
+  net::Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u8(0);
+  w.u16(unit.frag_idx);
+  w.u16(unit.frag_count);
+  w.u16(0);
+  w.u32(unit.seqno);
+  w.u32(unit.sender);
+  w.u32(unit.msg_id);
+  w.u32(horizon);
+  // Pad to Panda's 40-byte group header (§4.3: "small headers of 40 bytes").
+  w.zeros(kernel_->costs().panda_group_header - w.size());
+  w.payload(unit.payload);
+  return w.take();
+}
+
+PanGroup::Unit PanGroup::parse_wire(const net::Payload& p,
+                                    std::size_t header_bytes,
+                                    std::uint8_t& type_out,
+                                    std::uint32_t& horizon_out) {
+  net::Reader r(p);
+  type_out = r.u8();
+  (void)r.u8();
+  Unit u;
+  u.frag_idx = r.u16();
+  u.frag_count = r.u16();
+  (void)r.u16();
+  u.seqno = r.u32();
+  u.sender = r.u32();
+  u.msg_id = r.u32();
+  horizon_out = r.u32();
+  u.payload = p.slice(header_bytes, p.size() - header_bytes);
+  return u;
+}
+
+void PanGroup::start() {
+  sys_->register_handler(PanSys::Module::kGroup,
+                         [this](SysMsg m) -> sim::Co<void> {
+                           co_await on_group_message(std::move(m));
+                         });
+  if (is_sequencer()) {
+    seq_ = std::make_unique<SequencerState>();
+    seq_->lag_timer = std::make_unique<sim::Timer>(kernel_->sim());
+    seq_thread_ = &kernel_->start_thread(
+        "pan_group-sequencer", [this](Thread& self) -> sim::Co<void> {
+          co_await sequencer_loop(self);
+        });
+    sys_->set_sequencer_thread(*seq_thread_);
+  }
+}
+
+sim::Co<void> PanGroup::send(Thread& self, net::Payload msg) {
+  const CostModel& c = kernel_->costs();
+  // One fragmentation-layer pass at the sending member only: "the user-space
+  // group protocol only incurs a 20 us overhead" (§4.3).
+  co_await kernel_->charge(Prio::kUserHigh, Mechanism::kFragmentationLayer,
+                           c.user_fragmentation_layer);
+  co_await kernel_->charge(Prio::kUserHigh, Mechanism::kProtocolProcessing,
+                           c.group_protocol_processing);
+
+  const std::uint32_t msg_id = next_msg_id_++;
+  const std::size_t total = msg.size();
+  const auto frag_count = static_cast<std::uint16_t>(
+      total == 0 ? 1 : (total + kUnitData - 1) / kUnitData);
+  const bool bb = total > config_->bb_threshold;
+  if (bb) ++bb_sends_;
+
+  PendingSend pending;
+  pending.thread = &self;
+  pending.bb = bb;
+  pending.timer = std::make_unique<sim::Timer>(kernel_->sim());
+  sends_in_flight_.emplace(msg_id, &pending);
+
+  std::size_t offset = 0;
+  for (std::uint16_t idx = 0; idx < frag_count; ++idx) {
+    const std::size_t chunk = std::min(kUnitData, total - offset);
+    Unit u;
+    u.sender = kernel_->node();
+    u.msg_id = msg_id;
+    u.frag_idx = idx;
+    u.frag_count = frag_count;
+    u.payload = msg.slice(offset, chunk);
+    offset += chunk;
+
+    const MsgType type = bb ? MsgType::kBody : MsgType::kReq;
+    net::Payload wire = make_wire(type, u, next_expected_ - 1);
+    pending.wires.push_back(wire);
+
+    if (bb) {
+      // BB: broadcast the body; everyone (incl. the sequencer) stashes it.
+      bb_bodies_.emplace(UnitKey{u.sender, u.msg_id, u.frag_idx}, u.payload);
+      if (is_sequencer()) {
+        co_await sys_->inject_sequencer(SysMsg(kernel_->node(), wire));
+        co_await sys_->multicast_unit(self, PanSys::Module::kGroup, wire);
+      } else {
+        co_await sys_->multicast_unit(self, PanSys::Module::kGroup, wire);
+      }
+    } else if (is_sequencer()) {
+      // Local hand-off to our own sequencer thread.
+      co_await sys_->inject_sequencer(SysMsg(kernel_->node(), wire));
+    } else {
+      co_await sys_->unicast_unit(self, config_->sequencer,
+                                  PanSys::Module::kSequencer, wire);
+    }
+  }
+
+  if (!is_sequencer()) {
+    pending.timer->schedule(kSendRetryInterval,
+                            [this, msg_id] { send_retry_tick(msg_id); });
+  }
+  // Sleep on the condition variable until the daemon notifies us; both the
+  // sleep and the wake cross the user/kernel boundary (§4.3).
+  co_await kernel_->syscall_enter();
+  while (!pending.done) co_await self.block();
+  co_await kernel_->syscall_return(c.panda_stack_depth);
+  sends_in_flight_.erase(msg_id);
+}
+
+void PanGroup::send_retry_tick(std::uint32_t msg_id) {
+  const auto it = sends_in_flight_.find(msg_id);
+  if (it == sends_in_flight_.end() || it->second->done) return;
+  PendingSend& pending = *it->second;
+  Thread* daemon = sys_->daemon_thread();
+  for (const net::Payload& wire : pending.wires) {
+    if (pending.bb) {
+      sim::spawn(sys_->multicast_unit(*daemon, PanSys::Module::kGroup, wire));
+    } else {
+      sim::spawn(sys_->unicast_unit(*daemon, config_->sequencer,
+                                    PanSys::Module::kSequencer, wire));
+    }
+  }
+  ++pending.retries;
+  const sim::Time backoff =
+      kSendRetryInterval * (1LL << std::min(pending.retries, 4));
+  pending.timer->schedule(backoff, [this, msg_id] { send_retry_tick(msg_id); });
+}
+
+// --- Sequencer thread --------------------------------------------------------
+
+sim::Co<void> PanGroup::sequencer_loop(Thread& self) {
+  for (;;) {
+    SysMsg msg = co_await sys_->seq_receive(self);
+    co_await seq_handle(self, std::move(msg));
+  }
+}
+
+sim::Co<void> PanGroup::seq_handle(Thread& self, SysMsg msg) {
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->charge(Prio::kUserHigh, Mechanism::kProtocolProcessing,
+                           c.group_protocol_processing);
+  std::uint8_t type_raw = 0;
+  std::uint32_t horizon = 0;
+  Unit unit = parse_wire(msg.payload, c.panda_group_header, type_raw, horizon);
+  SequencerState& seq = *seq_;
+  seq.horizon[unit.sender] = std::max(seq.horizon[unit.sender], horizon);
+
+  switch (static_cast<MsgType>(type_raw)) {
+    case MsgType::kReq:
+    case MsgType::kBody: {
+      // Dedupe at message granularity: one accept per message.
+      const UnitKey msg_key{unit.sender, unit.msg_id, 0};
+      if (const auto it = seq.sequenced.find(msg_key); it != seq.sequenced.end()) {
+        // Duplicate: the sender missed its accept. A BB sender still has the
+        // body, so a small accept-ref suffices (a full retransmission would
+        // feed the congestion that delayed the accept); a PB sender does
+        // not, so it gets the full message back.
+        const bool was_bb = static_cast<MsgType>(type_raw) == MsgType::kBody;
+        if (was_bb) {
+          Unit ref;
+          ref.seqno = it->second;
+          ref.sender = unit.sender;
+          ref.msg_id = unit.msg_id;
+          ref.frag_count = unit.frag_count;
+          net::Payload wire = make_wire(MsgType::kAcceptRef, ref, 0);
+          co_await sys_->unicast_unit(self, unit.sender, PanSys::Module::kGroup,
+                                      std::move(wire));
+        } else {
+          for (const Unit& h : seq.history) {
+            if (h.seqno == it->second) {
+              net::Payload wire = make_wire(MsgType::kRetrans, h, 0);
+              co_await sys_->unicast(self, unit.sender, PanSys::Module::kGroup,
+                                     std::move(wire));
+              break;
+            }
+          }
+        }
+        co_return;
+      }
+      if (static_cast<MsgType>(type_raw) == MsgType::kReq) {
+        // PB: always a single unit (small message).
+        co_await seq_sequence(self, std::move(unit), /*bb=*/false);
+        break;
+      }
+      // BB: collect the broadcast body fragments; sequence once complete.
+      // "the sequencer is written to order group messages at the fragment
+      // level" — it tracks fragments without reassembling until it must
+      // store the message in its history.
+      bb_bodies_.emplace(UnitKey{unit.sender, unit.msg_id, unit.frag_idx},
+                         unit.payload);
+      bool complete = true;
+      for (std::uint16_t i = 0; i < unit.frag_count; ++i) {
+        if (!bb_bodies_.contains(UnitKey{unit.sender, unit.msg_id, i})) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) break;
+      net::Writer assembled;
+      for (std::uint16_t i = 0; i < unit.frag_count; ++i) {
+        const UnitKey k{unit.sender, unit.msg_id, i};
+        assembled.payload(bb_bodies_.at(k));
+        bb_bodies_.erase(k);
+      }
+      Unit whole;
+      whole.sender = unit.sender;
+      whole.msg_id = unit.msg_id;
+      whole.frag_idx = 0;
+      whole.frag_count = unit.frag_count;
+      whole.payload = assembled.take();
+      co_await seq_sequence(self, std::move(whole), /*bb=*/true);
+      break;
+    }
+    case MsgType::kRetReq: {
+      ++retreqs_;
+      for (const Unit& h : seq.history) {
+        if (h.seqno == unit.seqno) {
+          net::Payload wire = make_wire(MsgType::kRetrans, h, 0);
+          co_await sys_->unicast(self, unit.sender, PanSys::Module::kGroup,
+                                 std::move(wire));
+          break;
+        }
+      }
+      break;
+    }
+    case MsgType::kStatus:
+      seq_trim();
+      co_await seq_drain(self);
+      break;
+    default:
+      break;
+  }
+}
+
+sim::Co<void> PanGroup::seq_sequence(Thread& self, Unit unit, bool bb) {
+  SequencerState& seq = *seq_;
+  seq_trim();  // piggybacked horizons may already allow progress
+  if (seq.history.size() >= config_->group_history) {
+    unit.pending_bb = bb;
+    seq.pending.push_back(std::move(unit));
+    if (!seq.status_round_active) {
+      seq.status_round_active = true;
+      ++status_rounds_;
+      seq.horizon[kernel_->node()] = next_expected_ - 1;
+      Unit probe;
+      probe.sender = kernel_->node();
+      net::Payload wire = make_wire(MsgType::kStatusReq, probe, 0);
+      co_await sys_->multicast_unit(self, PanSys::Module::kGroup, wire);
+      // Our own horizon may be enough (e.g. a single-member group).
+      seq_trim();
+      co_await seq_drain(self);
+    }
+    co_return;
+  }
+  unit.seqno = seq.next_seqno++;
+  unit.pending_bb = bb;
+  seq.sequenced.emplace(UnitKey{unit.sender, unit.msg_id, 0}, unit.seqno);
+  seq.history.push_back(unit);
+  ++seq.total_sequenced;
+  seq.last_progress = kernel_->sim().now();
+  co_await seq_emit(self, unit, bb);
+  arm_lag_watchdog();
+}
+
+void PanGroup::arm_lag_watchdog() {
+  if (seq_->lag_timer->pending()) return;
+  seq_->lag_timer->schedule(kLagWatchdogInterval, [this] { lag_watchdog_tick(); });
+}
+
+void PanGroup::lag_watchdog_tick() {
+  SequencerState& seq = *seq_;
+  // Only probe once sequencing has gone quiet: while traffic flows, the
+  // members' own gap machinery recovers faster and probe traffic would eat
+  // into a saturated wire.
+  if (kernel_->sim().now() - seq.last_progress < kLagWatchdogInterval) {
+    seq.lag_timer->schedule(kLagWatchdogInterval, [this] { lag_watchdog_tick(); });
+    return;
+  }
+  const std::uint32_t target = seq.next_seqno - 1;
+  bool lagging = false;
+  Thread* daemon = sys_->daemon_thread();
+  for (const NodeId member : config_->nodes) {
+    const std::uint32_t h = member == kernel_->node()
+                                ? next_expected_ - 1
+                                : (seq.horizon.contains(member)
+                                       ? seq.horizon.at(member)
+                                       : 0);
+    if (h >= target) continue;
+    lagging = true;
+    // Resend the first message this member is missing (if still in history);
+    // its own gap machinery recovers the rest once traffic flows again.
+    for (const Unit& u : seq.history) {
+      if (u.seqno == h + 1) {
+        net::Payload wire = make_wire(MsgType::kRetrans, u, 0);
+        sim::spawn(sys_->unicast(*daemon, member, PanSys::Module::kGroup,
+                                 std::move(wire)));
+        break;
+      }
+    }
+  }
+  if (lagging) {
+    // Refresh horizons for the next round.
+    Unit probe;
+    probe.sender = kernel_->node();
+    net::Payload wire = make_wire(MsgType::kStatusReq, probe, 0);
+    sim::spawn(sys_->multicast_unit(*daemon, PanSys::Module::kGroup,
+                                    std::move(wire)));
+    seq_->lag_timer->schedule(kLagWatchdogInterval, [this] { lag_watchdog_tick(); });
+  }
+}
+
+sim::Co<void> PanGroup::seq_emit(Thread& self, const Unit& unit, bool bb) {
+  // The multicast syscall (§4.3: "another to multicast the message including
+  // the sequence number").
+  if (bb) {
+    Unit ref = unit;
+    ref.payload = net::Payload();
+    net::Payload wire = make_wire(MsgType::kAcceptRef, ref, 0);
+    co_await sys_->multicast_unit(self, PanSys::Module::kGroup, wire);
+  } else {
+    net::Payload wire = make_wire(MsgType::kAcceptFull, unit, 0);
+    co_await sys_->multicast_unit(self, PanSys::Module::kGroup, wire);
+  }
+  // Our NIC does not hear our own multicast: deliver locally. With an
+  // application on this node "an extra thread runs to deliver the group
+  // message to the user. Since this thread has run last to deliver the
+  // previous message, a full context switch is needed" for the next request.
+  // A *dedicated* sequencer delivers to nobody, so its context stays loaded.
+  if (handler_ || !sends_in_flight_.empty()) {
+    // kRetrans carries the full payload, so the daemon-side parse works for
+    // both the PB and BB cases.
+    net::Payload local = make_wire(MsgType::kRetrans, unit, 0);
+    co_await sys_->inject_daemon(PanSys::Module::kGroup,
+                                 SysMsg(kernel_->node(), std::move(local)));
+  } else {
+    co_await member_accept(unit);  // ordering bookkeeping only
+  }
+}
+
+void PanGroup::seq_trim() {
+  SequencerState& seq = *seq_;
+  std::uint32_t min_horizon = next_expected_ - 1;
+  for (const NodeId member : config_->nodes) {
+    if (member == kernel_->node()) continue;
+    const auto it = seq.horizon.find(member);
+    if (it == seq.horizon.end()) return;  // someone has never reported
+    min_horizon = std::min(min_horizon, it->second);
+  }
+  while (!seq.history.empty() && seq.history.front().seqno <= min_horizon) {
+    seq.sequenced.erase(UnitKey{seq.history.front().sender,
+                                seq.history.front().msg_id,
+                                seq.history.front().frag_idx});
+    seq.history.pop_front();
+  }
+}
+
+sim::Co<void> PanGroup::seq_drain(Thread& self) {
+  SequencerState& seq = *seq_;
+  while (!seq.pending.empty() && seq.history.size() < config_->group_history) {
+    seq.status_round_active = false;
+    Unit unit = std::move(seq.pending.front());
+    seq.pending.pop_front();
+    const bool bb = unit.pending_bb;
+    co_await seq_sequence(self, std::move(unit), bb);
+  }
+}
+
+// --- Member side -------------------------------------------------------------
+
+sim::Co<void> PanGroup::on_group_message(SysMsg msg) {
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->charge(Prio::kUserHigh, Mechanism::kProtocolProcessing,
+                           c.group_protocol_processing);
+  std::uint8_t type_raw = 0;
+  std::uint32_t horizon = 0;
+  Unit unit = parse_wire(msg.payload, c.panda_group_header, type_raw, horizon);
+
+  switch (static_cast<MsgType>(type_raw)) {
+    case MsgType::kBody: {
+      bb_bodies_.emplace(UnitKey{unit.sender, unit.msg_id, unit.frag_idx},
+                         unit.payload);
+      // A stashed accept may now be satisfiable.
+      if (const auto pa = pending_accepts_.find({unit.sender, unit.msg_id});
+          pa != pending_accepts_.end()) {
+        bool complete = true;
+        for (std::uint16_t i = 0; i < pa->second.frag_count; ++i) {
+          if (!bb_bodies_.contains(UnitKey{unit.sender, unit.msg_id, i})) {
+            complete = false;
+            break;
+          }
+        }
+        if (complete) {
+          Unit ready = pa->second;
+          pending_accepts_.erase(pa);
+          net::Writer assembled;
+          for (std::uint16_t i = 0; i < ready.frag_count; ++i) {
+            const UnitKey k{ready.sender, ready.msg_id, i};
+            assembled.payload(bb_bodies_.at(k));
+            bb_bodies_.erase(k);
+          }
+          ready.payload = assembled.take();
+          co_await member_accept(std::move(ready));
+        }
+      }
+      if (is_sequencer()) {
+        // Hand the body to the sequencer thread as an implicit request.
+        co_await sys_->inject_sequencer(std::move(msg));
+      }
+      break;
+    }
+    case MsgType::kAcceptFull:
+    case MsgType::kRetrans:
+      pending_accepts_.erase({unit.sender, unit.msg_id});
+      co_await member_accept(std::move(unit));
+      break;
+    case MsgType::kAcceptRef: {
+      bool complete = true;
+      for (std::uint16_t i = 0; i < unit.frag_count; ++i) {
+        if (!bb_bodies_.contains(UnitKey{unit.sender, unit.msg_id, i})) {
+          complete = false;
+          break;
+        }
+      }
+      if (!complete) {
+        // Remember the accept; the remaining body fragments complete it.
+        pending_accepts_[{unit.sender, unit.msg_id}] = unit;
+        break;
+      }
+      net::Writer assembled;
+      for (std::uint16_t i = 0; i < unit.frag_count; ++i) {
+        const UnitKey k{unit.sender, unit.msg_id, i};
+        assembled.payload(bb_bodies_.at(k));
+        bb_bodies_.erase(k);
+      }
+      unit.payload = assembled.take();
+      co_await member_accept(std::move(unit));
+      break;
+    }
+    case MsgType::kStatusReq: {
+      Unit status;
+      status.sender = kernel_->node();
+      Thread* daemon = sys_->daemon_thread();
+      net::Payload wire = make_wire(MsgType::kStatus, status, next_expected_ - 1);
+      if (is_sequencer()) {
+        co_await sys_->inject_sequencer(SysMsg(kernel_->node(), std::move(wire)));
+      } else {
+        co_await sys_->unicast_unit(*daemon, config_->sequencer,
+                                    PanSys::Module::kSequencer, wire);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+sim::Co<void> PanGroup::member_accept(Unit unit) {
+  if (unit.seqno < next_expected_) co_return;  // duplicate
+  out_of_order_.emplace(unit.seqno, std::move(unit));
+  co_await deliver_ready();
+  if (!out_of_order_.empty()) arm_gap_timer();
+}
+
+sim::Co<void> PanGroup::deliver_ready() {
+  // Bookkeeping is synchronous; suspending charges (signals, upcalls) are
+  // deferred so concurrent accepts cannot interleave deliveries.
+  struct Delivery {
+    Delivery(NodeId s, std::uint32_t n, net::Payload p, bool own)
+        : sender(s), seqno(n), payload(std::move(p)), own_message(own) {}
+    NodeId sender;
+    std::uint32_t seqno;
+    net::Payload payload;
+    bool own_message;
+    Thread* sender_thread = nullptr;
+  };
+  std::vector<Delivery> ready;
+
+  while (true) {
+    const auto it = out_of_order_.find(next_expected_);
+    if (it == out_of_order_.end()) break;
+    Unit unit = std::move(it->second);
+    out_of_order_.erase(it);
+    ++next_expected_;
+    gap_timer_.cancel();
+
+    const bool own = unit.sender == kernel_->node();
+    Delivery d(unit.sender, unit.seqno, std::move(unit.payload), own);
+    if (own) {
+      const auto sit = sends_in_flight_.find(unit.msg_id);
+      if (sit != sends_in_flight_.end() && !sit->second->done) {
+        sit->second->done = true;
+        sit->second->timer->cancel();
+        d.sender_thread = sit->second->thread;
+      }
+    }
+    ready.push_back(std::move(d));
+  }
+
+  const CostModel& c = kernel_->costs();
+  for (Delivery& d : ready) {
+    if (d.sender_thread != nullptr) {
+      // Notify the blocked sender: "the client thread is sleeping on a
+      // condition variable and has to be notified by the daemon thread.
+      // This requires a system call and causes a number of underflow traps"
+      // (§4.3).
+      co_await kernel_->signal_thread(*d.sender_thread, c.panda_stack_depth);
+    }
+    if (handler_) {
+      co_await handler_(*sys_->daemon_thread(), d.sender, d.seqno,
+                        std::move(d.payload));
+    }
+  }
+}
+
+void PanGroup::arm_gap_timer() {
+  if (gap_timer_.pending()) return;
+  gap_timer_.schedule(kGapRequestDelay, [this] {
+    if (out_of_order_.empty()) return;
+    ++retreqs_;
+    Unit ask;
+    ask.sender = kernel_->node();
+    ask.seqno = next_expected_;
+    net::Payload wire = make_wire(MsgType::kRetReq, ask, next_expected_ - 1);
+    Thread* daemon = sys_->daemon_thread();
+    if (is_sequencer()) {
+      sim::spawn(sys_->inject_sequencer(SysMsg(kernel_->node(), std::move(wire))));
+    } else {
+      sim::spawn(sys_->unicast_unit(*daemon, config_->sequencer,
+                                    PanSys::Module::kSequencer, std::move(wire)));
+    }
+    arm_gap_timer();
+  });
+}
+
+}  // namespace panda

@@ -1,0 +1,116 @@
+// Panda's user-space RPC: a 2-way stop-and-wait protocol (§2, §3.2).
+//
+// The client sends a request and blocks on a condition variable in user
+// space. The server's reply implicitly acknowledges the request; the client
+// acknowledges the reply by piggybacking on its next request to the same
+// server, falling back to an explicit ack message after a timeout — "this
+// optimization is the major difference with Amoeba's 3-way RPC protocol".
+//
+// The reply may be produced asynchronously (pan_rpc_reply) by any thread,
+// which is what lets the Orca RTS resume a guarded operation from the thread
+// that made the guard true, with no extra context switch — the flexibility
+// the kernel-space binding cannot offer.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "amoeba/kernel.h"
+#include "panda/pan_sys.h"
+#include "panda/panda.h"
+#include "sim/co.h"
+#include "sim/timer.h"
+
+namespace panda {
+
+class PanRpc {
+ public:
+  PanRpc(Kernel& kernel, PanSys& sys, const ClusterConfig& config)
+      : kernel_(&kernel), sys_(&sys), config_(&config) {}
+
+  PanRpc(const PanRpc&) = delete;
+  PanRpc& operator=(const PanRpc&) = delete;
+
+  void set_handler(RpcHandler h) { handler_ = std::move(h); }
+  void start();
+
+  /// Client: blocking call.
+  [[nodiscard]] sim::Co<RpcReply> call(Thread& self, NodeId dst,
+                                       net::Payload request);
+
+  /// Server: asynchronous reply (any thread).
+  [[nodiscard]] sim::Co<void> reply(Thread& self, RpcTicket ticket,
+                                    net::Payload payload);
+
+  [[nodiscard]] std::uint64_t lock_ops() const noexcept { return lock_ops_; }
+  [[nodiscard]] std::uint64_t piggybacked_acks() const noexcept { return piggy_acks_; }
+  [[nodiscard]] std::uint64_t explicit_acks() const noexcept { return explicit_acks_; }
+  [[nodiscard]] std::uint64_t retransmissions() const noexcept { return retransmits_; }
+  [[nodiscard]] std::uint64_t requests_served() const noexcept { return served_count_; }
+
+ private:
+  enum class MsgType : std::uint8_t {
+    kRequest = 1,
+    kReply = 2,
+    kAck = 3,
+    kServerBusy = 4,  // keepalive while a guarded op is parked
+  };
+
+  struct Outstanding {
+    Thread* thread = nullptr;
+    bool done = false;
+    RpcStatus status = RpcStatus::kTimeout;
+    net::Payload reply;
+    net::Payload wire;
+    NodeId dst = 0;
+    std::unique_ptr<sim::Timer> timer;
+    int sends = 0;
+  };
+
+  struct ServedKey {
+    NodeId client;
+    std::uint32_t trans_id;
+    bool operator<(const ServedKey& o) const noexcept {
+      return client != o.client ? client < o.client : trans_id < o.trans_id;
+    }
+  };
+  struct ServedEntry {
+    bool replied = false;
+    net::Payload cached_reply_wire;
+  };
+
+  struct TicketState {
+    NodeId client = 0;
+    std::uint32_t trans_id = 0;
+  };
+
+  [[nodiscard]] sim::Co<void> on_message(SysMsg msg);
+  [[nodiscard]] net::Payload make_wire(MsgType type, std::uint32_t trans_id,
+                                       std::uint32_t piggyback_ack,
+                                       const net::Payload& body) const;
+  void retransmit_tick(std::uint32_t trans_id);
+  void ack_tick(NodeId dst);
+  [[nodiscard]] sim::Co<void> charge_locks(int n);
+
+  Kernel* kernel_;
+  PanSys* sys_;
+  const ClusterConfig* config_;
+  RpcHandler handler_;
+  std::uint32_t next_trans_ = 1;
+  std::uint64_t next_ticket_ = 1;
+  std::unordered_map<std::uint32_t, std::unique_ptr<Outstanding>> outstanding_;
+  std::map<ServedKey, ServedEntry> served_;
+  std::unordered_map<std::uint64_t, TicketState> tickets_;
+  // Per-server unacknowledged reply (piggyback state) + explicit-ack timer.
+  std::unordered_map<NodeId, std::uint32_t> unacked_reply_;
+  std::unordered_map<NodeId, std::unique_ptr<sim::Timer>> ack_timers_;
+  std::uint64_t lock_ops_ = 0;
+  std::uint64_t piggy_acks_ = 0;
+  std::uint64_t explicit_acks_ = 0;
+  std::uint64_t retransmits_ = 0;
+  std::uint64_t served_count_ = 0;
+};
+
+}  // namespace panda

@@ -1,0 +1,210 @@
+#include "panda/pan_sys.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/require.h"
+
+namespace panda {
+
+using amoeba::CostModel;
+using sim::Mechanism;
+using sim::Prio;
+
+void PanSys::register_handler(Module m, Handler h) {
+  handlers_[static_cast<std::uint8_t>(m)] = std::move(h);
+}
+
+void PanSys::start() {
+  sim::require(!started_, "PanSys::start: already started");
+  started_ = true;
+  kernel_->flip().register_endpoint(
+      process_addr(kernel_->node()),
+      [this](amoeba::FlipMessage m) -> sim::Co<void> {
+        co_await on_flip_message(std::move(m));
+      });
+  kernel_->flip().register_group(
+      process_group_addr(), [this](amoeba::FlipMessage m) -> sim::Co<void> {
+        co_await on_flip_message(std::move(m));
+      });
+  daemon_ = &kernel_->start_thread(
+      "pan_sys-daemon", [this](Thread& self) -> sim::Co<void> {
+        co_await daemon_loop(self);
+      });
+}
+
+sim::Co<void> PanSys::unicast(Thread& self, NodeId dst, Module m,
+                              net::Payload msg) {
+  co_await send_impl(self, process_addr(dst), /*is_multicast=*/false, m,
+                     std::move(msg), /*charge_frag_layer=*/true);
+}
+
+sim::Co<void> PanSys::multicast(Thread& self, Module m, net::Payload msg) {
+  co_await send_impl(self, process_group_addr(), /*is_multicast=*/true, m,
+                     std::move(msg), /*charge_frag_layer=*/true);
+}
+
+sim::Co<void> PanSys::unicast_unit(Thread& self, NodeId dst, Module m,
+                                   net::Payload unit) {
+  sim::require(unit.size() <= kFragmentData + 64,
+               "PanSys::unicast_unit: unit exceeds one packet");
+  co_await send_impl(self, process_addr(dst), /*is_multicast=*/false, m,
+                     std::move(unit), /*charge_frag_layer=*/false);
+}
+
+sim::Co<void> PanSys::multicast_unit(Thread& self, Module m, net::Payload unit) {
+  sim::require(unit.size() <= kFragmentData + 64,
+               "PanSys::multicast_unit: unit exceeds one packet");
+  co_await send_impl(self, process_group_addr(), /*is_multicast=*/true, m,
+                     std::move(unit), /*charge_frag_layer=*/false);
+}
+
+sim::Co<void> PanSys::inject_sequencer(SysMsg msg) {
+  sim::require(sequencer_thread_ != nullptr,
+               "PanSys::inject_sequencer: no sequencer thread here");
+  sequencer_queue_.push_back(std::move(msg));
+  co_await kernel_->dispatch(*sequencer_thread_);
+}
+
+sim::Co<void> PanSys::inject_daemon(Module m, SysMsg msg) {
+  daemon_queue_.emplace_back(m, std::move(msg));
+  if (daemon_ != nullptr) co_await kernel_->dispatch(*daemon_);
+}
+
+sim::Co<void> PanSys::send_impl(Thread& self, amoeba::FlipAddr dst,
+                                bool is_multicast, Module m, net::Payload msg,
+                                bool charge_frag_layer) {
+  (void)self;
+  const CostModel& c = kernel_->costs();
+  ++sent_;
+  // Panda's portable fragmentation layer duplicates what FLIP already does:
+  // "an overhead of about 20 us per message".
+  if (charge_frag_layer) {
+    co_await kernel_->charge(Prio::kUserHigh, Mechanism::kFragmentationLayer,
+                             c.user_fragmentation_layer);
+  }
+  // Going down the deeply layered protocol stack allocates register windows:
+  // "generating overflow traps" (§4.2).
+  co_await kernel_->charge(Prio::kUserHigh, Mechanism::kOverflowTrap,
+                           c.overflow_trap * 2, 2);
+
+  const std::uint32_t msg_id = next_msg_id_++;
+  const std::size_t total = msg.size();
+  const auto frag_count = static_cast<std::uint16_t>(
+      total == 0 ? 1 : (total + kFragmentData - 1) / kFragmentData);
+
+  std::size_t offset = 0;
+  for (std::uint16_t idx = 0; idx < frag_count; ++idx) {
+    const std::size_t chunk = std::min(kFragmentData, total - offset);
+    net::Writer w;
+    w.u8(static_cast<std::uint8_t>(m));
+    w.u8(0);
+    w.u16(idx);
+    w.u16(frag_count);
+    w.u16(0);
+    w.u32(kernel_->node());
+    w.u32(msg_id);
+    w.payload(msg.slice(offset, chunk));
+    offset += chunk;
+    ++fragments_;
+
+    // Each fragment is one FLIP syscall from user space.
+    co_await kernel_->syscall_enter();
+    co_await kernel_->user_flip_translation();
+    co_await kernel_->copy_boundary(chunk + kPanHeader);
+    if (is_multicast) {
+      co_await kernel_->flip().multicast(dst, w.take(), Prio::kKernel);
+    } else {
+      co_await kernel_->flip().unicast(dst, w.take(), Prio::kKernel);
+    }
+    co_await kernel_->syscall_return(c.panda_stack_depth);
+  }
+}
+
+sim::Co<void> PanSys::on_flip_message(amoeba::FlipMessage m) {
+  // Interrupt context: the kernel has a complete FLIP message for this
+  // process. Charge the queue handling and boundary costs, then wake the
+  // right thread.
+  const CostModel& c = kernel_->costs();
+  net::Reader r(m.payload);
+  const auto module = static_cast<Module>(r.u8());
+  (void)r.u8();
+  const std::uint16_t idx = r.u16();
+  const std::uint16_t count = r.u16();
+  (void)r.u16();
+  const NodeId src = r.u32();
+  const std::uint32_t msg_id = r.u32();
+  net::Payload chunk = r.rest();
+
+  if (src == kernel_->node()) co_return;  // own multicast looped via switch: drop
+
+  co_await kernel_->charge(Prio::kInterrupt, Mechanism::kProtocolProcessing,
+                           c.deliver_to_process);
+  co_await kernel_->user_flip_translation();
+  co_await kernel_->copy_boundary(chunk.size() + kPanHeader);
+
+  SysMsg complete;
+  Module complete_module = module;
+  if (count == 1) {
+    complete = SysMsg(src, std::move(chunk));
+  } else {
+    const ReKey key{src, msg_id};
+    Partial& p = partials_[key];
+    p.expected = count;
+    p.module = module;
+    if (p.chunks.emplace(idx, std::move(chunk)).second) ++p.received;
+    if (p.received != p.expected) co_return;
+    net::Writer w;
+    for (auto& [i, part] : p.chunks) w.payload(part);
+    complete = SysMsg(src, w.take());
+    complete_module = p.module;
+    partials_.erase(key);
+    // Panda's user-level reassembly concatenates the fragments: a real
+    // message-sized copy in user space.
+    co_await kernel_->charge(Prio::kUserHigh, Mechanism::kFragmentationLayer,
+                             c.copy_ns_per_byte *
+                                 static_cast<sim::Time>(complete.payload.size()));
+  }
+
+  ++delivered_;
+  if (complete_module == Module::kSequencer && sequencer_thread_ != nullptr) {
+    sequencer_queue_.push_back(std::move(complete));
+    // Resuming the sequencer thread from the interrupt path: the 110 us
+    // thread switch (60 us when its context is still loaded — the dedicated
+    // sequencer machine).
+    co_await kernel_->dispatch_from_interrupt(*sequencer_thread_);
+    co_return;
+  }
+  daemon_queue_.emplace_back(complete_module, std::move(complete));
+  if (daemon_ != nullptr) co_await kernel_->dispatch(*daemon_);
+}
+
+sim::Co<SysMsg> PanSys::seq_receive(Thread& self) {
+  const CostModel& c = kernel_->costs();
+  // The fetch syscall (§4.3: "one to fetch a message from the network").
+  co_await kernel_->syscall_enter();
+  while (sequencer_queue_.empty()) co_await self.block();
+  SysMsg msg = std::move(sequencer_queue_.front());
+  sequencer_queue_.pop_front();
+  co_await kernel_->syscall_return(c.panda_stack_depth);
+  co_return msg;
+}
+
+sim::Co<void> PanSys::daemon_loop(Thread& self) {
+  const CostModel& c = kernel_->costs();
+  for (;;) {
+    co_await kernel_->syscall_enter();  // block in the kernel receive call
+    while (daemon_queue_.empty()) co_await self.block();
+    auto [module, msg] = std::move(daemon_queue_.front());
+    daemon_queue_.pop_front();
+    co_await kernel_->syscall_return(c.panda_stack_depth);
+
+    const auto it = handlers_.find(static_cast<std::uint8_t>(module));
+    if (it != handlers_.end()) {
+      // Run-to-completion upcall in the daemon thread.
+      co_await it->second(std::move(msg));
+    }
+  }
+}
+
+}  // namespace panda

@@ -1,0 +1,144 @@
+// Panda's system layer on the user-space binding (§3.2).
+//
+// Library routines wrap the raw FLIP syscalls: sends cross the user/kernel
+// boundary per fragment (Panda fragments messages itself — the duplicated
+// fragmentation layer the paper charges 20 us/message for), and one receive
+// daemon thread per process blocks in the kernel, reassembles fragments into
+// messages, and makes run-to-completion upcalls to the protocol modules.
+//
+// Messages destined for the user-space group sequencer are routed to the
+// sequencer thread's own queue: resuming that thread from the interrupt path
+// is the 110/60 us thread switch of §4.3.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <unordered_map>
+
+#include "amoeba/flip.h"
+#include "amoeba/kernel.h"
+#include "net/buffer.h"
+#include "sim/co.h"
+
+namespace panda {
+
+using amoeba::Kernel;
+using amoeba::NodeId;
+using amoeba::Thread;
+
+/// The FLIP endpoint of the Panda process on node `n`.
+[[nodiscard]] constexpr amoeba::FlipAddr process_addr(NodeId n) noexcept {
+  return 0x00C0'0000'0000'0000ULL | n;
+}
+/// The FLIP multicast group all Panda processes join.
+[[nodiscard]] constexpr amoeba::FlipAddr process_group_addr() noexcept {
+  return amoeba::kFlipGroupBit | 0x00C0'0000'0000'0000ULL;
+}
+
+/// A complete (reassembled) Panda system-layer message.
+struct SysMsg {
+  SysMsg() = default;
+  SysMsg(NodeId s, net::Payload p) : src(s), payload(std::move(p)) {}
+  NodeId src = 0;
+  net::Payload payload;
+};
+
+class PanSys {
+ public:
+  /// Which protocol module a message belongs to (demultiplexed by the
+  /// receive daemon).
+  enum class Module : std::uint8_t { kRpc = 1, kGroup = 2, kSequencer = 3 };
+
+  /// Upcall into a protocol module; runs to completion in the daemon.
+  using Handler = std::function<sim::Co<void>(SysMsg msg)>;
+
+  /// Bytes of user data per FLIP send so Panda fragments never make FLIP
+  /// fragment again (1500 - 32 FLIP header - 16 pan header = 1452; rounded).
+  static constexpr std::size_t kFragmentData = 1440;
+  static constexpr std::size_t kPanHeader = 16;
+
+  explicit PanSys(Kernel& kernel) : kernel_(&kernel) {}
+
+  PanSys(const PanSys&) = delete;
+  PanSys& operator=(const PanSys&) = delete;
+
+  void register_handler(Module m, Handler h);
+
+  /// Route Module::kSequencer traffic to a private queue served by `t`
+  /// (the user-space sequencer thread) instead of the daemon.
+  void set_sequencer_thread(Thread& t) { sequencer_thread_ = &t; }
+
+  /// Register FLIP endpoints and start the receive daemon.
+  void start();
+
+  /// Send `msg` to the Panda process on `dst`, fragmenting at user level.
+  [[nodiscard]] sim::Co<void> unicast(Thread& self, NodeId dst, Module m,
+                                      net::Payload msg);
+
+  /// Multicast `msg` to every Panda process (hardware multicast underneath).
+  [[nodiscard]] sim::Co<void> multicast(Thread& self, Module m, net::Payload msg);
+
+  /// Send a pre-fragmented protocol unit (fits one FLIP packet). The caller
+  /// already paid the user-level fragmentation charge; none is added here.
+  [[nodiscard]] sim::Co<void> unicast_unit(Thread& self, NodeId dst, Module m,
+                                           net::Payload unit);
+  [[nodiscard]] sim::Co<void> multicast_unit(Thread& self, Module m,
+                                             net::Payload unit);
+
+  /// Local hand-off into the sequencer queue (same process, no wire) — used
+  /// by the group module when the sequencer's own node originates or relays
+  /// a unit.
+  [[nodiscard]] sim::Co<void> inject_sequencer(SysMsg msg);
+
+  /// Local hand-off into the receive daemon (same process): the sequencer
+  /// node's own deliveries go through "an extra thread [that] runs to
+  /// deliver the group message to the user" (§4.3).
+  [[nodiscard]] sim::Co<void> inject_daemon(Module m, SysMsg msg);
+
+  /// Sequencer thread: fetch the next request (blocking; models the fetch
+  /// syscall of §4.3).
+  [[nodiscard]] sim::Co<SysMsg> seq_receive(Thread& self);
+
+  [[nodiscard]] Thread* daemon_thread() noexcept { return daemon_; }
+  [[nodiscard]] std::uint64_t messages_sent() const noexcept { return sent_; }
+  [[nodiscard]] std::uint64_t messages_delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t fragments_sent() const noexcept { return fragments_; }
+
+ private:
+  struct ReKey {
+    NodeId src;
+    std::uint32_t msg_id;
+    bool operator<(const ReKey& o) const noexcept {
+      return src != o.src ? src < o.src : msg_id < o.msg_id;
+    }
+  };
+  struct Partial {
+    std::uint16_t received = 0;
+    std::uint16_t expected = 0;
+    std::map<std::uint16_t, net::Payload> chunks;
+    Module module = Module::kRpc;
+  };
+
+  [[nodiscard]] sim::Co<void> send_impl(Thread& self, amoeba::FlipAddr dst,
+                                        bool is_multicast, Module m,
+                                        net::Payload msg, bool charge_frag_layer);
+  [[nodiscard]] sim::Co<void> on_flip_message(amoeba::FlipMessage m);
+  [[nodiscard]] sim::Co<void> daemon_loop(Thread& self);
+
+  Kernel* kernel_;
+  std::unordered_map<std::uint8_t, Handler> handlers_;
+  Thread* daemon_ = nullptr;
+  Thread* sequencer_thread_ = nullptr;
+  std::deque<std::pair<Module, SysMsg>> daemon_queue_;
+  std::deque<SysMsg> sequencer_queue_;
+  std::map<ReKey, Partial> partials_;
+  std::uint32_t next_msg_id_ = 1;
+  std::uint64_t sent_ = 0;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t fragments_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace panda

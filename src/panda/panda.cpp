@@ -1,0 +1,190 @@
+#include "panda/panda.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "amoeba/group.h"
+#include "amoeba/rpc.h"
+#include "panda/pan_group.h"
+#include "panda/pan_rpc.h"
+#include "panda/pan_sys.h"
+#include "sim/require.h"
+
+namespace panda {
+
+namespace {
+
+constexpr amoeba::GroupId kOrcaGroup = 1;
+
+/// Panda RPC service of node `n` in the kernel binding.
+[[nodiscard]] constexpr amoeba::ServiceId panda_service(NodeId n) noexcept {
+  return 0x5000 + n;
+}
+
+// ---------------------------------------------------------------------------
+// Kernel-space binding (§3.1): wrapper routines around Amoeba's protocols.
+// ---------------------------------------------------------------------------
+class KernelPanda final : public Panda {
+ public:
+  KernelPanda(Kernel& kernel, ClusterConfig config)
+      : Panda(kernel, std::move(config)), rpc_(kernel), group_(kernel) {}
+
+  void start() override {
+    amoeba::GroupConfig gc;
+    gc.members = config_.nodes;
+    for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+      if (config_.nodes[i] == config_.sequencer) gc.sequencer_index = i;
+    }
+    gc.history_capacity = config_.group_history;
+    gc.bb_threshold = config_.bb_threshold;
+    group_.join(kOrcaGroup, gc);
+
+    // Group listener daemon: bridges Amoeba's explicit receive to Panda's
+    // implicit upcall model.
+    start_thread("grp-listener", [this](Thread& self) -> sim::Co<void> {
+      for (;;) {
+        amoeba::GroupMsg m = co_await group_.receive(self, kOrcaGroup);
+        if (group_handler_) {
+          co_await group_handler_(self, m.sender, m.seqno, std::move(m.payload));
+        }
+      }
+    });
+
+    // RPC daemons: each loops get_request -> upcall -> put_reply. The
+    // same-thread put_reply restriction means a deferred (asynchronous)
+    // reply must signal this daemon — "which works around the inflexible
+    // kernel RPC, undoes the Orca RTS optimizations and re-introduces an
+    // additional context switch" (§3.1). A daemon that parks on a deferred
+    // reply spawns a replacement if it was the last idle one — the
+    // "increased memory usage because of the blocked server thread".
+    for (int i = 0; i < config_.rpc_daemon_threads; ++i) spawn_daemon();
+  }
+
+  void spawn_daemon() {
+    ++daemon_count_;
+    start_thread("rpc-daemon", [this](Thread& self) -> sim::Co<void> {
+      co_await rpc_daemon_loop(self);
+    });
+  }
+
+  sim::Co<RpcReply> rpc(Thread& self, NodeId dst, net::Payload request) override {
+    co_return co_await rpc_.trans(self, panda_service(dst), std::move(request));
+  }
+
+  sim::Co<void> rpc_reply(Thread& self, RpcTicket ticket,
+                          net::Payload reply) override {
+    const auto it = tickets_.find(ticket.id);
+    sim::require(it != tickets_.end(), "KernelPanda::rpc_reply: unknown ticket");
+    TicketState& t = *it->second;
+    t.reply = std::move(reply);
+    t.has_reply = true;
+    if (t.daemon->id() == self.id()) co_return;  // inline reply: fast path
+    // Asynchronous reply from another thread: wake the parked daemon.
+    co_await kernel_->signal_thread(*t.daemon,
+                                    kernel_->costs().panda_stack_depth);
+  }
+
+  sim::Co<void> group_send(Thread& self, net::Payload message) override {
+    co_await group_.send(self, kOrcaGroup, std::move(message));
+  }
+
+ private:
+  struct TicketState {
+    amoeba::RpcRequestHandle handle;
+    Thread* daemon = nullptr;
+    bool has_reply = false;
+    net::Payload reply;
+  };
+
+  sim::Co<void> rpc_daemon_loop(Thread& self) {
+    for (;;) {
+      ++idle_daemons_;
+      amoeba::RpcRequestHandle handle =
+          co_await rpc_.get_request(self, panda_service(kernel_->node()));
+      --idle_daemons_;
+      const std::uint64_t id = next_ticket_++;
+      auto state = std::make_unique<TicketState>();
+      state->handle = std::move(handle);
+      state->daemon = &self;
+      TicketState* raw = state.get();
+      tickets_.emplace(id, std::move(state));
+
+      net::Payload request = raw->handle.payload;
+      if (rpc_handler_) {
+        co_await rpc_handler_(self, RpcTicket(id), std::move(request));
+      }
+      // If the upcall did not reply, park until rpc_reply() signals us —
+      // the blocked-server-thread cost of the kernel binding. Keep the
+      // service alive while we are parked.
+      if (!raw->has_reply && idle_daemons_ == 0 &&
+          daemon_count_ < kMaxDaemons) {
+        spawn_daemon();
+      }
+      while (!raw->has_reply) co_await self.block();
+      co_await rpc_.put_reply(self, raw->handle, std::move(raw->reply));
+      tickets_.erase(id);
+    }
+  }
+
+  static constexpr int kMaxDaemons = 128;
+
+  amoeba::KernelRpc rpc_;
+  amoeba::KernelGroup group_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<TicketState>> tickets_;
+  std::uint64_t next_ticket_ = 1;
+  int idle_daemons_ = 0;
+  int daemon_count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// User-space binding (§3.2): Panda's own protocols over raw FLIP.
+// ---------------------------------------------------------------------------
+class UserPanda final : public Panda {
+ public:
+  UserPanda(Kernel& kernel, ClusterConfig config)
+      : Panda(kernel, std::move(config)),
+        sys_(kernel),
+        rpc_(kernel, sys_, config_),
+        group_(kernel, sys_, config_) {}
+
+  void start() override {
+    if (rpc_handler_) rpc_.set_handler(rpc_handler_);
+    if (group_handler_) group_.set_handler(group_handler_);
+    rpc_.start();
+    group_.start();
+    sys_.start();
+  }
+
+  sim::Co<RpcReply> rpc(Thread& self, NodeId dst, net::Payload request) override {
+    co_return co_await rpc_.call(self, dst, std::move(request));
+  }
+
+  sim::Co<void> rpc_reply(Thread& self, RpcTicket ticket,
+                          net::Payload reply) override {
+    co_await rpc_.reply(self, ticket, std::move(reply));
+  }
+
+  sim::Co<void> group_send(Thread& self, net::Payload message) override {
+    co_await group_.send(self, std::move(message));
+  }
+
+  [[nodiscard]] PanSys& sys() noexcept { return sys_; }
+  [[nodiscard]] PanRpc& pan_rpc() noexcept { return rpc_; }
+  [[nodiscard]] PanGroup& pan_group() noexcept { return group_; }
+
+ private:
+  PanSys sys_;
+  PanRpc rpc_;
+  PanGroup group_;
+};
+
+}  // namespace
+
+std::unique_ptr<Panda> make_panda(Kernel& kernel, const ClusterConfig& config) {
+  if (config.binding == Binding::kKernelSpace) {
+    return std::make_unique<KernelPanda>(kernel, config);
+  }
+  return std::make_unique<UserPanda>(kernel, config);
+}
+
+}  // namespace panda

@@ -1,0 +1,131 @@
+// Panda — the portable platform underneath the Orca runtime (paper §2).
+//
+// Panda provides threads, RPC, and totally-ordered group communication. This
+// reproduction implements the two Amoeba bindings the paper compares:
+//
+//   * KernelPanda (§3.1): the interface layer wraps Amoeba's kernel-space
+//     RPC and group protocols. RPC daemon threads bridge Amoeba's explicit
+//     get_request model to Panda's implicit-receipt upcalls, and the
+//     asynchronous pan_rpc_reply has to be faked by signalling the original
+//     daemon thread (undoing the Orca continuation optimization).
+//
+//   * UserPanda (§3.2): Panda's own 2-way RPC and user-space sequencer group
+//     protocols run as a library over the raw FLIP syscall interface, with a
+//     single receive daemon making run-to-completion upcalls.
+//
+// The Orca RTS is written against this interface only; switching bindings
+// swaps the entire protocol stack underneath it, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "amoeba/kernel.h"
+#include "amoeba/rpc.h"
+#include "net/buffer.h"
+#include "sim/co.h"
+
+namespace panda {
+
+using amoeba::Kernel;
+using amoeba::NodeId;
+using amoeba::Thread;
+using RpcStatus = amoeba::RpcStatus;
+using RpcReply = amoeba::RpcResult;
+
+/// Identifies an in-flight request so the reply can be sent asynchronously
+/// ("pan_rpc_reply"), possibly from a different thread than the upcall.
+struct RpcTicket {
+  RpcTicket() = default;
+  explicit RpcTicket(std::uint64_t i) : id(i) {}
+  std::uint64_t id = 0;
+};
+
+/// Request upcall. Runs to completion in the receive context (`upcall` is
+/// the daemon thread making the call); it may reply inline (fast path) or
+/// stash the ticket and let another thread reply later (the
+/// guarded-operation path).
+using RpcHandler = std::function<sim::Co<void>(Thread& upcall, RpcTicket ticket,
+                                               net::Payload request)>;
+
+/// Ordered group-message upcall; invoked in total order on every member,
+/// in the context of the delivering thread.
+using GroupHandler =
+    std::function<sim::Co<void>(Thread& upcall, NodeId sender,
+                                std::uint32_t seqno, net::Payload message)>;
+
+enum class Binding : std::uint8_t { kKernelSpace, kUserSpace };
+
+struct ClusterConfig {
+  Binding binding = Binding::kUserSpace;
+  /// All Panda nodes; they form one group (the Orca broadcast group).
+  std::vector<NodeId> nodes;
+  /// Which node hosts the group sequencer.
+  NodeId sequencer = 0;
+  /// Kernel binding: size of the RPC daemon-thread pool per node.
+  int rpc_daemon_threads = 3;
+  /// Group protocol history capacity at the sequencer.
+  std::size_t group_history = 512;
+  /// Messages above this use the BB (sender-broadcast) method.
+  std::size_t bb_threshold = 1400;
+};
+
+/// One node's Panda instance. Create one per node via make_panda(), install
+/// handlers, then start().
+class Panda {
+ public:
+  virtual ~Panda() = default;
+
+  [[nodiscard]] Kernel& kernel() noexcept { return *kernel_; }
+  [[nodiscard]] NodeId node() const noexcept { return kernel_->node(); }
+  [[nodiscard]] sim::Simulator& sim() noexcept { return kernel_->sim(); }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return config_; }
+
+  /// Install the request upcall (before start()).
+  void set_rpc_handler(RpcHandler handler) { rpc_handler_ = std::move(handler); }
+  /// Install the ordered group upcall (before start()).
+  void set_group_handler(GroupHandler handler) {
+    group_handler_ = std::move(handler);
+  }
+
+  /// Boot daemons and join the group.
+  virtual void start() = 0;
+
+  /// Client side: remote procedure call to the Panda instance on `dst`.
+  [[nodiscard]] virtual sim::Co<RpcReply> rpc(Thread& self, NodeId dst,
+                                              net::Payload request) = 0;
+
+  /// Server side: send the reply for `ticket`. May be called from the upcall
+  /// itself or (asynchronously) from any other thread — the latter is cheap
+  /// only in the user-space binding.
+  [[nodiscard]] virtual sim::Co<void> rpc_reply(Thread& self, RpcTicket ticket,
+                                                net::Payload reply) = 0;
+
+  /// Totally-ordered, blocking group send (returns after own delivery).
+  [[nodiscard]] virtual sim::Co<void> group_send(Thread& self,
+                                                 net::Payload message) = 0;
+
+  /// Convenience: spawn a thread on this node.
+  Thread& start_thread(std::string name,
+                       std::function<sim::Co<void>(Thread&)> body) {
+    return kernel_->start_thread(std::move(name), std::move(body));
+  }
+
+ protected:
+  Panda(Kernel& kernel, ClusterConfig config)
+      : kernel_(&kernel), config_(std::move(config)) {}
+
+  Kernel* kernel_;
+  ClusterConfig config_;
+  RpcHandler rpc_handler_;
+  GroupHandler group_handler_;
+};
+
+/// Instantiate the binding selected by `config.binding` for `kernel`'s node.
+[[nodiscard]] std::unique_ptr<Panda> make_panda(Kernel& kernel,
+                                                const ClusterConfig& config);
+
+}  // namespace panda

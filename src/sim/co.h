@@ -1,0 +1,235 @@
+// Coroutine plumbing for simulated concurrency.
+//
+// Co<T> is a lazily-started awaitable coroutine: awaiting it starts the child
+// and transfers control back to the awaiter (via symmetric transfer) when the
+// child completes. Exceptions propagate to the awaiter. The Co object owns
+// the coroutine frame.
+//
+// spawn() launches a Co<void> as a detached root activity: it runs until its
+// first suspension immediately and thereafter is driven entirely by Simulator
+// events; the frame self-destroys on completion. run() is the test/benchmark
+// helper that spawns a coroutine, drives the simulator until it finishes, and
+// returns its result (rethrowing any exception).
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+#include "sim/require.h"
+#include "sim/simulator.h"
+
+namespace sim {
+
+template <typename T>
+class Co;
+
+namespace detail {
+
+// Resumes the awaiting coroutine (if any) when a Co completes.
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<Promise> h) const noexcept {
+    std::coroutine_handle<> cont = h.promise().continuation;
+    return cont ? cont : std::noop_coroutine();
+  }
+  void await_resume() const noexcept {}
+};
+
+template <typename Derived>
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  std::exception_ptr error;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { error = std::current_exception(); }
+};
+
+}  // namespace detail
+
+/// A lazily-started simulated activity yielding a value of type T.
+template <typename T>
+class [[nodiscard]] Co {
+ public:
+  struct promise_type : detail::PromiseBase<promise_type> {
+    std::optional<T> value;
+
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    template <typename U>
+    void return_value(U&& v) {
+      value.emplace(std::forward<U>(v));
+    }
+  };
+
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  Co& operator=(Co&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Co() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    require(static_cast<bool>(handle_), "Co<T>: awaiting a moved-from coroutine");
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  T await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+    require(p.value.has_value(), "Co<T>: coroutine finished without a value");
+    return std::move(*p.value);
+  }
+
+ private:
+  explicit Co(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+/// A lazily-started simulated activity yielding nothing.
+template <>
+class [[nodiscard]] Co<void> {
+ public:
+  struct promise_type : detail::PromiseBase<promise_type> {
+    Co get_return_object() {
+      return Co(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() noexcept {}
+  };
+
+  Co(Co&& other) noexcept : handle_(std::exchange(other.handle_, {})) {}
+  Co(const Co&) = delete;
+  Co& operator=(const Co&) = delete;
+  Co& operator=(Co&& other) noexcept {
+    if (this != &other) {
+      if (handle_) handle_.destroy();
+      handle_ = std::exchange(other.handle_, {});
+    }
+    return *this;
+  }
+  ~Co() {
+    if (handle_) handle_.destroy();
+  }
+
+  bool await_ready() const noexcept { return false; }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> cont) {
+    require(static_cast<bool>(handle_), "Co<void>: awaiting a moved-from coroutine");
+    handle_.promise().continuation = cont;
+    return handle_;
+  }
+  void await_resume() {
+    auto& p = handle_.promise();
+    if (p.error) std::rethrow_exception(p.error);
+  }
+
+ private:
+  explicit Co(std::coroutine_handle<promise_type> h) : handle_(h) {}
+  std::coroutine_handle<promise_type> handle_;
+};
+
+namespace detail {
+
+// An eagerly-started, self-destroying coroutine used as the root of every
+// detached activity. Exceptions escaping a detached root are bugs.
+struct Detached {
+  struct promise_type {
+    Detached get_return_object() noexcept { return {}; }
+    std::suspend_never initial_suspend() noexcept { return {}; }
+    std::suspend_never final_suspend() noexcept { return {}; }
+    void return_void() noexcept {}
+    [[noreturn]] void unhandled_exception() noexcept { std::terminate(); }
+  };
+};
+
+inline Detached spawn_impl(Co<void> co) { co_await std::move(co); }
+
+template <typename T>
+Detached run_impl(Co<T> co, std::optional<T>& out, std::exception_ptr& error, bool& done) {
+  try {
+    out.emplace(co_await std::move(co));
+  } catch (...) {
+    error = std::current_exception();
+  }
+  done = true;
+}
+
+inline Detached run_impl(Co<void> co, std::exception_ptr& error, bool& done) {
+  try {
+    co_await std::move(co);
+  } catch (...) {
+    error = std::current_exception();
+  }
+  done = true;
+}
+
+}  // namespace detail
+
+/// Launch a detached root activity. It runs to its first suspension now and
+/// is driven by Simulator events afterwards.
+inline void spawn(Co<void> co) { detail::spawn_impl(std::move(co)); }
+
+/// Drive the simulator until `co` completes; return its value.
+/// Throws SimError if the event queue drains first.
+template <typename T>
+T run(Simulator& s, Co<T> co) {
+  std::optional<T> out;
+  std::exception_ptr error;
+  bool done = false;
+  detail::run_impl(std::move(co), out, error, done);
+  while (!done && s.step()) {
+  }
+  require(done, "sim::run: event queue drained before the coroutine completed");
+  if (error) std::rethrow_exception(error);
+  return std::move(*out);
+}
+
+/// Drive the simulator until `co` completes.
+inline void run(Simulator& s, Co<void> co) {
+  std::exception_ptr error;
+  bool done = false;
+  detail::run_impl(std::move(co), error, done);
+  while (!done && s.step()) {
+  }
+  require(done, "sim::run: event queue drained before the coroutine completed");
+  if (error) std::rethrow_exception(error);
+}
+
+/// Awaitable that suspends the current activity for `d` of simulated time.
+///
+/// NOTE (project-wide rule): every custom awaiter type has a user-declared
+/// constructor. GCC 12 double-destroys aggregate awaiter temporaries inside
+/// co_await expressions, which is a use-after-free for awaiters holding
+/// nontrivially-destructible members. Keeping all awaiters non-aggregates
+/// sidesteps the miscompile uniformly.
+struct DelayAwaiter {
+  DelayAwaiter(Simulator& s, Time d) : simulator(s), delay(d) {}
+  Simulator& simulator;
+  Time delay;
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    simulator.after(delay, [h] { h.resume(); });
+  }
+  void await_resume() const noexcept {}
+};
+
+/// Suspend for `d` of simulated time (a zero delay still yields, putting the
+/// resumption behind already-queued events — a deterministic "yield").
+inline DelayAwaiter delay(Simulator& s, Time d) { return DelayAwaiter{s, d}; }
+
+/// Deterministic yield: reschedule behind all currently queued events.
+inline DelayAwaiter yield(Simulator& s) { return DelayAwaiter{s, 0}; }
+
+}  // namespace sim

@@ -1,0 +1,102 @@
+#include "sim/cpu.h"
+
+#include "sim/require.h"
+
+namespace sim {
+
+// NOTE: every awaiter in this codebase has a user-declared constructor. GCC
+// 12 double-destroys *aggregate* awaiter temporaries in co_await expressions
+// (observed as a use-after-free of members with nontrivial destructors);
+// a user-declared constructor makes the type a non-aggregate and avoids the
+// miscompile. See tests/sim/co_test.cpp (AwaiterLifetime).
+struct Cpu::RunAwaiter {
+  RunAwaiter(Cpu& c, std::shared_ptr<Job> j) : cpu(c), job(std::move(j)) {}
+  Cpu& cpu;
+  std::shared_ptr<Job> job;
+
+  bool await_ready() const noexcept { return job->remaining <= 0; }
+  void await_suspend(std::coroutine_handle<> h) {
+    job->waiter = h;
+    cpu.submit(job);
+  }
+  void await_resume() const noexcept {}
+};
+
+Co<void> Cpu::run(Time duration, Prio prio,
+                  std::uint64_t* thread_preemptions_out) {
+  auto job = std::make_shared<Job>();
+  job->remaining = duration;
+  job->prio = prio;
+  std::shared_ptr<Job> observer = job;
+  co_await RunAwaiter(*this, std::move(job));
+  if (thread_preemptions_out != nullptr) {
+    *thread_preemptions_out = observer->preempted_by_thread;
+  }
+}
+
+void Cpu::submit(const std::shared_ptr<Job>& job) {
+  if (active_ == nullptr) {
+    start(job);
+    return;
+  }
+  if (static_cast<int>(job->prio) < static_cast<int>(active_->prio)) {
+    // Preempt: bank the elapsed slice, park the current job at the front of
+    // its priority class, and run the newcomer.
+    const Time elapsed = sim_->now() - active_since_;
+    busy_[static_cast<std::size_t>(active_->prio)] += elapsed;
+    active_->remaining -= elapsed;
+    if (active_->remaining < 0) active_->remaining = 0;
+    ++active_gen_;  // cancel the pending completion event
+    active_->parked = true;
+    active_->park_mark = thread_jobs_started_;
+    ready_[static_cast<std::size_t>(active_->prio)].push_front(active_);
+    ++preemptions_;
+    start(job);
+    return;
+  }
+  ready_[static_cast<std::size_t>(job->prio)].push_back(job);
+}
+
+void Cpu::start(const std::shared_ptr<Job>& job) {
+  if (job->prio == Prio::kKernel || job->prio == Prio::kUserHigh) {
+    ++thread_jobs_started_;
+  }
+  if (job->parked) {
+    job->parked = false;
+    // One suspend/resume episode; it involved a genuine thread switch only
+    // if thread-level work ran while this job was parked.
+    if (thread_jobs_started_ > job->park_mark) ++job->preempted_by_thread;
+  }
+  active_ = job;
+  active_since_ = sim_->now();
+  const std::uint64_t gen = ++active_gen_;
+  sim_->after(job->remaining, [this, gen] {
+    if (gen != active_gen_) return;  // superseded by a preemption
+    finish();
+  });
+}
+
+void Cpu::finish() {
+  require(active_ != nullptr, "Cpu::finish: no active job");
+  busy_[static_cast<std::size_t>(active_->prio)] += sim_->now() - active_since_;
+  const std::coroutine_handle<> waiter = active_->waiter;
+  active_ = nullptr;
+  ++completed_;
+  dispatch_next();
+  // Resume after dispatching so a newly submitted job from the resumed
+  // activity sees a consistent scheduler state.
+  waiter.resume();
+}
+
+void Cpu::dispatch_next() {
+  for (auto& queue : ready_) {
+    if (!queue.empty()) {
+      auto job = queue.front();
+      queue.pop_front();
+      start(job);
+      return;
+    }
+  }
+}
+
+}  // namespace sim

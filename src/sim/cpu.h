@@ -1,0 +1,96 @@
+// A preemptive, priority-scheduled CPU resource.
+//
+// Every activity that consumes processor time on a simulated node — interrupt
+// handlers, kernel protocol code, daemon threads, application compute — calls
+// `co_await cpu.run(duration, prio)`. Only one job runs at a time; a job of
+// strictly higher priority (lower Prio value) preempts the running job, whose
+// remaining time is resumed later. Jobs of equal priority run FIFO and never
+// preempt each other (Amoeba schedules internal kernel threads
+// non-preemptively; interrupts always win).
+//
+// The Cpu charges no switching overhead by itself: the protocol stacks charge
+// each mechanism (context switch, trap, crossing) explicitly where the paper
+// accounts for it. What the Cpu provides is *contention*: on an overloaded
+// node (e.g. the LEQ sequencer machine in §5) those charges and the
+// application's compute serialize, which is exactly the effect the paper
+// reports.
+#pragma once
+
+#include <array>
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "sim/co.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sim {
+
+enum class Prio : int {
+  kInterrupt = 0,  // hardware/software interrupt handlers
+  kKernel = 1,     // in-kernel protocol code (syscall service)
+  kUserHigh = 2,   // freshly woken I/O-bound user threads (daemons) — Amoeba
+                   // dispatches these ahead of CPU-bound threads
+  kUser = 3,       // CPU-bound user threads (application compute)
+};
+inline constexpr int kPrioLevels = 4;
+
+class Cpu {
+ public:
+  explicit Cpu(Simulator& s) : sim_(&s) {}
+
+  Cpu(const Cpu&) = delete;
+  Cpu& operator=(const Cpu&) = delete;
+
+  /// Consume `duration` of CPU at priority `prio`. May be preempted (the
+  /// remaining time is served later); completes once the full duration has
+  /// been served. A non-positive duration completes immediately.
+  /// If `thread_preemptions_out` is given, it receives the number of times
+  /// this job was preempted by *thread-level* (non-interrupt) work — each of
+  /// those resumptions is a real context switch for the caller to charge.
+  [[nodiscard]] Co<void> run(Time duration, Prio prio,
+                             std::uint64_t* thread_preemptions_out = nullptr);
+
+  [[nodiscard]] bool idle() const noexcept { return active_ == nullptr; }
+  [[nodiscard]] Time busy_time(Prio prio) const noexcept {
+    return busy_[static_cast<std::size_t>(prio)];
+  }
+  [[nodiscard]] Time total_busy_time() const noexcept {
+    Time total = 0;
+    for (const Time t : busy_) total += t;
+    return total;
+  }
+  [[nodiscard]] std::uint64_t preemptions() const noexcept { return preemptions_; }
+  [[nodiscard]] std::uint64_t jobs_completed() const noexcept { return completed_; }
+
+ private:
+  struct Job {
+    Time remaining = 0;
+    Prio prio = Prio::kUser;
+    std::coroutine_handle<> waiter;
+    std::uint64_t preempted_by_thread = 0;  // resume episodes w/ thread work
+    bool parked = false;
+    std::uint64_t park_mark = 0;  // thread_jobs_started_ at preemption time
+  };
+
+  struct RunAwaiter;
+
+  void submit(const std::shared_ptr<Job>& job);
+  void start(const std::shared_ptr<Job>& job);
+  void finish();
+  void dispatch_next();
+
+  Simulator* sim_;
+  std::array<std::deque<std::shared_ptr<Job>>, kPrioLevels> ready_;
+  std::shared_ptr<Job> active_;
+  Time active_since_ = 0;
+  std::uint64_t active_gen_ = 0;
+  std::array<Time, kPrioLevels> busy_{};
+  std::uint64_t preemptions_ = 0;
+  std::uint64_t completed_ = 0;
+  std::uint64_t thread_jobs_started_ = 0;
+};
+
+}  // namespace sim

@@ -1,0 +1,50 @@
+#include "sim/ledger.h"
+
+namespace sim {
+
+std::string_view mechanism_name(Mechanism m) noexcept {
+  switch (m) {
+    case Mechanism::kContextSwitch: return "context-switch";
+    case Mechanism::kThreadSwitch: return "thread-switch";
+    case Mechanism::kSyscallCrossing: return "syscall-crossing";
+    case Mechanism::kUnderflowTrap: return "underflow-trap";
+    case Mechanism::kOverflowTrap: return "overflow-trap";
+    case Mechanism::kWindowSave: return "window-save";
+    case Mechanism::kUserKernelCopy: return "user-kernel-copy";
+    case Mechanism::kAddressTranslation: return "address-translation";
+    case Mechanism::kFragmentationLayer: return "fragmentation-layer";
+    case Mechanism::kHeaderWire: return "header-wire";
+    case Mechanism::kPayloadWire: return "payload-wire";
+    case Mechanism::kInterruptDispatch: return "interrupt-dispatch";
+    case Mechanism::kProtocolProcessing: return "protocol-processing";
+    case Mechanism::kLockOp: return "lock-op";
+    case Mechanism::kSignal: return "signal";
+    case Mechanism::kCount: break;
+  }
+  return "unknown";
+}
+
+Time Ledger::total_time() const noexcept {
+  Time sum = 0;
+  for (const auto& e : entries_) sum += e.total;
+  return sum;
+}
+
+Ledger& Ledger::operator+=(const Ledger& other) noexcept {
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    entries_[i].count += other.entries_[i].count;
+    entries_[i].total += other.entries_[i].total;
+  }
+  return *this;
+}
+
+Ledger Ledger::diff(const Ledger& other) const noexcept {
+  Ledger out;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    out.entries_[i].count = entries_[i].count - other.entries_[i].count;
+    out.entries_[i].total = entries_[i].total - other.entries_[i].total;
+  }
+  return out;
+}
+
+}  // namespace sim

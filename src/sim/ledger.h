@@ -1,0 +1,72 @@
+// Mechanism-cost accounting.
+//
+// The paper's §4.2/§4.3 analysis decomposes the user-vs-kernel latency gap
+// into named mechanisms (context switches, register-window underflow traps,
+// address-space crossings, fragmentation layers, header bytes on the wire...).
+// Every site in the protocol stacks that charges simulated time also records
+// the charge here, so the breakdown benchmarks can print the same accounting
+// the paper does and tests can assert that the parts sum to the whole.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "sim/time.h"
+
+namespace sim {
+
+enum class Mechanism : std::size_t {
+  kContextSwitch = 0,    // full thread context switch
+  kThreadSwitch,         // interrupt-to-thread dispatch (sequencer path)
+  kSyscallCrossing,      // user/kernel address-space crossing
+  kUnderflowTrap,        // SPARC register-window underflow trap
+  kOverflowTrap,         // SPARC register-window overflow trap
+  kWindowSave,           // saving in-use register windows on kernel entry
+  kUserKernelCopy,       // copying message data across the boundary
+  kAddressTranslation,   // user-to-kernel address translation (untuned path)
+  kFragmentationLayer,   // user-level (second) fragmentation/reassembly
+  kHeaderWire,           // wire time spent on protocol headers
+  kPayloadWire,          // wire time spent on payload bytes
+  kInterruptDispatch,    // taking a network interrupt
+  kProtocolProcessing,   // generic protocol CPU work
+  kLockOp,               // mutex lock/unlock pairs
+  kSignal,               // signalling another thread (condvar/kernel signal)
+  kCount
+};
+
+[[nodiscard]] std::string_view mechanism_name(Mechanism m) noexcept;
+
+/// Accumulated (count, total simulated time) per mechanism.
+class Ledger {
+ public:
+  struct Entry {
+    std::uint64_t count = 0;
+    Time total = 0;
+  };
+
+  void add(Mechanism m, Time amount, std::uint64_t n = 1) noexcept {
+    auto& e = entries_[static_cast<std::size_t>(m)];
+    e.count += n;
+    e.total += amount;
+  }
+
+  [[nodiscard]] const Entry& get(Mechanism m) const noexcept {
+    return entries_[static_cast<std::size_t>(m)];
+  }
+
+  [[nodiscard]] Time total_time() const noexcept;
+
+  void reset() noexcept { entries_.fill(Entry{}); }
+
+  Ledger& operator+=(const Ledger& other) noexcept;
+
+  /// Per-mechanism difference (this - other), useful for protocol-vs-protocol
+  /// breakdowns.
+  [[nodiscard]] Ledger diff(const Ledger& other) const noexcept;
+
+ private:
+  std::array<Entry, static_cast<std::size_t>(Mechanism::kCount)> entries_{};
+};
+
+}  // namespace sim

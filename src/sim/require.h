@@ -1,0 +1,26 @@
+// Invariant checking for the simulation engine and protocol stacks.
+//
+// A failed requirement indicates a bug in the simulator or a protocol
+// implementation, not a simulated failure (simulated failures such as lost
+// frames or timeouts are ordinary values). Following the Core Guidelines'
+// advice on preconditions, violations throw a distinct exception type so
+// tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sim {
+
+/// Thrown when a simulator or protocol invariant is violated.
+class SimError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Throws SimError with `what` unless `condition` holds.
+inline void require(bool condition, const std::string& what) {
+  if (!condition) throw SimError(what);
+}
+
+}  // namespace sim

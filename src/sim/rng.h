@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation.
+//
+// xoshiro256** seeded via SplitMix64. Every stochastic element of the
+// simulation (loss injection, workload generation, tie-breaking jitter) draws
+// from an Rng owned by the Simulator so runs are reproducible from a single
+// seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace sim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform01() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform_real(double lo, double hi) noexcept;
+
+  /// True with probability p (clamped to [0, 1]).
+  bool bernoulli(double p) noexcept;
+
+  /// Exponentially distributed value with the given mean.
+  double exponential(double mean) noexcept;
+
+  /// Derive an independent child generator (for per-node streams).
+  Rng split() noexcept;
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace sim

@@ -1,0 +1,46 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/require.h"
+
+namespace sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+void Simulator::at(Time t, std::function<void()> fn) {
+  require(static_cast<bool>(fn), "Simulator::at: empty callable");
+  heap_.push_back(Event{std::max(t, now_), next_seq_++, std::move(fn)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+}
+
+void Simulator::after(Time delay, std::function<void()> fn) {
+  at(now_ + std::max<Time>(delay, 0), std::move(fn));
+}
+
+bool Simulator::step() {
+  if (heap_.empty()) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Event ev = std::move(heap_.back());
+  heap_.pop_back();
+  now_ = ev.t;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::run(std::size_t max_events) {
+  std::size_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+void Simulator::run_until(Time t) {
+  while (!heap_.empty() && heap_.front().t <= t) step();
+  now_ = std::max(now_, t);
+}
+
+void Simulator::run_for(Time delay) { run_until(now_ + std::max<Time>(delay, 0)); }
+
+}  // namespace sim

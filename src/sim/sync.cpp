@@ -1,0 +1,94 @@
+#include "sim/sync.h"
+
+namespace sim {
+
+// User-declared constructor required: GCC 12 double-destroys aggregate
+// awaiter temporaries (see the note in cpu.cpp).
+struct CondVar::WaitAwaiter {
+  WaitAwaiter(CondVar& c, std::shared_ptr<WaitState> st, Time t)
+      : cv(c), state(std::move(st)), timeout(t) {}
+  CondVar& cv;
+  std::shared_ptr<WaitState> state;
+  Time timeout;  // < 0 means no timeout
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) {
+    state->handle = h;
+    cv.waiters_.push_back(state);
+    if (timeout >= 0) {
+      auto st = state;
+      CondVar* self = &cv;
+      cv.sim_->after(timeout, [self, st] {
+        if (st->settled) return;
+        self->settle_and_resume(st, /*timed_out=*/true);
+      });
+    }
+  }
+  bool await_resume() const noexcept { return !state->timed_out; }
+};
+
+Co<void> CondVar::wait() {
+  WaitAwaiter awaiter(*this, std::make_shared<WaitState>(), /*timeout=*/-1);
+  co_await awaiter;
+}
+
+Co<bool> CondVar::wait_for(Time timeout) {
+  WaitAwaiter awaiter(*this, std::make_shared<WaitState>(), std::max<Time>(timeout, 0));
+  const bool notified = co_await awaiter;
+  co_return notified;
+}
+
+void CondVar::settle_and_resume(const std::shared_ptr<WaitState>& st, bool timed_out) {
+  st->settled = true;
+  st->timed_out = timed_out;
+  // Remove from the wait list (it is near the front in the common case).
+  for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {
+    if (it->get() == st.get()) {
+      waiters_.erase(it);
+      break;
+    }
+  }
+  sim_->after(0, [st] { st->handle.resume(); });
+}
+
+void CondVar::notify_one() {
+  if (waiters_.empty()) return;
+  settle_and_resume(waiters_.front(), /*timed_out=*/false);
+}
+
+void CondVar::notify_all() {
+  while (!waiters_.empty()) settle_and_resume(waiters_.front(), /*timed_out=*/false);
+}
+
+std::size_t CondVar::waiter_count() const noexcept { return waiters_.size(); }
+
+Co<void> Mutex::lock() {
+  ++acquisitions_;
+  if (!locked_) {
+    locked_ = true;
+    co_return;
+  }
+  ++contentions_;
+  do {
+    co_await cv_.wait();
+  } while (locked_);
+  locked_ = true;
+}
+
+void Mutex::unlock() {
+  require(locked_, "Mutex::unlock: not locked");
+  locked_ = false;
+  cv_.notify_one();
+}
+
+Co<void> Semaphore::acquire() {
+  while (count_ <= 0) co_await cv_.wait();
+  --count_;
+}
+
+void Semaphore::release(std::int64_t n) {
+  count_ += n;
+  for (std::int64_t i = 0; i < n; ++i) cv_.notify_one();
+}
+
+}  // namespace sim

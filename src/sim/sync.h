@@ -1,0 +1,190 @@
+// Synchronization primitives for simulated threads.
+//
+// Everything is cooperative and single-host-threaded: a "blocked" activity is
+// simply a suspended coroutine parked on a wait list. Wakeups are delivered
+// through the Simulator event queue so resumption order is deterministic and
+// never re-enters the notifier's stack.
+#pragma once
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+
+#include "sim/co.h"
+#include "sim/require.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sim {
+
+/// A condition variable for simulated activities.
+///
+/// There is no associated mutex: the simulation is cooperative, so the usual
+/// lost-wakeup race cannot occur between checking a predicate and suspending
+/// (no preemption happens between the check and `co_await wait()`).
+/// Callers must still re-check predicates after waking (notify_all, timeouts).
+class CondVar {
+ public:
+  explicit CondVar(Simulator& s) : sim_(&s) {}
+
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Suspend until notified.
+  [[nodiscard]] Co<void> wait();
+
+  /// Suspend until notified or until `timeout` elapses.
+  /// Returns true if notified, false on timeout.
+  [[nodiscard]] Co<bool> wait_for(Time timeout);
+
+  /// Wake the longest-waiting activity (if any).
+  void notify_one();
+
+  /// Wake every currently waiting activity.
+  void notify_all();
+
+  [[nodiscard]] std::size_t waiter_count() const noexcept;
+
+ private:
+  struct WaitState {
+    std::coroutine_handle<> handle;
+    bool settled = false;
+    bool timed_out = false;
+  };
+  struct WaitAwaiter;
+
+  void settle_and_resume(const std::shared_ptr<WaitState>& st, bool timed_out);
+
+  Simulator* sim_;
+  std::deque<std::shared_ptr<WaitState>> waiters_;
+};
+
+/// A mutual-exclusion lock for simulated activities.
+///
+/// Uncontended acquisition is free in simulated time; the cost of lock
+/// operations, where it matters (the paper counts lock() calls), is charged
+/// by the layer above via the CostModel. Contended acquirers queue FIFO.
+class Mutex {
+ public:
+  explicit Mutex(Simulator& s) : cv_(s) {}
+
+  [[nodiscard]] Co<void> lock();
+  void unlock();
+
+  [[nodiscard]] bool locked() const noexcept { return locked_; }
+  /// Total lock() calls (the paper's §4.2 profiling counts these).
+  [[nodiscard]] std::uint64_t acquisitions() const noexcept { return acquisitions_; }
+  /// How many lock() calls had to wait.
+  [[nodiscard]] std::uint64_t contentions() const noexcept { return contentions_; }
+
+ private:
+  CondVar cv_;
+  bool locked_ = false;
+  std::uint64_t acquisitions_ = 0;
+  std::uint64_t contentions_ = 0;
+};
+
+/// RAII guard over Mutex. Acquire with `co_await Lock::acquire(m)`.
+class [[nodiscard]] Lock {
+ public:
+  static Co<Lock> acquire(Mutex& m) {
+    co_await m.lock();
+    co_return Lock(m);
+  }
+  Lock(Lock&& o) noexcept : mutex_(std::exchange(o.mutex_, nullptr)) {}
+  Lock(const Lock&) = delete;
+  Lock& operator=(const Lock&) = delete;
+  Lock& operator=(Lock&&) = delete;
+  ~Lock() {
+    if (mutex_ != nullptr) mutex_->unlock();
+  }
+
+ private:
+  explicit Lock(Mutex& m) : mutex_(&m) {}
+  Mutex* mutex_;
+};
+
+/// Counting semaphore.
+class Semaphore {
+ public:
+  Semaphore(Simulator& s, std::int64_t initial) : cv_(s), count_(initial) {}
+
+  [[nodiscard]] Co<void> acquire();
+  void release(std::int64_t n = 1);
+  [[nodiscard]] std::int64_t count() const noexcept { return count_; }
+
+ private:
+  CondVar cv_;
+  std::int64_t count_;
+};
+
+/// A bounded FIFO channel between simulated activities.
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(Simulator& s, std::size_t capacity = static_cast<std::size_t>(-1))
+      : not_empty_(s), not_full_(s), capacity_(capacity) {
+    require(capacity_ > 0, "Channel: capacity must be positive");
+  }
+
+  /// Blocking send (waits while full).
+  Co<void> send(T value) {
+    while (items_.size() >= capacity_) co_await not_full_.wait();
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+  }
+
+  /// Blocking receive (waits while empty).
+  Co<T> recv() {
+    while (items_.empty()) co_await not_empty_.wait();
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    co_return value;
+  }
+
+  /// Receive with timeout; nullopt on timeout.
+  Co<std::optional<T>> recv_for(Time timeout) {
+    if (items_.empty()) {
+      const bool notified = co_await not_empty_.wait_for(timeout);
+      if (!notified && items_.empty()) co_return std::nullopt;
+      // A notify can race with another receiver; loop via recursion-free retry.
+      while (items_.empty()) {
+        const bool again = co_await not_empty_.wait_for(timeout);
+        if (!again && items_.empty()) co_return std::nullopt;
+      }
+    }
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    co_return value;
+  }
+
+  bool try_send(T value) {
+    if (items_.size() >= capacity_) return false;
+    items_.push_back(std::move(value));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  std::optional<T> try_recv() {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+
+ private:
+  std::deque<T> items_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::size_t capacity_;
+};
+
+}  // namespace sim

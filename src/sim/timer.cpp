@@ -1,0 +1,30 @@
+#include "sim/timer.h"
+
+#include <utility>
+
+namespace sim {
+
+Timer::Timer(Simulator& s) : sim_(&s), state_(std::make_shared<State>()) {}
+
+void Timer::schedule(Time delay, std::function<void()> fn) {
+  const std::uint64_t gen = ++state_->generation;
+  state_->pending = true;
+  state_->fn = std::move(fn);
+  sim_->after(delay, [st = state_, gen] {
+    if (gen != st->generation || !st->pending) return;
+    st->pending = false;
+    auto fire = std::move(st->fn);
+    st->fn = nullptr;
+    fire();
+  });
+}
+
+void Timer::cancel() {
+  ++state_->generation;
+  state_->pending = false;
+  state_->fn = nullptr;
+}
+
+bool Timer::pending() const noexcept { return state_->pending; }
+
+}  // namespace sim

@@ -1,0 +1,40 @@
+// A cancellable one-shot timer, the building block for protocol
+// retransmission and acknowledgement timeouts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sim {
+
+class Timer {
+ public:
+  explicit Timer(Simulator& s);
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  /// Arm the timer to fire `fn` after `delay`. Re-arming cancels any pending
+  /// shot. `fn` runs from the event queue; it is not retained after firing.
+  void schedule(Time delay, std::function<void()> fn);
+
+  /// Cancel the pending shot, if any.
+  void cancel();
+
+  [[nodiscard]] bool pending() const noexcept;
+
+ private:
+  struct State {
+    std::uint64_t generation = 0;
+    bool pending = false;
+    std::function<void()> fn;
+  };
+  Simulator* sim_;
+  std::shared_ptr<State> state_;
+};
+
+}  // namespace sim

@@ -1,0 +1,203 @@
+#include "amoeba/flip.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "amoeba/kernel.h"
+#include "amoeba/world.h"
+#include "net/buffer.h"
+#include "sim/co.h"
+
+namespace amoeba {
+namespace {
+
+constexpr FlipAddr kEndpointA = 0x1000;
+constexpr FlipAddr kEndpointB = 0x2000;
+constexpr FlipAddr kGroupG = kFlipGroupBit | 0x42;
+
+struct Received {
+  FlipAddr src;
+  FlipAddr dst;
+  std::size_t size;
+  sim::Time at;
+};
+
+FlipHandler recorder(sim::Simulator& s, std::vector<Received>& log) {
+  return [&s, &log](FlipMessage m) -> sim::Co<void> {
+    log.push_back(Received{m.src, m.dst, m.payload.size(), s.now()});
+    co_return;
+  };
+}
+
+class FlipTest : public ::testing::Test {
+ protected:
+  FlipTest() {
+    world.add_nodes(4);
+  }
+  World world;
+  std::vector<Received> log;
+};
+
+TEST_F(FlipTest, UnicastDeliversAfterLocate) {
+  world.kernel(1).flip().register_endpoint(kEndpointB, recorder(world.sim(), log));
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(100)));
+  world.sim().run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].dst, kEndpointB);
+  EXPECT_EQ(log[0].src, kernel_flip_addr(0));
+  EXPECT_EQ(log[0].size, 100u);
+  EXPECT_EQ(world.kernel(0).flip().locates_sent(), 1u);
+}
+
+TEST_F(FlipTest, SecondSendUsesCachedRoute) {
+  world.kernel(1).flip().register_endpoint(kEndpointB, recorder(world.sim(), log));
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(10)));
+  world.sim().run();
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(10)));
+  world.sim().run();
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(world.kernel(0).flip().locates_sent(), 1u);
+}
+
+TEST_F(FlipTest, LocalDeliveryNeverTouchesTheWire) {
+  world.kernel(0).flip().register_endpoint(kEndpointA, recorder(world.sim(), log));
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointA, net::Payload::zeros(64)));
+  world.sim().run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(world.network().total_bytes_carried(), 0u);
+}
+
+TEST_F(FlipTest, LocateRetriesThenGivesUp) {
+  // Nobody owns kEndpointB: the locate retries then the message vanishes.
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(10)));
+  world.sim().run();
+  EXPECT_EQ(world.kernel(0).flip().locates_sent(), 5u);
+  EXPECT_TRUE(log.empty());
+}
+
+TEST_F(FlipTest, LateRegistrationIsFoundByARetry) {
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(10)));
+  // Register on node 1 after the first locate has already failed.
+  world.sim().run_until(sim::msec(15));
+  world.kernel(1).flip().register_endpoint(kEndpointB, recorder(world.sim(), log));
+  world.sim().run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_GE(world.kernel(0).flip().locates_sent(), 2u);
+}
+
+TEST_F(FlipTest, LargeMessagesAreFragmentedAndReassembled) {
+  world.kernel(1).flip().register_endpoint(kEndpointB, recorder(world.sim(), log));
+  const std::size_t size = 4096;
+  EXPECT_EQ(world.kernel(0).flip().fragment_count(size), 3u);
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(size)));
+  world.sim().run();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0].size, size);
+}
+
+TEST_F(FlipTest, FragmentContentSurvivesReassembly) {
+  net::Payload got;
+  world.kernel(1).flip().register_endpoint(
+      kEndpointB, [&](FlipMessage m) -> sim::Co<void> {
+        got = m.payload;
+        co_return;
+      });
+  net::Writer w;
+  for (std::uint32_t i = 0; i < 1000; ++i) w.u32(i);
+  net::Payload sent = w.take();  // 4000 bytes, 3 fragments
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, sent));
+  world.sim().run();
+  ASSERT_EQ(got.size(), sent.size());
+  EXPECT_TRUE(got.content_equals(sent));
+}
+
+TEST_F(FlipTest, PacketBoundariesMatchThePaper) {
+  // §4.1: 2 Kb fits in two packets; 3 Kb and 4 Kb both take three.
+  Flip& f = world.kernel(0).flip();
+  EXPECT_EQ(f.fragment_count(0), 1u);
+  EXPECT_EQ(f.fragment_count(1024), 1u);
+  EXPECT_EQ(f.fragment_count(2048), 2u);
+  EXPECT_EQ(f.fragment_count(3072), 3u);
+  EXPECT_EQ(f.fragment_count(4096), 3u);
+}
+
+TEST_F(FlipTest, MulticastReachesAllMembersInOneTransmission) {
+  for (NodeId n : {1u, 2u, 3u}) {
+    world.kernel(n).flip().register_group(kGroupG, recorder(world.sim(), log));
+  }
+  sim::spawn(world.kernel(0).flip().multicast(kGroupG, net::Payload::zeros(200)));
+  world.sim().run();
+  EXPECT_EQ(log.size(), 3u);
+  // One frame on the sender's segment (all four nodes share it).
+  EXPECT_EQ(world.network().segment(0).frames_carried(), 1u);
+}
+
+TEST_F(FlipTest, MulticastDoesNotLoopBackToSender) {
+  world.kernel(0).flip().register_group(kGroupG, recorder(world.sim(), log));
+  world.kernel(1).flip().register_group(kGroupG, recorder(world.sim(), log));
+  sim::spawn(world.kernel(0).flip().multicast(kGroupG, net::Payload::zeros(10)));
+  world.sim().run();
+  ASSERT_EQ(log.size(), 1u);  // only node 1
+}
+
+TEST_F(FlipTest, LostFragmentKillsTheWholeMessage) {
+  world.kernel(1).flip().register_endpoint(kEndpointB, recorder(world.sim(), log));
+  // Warm the route first so the data frames are identifiable.
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(1)));
+  world.sim().run();
+  ASSERT_EQ(log.size(), 1u);
+  log.clear();
+  // Drop exactly one data frame of the next (3-fragment) message.
+  int data_frames = 0;
+  world.network().segment(0).set_loss_hook([&](const net::Frame&) {
+    return ++data_frames == 2;  // second fragment dies
+  });
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(4000)));
+  world.sim().run();
+  EXPECT_TRUE(log.empty());
+  EXPECT_EQ(world.kernel(1).flip().reassembly_timeouts(), 1u);
+}
+
+TEST_F(FlipTest, InterleavedMessagesFromTwoSendersBothArrive) {
+  world.kernel(2).flip().register_endpoint(kEndpointB, recorder(world.sim(), log));
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(3000)));
+  sim::spawn(world.kernel(1).flip().unicast(kEndpointB, net::Payload::zeros(3000)));
+  world.sim().run();
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log[0].size, 3000u);
+  EXPECT_EQ(log[1].size, 3000u);
+}
+
+TEST_F(FlipTest, CrossSegmentUnicastWorks) {
+  World big;
+  big.add_nodes(16);
+  std::vector<Received> rlog;
+  big.kernel(9).flip().register_endpoint(kEndpointB, recorder(big.sim(), rlog));
+  sim::spawn(big.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(2000)));
+  big.sim().run();
+  ASSERT_EQ(rlog.size(), 1u);
+  EXPECT_EQ(rlog[0].size, 2000u);
+}
+
+TEST_F(FlipTest, ReceiveChargesShowInLedger) {
+  world.kernel(1).flip().register_endpoint(kEndpointB, recorder(world.sim(), log));
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(100)));
+  world.sim().run();
+  const auto& e =
+      world.kernel(1).ledger().get(sim::Mechanism::kInterruptDispatch);
+  EXPECT_GE(e.count, 1u);
+  EXPECT_GT(e.total, 0);
+}
+
+TEST_F(FlipTest, GroupAddressValidation) {
+  EXPECT_THROW(world.kernel(0).flip().register_endpoint(
+                   kGroupG, recorder(world.sim(), log)),
+               sim::SimError);
+  EXPECT_THROW(world.kernel(0).flip().register_group(
+                   kEndpointA, recorder(world.sim(), log)),
+               sim::SimError);
+}
+
+}  // namespace
+}  // namespace amoeba

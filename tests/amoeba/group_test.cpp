@@ -1,0 +1,251 @@
+#include "amoeba/group.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "amoeba/world.h"
+#include "sim/co.h"
+
+namespace amoeba {
+namespace {
+
+constexpr GroupId kGid = 1;
+
+class GroupTest : public ::testing::Test {
+ protected:
+  void boot(std::size_t n, GroupConfig base = {}) {
+    world.add_nodes(n);
+    base.members.clear();
+    for (NodeId i = 0; i < n; ++i) base.members.push_back(i);
+    for (NodeId i = 0; i < n; ++i) {
+      groups.push_back(std::make_unique<KernelGroup>(world.kernel(i)));
+      groups.back()->join(kGid, base);
+    }
+    received.resize(n);
+  }
+
+  /// A listener per member recording (sender, seqno) pairs in order.
+  void start_listener(NodeId n, int expect) {
+    Thread& t = world.kernel(n).create_thread("listener");
+    sim::spawn([](KernelGroup& g, Thread& self, std::vector<GroupMsg>& log,
+                  int count) -> sim::Co<void> {
+      for (int i = 0; i < count; ++i) {
+        GroupMsg m = co_await g.receive(self, kGid);
+        log.push_back(std::move(m));
+      }
+    }(*groups[n], t, received[n], expect));
+  }
+
+  void send_from(NodeId n, std::size_t bytes, int count = 1) {
+    Thread& t = world.kernel(n).create_thread("sender");
+    sim::spawn([](KernelGroup& g, Thread& self, std::size_t sz,
+                  int k) -> sim::Co<void> {
+      for (int i = 0; i < k; ++i) co_await g.send(self, kGid, net::Payload::zeros(sz));
+    }(*groups[n], t, bytes, count));
+  }
+
+  World world;
+  std::vector<std::unique_ptr<KernelGroup>> groups;
+  std::vector<std::vector<GroupMsg>> received;
+};
+
+TEST_F(GroupTest, SingleSendReachesAllMembers) {
+  boot(4);
+  for (NodeId n = 0; n < 4; ++n) start_listener(n, 1);
+  send_from(2, 100);
+  world.sim().run();
+  for (NodeId n = 0; n < 4; ++n) {
+    ASSERT_EQ(received[n].size(), 1u) << "member " << n;
+    EXPECT_EQ(received[n][0].sender, 2u);
+    EXPECT_EQ(received[n][0].seqno, 1u);
+    EXPECT_EQ(received[n][0].payload.size(), 100u);
+  }
+}
+
+TEST_F(GroupTest, SequencerMemberCanSend) {
+  boot(3);
+  for (NodeId n = 0; n < 3; ++n) start_listener(n, 1);
+  send_from(0, 50);  // node 0 is the sequencer (index 0)
+  world.sim().run();
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_EQ(received[n].size(), 1u);
+    EXPECT_EQ(received[n][0].sender, 0u);
+  }
+}
+
+TEST_F(GroupTest, TotalOrderIsIdenticalEverywhere) {
+  boot(4);
+  const int kEach = 10;
+  for (NodeId n = 0; n < 4; ++n) start_listener(n, 4 * kEach);
+  for (NodeId n = 0; n < 4; ++n) send_from(n, 64, kEach);
+  world.sim().run();
+  ASSERT_EQ(received[0].size(), static_cast<std::size_t>(4 * kEach));
+  for (NodeId n = 1; n < 4; ++n) {
+    ASSERT_EQ(received[n].size(), received[0].size());
+    for (std::size_t i = 0; i < received[0].size(); ++i) {
+      EXPECT_EQ(received[n][i].seqno, received[0][i].seqno);
+      EXPECT_EQ(received[n][i].sender, received[0][i].sender);
+    }
+  }
+  // Sequence numbers are dense 1..40.
+  for (std::size_t i = 0; i < received[0].size(); ++i) {
+    EXPECT_EQ(received[0][i].seqno, i + 1);
+  }
+}
+
+TEST_F(GroupTest, LargeMessagesUseTheBBMethod) {
+  boot(3);
+  for (NodeId n = 0; n < 3; ++n) start_listener(n, 1);
+  send_from(1, 8000);  // well above bb_threshold
+  world.sim().run();
+  EXPECT_EQ(groups[1]->bb_sends(), 1u);
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_EQ(received[n].size(), 1u);
+    EXPECT_EQ(received[n][0].payload.size(), 8000u);
+  }
+}
+
+TEST_F(GroupTest, SenderUnblocksOnlyAfterSequencing) {
+  boot(2);
+  start_listener(0, 1);
+  start_listener(1, 1);
+  sim::Time send_done = -1;
+  sim::Time delivered_at_sender = -1;
+  Thread& t = world.kernel(1).create_thread("sender");
+  sim::spawn([](KernelGroup& g, Thread& self, sim::Simulator& s,
+                sim::Time& done) -> sim::Co<void> {
+    co_await g.send(self, kGid, net::Payload::zeros(64));
+    done = s.now();
+  }(*groups[1], t, world.sim(), send_done));
+  world.sim().run();
+  delivered_at_sender = world.sim().now();
+  EXPECT_GT(send_done, 0);
+  // The blocking send took at least one round trip to the sequencer.
+  EXPECT_GT(send_done, sim::msec(1));
+  (void)delivered_at_sender;
+}
+
+TEST_F(GroupTest, LostAcceptIsRepairedByGapRequest) {
+  boot(3);
+  for (NodeId n = 0; n < 3; ++n) start_listener(n, 3);
+  // Drop the first ACCEPT multicast only at member 2's NIC.
+  int dropped = 0;
+  world.network().nic(2).set_rx_drop_hook([&](const net::Frame& f) {
+    if (dropped == 0 && net::is_multicast(f.dst)) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  send_from(1, 64, 3);
+  world.sim().run();
+  EXPECT_EQ(dropped, 1);
+  ASSERT_EQ(received[2].size(), 3u);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(received[2][i].seqno, i + 1);
+  EXPECT_GE(groups[0]->retransmit_requests(), 1u);
+}
+
+TEST_F(GroupTest, LostRequestIsRetriedBySender) {
+  boot(2, [] {
+    GroupConfig cfg;
+    cfg.send_retry_interval = sim::msec(20);
+    return cfg;
+  }());
+  start_listener(0, 1);
+  start_listener(1, 1);
+  // Drop the first unicast REQ from member 1 (after the locate exchange).
+  int dropped = 0;
+  world.network().segment(0).set_loss_hook([&](const net::Frame& f) {
+    if (dropped == 0 && f.src == 2 && net::is_unicast(f.dst) &&
+        f.payload.size() > 80) {
+      ++dropped;
+      return true;
+    }
+    return false;
+  });
+  send_from(1, 64);
+  world.sim().run();
+  EXPECT_EQ(dropped, 1);
+  ASSERT_EQ(received[0].size(), 1u);
+  ASSERT_EQ(received[1].size(), 1u);
+}
+
+TEST_F(GroupTest, HistoryOverflowTriggersStatusRoundAndRecovers) {
+  GroupConfig cfg;
+  cfg.history_capacity = 4;  // tiny history to force overflow handling
+  boot(3, cfg);
+  const int kEach = 10;
+  for (NodeId n = 0; n < 3; ++n) start_listener(n, 3 * kEach);
+  for (NodeId n = 0; n < 3; ++n) send_from(n, 32, kEach);
+  world.sim().run();
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_EQ(received[n].size(), static_cast<std::size_t>(3 * kEach));
+  }
+  EXPECT_GE(groups[0]->status_rounds(), 1u);
+  // Order still identical.
+  for (std::size_t i = 0; i < received[0].size(); ++i) {
+    EXPECT_EQ(received[1][i].seqno, received[0][i].seqno);
+    EXPECT_EQ(received[2][i].seqno, received[0][i].seqno);
+  }
+}
+
+TEST_F(GroupTest, PayloadContentSurvivesSequencing) {
+  boot(2);
+  start_listener(0, 1);
+  start_listener(1, 1);
+  Thread& t = world.kernel(1).create_thread("sender");
+  sim::spawn([](KernelGroup& g, Thread& self) -> sim::Co<void> {
+    net::Writer w;
+    for (std::uint32_t i = 0; i < 500; ++i) w.u32(i * 3);
+    co_await g.send(self, kGid, w.take());
+  }(*groups[1], t));
+  world.sim().run();
+  ASSERT_EQ(received[0].size(), 1u);
+  net::Reader r(received[0][0].payload);
+  for (std::uint32_t i = 0; i < 500; ++i) ASSERT_EQ(r.u32(), i * 3);
+}
+
+TEST_F(GroupTest, ThirtyTwoMembersAcrossSegments) {
+  boot(32);
+  for (NodeId n = 0; n < 32; ++n) start_listener(n, 2);
+  send_from(5, 100);
+  send_from(29, 100);
+  world.sim().run();
+  for (NodeId n = 0; n < 32; ++n) {
+    ASSERT_EQ(received[n].size(), 2u) << "member " << n;
+    EXPECT_EQ(received[n][0].seqno, 1u);
+    EXPECT_EQ(received[n][1].seqno, 2u);
+    EXPECT_EQ(received[n][0].sender, received[0][0].sender);
+  }
+}
+
+TEST_F(GroupTest, GroupLatencyIsInPaperBallpark) {
+  // Table 1: kernel-space group latency for a null message is 1.44 ms
+  // (2 members, sender waits for its own message back from the sequencer on
+  // the other processor).
+  boot(2, [] {
+    GroupConfig cfg;
+    cfg.sequencer_index = 1;  // sequencer on the *other* node
+    return cfg;
+  }());
+  start_listener(0, 2);
+  start_listener(1, 2);
+  sim::Time elapsed = 0;
+  Thread& t = world.kernel(0).create_thread("sender");
+  sim::spawn([](KernelGroup& g, Thread& self, sim::Simulator& s,
+                sim::Time& out) -> sim::Co<void> {
+    co_await g.send(self, kGid, net::Payload());  // warm-up (locate)
+    const sim::Time t0 = s.now();
+    co_await g.send(self, kGid, net::Payload());
+    out = s.now() - t0;
+  }(*groups[0], t, world.sim(), elapsed));
+  world.sim().run();
+  EXPECT_GT(elapsed, sim::usec(700));
+  EXPECT_LT(elapsed, sim::msec(3));
+}
+
+}  // namespace
+}  // namespace amoeba

@@ -1,0 +1,150 @@
+#include "amoeba/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "amoeba/world.h"
+#include "sim/co.h"
+
+namespace amoeba {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  KernelTest() { world.add_nodes(1); }
+  World world;
+  Kernel& k() { return world.kernel(0); }
+};
+
+TEST_F(KernelTest, ThreadIdsAreUniqueAcrossNodes) {
+  World two;
+  two.add_nodes(2);
+  Thread& a = two.kernel(0).create_thread("a");
+  Thread& b = two.kernel(0).create_thread("b");
+  Thread& c = two.kernel(1).create_thread("c");
+  EXPECT_NE(a.id(), b.id());
+  EXPECT_NE(a.id(), c.id());
+  EXPECT_NE(b.id(), c.id());
+}
+
+TEST_F(KernelTest, ThreadBlockUnblock) {
+  Thread& t = k().create_thread("worker");
+  bool resumed = false;
+  sim::spawn([](Thread& th, bool& flag) -> sim::Co<void> {
+    co_await th.block();
+    flag = true;
+  }(t, resumed));
+  world.sim().run();
+  EXPECT_FALSE(resumed);
+  t.unblock();
+  world.sim().run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST_F(KernelTest, UnblockBeforeBlockIsNotLost) {
+  Thread& t = k().create_thread("worker");
+  t.unblock();  // token deposited first
+  bool resumed = false;
+  sim::spawn([](Thread& th, bool& flag) -> sim::Co<void> {
+    co_await th.block();
+    flag = true;
+  }(t, resumed));
+  world.sim().run();
+  EXPECT_TRUE(resumed);
+}
+
+TEST_F(KernelTest, BlockForTimesOut) {
+  Thread& t = k().create_thread("worker");
+  bool got = true;
+  sim::spawn([](Thread& th, bool& result) -> sim::Co<void> {
+    result = co_await th.block_for(sim::usec(100));
+  }(t, got));
+  world.sim().run();
+  EXPECT_FALSE(got);
+  EXPECT_EQ(world.sim().now(), sim::usec(100));
+}
+
+TEST_F(KernelTest, SyscallReturnTrapsAreBoundedByWindowCount) {
+  sim::run(world.sim(), k().syscall_return(/*stack_depth=*/20));
+  const auto& traps = k().ledger().get(sim::Mechanism::kUnderflowTrap);
+  EXPECT_EQ(traps.count, 6u);  // clamped to the six SPARC windows
+  EXPECT_EQ(traps.total, world.costs().underflow_trap * 6);
+}
+
+TEST_F(KernelTest, DispatchChargesFullSwitchWhenContextNotLoaded) {
+  Thread& a = k().create_thread("a");
+  Thread& b = k().create_thread("b");
+  k().note_running(a.id());
+  sim::run(world.sim(), k().dispatch(b));
+  EXPECT_EQ(k().ledger().get(sim::Mechanism::kContextSwitch).total,
+            world.costs().context_switch);
+  EXPECT_EQ(k().loaded_context(), b.id());
+}
+
+TEST_F(KernelTest, DispatchIsCheapWhenContextLoaded) {
+  Thread& a = k().create_thread("a");
+  k().note_running(a.id());
+  sim::run(world.sim(), k().dispatch(a));
+  EXPECT_EQ(k().ledger().get(sim::Mechanism::kContextSwitch).count, 0u);
+  EXPECT_EQ(k().ledger().get(sim::Mechanism::kSignal).total,
+            world.costs().resume_loaded);
+}
+
+TEST_F(KernelTest, InterruptDispatchUsesSequencerPathCosts) {
+  Thread& a = k().create_thread("a");
+  Thread& b = k().create_thread("b");
+  k().note_running(a.id());
+  sim::run(world.sim(), k().dispatch_from_interrupt(b));
+  EXPECT_EQ(k().ledger().get(sim::Mechanism::kThreadSwitch).total,
+            world.costs().interrupt_thread_switch);
+  // Now b's context is loaded: the cheap variant applies.
+  sim::run(world.sim(), k().dispatch_from_interrupt(b));
+  EXPECT_EQ(k().ledger().get(sim::Mechanism::kThreadSwitch).total,
+            world.costs().interrupt_thread_switch +
+                world.costs().interrupt_thread_switch_loaded);
+}
+
+TEST_F(KernelTest, SignalThreadBundlesCrossingsAndTraps) {
+  Thread& daemon = k().create_thread("daemon");
+  Thread& client = k().create_thread("client");
+  k().note_running(daemon.id());
+  sim::run(world.sim(),
+           k().signal_thread(client, world.costs().panda_stack_depth));
+  const auto& ledger = k().ledger();
+  EXPECT_EQ(ledger.get(sim::Mechanism::kSyscallCrossing).count, 2u);
+  EXPECT_EQ(ledger.get(sim::Mechanism::kUnderflowTrap).count, 6u);
+  EXPECT_EQ(ledger.get(sim::Mechanism::kContextSwitch).count, 1u);
+}
+
+TEST_F(KernelTest, ComputeChargesResumeSwitchAfterOtherThreadRan) {
+  Thread& app = k().create_thread("app");
+  Thread& daemon = k().create_thread("daemon");
+  sim::run(world.sim(), k().compute(app, sim::usec(100)));
+  EXPECT_EQ(k().ledger().get(sim::Mechanism::kContextSwitch).count, 1u);
+  // Same thread continues: no new switch.
+  sim::run(world.sim(), k().compute(app, sim::usec(100)));
+  EXPECT_EQ(k().ledger().get(sim::Mechanism::kContextSwitch).count, 1u);
+  // A daemon dispatch intervenes; the next compute pays the resume switch.
+  sim::run(world.sim(), k().dispatch(daemon));
+  sim::run(world.sim(), k().compute(app, sim::usec(100)));
+  EXPECT_EQ(k().ledger().get(sim::Mechanism::kContextSwitch).count, 3u);
+}
+
+TEST_F(KernelTest, CopyBoundaryScalesWithBytes) {
+  sim::run(world.sim(), k().copy_boundary(1000));
+  EXPECT_EQ(k().ledger().get(sim::Mechanism::kUserKernelCopy).total,
+            world.costs().copy_ns_per_byte * 1000);
+  sim::run(world.sim(), k().copy_boundary(0));
+  EXPECT_EQ(k().ledger().get(sim::Mechanism::kUserKernelCopy).count, 1u);
+}
+
+TEST_F(KernelTest, ChargesOccupyTheCpu) {
+  const sim::Time before = world.sim().now();
+  sim::run(world.sim(), k().charge(sim::Prio::kKernel,
+                                   sim::Mechanism::kProtocolProcessing,
+                                   sim::usec(500)));
+  EXPECT_EQ(world.sim().now() - before, sim::usec(500));
+  EXPECT_EQ(k().cpu().busy_time(sim::Prio::kKernel), sim::usec(500));
+}
+
+}  // namespace
+}  // namespace amoeba

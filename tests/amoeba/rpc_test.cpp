@@ -1,0 +1,223 @@
+#include "amoeba/rpc.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "amoeba/world.h"
+#include "sim/co.h"
+
+namespace amoeba {
+namespace {
+
+constexpr ServiceId kEcho = 7;
+
+// A server loop that echoes `count` requests with a marker byte appended.
+sim::Co<void> echo_server(KernelRpc& rpc, Thread& self, int count) {
+  for (int i = 0; i < count; ++i) {
+    RpcRequestHandle req = co_await rpc.get_request(self, kEcho);
+    net::Writer w;
+    w.payload(req.payload);
+    w.u8(0xEE);
+    co_await rpc.put_reply(self, req, w.take());
+  }
+}
+
+class RpcTest : public ::testing::Test {
+ protected:
+  RpcTest() {
+    world.add_nodes(4);
+    for (NodeId n = 0; n < 4; ++n) {
+      rpcs.push_back(std::make_unique<KernelRpc>(world.kernel(n)));
+    }
+  }
+  World world;
+  std::vector<std::unique_ptr<KernelRpc>> rpcs;
+};
+
+TEST_F(RpcTest, RoundTripDeliversRequestAndReply) {
+  Thread& server = world.kernel(1).create_thread("server");
+  sim::spawn(echo_server(*rpcs[1], server, 1));
+  Thread& client = world.kernel(0).create_thread("client");
+  RpcResult result;
+  sim::spawn([](KernelRpc& rpc, Thread& self, RpcResult& out) -> sim::Co<void> {
+    net::Writer w;
+    w.u32(0xABCD);
+    out = co_await rpc.trans(self, kEcho, w.take());
+  }(*rpcs[0], client, result));
+  world.sim().run();
+  ASSERT_EQ(result.status, RpcStatus::kOk);
+  EXPECT_EQ(result.reply.size(), 5u);
+  net::Reader r(result.reply);
+  EXPECT_EQ(r.u32(), 0xABCDu);
+  EXPECT_EQ(r.u8(), 0xEE);
+}
+
+TEST_F(RpcTest, SequentialTransactionsReuseTheServer) {
+  Thread& server = world.kernel(1).create_thread("server");
+  sim::spawn(echo_server(*rpcs[1], server, 5));
+  Thread& client = world.kernel(0).create_thread("client");
+  int ok = 0;
+  sim::spawn([](KernelRpc& rpc, Thread& self, int& done) -> sim::Co<void> {
+    for (int i = 0; i < 5; ++i) {
+      net::Writer w;
+      w.u32(static_cast<std::uint32_t>(i));
+      RpcResult r = co_await rpc.trans(self, kEcho, w.take());
+      if (r.status == RpcStatus::kOk) ++done;
+    }
+  }(*rpcs[0], client, ok));
+  world.sim().run();
+  EXPECT_EQ(ok, 5);
+  EXPECT_EQ(rpcs[1]->requests_served(), 5u);
+}
+
+TEST_F(RpcTest, ConcurrentClientsAreServedByThreadPool) {
+  // Two server threads; three clients issue one call each.
+  for (int i = 0; i < 2; ++i) {
+    Thread& t = world.kernel(1).create_thread("server");
+    sim::spawn(echo_server(*rpcs[1], t, 2));
+  }
+  int ok = 0;
+  for (NodeId n : {0u, 2u, 3u}) {
+    Thread& client = world.kernel(n).create_thread("client");
+    sim::spawn([](KernelRpc& rpc, Thread& self, int& done) -> sim::Co<void> {
+      RpcResult r = co_await rpc.trans(self, kEcho, net::Payload::zeros(16));
+      if (r.status == RpcStatus::kOk) ++done;
+    }(*rpcs[n], client, ok));
+  }
+  world.sim().run();
+  // 3 calls, 4 server slots: at least 3 served.
+  EXPECT_EQ(ok, 3);
+}
+
+TEST_F(RpcTest, LargeRequestAndReplyAreFragmented) {
+  Thread& server = world.kernel(1).create_thread("server");
+  sim::spawn(echo_server(*rpcs[1], server, 1));
+  Thread& client = world.kernel(0).create_thread("client");
+  RpcResult result;
+  sim::spawn([](KernelRpc& rpc, Thread& self, RpcResult& out) -> sim::Co<void> {
+    out = co_await rpc.trans(self, kEcho, net::Payload::zeros(8000));
+  }(*rpcs[0], client, result));
+  world.sim().run();
+  ASSERT_EQ(result.status, RpcStatus::kOk);
+  EXPECT_EQ(result.reply.size(), 8001u);
+}
+
+TEST_F(RpcTest, TimesOutWhenNobodyServes) {
+  Thread& client = world.kernel(0).create_thread("client");
+  RpcResult result;
+  result.status = RpcStatus::kOk;
+  sim::spawn([](KernelRpc& rpc, Thread& self, RpcResult& out) -> sim::Co<void> {
+    out = co_await rpc.trans(self, 999, net::Payload::zeros(4));
+  }(*rpcs[0], client, result));
+  world.sim().run();
+  EXPECT_EQ(result.status, RpcStatus::kTimeout);
+}
+
+TEST_F(RpcTest, RequestLossIsMaskedByRetransmission) {
+  Thread& server = world.kernel(1).create_thread("server");
+  sim::spawn(echo_server(*rpcs[1], server, 1));
+  // Drop the first two data frames on the wire (after the locate exchange).
+  int drops = 0;
+  world.network().segment(0).set_loss_hook([&](const net::Frame& f) {
+    if (f.payload.size() > 100 && drops < 2) {  // only the fat request frames
+      ++drops;
+      return true;
+    }
+    return false;
+  });
+  Thread& client = world.kernel(0).create_thread("client");
+  RpcResult result;
+  sim::spawn([](KernelRpc& rpc, Thread& self, RpcResult& out) -> sim::Co<void> {
+    out = co_await rpc.trans(self, kEcho, net::Payload::zeros(200));
+  }(*rpcs[0], client, result));
+  world.sim().run();
+  ASSERT_EQ(result.status, RpcStatus::kOk);
+  EXPECT_EQ(drops, 2);
+  EXPECT_GE(rpcs[0]->retransmissions(), 1u);
+}
+
+TEST_F(RpcTest, DuplicateRequestsDoNotDoubleExecute) {
+  // Count executions server-side; drop the first *reply* so the client
+  // retransmits the request against an already-served transaction.
+  int executions = 0;
+  Thread& server = world.kernel(1).create_thread("server");
+  sim::spawn([](KernelRpc& rpc, Thread& self, int& count) -> sim::Co<void> {
+    for (int i = 0; i < 3; ++i) {
+      RpcRequestHandle req = co_await rpc.get_request(self, kEcho);
+      ++count;
+      co_await rpc.put_reply(self, req, net::Payload::zeros(300));
+    }
+  }(*rpcs[1], server, executions));
+
+  bool dropped_reply = false;
+  world.network().segment(0).set_loss_hook([&](const net::Frame& f) {
+    // The reply is the first large frame from node 1 (mac 2).
+    if (!dropped_reply && f.src == 2 && f.payload.size() > 200) {
+      dropped_reply = true;
+      return true;
+    }
+    return false;
+  });
+
+  Thread& client = world.kernel(0).create_thread("client");
+  RpcResult result;
+  sim::spawn([](KernelRpc& rpc, Thread& self, RpcResult& out) -> sim::Co<void> {
+    out = co_await rpc.trans(self, kEcho, net::Payload::zeros(150));
+  }(*rpcs[0], client, result));
+  world.sim().run();
+  ASSERT_EQ(result.status, RpcStatus::kOk);
+  EXPECT_TRUE(dropped_reply);
+  EXPECT_EQ(executions, 1);  // at-most-once held
+}
+
+TEST_F(RpcTest, PutReplyFromWrongThreadIsRejected) {
+  Thread& server = world.kernel(1).create_thread("server");
+  Thread& imposter = world.kernel(1).create_thread("imposter");
+  bool threw = false;
+  sim::spawn([](KernelRpc& rpc, Thread& self, Thread& other,
+                bool& caught) -> sim::Co<void> {
+    RpcRequestHandle req = co_await rpc.get_request(self, kEcho);
+    // The same-thread check fires before any suspension, so the violation is
+    // observable by probing the coroutine without awaiting it.
+    try {
+      sim::Co<void> bad = rpc.put_reply(other, req, net::Payload());
+      co_await std::move(bad);
+    } catch (const sim::SimError&) {
+      caught = true;
+    }
+    if (caught) co_await rpc.put_reply(self, req, net::Payload());
+  }(*rpcs[1], server, imposter, threw));
+  Thread& client = world.kernel(0).create_thread("client");
+  RpcResult result;
+  sim::spawn([](KernelRpc& rpc, Thread& self, RpcResult& out) -> sim::Co<void> {
+    out = co_await rpc.trans(self, kEcho, net::Payload::zeros(4));
+  }(*rpcs[0], client, result));
+  world.sim().run();
+  EXPECT_TRUE(threw);
+  EXPECT_EQ(result.status, RpcStatus::kOk);
+}
+
+TEST_F(RpcTest, NullRpcLatencyIsInPaperBallpark) {
+  // Warm the route, then measure: Table 1 reports 1.27 ms for a kernel-space
+  // null RPC. The simulation should land within a generous band (exact
+  // calibration is asserted by the calibration suite).
+  Thread& server = world.kernel(1).create_thread("server");
+  sim::spawn(echo_server(*rpcs[1], server, 2));
+  Thread& client = world.kernel(0).create_thread("client");
+  sim::Time elapsed = 0;
+  sim::spawn([](KernelRpc& rpc, Thread& self, sim::Simulator& s,
+                sim::Time& out) -> sim::Co<void> {
+    (void)co_await rpc.trans(self, kEcho, net::Payload());  // warm route
+    const sim::Time t0 = s.now();
+    (void)co_await rpc.trans(self, kEcho, net::Payload());
+    out = s.now() - t0;
+  }(*rpcs[0], client, world.sim(), elapsed));
+  world.sim().run();
+  EXPECT_GT(elapsed, sim::usec(600));
+  EXPECT_LT(elapsed, sim::msec(3));
+}
+
+}  // namespace
+}  // namespace amoeba

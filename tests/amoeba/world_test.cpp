@@ -1,0 +1,78 @@
+// World/topology-level behaviour and the pieces of the cost model that the
+// breakdown benchmarks depend on.
+#include "amoeba/world.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/co.h"
+
+namespace amoeba {
+namespace {
+
+TEST(World, BootsDeterministically) {
+  WorldConfig cfg;
+  cfg.seed = 7;
+  World a(cfg);
+  World b(cfg);
+  a.add_nodes(4);
+  b.add_nodes(4);
+  EXPECT_EQ(a.sim().rng().next_u64(), b.sim().rng().next_u64());
+}
+
+TEST(World, ThirtyTwoNodePoolHasFourSegments) {
+  World w;
+  w.add_nodes(32);
+  EXPECT_EQ(w.network().segment_count(), 4u);
+  EXPECT_EQ(w.node_count(), 32u);
+  for (NodeId n = 0; n < 32; ++n) {
+    EXPECT_EQ(w.kernel(n).node(), n);
+  }
+}
+
+TEST(World, AggregateLedgerSumsNodes) {
+  World w;
+  w.add_nodes(2);
+  sim::run(w.sim(), w.kernel(0).charge(sim::Prio::kKernel,
+                                       sim::Mechanism::kSignal, sim::usec(5)));
+  sim::run(w.sim(), w.kernel(1).charge(sim::Prio::kKernel,
+                                       sim::Mechanism::kSignal, sim::usec(7)));
+  const sim::Ledger total = w.aggregate_ledger();
+  EXPECT_EQ(total.get(sim::Mechanism::kSignal).count, 2u);
+  EXPECT_EQ(total.get(sim::Mechanism::kSignal).total, sim::usec(12));
+}
+
+TEST(World, UnknownKernelThrows) {
+  World w;
+  w.add_nodes(1);
+  EXPECT_THROW((void)w.kernel(3), sim::SimError);
+}
+
+TEST(CostModelDefaults, MatchThePaperQuotes) {
+  const CostModel c;
+  // "the total overhead of the two context switches is about 140 us"
+  EXPECT_EQ(2 * c.context_switch, sim::usec(140));
+  // "about 110 us" / "reduces the context switch time to 60 us"
+  EXPECT_EQ(c.interrupt_thread_switch, sim::usec(110));
+  EXPECT_EQ(c.interrupt_thread_switch_loaded, sim::usec(60));
+  // "about 6 us per trap", six register windows
+  EXPECT_EQ(c.underflow_trap, sim::usec(6));
+  EXPECT_EQ(c.register_windows, 6);
+  // header sizes from §4.2/§4.3
+  EXPECT_EQ(c.panda_rpc_header, 64u);
+  EXPECT_EQ(c.amoeba_rpc_header, 56u);
+  EXPECT_EQ(c.panda_group_header, 40u);
+  EXPECT_EQ(c.amoeba_group_header, 52u);
+  // "an overhead of about 20 us per message" for the duplicated
+  // fragmentation layer
+  EXPECT_EQ(c.user_fragmentation_layer, sim::usec(20));
+}
+
+TEST(CostModelDefaults, WireIsTenMegabit) {
+  const net::WireParams wp;
+  // 0.8 us per byte.
+  EXPECT_EQ(wp.ns_per_byte, 800);
+  EXPECT_EQ(wp.mtu, 1500u);
+}
+
+}  // namespace
+}  // namespace amoeba

@@ -1,0 +1,163 @@
+// The six Orca applications at test sizes: results must match the
+// sequential references exactly, for every binding and processor count.
+#include <gtest/gtest.h>
+
+#include "apps/ab.h"
+#include "apps/asp.h"
+#include "apps/leq.h"
+#include "apps/rl.h"
+#include "apps/sor.h"
+#include "apps/tsp.h"
+
+namespace apps {
+namespace {
+
+using panda::Binding;
+
+struct Config {
+  Binding binding;
+  std::size_t processors;
+  bool dedicated = false;
+};
+
+std::string config_name(const ::testing::TestParamInfo<Config>& info) {
+  std::string name = info.param.binding == Binding::kKernelSpace ? "Kernel" : "User";
+  name += "P" + std::to_string(info.param.processors);
+  if (info.param.dedicated) name += "Dedicated";
+  return name;
+}
+
+class AppsAllConfigs : public ::testing::TestWithParam<Config> {
+ protected:
+  RunConfig run_config() const {
+    RunConfig rc;
+    rc.binding = GetParam().binding;
+    rc.processors = GetParam().processors;
+    rc.dedicated_sequencer = GetParam().dedicated;
+    return rc;
+  }
+};
+
+TEST_P(AppsAllConfigs, TspFindsTheOptimalTour) {
+  TspParams p;
+  p.run = run_config();
+  p.cities = 10;
+  p.work_per_node = sim::usec(50);
+  const TspResult r = run_tsp(p);
+  EXPECT_EQ(r.best_cost, tsp_reference(p.cities, p.instance_seed));
+  EXPECT_EQ(r.jobs, 9u * 8u * 7u);
+  EXPECT_GT(r.elapsed, 0);
+}
+
+TEST_P(AppsAllConfigs, AspMatchesFloydWarshall) {
+  AspParams p;
+  p.run = run_config();
+  p.n = 64;
+  const AspResult r = run_asp(p);
+  EXPECT_EQ(r.checksum, asp_reference(p.n, p.instance_seed));
+  EXPECT_EQ(r.group_messages, static_cast<std::uint64_t>(p.n));
+}
+
+TEST_P(AppsAllConfigs, AbFindsTheBestMove) {
+  AbParams p;
+  p.run = run_config();
+  p.root_moves = 10;
+  p.depth = 4;
+  p.work_per_node = sim::usec(40);
+  const AbResult r = run_ab(p);
+  const AbResult ref = ab_reference(p);
+  EXPECT_EQ(r.best_score, ref.best_score);
+  EXPECT_EQ(r.best_move, ref.best_move);
+  // Parallel search overhead can only add nodes, never lose them.
+  EXPECT_GE(r.nodes_visited, ref.nodes_visited);
+}
+
+TEST_P(AppsAllConfigs, RlConvergesToTheSameLabeling) {
+  RlParams p;
+  p.run = run_config();
+  p.n = 48;
+  p.density_pct = 45;
+  p.work_per_cell = sim::nsec(500);
+  const RlResult r = run_rl(p);
+  int ref_iters = 0;
+  EXPECT_EQ(r.checksum,
+            rl_reference(p.n, p.density_pct, p.instance_seed, &ref_iters));
+  EXPECT_EQ(r.iterations, ref_iters);
+}
+
+TEST_P(AppsAllConfigs, SorMatchesBitExactly) {
+  SorParams p;
+  p.run = run_config();
+  p.n = 48;
+  p.iterations = 12;
+  p.work_per_cell = sim::nsec(500);
+  const SorResult r = run_sor(p);
+  double ref_delta = 0.0;
+  EXPECT_EQ(r.checksum, sor_reference(p, &ref_delta));
+  EXPECT_DOUBLE_EQ(r.final_delta, ref_delta);
+}
+
+TEST_P(AppsAllConfigs, LeqConvergesBitExactly) {
+  LeqParams p;
+  p.run = run_config();
+  p.n = 48;
+  p.iterations = 30;
+  p.work_per_cell = sim::nsec(200);
+  const LeqResult r = run_leq(p);
+  double ref_res = 0.0;
+  EXPECT_EQ(r.checksum, leq_reference(p, &ref_res));
+  EXPECT_LT(r.residual, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AppsAllConfigs,
+    ::testing::Values(Config{Binding::kKernelSpace, 1},
+                      Config{Binding::kKernelSpace, 4},
+                      Config{Binding::kUserSpace, 1},
+                      Config{Binding::kUserSpace, 4},
+                      Config{Binding::kUserSpace, 5, /*dedicated=*/true}),
+    config_name);
+
+// --- Behavioural expectations from §5 ---------------------------------------
+
+TEST(AppsBehaviour, RlUsesGuardedBufferContinuations) {
+  RlParams p;
+  p.run.binding = Binding::kUserSpace;
+  p.run.processors = 4;
+  p.n = 48;
+  p.density_pct = 45;
+  p.work_per_cell = sim::nsec(500);
+  const RlResult r = run_rl(p);
+  // Remote guarded BufGets routinely block until the producer fills the
+  // buffer — the continuation machinery must actually be exercised.
+  EXPECT_GT(r.stats.continuations_created, 0u);
+  EXPECT_EQ(r.stats.continuations_created, r.stats.continuations_resumed);
+}
+
+TEST(AppsBehaviour, LeqIsGroupCommunicationBound) {
+  LeqParams p;
+  p.run.binding = Binding::kUserSpace;
+  p.run.processors = 4;
+  p.n = 48;
+  p.iterations = 30;
+  p.work_per_cell = sim::nsec(200);
+  const LeqResult r = run_leq(p);
+  EXPECT_EQ(r.group_messages, static_cast<std::uint64_t>(p.iterations) * 4);
+  EXPECT_EQ(r.stats.remote_invocations, 0u);  // everything is broadcast
+}
+
+TEST(AppsBehaviour, TspBoundIsReplicatedReadMostly) {
+  TspParams p;
+  p.run.binding = Binding::kUserSpace;
+  p.run.processors = 4;
+  p.cities = 10;
+  p.work_per_node = sim::usec(50);
+  const TspResult r = run_tsp(p);
+  // Job fetches from nodes other than the queue owner are remote RPCs;
+  // bound updates are the only group writes (plus the object creations).
+  EXPECT_GT(r.stats.remote_invocations, r.jobs / 2);
+  EXPECT_LE(r.stats.group_writes, r.bound_updates + 2);
+}
+
+}  // namespace
+}  // namespace apps

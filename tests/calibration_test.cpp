@@ -1,0 +1,143 @@
+// Calibration guard: Table 1 and Table 2 of the paper, asserted as bands.
+//
+// Absolute values must land within ±15% of the paper's measurements (the
+// substrate is a calibrated simulation of the 50 MHz SPARC testbed), and the
+// qualitative shape — who wins, where fragmentation steps are, where the BB
+// method kicks in — must hold exactly.
+#include <gtest/gtest.h>
+
+#include "core/testbed.h"
+
+namespace core {
+namespace {
+
+constexpr double kBand = 0.15;
+
+void expect_close_ms(sim::Time measured, double paper_ms, const char* what) {
+  const double ms = sim::to_ms(measured);
+  EXPECT_GE(ms, paper_ms * (1.0 - kBand)) << what;
+  EXPECT_LE(ms, paper_ms * (1.0 + kBand)) << what;
+}
+
+struct LatencyCase {
+  std::size_t bytes;
+  double paper_ms;
+};
+
+// --- Table 1: system layer ---------------------------------------------------
+
+class UnicastLatency : public ::testing::TestWithParam<LatencyCase> {};
+TEST_P(UnicastLatency, MatchesPaperBand) {
+  expect_close_ms(measure_sys_unicast_latency(GetParam().bytes),
+                  GetParam().paper_ms, "unicast");
+}
+INSTANTIATE_TEST_SUITE_P(Table1, UnicastLatency,
+                         ::testing::Values(LatencyCase{0, 0.53},
+                                           LatencyCase{1024, 1.50},
+                                           LatencyCase{2048, 2.50},
+                                           LatencyCase{3072, 3.72},
+                                           LatencyCase{4096, 4.18}));
+
+class MulticastLatency : public ::testing::TestWithParam<LatencyCase> {};
+TEST_P(MulticastLatency, MatchesPaperBand) {
+  expect_close_ms(measure_sys_multicast_latency(GetParam().bytes),
+                  GetParam().paper_ms, "multicast");
+}
+INSTANTIATE_TEST_SUITE_P(Table1, MulticastLatency,
+                         ::testing::Values(LatencyCase{0, 0.62},
+                                           LatencyCase{1024, 1.58},
+                                           LatencyCase{2048, 2.55},
+                                           LatencyCase{3072, 3.74},
+                                           LatencyCase{4096, 4.23}));
+
+// --- Table 1: RPC ------------------------------------------------------------
+
+struct RpcCase {
+  std::size_t bytes;
+  double paper_user_ms;
+  double paper_kernel_ms;
+};
+
+class RpcLatency : public ::testing::TestWithParam<RpcCase> {};
+TEST_P(RpcLatency, MatchesPaperBandAndOrdering) {
+  const sim::Time user = measure_rpc_latency(Binding::kUserSpace, GetParam().bytes);
+  const sim::Time kernel =
+      measure_rpc_latency(Binding::kKernelSpace, GetParam().bytes);
+  expect_close_ms(user, GetParam().paper_user_ms, "rpc user");
+  expect_close_ms(kernel, GetParam().paper_kernel_ms, "rpc kernel");
+  // The headline shape: kernel space is faster, by a sub-millisecond margin.
+  EXPECT_GT(user, kernel);
+  EXPECT_LT(user - kernel, sim::msecf(0.5));
+}
+INSTANTIATE_TEST_SUITE_P(Table1, RpcLatency,
+                         ::testing::Values(RpcCase{0, 1.56, 1.27},
+                                           RpcCase{1024, 2.53, 2.23},
+                                           RpcCase{2048, 3.60, 3.40},
+                                           RpcCase{3072, 4.77, 4.48},
+                                           RpcCase{4096, 5.27, 5.06}));
+
+// --- Table 1: group ----------------------------------------------------------
+
+class GroupLatency : public ::testing::TestWithParam<RpcCase> {};
+TEST_P(GroupLatency, MatchesPaperBandAndOrdering) {
+  const sim::Time user =
+      measure_group_latency(Binding::kUserSpace, GetParam().bytes);
+  const sim::Time kernel =
+      measure_group_latency(Binding::kKernelSpace, GetParam().bytes);
+  expect_close_ms(user, GetParam().paper_user_ms, "group user");
+  expect_close_ms(kernel, GetParam().paper_kernel_ms, "group kernel");
+  EXPECT_GT(user, kernel);
+  EXPECT_LT(user - kernel, sim::msecf(0.8));
+}
+INSTANTIATE_TEST_SUITE_P(Table1, GroupLatency,
+                         ::testing::Values(RpcCase{0, 1.67, 1.44},
+                                           RpcCase{1024, 3.59, 3.38},
+                                           RpcCase{2048, 3.67, 3.44},
+                                           RpcCase{3072, 4.84, 4.56},
+                                           RpcCase{4096, 5.35, 5.25}));
+
+// --- Shape properties --------------------------------------------------------
+
+TEST(Table1Shape, ThreeAndFourKilobyteRowsAreClose) {
+  // Both 3 KB and 4 KB take three packets, so their latencies are much
+  // closer than 2 KB vs 3 KB (§4.1).
+  const sim::Time u2 = measure_sys_unicast_latency(2048);
+  const sim::Time u3 = measure_sys_unicast_latency(3072);
+  const sim::Time u4 = measure_sys_unicast_latency(4096);
+  EXPECT_LT(u4 - u3, u3 - u2);
+}
+
+TEST(Table1Shape, MulticastCostsTheSameAsUnicast) {
+  // "The two primitives are almost equally expensive, because Ethernet
+  //  provides multicast in hardware."
+  const sim::Time uni = measure_sys_unicast_latency(1024);
+  const sim::Time mc = measure_sys_multicast_latency(1024);
+  const double ratio = static_cast<double>(mc) / static_cast<double>(uni);
+  EXPECT_GT(ratio, 0.9);
+  EXPECT_LT(ratio, 1.2);
+}
+
+// --- Table 2: throughput -----------------------------------------------------
+
+TEST(Table2, RpcThroughputBandsAndOrdering) {
+  const double user = measure_rpc_throughput_kbs(Binding::kUserSpace);
+  const double kernel = measure_rpc_throughput_kbs(Binding::kKernelSpace);
+  // Paper: 825 KB/s user, 897 KB/s kernel.
+  EXPECT_NEAR(user, 825.0, 825.0 * kBand);
+  EXPECT_NEAR(kernel, 897.0, 897.0 * kBand);
+  EXPECT_GT(kernel, user);
+}
+
+TEST(Table2, GroupThroughputSaturatesTheEthernetForBothBindings) {
+  const double user = measure_group_throughput_kbs(Binding::kUserSpace);
+  const double kernel = measure_group_throughput_kbs(Binding::kKernelSpace);
+  // Paper: 941 KB/s for both — the wire is the bottleneck.
+  EXPECT_NEAR(user, 941.0, 941.0 * kBand);
+  EXPECT_NEAR(kernel, 941.0, 941.0 * kBand);
+  const double ratio = user / kernel;
+  EXPECT_GT(ratio, 0.85);
+  EXPECT_LT(ratio, 1.15);
+}
+
+}  // namespace
+}  // namespace core

@@ -1,0 +1,127 @@
+#include "net/buffer.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/require.h"
+
+namespace net {
+namespace {
+
+TEST(Payload, DefaultIsEmpty) {
+  Payload p;
+  EXPECT_EQ(p.size(), 0u);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Payload, ZerosHasRequestedSize) {
+  Payload p = Payload::zeros(4096);
+  EXPECT_EQ(p.size(), 4096u);
+  for (std::size_t i = 0; i < p.size(); i += 512) EXPECT_EQ(p.data()[i], 0);
+}
+
+TEST(Payload, SliceIsZeroCopyView) {
+  Writer w;
+  for (int i = 0; i < 100; ++i) w.u8(static_cast<std::uint8_t>(i));
+  Payload p = w.take();
+  Payload mid = p.slice(10, 20);
+  EXPECT_EQ(mid.size(), 20u);
+  EXPECT_EQ(mid.data()[0], 10);
+  EXPECT_EQ(mid.data()[19], 29);
+  // Slicing a slice composes offsets.
+  Payload inner = mid.slice(5, 5);
+  EXPECT_EQ(inner.data()[0], 15);
+}
+
+TEST(Payload, SliceOutOfRangeThrows) {
+  Payload p = Payload::zeros(10);
+  EXPECT_THROW((void)p.slice(5, 6), sim::SimError);
+  EXPECT_NO_THROW((void)p.slice(5, 5));
+  EXPECT_NO_THROW((void)p.slice(10, 0));
+}
+
+TEST(Payload, ContentEquals) {
+  Writer a;
+  a.u32(0xDEADBEEF);
+  Writer b;
+  b.u32(0xDEADBEEF);
+  Writer c;
+  c.u32(0xDEADBEE0);
+  Payload pa = a.take();
+  EXPECT_TRUE(pa.content_equals(b.take()));
+  EXPECT_FALSE(pa.content_equals(c.take()));
+  EXPECT_FALSE(pa.content_equals(Payload::zeros(4)));
+}
+
+TEST(WriterReader, RoundTripsAllTypes) {
+  Writer w;
+  w.u8(0xAB)
+      .u16(0x1234)
+      .u32(0xDEADBEEF)
+      .u64(0x0123456789ABCDEFULL)
+      .i32(-42)
+      .i64(-1'000'000'000'000LL)
+      .f64(3.14159)
+      .str("amoeba");
+  Reader r(w.take());
+  EXPECT_EQ(r.u8(), 0xAB);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.u64(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1'000'000'000'000LL);
+  EXPECT_DOUBLE_EQ(r.f64(), 3.14159);
+  EXPECT_EQ(r.str(), "amoeba");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WriterReader, BigEndianLayout) {
+  Writer w;
+  w.u32(0x01020304);
+  Payload p = w.take();
+  EXPECT_EQ(p.data()[0], 0x01);
+  EXPECT_EQ(p.data()[3], 0x04);
+}
+
+TEST(WriterReader, NestedPayloads) {
+  Writer inner;
+  inner.u32(7).u32(8);
+  Payload body = inner.take();
+  Writer outer;
+  outer.u16(0xCAFE).payload(body);
+  Reader r(outer.take());
+  EXPECT_EQ(r.u16(), 0xCAFE);
+  Payload extracted = r.raw(8);
+  Reader ir(extracted);
+  EXPECT_EQ(ir.u32(), 7u);
+  EXPECT_EQ(ir.u32(), 8u);
+}
+
+TEST(WriterReader, RestConsumesRemainder) {
+  Writer w;
+  w.u8(1).zeros(100);
+  Reader r(w.take());
+  (void)r.u8();
+  Payload rest = r.rest();
+  EXPECT_EQ(rest.size(), 100u);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(WriterReader, UnderrunThrows) {
+  Writer w;
+  w.u16(1);
+  Reader r(w.take());
+  EXPECT_THROW((void)r.u32(), sim::SimError);
+}
+
+TEST(Writer, TakeResets) {
+  Writer w;
+  w.u32(1);
+  (void)w.take();
+  EXPECT_EQ(w.size(), 0u);
+  w.u8(2);
+  Payload p = w.take();
+  EXPECT_EQ(p.size(), 1u);
+}
+
+}  // namespace
+}  // namespace net

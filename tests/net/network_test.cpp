@@ -1,0 +1,141 @@
+#include "net/network.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/require.h"
+#include "sim/simulator.h"
+
+namespace net {
+namespace {
+
+Frame make_frame(MacAddr dst, std::size_t bytes) {
+  Frame f;
+  f.dst = dst;
+  f.payload = Payload::zeros(bytes);
+  return f;
+}
+
+TEST(Network, SegmentsFillEightAtATime) {
+  sim::Simulator s;
+  Network n(s);
+  for (int i = 0; i < 32; ++i) n.add_node();
+  EXPECT_EQ(n.node_count(), 32u);
+  EXPECT_EQ(n.segment_count(), 4u);
+  EXPECT_EQ(n.backbone().port_count(), 4u);
+}
+
+TEST(Network, SeventeenNodesNeedThreeSegments) {
+  sim::Simulator s;
+  Network n(s);
+  for (int i = 0; i < 17; ++i) n.add_node();
+  EXPECT_EQ(n.segment_count(), 3u);
+}
+
+TEST(Network, IntraSegmentUnicastDoesNotCrossTheSwitch) {
+  sim::Simulator s;
+  Network n(s);
+  const NodeId a = n.add_node();
+  const NodeId b = n.add_node();
+  int got = 0;
+  n.nic(b).set_rx_handler([&](const Frame&) { ++got; });
+  n.nic(a).send(make_frame(Network::mac_of(b), 100));
+  s.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(n.backbone().frames_forwarded(), 0u);
+}
+
+TEST(Network, InterSegmentUnicastIsForwardedOnce) {
+  sim::Simulator s;
+  Network n(s);
+  for (int i = 0; i < 16; ++i) n.add_node();
+  int got = 0;
+  n.nic(9).set_rx_handler([&](const Frame&) { ++got; });
+  n.nic(0).send(make_frame(Network::mac_of(9), 100));
+  s.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(n.backbone().frames_forwarded(), 1u);
+}
+
+TEST(Network, InterSegmentLatencyExceedsIntraSegment) {
+  sim::Simulator s;
+  Network n(s);
+  for (int i = 0; i < 16; ++i) n.add_node();
+  sim::Time local = -1;
+  sim::Time remote = -1;
+  n.nic(1).set_rx_handler([&](const Frame&) { local = s.now(); });
+  n.nic(9).set_rx_handler([&](const Frame&) { remote = s.now(); });
+  n.nic(0).send(make_frame(Network::mac_of(1), 200));
+  s.run();
+  const sim::Time local_elapsed = local;
+  sim::Simulator s2;  // fresh clock for the remote case
+  Network n2(s2);
+  for (int i = 0; i < 16; ++i) n2.add_node();
+  n2.nic(9).set_rx_handler([&](const Frame&) { remote = s2.now(); });
+  n2.nic(0).send(make_frame(Network::mac_of(9), 200));
+  s2.run();
+  EXPECT_GT(remote, local_elapsed);
+}
+
+TEST(Network, BroadcastFloodsAllSegments) {
+  sim::Simulator s;
+  Network n(s);
+  for (int i = 0; i < 32; ++i) n.add_node();
+  int total = 0;
+  for (NodeId i = 1; i < 32; ++i) {
+    n.nic(i).set_rx_handler([&](const Frame&) { ++total; });
+  }
+  n.nic(0).send(make_frame(kBroadcast, 64));
+  s.run();
+  EXPECT_EQ(total, 31);
+  // Forwarded once per other segment.
+  EXPECT_EQ(n.backbone().frames_forwarded(), 3u);
+}
+
+TEST(Network, MulticastReachesMembersAcrossSegments) {
+  sim::Simulator s;
+  Network n(s);
+  for (int i = 0; i < 32; ++i) n.add_node();
+  const MacAddr group = multicast_group(1);
+  int got = 0;
+  for (NodeId i : {3u, 12u, 25u}) {
+    n.nic(i).join_multicast(group);
+    n.nic(i).set_rx_handler([&](const Frame&) { ++got; });
+  }
+  n.nic(0).send(make_frame(group, 64));
+  s.run();
+  EXPECT_EQ(got, 3);
+}
+
+TEST(Network, NoSelfEchoAcrossSwitch) {
+  sim::Simulator s;
+  Network n(s);
+  for (int i = 0; i < 16; ++i) n.add_node();
+  int sender_got = 0;
+  n.nic(0).set_rx_handler([&](const Frame&) { ++sender_got; });
+  n.nic(0).send(make_frame(kBroadcast, 64));
+  s.run();
+  EXPECT_EQ(sender_got, 0);
+}
+
+TEST(Network, TotalBytesAggregatesSegments) {
+  sim::Simulator s;
+  Network n(s);
+  for (int i = 0; i < 16; ++i) n.add_node();
+  n.nic(9).set_rx_handler([](const Frame&) {});
+  n.nic(0).send(make_frame(Network::mac_of(9), 1000));
+  s.run();
+  // Carried on both the ingress and egress segment.
+  EXPECT_EQ(n.total_bytes_carried(), 2000u);
+}
+
+TEST(Network, UnknownNodeThrows) {
+  sim::Simulator s;
+  Network n(s);
+  n.add_node();
+  EXPECT_THROW((void)n.nic(5), sim::SimError);
+}
+
+}  // namespace
+}  // namespace net

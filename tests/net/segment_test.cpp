@@ -1,0 +1,190 @@
+#include "net/segment.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/frame.h"
+#include "net/nic.h"
+#include "sim/require.h"
+#include "sim/simulator.h"
+
+namespace net {
+namespace {
+
+class NetFixture : public ::testing::Test {
+ protected:
+  sim::Simulator s;
+  WireParams wp;
+};
+
+Frame make_frame(MacAddr dst, std::size_t payload_bytes, std::uint64_t id = 0) {
+  Frame f;
+  f.dst = dst;
+  f.payload = Payload::zeros(payload_bytes);
+  f.id = id;
+  return f;
+}
+
+TEST_F(NetFixture, WireTimeMatchesTenMegabit) {
+  // 1024 bytes + 38 overhead at 0.8 us/byte = 849.6 us.
+  EXPECT_EQ(wire_time(wp, 1024), (1024 + 38) * 800);
+  // Minimum frame: 46-byte payload floor.
+  EXPECT_EQ(wire_time(wp, 0), (46 + 38) * 800);
+  EXPECT_EQ(wire_time(wp, 10), (46 + 38) * 800);
+}
+
+TEST_F(NetFixture, UnicastDeliveredToAddresseeOnly) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  Nic c(3, seg);
+  int b_got = 0;
+  int c_got = 0;
+  b.set_rx_handler([&](const Frame&) { ++b_got; });
+  c.set_rx_handler([&](const Frame&) { ++c_got; });
+  a.send(make_frame(/*dst=*/2, 100));
+  s.run();
+  EXPECT_EQ(b_got, 1);
+  EXPECT_EQ(c_got, 0);
+  EXPECT_EQ(b.rx_frames(), 1u);
+  EXPECT_EQ(a.tx_frames(), 1u);
+}
+
+TEST_F(NetFixture, SenderDoesNotHearItself) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  int a_got = 0;
+  a.set_rx_handler([&](const Frame&) { ++a_got; });
+  b.set_rx_handler([](const Frame&) {});
+  a.send(make_frame(kBroadcast, 10));
+  s.run();
+  EXPECT_EQ(a_got, 0);
+}
+
+TEST_F(NetFixture, BroadcastReachesEveryOtherStation) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  std::vector<std::unique_ptr<Nic>> others;
+  int total = 0;
+  for (MacAddr m = 2; m <= 9; ++m) {
+    others.push_back(std::make_unique<Nic>(m, seg));
+    others.back()->set_rx_handler([&](const Frame&) { ++total; });
+  }
+  a.send(make_frame(kBroadcast, 64));
+  s.run();
+  EXPECT_EQ(total, 8);
+}
+
+TEST_F(NetFixture, MulticastNeedsSubscription) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic member(2, seg);
+  Nic outsider(3, seg);
+  const MacAddr group = multicast_group(5);
+  member.join_multicast(group);
+  int member_got = 0;
+  int outsider_got = 0;
+  member.set_rx_handler([&](const Frame&) { ++member_got; });
+  outsider.set_rx_handler([&](const Frame&) { ++outsider_got; });
+  a.send(make_frame(group, 64));
+  s.run();
+  EXPECT_EQ(member_got, 1);
+  EXPECT_EQ(outsider_got, 0);
+  member.leave_multicast(group);
+  a.send(make_frame(group, 64));
+  s.run();
+  EXPECT_EQ(member_got, 1);
+}
+
+TEST_F(NetFixture, DeliveryTimeIsWireTimePlusPropagation) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  sim::Time arrival = -1;
+  b.set_rx_handler([&](const Frame&) { arrival = s.now(); });
+  a.send(make_frame(2, 1024));
+  s.run();
+  EXPECT_EQ(arrival, wire_time(wp, 1024) + wp.propagation);
+}
+
+TEST_F(NetFixture, MediumSerializesBackToBackFrames) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  std::vector<sim::Time> arrivals;
+  b.set_rx_handler([&](const Frame&) { arrivals.push_back(s.now()); });
+  a.send(make_frame(2, 1000));
+  a.send(make_frame(2, 1000));
+  a.send(make_frame(2, 1000));
+  s.run();
+  ASSERT_EQ(arrivals.size(), 3u);
+  const sim::Time t = wire_time(wp, 1000);
+  EXPECT_EQ(arrivals[0], t + wp.propagation);
+  EXPECT_EQ(arrivals[1], 2 * t + wp.propagation);
+  EXPECT_EQ(arrivals[2], 3 * t + wp.propagation);
+}
+
+TEST_F(NetFixture, ContendingSendersShareTheMediumFairly) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  Nic sink(3, seg);
+  std::vector<MacAddr> order;
+  sink.set_rx_handler([&](const Frame& f) { order.push_back(f.src); });
+  a.send(make_frame(3, 500));
+  b.send(make_frame(3, 500));
+  a.send(make_frame(3, 500));
+  s.run();
+  EXPECT_EQ(order, (std::vector<MacAddr>{1, 2, 1}));
+}
+
+TEST_F(NetFixture, OversizedFrameIsRejected) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  EXPECT_THROW(a.send(make_frame(2, wp.mtu + 1)), sim::SimError);
+}
+
+TEST_F(NetFixture, WireLossDropsAfterConsumingBandwidth) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  int got = 0;
+  b.set_rx_handler([&](const Frame&) { ++got; });
+  seg.set_loss_hook([](const Frame& f) { return f.id == 1; });
+  a.send(make_frame(2, 100, /*id=*/1));
+  a.send(make_frame(2, 100, /*id=*/2));
+  s.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(seg.frames_dropped(), 1u);
+  EXPECT_EQ(seg.frames_carried(), 2u);  // the lost frame still burned wire time
+}
+
+TEST_F(NetFixture, ReceiverDropHook) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  int got = 0;
+  b.set_rx_handler([&](const Frame&) { ++got; });
+  b.set_rx_drop_hook([](const Frame&) { return true; });
+  a.send(make_frame(2, 100));
+  s.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(b.rx_dropped(), 1u);
+}
+
+TEST_F(NetFixture, UtilizationReflectsLoad) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  b.set_rx_handler([](const Frame&) {});
+  // Saturate: queue 10 frames back to back.
+  for (int i = 0; i < 10; ++i) a.send(make_frame(2, 1400));
+  s.run();
+  EXPECT_GT(seg.utilization(), 0.95);
+  EXPECT_EQ(seg.bytes_carried(), 14000u);
+}
+
+}  // namespace
+}  // namespace net

@@ -1,0 +1,155 @@
+// Placement policy and object-model edge cases.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "amoeba/world.h"
+#include "orca/rts.h"
+#include "panda/panda.h"
+
+namespace orca {
+namespace {
+
+struct BoxState final : ObjectState {
+  std::int64_t v = 0;
+};
+
+struct Fixture {
+  Fixture() {
+    world.add_nodes(2);
+    ObjectType t("box", [](const net::Payload& init) {
+      auto s = std::make_unique<BoxState>();
+      if (init.size() >= 8) {
+        net::Reader r(init);
+        s->v = r.i64();
+      }
+      return s;
+    });
+    get = t.add_operation({.name = "get",
+                           .is_write = false,
+                           .guard = nullptr,
+                           .apply =
+                               [](ObjectState& s, const net::Payload&) {
+                                 net::Writer w;
+                                 w.i64(static_cast<BoxState&>(s).v);
+                                 return w.take();
+                               },
+                           .cost = 0});
+    set = t.add_operation({.name = "set",
+                           .is_write = true,
+                           .guard = nullptr,
+                           .apply =
+                               [](ObjectState& s, const net::Payload& a) {
+                                 net::Reader r(a);
+                                 static_cast<BoxState&>(s).v = r.i64();
+                                 return net::Payload();
+                               },
+                           .cost = sim::usec(1)});
+    type = registry.register_type(std::move(t));
+    panda::ClusterConfig cfg;
+    cfg.binding = panda::Binding::kUserSpace;
+    cfg.nodes = {0, 1};
+    for (amoeba::NodeId i = 0; i < 2; ++i) {
+      pandas.push_back(panda::make_panda(world.kernel(i), cfg));
+      rtses.push_back(std::make_unique<Rts>(*pandas.back(), registry));
+      rtses.back()->attach();
+    }
+    for (auto& p : pandas) p->start();
+  }
+
+  amoeba::World world;
+  TypeRegistry registry;
+  TypeId type = 0;
+  OpId get = 0;
+  OpId set = 0;
+  std::vector<std::unique_ptr<panda::Panda>> pandas;
+  std::vector<std::unique_ptr<Rts>> rtses;
+};
+
+TEST(Placement, HintThresholdDecidesReplication) {
+  Fixture f;
+  Placement low = Placement::kReplicated;
+  Placement high = Placement::kSingleCopy;
+  f.rtses[0]->fork("p", [&](Process& p) -> sim::Co<void> {
+    ObjHandle a = co_await p.rts().create_object(
+        p.thread(), f.type, net::Payload(),
+        ObjectHints{.expected_read_fraction = 0.2});
+    ObjHandle b = co_await p.rts().create_object(
+        p.thread(), f.type, net::Payload(),
+        ObjectHints{.expected_read_fraction = 0.95});
+    low = a.placement;
+    high = b.placement;
+  });
+  f.world.sim().run();
+  EXPECT_EQ(low, Placement::kSingleCopy);
+  EXPECT_EQ(high, Placement::kReplicated);
+}
+
+TEST(Placement, SingleCopyWritesStayOffTheWireAtTheOwner) {
+  Fixture f;
+  f.rtses[0]->fork("p", [&](Process& p) -> sim::Co<void> {
+    ObjHandle h = co_await p.rts().create_object(
+        p.thread(), f.type, net::Payload(),
+        ObjectHints{.expected_read_fraction = 0.0});
+    net::Writer w;
+    w.i64(5);
+    (void)co_await p.invoke(h, f.set, w.take());
+  });
+  f.world.sim().run();
+  EXPECT_EQ(f.world.network().total_bytes_carried(), 0u);
+}
+
+TEST(Placement, ReplicatedCreationReachesAllNodesBeforeUse) {
+  Fixture f;
+  std::int64_t seen = -1;
+  ObjHandle handle;
+  bool created = false;
+  f.rtses[0]->fork("creator", [&](Process& p) -> sim::Co<void> {
+    net::Writer init;
+    init.i64(77);
+    handle = co_await p.rts().create_object(
+        p.thread(), f.type, init.take(),
+        ObjectHints{.expected_read_fraction = 0.9});
+    created = true;
+  });
+  f.rtses[1]->fork("reader", [&](Process& p) -> sim::Co<void> {
+    while (!created) co_await sim::delay(f.world.sim(), sim::usec(100));
+    net::Payload v = co_await p.invoke(handle, f.get);
+    net::Reader r(v);
+    seen = r.i64();
+  });
+  f.world.sim().run();
+  EXPECT_EQ(seen, 77);
+}
+
+TEST(Placement, ObjectIdsNeverCollideAcrossCreatingNodes) {
+  Fixture f;
+  ObjHandle a;
+  ObjHandle b;
+  for (amoeba::NodeId n = 0; n < 2; ++n) {
+    f.rtses[n]->fork("creator", [&, n](Process& p) -> sim::Co<void> {
+      ObjHandle h = co_await p.rts().create_object(
+          p.thread(), f.type, net::Payload(),
+          ObjectHints{.expected_read_fraction = 0.0});
+      (n == 0 ? a : b) = h;
+    });
+  }
+  f.world.sim().run();
+  EXPECT_NE(a.id, 0u);
+  EXPECT_NE(b.id, 0u);
+  EXPECT_NE(a.id, b.id);
+  EXPECT_EQ(a.owner, 0u);
+  EXPECT_EQ(b.owner, 1u);
+}
+
+TEST(Placement, UnknownTypeAndOpAreRejected) {
+  TypeRegistry reg;
+  EXPECT_THROW((void)reg.type(0), sim::SimError);
+  ObjectType t("t", [](const net::Payload&) {
+    return std::make_unique<BoxState>();
+  });
+  EXPECT_THROW((void)t.op(0), sim::SimError);
+}
+
+}  // namespace
+}  // namespace orca

@@ -1,0 +1,444 @@
+// Orca RTS semantics, exercised on both Panda bindings.
+#include "orca/rts.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "amoeba/world.h"
+#include "panda/panda.h"
+#include "sim/co.h"
+
+namespace orca {
+namespace {
+
+using panda::Binding;
+
+// --- A shared counter type ---------------------------------------------------
+
+struct CounterState final : ObjectState {
+  std::int64_t value = 0;
+};
+
+struct CounterType {
+  TypeId type = 0;
+  OpId read = 0;
+  OpId add = 0;          // write
+  OpId await_at_least = 0;  // guarded read: blocks until value >= arg
+
+  static CounterType register_in(TypeRegistry& reg) {
+    CounterType ids;
+    ObjectType t("counter", [](const net::Payload& init) {
+      auto s = std::make_unique<CounterState>();
+      if (init.size() >= 8) {
+        net::Reader r(init);
+        s->value = r.i64();
+      }
+      return s;
+    });
+    ids.read = t.add_operation(OpDef{
+        .name = "read",
+        .is_write = false,
+        .guard = nullptr,
+        .apply =
+            [](ObjectState& s, const net::Payload&) {
+              net::Writer w;
+              w.i64(static_cast<CounterState&>(s).value);
+              return w.take();
+            },
+        .cost = sim::usec(1)});
+    ids.add = t.add_operation(OpDef{
+        .name = "add",
+        .is_write = true,
+        .guard = nullptr,
+        .apply =
+            [](ObjectState& s, const net::Payload& args) {
+              net::Reader r(args);
+              auto& state = static_cast<CounterState&>(s);
+              state.value += r.i64();
+              net::Writer w;
+              w.i64(state.value);
+              return w.take();
+            },
+        .cost = sim::usec(2)});
+    ids.await_at_least = t.add_operation(OpDef{
+        .name = "await_at_least",
+        .is_write = false,
+        .guard =
+            [](const ObjectState& s, const net::Payload& args) {
+              net::Reader r(args);
+              return static_cast<const CounterState&>(s).value >= r.i64();
+            },
+        .apply =
+            [](ObjectState& s, const net::Payload&) {
+              net::Writer w;
+              w.i64(static_cast<CounterState&>(s).value);
+              return w.take();
+            },
+        .cost = sim::usec(1)});
+    ids.type = reg.register_type(std::move(t));
+    return ids;
+  }
+};
+
+net::Payload i64_payload(std::int64_t v) {
+  net::Writer w;
+  w.i64(v);
+  return w.take();
+}
+
+std::int64_t i64_of(const net::Payload& p) {
+  net::Reader r(p);
+  return r.i64();
+}
+
+// --- Fixture -----------------------------------------------------------------
+
+struct OrcaFixture {
+  OrcaFixture(Binding binding, std::size_t n) {
+    world = std::make_unique<amoeba::World>();
+    world->add_nodes(n);
+    counter = CounterType::register_in(registry);
+    panda::ClusterConfig cfg;
+    cfg.binding = binding;
+    for (NodeId i = 0; i < n; ++i) cfg.nodes.push_back(i);
+    for (NodeId i = 0; i < n; ++i) {
+      pandas.push_back(panda::make_panda(world->kernel(i), cfg));
+      rtses.push_back(std::make_unique<Rts>(*pandas.back(), registry));
+      rtses.back()->attach();
+    }
+    for (auto& p : pandas) p->start();
+  }
+
+  void run() { world->sim().run(); }
+
+  TypeRegistry registry;
+  CounterType counter;
+  std::unique_ptr<amoeba::World> world;
+  std::vector<std::unique_ptr<panda::Panda>> pandas;
+  std::vector<std::unique_ptr<Rts>> rtses;
+};
+
+class OrcaBothBindings : public ::testing::TestWithParam<Binding> {};
+
+TEST_P(OrcaBothBindings, SingleCopyObjectLocalOps) {
+  OrcaFixture f(GetParam(), 2);
+  std::int64_t result = -1;
+  f.rtses[0]->fork("p", [&](Process& p) -> sim::Co<void> {
+    ObjHandle h = co_await p.rts().create_object(
+        p.thread(), f.counter.type, i64_payload(10),
+        ObjectHints{.expected_read_fraction = 0.1});
+    EXPECT_EQ(h.placement, Placement::kSingleCopy);
+    (void)co_await p.invoke(h, f.counter.add, i64_payload(5));
+    result = i64_of(co_await p.invoke(h, f.counter.read));
+  });
+  f.run();
+  EXPECT_EQ(result, 15);
+}
+
+TEST_P(OrcaBothBindings, RemoteInvocationViaRpc) {
+  OrcaFixture f(GetParam(), 2);
+  ObjHandle handle;
+  bool created = false;
+  f.rtses[0]->fork("owner", [&](Process& p) -> sim::Co<void> {
+    handle = co_await p.rts().create_object(
+        p.thread(), f.counter.type, i64_payload(100),
+        ObjectHints{.expected_read_fraction = 0.1});
+    created = true;
+  });
+  std::int64_t result = -1;
+  f.rtses[1]->fork("client", [&](Process& p) -> sim::Co<void> {
+    while (!created) co_await sim::delay(f.world->sim(), sim::msec(1));
+    (void)co_await p.invoke(handle, f.counter.add, i64_payload(-58));
+    result = i64_of(co_await p.invoke(handle, f.counter.read));
+  });
+  f.run();
+  EXPECT_EQ(result, 42);
+  EXPECT_GE(f.rtses[1]->remote_invocations(), 2u);
+}
+
+TEST_P(OrcaBothBindings, ReplicatedObjectReadsAreLocal) {
+  OrcaFixture f(GetParam(), 4);
+  ObjHandle handle;
+  bool created = false;
+  f.rtses[0]->fork("creator", [&](Process& p) -> sim::Co<void> {
+    handle = co_await p.rts().create_object(
+        p.thread(), f.counter.type, i64_payload(7),
+        ObjectHints{.expected_read_fraction = 0.95});
+    EXPECT_EQ(handle.placement, Placement::kReplicated);
+    created = true;
+  });
+  std::vector<std::int64_t> reads(4, -1);
+  for (NodeId n = 0; n < 4; ++n) {
+    f.rtses[n]->fork("reader", [&, n](Process& p) -> sim::Co<void> {
+      while (!created) co_await sim::delay(f.world->sim(), sim::msec(1));
+      reads[n] = i64_of(co_await p.invoke(handle, f.counter.read));
+    });
+  }
+  f.run();
+  for (NodeId n = 0; n < 4; ++n) EXPECT_EQ(reads[n], 7) << "node " << n;
+  const std::uint64_t bytes_before = f.world->network().total_bytes_carried();
+  // More local reads must not generate traffic.
+  std::int64_t again = -1;
+  f.rtses[2]->fork("reader2", [&](Process& p) -> sim::Co<void> {
+    again = i64_of(co_await p.invoke(handle, f.counter.read));
+  });
+  f.run();
+  EXPECT_EQ(again, 7);
+  EXPECT_EQ(f.world->network().total_bytes_carried(), bytes_before);
+}
+
+TEST_P(OrcaBothBindings, ReplicatedWritesKeepCopiesConsistent) {
+  OrcaFixture f(GetParam(), 3);
+  ObjHandle handle;
+  bool created = false;
+  f.rtses[0]->fork("creator", [&](Process& p) -> sim::Co<void> {
+    handle = co_await p.rts().create_object(
+        p.thread(), f.counter.type, i64_payload(0),
+        ObjectHints{.expected_read_fraction = 0.9});
+    created = true;
+  });
+  int writers_done = 0;
+  for (NodeId n = 0; n < 3; ++n) {
+    f.rtses[n]->fork("writer", [&, n](Process& p) -> sim::Co<void> {
+      while (!created) co_await sim::delay(f.world->sim(), sim::msec(1));
+      for (int i = 0; i < 5; ++i) {
+        (void)co_await p.invoke(handle, f.counter.add, i64_payload(1));
+      }
+      ++writers_done;
+    });
+  }
+  f.run();
+  ASSERT_EQ(writers_done, 3);
+  // Every replica converged to 15.
+  std::vector<std::int64_t> finals(3, -1);
+  for (NodeId n = 0; n < 3; ++n) {
+    f.rtses[n]->fork("check", [&, n](Process& p) -> sim::Co<void> {
+      finals[n] = i64_of(co_await p.invoke(handle, f.counter.read));
+    });
+  }
+  f.run();
+  for (NodeId n = 0; n < 3; ++n) EXPECT_EQ(finals[n], 15) << "node " << n;
+}
+
+TEST_P(OrcaBothBindings, ReplicatedWriteReturnsItsResult) {
+  OrcaFixture f(GetParam(), 2);
+  std::int64_t write_result = -1;
+  f.rtses[0]->fork("p", [&](Process& p) -> sim::Co<void> {
+    ObjHandle h = co_await p.rts().create_object(
+        p.thread(), f.counter.type, i64_payload(40),
+        ObjectHints{.expected_read_fraction = 0.9});
+    write_result = i64_of(co_await p.invoke(h, f.counter.add, i64_payload(2)));
+  });
+  f.run();
+  EXPECT_EQ(write_result, 42);
+}
+
+TEST_P(OrcaBothBindings, GuardedLocalOperationBlocksUntilWrite) {
+  OrcaFixture f(GetParam(), 2);
+  sim::Time unblocked_at = -1;
+  f.rtses[0]->fork("p", [&](Process& p) -> sim::Co<void> {
+    ObjHandle h = co_await p.rts().create_object(
+        p.thread(), f.counter.type, i64_payload(0),
+        ObjectHints{.expected_read_fraction = 0.1});
+    // A second process on the same node bumps the counter after 10 ms.
+    p.rts().fork("bumper", [&, h](Process& q) -> sim::Co<void> {
+      co_await sim::delay(f.world->sim(), sim::msec(10));
+      (void)co_await q.invoke(h, f.counter.add, i64_payload(100));
+    });
+    const std::int64_t v =
+        i64_of(co_await p.invoke(h, f.counter.await_at_least, i64_payload(50)));
+    EXPECT_GE(v, 50);
+    unblocked_at = f.world->sim().now();
+  });
+  f.run();
+  EXPECT_GE(unblocked_at, sim::msec(10));
+}
+
+TEST_P(OrcaBothBindings, GuardedRemoteOperationUsesContinuation) {
+  OrcaFixture f(GetParam(), 2);
+  ObjHandle handle;
+  bool created = false;
+  f.rtses[0]->fork("owner", [&](Process& p) -> sim::Co<void> {
+    handle = co_await p.rts().create_object(
+        p.thread(), f.counter.type, i64_payload(0),
+        ObjectHints{.expected_read_fraction = 0.1});
+    created = true;
+    // Make the guard true 20 ms later.
+    co_await sim::delay(f.world->sim(), sim::msec(20));
+    (void)co_await p.invoke(handle, f.counter.add, i64_payload(999));
+  });
+  std::int64_t got = -1;
+  sim::Time replied_at = -1;
+  f.rtses[1]->fork("waiter", [&](Process& p) -> sim::Co<void> {
+    while (!created) co_await sim::delay(f.world->sim(), sim::msec(1));
+    got = i64_of(
+        co_await p.invoke(handle, f.counter.await_at_least, i64_payload(500)));
+    replied_at = f.world->sim().now();
+  });
+  f.run();
+  EXPECT_EQ(got, 999);
+  EXPECT_GE(replied_at, sim::msec(20));
+  EXPECT_EQ(f.rtses[0]->continuations_created(), 1u);
+  EXPECT_EQ(f.rtses[0]->continuations_resumed(), 1u);
+}
+
+TEST_P(OrcaBothBindings, GuardedReplicatedWriteAppliesEverywhereWhenReady) {
+  OrcaFixture f(GetParam(), 3);
+  // A guarded *write* on a replicated object: subtract only when value >= 5.
+  TypeRegistry& reg = f.registry;
+  (void)reg;
+  ObjHandle handle;
+  bool created = false;
+  std::int64_t result = -1;
+  f.rtses[0]->fork("p", [&](Process& p) -> sim::Co<void> {
+    handle = co_await p.rts().create_object(
+        p.thread(), f.counter.type, i64_payload(0),
+        ObjectHints{.expected_read_fraction = 0.9});
+    created = true;
+    result = i64_of(
+        co_await p.invoke(handle, f.counter.await_at_least, i64_payload(5)));
+  });
+  f.rtses[2]->fork("bumper", [&](Process& p) -> sim::Co<void> {
+    while (!created) co_await sim::delay(f.world->sim(), sim::msec(1));
+    co_await sim::delay(f.world->sim(), sim::msec(5));
+    (void)co_await p.invoke(handle, f.counter.add, i64_payload(6));
+  });
+  f.run();
+  EXPECT_EQ(result, 6);
+}
+
+// Sequential consistency probe: with totally-ordered writes, two replicas
+// can never observe two writes in opposite orders.
+TEST_P(OrcaBothBindings, WritesObservedInTheSameOrderEverywhere) {
+  OrcaFixture f(GetParam(), 4);
+  ObjHandle handle;
+  bool created = false;
+  f.rtses[0]->fork("creator", [&](Process& p) -> sim::Co<void> {
+    handle = co_await p.rts().create_object(
+        p.thread(), f.counter.type, i64_payload(0),
+        ObjectHints{.expected_read_fraction = 0.9});
+    created = true;
+  });
+  // Writers on nodes 1 and 2 add distinct bit values; readers poll and log
+  // observed values. Any observed value must be a prefix-sum consistent with
+  // ONE global order, i.e. the set of observed values at every node must be
+  // drawn from {0, a, b, a+b} with a before b or b before a consistently.
+  int done = 0;
+  for (NodeId n : {1u, 2u}) {
+    f.rtses[n]->fork("writer", [&, n](Process& p) -> sim::Co<void> {
+      while (!created) co_await sim::delay(f.world->sim(), sim::msec(1));
+      (void)co_await p.invoke(handle, f.counter.add,
+                              i64_payload(n == 1 ? 1 : 2));
+      ++done;
+    });
+  }
+  std::vector<std::vector<std::int64_t>> observed(4);
+  for (NodeId n = 0; n < 4; ++n) {
+    f.rtses[n]->fork("reader", [&, n](Process& p) -> sim::Co<void> {
+      while (!created) co_await sim::delay(f.world->sim(), sim::usec(100));
+      for (int i = 0; i < 200; ++i) {
+        observed[n].push_back(i64_of(co_await p.invoke(handle, f.counter.read)));
+        co_await sim::delay(f.world->sim(), sim::usec(50));
+      }
+    });
+  }
+  f.run();
+  ASSERT_EQ(done, 2);
+  // Determine the global order from any node that saw an intermediate value.
+  std::int64_t first_intermediate = 0;
+  for (const auto& log : observed) {
+    for (const std::int64_t v : log) {
+      if (v == 1 || v == 2) {
+        first_intermediate = v;
+        break;
+      }
+    }
+    if (first_intermediate != 0) break;
+  }
+  // No node may observe the *other* intermediate value.
+  if (first_intermediate != 0) {
+    const std::int64_t forbidden = first_intermediate == 1 ? 2 : 1;
+    for (NodeId n = 0; n < 4; ++n) {
+      for (const std::int64_t v : observed[n]) {
+        EXPECT_NE(v, forbidden) << "node " << n << " observed conflicting order";
+      }
+    }
+  }
+  // And everyone converges to 3.
+  for (NodeId n = 0; n < 4; ++n) {
+    ASSERT_FALSE(observed[n].empty());
+    EXPECT_EQ(observed[n].back(), 3);
+  }
+}
+
+TEST_P(OrcaBothBindings, ManyObjectsCoexist) {
+  OrcaFixture f(GetParam(), 2);
+  std::int64_t sum = 0;
+  f.rtses[0]->fork("p", [&](Process& p) -> sim::Co<void> {
+    std::vector<ObjHandle> handles;
+    for (int i = 0; i < 10; ++i) {
+      handles.push_back(co_await p.rts().create_object(
+          p.thread(), f.counter.type, i64_payload(i),
+          ObjectHints{.expected_read_fraction = i % 2 ? 0.9 : 0.1}));
+    }
+    for (const ObjHandle& h : handles) {
+      sum += i64_of(co_await p.invoke(h, f.counter.read));
+    }
+  });
+  f.run();
+  EXPECT_EQ(sum, 45);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bindings, OrcaBothBindings,
+                         ::testing::Values(Binding::kKernelSpace,
+                                           Binding::kUserSpace),
+                         [](const ::testing::TestParamInfo<Binding>& info) {
+                           return info.param == Binding::kKernelSpace
+                                      ? "KernelSpace"
+                                      : "UserSpace";
+                         });
+
+// The paper's key application-level asymmetry: a blocked guarded operation
+// resumed by another thread costs the kernel binding an extra context switch
+// (signal + switch), which the user-space binding avoids.
+TEST(OrcaContinuations, KernelBindingPaysExtraSwitchOnResume) {
+  auto run_once = [](Binding binding) {
+    OrcaFixture f(binding, 2);
+    ObjHandle handle;
+    bool created = false;
+    f.rtses[0]->fork("owner", [&](Process& p) -> sim::Co<void> {
+      handle = co_await p.rts().create_object(
+          p.thread(), f.counter.type, i64_payload(0),
+          ObjectHints{.expected_read_fraction = 0.1});
+      created = true;
+    });
+    f.rtses[0]->fork("mutator", [&](Process& p) -> sim::Co<void> {
+      while (!created) co_await sim::delay(f.world->sim(), sim::msec(1));
+      co_await sim::delay(f.world->sim(), sim::msec(30));
+      (void)co_await p.invoke(handle, f.counter.add, i64_payload(10));
+    });
+    sim::Time replied = -1;
+    f.rtses[1]->fork("waiter", [&](Process& p) -> sim::Co<void> {
+      while (!created) co_await sim::delay(f.world->sim(), sim::msec(1));
+      (void)co_await p.invoke(handle, f.counter.await_at_least, i64_payload(10));
+      replied = f.world->sim().now();
+    });
+    f.run();
+    const auto& ledger = f.world->kernel(0).ledger();
+    return std::make_pair(replied,
+                          ledger.get(sim::Mechanism::kSignal).count +
+                              ledger.get(sim::Mechanism::kContextSwitch).count);
+  };
+  const auto [kernel_time, kernel_switches] = run_once(Binding::kKernelSpace);
+  const auto [user_time, user_switches] = run_once(Binding::kUserSpace);
+  EXPECT_GT(kernel_time, 0);
+  EXPECT_GT(user_time, 0);
+  // The kernel binding's owner node does strictly more signalling/switching
+  // to push the deferred reply through the original daemon thread.
+  EXPECT_GT(kernel_switches, user_switches);
+}
+
+}  // namespace
+}  // namespace orca

@@ -1,0 +1,180 @@
+// Protocol-level property tests for the Panda bindings under adverse
+// conditions: loss, duplicate storms, long-parked guarded operations,
+// history pressure. Everything must stay exactly-once and totally ordered.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "amoeba/world.h"
+#include "panda/panda.h"
+
+namespace panda {
+namespace {
+
+struct Fixture {
+  Fixture(Binding binding, std::size_t n, std::size_t history = 512) {
+    world = std::make_unique<amoeba::World>();
+    world->add_nodes(n);
+    ClusterConfig cfg;
+    cfg.binding = binding;
+    for (NodeId i = 0; i < n; ++i) cfg.nodes.push_back(i);
+    cfg.group_history = history;
+    for (NodeId i = 0; i < n; ++i) {
+      pandas.push_back(make_panda(world->kernel(i), cfg));
+    }
+  }
+  void start_all() {
+    for (auto& p : pandas) p->start();
+  }
+  std::unique_ptr<amoeba::World> world;
+  std::vector<std::unique_ptr<Panda>> pandas;
+};
+
+class ProtocolsUnderLoss : public ::testing::TestWithParam<Binding> {};
+
+TEST_P(ProtocolsUnderLoss, RpcIsExactlyOnceWithHeavyLoss) {
+  Fixture f(GetParam(), 2);
+  sim::Rng loss(99);
+  f.world->network().segment(0).set_loss_hook(
+      [&loss](const net::Frame&) { return loss.bernoulli(0.15); });
+  int executions = 0;
+  f.pandas[1]->set_rpc_handler(
+      [&](Thread& upcall, RpcTicket t, net::Payload req) -> sim::Co<void> {
+        ++executions;
+        co_await f.pandas[1]->rpc_reply(upcall, t, std::move(req));
+      });
+  f.start_all();
+  int ok = 0;
+  Thread& client = f.world->kernel(0).create_thread("client");
+  sim::spawn([](Panda& p, Thread& self, int& done) -> sim::Co<void> {
+    for (int i = 0; i < 30; ++i) {
+      RpcReply r = co_await p.rpc(self, 1, net::Payload::zeros(64));
+      if (r.status == RpcStatus::kOk) ++done;
+    }
+  }(*f.pandas[0], client, ok));
+  f.world->sim().run();
+  EXPECT_EQ(ok, 30);
+  EXPECT_EQ(executions, 30);  // retransmitted, but never double-executed
+}
+
+TEST_P(ProtocolsUnderLoss, GroupStaysTotallyOrderedWithLoss) {
+  Fixture f(GetParam(), 4);
+  sim::Rng loss(7);
+  f.world->network().segment(0).set_loss_hook(
+      [&loss](const net::Frame&) { return loss.bernoulli(0.08); });
+  std::vector<std::vector<std::uint32_t>> logs(4);
+  for (NodeId n = 0; n < 4; ++n) {
+    f.pandas[n]->set_group_handler(
+        [&logs, n](Thread&, NodeId, std::uint32_t seqno,
+                   net::Payload) -> sim::Co<void> {
+          logs[n].push_back(seqno);
+          co_return;
+        });
+  }
+  f.start_all();
+  for (NodeId n = 0; n < 4; ++n) {
+    Thread& t = f.world->kernel(n).create_thread("sender");
+    sim::spawn([](Panda& p, Thread& self) -> sim::Co<void> {
+      for (int i = 0; i < 8; ++i) {
+        co_await p.group_send(self, net::Payload::zeros(64));
+      }
+    }(*f.pandas[n], t));
+  }
+  f.world->sim().run();
+  ASSERT_EQ(logs[0].size(), 32u);
+  for (NodeId n = 0; n < 4; ++n) {
+    ASSERT_EQ(logs[n].size(), 32u) << "member " << n;
+    EXPECT_EQ(logs[n], logs[0]) << "member " << n;
+    for (std::size_t i = 0; i < logs[n].size(); ++i) {
+      EXPECT_EQ(logs[n][i], i + 1);  // gapless
+    }
+  }
+}
+
+TEST_P(ProtocolsUnderLoss, LargeBBMessagesSurviveLoss) {
+  Fixture f(GetParam(), 3);
+  sim::Rng loss(5);
+  f.world->network().segment(0).set_loss_hook(
+      [&loss](const net::Frame&) { return loss.bernoulli(0.05); });
+  std::vector<std::size_t> sizes;
+  f.pandas[2]->set_group_handler(
+      [&](Thread&, NodeId, std::uint32_t, net::Payload m) -> sim::Co<void> {
+        sizes.push_back(m.size());
+        co_return;
+      });
+  f.start_all();
+  Thread& t = f.world->kernel(0).create_thread("sender");
+  sim::spawn([](Panda& p, Thread& self) -> sim::Co<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await p.group_send(self, net::Payload::zeros(6000));
+    }
+  }(*f.pandas[0], t));
+  f.world->sim().run();
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{6000, 6000, 6000, 6000, 6000}));
+}
+
+TEST_P(ProtocolsUnderLoss, GuardedOperationParkedBeyondRetryWindows) {
+  // The keepalive must prevent the client from aborting a transaction whose
+  // reply is legitimately seconds away.
+  Fixture f(GetParam(), 2);
+  RpcTicket parked;
+  bool have_parked = false;
+  f.pandas[1]->set_rpc_handler(
+      [&](Thread&, RpcTicket t, net::Payload) -> sim::Co<void> {
+        parked = t;
+        have_parked = true;
+        co_return;
+      });
+  f.start_all();
+  f.pandas[1]->start_thread("late-replier", [&](Thread& self) -> sim::Co<void> {
+    while (!have_parked) co_await sim::delay(f.world->sim(), sim::msec(5));
+    co_await sim::delay(f.world->sim(), sim::sec(5));  // far past retry budget
+    co_await f.pandas[1]->rpc_reply(self, parked, net::Payload::zeros(4));
+  });
+  RpcReply reply;
+  Thread& client = f.world->kernel(0).create_thread("client");
+  sim::spawn([](Panda& p, Thread& self, RpcReply& out) -> sim::Co<void> {
+    out = co_await p.rpc(self, 1, net::Payload::zeros(4));
+  }(*f.pandas[0], client, reply));
+  f.world->sim().run();
+  EXPECT_EQ(reply.status, RpcStatus::kOk);
+  EXPECT_GT(f.world->sim().now(), sim::sec(5));
+}
+
+TEST_P(ProtocolsUnderLoss, TinyHistorySurvivesASaturatingStream) {
+  Fixture f(GetParam(), 3, /*history=*/6);
+  std::vector<std::uint32_t> seen;
+  f.pandas[2]->set_group_handler(
+      [&](Thread&, NodeId, std::uint32_t seqno, net::Payload) -> sim::Co<void> {
+        seen.push_back(seqno);
+        co_return;
+      });
+  f.start_all();
+  int done = 0;
+  for (NodeId n = 0; n < 3; ++n) {
+    Thread& t = f.world->kernel(n).create_thread("sender");
+    sim::spawn([](Panda& p, Thread& self, int& d) -> sim::Co<void> {
+      for (int i = 0; i < 20; ++i) {
+        co_await p.group_send(self, net::Payload::zeros(32));
+      }
+      ++d;
+    }(*f.pandas[n], t, done));
+  }
+  f.world->sim().run();
+  EXPECT_EQ(done, 3);
+  ASSERT_EQ(seen.size(), 60u);
+  for (std::size_t i = 0; i < seen.size(); ++i) EXPECT_EQ(seen[i], i + 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bindings, ProtocolsUnderLoss,
+                         ::testing::Values(Binding::kKernelSpace,
+                                           Binding::kUserSpace),
+                         [](const ::testing::TestParamInfo<Binding>& info) {
+                           return info.param == Binding::kKernelSpace
+                                      ? "KernelSpace"
+                                      : "UserSpace";
+                         });
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,151 @@
+// Unit tests for the Panda user-space system layer: user-level
+// fragmentation, daemon demultiplexing, and the sequencer routing path.
+#include "panda/pan_sys.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "amoeba/world.h"
+#include "sim/co.h"
+
+namespace panda {
+namespace {
+
+struct SysFixture : ::testing::Test {
+  SysFixture() {
+    world.add_nodes(3);
+    for (amoeba::NodeId i = 0; i < 3; ++i) {
+      sys.push_back(std::make_unique<PanSys>(world.kernel(i)));
+    }
+  }
+  void start_all() {
+    for (auto& s : sys) s->start();
+  }
+  amoeba::World world;
+  std::vector<std::unique_ptr<PanSys>> sys;
+};
+
+TEST_F(SysFixture, UnicastDeliversToTheRightModule) {
+  int rpc_got = 0;
+  int group_got = 0;
+  sys[1]->register_handler(PanSys::Module::kRpc, [&](SysMsg) -> sim::Co<void> {
+    ++rpc_got;
+    co_return;
+  });
+  sys[1]->register_handler(PanSys::Module::kGroup, [&](SysMsg) -> sim::Co<void> {
+    ++group_got;
+    co_return;
+  });
+  start_all();
+  world.kernel(0).start_thread("t", [&](Thread& self) -> sim::Co<void> {
+    co_await sys[0]->unicast(self, 1, PanSys::Module::kRpc, net::Payload::zeros(10));
+    co_await sys[0]->unicast(self, 1, PanSys::Module::kGroup, net::Payload::zeros(10));
+  });
+  world.sim().run();
+  EXPECT_EQ(rpc_got, 1);
+  EXPECT_EQ(group_got, 1);
+}
+
+TEST_F(SysFixture, LargeMessagesAreFragmentedAtUserLevel) {
+  std::size_t got = 0;
+  net::Payload received;
+  sys[1]->register_handler(PanSys::Module::kRpc, [&](SysMsg m) -> sim::Co<void> {
+    got = m.payload.size();
+    received = std::move(m.payload);
+    co_return;
+  });
+  start_all();
+  net::Writer w;
+  for (std::uint32_t i = 0; i < 2000; ++i) w.u32(i);
+  net::Payload msg = w.take();  // 8000 B -> 6 pan fragments
+  world.kernel(0).start_thread("t", [&](Thread& self) -> sim::Co<void> {
+    co_await sys[0]->unicast(self, 1, PanSys::Module::kRpc, msg);
+  });
+  world.sim().run();
+  ASSERT_EQ(got, 8000u);
+  EXPECT_TRUE(received.content_equals(msg));
+  EXPECT_EQ(sys[0]->fragments_sent(), 6u);
+  EXPECT_EQ(sys[0]->messages_sent(), 1u);
+}
+
+TEST_F(SysFixture, MulticastReachesAllOtherProcesses) {
+  int got = 0;
+  for (int n : {0, 1, 2}) {
+    sys[n]->register_handler(PanSys::Module::kGroup, [&](SysMsg) -> sim::Co<void> {
+      ++got;
+      co_return;
+    });
+  }
+  start_all();
+  world.kernel(0).start_thread("t", [&](Thread& self) -> sim::Co<void> {
+    co_await sys[0]->multicast(self, PanSys::Module::kGroup,
+                               net::Payload::zeros(100));
+  });
+  world.sim().run();
+  EXPECT_EQ(got, 2);  // sender does not hear itself
+}
+
+TEST_F(SysFixture, SequencerModuleBypassesTheDaemon) {
+  start_all();
+  std::vector<std::size_t> seq_sizes;
+  Thread& seq_thread =
+      world.kernel(1).start_thread("seq", [&](Thread& self) -> sim::Co<void> {
+        for (int i = 0; i < 2; ++i) {
+          SysMsg m = co_await sys[1]->seq_receive(self);
+          seq_sizes.push_back(m.payload.size());
+        }
+      });
+  sys[1]->set_sequencer_thread(seq_thread);
+  int daemon_got = 0;
+  sys[1]->register_handler(PanSys::Module::kSequencer,
+                           [&](SysMsg) -> sim::Co<void> {
+                             ++daemon_got;
+                             co_return;
+                           });
+  world.kernel(0).start_thread("t", [&](Thread& self) -> sim::Co<void> {
+    co_await sys[0]->unicast_unit(self, 1, PanSys::Module::kSequencer,
+                                  net::Payload::zeros(11));
+    co_await sys[0]->unicast_unit(self, 1, PanSys::Module::kSequencer,
+                                  net::Payload::zeros(22));
+  });
+  world.sim().run();
+  EXPECT_EQ(daemon_got, 0);  // routed to the sequencer thread, not the daemon
+  EXPECT_EQ(seq_sizes, (std::vector<std::size_t>{11, 22}));
+}
+
+TEST_F(SysFixture, InterleavedSendersReassembleIndependently) {
+  std::vector<std::size_t> sizes;
+  sys[2]->register_handler(PanSys::Module::kRpc, [&](SysMsg m) -> sim::Co<void> {
+    sizes.push_back(m.payload.size());
+    co_return;
+  });
+  start_all();
+  for (amoeba::NodeId n : {0u, 1u}) {
+    world.kernel(n).start_thread("t", [&, n](Thread& self) -> sim::Co<void> {
+      co_await sys[n]->unicast(self, 2, PanSys::Module::kRpc,
+                               net::Payload::zeros(3000 + n));
+    });
+  }
+  world.sim().run();
+  ASSERT_EQ(sizes.size(), 2u);
+  EXPECT_EQ(sizes[0] + sizes[1], 6001u);
+}
+
+TEST_F(SysFixture, FragmentationLayerChargesAppearInLedger) {
+  sys[1]->register_handler(PanSys::Module::kRpc,
+                           [](SysMsg) -> sim::Co<void> { co_return; });
+  start_all();
+  world.kernel(0).start_thread("t", [&](Thread& self) -> sim::Co<void> {
+    co_await sys[0]->unicast(self, 1, PanSys::Module::kRpc,
+                             net::Payload::zeros(100));
+  });
+  world.sim().run();
+  const auto& frag =
+      world.kernel(0).ledger().get(sim::Mechanism::kFragmentationLayer);
+  EXPECT_EQ(frag.count, 1u);
+  EXPECT_EQ(frag.total, world.costs().user_fragmentation_layer);
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,305 @@
+// Behavioural equivalence tests: every Panda feature must work identically
+// (up to timing) on the kernel-space and user-space bindings.
+#include "panda/panda.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "amoeba/world.h"
+#include "sim/co.h"
+
+namespace panda {
+namespace {
+
+struct Fixture {
+  explicit Fixture(Binding binding, std::size_t n, NodeId sequencer = 0) {
+    world = std::make_unique<amoeba::World>();
+    world->add_nodes(n);
+    ClusterConfig cfg;
+    cfg.binding = binding;
+    for (NodeId i = 0; i < n; ++i) cfg.nodes.push_back(i);
+    cfg.sequencer = sequencer;
+    for (NodeId i = 0; i < n; ++i) {
+      pandas.push_back(make_panda(world->kernel(i), cfg));
+    }
+  }
+
+  void start_all() {
+    for (auto& p : pandas) p->start();
+  }
+
+  std::unique_ptr<amoeba::World> world;
+  std::vector<std::unique_ptr<Panda>> pandas;
+};
+
+class PandaBothBindings : public ::testing::TestWithParam<Binding> {};
+
+TEST_P(PandaBothBindings, EchoRpc) {
+  Fixture f(GetParam(), 2);
+  f.pandas[1]->set_rpc_handler(
+      [&f](Thread& upcall, RpcTicket t, net::Payload req) -> sim::Co<void> {
+        net::Writer w;
+        w.payload(req);
+        w.u8(0x99);
+        co_await f.pandas[1]->rpc_reply(upcall, t, w.take());
+      });
+  f.start_all();
+  RpcReply reply;
+  Thread& client = f.world->kernel(0).create_thread("client");
+  sim::spawn([](Panda& p, Thread& self, RpcReply& out) -> sim::Co<void> {
+    net::Writer w;
+    w.u32(42);
+    out = co_await p.rpc(self, 1, w.take());
+  }(*f.pandas[0], client, reply));
+  f.world->sim().run();
+  ASSERT_EQ(reply.status, RpcStatus::kOk);
+  net::Reader r(reply.reply);
+  EXPECT_EQ(r.u32(), 42u);
+  EXPECT_EQ(r.u8(), 0x99);
+}
+
+TEST_P(PandaBothBindings, ManySequentialRpcs) {
+  Fixture f(GetParam(), 2);
+  int served = 0;
+  f.pandas[1]->set_rpc_handler(
+      [&](Thread& upcall, RpcTicket t, net::Payload req) -> sim::Co<void> {
+        ++served;
+        co_await f.pandas[1]->rpc_reply(upcall, t, std::move(req));
+      });
+  f.start_all();
+  int ok = 0;
+  Thread& client = f.world->kernel(0).create_thread("client");
+  sim::spawn([](Panda& p, Thread& self, int& done) -> sim::Co<void> {
+    for (int i = 0; i < 20; ++i) {
+      RpcReply r = co_await p.rpc(self, 1, net::Payload::zeros(100));
+      if (r.status == RpcStatus::kOk) ++done;
+    }
+  }(*f.pandas[0], client, ok));
+  f.world->sim().run();
+  EXPECT_EQ(ok, 20);
+  EXPECT_EQ(served, 20);
+}
+
+TEST_P(PandaBothBindings, LargeRpcPayloads) {
+  Fixture f(GetParam(), 2);
+  f.pandas[1]->set_rpc_handler(
+      [&](Thread& upcall, RpcTicket t, net::Payload req) -> sim::Co<void> {
+        co_await f.pandas[1]->rpc_reply(upcall, t, std::move(req));
+      });
+  f.start_all();
+  RpcReply reply;
+  Thread& client = f.world->kernel(0).create_thread("client");
+  sim::spawn([](Panda& p, Thread& self, RpcReply& out) -> sim::Co<void> {
+    net::Writer w;
+    for (std::uint32_t i = 0; i < 2000; ++i) w.u32(i);  // 8000 bytes
+    out = co_await p.rpc(self, 1, w.take());
+  }(*f.pandas[0], client, reply));
+  f.world->sim().run();
+  ASSERT_EQ(reply.status, RpcStatus::kOk);
+  ASSERT_EQ(reply.reply.size(), 8000u);
+  net::Reader r(reply.reply);
+  for (std::uint32_t i = 0; i < 2000; ++i) ASSERT_EQ(r.u32(), i);
+}
+
+TEST_P(PandaBothBindings, AsynchronousReplyFromAnotherThread) {
+  // The guarded-operation shape: the upcall parks the ticket; a different
+  // thread replies 5 ms later.
+  Fixture f(GetParam(), 2);
+  RpcTicket parked;
+  bool have_parked = false;
+  f.pandas[1]->set_rpc_handler(
+      [&](Thread&, RpcTicket t, net::Payload) -> sim::Co<void> {
+        parked = t;
+        have_parked = true;
+        co_return;  // no reply yet
+      });
+  f.start_all();
+  // The "mutating" thread that eventually answers.
+  f.pandas[1]->start_thread("mutator", [&](Thread& self) -> sim::Co<void> {
+    while (!have_parked) co_await sim::delay(f.world->sim(), sim::msec(1));
+    co_await sim::delay(f.world->sim(), sim::msec(5));
+    net::Writer w;
+    w.str("deferred");
+    co_await f.pandas[1]->rpc_reply(self, parked, w.take());
+  });
+  RpcReply reply;
+  Thread& client = f.world->kernel(0).create_thread("client");
+  sim::spawn([](Panda& p, Thread& self, RpcReply& out) -> sim::Co<void> {
+    out = co_await p.rpc(self, 1, net::Payload::zeros(8));
+  }(*f.pandas[0], client, reply));
+  f.world->sim().run();
+  ASSERT_EQ(reply.status, RpcStatus::kOk);
+  net::Reader r(reply.reply);
+  EXPECT_EQ(r.str(), "deferred");
+}
+
+TEST_P(PandaBothBindings, GroupSendReachesAllInTotalOrder) {
+  Fixture f(GetParam(), 4);
+  std::vector<std::vector<std::pair<NodeId, std::uint32_t>>> logs(4);
+  for (NodeId n = 0; n < 4; ++n) {
+    f.pandas[n]->set_group_handler(
+        [&logs, n](Thread&, NodeId sender, std::uint32_t seqno,
+                   net::Payload) -> sim::Co<void> {
+          logs[n].emplace_back(sender, seqno);
+          co_return;
+        });
+  }
+  f.start_all();
+  for (NodeId n = 0; n < 4; ++n) {
+    Thread& t = f.world->kernel(n).create_thread("sender");
+    sim::spawn([](Panda& p, Thread& self) -> sim::Co<void> {
+      for (int i = 0; i < 5; ++i) {
+        co_await p.group_send(self, net::Payload::zeros(64));
+      }
+    }(*f.pandas[n], t));
+  }
+  f.world->sim().run();
+  ASSERT_EQ(logs[0].size(), 20u);
+  for (NodeId n = 1; n < 4; ++n) {
+    ASSERT_EQ(logs[n].size(), 20u) << "member " << n;
+    EXPECT_EQ(logs[n], logs[0]) << "member " << n << " diverged";
+  }
+}
+
+TEST_P(PandaBothBindings, GroupLargeMessage) {
+  Fixture f(GetParam(), 3);
+  std::vector<std::size_t> sizes(3, 0);
+  std::vector<net::Payload> bodies(3);
+  for (NodeId n = 0; n < 3; ++n) {
+    f.pandas[n]->set_group_handler(
+        [&, n](Thread&, NodeId, std::uint32_t, net::Payload msg) -> sim::Co<void> {
+          sizes[n] = msg.size();
+          bodies[n] = std::move(msg);
+          co_return;
+        });
+  }
+  f.start_all();
+  Thread& t = f.world->kernel(1).create_thread("sender");
+  sim::spawn([](Panda& p, Thread& self) -> sim::Co<void> {
+    net::Writer w;
+    for (std::uint32_t i = 0; i < 2000; ++i) w.u32(i * 7);
+    co_await p.group_send(self, w.take());
+  }(*f.pandas[1], t));
+  f.world->sim().run();
+  for (NodeId n = 0; n < 3; ++n) {
+    ASSERT_EQ(sizes[n], 8000u) << "member " << n;
+    net::Reader r(bodies[n]);
+    for (std::uint32_t i = 0; i < 2000; ++i) ASSERT_EQ(r.u32(), i * 7);
+  }
+}
+
+TEST_P(PandaBothBindings, SequencerNodeCanSend) {
+  Fixture f(GetParam(), 3, /*sequencer=*/0);
+  std::vector<int> got(3, 0);
+  for (NodeId n = 0; n < 3; ++n) {
+    f.pandas[n]->set_group_handler(
+        [&got, n](Thread&, NodeId, std::uint32_t, net::Payload) -> sim::Co<void> {
+          ++got[n];
+          co_return;
+        });
+  }
+  f.start_all();
+  Thread& t = f.world->kernel(0).create_thread("sender");
+  sim::spawn([](Panda& p, Thread& self) -> sim::Co<void> {
+    co_await p.group_send(self, net::Payload::zeros(32));
+  }(*f.pandas[0], t));
+  f.world->sim().run();
+  EXPECT_EQ(got, (std::vector<int>{1, 1, 1}));
+}
+
+TEST_P(PandaBothBindings, RpcAndGroupInterleave) {
+  Fixture f(GetParam(), 3);
+  int group_msgs = 0;
+  f.pandas[2]->set_rpc_handler(
+      [&](Thread& upcall, RpcTicket t, net::Payload req) -> sim::Co<void> {
+        co_await f.pandas[2]->rpc_reply(upcall, t, std::move(req));
+      });
+  for (NodeId n = 0; n < 3; ++n) {
+    f.pandas[n]->set_group_handler(
+        [&](Thread&, NodeId, std::uint32_t, net::Payload) -> sim::Co<void> {
+          ++group_msgs;
+          co_return;
+        });
+  }
+  f.start_all();
+  int rpc_ok = 0;
+  Thread& t0 = f.world->kernel(0).create_thread("mixed");
+  sim::spawn([](Panda& p, Thread& self, int& ok) -> sim::Co<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await p.group_send(self, net::Payload::zeros(40));
+      RpcReply r = co_await p.rpc(self, 2, net::Payload::zeros(40));
+      if (r.status == RpcStatus::kOk) ++ok;
+    }
+  }(*f.pandas[0], t0, rpc_ok));
+  f.world->sim().run();
+  EXPECT_EQ(rpc_ok, 5);
+  EXPECT_EQ(group_msgs, 15);  // 5 messages x 3 members
+}
+
+INSTANTIATE_TEST_SUITE_P(Bindings, PandaBothBindings,
+                         ::testing::Values(Binding::kKernelSpace,
+                                           Binding::kUserSpace),
+                         [](const ::testing::TestParamInfo<Binding>& info) {
+                           return info.param == Binding::kKernelSpace
+                                      ? "KernelSpace"
+                                      : "UserSpace";
+                         });
+
+// --- Binding-specific behaviour --------------------------------------------
+
+TEST(PandaUserSpace, RepliesArePiggybackedOnBackToBackCalls) {
+  Fixture f(Binding::kUserSpace, 2);
+  f.pandas[1]->set_rpc_handler(
+      [&](Thread& upcall, RpcTicket t, net::Payload req) -> sim::Co<void> {
+        co_await f.pandas[1]->rpc_reply(upcall, t, std::move(req));
+      });
+  f.start_all();
+  Thread& client = f.world->kernel(0).create_thread("client");
+  sim::spawn([](Panda& p, Thread& self) -> sim::Co<void> {
+    for (int i = 0; i < 10; ++i) {
+      (void)co_await p.rpc(self, 1, net::Payload::zeros(10));
+    }
+  }(*f.pandas[0], client));
+  f.world->sim().run();
+  // Can't reach into the concrete type without a downcast helper; assert via
+  // the wire instead: back-to-back calls need no explicit ack traffic, so
+  // total frames = 10 requests + 10 replies + locate overhead + 1 trailing
+  // explicit ack for the last reply.
+  const auto frames = f.world->network().segment(0).frames_carried();
+  EXPECT_LE(frames, 10u + 10u + 4u + 1u);
+}
+
+TEST(PandaUserSpace, LatencyGapVersusKernelMatchesPaperDirection) {
+  // §4.2: the user-space null RPC is ~0.3 ms slower than kernel-space.
+  auto measure = [](Binding b) {
+    Fixture f(b, 2);
+    f.pandas[1]->set_rpc_handler(
+        [&f](Thread& upcall, RpcTicket t, net::Payload req) -> sim::Co<void> {
+          co_await f.pandas[1]->rpc_reply(upcall, t, std::move(req));
+        });
+    f.start_all();
+    Thread& client = f.world->kernel(0).create_thread("client");
+    sim::Time elapsed = 0;
+    sim::spawn([](Panda& p, Thread& self, sim::Simulator& s,
+                  sim::Time& out) -> sim::Co<void> {
+      (void)co_await p.rpc(self, 1, net::Payload());  // warm routes
+      const sim::Time t0 = s.now();
+      (void)co_await p.rpc(self, 1, net::Payload());
+      out = s.now() - t0;
+    }(*f.pandas[0], client, f.world->sim(), elapsed));
+    f.world->sim().run();
+    return elapsed;
+  };
+  const sim::Time kernel = measure(Binding::kKernelSpace);
+  const sim::Time user = measure(Binding::kUserSpace);
+  EXPECT_GT(user, kernel);
+  const sim::Time gap = user - kernel;
+  EXPECT_GT(gap, sim::usec(150));
+  EXPECT_LT(gap, sim::usec(600));
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,141 @@
+// Parameterized size sweeps: payload integrity and latency monotonicity for
+// RPC and group communication across fragmentation boundaries, on both
+// bindings.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "amoeba/world.h"
+#include "panda/panda.h"
+
+namespace panda {
+namespace {
+
+net::Payload patterned(std::size_t n) {
+  net::Writer w;
+  for (std::size_t i = 0; i < n; ++i) {
+    w.u8(static_cast<std::uint8_t>((i * 131) ^ (i >> 8)));
+  }
+  return w.take();
+}
+
+using SweepParam = std::tuple<Binding, std::size_t>;
+
+class SizeSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(SizeSweep, RpcRoundTripsPayloadBitExactly) {
+  const auto [binding, size] = GetParam();
+  amoeba::World world;
+  world.add_nodes(2);
+  ClusterConfig cfg;
+  cfg.binding = binding;
+  cfg.nodes = {0, 1};
+  std::vector<std::unique_ptr<Panda>> pandas;
+  for (NodeId i = 0; i < 2; ++i) pandas.push_back(make_panda(world.kernel(i), cfg));
+  pandas[1]->set_rpc_handler(
+      [&](Thread& upcall, RpcTicket t, net::Payload req) -> sim::Co<void> {
+        co_await pandas[1]->rpc_reply(upcall, t, std::move(req));
+      });
+  for (auto& p : pandas) p->start();
+
+  net::Payload sent = patterned(size);
+  RpcReply reply;
+  Thread& client = world.kernel(0).create_thread("client");
+  sim::spawn([](Panda& p, Thread& self, net::Payload msg,
+                RpcReply& out) -> sim::Co<void> {
+    out = co_await p.rpc(self, 1, std::move(msg));
+  }(*pandas[0], client, sent, reply));
+  world.sim().run();
+  ASSERT_EQ(reply.status, RpcStatus::kOk);
+  EXPECT_TRUE(reply.reply.content_equals(sent)) << "size " << size;
+}
+
+TEST_P(SizeSweep, GroupDeliversPayloadBitExactlyToAllMembers) {
+  const auto [binding, size] = GetParam();
+  amoeba::World world;
+  world.add_nodes(3);
+  ClusterConfig cfg;
+  cfg.binding = binding;
+  cfg.nodes = {0, 1, 2};
+  std::vector<std::unique_ptr<Panda>> pandas;
+  std::vector<net::Payload> got(3);
+  for (NodeId i = 0; i < 3; ++i) {
+    pandas.push_back(make_panda(world.kernel(i), cfg));
+    pandas.back()->set_group_handler(
+        [&got, i](Thread&, NodeId, std::uint32_t, net::Payload m) -> sim::Co<void> {
+          got[i] = std::move(m);
+          co_return;
+        });
+  }
+  for (auto& p : pandas) p->start();
+
+  net::Payload sent = patterned(size);
+  Thread& sender = world.kernel(1).create_thread("sender");
+  sim::spawn([](Panda& p, Thread& self, net::Payload msg) -> sim::Co<void> {
+    co_await p.group_send(self, std::move(msg));
+  }(*pandas[1], sender, sent));
+  world.sim().run();
+  for (NodeId i = 0; i < 3; ++i) {
+    EXPECT_TRUE(got[i].content_equals(sent)) << "member " << i << " size " << size;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, SizeSweep,
+    ::testing::Combine(::testing::Values(Binding::kKernelSpace,
+                                         Binding::kUserSpace),
+                       // Around every interesting boundary: empty, one
+                       // fragment, the pan/FLIP fragment edges, the BB
+                       // threshold, and multi-fragment sizes.
+                       ::testing::Values(0UL, 1UL, 1399UL, 1400UL, 1401UL,
+                                         1440UL, 1468UL, 2048UL, 4096UL,
+                                         8000UL, 20000UL)),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return std::string(std::get<0>(info.param) == Binding::kKernelSpace
+                             ? "Kernel"
+                             : "User") +
+             "B" + std::to_string(std::get<1>(info.param));
+    });
+
+// Latency must be monotone non-decreasing in message size for each binding.
+TEST(SizeSweepShape, RpcLatencyMonotoneInSize) {
+  for (const Binding binding : {Binding::kKernelSpace, Binding::kUserSpace}) {
+    sim::Time prev = 0;
+    for (const std::size_t size : {0UL, 1024UL, 2048UL, 4096UL, 8192UL}) {
+      amoeba::World world;
+      world.add_nodes(2);
+      ClusterConfig cfg;
+      cfg.binding = binding;
+      cfg.nodes = {0, 1};
+      std::vector<std::unique_ptr<Panda>> pandas;
+      for (NodeId i = 0; i < 2; ++i) {
+        pandas.push_back(make_panda(world.kernel(i), cfg));
+      }
+      pandas[1]->set_rpc_handler(
+          [&](Thread& upcall, RpcTicket t, net::Payload) -> sim::Co<void> {
+            co_await pandas[1]->rpc_reply(upcall, t, net::Payload());
+          });
+      for (auto& p : pandas) p->start();
+      sim::Time elapsed = 0;
+      Thread& client = world.kernel(0).create_thread("client");
+      sim::spawn([](Panda& p, Thread& self, sim::Simulator& s, std::size_t sz,
+                    sim::Time& out) -> sim::Co<void> {
+        (void)co_await p.rpc(self, 1, net::Payload::zeros(sz));  // warm
+        const sim::Time t0 = s.now();
+        (void)co_await p.rpc(self, 1, net::Payload::zeros(sz));
+        out = s.now() - t0;
+      }(*pandas[0], client, world.sim(), size, elapsed));
+      world.sim().run();
+      EXPECT_GE(elapsed, prev) << "binding "
+                               << (binding == Binding::kKernelSpace ? "kernel"
+                                                                    : "user")
+                               << " size " << size;
+      prev = elapsed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,192 @@
+#include "sim/cpu.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/co.h"
+#include "sim/simulator.h"
+
+namespace sim {
+namespace {
+
+TEST(Cpu, SingleJobTakesItsDuration) {
+  Simulator s;
+  Cpu cpu(s);
+  auto job = [&]() -> Co<void> { co_await cpu.run(usec(100), Prio::kUser); };
+  run(s, job());
+  EXPECT_EQ(s.now(), usec(100));
+  EXPECT_EQ(cpu.busy_time(Prio::kUser), usec(100));
+  EXPECT_TRUE(cpu.idle());
+}
+
+TEST(Cpu, ZeroDurationCompletesImmediately) {
+  Simulator s;
+  Cpu cpu(s);
+  auto job = [&]() -> Co<void> { co_await cpu.run(0, Prio::kUser); };
+  run(s, job());
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(cpu.jobs_completed(), 0u);  // never entered the scheduler
+}
+
+TEST(Cpu, EqualPrioritySerializesFifo) {
+  Simulator s;
+  Cpu cpu(s);
+  std::vector<std::pair<int, Time>> done;
+  auto job = [&](int id) -> Co<void> {
+    co_await cpu.run(usec(100), Prio::kUser);
+    done.emplace_back(id, s.now());
+  };
+  spawn(job(1));
+  spawn(job(2));
+  spawn(job(3));
+  s.run();
+  ASSERT_EQ(done.size(), 3u);
+  EXPECT_EQ(done[0], std::make_pair(1, usec(100)));
+  EXPECT_EQ(done[1], std::make_pair(2, usec(200)));
+  EXPECT_EQ(done[2], std::make_pair(3, usec(300)));
+  EXPECT_EQ(cpu.preemptions(), 0u);
+}
+
+TEST(Cpu, HigherPriorityPreempts) {
+  Simulator s;
+  Cpu cpu(s);
+  Time user_done = -1;
+  Time intr_done = -1;
+  auto user_job = [&]() -> Co<void> {
+    co_await cpu.run(usec(1000), Prio::kUser);
+    user_done = s.now();
+  };
+  auto intr_job = [&]() -> Co<void> {
+    co_await delay(s, usec(300));
+    co_await cpu.run(usec(50), Prio::kInterrupt);
+    intr_done = s.now();
+  };
+  spawn(user_job());
+  spawn(intr_job());
+  s.run();
+  EXPECT_EQ(intr_done, usec(350));   // ran immediately on arrival
+  EXPECT_EQ(user_done, usec(1050));  // stretched by the interrupt
+  EXPECT_EQ(cpu.preemptions(), 1u);
+  EXPECT_EQ(cpu.busy_time(Prio::kUser), usec(1000));
+  EXPECT_EQ(cpu.busy_time(Prio::kInterrupt), usec(50));
+}
+
+TEST(Cpu, EqualPriorityDoesNotPreempt) {
+  Simulator s;
+  Cpu cpu(s);
+  Time second_done = -1;
+  auto first = [&]() -> Co<void> { co_await cpu.run(usec(1000), Prio::kKernel); };
+  auto second = [&]() -> Co<void> {
+    co_await delay(s, usec(100));
+    co_await cpu.run(usec(10), Prio::kKernel);
+    second_done = s.now();
+  };
+  spawn(first());
+  spawn(second());
+  s.run();
+  EXPECT_EQ(second_done, usec(1010));  // waited for the first to finish
+  EXPECT_EQ(cpu.preemptions(), 0u);
+}
+
+TEST(Cpu, NestedPreemption) {
+  Simulator s;
+  Cpu cpu(s);
+  Time user_done = -1;
+  Time kernel_done = -1;
+  Time intr_done = -1;
+  spawn([](Simulator& sim, Cpu& c, Time& done) -> Co<void> {
+    co_await c.run(usec(1000), Prio::kUser);
+    done = sim.now();
+  }(s, cpu, user_done));
+  spawn([](Simulator& sim, Cpu& c, Time& done) -> Co<void> {
+    co_await delay(sim, usec(100));
+    co_await c.run(usec(200), Prio::kKernel);
+    done = sim.now();
+  }(s, cpu, kernel_done));
+  spawn([](Simulator& sim, Cpu& c, Time& done) -> Co<void> {
+    co_await delay(sim, usec(150));
+    co_await c.run(usec(30), Prio::kInterrupt);
+    done = sim.now();
+  }(s, cpu, intr_done));
+  s.run();
+  EXPECT_EQ(intr_done, usec(180));
+  EXPECT_EQ(kernel_done, usec(330));   // 100..150 ran, +30 interrupt, resumes 180..330
+  EXPECT_EQ(user_done, usec(1230));    // the full 1000 us, displaced by 230 us
+  EXPECT_EQ(cpu.preemptions(), 2u);
+}
+
+TEST(Cpu, PreemptedJobResumesAtFrontOfItsClass) {
+  Simulator s;
+  Cpu cpu(s);
+  std::vector<int> completion_order;
+  // Job A (user) starts; interrupt arrives; job B (user) queued during the
+  // interrupt must run after A resumes and finishes.
+  spawn([](Simulator& sim, Cpu& c, std::vector<int>& order) -> Co<void> {
+    co_await c.run(usec(500), Prio::kUser);
+    order.push_back(1);
+    (void)sim;
+  }(s, cpu, completion_order));
+  spawn([](Simulator& sim, Cpu& c, std::vector<int>& order) -> Co<void> {
+    co_await delay(sim, usec(100));
+    co_await c.run(usec(20), Prio::kInterrupt);
+    order.push_back(0);
+  }(s, cpu, completion_order));
+  spawn([](Simulator& sim, Cpu& c, std::vector<int>& order) -> Co<void> {
+    co_await delay(sim, usec(110));  // during the interrupt
+    co_await c.run(usec(500), Prio::kUser);
+    order.push_back(2);
+  }(s, cpu, completion_order));
+  s.run();
+  EXPECT_EQ(completion_order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Cpu, ThreadPreemptionEpisodesAreCoalesced) {
+  // A kUser job displaced once but overtaken by THREE thread-level jobs
+  // counts ONE resume episode (one suspend/resume of the thread), while a
+  // pure interrupt preemption counts none.
+  Simulator s;
+  Cpu cpu(s);
+  std::uint64_t episodes = 99;
+  spawn([](Cpu& c, std::uint64_t& out) -> Co<void> {
+    co_await c.run(usec(1000), Prio::kUser, &out);
+  }(cpu, episodes));
+  // Burst of thread-level work at t=100: all three jobs are queued before
+  // the user job can resume, so this is ONE suspend/resume episode.
+  for (int i = 0; i < 3; ++i) {
+    spawn([](Simulator& sim, Cpu& c) -> Co<void> {
+      co_await delay(sim, usec(100));
+      co_await c.run(usec(10), Prio::kKernel);
+    }(s, cpu));
+  }
+  s.run();
+  EXPECT_EQ(episodes, 1u);
+
+  std::uint64_t intr_only = 99;
+  Simulator s2;
+  Cpu cpu2(s2);
+  spawn([](Cpu& c, std::uint64_t& out) -> Co<void> {
+    co_await c.run(usec(1000), Prio::kUser, &out);
+  }(cpu2, intr_only));
+  spawn([](Simulator& sim, Cpu& c) -> Co<void> {
+    co_await delay(sim, usec(100));
+    co_await c.run(usec(10), Prio::kInterrupt);
+  }(s2, cpu2));
+  s2.run();
+  EXPECT_EQ(intr_only, 0u);
+}
+
+TEST(Cpu, UtilizationUnderLoadIsFull) {
+  Simulator s;
+  Cpu cpu(s);
+  for (int i = 0; i < 50; ++i) {
+    spawn([](Cpu& c) -> Co<void> { co_await c.run(usec(10), Prio::kUser); }(cpu));
+  }
+  s.run();
+  EXPECT_EQ(s.now(), usec(500));
+  EXPECT_EQ(cpu.total_busy_time(), usec(500));
+  EXPECT_EQ(cpu.jobs_completed(), 50u);
+}
+
+}  // namespace
+}  // namespace sim

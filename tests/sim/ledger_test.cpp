@@ -1,0 +1,62 @@
+#include "sim/ledger.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(Ledger, StartsEmpty) {
+  Ledger l;
+  EXPECT_EQ(l.total_time(), 0);
+  EXPECT_EQ(l.get(Mechanism::kContextSwitch).count, 0u);
+}
+
+TEST(Ledger, AccumulatesCharges) {
+  Ledger l;
+  l.add(Mechanism::kContextSwitch, usec(70));
+  l.add(Mechanism::kContextSwitch, usec(70));
+  l.add(Mechanism::kUnderflowTrap, usec(6), 6);
+  EXPECT_EQ(l.get(Mechanism::kContextSwitch).count, 2u);
+  EXPECT_EQ(l.get(Mechanism::kContextSwitch).total, usec(140));
+  EXPECT_EQ(l.get(Mechanism::kUnderflowTrap).count, 6u);
+  EXPECT_EQ(l.total_time(), usec(146));
+}
+
+TEST(Ledger, MergeAddsEntries) {
+  Ledger a;
+  Ledger b;
+  a.add(Mechanism::kSignal, usec(10));
+  b.add(Mechanism::kSignal, usec(5));
+  b.add(Mechanism::kLockOp, usec(1), 7);
+  a += b;
+  EXPECT_EQ(a.get(Mechanism::kSignal).total, usec(15));
+  EXPECT_EQ(a.get(Mechanism::kLockOp).count, 7u);
+}
+
+TEST(Ledger, DiffSubtracts) {
+  Ledger user;
+  Ledger kernel;
+  user.add(Mechanism::kContextSwitch, usec(140), 2);
+  kernel.add(Mechanism::kContextSwitch, usec(0), 0);
+  const Ledger d = user.diff(kernel);
+  EXPECT_EQ(d.get(Mechanism::kContextSwitch).count, 2u);
+  EXPECT_EQ(d.get(Mechanism::kContextSwitch).total, usec(140));
+}
+
+TEST(Ledger, ResetClears) {
+  Ledger l;
+  l.add(Mechanism::kPayloadWire, msec(1));
+  l.reset();
+  EXPECT_EQ(l.total_time(), 0);
+}
+
+TEST(Ledger, EveryMechanismHasAName) {
+  for (std::size_t i = 0; i < static_cast<std::size_t>(Mechanism::kCount); ++i) {
+    EXPECT_NE(mechanism_name(static_cast<Mechanism>(i)), "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,87 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = r.uniform(-5, 17);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 17);
+  }
+}
+
+TEST(Rng, UniformSingletonRange) {
+  Rng r(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(r.uniform(3, 3), 3);
+}
+
+TEST(Rng, Uniform01StaysInRange) {
+  Rng r(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = r.uniform01();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng r(13);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliApproximatesProbability) {
+  Rng r(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (r.bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialHasRoughlyTheRequestedMean) {
+  Rng r(19);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(50.0);
+  EXPECT_NEAR(sum / n, 50.0, 1.0);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng parent(23);
+  Rng child = parent.split();
+  std::set<std::uint64_t> values;
+  for (int i = 0; i < 50; ++i) {
+    values.insert(parent.next_u64());
+    values.insert(child.next_u64());
+  }
+  EXPECT_EQ(values.size(), 100u);
+}
+
+}  // namespace
+}  // namespace sim

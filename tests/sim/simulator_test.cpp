@@ -1,0 +1,139 @@
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/require.h"
+#include "sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(Simulator, StartsAtTimeZero) {
+  Simulator s;
+  EXPECT_EQ(s.now(), 0);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, ExecutesEventsInTimeOrder) {
+  Simulator s;
+  std::vector<int> order;
+  s.at(usec(30), [&] { order.push_back(3); });
+  s.at(usec(10), [&] { order.push_back(1); });
+  s.at(usec(20), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), usec(30));
+}
+
+TEST(Simulator, EqualTimestampsRunInSubmissionOrder) {
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 100; ++i) {
+    s.at(usec(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, AfterSchedulesRelativeToNow) {
+  Simulator s;
+  Time observed = -1;
+  s.at(msec(1), [&] { s.after(usec(500), [&] { observed = s.now(); }); });
+  s.run();
+  EXPECT_EQ(observed, msec(1) + usec(500));
+}
+
+TEST(Simulator, PastTimestampsClampToNow) {
+  Simulator s;
+  Time observed = -1;
+  s.at(msec(2), [&] { s.at(msec(1), [&] { observed = s.now(); }); });
+  s.run();
+  EXPECT_EQ(observed, msec(2));
+}
+
+TEST(Simulator, NegativeDelayClampsToZero) {
+  Simulator s;
+  Time observed = -1;
+  s.at(msec(1), [&] { s.after(-usec(100), [&] { observed = s.now(); }); });
+  s.run();
+  EXPECT_EQ(observed, msec(1));
+}
+
+TEST(Simulator, StepReturnsFalseWhenEmpty) {
+  Simulator s;
+  EXPECT_FALSE(s.step());
+  s.at(0, [] {});
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Simulator, RunReturnsEventCount) {
+  Simulator s;
+  for (int i = 0; i < 7; ++i) s.at(usec(i), [] {});
+  EXPECT_EQ(s.run(), 7u);
+  EXPECT_EQ(s.events_executed(), 7u);
+}
+
+TEST(Simulator, RunWithBudgetStopsEarly) {
+  Simulator s;
+  for (int i = 0; i < 10; ++i) s.at(usec(i), [] {});
+  EXPECT_EQ(s.run(4), 4u);
+  EXPECT_EQ(s.pending(), 6u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator s;
+  s.run_until(msec(5));
+  EXPECT_EQ(s.now(), msec(5));
+}
+
+TEST(Simulator, RunUntilDoesNotExecuteLaterEvents) {
+  Simulator s;
+  bool early = false;
+  bool late = false;
+  s.at(msec(1), [&] { early = true; });
+  s.at(msec(10), [&] { late = true; });
+  s.run_until(msec(5));
+  EXPECT_TRUE(early);
+  EXPECT_FALSE(late);
+  EXPECT_EQ(s.now(), msec(5));
+}
+
+TEST(Simulator, RunForIsRelative) {
+  Simulator s;
+  s.at(msec(3), [] {});
+  s.run();
+  s.run_for(msec(2));
+  EXPECT_EQ(s.now(), msec(5));
+}
+
+TEST(Simulator, EventsScheduledDuringRunExecute) {
+  Simulator s;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 5) s.after(usec(1), chain);
+  };
+  s.after(usec(1), chain);
+  s.run();
+  EXPECT_EQ(depth, 5);
+}
+
+TEST(Simulator, EmptyCallableIsRejected) {
+  Simulator s;
+  EXPECT_THROW(s.at(0, std::function<void()>{}), SimError);
+}
+
+TEST(Simulator, TimeHelpersConvert) {
+  EXPECT_EQ(usec(1), 1000);
+  EXPECT_EQ(msec(1), 1000 * 1000);
+  EXPECT_EQ(sec(1), 1000 * 1000 * 1000);
+  EXPECT_EQ(usecf(0.5), 500);
+  EXPECT_DOUBLE_EQ(to_us(usec(140)), 140.0);
+  EXPECT_DOUBLE_EQ(to_ms(msecf(1.27)), 1.27);
+  EXPECT_DOUBLE_EQ(to_sec(sec(790)), 790.0);
+}
+
+}  // namespace
+}  // namespace sim

@@ -1,0 +1,239 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/co.h"
+#include "sim/simulator.h"
+
+namespace sim {
+namespace {
+
+TEST(CondVar, NotifyOneWakesInFifoOrder) {
+  Simulator s;
+  CondVar cv(s);
+  std::vector<int> woke;
+  auto waiter = [&](int id) -> Co<void> {
+    co_await cv.wait();
+    woke.push_back(id);
+  };
+  spawn(waiter(1));
+  spawn(waiter(2));
+  spawn(waiter(3));
+  s.run();
+  EXPECT_EQ(cv.waiter_count(), 3u);
+  cv.notify_one();
+  cv.notify_one();
+  cv.notify_one();
+  s.run();
+  EXPECT_EQ(woke, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(CondVar, NotifyAllWakesEveryone) {
+  Simulator s;
+  CondVar cv(s);
+  int woke = 0;
+  auto waiter = [&]() -> Co<void> {
+    co_await cv.wait();
+    ++woke;
+  };
+  for (int i = 0; i < 10; ++i) spawn(waiter());
+  s.run();
+  cv.notify_all();
+  s.run();
+  EXPECT_EQ(woke, 10);
+  EXPECT_EQ(cv.waiter_count(), 0u);
+}
+
+TEST(CondVar, NotifyWithNoWaitersIsANoop) {
+  Simulator s;
+  CondVar cv(s);
+  cv.notify_one();
+  cv.notify_all();
+  s.run();
+  SUCCEED();
+}
+
+TEST(CondVar, WaitForTimesOut) {
+  Simulator s;
+  CondVar cv(s);
+  std::optional<bool> result;
+  auto waiter = [&]() -> Co<void> { result = co_await cv.wait_for(usec(100)); };
+  spawn(waiter());
+  s.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(*result);
+  EXPECT_EQ(s.now(), usec(100));
+  EXPECT_EQ(cv.waiter_count(), 0u);  // timed-out waiter removed from the list
+}
+
+TEST(CondVar, WaitForNotifiedBeforeTimeout) {
+  Simulator s;
+  CondVar cv(s);
+  std::optional<bool> result;
+  Time resumed_at = -1;
+  auto waiter = [&]() -> Co<void> {
+    result = co_await cv.wait_for(msec(10));
+    resumed_at = s.now();
+  };
+  spawn(waiter());
+  s.after(usec(50), [&] { cv.notify_one(); });
+  s.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(*result);
+  // Resumed promptly at the notify, not at the (stale, no-op) timeout event.
+  EXPECT_EQ(resumed_at, usec(50));
+}
+
+TEST(CondVar, TimeoutAfterNotifyDoesNotDoubleResume) {
+  Simulator s;
+  CondVar cv(s);
+  int resumes = 0;
+  auto waiter = [&]() -> Co<void> {
+    (void)co_await cv.wait_for(usec(100));
+    ++resumes;
+  };
+  spawn(waiter());
+  s.after(usec(10), [&] { cv.notify_one(); });
+  s.run();  // runs past the timeout point too
+  EXPECT_EQ(resumes, 1);
+}
+
+TEST(Mutex, ProvidesMutualExclusion) {
+  Simulator s;
+  Mutex m(s);
+  int in_critical = 0;
+  int max_in_critical = 0;
+  auto worker = [&]() -> Co<void> {
+    co_await m.lock();
+    ++in_critical;
+    max_in_critical = std::max(max_in_critical, in_critical);
+    co_await delay(s, usec(10));
+    --in_critical;
+    m.unlock();
+  };
+  for (int i = 0; i < 5; ++i) spawn(worker());
+  s.run();
+  EXPECT_EQ(max_in_critical, 1);
+  EXPECT_EQ(m.acquisitions(), 5u);
+  EXPECT_EQ(m.contentions(), 4u);
+}
+
+TEST(Mutex, UnlockWithoutLockThrows) {
+  Simulator s;
+  Mutex m(s);
+  EXPECT_THROW(m.unlock(), SimError);
+}
+
+TEST(Mutex, LockGuardReleasesOnScopeExit) {
+  Simulator s;
+  Mutex m(s);
+  auto worker = [&]() -> Co<void> {
+    {
+      Lock guard = co_await Lock::acquire(m);
+      EXPECT_TRUE(m.locked());
+    }
+    EXPECT_FALSE(m.locked());
+  };
+  run(s, worker());
+}
+
+TEST(Semaphore, LimitsConcurrency) {
+  Simulator s;
+  Semaphore sem(s, 2);
+  int active = 0;
+  int max_active = 0;
+  auto worker = [&]() -> Co<void> {
+    co_await sem.acquire();
+    ++active;
+    max_active = std::max(max_active, active);
+    co_await delay(s, usec(10));
+    --active;
+    sem.release();
+  };
+  for (int i = 0; i < 6; ++i) spawn(worker());
+  s.run();
+  EXPECT_EQ(max_active, 2);
+  EXPECT_EQ(sem.count(), 2);
+}
+
+TEST(Channel, DeliversInFifoOrder) {
+  Simulator s;
+  Channel<int> ch(s);
+  std::vector<int> received;
+  auto consumer = [&]() -> Co<void> {
+    for (int i = 0; i < 5; ++i) received.push_back(co_await ch.recv());
+  };
+  auto producer = [&]() -> Co<void> {
+    for (int i = 0; i < 5; ++i) {
+      co_await delay(s, usec(1));
+      co_await ch.send(i);
+    }
+  };
+  spawn(consumer());
+  spawn(producer());
+  s.run();
+  EXPECT_EQ(received, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Channel, BoundedSendBlocksUntilSpace) {
+  Simulator s;
+  Channel<int> ch(s, 2);
+  Time producer_done = -1;
+  auto producer = [&]() -> Co<void> {
+    for (int i = 0; i < 3; ++i) co_await ch.send(i);
+    producer_done = s.now();
+  };
+  auto consumer = [&]() -> Co<void> {
+    co_await delay(s, msec(1));
+    (void)co_await ch.recv();
+  };
+  spawn(producer());
+  spawn(consumer());
+  s.run();
+  // The third send had to wait for the consumer at 1 ms.
+  EXPECT_EQ(producer_done, msec(1));
+}
+
+TEST(Channel, RecvForTimesOutWhenEmpty) {
+  Simulator s;
+  Channel<int> ch(s);
+  std::optional<std::optional<int>> result;
+  auto consumer = [&]() -> Co<void> { result = co_await ch.recv_for(usec(200)); };
+  spawn(consumer());
+  s.run();
+  ASSERT_TRUE(result.has_value());
+  EXPECT_FALSE(result->has_value());
+  EXPECT_EQ(s.now(), usec(200));
+}
+
+TEST(Channel, RecvForGetsValueIfAvailable) {
+  Simulator s;
+  Channel<int> ch(s);
+  EXPECT_TRUE(ch.try_send(7));
+  std::optional<std::optional<int>> result;
+  auto consumer = [&]() -> Co<void> { result = co_await ch.recv_for(usec(200)); };
+  spawn(consumer());
+  s.run();
+  ASSERT_TRUE(result.has_value());
+  ASSERT_TRUE(result->has_value());
+  EXPECT_EQ(**result, 7);
+}
+
+TEST(Channel, TryOperations) {
+  Simulator s;
+  Channel<int> ch(s, 1);
+  EXPECT_FALSE(ch.try_recv().has_value());
+  EXPECT_TRUE(ch.try_send(1));
+  EXPECT_FALSE(ch.try_send(2));  // full
+  auto v = ch.try_recv();
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 1);
+  EXPECT_TRUE(ch.empty());
+}
+
+}  // namespace
+}  // namespace sim
