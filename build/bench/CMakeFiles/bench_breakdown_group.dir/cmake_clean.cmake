@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_breakdown_group.dir/bench_breakdown_group.cpp.o"
+  "CMakeFiles/bench_breakdown_group.dir/bench_breakdown_group.cpp.o.d"
+  "bench_breakdown_group"
+  "bench_breakdown_group.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_breakdown_group.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

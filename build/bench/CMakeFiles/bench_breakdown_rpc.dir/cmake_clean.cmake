@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_breakdown_rpc.dir/bench_breakdown_rpc.cpp.o"
+  "CMakeFiles/bench_breakdown_rpc.dir/bench_breakdown_rpc.cpp.o.d"
+  "bench_breakdown_rpc"
+  "bench_breakdown_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_breakdown_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failure_injection.dir/failure_injection.cpp.o"
+  "CMakeFiles/failure_injection.dir/failure_injection.cpp.o.d"
+  "failure_injection"
+  "failure_injection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failure_injection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_tsp.dir/parallel_tsp.cpp.o"
+  "CMakeFiles/parallel_tsp.dir/parallel_tsp.cpp.o.d"
+  "parallel_tsp"
+  "parallel_tsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_tsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shared_objects.dir/shared_objects.cpp.o"
+  "CMakeFiles/shared_objects.dir/shared_objects.cpp.o.d"
+  "shared_objects"
+  "shared_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shared_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

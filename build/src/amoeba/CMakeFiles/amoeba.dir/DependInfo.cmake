@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/amoeba/flip.cpp" "src/amoeba/CMakeFiles/amoeba.dir/flip.cpp.o" "gcc" "src/amoeba/CMakeFiles/amoeba.dir/flip.cpp.o.d"
+  "/root/repo/src/amoeba/group.cpp" "src/amoeba/CMakeFiles/amoeba.dir/group.cpp.o" "gcc" "src/amoeba/CMakeFiles/amoeba.dir/group.cpp.o.d"
+  "/root/repo/src/amoeba/kernel.cpp" "src/amoeba/CMakeFiles/amoeba.dir/kernel.cpp.o" "gcc" "src/amoeba/CMakeFiles/amoeba.dir/kernel.cpp.o.d"
+  "/root/repo/src/amoeba/rpc.cpp" "src/amoeba/CMakeFiles/amoeba.dir/rpc.cpp.o" "gcc" "src/amoeba/CMakeFiles/amoeba.dir/rpc.cpp.o.d"
+  "/root/repo/src/amoeba/world.cpp" "src/amoeba/CMakeFiles/amoeba.dir/world.cpp.o" "gcc" "src/amoeba/CMakeFiles/amoeba.dir/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

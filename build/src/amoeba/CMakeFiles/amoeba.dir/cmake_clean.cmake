@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba.dir/flip.cpp.o"
+  "CMakeFiles/amoeba.dir/flip.cpp.o.d"
+  "CMakeFiles/amoeba.dir/group.cpp.o"
+  "CMakeFiles/amoeba.dir/group.cpp.o.d"
+  "CMakeFiles/amoeba.dir/kernel.cpp.o"
+  "CMakeFiles/amoeba.dir/kernel.cpp.o.d"
+  "CMakeFiles/amoeba.dir/rpc.cpp.o"
+  "CMakeFiles/amoeba.dir/rpc.cpp.o.d"
+  "CMakeFiles/amoeba.dir/world.cpp.o"
+  "CMakeFiles/amoeba.dir/world.cpp.o.d"
+  "libamoeba.a"
+  "libamoeba.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

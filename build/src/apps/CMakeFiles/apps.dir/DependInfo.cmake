@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/ab.cpp" "src/apps/CMakeFiles/apps.dir/ab.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/ab.cpp.o.d"
+  "/root/repo/src/apps/asp.cpp" "src/apps/CMakeFiles/apps.dir/asp.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/asp.cpp.o.d"
+  "/root/repo/src/apps/common.cpp" "src/apps/CMakeFiles/apps.dir/common.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/common.cpp.o.d"
+  "/root/repo/src/apps/exchange.cpp" "src/apps/CMakeFiles/apps.dir/exchange.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/exchange.cpp.o.d"
+  "/root/repo/src/apps/leq.cpp" "src/apps/CMakeFiles/apps.dir/leq.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/leq.cpp.o.d"
+  "/root/repo/src/apps/rl.cpp" "src/apps/CMakeFiles/apps.dir/rl.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/rl.cpp.o.d"
+  "/root/repo/src/apps/sor.cpp" "src/apps/CMakeFiles/apps.dir/sor.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/sor.cpp.o.d"
+  "/root/repo/src/apps/tsp.cpp" "src/apps/CMakeFiles/apps.dir/tsp.cpp.o" "gcc" "src/apps/CMakeFiles/apps.dir/tsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orca/CMakeFiles/orca.dir/DependInfo.cmake"
+  "/root/repo/build/src/panda/CMakeFiles/panda.dir/DependInfo.cmake"
+  "/root/repo/build/src/amoeba/CMakeFiles/amoeba.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apps.dir/ab.cpp.o"
+  "CMakeFiles/apps.dir/ab.cpp.o.d"
+  "CMakeFiles/apps.dir/asp.cpp.o"
+  "CMakeFiles/apps.dir/asp.cpp.o.d"
+  "CMakeFiles/apps.dir/common.cpp.o"
+  "CMakeFiles/apps.dir/common.cpp.o.d"
+  "CMakeFiles/apps.dir/exchange.cpp.o"
+  "CMakeFiles/apps.dir/exchange.cpp.o.d"
+  "CMakeFiles/apps.dir/leq.cpp.o"
+  "CMakeFiles/apps.dir/leq.cpp.o.d"
+  "CMakeFiles/apps.dir/rl.cpp.o"
+  "CMakeFiles/apps.dir/rl.cpp.o.d"
+  "CMakeFiles/apps.dir/sor.cpp.o"
+  "CMakeFiles/apps.dir/sor.cpp.o.d"
+  "CMakeFiles/apps.dir/tsp.cpp.o"
+  "CMakeFiles/apps.dir/tsp.cpp.o.d"
+  "libapps.a"
+  "libapps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/buffer.cpp" "src/net/CMakeFiles/net.dir/buffer.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/buffer.cpp.o.d"
+  "/root/repo/src/net/network.cpp" "src/net/CMakeFiles/net.dir/network.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/network.cpp.o.d"
+  "/root/repo/src/net/nic.cpp" "src/net/CMakeFiles/net.dir/nic.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/nic.cpp.o.d"
+  "/root/repo/src/net/segment.cpp" "src/net/CMakeFiles/net.dir/segment.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/segment.cpp.o.d"
+  "/root/repo/src/net/switch.cpp" "src/net/CMakeFiles/net.dir/switch.cpp.o" "gcc" "src/net/CMakeFiles/net.dir/switch.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net.dir/buffer.cpp.o"
+  "CMakeFiles/net.dir/buffer.cpp.o.d"
+  "CMakeFiles/net.dir/network.cpp.o"
+  "CMakeFiles/net.dir/network.cpp.o.d"
+  "CMakeFiles/net.dir/nic.cpp.o"
+  "CMakeFiles/net.dir/nic.cpp.o.d"
+  "CMakeFiles/net.dir/segment.cpp.o"
+  "CMakeFiles/net.dir/segment.cpp.o.d"
+  "CMakeFiles/net.dir/switch.cpp.o"
+  "CMakeFiles/net.dir/switch.cpp.o.d"
+  "libnet.a"
+  "libnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

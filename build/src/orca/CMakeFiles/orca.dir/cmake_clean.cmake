@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca.dir/rts.cpp.o"
+  "CMakeFiles/orca.dir/rts.cpp.o.d"
+  "liborca.a"
+  "liborca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

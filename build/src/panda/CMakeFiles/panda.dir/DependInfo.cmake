@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/panda/pan_group.cpp" "src/panda/CMakeFiles/panda.dir/pan_group.cpp.o" "gcc" "src/panda/CMakeFiles/panda.dir/pan_group.cpp.o.d"
+  "/root/repo/src/panda/pan_rpc.cpp" "src/panda/CMakeFiles/panda.dir/pan_rpc.cpp.o" "gcc" "src/panda/CMakeFiles/panda.dir/pan_rpc.cpp.o.d"
+  "/root/repo/src/panda/pan_sys.cpp" "src/panda/CMakeFiles/panda.dir/pan_sys.cpp.o" "gcc" "src/panda/CMakeFiles/panda.dir/pan_sys.cpp.o.d"
+  "/root/repo/src/panda/panda.cpp" "src/panda/CMakeFiles/panda.dir/panda.cpp.o" "gcc" "src/panda/CMakeFiles/panda.dir/panda.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amoeba/CMakeFiles/amoeba.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

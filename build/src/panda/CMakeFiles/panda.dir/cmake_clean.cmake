@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panda.dir/pan_group.cpp.o"
+  "CMakeFiles/panda.dir/pan_group.cpp.o.d"
+  "CMakeFiles/panda.dir/pan_rpc.cpp.o"
+  "CMakeFiles/panda.dir/pan_rpc.cpp.o.d"
+  "CMakeFiles/panda.dir/pan_sys.cpp.o"
+  "CMakeFiles/panda.dir/pan_sys.cpp.o.d"
+  "CMakeFiles/panda.dir/panda.cpp.o"
+  "CMakeFiles/panda.dir/panda.cpp.o.d"
+  "libpanda.a"
+  "libpanda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

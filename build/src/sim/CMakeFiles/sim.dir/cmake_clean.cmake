@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim.dir/cpu.cpp.o"
+  "CMakeFiles/sim.dir/cpu.cpp.o.d"
+  "CMakeFiles/sim.dir/ledger.cpp.o"
+  "CMakeFiles/sim.dir/ledger.cpp.o.d"
+  "CMakeFiles/sim.dir/rng.cpp.o"
+  "CMakeFiles/sim.dir/rng.cpp.o.d"
+  "CMakeFiles/sim.dir/simulator.cpp.o"
+  "CMakeFiles/sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/sim.dir/sync.cpp.o"
+  "CMakeFiles/sim.dir/sync.cpp.o.d"
+  "CMakeFiles/sim.dir/timer.cpp.o"
+  "CMakeFiles/sim.dir/timer.cpp.o.d"
+  "libsim.a"
+  "libsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/amoeba/flip_test.cpp" "tests/CMakeFiles/amoeba_test.dir/amoeba/flip_test.cpp.o" "gcc" "tests/CMakeFiles/amoeba_test.dir/amoeba/flip_test.cpp.o.d"
+  "/root/repo/tests/amoeba/group_test.cpp" "tests/CMakeFiles/amoeba_test.dir/amoeba/group_test.cpp.o" "gcc" "tests/CMakeFiles/amoeba_test.dir/amoeba/group_test.cpp.o.d"
+  "/root/repo/tests/amoeba/kernel_test.cpp" "tests/CMakeFiles/amoeba_test.dir/amoeba/kernel_test.cpp.o" "gcc" "tests/CMakeFiles/amoeba_test.dir/amoeba/kernel_test.cpp.o.d"
+  "/root/repo/tests/amoeba/rpc_test.cpp" "tests/CMakeFiles/amoeba_test.dir/amoeba/rpc_test.cpp.o" "gcc" "tests/CMakeFiles/amoeba_test.dir/amoeba/rpc_test.cpp.o.d"
+  "/root/repo/tests/amoeba/world_test.cpp" "tests/CMakeFiles/amoeba_test.dir/amoeba/world_test.cpp.o" "gcc" "tests/CMakeFiles/amoeba_test.dir/amoeba/world_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/amoeba/CMakeFiles/amoeba.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amoeba_test.dir/amoeba/flip_test.cpp.o"
+  "CMakeFiles/amoeba_test.dir/amoeba/flip_test.cpp.o.d"
+  "CMakeFiles/amoeba_test.dir/amoeba/group_test.cpp.o"
+  "CMakeFiles/amoeba_test.dir/amoeba/group_test.cpp.o.d"
+  "CMakeFiles/amoeba_test.dir/amoeba/kernel_test.cpp.o"
+  "CMakeFiles/amoeba_test.dir/amoeba/kernel_test.cpp.o.d"
+  "CMakeFiles/amoeba_test.dir/amoeba/rpc_test.cpp.o"
+  "CMakeFiles/amoeba_test.dir/amoeba/rpc_test.cpp.o.d"
+  "CMakeFiles/amoeba_test.dir/amoeba/world_test.cpp.o"
+  "CMakeFiles/amoeba_test.dir/amoeba/world_test.cpp.o.d"
+  "amoeba_test"
+  "amoeba_test.pdb"
+  "amoeba_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amoeba_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

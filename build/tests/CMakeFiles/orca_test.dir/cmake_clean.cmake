@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orca_test.dir/orca/placement_test.cpp.o"
+  "CMakeFiles/orca_test.dir/orca/placement_test.cpp.o.d"
+  "CMakeFiles/orca_test.dir/orca/rts_test.cpp.o"
+  "CMakeFiles/orca_test.dir/orca/rts_test.cpp.o.d"
+  "orca_test"
+  "orca_test.pdb"
+  "orca_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orca_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

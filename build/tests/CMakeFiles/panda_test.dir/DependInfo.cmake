@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/panda/pan_protocols_test.cpp" "tests/CMakeFiles/panda_test.dir/panda/pan_protocols_test.cpp.o" "gcc" "tests/CMakeFiles/panda_test.dir/panda/pan_protocols_test.cpp.o.d"
+  "/root/repo/tests/panda/pan_sys_test.cpp" "tests/CMakeFiles/panda_test.dir/panda/pan_sys_test.cpp.o" "gcc" "tests/CMakeFiles/panda_test.dir/panda/pan_sys_test.cpp.o.d"
+  "/root/repo/tests/panda/panda_test.cpp" "tests/CMakeFiles/panda_test.dir/panda/panda_test.cpp.o" "gcc" "tests/CMakeFiles/panda_test.dir/panda/panda_test.cpp.o.d"
+  "/root/repo/tests/panda/size_sweep_test.cpp" "tests/CMakeFiles/panda_test.dir/panda/size_sweep_test.cpp.o" "gcc" "tests/CMakeFiles/panda_test.dir/panda/size_sweep_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/panda/CMakeFiles/panda.dir/DependInfo.cmake"
+  "/root/repo/build/src/amoeba/CMakeFiles/amoeba.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/net.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/panda_test.dir/panda/pan_protocols_test.cpp.o"
+  "CMakeFiles/panda_test.dir/panda/pan_protocols_test.cpp.o.d"
+  "CMakeFiles/panda_test.dir/panda/pan_sys_test.cpp.o"
+  "CMakeFiles/panda_test.dir/panda/pan_sys_test.cpp.o.d"
+  "CMakeFiles/panda_test.dir/panda/panda_test.cpp.o"
+  "CMakeFiles/panda_test.dir/panda/panda_test.cpp.o.d"
+  "CMakeFiles/panda_test.dir/panda/size_sweep_test.cpp.o"
+  "CMakeFiles/panda_test.dir/panda/size_sweep_test.cpp.o.d"
+  "panda_test"
+  "panda_test.pdb"
+  "panda_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/panda_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

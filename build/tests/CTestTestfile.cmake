@@ -1,0 +1,13 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/amoeba_test[1]_include.cmake")
+include("/root/repo/build/tests/panda_test[1]_include.cmake")
+include("/root/repo/build/tests/calibration_test[1]_include.cmake")
+include("/root/repo/build/tests/orca_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
