@@ -7,8 +7,11 @@
 // -24 us smaller headers. A dedicated sequencer machine keeps the
 // sequencer's context loaded, cutting the thread switch to ~60 us.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/testbed.h"
+#include "trace/chrome_export.h"
 
 namespace {
 
@@ -85,9 +88,49 @@ sim::Time sequencer_switch_cost(bool dedicated) {
   return e.count > 0 ? e.total / static_cast<sim::Time>(e.count) : 0;
 }
 
+/// --trace=FILE: traced 4-node group broadcast workload, dumped as Chrome
+/// trace-event JSON (chrome://tracing / ui.perfetto.dev).
+int run_traced(const std::string& path) {
+  core::TestbedConfig cfg;
+  cfg.binding = Binding::kUserSpace;
+  cfg.nodes = 4;
+  cfg.sequencer = 0;
+  cfg.trace = true;
+  core::Testbed bed(cfg);
+  for (core::NodeId n = 0; n < 4; ++n) {
+    bed.panda(n).set_group_handler(
+        [](Thread&, core::NodeId, std::uint32_t, net::Payload) -> sim::Co<void> {
+          co_return;
+        });
+  }
+  bed.start();
+  for (core::NodeId n = 0; n < 4; ++n) {
+    Thread& sender = bed.world().kernel(n).create_thread("sender");
+    sim::spawn([](core::Testbed& b, Thread& self, core::NodeId src)
+                   -> sim::Co<void> {
+      for (int i = 0; i < 3; ++i) {
+        co_await b.panda(src).group_send(self, net::Payload::zeros(512));
+      }
+    }(bed, sender, n));
+  }
+  bed.sim().run();
+  if (!trace::write_chrome_trace_file(bed.tracer()->events(), path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu trace events to %s (chrome://tracing)\n",
+              bed.tracer()->events().size(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      return run_traced(argv[i] + 8);
+    }
+  }
   constexpr int kRounds = 50;
   const GroupRun user = run_null_sends(Binding::kUserSpace, kRounds);
   const GroupRun kernel = run_null_sends(Binding::kKernelSpace, kRounds);

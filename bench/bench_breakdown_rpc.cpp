@@ -12,8 +12,11 @@
 // We run null RPCs on both bindings and print the per-mechanism ledger
 // difference, normalised per RPC.
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "core/testbed.h"
+#include "trace/chrome_export.h"
 
 namespace {
 
@@ -48,9 +51,52 @@ sim::Ledger run_null_rpcs(Binding binding, int count, sim::Time* latency) {
   return bed.world().aggregate_ledger().diff(before);
 }
 
+/// --trace=FILE: run a traced 4-node RPC workload (each node calls its
+/// neighbour) and dump a Chrome trace-event JSON, loadable in
+/// chrome://tracing or https://ui.perfetto.dev.
+int run_traced(const std::string& path) {
+  core::TestbedConfig cfg;
+  cfg.binding = Binding::kUserSpace;
+  cfg.nodes = 4;
+  cfg.trace = true;
+  core::Testbed bed(cfg);
+  for (core::NodeId n = 0; n < 4; ++n) {
+    bed.panda(n).set_rpc_handler(
+        [&bed, n](Thread& upcall, panda::RpcTicket t,
+                  net::Payload req) -> sim::Co<void> {
+          co_await bed.panda(n).rpc_reply(upcall, t, std::move(req));
+        });
+  }
+  bed.start();
+  for (core::NodeId n = 0; n < 4; ++n) {
+    Thread& client = bed.world().kernel(n).create_thread("client");
+    sim::spawn([](core::Testbed& b, Thread& self, core::NodeId src)
+                   -> sim::Co<void> {
+      const core::NodeId dst = (src + 1) % 4;
+      for (int i = 0; i < 4; ++i) {
+        (void)co_await b.panda(src).rpc(self, dst,
+                                        net::Payload::zeros(256 * (i + 1)));
+      }
+    }(bed, client, n));
+  }
+  bed.sim().run();
+  if (!trace::write_chrome_trace_file(bed.tracer()->events(), path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu trace events to %s (chrome://tracing)\n",
+              bed.tracer()->events().size(), path.c_str());
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
+      return run_traced(argv[i] + 8);
+    }
+  }
   constexpr int kRounds = 50;
   sim::Time user_lat = 0;
   sim::Time kernel_lat = 0;

@@ -5,6 +5,7 @@
 
 #include "amoeba/kernel.h"
 #include "sim/require.h"
+#include "trace/tracer.h"
 
 namespace amoeba {
 
@@ -85,6 +86,12 @@ sim::Co<void> Flip::unicast(FlipAddr dst, net::Payload message, sim::Prio prio) 
     co_await kernel_->charge(prio, sim::Mechanism::kProtocolProcessing,
                              c.flip_send_per_message);
     ++messages_sent_;
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kFlipSend, dst, 0,
+                 message.size(), 1);
+      tr->record(kernel_->node(), trace::EventKind::kFlipDeliver, src, 0,
+                 message.size(), 1);
+    }
     co_await deliver(FlipMessage(dst, src, std::move(message)));
     co_return;
   }
@@ -113,6 +120,10 @@ sim::Co<void> Flip::send_fragments(net::MacAddr dst_mac, FlipAddr dst, FlipAddr 
   const std::uint32_t msg_id = next_msg_id_++;
   ++messages_sent_;
 
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kFlipSend, dst, msg_id,
+               message.size());
+  }
   co_await kernel_->charge(prio, sim::Mechanism::kProtocolProcessing,
                            c.flip_send_per_message);
 
@@ -135,6 +146,10 @@ sim::Co<void> Flip::send_fragments(net::MacAddr dst_mac, FlipAddr dst, FlipAddr 
                (static_cast<std::uint64_t>(msg_id) << 16) |
                static_cast<std::uint64_t>(offset / std::max<std::size_t>(capacity, 1));
     frame.payload = serialize_fragment(h, message.slice(offset, chunk));
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kFragment, frame.id,
+                 msg_id, src, chunk);
+    }
     kernel_->nic().send(std::move(frame));
     offset += chunk;
   } while (offset < message.size());
@@ -178,6 +193,10 @@ sim::Co<void> Flip::handle_data(const net::Frame& frame) {
 
   if (h.offset == 0 && data.size() == h.total_len) {
     // Single-fragment message: no reassembly state needed.
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kFlipDeliver, h.src,
+                 h.msg_id, data.size());
+    }
     co_await deliver(FlipMessage(h.dst, h.src, std::move(data)));
     co_return;
   }
@@ -212,6 +231,10 @@ sim::Co<void> Flip::handle_data(const net::Frame& frame) {
     co_await kernel_->charge(sim::Prio::kInterrupt,
                              sim::Mechanism::kProtocolProcessing,
                              c.flip_reassembly);
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kFlipDeliver, src,
+                 h.msg_id, whole.size());
+    }
     co_await deliver(FlipMessage(dst, src, std::move(whole)));
   }
 }
@@ -276,6 +299,12 @@ void Flip::locate_tick(FlipAddr dst) {
   }
   ++pending.attempts;
   ++locates_sent_;
+  if (pending.attempts > 1) {
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kRetransmit, dst,
+                 trace::kReasonLocateRetry);
+    }
+  }
   FragmentHeader h;
   h.type = static_cast<std::uint8_t>(FrameType::kLocate);
   h.dst = dst;

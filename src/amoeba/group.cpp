@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/require.h"
+#include "trace/tracer.h"
 
 namespace amoeba {
 
@@ -86,6 +87,10 @@ sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
 
   const std::uint64_t uid =
       (static_cast<std::uint64_t>(kernel_->node()) << 32) | next_uid_++;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kGroupSend, uid, 0,
+               msg.size(), gid);
+  }
   const bool bb = msg.size() > ms.config.bb_threshold;
   const SeqNo horizon = ms.next_expected - 1;
 
@@ -144,6 +149,10 @@ void KernelGroup::send_retry_tick(GroupId gid, std::uint64_t uid) {
   if (it == ms.sends_in_flight.end() || it->second->done) return;
   PendingSend& pending = *it->second;
   ++pending.sends;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRetransmit, uid,
+               trace::kReasonGroupSendRetry);
+  }
   if (pending.bb) {
     sim::spawn(kernel_->flip().multicast(group_flip_addr(gid), pending.wire,
                                          sim::Prio::kKernel));
@@ -170,6 +179,9 @@ sim::Co<GroupMsg> KernelGroup::receive(Thread& self, GroupId gid) {
   ms.inbox.pop_front();
   co_await kernel_->copy_boundary(msg.payload.size());
   co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kUpcall, msg.seqno, 2);
+  }
   co_return msg;
 }
 
@@ -231,6 +243,10 @@ sim::Co<void> KernelGroup::on_group_message(GroupId gid, FlipMessage m) {
           // Duplicate body: the sender missed the accept. Resend only the
           // *small* accept (the sender already has the body) — resending the
           // full payload under load would melt the saturated wire.
+          if (auto* tr = kernel_->sim().tracer()) {
+            tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+                       it->second, trace::kReasonSequencerResend);
+          }
           net::Payload wire = make_wire(MsgType::kAcceptRef, gid, it->second,
                                         h.sender, h.uid, 0, net::Payload());
           co_await kernel_->flip().unicast(group_member_addr(gid, h.sender),
@@ -294,6 +310,10 @@ sim::Co<void> KernelGroup::on_sequencer_message(GroupId gid, FlipMessage m) {
         // Duplicate: resend the accept content straight to the sender.
         for (const SequencedMsg& sm : seq.history) {
           if (sm.seqno == it->second) {
+            if (auto* tr = kernel_->sim().tracer()) {
+              tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+                         sm.seqno, trace::kReasonSequencerResend);
+            }
             net::Payload wire = make_wire(MsgType::kRetrans, gid, sm.seqno,
                                           sm.sender, sm.uid, 0, sm.payload);
             co_await kernel_->flip().unicast(group_member_addr(gid, h.sender),
@@ -313,6 +333,10 @@ sim::Co<void> KernelGroup::on_sequencer_message(GroupId gid, FlipMessage m) {
           std::max(seq.member_horizon[h.sender], h.horizon);
       for (const SequencedMsg& sm : seq.history) {
         if (sm.seqno == h.seqno) {
+          if (auto* tr = kernel_->sim().tracer()) {
+            tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+                       sm.seqno, trace::kReasonSequencerResend);
+          }
           net::Payload wire = make_wire(MsgType::kRetrans, gid, sm.seqno, sm.sender,
                                         sm.uid, 0, sm.payload);
           co_await kernel_->flip().unicast(group_member_addr(gid, h.sender),
@@ -356,6 +380,10 @@ sim::Co<void> KernelGroup::sequence(GroupId gid, MemberState& ms, NodeId sender,
   }
   SequencedMsg sm(seq.next_seqno++, sender, uid, std::move(body));
   sm.bb = bb;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kSeqnoAssign, sm.seqno,
+               sender, uid, gid);
+  }
   seq.sequenced_uids.emplace(uid, sm.seqno);
   seq.history.push_back(sm);
   ++seq.total_sequenced;
@@ -392,6 +420,10 @@ void KernelGroup::lag_watchdog_tick(GroupId gid) {
     lagging = true;
     for (const SequencedMsg& sm : seq.history) {
       if (sm.seqno == h + 1) {
+        if (auto* tr = kernel_->sim().tracer()) {
+          tr->record(kernel_->node(), trace::EventKind::kRetransmit, sm.seqno,
+                     trace::kReasonLagWatchdog);
+        }
         net::Payload wire = make_wire(MsgType::kRetrans, gid, sm.seqno,
                                       sm.sender, sm.uid, 0, sm.payload);
         sim::spawn(kernel_->flip().unicast(group_member_addr(gid, member),
@@ -467,6 +499,10 @@ sim::Co<void> KernelGroup::drain_pending(GroupId gid, MemberState& ms) {
     SequencedMsg sm = std::move(seq.pending.front());
     seq.pending.pop_front();
     sm.seqno = seq.next_seqno++;
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kSeqnoAssign, sm.seqno,
+                 sm.sender, sm.uid, gid);
+    }
     seq.sequenced_uids.emplace(sm.uid, sm.seqno);
     seq.history.push_back(sm);
     ++seq.total_sequenced;
@@ -482,7 +518,6 @@ sim::Co<void> KernelGroup::accept(GroupId gid, MemberState& ms, SequencedMsg sm)
 }
 
 sim::Co<void> KernelGroup::deliver_in_order(GroupId gid, MemberState& ms) {
-  (void)gid;
   // All ordering-relevant bookkeeping happens synchronously (no suspension),
   // so concurrent accept() activities cannot interleave inbox pushes out of
   // order. The dispatch cost charges — which do suspend — run afterwards.
@@ -507,6 +542,10 @@ sim::Co<void> KernelGroup::deliver_in_order(GroupId gid, MemberState& ms) {
         unblocked_senders.push_back(sit->second->thread);
       }
     }
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kGroupDeliver, sm.seqno,
+                 sm.sender, sm.payload.size(), gid);
+    }
     ms.inbox.emplace_back(sm.sender, sm.seqno, std::move(sm.payload));
     if (!ms.waiting_receivers.empty()) {
       woken_receivers.push_back(ms.waiting_receivers.front());
@@ -529,6 +568,10 @@ void KernelGroup::arm_gap_timer(GroupId gid) {
   ms.gap_timer->schedule(ms.config.gap_request_delay, [this, gid] {
     MemberState& m = state(gid);
     if (m.out_of_order.empty()) return;
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+                 m.next_expected, trace::kReasonGapRequest);
+    }
     net::Payload wire = make_wire(MsgType::kRetransReq, gid, m.next_expected,
                                   kernel_->node(), 0, m.next_expected - 1,
                                   net::Payload());

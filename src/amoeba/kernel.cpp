@@ -4,6 +4,7 @@
 
 #include "amoeba/flip.h"
 #include "sim/require.h"
+#include "trace/tracer.h"
 
 namespace amoeba {
 
@@ -64,6 +65,12 @@ Thread& Kernel::start_thread(std::string name,
 sim::Co<void> Kernel::charge(sim::Prio prio, sim::Mechanism m, sim::Time cost,
                              std::uint64_t count) {
   ledger_.add(m, cost, count);
+  // Mirror every ledger charge into the trace so the TraceChecker can prove
+  // the aggregate accounting equals the event stream.
+  if (auto* tr = sim_->tracer()) {
+    tr->record(node_, trace::EventKind::kCharge, static_cast<std::uint64_t>(m),
+               static_cast<std::uint64_t>(cost), count);
+  }
   co_await cpu_.run(cost, prio);
 }
 

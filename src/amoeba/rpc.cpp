@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/require.h"
+#include "trace/tracer.h"
 
 namespace amoeba {
 
@@ -11,6 +12,12 @@ namespace {
 /// The client-side RPC endpoint of a node's kernel (replies arrive here).
 [[nodiscard]] constexpr FlipAddr rpc_client_addr(NodeId node) noexcept {
   return 0x00A1'0000'0000'0000ULL | node;
+}
+
+/// Trace key for one transaction: globally unique across clients.
+[[nodiscard]] constexpr std::uint64_t trans_key(NodeId client,
+                                                std::uint32_t trans_id) noexcept {
+  return (static_cast<std::uint64_t>(client) << 32) | trans_id;
 }
 
 }  // namespace
@@ -54,6 +61,10 @@ sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
                            c.rpc_protocol_processing);
 
   const std::uint32_t trans_id = next_trans_++;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRpcSend,
+               trans_key(kernel_->node(), trans_id), svc, request.size());
+  }
   auto call = std::make_unique<ClientCall>();
   call->thread = &self;
   call->wire = make_header(MsgType::kRequest, trans_id, svc, request);
@@ -71,6 +82,11 @@ sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
 
   RpcResult result(raw->status, std::move(raw->reply));
   calls_.erase(trans_id);
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRpcDone,
+               trans_key(kernel_->node(), trans_id),
+               result.status == RpcStatus::kOk ? 0 : 1);
+  }
   co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
   co_return result;
 }
@@ -88,6 +104,11 @@ void KernelRpc::retransmit_tick(std::uint32_t trans_id) {
   }
   ++call.sends;
   ++retransmits_;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+               trans_key(kernel_->node(), trans_id),
+               trace::kReasonClientRetry);
+  }
   sim::spawn(kernel_->flip().unicast(call.dst, call.wire, sim::Prio::kKernel));
   call.timer->schedule(c.rpc_retransmit_interval,
                        [this, trans_id] { retransmit_tick(trans_id); });
@@ -106,6 +127,10 @@ sim::Co<RpcRequestHandle> KernelRpc::get_request(Thread& self, ServiceId svc) {
   service.pending.pop_front();
   co_await kernel_->copy_boundary(req.payload.size());
   co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kUpcall,
+               trans_key(req.client, req.trans_id), 1);
+  }
   co_return RpcRequestHandle(req.client, req.trans_id, svc, std::move(req.payload),
                              self.id());
 }
@@ -132,6 +157,10 @@ sim::Co<void> KernelRpc::put_reply(Thread& self, const RpcRequestHandle& req,
   }
   ++served_count_;
 
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRpcReply,
+               trans_key(req.client, req.trans_id));
+  }
   co_await kernel_->flip().unicast(rpc_client_addr(req.client), entry.cached_reply,
                                    sim::Prio::kKernel);
   co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
@@ -177,6 +206,10 @@ sim::Co<void> KernelRpc::on_request(NodeId client, std::uint32_t trans_id,
     if (it->second.replied) {
       // Client missed the reply: resend the cached one.
       ++retransmits_;
+      if (auto* tr = kernel_->sim().tracer()) {
+        tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+                   trans_key(client, trans_id), trace::kReasonCachedReply);
+      }
       co_await kernel_->flip().unicast(rpc_client_addr(client),
                                        it->second.cached_reply,
                                        sim::Prio::kKernel);
@@ -194,6 +227,12 @@ sim::Co<void> KernelRpc::on_request(NodeId client, std::uint32_t trans_id,
   auto service_it = services_.find(svc);
   if (service_it == services_.end()) co_return;  // nobody serves this here
 
+  // The exactly-once commit point: from here on the transaction is in
+  // served_ and every duplicate is absorbed above.
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRpcExec,
+               trans_key(client, trans_id));
+  }
   served_[key].replied = false;
   served_[key].expires = kernel_->sim().now() + c.reply_cache_ttl;
   if (!gc_timer_.pending()) {
@@ -231,6 +270,10 @@ sim::Co<void> KernelRpc::on_reply(std::uint32_t trans_id, ServiceId svc,
   }
   // Third leg of the 3-way protocol: the explicit acknowledgement, sent to
   // the server's service endpoint (off the client's critical path).
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kAck,
+               trans_key(kernel_->node(), trans_id), 1);
+  }
   net::Payload ack = make_header(MsgType::kAck, trans_id, svc, net::Payload());
   sim::spawn(kernel_->flip().unicast(service_flip_addr(svc), std::move(ack),
                                      sim::Prio::kKernel));

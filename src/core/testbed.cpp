@@ -13,6 +13,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   wc.costs = config_.costs;
   wc.seed = config_.seed;
   world_ = std::make_unique<amoeba::World>(wc);
+  if (config_.trace) tracer_ = std::make_unique<trace::Tracer>(world_->sim());
   world_->add_nodes(config_.nodes);
 
   panda::ClusterConfig cc;

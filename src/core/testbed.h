@@ -9,6 +9,7 @@
 
 #include "amoeba/world.h"
 #include "panda/panda.h"
+#include "trace/tracer.h"
 
 namespace core {
 
@@ -22,6 +23,10 @@ struct TestbedConfig {
   std::uint64_t seed = 42;
   amoeba::CostModel costs;
   net::NetworkConfig network;
+  /// Attach a trace::Tracer to the simulator: every protocol lifecycle event
+  /// (send, fragment, wire, drop, interrupt, deliver, retransmit, charge) is
+  /// recorded. Off by default — recording never perturbs simulated time.
+  bool trace = false;
 };
 
 /// A booted pool: world + per-node Panda instances (started lazily so tests
@@ -35,6 +40,8 @@ class Testbed {
   [[nodiscard]] panda::Panda& panda(NodeId n) { return *pandas_.at(n); }
   [[nodiscard]] std::size_t node_count() const noexcept { return pandas_.size(); }
   [[nodiscard]] const TestbedConfig& config() const noexcept { return config_; }
+  /// Non-null iff config.trace was set.
+  [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
 
   /// Start every Panda instance (after handlers are installed).
   void start();
@@ -42,6 +49,8 @@ class Testbed {
  private:
   TestbedConfig config_;
   std::unique_ptr<amoeba::World> world_;
+  // Declared after world_: destroyed first, detaching from the simulator.
+  std::unique_ptr<trace::Tracer> tracer_;
   std::vector<std::unique_ptr<panda::Panda>> pandas_;
 };
 

@@ -1,16 +1,31 @@
 #include "net/nic.h"
 
+#include "trace/tracer.h"
+
 namespace net {
 
 void Nic::on_frame(const Frame& frame) {
   const bool for_me = frame.dst == mac_ || frame.dst == kBroadcast ||
                       (is_multicast(frame.dst) && groups_.contains(frame.dst));
   if (!for_me) return;
+  const std::uint64_t src_dst =
+      (static_cast<std::uint64_t>(frame.src) << 32) | frame.dst;
   if (rx_drop_hook_ && rx_drop_hook_(frame)) {
     ++rx_dropped_;
+    if (auto* tr = segment_->simulator().tracer()) {
+      tr->record(mac_ - 1, trace::EventKind::kFrameDrop, frame.id,
+                 frame.payload.size(), src_dst,
+                 (tr->classify(frame.payload.data(), frame.payload.size())
+                  << 1) |
+                     1);
+    }
     return;
   }
   ++rx_frames_;
+  if (auto* tr = segment_->simulator().tracer()) {
+    tr->record(mac_ - 1, trace::EventKind::kInterrupt, frame.id,
+               frame.payload.size(), src_dst);
+  }
   if (rx_handler_) rx_handler_(frame);
 }
 

@@ -3,8 +3,22 @@
 #include <utility>
 
 #include "sim/require.h"
+#include "trace/tracer.h"
 
 namespace net {
+namespace {
+
+// Node tag for a frame's sender: unicast source MACs are node + 1 (see
+// Network::mac_of); anything else is untagged wire traffic.
+std::uint32_t src_node(const Frame& f) noexcept {
+  return is_unicast(f.src) ? f.src - 1 : trace::kNoNode;
+}
+
+std::uint64_t pack_src_dst(const Frame& f) noexcept {
+  return (static_cast<std::uint64_t>(f.src) << 32) | f.dst;
+}
+
+}  // namespace
 
 void Segment::transmit(Frame frame, const Attachment* originator) {
   sim::require(frame.payload.size() <= wire_.mtu,
@@ -28,14 +42,31 @@ void Segment::start_next() {
   ++frames_;
   bytes_ += p.frame.payload.size();
 
-  sim_->after(occupy + wire_.propagation,
-              [this, p = std::move(p)]() mutable {
+  if (auto* tr = sim_->tracer()) {
+    tr->record(src_node(p.frame), trace::EventKind::kWireTx, p.frame.id,
+               p.frame.payload.size(), pack_src_dst(p.frame));
+  }
+
+  const sim::Time extra = delay_hook_ ? delay_hook_(p.frame) : 0;
+  const bool duplicate = dup_hook_ && dup_hook_(p.frame);
+
+  sim_->after(occupy + wire_.propagation + extra,
+              [this, p = std::move(p), duplicate]() mutable {
                 const bool lost = loss_hook_ && loss_hook_(p.frame);
                 if (lost) {
                   ++dropped_;
+                  if (auto* tr = sim_->tracer()) {
+                    const Payload& pl = p.frame.payload;
+                    tr->record(trace::kNoNode, trace::EventKind::kFrameDrop,
+                               p.frame.id, pl.size(), pack_src_dst(p.frame),
+                               (tr->classify(pl.data(), pl.size()) << 1) | 0);
+                  }
                 } else {
-                  for (Attachment* a : attachments_) {
-                    if (a != p.originator) a->on_frame(p.frame);
+                  const int copies = duplicate ? 2 : 1;
+                  for (int i = 0; i < copies; ++i) {
+                    for (Attachment* a : attachments_) {
+                      if (a != p.originator) a->on_frame(p.frame);
+                    }
                   }
                 }
               });

@@ -45,6 +45,22 @@ class Segment {
     loss_hook_ = std::move(hook);
   }
 
+  /// Duplication injection: return true to deliver the frame twice
+  /// back-to-back (models a receive-path duplicate; the medium is only
+  /// occupied once).
+  void set_dup_hook(std::function<bool(const Frame&)> hook) {
+    dup_hook_ = std::move(hook);
+  }
+
+  /// Reordering injection: return extra delivery latency for this frame.
+  /// The medium still frees after the occupy time, so a delayed frame can
+  /// arrive after frames transmitted later.
+  void set_delay_hook(std::function<sim::Time(const Frame&)> hook) {
+    delay_hook_ = std::move(hook);
+  }
+
+  [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+
   [[nodiscard]] const WireParams& wire() const noexcept { return wire_; }
   [[nodiscard]] sim::Time busy_time() const noexcept { return busy_time_; }
   [[nodiscard]] std::uint64_t frames_carried() const noexcept { return frames_; }
@@ -69,6 +85,8 @@ class Segment {
   std::deque<Pending> queue_;
   bool busy_ = false;
   std::function<bool(const Frame&)> loss_hook_;
+  std::function<bool(const Frame&)> dup_hook_;
+  std::function<sim::Time(const Frame&)> delay_hook_;
   sim::Time busy_time_ = 0;
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/require.h"
+#include "trace/tracer.h"
 
 namespace panda {
 
@@ -83,6 +84,11 @@ sim::Co<void> PanGroup::send(Thread& self, net::Payload msg) {
                            c.group_protocol_processing);
 
   const std::uint32_t msg_id = next_msg_id_++;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kGroupSend,
+               (static_cast<std::uint64_t>(kernel_->node()) << 32) | msg_id, 0,
+               msg.size());
+  }
   const std::size_t total = msg.size();
   const auto frag_count = static_cast<std::uint16_t>(
       total == 0 ? 1 : (total + kUnitData - 1) / kUnitData);
@@ -154,6 +160,11 @@ void PanGroup::send_retry_tick(std::uint32_t msg_id) {
     }
   }
   ++pending.retries;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+               (static_cast<std::uint64_t>(kernel_->node()) << 32) | msg_id,
+               trace::kReasonGroupSendRetry);
+  }
   const sim::Time backoff =
       kSendRetryInterval * (1LL << std::min(pending.retries, 4));
   pending.timer->schedule(backoff, [this, msg_id] { send_retry_tick(msg_id); });
@@ -189,6 +200,10 @@ sim::Co<void> PanGroup::seq_handle(Thread& self, SysMsg msg) {
         // feed the congestion that delayed the accept); a PB sender does
         // not, so it gets the full message back.
         const bool was_bb = static_cast<MsgType>(type_raw) == MsgType::kBody;
+        if (auto* tr = kernel_->sim().tracer()) {
+          tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+                     it->second, trace::kReasonSequencerResend);
+        }
         if (was_bb) {
           Unit ref;
           ref.seqno = it->second;
@@ -248,6 +263,10 @@ sim::Co<void> PanGroup::seq_handle(Thread& self, SysMsg msg) {
       ++retreqs_;
       for (const Unit& h : seq.history) {
         if (h.seqno == unit.seqno) {
+          if (auto* tr = kernel_->sim().tracer()) {
+            tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+                       h.seqno, trace::kReasonSequencerResend);
+          }
           net::Payload wire = make_wire(MsgType::kRetrans, h, 0);
           co_await sys_->unicast(self, unit.sender, PanSys::Module::kGroup,
                                  std::move(wire));
@@ -287,6 +306,10 @@ sim::Co<void> PanGroup::seq_sequence(Thread& self, Unit unit, bool bb) {
   }
   unit.seqno = seq.next_seqno++;
   unit.pending_bb = bb;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kSeqnoAssign, unit.seqno,
+               unit.sender, unit.msg_id);
+  }
   seq.sequenced.emplace(UnitKey{unit.sender, unit.msg_id, 0}, unit.seqno);
   seq.history.push_back(unit);
   ++seq.total_sequenced;
@@ -324,6 +347,10 @@ void PanGroup::lag_watchdog_tick() {
     // its own gap machinery recovers the rest once traffic flows again.
     for (const Unit& u : seq.history) {
       if (u.seqno == h + 1) {
+        if (auto* tr = kernel_->sim().tracer()) {
+          tr->record(kernel_->node(), trace::EventKind::kRetransmit, u.seqno,
+                     trace::kReasonLagWatchdog);
+        }
         net::Payload wire = make_wire(MsgType::kRetrans, u, 0);
         sim::spawn(sys_->unicast(*daemon, member, PanSys::Module::kGroup,
                                  std::move(wire)));
@@ -526,6 +553,10 @@ sim::Co<void> PanGroup::deliver_ready() {
         d.sender_thread = sit->second->thread;
       }
     }
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kGroupDeliver, d.seqno,
+                 d.sender, d.payload.size());
+    }
     ready.push_back(std::move(d));
   }
 
@@ -539,6 +570,9 @@ sim::Co<void> PanGroup::deliver_ready() {
       co_await kernel_->signal_thread(*d.sender_thread, c.panda_stack_depth);
     }
     if (handler_) {
+      if (auto* tr = kernel_->sim().tracer()) {
+        tr->record(kernel_->node(), trace::EventKind::kUpcall, d.seqno, 2);
+      }
       co_await handler_(*sys_->daemon_thread(), d.sender, d.seqno,
                         std::move(d.payload));
     }
@@ -550,6 +584,10 @@ void PanGroup::arm_gap_timer() {
   gap_timer_.schedule(kGapRequestDelay, [this] {
     if (out_of_order_.empty()) return;
     ++retreqs_;
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+                 next_expected_, trace::kReasonGapRequest);
+    }
     Unit ask;
     ask.sender = kernel_->node();
     ask.seqno = next_expected_;

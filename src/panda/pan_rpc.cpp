@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "sim/require.h"
+#include "trace/tracer.h"
 
 namespace panda {
 
@@ -12,6 +13,11 @@ using sim::Prio;
 
 namespace {
 constexpr sim::Time kExplicitAckDelay = sim::msec(20);
+
+[[nodiscard]] constexpr std::uint64_t trans_key(NodeId client,
+                                                std::uint32_t trans_id) noexcept {
+  return (static_cast<std::uint64_t>(client) << 32) | trans_id;
+}
 }  // namespace
 
 void PanRpc::start() {
@@ -51,6 +57,10 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
                            c.rpc_protocol_processing);
 
   const std::uint32_t trans_id = next_trans_++;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRpcSend,
+               trans_key(kernel_->node(), trans_id), dst, request.size());
+  }
   std::uint32_t piggyback = 0;
   if (const auto it = unacked_reply_.find(dst); it != unacked_reply_.end()) {
     piggyback = it->second;
@@ -59,6 +69,10 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
       t->second->cancel();
     }
     ++piggy_acks_;
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kAck,
+                 trans_key(kernel_->node(), piggyback), 2);
+    }
   }
 
   auto out = std::make_unique<Outstanding>();
@@ -83,6 +97,11 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
 
   RpcReply result(raw->status, std::move(raw->reply));
   outstanding_.erase(trans_id);
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRpcDone,
+               trans_key(kernel_->node(), trans_id),
+               result.status == RpcStatus::kOk ? 0 : 1);
+  }
   co_return result;
 }
 
@@ -99,6 +118,11 @@ void PanRpc::retransmit_tick(std::uint32_t trans_id) {
   }
   ++out.sends;
   ++retransmits_;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+               trans_key(kernel_->node(), trans_id),
+               trace::kReasonClientRetry);
+  }
   Thread* daemon = sys_->daemon_thread();
   sim::spawn(sys_->unicast(*daemon, out.dst, PanSys::Module::kRpc, out.wire));
   out.timer->schedule(c.rpc_retransmit_interval,
@@ -111,6 +135,10 @@ void PanRpc::ack_tick(NodeId dst) {
   const std::uint32_t trans_id = it->second;
   unacked_reply_.erase(it);
   ++explicit_acks_;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kAck,
+               trans_key(kernel_->node(), trans_id), 1);
+  }
   Thread* daemon = sys_->daemon_thread();
   sim::spawn(sys_->unicast(*daemon, dst, PanSys::Module::kRpc,
                            make_wire(MsgType::kAck, trans_id, trans_id,
@@ -131,6 +159,10 @@ sim::Co<void> PanRpc::reply(Thread& self, RpcTicket ticket, net::Payload payload
   served_[ServedKey{ts.client, ts.trans_id}] =
       ServedEntry{true, wire};
   ++served_count_;
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kRpcReply,
+               trans_key(ts.client, ts.trans_id));
+  }
   co_await sys_->unicast(self, ts.client, PanSys::Module::kRpc, std::move(wire));
 }
 
@@ -155,6 +187,11 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
         Thread* daemon = sys_->daemon_thread();
         if (it->second.replied) {
           ++retransmits_;
+          if (auto* tr = kernel_->sim().tracer()) {
+            tr->record(kernel_->node(), trace::EventKind::kRetransmit,
+                       trans_key(msg.src, trans_id),
+                       trace::kReasonCachedReply);
+          }
           co_await sys_->unicast(*daemon, msg.src, PanSys::Module::kRpc,
                                  it->second.cached_reply_wire);
         } else {
@@ -165,6 +202,11 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
         }
         co_return;  // duplicate
       }
+      // The exactly-once commit point of the user-space protocol.
+      if (auto* tr = kernel_->sim().tracer()) {
+        tr->record(kernel_->node(), trace::EventKind::kRpcExec,
+                   trans_key(msg.src, trans_id));
+      }
       served_.emplace(key, ServedEntry{});
       const std::uint64_t ticket_id = next_ticket_++;
       tickets_[ticket_id] = TicketState{msg.src, trans_id};
@@ -172,6 +214,10 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
                                c.rpc_protocol_processing);
       if (handler_) {
         // Implicit message receipt: upcall directly from the daemon.
+        if (auto* tr = kernel_->sim().tracer()) {
+          tr->record(kernel_->node(), trace::EventKind::kUpcall,
+                     trans_key(msg.src, trans_id), 1);
+        }
         co_await handler_(*sys_->daemon_thread(), RpcTicket(ticket_id),
                           std::move(body));
       }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "sim/require.h"
+#include "trace/tracer.h"
 
 namespace panda {
 
@@ -107,6 +108,12 @@ sim::Co<void> PanSys::send_impl(Thread& self, amoeba::FlipAddr dst,
     w.payload(msg.slice(offset, chunk));
     offset += chunk;
     ++fragments_;
+    // User-level fragment: no frame id / FLIP address yet (a=0, c=0); the
+    // FLIP layer below traces the wire-level fragments.
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kFragment, 0, msg_id, 0,
+                 chunk);
+    }
 
     // Each fragment is one FLIP syscall from user space.
     co_await kernel_->syscall_enter();

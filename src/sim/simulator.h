@@ -14,6 +14,10 @@
 #include "sim/rng.h"
 #include "sim/time.h"
 
+namespace trace {
+class Tracer;
+}  // namespace trace
+
 namespace sim {
 
 class Simulator {
@@ -54,6 +58,12 @@ class Simulator {
   /// The simulation-wide deterministic random stream.
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
 
+  /// The attached event tracer, or nullptr (the common case). Instrumented
+  /// sites do `if (auto* tr = sim.tracer()) tr->record(...)`, so a disabled
+  /// tracer costs one pointer test. Managed by trace::Tracer's ctor/dtor.
+  [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
+  void set_tracer(trace::Tracer* t) noexcept { tracer_ = t; }
+
  private:
   struct Event {
     Time t;
@@ -72,6 +82,7 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   Rng rng_;
+  trace::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace sim

@@ -1,0 +1,256 @@
+#include "trace/checker.h"
+
+#include <cstdio>
+#include <map>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace trace {
+namespace {
+
+std::string fmt(const char* format, auto... args) {
+  char buf[256];
+  std::snprintf(buf, sizeof buf, format, args...);
+  return std::string(buf);
+}
+
+}  // namespace
+
+std::vector<std::string> TraceChecker::check_exactly_once_rpc() const {
+  std::vector<std::string> out;
+  // Per transaction key (client_node<<32 | trans_id).
+  std::unordered_map<std::uint64_t, int> sends, execs, replies;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> dones;  // key, status
+  for (const Event& e : *events_) {
+    switch (e.kind) {
+      case EventKind::kRpcSend: ++sends[e.a]; break;
+      case EventKind::kRpcExec: ++execs[e.a]; break;
+      case EventKind::kRpcReply: ++replies[e.a]; break;
+      case EventKind::kRpcDone: dones.emplace_back(e.a, e.b); break;
+      default: break;
+    }
+  }
+  for (const auto& [key, n] : execs) {
+    if (n > 1) {
+      out.push_back(fmt("rpc %llx executed %d times (exactly-once violated)",
+                        static_cast<unsigned long long>(key), n));
+    }
+    if (!sends.contains(key)) {
+      out.push_back(fmt("rpc %llx executed but never sent",
+                        static_cast<unsigned long long>(key)));
+    }
+  }
+  for (const auto& [key, n] : sends) {
+    if (n != 1) {
+      out.push_back(fmt("rpc %llx sent %d times (trans ids must be unique)",
+                        static_cast<unsigned long long>(key), n));
+    }
+  }
+  for (const auto& [key, status] : dones) {
+    if (status != 0) continue;  // timed-out calls may legally never execute
+    if (execs[key] != 1) {
+      out.push_back(fmt("rpc %llx completed ok but executed %d times",
+                        static_cast<unsigned long long>(key), execs[key]));
+    }
+    if (replies[key] < 1) {
+      out.push_back(fmt("rpc %llx completed ok without a traced reply",
+                        static_cast<unsigned long long>(key)));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TraceChecker::check_total_order() const {
+  std::vector<std::string> out;
+  struct Assigned {
+    std::uint64_t sender = 0;
+    bool seen = false;
+  };
+  // group id -> seqno -> assignment; events appear in trace (= time) order.
+  std::map<std::uint64_t, std::map<std::uint64_t, Assigned>> assigned;
+  std::map<std::uint64_t, std::uint64_t> last_assigned;
+  // (group, node) -> next expected seqno.
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint64_t> expect;
+  // group -> seqno -> (sender, bytes) as first delivered anywhere.
+  std::map<std::uint64_t, std::map<std::uint64_t,
+                                   std::pair<std::uint64_t, std::uint64_t>>>
+      content;
+
+  for (const Event& e : *events_) {
+    if (e.kind == EventKind::kSeqnoAssign) {
+      const std::uint64_t g = e.d;
+      if (e.a != last_assigned[g] + 1) {
+        out.push_back(fmt("group %llu: sequencer assigned %llu after %llu",
+                          static_cast<unsigned long long>(g),
+                          static_cast<unsigned long long>(e.a),
+                          static_cast<unsigned long long>(last_assigned[g])));
+      }
+      last_assigned[g] = e.a;
+      auto& slot = assigned[g][e.a];
+      if (slot.seen) {
+        out.push_back(fmt("group %llu: seqno %llu assigned twice",
+                          static_cast<unsigned long long>(g),
+                          static_cast<unsigned long long>(e.a)));
+      }
+      slot = Assigned{e.b, true};
+    } else if (e.kind == EventKind::kGroupDeliver) {
+      const std::uint64_t g = e.d;
+      auto& next = expect[{g, e.node}];
+      if (e.a != next + 1) {
+        out.push_back(
+            fmt("group %llu node %u: delivered seqno %llu after %llu "
+                "(gap/reorder)",
+                static_cast<unsigned long long>(g), e.node,
+                static_cast<unsigned long long>(e.a),
+                static_cast<unsigned long long>(next)));
+      }
+      next = e.a;
+      const auto it = assigned[g].find(e.a);
+      if (it == assigned[g].end()) {
+        out.push_back(fmt("group %llu node %u: delivered unassigned seqno %llu",
+                          static_cast<unsigned long long>(g), e.node,
+                          static_cast<unsigned long long>(e.a)));
+      } else if (it->second.sender != e.b) {
+        out.push_back(
+            fmt("group %llu node %u: seqno %llu delivered from sender %llu "
+                "but assigned to %llu",
+                static_cast<unsigned long long>(g), e.node,
+                static_cast<unsigned long long>(e.a),
+                static_cast<unsigned long long>(e.b),
+                static_cast<unsigned long long>(it->second.sender)));
+      }
+      auto [cit, fresh] = content[g].emplace(e.a, std::make_pair(e.b, e.c));
+      if (!fresh && cit->second != std::make_pair(e.b, e.c)) {
+        out.push_back(
+            fmt("group %llu: members disagree on seqno %llu content",
+                static_cast<unsigned long long>(g),
+                static_cast<unsigned long long>(e.a)));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TraceChecker::check_frame_lineage() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::uint64_t> wire_tx;
+  std::set<std::pair<std::uint32_t, std::uint64_t>> interrupts;  // node, frame
+  // (src flip addr, msg_id) -> frame ids of the message's fragments.
+  std::map<std::pair<std::uint64_t, std::uint64_t>,
+           std::vector<std::uint64_t>>
+      fragments;
+
+  for (const Event& e : *events_) {
+    switch (e.kind) {
+      case EventKind::kWireTx:
+        wire_tx.insert(e.a);
+        break;
+      case EventKind::kInterrupt:
+        if (!wire_tx.contains(e.a)) {
+          out.push_back(fmt("node %u: interrupt for frame %llx never on wire",
+                            e.node, static_cast<unsigned long long>(e.a)));
+        }
+        interrupts.insert({e.node, e.a});
+        break;
+      case EventKind::kFragment:
+        // Kernel-level (FLIP) fragments carry the frame id; user-level
+        // (pan_sys) fragments trace with a=0 and are covered by the FLIP
+        // fragments of the frames that carry them.
+        if (e.a != 0) fragments[{e.c, e.b}].push_back(e.a);
+        break;
+      case EventKind::kFlipDeliver: {
+        if (e.d == 1 || e.b == 0) break;  // local delivery never hit the wire
+        const auto it = fragments.find({e.a, e.b});
+        if (it == fragments.end()) {
+          out.push_back(
+              fmt("node %u: flip delivery (src %llx, msg %llu) with no traced "
+                  "fragments",
+                  e.node, static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(e.b)));
+          break;
+        }
+        for (const std::uint64_t frame : it->second) {
+          if (!interrupts.contains({e.node, frame})) {
+            out.push_back(
+                fmt("node %u: flip delivery (src %llx, msg %llu) without an "
+                    "interrupt for fragment frame %llx — derived from a "
+                    "dropped frame?",
+                    e.node, static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(e.b),
+                    static_cast<unsigned long long>(frame)));
+          }
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TraceChecker::check_loss_recovery() const {
+  std::vector<std::string> out;
+  std::size_t data_drops = 0, retransmits = 0;
+  for (const Event& e : *events_) {
+    if (e.kind == EventKind::kFrameDrop && (e.d >> 1) == kClassData) {
+      ++data_drops;
+    }
+    if (e.kind == EventKind::kRetransmit) ++retransmits;
+  }
+  if (data_drops > 0 && retransmits == 0) {
+    out.push_back(fmt(
+        "%zu data frames dropped but no retransmission activity in the trace",
+        data_drops));
+  }
+  return out;
+}
+
+std::vector<std::string> TraceChecker::check_ledger(
+    const sim::Ledger& aggregate) const {
+  std::vector<std::string> out;
+  sim::Ledger traced;
+  for (const Event& e : *events_) {
+    if (e.kind != EventKind::kCharge) continue;
+    if (e.a >= static_cast<std::uint64_t>(sim::Mechanism::kCount)) {
+      out.push_back(fmt("charge event with bad mechanism index %llu",
+                        static_cast<unsigned long long>(e.a)));
+      continue;
+    }
+    traced.add(static_cast<sim::Mechanism>(e.a),
+               static_cast<sim::Time>(e.b), e.c);
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(sim::Mechanism::kCount);
+       ++i) {
+    const auto m = static_cast<sim::Mechanism>(i);
+    const auto& want = aggregate.get(m);
+    const auto& got = traced.get(m);
+    if (want.count != got.count || want.total != got.total) {
+      out.push_back(
+          fmt("ledger mismatch for %.*s: ledger (%llu ops, %lld ns) vs trace "
+              "(%llu ops, %lld ns)",
+              static_cast<int>(sim::mechanism_name(m).size()),
+              sim::mechanism_name(m).data(),
+              static_cast<unsigned long long>(want.count),
+              static_cast<long long>(want.total),
+              static_cast<unsigned long long>(got.count),
+              static_cast<long long>(got.total)));
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TraceChecker::check_all(
+    const sim::Ledger* aggregate) const {
+  std::vector<std::string> out = check_exactly_once_rpc();
+  for (auto&& v : check_total_order()) out.push_back(std::move(v));
+  for (auto&& v : check_frame_lineage()) out.push_back(std::move(v));
+  for (auto&& v : check_loss_recovery()) out.push_back(std::move(v));
+  if (aggregate != nullptr) {
+    for (auto&& v : check_ledger(*aggregate)) out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace trace

@@ -1,0 +1,54 @@
+// Trace-driven protocol invariant checking.
+//
+// The TraceChecker replays a finished event trace and proves the properties
+// the paper's protocols claim over unreliable FLIP:
+//
+//   * exactly-once RPC: no transaction id executes twice at the server, and
+//     every successful call executed exactly once — retransmissions and
+//     duplicated frames notwithstanding;
+//   * gapless total order: every group member delivers seqnos 1..k with no
+//     gap or reorder, all members agree on (sender, size) per seqno, and
+//     deliveries match what the sequencer actually assigned;
+//   * frame lineage: every NIC interrupt stems from a traced wire
+//     transmission, every wire-path FLIP delivery is backed by a received
+//     interrupt for each of its fragments (so no delivery was derived from a
+//     dropped frame), and a lost data frame implies recovery activity
+//     somewhere in the trace;
+//   * ledger consistency: per-mechanism Ledger totals equal the sum of the
+//     traced charge events — the aggregate accounting and the event stream
+//     tell the same story.
+//
+// Each check returns human-readable violation strings; an empty vector means
+// the invariant holds.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/ledger.h"
+#include "trace/tracer.h"
+
+namespace trace {
+
+class TraceChecker {
+ public:
+  explicit TraceChecker(const std::vector<Event>& events) : events_(&events) {}
+
+  [[nodiscard]] std::vector<std::string> check_exactly_once_rpc() const;
+  [[nodiscard]] std::vector<std::string> check_total_order() const;
+  [[nodiscard]] std::vector<std::string> check_frame_lineage() const;
+  [[nodiscard]] std::vector<std::string> check_loss_recovery() const;
+
+  /// `aggregate` is the sum of every node's ledger (World::aggregate_ledger).
+  [[nodiscard]] std::vector<std::string> check_ledger(
+      const sim::Ledger& aggregate) const;
+
+  /// Runs every check (the ledger check only when `aggregate` is non-null).
+  [[nodiscard]] std::vector<std::string> check_all(
+      const sim::Ledger* aggregate = nullptr) const;
+
+ private:
+  const std::vector<Event>* events_;
+};
+
+}  // namespace trace

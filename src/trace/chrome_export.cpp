@@ -1,0 +1,136 @@
+#include "trace/chrome_export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "sim/ledger.h"
+
+namespace trace {
+namespace {
+
+// Lane (Chrome "thread") a kind renders on within its node.
+int lane_of(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kRpcSend:
+    case EventKind::kRpcExec:
+    case EventKind::kRpcReply:
+    case EventKind::kRpcDone:
+    case EventKind::kAck:
+      return 0;
+    case EventKind::kGroupSend:
+    case EventKind::kSeqnoAssign:
+    case EventKind::kGroupDeliver:
+      return 1;
+    case EventKind::kFlipSend:
+    case EventKind::kFragment:
+    case EventKind::kFlipDeliver:
+      return 2;
+    case EventKind::kWireTx:
+    case EventKind::kFrameDrop:
+    case EventKind::kInterrupt:
+      return 3;
+    case EventKind::kRetransmit:
+    case EventKind::kUpcall:
+      return 4;
+    default:
+      return 5;  // kCharge
+  }
+}
+
+const char* lane_name(int lane) noexcept {
+  switch (lane) {
+    case 0: return "rpc";
+    case 1: return "group";
+    case 2: return "flip";
+    case 3: return "wire";
+    case 4: return "recovery";
+    default: return "charge";
+  }
+}
+
+// Chrome pids must be plain integers; the wire pseudo-node gets its own.
+constexpr std::uint32_t kWirePid = 0xFFFF;
+
+std::uint32_t pid_of(const Event& e) noexcept {
+  return e.node == kNoNode ? kWirePid : e.node;
+}
+
+void write_meta(std::ostream& os, std::uint32_t pid, int tid, const char* what,
+                const std::string& name, bool& first) {
+  if (!first) os << ",\n";
+  first = false;
+  os << R"({"name":")" << what << R"(","ph":"M","pid":)" << pid << R"(,"tid":)"
+     << tid << R"(,"args":{"name":")" << name << R"("}})";
+}
+
+}  // namespace
+
+void write_chrome_trace(const std::vector<Event>& events, std::ostream& os) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+
+  std::set<std::uint32_t> pids;
+  std::set<std::pair<std::uint32_t, int>> lanes;
+  for (const Event& e : events) {
+    pids.insert(pid_of(e));
+    lanes.insert({pid_of(e), lane_of(e.kind)});
+  }
+  for (const std::uint32_t pid : pids) {
+    write_meta(os, pid, 0, "process_name",
+               pid == kWirePid ? std::string("wire")
+                               : "node " + std::to_string(pid),
+               first);
+  }
+  for (const auto& [pid, lane] : lanes) {
+    write_meta(os, pid, lane, "thread_name", lane_name(lane), first);
+  }
+
+  char buf[256];
+  for (const Event& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    const double ts_us = static_cast<double>(e.t) / 1000.0;
+    if (e.kind == EventKind::kCharge) {
+      const auto m = static_cast<sim::Mechanism>(e.a);
+      const std::string_view mname =
+          e.a < static_cast<std::uint64_t>(sim::Mechanism::kCount)
+              ? sim::mechanism_name(m)
+              : std::string_view("?");
+      std::snprintf(buf, sizeof buf,
+                    R"({"name":"charge:%.*s","ph":"X","ts":%.3f,"dur":%.3f,)"
+                    R"("pid":%u,"tid":%d,"args":{"count":%)" PRIu64 "}}",
+                    static_cast<int>(mname.size()), mname.data(), ts_us,
+                    static_cast<double>(e.b) / 1000.0, pid_of(e),
+                    lane_of(e.kind), e.c);
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    R"({"name":"%.*s","ph":"i","ts":%.3f,"pid":%u,"tid":%d,)"
+                    R"("s":"t","args":{"a":%)" PRIu64 R"(,"b":%)" PRIu64
+                    R"(,"c":%)" PRIu64 R"(,"d":%)" PRIu64 "}}",
+                    static_cast<int>(kind_name(e.kind).size()),
+                    kind_name(e.kind).data(), ts_us, pid_of(e),
+                    lane_of(e.kind), e.a, e.b, e.c, e.d);
+    }
+    os << buf;
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+std::string chrome_trace_json(const std::vector<Event>& events) {
+  std::ostringstream os;
+  write_chrome_trace(events, os);
+  return os.str();
+}
+
+bool write_chrome_trace_file(const std::vector<Event>& events,
+                             const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return false;
+  write_chrome_trace(events, f);
+  return f.good();
+}
+
+}  // namespace trace

@@ -1,0 +1,27 @@
+// Chrome trace-event JSON exporter.
+//
+// Serializes a trace into the Trace Event Format understood by
+// chrome://tracing and https://ui.perfetto.dev. Each simulated node becomes a
+// "process"; within a node, events are grouped onto named lanes (rpc, group,
+// flip, wire, charge). Ledger charges export as duration events ("ph":"X") so
+// the mechanism costs of §4.2/§4.3 render as visible time spans; everything
+// else exports as instant events ("ph":"i").
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.h"
+
+namespace trace {
+
+void write_chrome_trace(const std::vector<Event>& events, std::ostream& os);
+
+[[nodiscard]] std::string chrome_trace_json(const std::vector<Event>& events);
+
+/// Writes the trace to `path`; returns false if the file cannot be opened.
+bool write_chrome_trace_file(const std::vector<Event>& events,
+                             const std::string& path);
+
+}  // namespace trace

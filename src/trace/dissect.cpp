@@ -1,0 +1,78 @@
+#include "trace/dissect.h"
+
+#include "trace/tracer.h"
+
+namespace trace {
+namespace {
+
+std::uint32_t be32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+std::uint64_t be64(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint64_t>(be32(p)) << 32) | be32(p + 4);
+}
+
+std::uint16_t be16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+
+// FLIP fragment header layout (flip.cpp): type u8 @0, flags u8 @1, pad @2,
+// dst u64 @4, src u64 @12, msg_id u32 @20, offset u32 @24, total_len u32 @28.
+constexpr std::size_t kFlipHeader = 32;
+
+// Inner protocol message-type bytes that are pure acknowledgement/status
+// traffic (rpc.cpp + pan_rpc.cpp use the same numbering, as do group.cpp and
+// pan_group.cpp).
+bool rpc_control(std::uint8_t type) noexcept {
+  return type == 3 /* kAck */ || type == 4 /* kServerBusy */;
+}
+bool group_control(std::uint8_t type) noexcept {
+  return type == 7 /* kStatusReq */ || type == 8 /* kStatus */;
+}
+
+}  // namespace
+
+std::uint64_t dissect_frame_class(const std::uint8_t* data,
+                                  std::size_t size) noexcept {
+  if (data == nullptr || size < kFlipHeader) return kClassMeta;
+  if (data[0] != 1 /* FrameType::kData */) return kClassMeta;
+  // A non-first fragment carries no protocol header; it always belongs to a
+  // multi-fragment body, which is never pure control traffic.
+  if (be32(data + 24) != 0) return kClassData;
+
+  const std::uint64_t dst = be64(data + 4);
+  const std::uint16_t family =
+      static_cast<std::uint16_t>(dst >> 48) & 0x7FFF;  // clear the group bit
+  const std::uint8_t* inner = data + kFlipHeader;
+  const std::size_t inner_size = size - kFlipHeader;
+  if (inner_size == 0) return kClassData;
+
+  switch (family) {
+    case 0x00A0:  // kernel RPC service address
+    case 0x00A1:  // kernel RPC client reply address
+      return rpc_control(inner[0]) ? kClassControl : kClassData;
+    case 0x00B0:  // kernel group multicast
+    case 0x00B1:  // kernel group sequencer
+    case 0x00B2:  // kernel group member
+      return group_control(inner[0]) ? kClassControl : kClassData;
+    case 0x00C0: {  // Panda user-space stack (pan_sys header first)
+      // pan_sys header: module u8 @0, pad @1, frag_idx u16 @2, frag_count
+      // u16 @4, pad @6, node u32 @8, msg_id u32 @12 — 16 bytes.
+      if (inner_size < 17) return kClassData;
+      if (be16(inner + 2) != 0) return kClassData;  // non-first user fragment
+      const std::uint8_t module = inner[0];
+      const std::uint8_t type = inner[16];
+      if (module == 1 /* kRpc */) {
+        return rpc_control(type) ? kClassControl : kClassData;
+      }
+      return group_control(type) ? kClassControl : kClassData;
+    }
+    default:
+      return kClassData;
+  }
+}
+
+}  // namespace trace

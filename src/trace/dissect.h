@@ -1,0 +1,26 @@
+// Wire-format dissector for trace enrichment.
+//
+// Classifies a raw Ethernet frame payload (FLIP fragment header + protocol
+// bytes) so the TraceChecker can tell whether losing that frame requires a
+// retransmission. Like a protocol-analyzer dissector this duplicates a little
+// wire-format knowledge from the protocol implementations (flip.cpp, rpc.cpp,
+// group.cpp, pan_sys.cpp, pan_rpc.cpp, pan_group.cpp); the tracer tests pin
+// the two against each other.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trace {
+
+/// Returns a trace::FrameClass value (declared in tracer.h):
+///   kClassMeta    — FLIP LOCATE/HERE-IS, or unparseable;
+///   kClassControl — RPC acks/server-busy, group status traffic: losing one
+///                   is absorbed without any retransmission;
+///   kClassData    — everything else (requests, replies, group bodies,
+///                   sequenced messages, non-first fragments): a loss must be
+///                   followed by recovery activity.
+[[nodiscard]] std::uint64_t dissect_frame_class(const std::uint8_t* data,
+                                                std::size_t size) noexcept;
+
+}  // namespace trace

@@ -1,0 +1,48 @@
+#include "trace/tracer.h"
+
+#include <algorithm>
+
+#include "trace/dissect.h"
+
+namespace trace {
+
+std::string_view kind_name(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kRpcSend: return "rpc_send";
+    case EventKind::kRpcExec: return "rpc_exec";
+    case EventKind::kRpcReply: return "rpc_reply";
+    case EventKind::kRpcDone: return "rpc_done";
+    case EventKind::kAck: return "ack";
+    case EventKind::kGroupSend: return "group_send";
+    case EventKind::kSeqnoAssign: return "seqno_assign";
+    case EventKind::kGroupDeliver: return "deliver";
+    case EventKind::kFlipSend: return "flip_send";
+    case EventKind::kFragment: return "fragment";
+    case EventKind::kFlipDeliver: return "flip_deliver";
+    case EventKind::kWireTx: return "wire_tx";
+    case EventKind::kFrameDrop: return "frame_drop";
+    case EventKind::kInterrupt: return "interrupt";
+    case EventKind::kRetransmit: return "retransmit";
+    case EventKind::kUpcall: return "upcall";
+    case EventKind::kCharge: return "charge";
+    case EventKind::kKindCount: break;
+  }
+  return "?";
+}
+
+Tracer::Tracer(sim::Simulator& s)
+    : sim_(&s), classify_(&dissect_frame_class) {
+  sim_->set_tracer(this);
+}
+
+Tracer::~Tracer() {
+  if (sim_->tracer() == this) sim_->set_tracer(nullptr);
+}
+
+std::size_t Tracer::count(EventKind k) const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(events_.begin(), events_.end(),
+                    [k](const Event& e) { return e.kind == k; }));
+}
+
+}  // namespace trace

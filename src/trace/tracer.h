@@ -1,0 +1,144 @@
+// Per-message protocol event tracing.
+//
+// The Ledger (sim/ledger.h) answers "where did the time go in aggregate"; the
+// Tracer answers "what happened to *this* message, in order, on which node".
+// Every lifecycle site in the protocol stacks — rpc_send, fragment, wire_tx,
+// frame_drop, interrupt, upcall, deliver, retransmit, seqno_assign, ack —
+// records a timestamped, node-tagged event when a Tracer is attached to the
+// Simulator. When no Tracer is attached the instrumentation is a single null
+// pointer check, and recording never schedules events, draws random numbers,
+// or charges simulated time, so traced and untraced runs are time-identical.
+//
+// A finished trace feeds two consumers: the Chrome trace-event exporter
+// (chrome_export.h) for timeline visualisation, and the TraceChecker
+// (checker.h) which replays the trace and proves protocol invariants.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace trace {
+
+/// Node tag for events that happen on the wire rather than at a station.
+inline constexpr std::uint32_t kNoNode = 0xFFFF'FFFF;
+
+enum class EventKind : std::uint8_t {
+  // RPC lifecycle. `a` is the transaction key (client_node << 32 | trans_id).
+  kRpcSend = 0,   // client issues a call       b=server, c=request bytes
+  kRpcExec,       // server accepts a *fresh* request (the exactly-once point)
+  kRpcReply,      // server sends the reply
+  kRpcDone,       // client call returns        b=0 ok, 1 timeout/failure
+  kAck,           // ack transmitted            b=1 explicit, 2 piggybacked
+
+  // Group (totally ordered broadcast) lifecycle.
+  kGroupSend,     // member starts a send       a=message uid, c=bytes
+  kSeqnoAssign,   // sequencer assigns order    a=seqno, b=sender, c=uid, d=group
+  kGroupDeliver,  // in-order commit at member  a=seqno, b=sender, c=bytes, d=group
+
+  // FLIP / network layer.
+  kFlipSend,      // message enters FLIP        a=dst addr, b=msg_id, c=bytes, d=1 local
+  kFragment,      // one fragment produced      a=frame id (0: user-level), b=msg_id,
+                  //                            c=src addr (0: user-level), d=chunk bytes
+  kFlipDeliver,   // reassembled delivery       a=src addr, b=msg_id, c=bytes, d=1 local
+  kWireTx,        // frame occupies the medium  a=frame id, b=bytes, c=src<<32|dst
+  kFrameDrop,     // frame lost                 a=frame id, b=bytes, c=src<<32|dst,
+                  //                            d=(FrameClass<<1)|site (0 wire, 1 nic)
+  kInterrupt,     // NIC accepted a frame       a=frame id, b=bytes, c=src<<32|dst
+
+  // Cross-cutting.
+  kRetransmit,    // recovery action            a=key/uid/seqno, b=RetransmitReason
+  kUpcall,        // handler invocation         a=key/seqno, b=1 rpc, 2 group
+  kCharge,        // ledger charge              a=Mechanism index, b=cost ns, c=count
+
+  kKindCount
+};
+
+[[nodiscard]] std::string_view kind_name(EventKind k) noexcept;
+
+/// Why a retransmission (or retransmission request) happened.
+enum RetransmitReason : std::uint64_t {
+  kReasonClientRetry = 1,   // RPC client timer expired
+  kReasonCachedReply = 2,   // server re-sent a cached reply for a dup request
+  kReasonLocateRetry = 3,   // FLIP locate broadcast repeated
+  kReasonGroupSendRetry = 4,  // member re-sent an unsequenced message
+  kReasonSequencerResend = 5,  // sequencer re-emitted an already-ordered message
+  kReasonGapRequest = 6,    // member asked for a missing seqno
+  kReasonLagWatchdog = 7,   // sequencer pushed history at a lagging member
+};
+
+/// Wire-frame classification, used by the checker's loss-recovery invariant.
+/// Produced by the payload classifier at frame-drop time.
+enum FrameClass : std::uint64_t {
+  kClassUnknown = 0,  // no classifier installed / unparseable
+  kClassControl = 1,  // ack/status traffic: losing it needs no retransmission
+  kClassData = 2,     // request/reply/group body: recovery must follow a loss
+  kClassMeta = 3,     // FLIP locate/here-is
+};
+
+/// One traced event. Plain data; `operator==` lets the determinism test
+/// compare whole traces.
+struct Event {
+  sim::Time t = 0;
+  std::uint32_t node = kNoNode;
+  EventKind kind = EventKind::kKindCount;
+  std::uint64_t a = 0;
+  std::uint64_t b = 0;
+  std::uint64_t c = 0;
+  std::uint64_t d = 0;
+
+  [[nodiscard]] bool operator==(const Event&) const = default;
+};
+
+class Tracer {
+ public:
+  /// Classifies a raw frame payload into a FrameClass (see dissect.h for the
+  /// default implementation).
+  using Classifier = std::function<std::uint64_t(const std::uint8_t* data,
+                                                 std::size_t size)>;
+
+  /// Attaches to the simulator (sets its tracer pointer); detaches on
+  /// destruction. The simulator must outlive the tracer.
+  explicit Tracer(sim::Simulator& s);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Record one event at the current simulated time. No simulation side
+  /// effects whatsoever.
+  void record(std::uint32_t node, EventKind kind, std::uint64_t a = 0,
+              std::uint64_t b = 0, std::uint64_t c = 0, std::uint64_t d = 0) {
+    events_.push_back(Event{sim_->now(), node, kind, a, b, c, d});
+  }
+
+  [[nodiscard]] const std::vector<Event>& events() const noexcept {
+    return events_;
+  }
+
+  /// Number of events of one kind.
+  [[nodiscard]] std::size_t count(EventKind k) const noexcept;
+
+  void clear() { events_.clear(); }
+
+  /// Replace the payload classifier (defaults to trace::dissect_frame_class).
+  /// Pass nullptr to disable classification (drops become kClassUnknown).
+  void set_classifier(Classifier c) { classify_ = std::move(c); }
+
+  [[nodiscard]] std::uint64_t classify(const std::uint8_t* data,
+                                       std::size_t size) const {
+    return classify_ ? classify_(data, size)
+                     : static_cast<std::uint64_t>(kClassUnknown);
+  }
+
+ private:
+  sim::Simulator* sim_;
+  std::vector<Event> events_;
+  Classifier classify_;
+};
+
+}  // namespace trace

@@ -1,0 +1,161 @@
+#include "net/nic.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/frame.h"
+#include "net/segment.h"
+#include "sim/simulator.h"
+#include "trace/tracer.h"
+
+namespace net {
+namespace {
+
+Frame make_frame(MacAddr dst, std::size_t bytes, std::uint64_t id = 0) {
+  Frame f;
+  f.dst = dst;
+  f.payload = Payload::zeros(bytes);
+  f.id = id;
+  return f;
+}
+
+class NicFixture : public ::testing::Test {
+ protected:
+  sim::Simulator s;
+  WireParams wp;
+};
+
+TEST_F(NicFixture, SendStampsSourceAndCountsTx) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  Frame seen;
+  b.set_rx_handler([&](const Frame& f) { seen = f; });
+  a.send(make_frame(2, 100));
+  s.run();
+  EXPECT_EQ(seen.src, 1u);
+  EXPECT_EQ(a.tx_frames(), 1u);
+  EXPECT_EQ(b.rx_frames(), 1u);
+}
+
+TEST_F(NicFixture, HardwareFilterTakesNoInterruptForOthers) {
+  Segment seg(s, wp);
+  trace::Tracer tr(s);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  Nic c(3, seg);
+  b.set_rx_handler([](const Frame&) {});
+  c.set_rx_handler([](const Frame&) {});
+  a.send(make_frame(2, 100));
+  s.run();
+  // Only the addressee interrupted; the bystander's counters are untouched.
+  EXPECT_EQ(b.rx_frames(), 1u);
+  EXPECT_EQ(c.rx_frames(), 0u);
+  EXPECT_EQ(tr.count(trace::EventKind::kInterrupt), 1u);
+  EXPECT_EQ(tr.events().back().node, 1u);  // node = mac - 1
+}
+
+TEST_F(NicFixture, MulticastMembershipGatesTheInterrupt) {
+  Segment seg(s, wp);
+  trace::Tracer tr(s);
+  Nic a(1, seg);
+  Nic m(2, seg);
+  const MacAddr group = multicast_group(7);
+  m.set_rx_handler([](const Frame&) {});
+  a.send(make_frame(group, 64));
+  s.run();
+  EXPECT_EQ(tr.count(trace::EventKind::kInterrupt), 0u);
+  m.join_multicast(group);
+  EXPECT_TRUE(m.member_of(group));
+  a.send(make_frame(group, 64));
+  s.run();
+  EXPECT_EQ(tr.count(trace::EventKind::kInterrupt), 1u);
+  m.leave_multicast(group);
+  a.send(make_frame(group, 64));
+  s.run();
+  EXPECT_EQ(tr.count(trace::EventKind::kInterrupt), 1u);
+}
+
+TEST_F(NicFixture, InterruptEventCarriesFrameIdentity) {
+  Segment seg(s, wp);
+  trace::Tracer tr(s);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  b.set_rx_handler([](const Frame&) {});
+  a.send(make_frame(2, 300, /*id=*/0x42));
+  s.run();
+  ASSERT_EQ(tr.count(trace::EventKind::kInterrupt), 1u);
+  const trace::Event& e = tr.events().back();
+  EXPECT_EQ(e.a, 0x42u);
+  EXPECT_EQ(e.b, 300u);
+  EXPECT_EQ(e.c, (std::uint64_t{1} << 32) | 2u);
+}
+
+TEST_F(NicFixture, ReceiverDropTracesFrameDropAtTheNic) {
+  Segment seg(s, wp);
+  trace::Tracer tr(s);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  int got = 0;
+  b.set_rx_handler([&](const Frame&) { ++got; });
+  b.set_rx_drop_hook([](const Frame&) { return true; });
+  a.send(make_frame(2, 100, /*id=*/5));
+  s.run();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(b.rx_dropped(), 1u);
+  EXPECT_EQ(b.rx_frames(), 0u);
+  ASSERT_EQ(tr.count(trace::EventKind::kFrameDrop), 1u);
+  const trace::Event& e = tr.events().back();
+  EXPECT_EQ(e.node, 1u);       // the receiver's node, not the wire
+  EXPECT_EQ(e.d & 1, 1u);      // drop site = nic
+}
+
+TEST_F(NicFixture, WireDropTracesFrameDropOnTheWire) {
+  Segment seg(s, wp);
+  trace::Tracer tr(s);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  b.set_rx_handler([](const Frame&) {});
+  seg.set_loss_hook([](const Frame&) { return true; });
+  a.send(make_frame(2, 100));
+  s.run();
+  ASSERT_EQ(tr.count(trace::EventKind::kFrameDrop), 1u);
+  const trace::Event& e = tr.events().back();
+  EXPECT_EQ(e.node, trace::kNoNode);
+  EXPECT_EQ(e.d & 1, 0u);      // drop site = wire
+  EXPECT_EQ(tr.count(trace::EventKind::kInterrupt), 0u);
+}
+
+TEST_F(NicFixture, DuplicationHookDeliversTwiceForOneTransmission) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  int got = 0;
+  b.set_rx_handler([&](const Frame&) { ++got; });
+  seg.set_dup_hook([](const Frame&) { return true; });
+  a.send(make_frame(2, 100));
+  s.run();
+  EXPECT_EQ(got, 2);
+  EXPECT_EQ(b.rx_frames(), 2u);
+  EXPECT_EQ(seg.frames_carried(), 1u);  // the medium was occupied once
+}
+
+TEST_F(NicFixture, DelayHookReordersAgainstLaterFrames) {
+  Segment seg(s, wp);
+  Nic a(1, seg);
+  Nic b(2, seg);
+  std::vector<std::uint64_t> order;
+  b.set_rx_handler([&](const Frame& f) { order.push_back(f.id); });
+  // Hold the first frame long enough that the second overtakes it.
+  seg.set_delay_hook([this](const Frame& f) {
+    return f.id == 1 ? 4 * wire_time(wp, 100) : sim::Time{0};
+  });
+  a.send(make_frame(2, 100, /*id=*/1));
+  a.send(make_frame(2, 100, /*id=*/2));
+  s.run();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{2, 1}));
+}
+
+}  // namespace
+}  // namespace net

@@ -1,0 +1,148 @@
+#include "net/switch.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/frame.h"
+#include "net/network.h"
+#include "net/nic.h"
+#include "sim/simulator.h"
+#include "trace/tracer.h"
+
+namespace net {
+namespace {
+
+Frame make_frame(MacAddr dst, std::size_t bytes, std::uint64_t id = 0) {
+  Frame f;
+  f.dst = dst;
+  f.payload = Payload::zeros(bytes);
+  f.id = id;
+  return f;
+}
+
+/// A 17-node pool: nodes 0-7 on segment 0, 8-15 on segment 1, 16 on
+/// segment 2 — enough topology for genuine egress contention.
+struct Pool {
+  sim::Simulator s;
+  Network n{s};
+  Pool() {
+    for (int i = 0; i < 17; ++i) n.add_node();
+  }
+};
+
+TEST(Switch, LocalUnicastStaysOffOtherSegments) {
+  Pool p;
+  int remote_got = 0;
+  p.n.nic(8).set_rx_handler([&](const Frame&) { ++remote_got; });
+  p.n.nic(1).set_rx_handler([](const Frame&) {});
+  p.n.nic(0).send(make_frame(Network::mac_of(1), 100));
+  p.s.run();
+  EXPECT_EQ(p.n.backbone().frames_forwarded(), 0u);
+  EXPECT_EQ(remote_got, 0);
+  // The far segments never carried the frame.
+  EXPECT_EQ(p.n.segment(1).frames_carried(), 0u);
+  EXPECT_EQ(p.n.segment(2).frames_carried(), 0u);
+}
+
+TEST(Switch, ForwardedFrameKeepsIdentityAndPayload) {
+  Pool p;
+  Frame seen;
+  p.n.nic(9).set_rx_handler([&](const Frame& f) { seen = f; });
+  p.n.nic(0).send(make_frame(Network::mac_of(9), 321, /*id=*/0xABCDu));
+  p.s.run();
+  EXPECT_EQ(seen.id, 0xABCDu);
+  EXPECT_EQ(seen.src, Network::mac_of(0));
+  EXPECT_EQ(seen.dst, Network::mac_of(9));
+  EXPECT_EQ(seen.payload.size(), 321u);
+  EXPECT_EQ(p.n.backbone().frames_forwarded(), 1u);
+}
+
+TEST(Switch, BroadcastFloodsEveryOtherSegmentButNotIngress) {
+  Pool p;
+  p.n.nic(0).send(make_frame(kBroadcast, 64));
+  p.s.run();
+  // One forwarded copy per non-ingress segment.
+  EXPECT_EQ(p.n.backbone().frames_forwarded(), 2u);
+  EXPECT_EQ(p.n.segment(0).frames_carried(), 1u);  // the original only
+  EXPECT_EQ(p.n.segment(1).frames_carried(), 1u);
+  EXPECT_EQ(p.n.segment(2).frames_carried(), 1u);
+}
+
+TEST(Switch, EgressContentionSerializesFifo) {
+  Pool p;
+  // Two senders on *different* ingress segments target the lone node on
+  // segment 2: their ingress transmissions overlap in time, so the forwarded
+  // frames contend for the same egress medium.
+  std::vector<std::uint64_t> order;
+  std::vector<sim::Time> arrivals;
+  p.n.nic(16).set_rx_handler([&](const Frame& f) {
+    order.push_back(f.id);
+    arrivals.push_back(p.s.now());
+  });
+  const std::size_t bytes = 500;
+  p.n.nic(0).send(make_frame(Network::mac_of(16), bytes, /*id=*/1));
+  p.n.nic(8).send(make_frame(Network::mac_of(16), bytes, /*id=*/2));
+  p.s.run();
+  ASSERT_EQ(order.size(), 2u);
+  // The egress segment transmits one frame at a time: the second arrival is
+  // exactly one wire time after the first (it queued behind it).
+  const WireParams wp = p.n.config().wire;
+  EXPECT_EQ(arrivals[1], arrivals[0] + wire_time(wp, bytes));
+}
+
+TEST(Switch, EgressContentionOrderIsDeterministic) {
+  std::vector<std::uint64_t> first_order;
+  for (int run = 0; run < 2; ++run) {
+    Pool p;
+    std::vector<std::uint64_t> order;
+    p.n.nic(16).set_rx_handler([&](const Frame& f) { order.push_back(f.id); });
+    p.n.nic(0).send(make_frame(Network::mac_of(16), 500, /*id=*/1));
+    p.n.nic(8).send(make_frame(Network::mac_of(16), 500, /*id=*/2));
+    p.s.run();
+    ASSERT_EQ(order.size(), 2u);
+    if (run == 0) {
+      first_order = order;
+    } else {
+      EXPECT_EQ(order, first_order);
+    }
+  }
+}
+
+TEST(Switch, ShorterFrameWinsTheEgressRace) {
+  Pool p;
+  std::vector<std::uint64_t> order;
+  p.n.nic(16).set_rx_handler([&](const Frame& f) { order.push_back(f.id); });
+  // The 100-byte frame clears its ingress segment well before the 1400-byte
+  // one, so it must reach the egress first regardless of tie-breaks.
+  p.n.nic(8).send(make_frame(Network::mac_of(16), 1400, /*id=*/2));
+  p.n.nic(0).send(make_frame(Network::mac_of(16), 100, /*id=*/1));
+  p.s.run();
+  EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2}));
+}
+
+TEST(Switch, ForwardedFrameTracesWireTxOnBothSegments) {
+  Pool p;
+  trace::Tracer tr(p.s);
+  p.n.nic(9).set_rx_handler([](const Frame&) {});
+  p.n.nic(0).send(make_frame(Network::mac_of(9), 200, /*id=*/77));
+  p.s.run();
+  int wire_txs = 0;
+  for (const trace::Event& e : tr.events()) {
+    if (e.kind == trace::EventKind::kWireTx && e.a == 77) ++wire_txs;
+  }
+  // Once on the ingress segment, once on the egress segment.
+  EXPECT_EQ(wire_txs, 2);
+  // The receiver took exactly one interrupt for it.
+  int interrupts = 0;
+  for (const trace::Event& e : tr.events()) {
+    if (e.kind == trace::EventKind::kInterrupt && e.a == 77) {
+      ++interrupts;
+      EXPECT_EQ(e.node, 9u);
+    }
+  }
+  EXPECT_EQ(interrupts, 1);
+}
+
+}  // namespace
+}  // namespace net

@@ -1,0 +1,109 @@
+// Shared traced fault-injection workload for the trace tests: a 4-node pool
+// running a mixed RPC + totally-ordered-group load while the Ethernet
+// misbehaves (loss, duplication, or reordering), with every protocol event
+// recorded by an attached Tracer.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/testbed.h"
+
+namespace trace_test {
+
+enum class Fault {
+  kNone,
+  kLoss,         // 10% of frames dropped on the wire
+  kDuplication,  // 15% of frames delivered twice
+  kReorder,      // uniform 0-400 us extra delivery latency per frame
+};
+
+struct WorkloadResult {
+  // The testbed owns the tracer; keep it alive while the trace is inspected.
+  std::unique_ptr<core::Testbed> bed;
+  int rpc_ok = 0;
+  int rpc_total = 0;
+  int group_sends = 0;
+  std::vector<std::vector<std::uint32_t>> orders;  // delivered seqnos per node
+  sim::Ledger ledger;
+};
+
+/// Every node calls its neighbour four times; nodes 0 and 2 each broadcast
+/// three group messages. All randomness (fault draws included) comes from the
+/// seeded simulator Rng, so a (binding, seed, fault) triple fully determines
+/// the run.
+inline WorkloadResult run_fault_workload(core::Binding binding,
+                                         std::uint64_t seed, Fault fault) {
+  constexpr std::size_t kNodes = 4;
+  core::TestbedConfig cfg;
+  cfg.binding = binding;
+  cfg.nodes = kNodes;
+  cfg.sequencer = 0;
+  cfg.seed = seed;
+  cfg.trace = true;
+  auto bed = std::make_unique<core::Testbed>(cfg);
+  core::Testbed* bp = bed.get();
+
+  net::Segment& wire = bp->world().network().segment(0);
+  sim::Rng& rng = bp->sim().rng();
+  switch (fault) {
+    case Fault::kNone:
+      break;
+    case Fault::kLoss:
+      wire.set_loss_hook(
+          [&rng](const net::Frame&) { return rng.bernoulli(0.10); });
+      break;
+    case Fault::kDuplication:
+      wire.set_dup_hook(
+          [&rng](const net::Frame&) { return rng.bernoulli(0.15); });
+      break;
+    case Fault::kReorder:
+      wire.set_delay_hook([&rng](const net::Frame&) {
+        return static_cast<sim::Time>(rng.uniform(0, sim::usec(400)));
+      });
+      break;
+  }
+
+  WorkloadResult r;
+  r.orders.resize(kNodes);
+  for (core::NodeId n = 0; n < kNodes; ++n) {
+    bp->panda(n).set_rpc_handler(
+        [bp, n](amoeba::Thread& upcall, panda::RpcTicket t,
+                net::Payload req) -> sim::Co<void> {
+          co_await bp->panda(n).rpc_reply(upcall, t, std::move(req));
+        });
+    bp->panda(n).set_group_handler(
+        [&r, n](amoeba::Thread&, core::NodeId, std::uint32_t seqno,
+                net::Payload) -> sim::Co<void> {
+          r.orders[n].push_back(seqno);
+          co_return;
+        });
+  }
+  bp->start();
+
+  for (core::NodeId n = 0; n < kNodes; ++n) {
+    amoeba::Thread& driver =
+        bp->world().kernel(n).create_thread("driver");
+    sim::spawn([](core::Testbed& b, amoeba::Thread& self, core::NodeId src,
+                  WorkloadResult& out) -> sim::Co<void> {
+      const core::NodeId dst = (src + 1) % kNodes;
+      for (int i = 0; i < 4; ++i) {
+        ++out.rpc_total;
+        panda::RpcReply reply = co_await b.panda(src).rpc(
+            self, dst, net::Payload::zeros(128 * (i + 1)));
+        if (reply.status == panda::RpcStatus::kOk) ++out.rpc_ok;
+        if (src % 2 == 0 && i < 3) {
+          ++out.group_sends;
+          co_await b.panda(src).group_send(self, net::Payload::zeros(256));
+        }
+      }
+    }(*bp, driver, n, r));
+  }
+  bp->sim().run();
+  r.ledger = bp->world().aggregate_ledger();
+  r.bed = std::move(bed);
+  return r;
+}
+
+}  // namespace trace_test

@@ -1,0 +1,224 @@
+#include "trace/tracer.h"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <string>
+
+#include "core/testbed.h"
+#include "trace/checker.h"
+#include "trace/chrome_export.h"
+#include "trace/dissect.h"
+
+namespace trace {
+namespace {
+
+using amoeba::Thread;
+using core::Binding;
+
+/// Runs a small two-node ping-pong workload; returns final simulated time and
+/// the aggregate ledger. When `bed_out` is given the caller keeps the testbed
+/// (and with it the trace) alive.
+struct RunResult {
+  sim::Time end_time = 0;
+  sim::Ledger ledger;
+};
+
+RunResult run_workload(bool traced, std::unique_ptr<core::Testbed>* bed_out) {
+  core::TestbedConfig cfg;
+  cfg.nodes = 2;
+  cfg.trace = traced;
+  auto bed = std::make_unique<core::Testbed>(cfg);
+  core::Testbed* bp = bed.get();
+  bed->panda(1).set_rpc_handler(
+      [bp](Thread& upcall, panda::RpcTicket t, net::Payload p) -> sim::Co<void> {
+        co_await bp->panda(1).rpc_reply(upcall, t, std::move(p));
+      });
+  bed->start();
+  Thread& client = bed->world().kernel(0).create_thread("client");
+  sim::spawn([](core::Testbed& b, Thread& self) -> sim::Co<void> {
+    for (int i = 0; i < 5; ++i) {
+      (void)co_await b.panda(0).rpc(self, 1, net::Payload::zeros(800));
+    }
+  }(*bed, client));
+  bed->sim().run();
+  RunResult r;
+  r.end_time = bed->sim().now();
+  r.ledger = bed->world().aggregate_ledger();
+  if (bed_out != nullptr) *bed_out = std::move(bed);
+  return r;
+}
+
+TEST(Tracer, RecordsTimestampedOrderedEvents) {
+  std::unique_ptr<core::Testbed> bed;
+  run_workload(/*traced=*/true, &bed);
+  const auto& events = bed->tracer()->events();
+  ASSERT_FALSE(events.empty());
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].t, events[i].t) << "trace not time-ordered at " << i;
+  }
+  EXPECT_EQ(bed->tracer()->count(EventKind::kRpcSend), 5u);
+  EXPECT_EQ(bed->tracer()->count(EventKind::kRpcDone), 5u);
+  bed->tracer()->clear();
+  EXPECT_TRUE(bed->tracer()->events().empty());
+}
+
+TEST(Tracer, TracingDoesNotPerturbSimulatedTimeOrLedger) {
+  const RunResult off = run_workload(/*traced=*/false, nullptr);
+  std::unique_ptr<core::Testbed> bed;
+  const RunResult on = run_workload(/*traced=*/true, &bed);
+  EXPECT_EQ(off.end_time, on.end_time);
+  for (std::size_t i = 0; i < static_cast<std::size_t>(sim::Mechanism::kCount);
+       ++i) {
+    const auto m = static_cast<sim::Mechanism>(i);
+    EXPECT_EQ(off.ledger.get(m).count, on.ledger.get(m).count)
+        << sim::mechanism_name(m);
+    EXPECT_EQ(off.ledger.get(m).total, on.ledger.get(m).total)
+        << sim::mechanism_name(m);
+  }
+}
+
+TEST(Tracer, ChargeEventsReconcileWithTheLedger) {
+  std::unique_ptr<core::Testbed> bed;
+  const RunResult r = run_workload(/*traced=*/true, &bed);
+  TraceChecker checker(bed->tracer()->events());
+  EXPECT_TRUE(checker.check_ledger(r.ledger).empty());
+  EXPECT_TRUE(checker.check_all(&r.ledger).empty());
+}
+
+TEST(Tracer, UntracedSimulatorHasNullTracer) {
+  sim::Simulator s;
+  EXPECT_EQ(s.tracer(), nullptr);
+  {
+    Tracer tr(s);
+    EXPECT_EQ(s.tracer(), &tr);
+  }
+  EXPECT_EQ(s.tracer(), nullptr);  // detached on destruction
+}
+
+// --- Chrome export ----------------------------------------------------------
+
+/// Minimal recursive-descent JSON well-formedness check — no third-party
+/// parser in the repo, and the exporter emits a small enough dialect (objects,
+/// arrays, strings without escapes we don't produce, numbers) to verify here.
+class JsonScanner {
+ public:
+  explicit JsonScanner(const std::string& s) : s_(s) {}
+
+  bool valid() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return string();
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number();
+    }
+  }
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (peek() == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (peek() != ':') return false;
+      ++pos_;
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (peek() == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      if (peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+  bool string() {
+    if (peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size() && s_[pos_] != '"') {
+      if (s_[pos_] == '\\') ++pos_;
+      ++pos_;
+    }
+    if (pos_ >= s_.size()) return false;
+    ++pos_;  // closing quote
+    return true;
+  }
+  bool number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) != 0 ||
+            s_[pos_] == '.' || s_[pos_] == 'e' || s_[pos_] == 'E' ||
+            s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+  bool literal(const char* lit) {
+    const std::string l(lit);
+    if (s_.compare(pos_, l.size(), l) != 0) return false;
+    pos_ += l.size();
+    return true;
+  }
+  [[nodiscard]] char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+TEST(ChromeExport, EmitsWellFormedJsonWithExpectedContent) {
+  std::unique_ptr<core::Testbed> bed;
+  run_workload(/*traced=*/true, &bed);
+  const std::string json = chrome_trace_json(bed->tracer()->events());
+  EXPECT_TRUE(JsonScanner(json).valid()) << json.substr(0, 400);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"rpc_send\""), std::string::npos);
+  EXPECT_NE(json.find("\"interrupt\""), std::string::npos);
+  EXPECT_NE(json.find("charge:"), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+}
+
+TEST(ChromeExport, EmptyTraceIsStillValidJson) {
+  const std::string json = chrome_trace_json({});
+  EXPECT_TRUE(JsonScanner(json).valid()) << json;
+}
+
+// --- Frame classifier -------------------------------------------------------
+
+TEST(Dissect, ShortOrNonDataFramesAreMeta) {
+  const std::uint8_t tiny[4] = {0, 0, 0, 0};
+  EXPECT_EQ(dissect_frame_class(tiny, sizeof tiny), kClassMeta);
+}
+
+}  // namespace
+}  // namespace trace
