@@ -8,10 +8,12 @@
 //      park daemons; too few means stalls until the pool grows.
 //   4. Dedicated vs shared sequencer for the group-bound LEQ workload.
 #include <cstdio>
+#include <string>
 
 #include "amoeba/group.h"
 #include "amoeba/world.h"
 #include "apps/leq.h"
+#include "bench/harness.h"
 #include "core/testbed.h"
 
 namespace {
@@ -90,17 +92,23 @@ HistoryResult group_stream_with_history(std::size_t history) {
 
 }  // namespace
 
-int main() {
-  std::printf("====================================================\n");
-  std::printf("Ablations over protocol design choices\n");
-  std::printf("====================================================\n");
+int main(int argc, char** argv) {
+  bench::Args args;
+  if (!bench::parse_args(argc, argv, bench::kNone, args)) return 2;
+
+  metrics::RunReport report("ablation");
+  report.set_config("seed", std::uint64_t{42});
+
+  bench::print_banner("Ablations over protocol design choices");
 
   std::printf("\n[1] BB threshold vs group latency (user space, 2 KB message)\n");
   std::printf("    %-18s %s\n", "threshold [B]", "latency [ms]");
   for (const std::size_t threshold : {100UL, 700UL, 1400UL, 4000UL, 16000UL}) {
-    std::printf("    %-18zu %.2f%s\n", threshold,
-                sim::to_ms(group_latency_with(threshold, 2048)),
+    const double ms = sim::to_ms(group_latency_with(threshold, 2048));
+    std::printf("    %-18zu %.2f%s\n", threshold, ms,
                 threshold == 1400 ? "   <- default (one fragment)" : "");
+    report.add_metric("bb_threshold." + std::to_string(threshold) + "B.ms", ms,
+                      metrics::Better::kLower, "ms");
   }
   std::printf("    Small thresholds broadcast the body once (BB) — cheaper for\n"
               "    large messages; huge thresholds push everything through the\n"
@@ -113,6 +121,12 @@ int main() {
     const HistoryResult r = group_stream_with_history(capacity);
     std::printf("    %-18zu %-14.1f %llu\n", capacity, sim::to_ms(r.elapsed),
                 static_cast<unsigned long long>(r.status_rounds));
+    const std::string prefix = "history." + std::to_string(capacity);
+    report.add_metric(prefix + ".ms", sim::to_ms(r.elapsed),
+                      metrics::Better::kLower, "ms");
+    report.add_metric(prefix + ".status_rounds",
+                      static_cast<double>(r.status_rounds),
+                      metrics::Better::kInfo);
   }
   std::printf("    Tiny histories force frequent flow-control rounds; the\n"
               "    protocol stays correct (\"mechanisms to prevent overflow of\n"
@@ -130,6 +144,14 @@ int main() {
     std::printf("    P=%-3zu shared %.0f s, dedicated %.0f s "
                 "(paper at 16: 112 vs 94)\n",
                 p, ts, td);
+    report.add_metric("leq.shared.p" + std::to_string(p) + ".sec", ts,
+                      metrics::Better::kLower, "sec");
+    report.add_metric("leq.dedicated.p" + std::to_string(p) + ".sec", td,
+                      metrics::Better::kLower, "sec");
+  }
+
+  if (!args.json_path.empty() && !bench::write_report(report, args.json_path)) {
+    return 1;
   }
   return 0;
 }

@@ -6,12 +6,14 @@
 // and crossings come from kernel-only threads; +20 us fragmentation;
 // -24 us smaller headers. A dedicated sequencer machine keeps the
 // sequencer's context loaded, cutting the thread switch to ~60 us.
+//
+// With --json=FILE the report additionally carries the protocol counters
+// and the group send-latency histograms of both runs.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
+#include "bench/harness.h"
 #include "core/testbed.h"
-#include "trace/chrome_export.h"
 
 namespace {
 
@@ -21,6 +23,7 @@ using core::Binding;
 struct GroupRun {
   sim::Time latency = 0;
   sim::Ledger ledger;
+  metrics::MetricsRegistry registry;  // aggregated across nodes
 };
 
 GroupRun run_null_sends(Binding binding, int count) {
@@ -28,6 +31,7 @@ GroupRun run_null_sends(Binding binding, int count) {
   cfg.binding = binding;
   cfg.nodes = 2;
   cfg.sequencer = 1;
+  cfg.metrics = true;
   core::Testbed bed(cfg);
   for (core::NodeId n = 0; n < 2; ++n) {
     bed.panda(n).set_group_handler(
@@ -51,8 +55,10 @@ GroupRun run_null_sends(Binding binding, int count) {
     total = b.sim().now() - t0;
   }(bed, sender, count, before, elapsed));
   bed.sim().run();
+  bed.world().snapshot_net_metrics();
   result.latency = elapsed / count;
   result.ledger = bed.world().aggregate_ledger().diff(before);
+  result.registry = bed.metrics()->aggregate();
   return result;
 }
 
@@ -114,50 +120,39 @@ int run_traced(const std::string& path) {
     }(bed, sender, n));
   }
   bed.sim().run();
-  if (!trace::write_chrome_trace_file(bed.tracer()->events(), path)) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return 1;
-  }
-  std::printf("wrote %zu trace events to %s (chrome://tracing)\n",
-              bed.tracer()->events().size(), path.c_str());
-  return 0;
+  return bench::write_trace(bed.tracer()->events(), path) ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      return run_traced(argv[i] + 8);
-    }
-  }
+  bench::Args args;
+  if (!bench::parse_args(argc, argv, bench::kTrace, args)) return 2;
+  if (!args.trace_path.empty()) return run_traced(args.trace_path);
+
   constexpr int kRounds = 50;
   const GroupRun user = run_null_sends(Binding::kUserSpace, kRounds);
   const GroupRun kernel = run_null_sends(Binding::kKernelSpace, kRounds);
 
-  std::printf("==============================================================\n");
-  std::printf("§4.3 breakdown — user-space vs kernel-space null group send\n");
-  std::printf("==============================================================\n\n");
-  std::printf("latency: user %.2f ms, kernel %.2f ms, gap %.0f us "
+  bench::print_banner(
+      "§4.3 breakdown — user-space vs kernel-space null group send");
+  std::printf("\nlatency: user %.2f ms, kernel %.2f ms, gap %.0f us "
               "(paper: 1.67 vs 1.44, gap ~230 us)\n\n",
               sim::to_ms(user.latency), sim::to_ms(kernel.latency),
               sim::to_us(user.latency - kernel.latency));
 
-  std::printf("%-22s | %-18s | %-18s | %s\n", "mechanism (per send)",
-              "user count/us", "kernel count/us", "delta us");
-  for (std::size_t i = 0; i < static_cast<std::size_t>(sim::Mechanism::kCount);
-       ++i) {
-    const auto m = static_cast<sim::Mechanism>(i);
-    const auto& u = user.ledger.get(m);
-    const auto& k = kernel.ledger.get(m);
-    if (u.count == 0 && k.count == 0) continue;
-    const double du = sim::to_us(u.total) / kRounds;
-    const double dk = sim::to_us(k.total) / kRounds;
-    std::printf("%-22s | %5.1f x %7.1f | %5.1f x %7.1f | %+8.1f\n",
-                std::string(sim::mechanism_name(m)).c_str(),
-                static_cast<double>(u.count) / kRounds, du,
-                static_cast<double>(k.count) / kRounds, dk, du - dk);
-  }
+  metrics::RunReport report("breakdown_group");
+  report.set_config("rounds", std::int64_t{kRounds});
+  report.set_config("nodes", std::int64_t{2});
+  report.set_config("seed", std::uint64_t{42});
+  report.add_metric("group_user.latency_ms", sim::to_ms(user.latency),
+                    metrics::Better::kLower, "ms");
+  report.add_metric("group_kernel.latency_ms", sim::to_ms(kernel.latency),
+                    metrics::Better::kLower, "ms");
+  bench::print_ledger_delta("mechanism (per send)", user.ledger, kernel.ledger,
+                            kRounds, &report);
+  report.add_registry(user.registry, "user.");
+  report.add_registry(kernel.registry, "kernel.");
 
   const sim::Time loaded = sequencer_switch_cost(/*dedicated=*/true);
   const sim::Time unloaded = sequencer_switch_cost(/*dedicated=*/false);
@@ -166,5 +161,20 @@ int main(int argc, char** argv) {
               sim::to_us(unloaded));
   std::printf("  dedicated sequencer machine: %.0f us/dispatch (paper ~60)\n",
               sim::to_us(loaded));
+  report.add_metric("sequencer_dispatch.shared_us", sim::to_us(unloaded),
+                    metrics::Better::kLower, "us");
+  report.add_metric("sequencer_dispatch.dedicated_us", sim::to_us(loaded),
+                    metrics::Better::kLower, "us");
+
+  // The same accounting, as share-of-total tables.
+  std::printf("\n");
+  user.ledger.print_breakdown(stdout, "user-space ledger (per send)", kRounds);
+  std::printf("\n");
+  kernel.ledger.print_breakdown(stdout, "kernel-space ledger (per send)",
+                                kRounds);
+
+  if (!args.json_path.empty() && !bench::write_report(report, args.json_path)) {
+    return 1;
+  }
   return 0;
 }

@@ -10,23 +10,30 @@
 //   untuned user FLIP interface ... ~54 us
 //
 // We run null RPCs on both bindings and print the per-mechanism ledger
-// difference, normalised per RPC.
+// difference, normalised per RPC. With --json=FILE the report additionally
+// carries the protocol counters and the RPC latency histograms of both runs.
 #include <cstdio>
-#include <cstring>
 #include <string>
 
+#include "bench/harness.h"
 #include "core/testbed.h"
-#include "trace/chrome_export.h"
 
 namespace {
 
 using amoeba::Thread;
 using core::Binding;
 
-sim::Ledger run_null_rpcs(Binding binding, int count, sim::Time* latency) {
+struct RpcRun {
+  sim::Time latency = 0;
+  sim::Ledger ledger;
+  metrics::MetricsRegistry registry;  // aggregated across nodes
+};
+
+RpcRun run_null_rpcs(Binding binding, int count) {
   core::TestbedConfig cfg;
   cfg.binding = binding;
   cfg.nodes = 2;
+  cfg.metrics = true;
   core::Testbed bed(cfg);
   bed.panda(1).set_rpc_handler(
       [&bed](Thread& upcall, panda::RpcTicket t, net::Payload) -> sim::Co<void> {
@@ -47,8 +54,12 @@ sim::Ledger run_null_rpcs(Binding binding, int count, sim::Time* latency) {
     total = b.sim().now() - t0;
   }(bed, client, count, before, elapsed));
   bed.sim().run();
-  if (latency != nullptr) *latency = elapsed / count;
-  return bed.world().aggregate_ledger().diff(before);
+  bed.world().snapshot_net_metrics();
+  RpcRun run;
+  run.latency = elapsed / count;
+  run.ledger = bed.world().aggregate_ledger().diff(before);
+  run.registry = bed.metrics()->aggregate();
+  return run;
 }
 
 /// --trace=FILE: run a traced 4-node RPC workload (each node calls its
@@ -80,60 +91,53 @@ int run_traced(const std::string& path) {
     }(bed, client, n));
   }
   bed.sim().run();
-  if (!trace::write_chrome_trace_file(bed.tracer()->events(), path)) {
-    std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return 1;
-  }
-  std::printf("wrote %zu trace events to %s (chrome://tracing)\n",
-              bed.tracer()->events().size(), path.c_str());
-  return 0;
+  return bench::write_trace(bed.tracer()->events(), path) ? 0 : 1;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--trace=", 8) == 0) {
-      return run_traced(argv[i] + 8);
-    }
-  }
+  bench::Args args;
+  if (!bench::parse_args(argc, argv, bench::kTrace, args)) return 2;
+  if (!args.trace_path.empty()) return run_traced(args.trace_path);
+
   constexpr int kRounds = 50;
-  sim::Time user_lat = 0;
-  sim::Time kernel_lat = 0;
-  const sim::Ledger user = run_null_rpcs(Binding::kUserSpace, kRounds, &user_lat);
-  const sim::Ledger kernel =
-      run_null_rpcs(Binding::kKernelSpace, kRounds, &kernel_lat);
+  const RpcRun user = run_null_rpcs(Binding::kUserSpace, kRounds);
+  const RpcRun kernel = run_null_rpcs(Binding::kKernelSpace, kRounds);
 
-  std::printf("==============================================================\n");
-  std::printf("§4.2 breakdown — user-space vs kernel-space null RPC\n");
-  std::printf("==============================================================\n\n");
-  std::printf("latency: user %.2f ms, kernel %.2f ms, gap %.0f us "
+  bench::print_banner("§4.2 breakdown — user-space vs kernel-space null RPC");
+  std::printf("\nlatency: user %.2f ms, kernel %.2f ms, gap %.0f us "
               "(paper: 1.56 vs 1.27, gap ~300 us)\n\n",
-              sim::to_ms(user_lat), sim::to_ms(kernel_lat),
-              sim::to_us(user_lat - kernel_lat));
+              sim::to_ms(user.latency), sim::to_ms(kernel.latency),
+              sim::to_us(user.latency - kernel.latency));
 
-  std::printf("%-22s | %-18s | %-18s | %s\n", "mechanism (per RPC)",
-              "user count/us", "kernel count/us", "delta us");
-  double total_delta = 0.0;
-  for (std::size_t i = 0; i < static_cast<std::size_t>(sim::Mechanism::kCount);
-       ++i) {
-    const auto m = static_cast<sim::Mechanism>(i);
-    const auto& u = user.get(m);
-    const auto& k = kernel.get(m);
-    if (u.count == 0 && k.count == 0) continue;
-    const double du = sim::to_us(u.total) / kRounds;
-    const double dk = sim::to_us(k.total) / kRounds;
-    total_delta += du - dk;
-    std::printf("%-22s | %5.1f x %7.1f | %5.1f x %7.1f | %+8.1f\n",
-                std::string(sim::mechanism_name(m)).c_str(),
-                static_cast<double>(u.count) / kRounds, du,
-                static_cast<double>(k.count) / kRounds, dk, du - dk);
-  }
-  std::printf("%-22s | %18s | %18s | %+8.1f\n", "total CPU-time delta", "", "",
-              total_delta);
+  metrics::RunReport report("breakdown_rpc");
+  report.set_config("rounds", std::int64_t{kRounds});
+  report.set_config("nodes", std::int64_t{2});
+  report.set_config("seed", std::uint64_t{42});
+  report.add_metric("rpc_user.latency_ms", sim::to_ms(user.latency),
+                    metrics::Better::kLower, "ms");
+  report.add_metric("rpc_kernel.latency_ms", sim::to_ms(kernel.latency),
+                    metrics::Better::kLower, "ms");
+  bench::print_ledger_delta("mechanism (per RPC)", user.ledger, kernel.ledger,
+                            kRounds, &report);
+  report.add_registry(user.registry, "user.");
+  report.add_registry(kernel.registry, "kernel.");
+
   std::printf("\nPaper's essential components: 140 us context switches, ~50 us\n"
               "traps+crossings, 40 us fragmentation, 16 us headers, ~54 us\n"
               "untuned FLIP user interface. Wire-time differences (headers)\n"
               "show up in latency, not in the CPU ledger.\n");
+
+  // The same accounting, as share-of-total tables.
+  std::printf("\n");
+  user.ledger.print_breakdown(stdout, "user-space ledger (per RPC)", kRounds);
+  std::printf("\n");
+  kernel.ledger.print_breakdown(stdout, "kernel-space ledger (per RPC)",
+                                kRounds);
+
+  if (!args.json_path.empty() && !bench::write_report(report, args.json_path)) {
+    return 1;
+  }
   return 0;
 }

@@ -1,8 +1,17 @@
 // Microbenchmarks of the discrete-event engine itself (google-benchmark):
 // the simulator must stay fast enough that 32-node application runs finish
 // in seconds of host time.
+//
+// Custom main instead of BENCHMARK_MAIN(): --json=FILE emits a RunReport
+// with each benchmark's real time. Host time is noisy across machines, so
+// these are informational metrics — report_compare never gates on them.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/harness.h"
 #include "sim/co.h"
 #include "sim/cpu.h"
 #include "sim/simulator.h"
@@ -83,6 +92,60 @@ void BM_CondVarPingPong(benchmark::State& state) {
 }
 BENCHMARK(BM_CondVarPingPong);
 
+/// Console output as usual, plus a (name, adjusted real time) record per run
+/// for the RunReport.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Result {
+    std::string name;
+    double real_time = 0.0;       // in the run's time unit (ns by default)
+    double items_per_second = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      Result r;
+      r.name = run.benchmark_name();
+      r.real_time = run.GetAdjustedRealTime();
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) r.items_per_second = it->second;
+      results_.push_back(std::move(r));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  [[nodiscard]] const std::vector<Result>& results() const noexcept {
+    return results_;
+  }
+
+ private:
+  std::vector<Result> results_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  bench::Args args;
+  if (!bench::parse_args(argc, argv, bench::kBenchmark, args)) return 2;
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!args.json_path.empty()) {
+    metrics::RunReport report("sim_engine");
+    for (const auto& r : reporter.results()) {
+      report.add_metric(r.name + ".real_time_ns", r.real_time,
+                        metrics::Better::kInfo, "ns");
+      if (r.items_per_second > 0.0) {
+        report.add_metric(r.name + ".items_per_second", r.items_per_second,
+                          metrics::Better::kInfo, "items/s");
+      }
+    }
+    if (!bench::write_report(report, args.json_path)) return 1;
+  }
+  return 0;
+}

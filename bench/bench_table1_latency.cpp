@@ -7,9 +7,14 @@
 // close and — more importantly — the *shape* must hold: kernel beats user
 // space by ~0.3 ms on RPC and ~0.23 ms on group at every size, latency steps
 // at fragment boundaries, 3 KB and 4 KB nearly tie.
+//
+// --json=FILE emits every measured cell as a lower-is-better metric; the
+// committed BENCH_table1.json baseline is produced from this bench.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/harness.h"
 #include "core/testbed.h"
 
 namespace {
@@ -35,12 +40,22 @@ void print_header(const char* title) {
   std::printf("%-6s | %-17s | %-17s\n", "size", "paper (ms)", "measured (ms)");
 }
 
+std::string cell(const char* what, std::size_t bytes) {
+  return std::string(what) + "." + std::to_string(bytes) + "B.ms";
+}
+
 }  // namespace
 
-int main() {
-  std::printf("==============================================================\n");
-  std::printf("Table 1 — Communication Latencies (paper vs. this simulation)\n");
-  std::printf("==============================================================\n");
+int main(int argc, char** argv) {
+  bench::Args args;
+  if (!bench::parse_args(argc, argv, bench::kNone, args)) return 2;
+
+  metrics::RunReport report("table1_latency");
+  report.set_config("rounds", std::int64_t{10});
+  report.set_config("seed", std::uint64_t{42});
+
+  bench::print_banner(
+      "Table 1 — Communication Latencies (paper vs. this simulation)");
 
   print_header("System layer: unicast / multicast (user space)");
   for (const Row& row : kPaper) {
@@ -49,6 +64,10 @@ int main() {
     std::printf("%4zu K | uni %5.2f mc %5.2f | uni %5.2f mc %5.2f\n",
                 row.bytes / 1024, row.paper_unicast, row.paper_multicast, uni,
                 mc);
+    report.add_metric(cell("sys_unicast", row.bytes), uni,
+                      metrics::Better::kLower, "ms");
+    report.add_metric(cell("sys_multicast", row.bytes), mc,
+                      metrics::Better::kLower, "ms");
   }
 
   print_header("RPC: user space vs kernel space");
@@ -60,6 +79,10 @@ int main() {
     std::printf("%4zu K | user %5.2f krnl %5.2f | user %5.2f krnl %5.2f (gap %+0.2f)\n",
                 row.bytes / 1024, row.paper_rpc_user, row.paper_rpc_kernel, user,
                 kernel, user - kernel);
+    report.add_metric(cell("rpc_user", row.bytes), user,
+                      metrics::Better::kLower, "ms");
+    report.add_metric(cell("rpc_kernel", row.bytes), kernel,
+                      metrics::Better::kLower, "ms");
   }
 
   print_header("Group: user space vs kernel space");
@@ -71,10 +94,18 @@ int main() {
     std::printf("%4zu K | user %5.2f krnl %5.2f | user %5.2f krnl %5.2f (gap %+0.2f)\n",
                 row.bytes / 1024, row.paper_group_user, row.paper_group_kernel,
                 user, kernel, user - kernel);
+    report.add_metric(cell("group_user", row.bytes), user,
+                      metrics::Better::kLower, "ms");
+    report.add_metric(cell("group_kernel", row.bytes), kernel,
+                      metrics::Better::kLower, "ms");
   }
 
   std::printf("\nShape checks: kernel RPC faster than user RPC at every size; "
               "kernel group faster than user group; 3K and 4K rows close "
               "(both three fragments).\n");
+
+  if (!args.json_path.empty() && !bench::write_report(report, args.json_path)) {
+    return 1;
+  }
   return 0;
 }

@@ -8,14 +8,21 @@
 // replies; group throughput has several members sending 8000-byte messages
 // in parallel, which saturates the 10 Mbit/s Ethernet — so both bindings
 // converge to the same number there.
+//
+// --json=FILE emits the four cells as higher-is-better metrics; the
+// committed BENCH_table2.json baseline is produced from this bench.
 #include <cstdio>
 
+#include "bench/harness.h"
 #include "core/testbed.h"
 
-int main() {
-  std::printf("=========================================================\n");
-  std::printf("Table 2 — Communication Throughputs (paper vs. simulation)\n");
-  std::printf("=========================================================\n\n");
+int main(int argc, char** argv) {
+  bench::Args args;
+  if (!bench::parse_args(argc, argv, bench::kNone, args)) return 2;
+
+  bench::print_banner(
+      "Table 2 — Communication Throughputs (paper vs. simulation)");
+  std::printf("\n");
 
   const double rpc_user = core::measure_rpc_throughput_kbs(core::Binding::kUserSpace);
   const double rpc_kernel =
@@ -39,5 +46,20 @@ int main() {
               grp_user / grp_kernel > 0.85 && grp_user / grp_kernel < 1.15
                   ? "yes"
                   : "NO");
+
+  if (!args.json_path.empty()) {
+    metrics::RunReport report("table2_throughput");
+    report.set_config("request_bytes", std::int64_t{8000});
+    report.set_config("seed", std::uint64_t{42});
+    report.add_metric("rpc_user.kbs", rpc_user, metrics::Better::kHigher,
+                      "KB/s");
+    report.add_metric("rpc_kernel.kbs", rpc_kernel, metrics::Better::kHigher,
+                      "KB/s");
+    report.add_metric("group_user.kbs", grp_user, metrics::Better::kHigher,
+                      "KB/s");
+    report.add_metric("group_kernel.kbs", grp_kernel, metrics::Better::kHigher,
+                      "KB/s");
+    if (!bench::write_report(report, args.json_path)) return 1;
+  }
   return 0;
 }

@@ -9,7 +9,9 @@
 // and the saturation/overload effects the paper explains in §5.
 //
 // Usage: bench_table3_applications [--app=tsp|asp|ab|rl|sor|leq] [--quick]
+//                                  [--json=FILE]
 //   --quick runs only {1,8} processors (for CI smoke runs).
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -21,6 +23,7 @@
 #include "apps/rl.h"
 #include "apps/sor.h"
 #include "apps/tsp.h"
+#include "bench/harness.h"
 
 namespace {
 
@@ -41,9 +44,21 @@ void print_paper(const char* app, const std::vector<PaperRow>& rows) {
   }
 }
 
+/// Metric key: "<app>.<impl>.p<procs>.sec" with the impl lowercased and
+/// dash-joined ("User-space-dedicated" -> "user-space-dedicated").
+std::string metric_key(const char* app, const char* impl, std::size_t procs) {
+  std::string key = std::string(app) + ".";
+  for (const char* p = impl; *p != '\0'; ++p) {
+    key += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+  }
+  key += ".p" + std::to_string(procs) + ".sec";
+  return key;
+}
+
 template <typename Runner>
-void measure(const char* impl, const std::vector<std::size_t>& procs,
-             bool dedicated, Runner&& run_one) {
+void measure(const char* app, const char* impl,
+             const std::vector<std::size_t>& procs, bool dedicated,
+             metrics::RunReport& report, Runner&& run_one) {
   std::printf("%-24s |", impl);
   std::fflush(stdout);
   double t1 = 0.0;
@@ -62,6 +77,8 @@ void measure(const char* impl, const std::vector<std::size_t>& procs,
     if (p == 1) t1 = t;
     std::printf(" %8.0f", t);
     std::fflush(stdout);
+    report.add_metric(metric_key(app, impl, p), t, metrics::Better::kLower,
+                      "sec");
   }
   if (t1 > 0.0) std::printf("   (T1=%.0f)", t1);
   std::printf("\n");
@@ -74,26 +91,29 @@ bool want(const std::string& filter, const char* app) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string filter;
-  bool quick = false;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg.rfind("--app=", 0) == 0) filter = arg.substr(6);
-    if (arg == "--quick") quick = true;
+  bench::Args args;
+  if (!bench::parse_args(argc, argv, bench::kApp | bench::kQuick, args)) {
+    return 2;
   }
+  const std::string& filter = args.app;
   const std::vector<std::size_t> procs =
-      quick ? std::vector<std::size_t>{1, 8} : std::vector<std::size_t>{1, 8, 16, 32};
+      args.quick ? std::vector<std::size_t>{1, 8}
+                 : std::vector<std::size_t>{1, 8, 16, 32};
 
-  std::printf("==================================================================\n");
-  std::printf("Table 3 — Orca application execution times (paper vs. simulation)\n");
-  std::printf("==================================================================\n");
+  metrics::RunReport report("table3_applications");
+  report.set_config("quick", args.quick);
+  if (!filter.empty()) report.set_config("app", filter);
+  report.set_config("seed", std::uint64_t{42});
+
+  bench::print_banner(
+      "Table 3 — Orca application execution times (paper vs. simulation)");
 
   if (want(filter, "tsp")) {
     print_paper("Travelling Salesman Problem",
                 {{"Kernel-space", 790, 87, 44, 23}, {"User-space", 783, 92, 46, 24}});
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl : {"Kernel-space", "User-space"}) {
-      measure(impl, procs, false, [](const RunConfig& rc) {
+      measure("tsp", impl, procs, false, report, [](const RunConfig& rc) {
         apps::TspParams p;
         p.run = rc;
         return sim::to_sec(apps::run_tsp(p).elapsed);
@@ -106,7 +126,7 @@ int main(int argc, char** argv) {
                 {{"Kernel-space", 213, 30, 17, 11}, {"User-space", 216, 31, 18, 11}});
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl : {"Kernel-space", "User-space"}) {
-      measure(impl, procs, false, [](const RunConfig& rc) {
+      measure("asp", impl, procs, false, report, [](const RunConfig& rc) {
         apps::AspParams p;
         p.run = rc;
         return sim::to_sec(apps::run_asp(p).elapsed);
@@ -119,7 +139,7 @@ int main(int argc, char** argv) {
                 {{"Kernel-space", 565, 106, 78, 60}, {"User-space", 567, 106, 78, 59}});
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl : {"Kernel-space", "User-space"}) {
-      measure(impl, procs, false, [](const RunConfig& rc) {
+      measure("ab", impl, procs, false, report, [](const RunConfig& rc) {
         apps::AbParams p;
         p.run = rc;
         return sim::to_sec(apps::run_ab(p).elapsed);
@@ -132,7 +152,7 @@ int main(int argc, char** argv) {
                 {{"Kernel-space", 759, 132, 115, 114}, {"User-space", 767, 133, 119, 108}});
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl : {"Kernel-space", "User-space"}) {
-      measure(impl, procs, false, [](const RunConfig& rc) {
+      measure("rl", impl, procs, false, report, [](const RunConfig& rc) {
         apps::RlParams p;
         p.run = rc;
         return sim::to_sec(apps::run_rl(p).elapsed);
@@ -145,7 +165,7 @@ int main(int argc, char** argv) {
                 {{"Kernel-space", 118, 20, 14, 13}, {"User-space", 118, 19, 13, 11}});
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl : {"Kernel-space", "User-space"}) {
-      measure(impl, procs, false, [](const RunConfig& rc) {
+      measure("sor", impl, procs, false, report, [](const RunConfig& rc) {
         apps::SorParams p;
         p.run = rc;
         return sim::to_sec(apps::run_sor(p).elapsed);
@@ -162,7 +182,7 @@ int main(int argc, char** argv) {
     for (const char* impl :
          {"Kernel-space", "User-space", "User-space-dedicated"}) {
       const bool dedicated = std::strstr(impl, "dedicated") != nullptr;
-      measure(impl, procs, dedicated, [](const RunConfig& rc) {
+      measure("leq", impl, procs, dedicated, report, [](const RunConfig& rc) {
         apps::LeqParams p;
         p.run = rc;
         return sim::to_sec(apps::run_leq(p).elapsed);
@@ -175,5 +195,9 @@ int main(int argc, char** argv) {
               "processor counts (guarded-operation continuations); LEQ favours\n"
               "kernel space (sequencer overload) and degrades from 16 to 32\n"
               "processors on every implementation.\n");
+
+  if (!args.json_path.empty() && !bench::write_report(report, args.json_path)) {
+    return 1;
+  }
   return 0;
 }

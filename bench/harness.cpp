@@ -1,0 +1,131 @@
+#include "bench/harness.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "trace/chrome_export.h"
+
+namespace bench {
+
+namespace {
+
+bool take_value(std::string_view arg, std::string_view flag, std::string& out) {
+  if (!arg.starts_with(flag)) return false;
+  out = std::string(arg.substr(flag.size()));
+  return true;
+}
+
+void print_usage(const char* prog, unsigned accepts) {
+  std::fprintf(stderr, "usage: %s [--json=FILE]", prog);
+  if (accepts & kTrace) std::fprintf(stderr, " [--trace=FILE]");
+  if (accepts & kApp) std::fprintf(stderr, " [--app=NAME]");
+  if (accepts & kQuick) std::fprintf(stderr, " [--quick]");
+  if (accepts & kBenchmark) std::fprintf(stderr, " [--benchmark...]");
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace
+
+bool parse_args(int& argc, char** argv, unsigned accepts, Args& out) {
+  int kept = 1;  // argv[0] stays; passthrough flags are compacted behind it
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (take_value(arg, "--json=", out.json_path)) {
+      if (out.json_path.empty()) {
+        std::fprintf(stderr, "%s: --json needs a file name\n", argv[0]);
+        return false;
+      }
+      continue;
+    }
+    if ((accepts & kTrace) && take_value(arg, "--trace=", out.trace_path)) {
+      if (out.trace_path.empty()) {
+        std::fprintf(stderr, "%s: --trace needs a file name\n", argv[0]);
+        return false;
+      }
+      continue;
+    }
+    if ((accepts & kApp) && take_value(arg, "--app=", out.app)) continue;
+    if ((accepts & kQuick) && arg == "--quick") {
+      out.quick = true;
+      continue;
+    }
+    if ((accepts & kBenchmark) && arg.starts_with("--benchmark")) {
+      argv[kept++] = argv[i];
+      continue;
+    }
+    std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
+    print_usage(argv[0], accepts);
+    return false;
+  }
+  argc = kept;
+  argv[argc] = nullptr;
+  return true;
+}
+
+void print_banner(const char* title) {
+  const std::size_t n = std::strlen(title);
+  std::string bar(n, '=');
+  std::printf("%s\n%s\n%s\n", bar.c_str(), title, bar.c_str());
+}
+
+double print_ledger_delta(const char* row_label, const sim::Ledger& user,
+                          const sim::Ledger& kernel, int rounds,
+                          metrics::RunReport* report) {
+  std::printf("%-22s | %-18s | %-18s | %s\n", row_label, "user count/us",
+              "kernel count/us", "delta us");
+  double total_delta = 0.0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(sim::Mechanism::kCount);
+       ++i) {
+    const auto m = static_cast<sim::Mechanism>(i);
+    const auto& u = user.get(m);
+    const auto& k = kernel.get(m);
+    if (u.count == 0 && k.count == 0) continue;
+    const double du = sim::to_us(u.total) / rounds;
+    const double dk = sim::to_us(k.total) / rounds;
+    total_delta += du - dk;
+    std::printf("%-22s | %5.1f x %7.1f | %5.1f x %7.1f | %+8.1f\n",
+                std::string(sim::mechanism_name(m)).c_str(),
+                static_cast<double>(u.count) / rounds, du,
+                static_cast<double>(k.count) / rounds, dk, du - dk);
+    if (report != nullptr) {
+      const std::string name(sim::mechanism_name(m));
+      report->add_metric("user." + name + ".us_per_round", du,
+                         metrics::Better::kLower, "us");
+      report->add_metric("kernel." + name + ".us_per_round", dk,
+                         metrics::Better::kLower, "us");
+    }
+  }
+  if (report != nullptr) {
+    report->add_metric("total_cpu_delta.us_per_round", total_delta,
+                       metrics::Better::kLower, "us");
+    report->add_ledger("user", user);
+    report->add_ledger("kernel", kernel);
+  }
+  return total_delta;
+}
+
+bool write_trace(const std::vector<trace::Event>& events,
+                 const std::string& path) {
+  if (!trace::write_chrome_trace_file(events, path)) {
+    std::fprintf(stderr, "error: cannot write trace to %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  std::printf("wrote %zu trace events to %s (chrome://tracing)\n",
+              events.size(), path.c_str());
+  return true;
+}
+
+bool write_report(const metrics::RunReport& report, const std::string& path) {
+  if (!report.write_file(path)) {
+    std::fprintf(stderr, "error: cannot write report to %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  std::printf("wrote run report to %s\n", path.c_str());
+  return true;
+}
+
+}  // namespace bench

@@ -1,0 +1,67 @@
+// Shared scaffolding for the bench binaries.
+//
+// Every bench keeps its human-readable printf tables and additionally accepts
+// `--json=FILE` to emit a versioned metrics::RunReport for report_compare.
+// The helpers here centralise the bits that used to be copy-pasted per bench:
+// option parsing (with *loud* failure on unknown or malformed flags — the old
+// per-bench strncmp loops silently ignored typos like `--trace foo` and ran
+// the wrong mode), banner/table printing, the §4.2/§4.3 per-mechanism
+// user-vs-kernel delta table, and file writing that reports errors on stderr
+// instead of exiting 0 with nothing written.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+#include "sim/ledger.h"
+#include "trace/tracer.h"
+
+namespace bench {
+
+/// Optional flags a bench opts into (--json=FILE is always accepted).
+enum Accepts : unsigned {
+  kNone = 0,
+  kTrace = 1u << 0,      // --trace=FILE   Chrome trace-event JSON dump
+  kApp = 1u << 1,        // --app=NAME     application filter (table 3)
+  kQuick = 1u << 2,      // --quick        reduced processor sweep
+  kBenchmark = 1u << 3,  // --benchmark*   passed through to google-benchmark
+};
+
+struct Args {
+  std::string json_path;   // empty = no RunReport
+  std::string trace_path;  // empty = no trace run
+  std::string app;
+  bool quick = false;
+};
+
+/// Parse argv into `out`. Unknown or malformed options print an error plus
+/// the accepted flag list to stderr and return false; callers `return 2`.
+/// Consumed flags are removed from argv (argc updated), so what remains —
+/// only ever `--benchmark*` passthrough flags — can go straight to
+/// benchmark::Initialize.
+[[nodiscard]] bool parse_args(int& argc, char** argv, unsigned accepts,
+                              Args& out);
+
+/// `==== title ====` banner box.
+void print_banner(const char* title);
+
+/// The per-mechanism user-vs-kernel ledger delta table shared by the two
+/// breakdown benches (§4.2/§4.3), normalised per round. Returns the total
+/// CPU-time delta in us/round, and when `report` is non-null also records
+/// each mechanism's per-round times plus both full ledgers into it.
+double print_ledger_delta(const char* row_label, const sim::Ledger& user,
+                          const sim::Ledger& kernel, int rounds,
+                          metrics::RunReport* report = nullptr);
+
+/// Write a Chrome trace-event file; on failure prints to stderr and returns
+/// false, on success prints the event count + path to stdout.
+[[nodiscard]] bool write_trace(const std::vector<trace::Event>& events,
+                               const std::string& path);
+
+/// Write a RunReport; on failure prints to stderr and returns false, on
+/// success prints the path to stdout.
+[[nodiscard]] bool write_report(const metrics::RunReport& report,
+                                const std::string& path);
+
+}  // namespace bench

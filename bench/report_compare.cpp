@@ -1,0 +1,120 @@
+// Compare two RunReport JSON files and flag regressions.
+//
+// usage: report_compare [--threshold=PCT] [--show-info] [--warn-only] OLD NEW
+//
+// Every direction-tagged metric present in both reports is compared by
+// relative delta; a wrong-direction move beyond the threshold is a
+// regression. Histogram percentiles are compared as lower-is-better.
+// Exit codes: 0 no regression, 1 regression found (0 with --warn-only),
+// 2 usage or parse error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "metrics/compare.h"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s [--threshold=PCT] [--show-info] [--warn-only] "
+               "OLD.json NEW.json\n",
+               prog);
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = ss.str();
+  return true;
+}
+
+const char* arrow(const metrics::MetricDelta& d) {
+  if (d.regression) return "REGRESSED";
+  if (d.improvement) return "improved";
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  metrics::CompareOptions options;
+  bool warn_only = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--threshold=", 0) == 0) {
+      char* end = nullptr;
+      options.threshold_pct = std::strtod(arg.c_str() + 12, &end);
+      if (end == nullptr || *end != '\0' || options.threshold_pct < 0.0) {
+        std::fprintf(stderr, "%s: bad threshold '%s'\n", argv[0], argv[i]);
+        return 2;
+      }
+    } else if (arg == "--show-info") {
+      options.show_info = true;
+    } else if (arg == "--warn-only") {
+      warn_only = true;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
+      return usage(argv[0]);
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.size() != 2) return usage(argv[0]);
+
+  std::string old_text;
+  std::string new_text;
+  if (!read_file(files[0], old_text)) {
+    std::fprintf(stderr, "%s: cannot read %s\n", argv[0], files[0].c_str());
+    return 2;
+  }
+  if (!read_file(files[1], new_text)) {
+    std::fprintf(stderr, "%s: cannot read %s\n", argv[0], files[1].c_str());
+    return 2;
+  }
+
+  const metrics::CompareResult result =
+      metrics::compare_report_texts(old_text, new_text, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], result.error.c_str());
+    return 2;
+  }
+
+  std::printf("comparing %s -> %s (threshold %.1f%%)\n", files[0].c_str(),
+              files[1].c_str(), options.threshold_pct);
+  std::printf("%-44s | %12s | %12s | %8s | %s\n", "metric", "old", "new",
+              "delta", "");
+  int shown = 0;
+  for (const auto& d : result.deltas) {
+    // Always print regressions/improvements; print stable gated metrics too
+    // so the table is a complete picture, but skip unchanged info metrics
+    // unless --show-info.
+    if (d.better == "info" && !options.show_info && !d.regression) continue;
+    std::printf("%-44s | %12.4g | %12.4g | %+7.2f%% | %s\n", d.name.c_str(),
+                d.old_value, d.new_value, d.delta_pct, arrow(d));
+    ++shown;
+  }
+  if (shown == 0) std::printf("(no comparable tracked metrics)\n");
+  for (const auto& name : result.only_old) {
+    std::printf("only in old: %s\n", name.c_str());
+  }
+  for (const auto& name : result.only_new) {
+    std::printf("only in new: %s\n", name.c_str());
+  }
+
+  if (result.regressed) {
+    std::printf("RESULT: regression beyond %.1f%% threshold%s\n",
+                options.threshold_pct, warn_only ? " (warn-only)" : "");
+    return warn_only ? 0 : 1;
+  }
+  std::printf("RESULT: ok\n");
+  return 0;
+}

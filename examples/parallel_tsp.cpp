@@ -2,12 +2,17 @@
 // replicated branch-and-bound over a 15-city instance (2184 jobs, as in §5),
 // run on 1 and 8 processors on both protocol stacks.
 //
-//   $ ./build/examples/parallel_tsp
+//   $ ./build/examples/parallel_tsp [--json=FILE]
 #include <cstdio>
+#include <string>
 
 #include "apps/tsp.h"
+#include "bench/harness.h"
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Args args;
+  if (!bench::parse_args(argc, argv, bench::kNone, args)) return 2;
+
   std::printf("Parallel branch-and-bound TSP (the paper's §5 workload)\n\n");
 
   apps::TspParams base;  // 15 cities, 2184 depth-4 prefix jobs
@@ -15,6 +20,10 @@ int main() {
               base.cities,
               static_cast<long long>(
                   apps::tsp_reference(base.cities, base.instance_seed)));
+
+  metrics::RunReport report("parallel_tsp");
+  report.set_config("cities", std::int64_t{base.cities});
+  report.set_config("seed", std::uint64_t{base.run.seed});
 
   double t1 = 0.0;
   for (const std::size_t procs : {1UL, 8UL}) {
@@ -26,23 +35,30 @@ int main() {
       const apps::TspResult r = apps::run_tsp(p);
       const double secs = sim::to_sec(r.elapsed);
       if (procs == 1 && binding == panda::Binding::kKernelSpace) t1 = secs;
+      const char* impl = binding == panda::Binding::kKernelSpace
+                             ? "kernel-space"
+                             : "user-space";
       std::printf("P=%-2zu %-12s  %7.1f s   best=%-4lld  jobs=%llu  "
                   "nodes=%llu  bound-updates=%llu%s\n",
-                  procs,
-                  binding == panda::Binding::kKernelSpace ? "kernel-space"
-                                                          : "user-space",
-                  secs, static_cast<long long>(r.best_cost),
+                  procs, impl, secs, static_cast<long long>(r.best_cost),
                   static_cast<unsigned long long>(r.jobs),
                   static_cast<unsigned long long>(r.nodes_expanded),
                   static_cast<unsigned long long>(r.bound_updates),
                   t1 > 0.0 && procs > 1
                       ? (" (speedup " + std::to_string(t1 / secs) + ")").c_str()
                       : "");
+      report.add_metric(
+          "tsp." + std::string(impl) + ".p" + std::to_string(procs) + ".sec",
+          secs, metrics::Better::kLower, "sec");
     }
   }
 
   std::printf("\nThe bound object is replicated (reads are free and local);\n"
               "only job fetches and bound improvements touch the network —\n"
               "which is why the protocol choice barely matters here (§5).\n");
+
+  if (!args.json_path.empty() && !bench::write_report(report, args.json_path)) {
+    return 1;
+  }
   return 0;
 }

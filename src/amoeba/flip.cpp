@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "amoeba/kernel.h"
+#include "metrics/registry.h"
 #include "sim/require.h"
 #include "trace/tracer.h"
 
@@ -86,6 +87,9 @@ sim::Co<void> Flip::unicast(FlipAddr dst, net::Payload message, sim::Prio prio) 
     co_await kernel_->charge(prio, sim::Mechanism::kProtocolProcessing,
                              c.flip_send_per_message);
     ++messages_sent_;
+    if (auto* mx = kernel_->sim().metrics()) {
+      mx->node(kernel_->node()).counter("flip.sends").add();
+    }
     if (auto* tr = kernel_->sim().tracer()) {
       tr->record(kernel_->node(), trace::EventKind::kFlipSend, dst, 0,
                  message.size(), 1);
@@ -120,6 +124,9 @@ sim::Co<void> Flip::send_fragments(net::MacAddr dst_mac, FlipAddr dst, FlipAddr 
   const std::uint32_t msg_id = next_msg_id_++;
   ++messages_sent_;
 
+  if (auto* mx = kernel_->sim().metrics()) {
+    mx->node(kernel_->node()).counter("flip.sends").add();
+  }
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kFlipSend, dst, msg_id,
                message.size());
@@ -146,6 +153,9 @@ sim::Co<void> Flip::send_fragments(net::MacAddr dst_mac, FlipAddr dst, FlipAddr 
                (static_cast<std::uint64_t>(msg_id) << 16) |
                static_cast<std::uint64_t>(offset / std::max<std::size_t>(capacity, 1));
     frame.payload = serialize_fragment(h, message.slice(offset, chunk));
+    if (auto* mx = kernel_->sim().metrics()) {
+      mx->node(kernel_->node()).counter("flip.fragments").add();
+    }
     if (auto* tr = kernel_->sim().tracer()) {
       tr->record(kernel_->node(), trace::EventKind::kFragment, frame.id,
                  msg_id, src, chunk);
@@ -245,6 +255,9 @@ sim::Co<void> Flip::deliver(FlipMessage message) {
   const auto it = table.find(message.dst);
   if (it == table.end()) co_return;
   ++messages_delivered_;
+  if (auto* mx = kernel_->sim().metrics()) {
+    mx->node(kernel_->node()).counter("flip.delivers").add();
+  }
   co_await kernel_->charge(sim::Prio::kInterrupt,
                            sim::Mechanism::kProtocolProcessing,
                            kernel_->costs().flip_deliver_per_message);

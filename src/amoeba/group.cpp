@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "metrics/registry.h"
 #include "sim/require.h"
 #include "trace/tracer.h"
 
@@ -80,6 +81,7 @@ std::uint64_t KernelGroup::sequenced_count(GroupId gid) const {
 sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
   MemberState& ms = state(gid);
   const CostModel& c = kernel_->costs();
+  const sim::Time t0 = kernel_->sim().now();
   co_await kernel_->syscall_enter();
   co_await kernel_->copy_boundary(msg.size());
   co_await kernel_->charge(sim::Prio::kKernel, sim::Mechanism::kProtocolProcessing,
@@ -141,6 +143,12 @@ sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
 
   ms.sends_in_flight.erase(uid);
   co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
+  if (auto* mx = kernel_->sim().metrics()) {
+    auto& reg = mx->node(kernel_->node());
+    reg.counter("group.sends").add();
+    reg.histogram("group.send_latency_ns")
+        .record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
+  }
 }
 
 void KernelGroup::send_retry_tick(GroupId gid, std::uint64_t uid) {
@@ -149,6 +157,9 @@ void KernelGroup::send_retry_tick(GroupId gid, std::uint64_t uid) {
   if (it == ms.sends_in_flight.end() || it->second->done) return;
   PendingSend& pending = *it->second;
   ++pending.sends;
+  if (auto* mx = kernel_->sim().metrics()) {
+    mx->node(kernel_->node()).counter("group.retransmits").add();
+  }
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kRetransmit, uid,
                trace::kReasonGroupSendRetry);
@@ -541,6 +552,9 @@ sim::Co<void> KernelGroup::deliver_in_order(GroupId gid, MemberState& ms) {
         sit->second->timer->cancel();
         unblocked_senders.push_back(sit->second->thread);
       }
+    }
+    if (auto* mx = kernel_->sim().metrics()) {
+      mx->node(kernel_->node()).counter("group.deliveries").add();
     }
     if (auto* tr = kernel_->sim().tracer()) {
       tr->record(kernel_->node(), trace::EventKind::kGroupDeliver, sm.seqno,

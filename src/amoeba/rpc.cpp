@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "metrics/registry.h"
 #include "sim/require.h"
 #include "trace/tracer.h"
 
@@ -55,6 +56,7 @@ sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
                                     net::Payload request) {
   ensure_client_endpoint();
   const CostModel& c = kernel_->costs();
+  const sim::Time t0 = kernel_->sim().now();
   co_await kernel_->syscall_enter();
   co_await kernel_->copy_boundary(request.size());
   co_await kernel_->charge(sim::Prio::kKernel, sim::Mechanism::kProtocolProcessing,
@@ -88,6 +90,16 @@ sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
                result.status == RpcStatus::kOk ? 0 : 1);
   }
   co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
+  if (auto* mx = kernel_->sim().metrics()) {
+    auto& reg = mx->node(kernel_->node());
+    reg.counter("rpc.calls").add();
+    if (result.status == RpcStatus::kOk) {
+      reg.histogram("rpc.latency_ns")
+          .record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
+    } else {
+      reg.counter("rpc.timeouts").add();
+    }
+  }
   co_return result;
 }
 
@@ -104,6 +116,9 @@ void KernelRpc::retransmit_tick(std::uint32_t trans_id) {
   }
   ++call.sends;
   ++retransmits_;
+  if (auto* mx = kernel_->sim().metrics()) {
+    mx->node(kernel_->node()).counter("rpc.retransmits").add();
+  }
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                trans_key(kernel_->node(), trans_id),
@@ -206,6 +221,9 @@ sim::Co<void> KernelRpc::on_request(NodeId client, std::uint32_t trans_id,
     if (it->second.replied) {
       // Client missed the reply: resend the cached one.
       ++retransmits_;
+      if (auto* mx = kernel_->sim().metrics()) {
+        mx->node(kernel_->node()).counter("rpc.retransmits").add();
+      }
       if (auto* tr = kernel_->sim().tracer()) {
         tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                    trans_key(client, trans_id), trace::kReasonCachedReply);

@@ -1,11 +1,18 @@
 #include "amoeba/world.h"
 
+#include <cstdio>
+#include <string>
+
 #include "sim/require.h"
 
 namespace amoeba {
 
 World::World(WorldConfig config)
-    : config_(config), sim_(config.seed), network_(sim_, config.network) {}
+    : config_(config),
+      sim_(config.seed),
+      metrics_(config.metrics ? std::make_unique<metrics::Metrics>(sim_)
+                              : nullptr),
+      network_(sim_, config.network) {}
 
 Kernel& World::add_node() {
   const NodeId id = network_.add_node();
@@ -27,6 +34,33 @@ sim::Ledger World::aggregate_ledger() const {
   sim::Ledger total;
   for (const auto& k : kernels_) total += k->ledger();
   return total;
+}
+
+void World::snapshot_net_metrics() {
+  if (!metrics_) return;
+  metrics::MetricsRegistry& g = metrics_->global();
+  char name[64];
+  for (std::size_t i = 0; i < network_.segment_count(); ++i) {
+    const net::Segment& seg = network_.segment(i);
+    std::snprintf(name, sizeof name, "net.segment%zu.", i);
+    const std::string prefix = name;
+    g.gauge(prefix + "utilization").set(seg.utilization());
+    g.gauge(prefix + "frames").set(static_cast<double>(seg.frames_carried()));
+    g.gauge(prefix + "bytes").set(static_cast<double>(seg.bytes_carried()));
+    g.gauge(prefix + "dropped").set(static_cast<double>(seg.frames_dropped()));
+    g.gauge(prefix + "queue_peak").set(static_cast<double>(seg.queue_peak()));
+  }
+  g.gauge("net.switch.frames_forwarded")
+      .set(static_cast<double>(network_.backbone().frames_forwarded()));
+  g.gauge("net.bytes_carried")
+      .set(static_cast<double>(network_.total_bytes_carried()));
+  for (net::NodeId id = 0; id < network_.node_count(); ++id) {
+    const net::Nic& nic = network_.nic(id);
+    metrics::MetricsRegistry& reg = metrics_->node(id);
+    reg.gauge("nic.rx_frames").set(static_cast<double>(nic.rx_frames()));
+    reg.gauge("nic.tx_frames").set(static_cast<double>(nic.tx_frames()));
+    reg.gauge("nic.rx_dropped").set(static_cast<double>(nic.rx_dropped()));
+  }
 }
 
 }  // namespace amoeba

@@ -8,6 +8,7 @@
 
 #include "amoeba/cost_model.h"
 #include "amoeba/kernel.h"
+#include "metrics/registry.h"
 #include "net/network.h"
 #include "sim/ledger.h"
 #include "sim/simulator.h"
@@ -18,6 +19,10 @@ struct WorldConfig {
   net::NetworkConfig network;
   CostModel costs;
   std::uint64_t seed = 42;
+  /// Attach a metrics hub to the simulator. Recording is pure observation
+  /// (no sim-time charges, no RNG draws), so turning this on never changes a
+  /// run's event sequence — a property the no-perturbation test asserts.
+  bool metrics = false;
 };
 
 class World {
@@ -42,9 +47,18 @@ class World {
   /// Sum of all per-node mechanism ledgers.
   [[nodiscard]] sim::Ledger aggregate_ledger() const;
 
+  /// The attached metrics hub, or nullptr when WorldConfig::metrics is off.
+  [[nodiscard]] metrics::Metrics* metrics() noexcept { return metrics_.get(); }
+
+  /// Snapshot network-layer state (segment utilisation/bytes/drops/queue
+  /// peaks, switch forwards, per-node NIC counters) into the metrics hub's
+  /// gauges. Call after the run of interest; no-op without a hub.
+  void snapshot_net_metrics();
+
  private:
   WorldConfig config_;
   sim::Simulator sim_;
+  std::unique_ptr<metrics::Metrics> metrics_;
   net::Network network_;
   std::vector<std::unique_ptr<Kernel>> kernels_;
 };

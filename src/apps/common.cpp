@@ -13,6 +13,7 @@ Cluster::Cluster(const RunConfig& config, const orca::TypeRegistry& registry)
 
   amoeba::WorldConfig wc;
   wc.seed = config.seed;
+  wc.metrics = config.metrics;
   world_ = std::make_unique<amoeba::World>(wc);
   world_->add_nodes(config.processors);
 

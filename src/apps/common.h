@@ -30,6 +30,9 @@ struct RunConfig {
   std::size_t processors = 1;
   bool dedicated_sequencer = false;
   std::uint64_t seed = 42;
+  /// Attach a metrics::Metrics hub to the cluster's World (pure observation,
+  /// never perturbs the run).
+  bool metrics = false;
 };
 
 struct ClusterStats {

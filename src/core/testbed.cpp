@@ -12,6 +12,7 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   wc.network = config_.network;
   wc.costs = config_.costs;
   wc.seed = config_.seed;
+  wc.metrics = config_.metrics;
   world_ = std::make_unique<amoeba::World>(wc);
   if (config_.trace) tracer_ = std::make_unique<trace::Tracer>(world_->sim());
   world_->add_nodes(config_.nodes);

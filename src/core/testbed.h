@@ -27,6 +27,9 @@ struct TestbedConfig {
   /// (send, fragment, wire, drop, interrupt, deliver, retransmit, charge) is
   /// recorded. Off by default — recording never perturbs simulated time.
   bool trace = false;
+  /// Attach a metrics::Metrics hub (counters, gauges, latency histograms) to
+  /// the simulator. Off by default; same no-perturbation contract as trace.
+  bool metrics = false;
 };
 
 /// A booted pool: world + per-node Panda instances (started lazily so tests
@@ -42,6 +45,8 @@ class Testbed {
   [[nodiscard]] const TestbedConfig& config() const noexcept { return config_; }
   /// Non-null iff config.trace was set.
   [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
+  /// Non-null iff config.metrics was set (the hub lives in the World).
+  [[nodiscard]] metrics::Metrics* metrics() noexcept { return world_->metrics(); }
 
   /// Start every Panda instance (after handlers are installed).
   void start();

@@ -1,0 +1,134 @@
+#include "metrics/compare.h"
+
+#include <cmath>
+#include <map>
+
+namespace metrics {
+namespace {
+
+struct Tracked {
+  double value = 0.0;
+  std::string better;
+};
+
+/// Flattens a report into name -> tracked metric: the `metrics` section
+/// verbatim, plus the latency percentiles of every histogram.
+bool flatten(const JsonValue& report, std::map<std::string, Tracked>& out,
+             std::string& error) {
+  if (!report.is_object()) {
+    error = "not a JSON object";
+    return false;
+  }
+  const JsonValue* schema = report.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string.rfind("amoeba-runreport/", 0) != 0) {
+    error = "missing or foreign \"schema\" tag (expected amoeba-runreport/*)";
+    return false;
+  }
+  if (const JsonValue* m = report.find("metrics"); m != nullptr && m->is_object()) {
+    for (const auto& [name, entry] : m->object) {
+      const JsonValue* value = entry.find("value");
+      if (value == nullptr || !value->is_number()) continue;
+      const JsonValue* better = entry.find("better");
+      out[name] = Tracked{value->number, better != nullptr && better->is_string()
+                                             ? better->string
+                                             : "info"};
+    }
+  }
+  if (const JsonValue* hs = report.find("histograms");
+      hs != nullptr && hs->is_object()) {
+    for (const auto& [name, h] : hs->object) {
+      for (const char* q : {"p50", "p90", "p99", "max"}) {
+        if (const JsonValue* v = h.find(q); v != nullptr && v->is_number()) {
+          out[name + "." + q] = Tracked{v->number, "lower"};
+        }
+      }
+      if (const JsonValue* c = h.find("count"); c != nullptr && c->is_number()) {
+        out[name + ".count"] = Tracked{c->number, "info"};
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+CompareResult compare_reports(const JsonValue& old_report,
+                              const JsonValue& new_report,
+                              const CompareOptions& options) {
+  CompareResult result;
+  std::map<std::string, Tracked> old_metrics;
+  std::map<std::string, Tracked> new_metrics;
+  std::string err;
+  if (!flatten(old_report, old_metrics, err)) {
+    result.error = "old report: " + err;
+    return result;
+  }
+  if (!flatten(new_report, new_metrics, err)) {
+    result.error = "new report: " + err;
+    return result;
+  }
+
+  for (const auto& [name, old_m] : old_metrics) {
+    const auto it = new_metrics.find(name);
+    if (it == new_metrics.end()) {
+      if (old_m.better != "info") result.only_old.push_back(name);
+      continue;
+    }
+    const Tracked& new_m = it->second;
+    MetricDelta d;
+    d.name = name;
+    d.old_value = old_m.value;
+    d.new_value = new_m.value;
+    // Direction tags should agree; if they changed between versions, trust
+    // the new report.
+    d.better = new_m.better;
+    if (old_m.value == 0.0 && new_m.value == 0.0) {
+      d.delta_pct = 0.0;
+    } else if (old_m.value == 0.0) {
+      d.delta_pct = new_m.value > 0 ? 100.0 : -100.0;
+    } else {
+      d.delta_pct =
+          (new_m.value - old_m.value) / std::fabs(old_m.value) * 100.0;
+    }
+    const bool moved = std::fabs(d.delta_pct) > options.threshold_pct;
+    if (d.better == "lower") {
+      d.regression = moved && d.delta_pct > 0;
+      d.improvement = moved && d.delta_pct < 0;
+    } else if (d.better == "higher") {
+      d.regression = moved && d.delta_pct < 0;
+      d.improvement = moved && d.delta_pct > 0;
+    }
+    result.regressed = result.regressed || d.regression;
+    if (d.better != "info" || options.show_info) {
+      result.deltas.push_back(std::move(d));
+    }
+  }
+  for (const auto& [name, new_m] : new_metrics) {
+    if (new_m.better != "info" && !old_metrics.contains(name)) {
+      result.only_new.push_back(name);
+    }
+  }
+  return result;
+}
+
+CompareResult compare_report_texts(const std::string& old_text,
+                                   const std::string& new_text,
+                                   const CompareOptions& options) {
+  CompareResult result;
+  std::string err;
+  const std::optional<JsonValue> old_report = parse_json(old_text, &err);
+  if (!old_report) {
+    result.error = "old report: " + err;
+    return result;
+  }
+  err.clear();
+  const std::optional<JsonValue> new_report = parse_json(new_text, &err);
+  if (!new_report) {
+    result.error = "new report: " + err;
+    return result;
+  }
+  return compare_reports(*old_report, *new_report, options);
+}
+
+}  // namespace metrics

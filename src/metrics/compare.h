@@ -1,0 +1,57 @@
+// Regression comparison between two RunReports.
+//
+// Walks the `metrics` sections of an old and a new report, computes the
+// relative delta for every metric present in both, and flags a regression
+// when a direction-tagged metric ("better": "lower"/"higher") moves the
+// wrong way by more than the threshold. Histogram percentiles (p50/p90/p99,
+// max) are compared as lower-is-better latencies. The report_compare CLI is
+// a thin wrapper; the logic lives here so tests can drive it directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "metrics/json.h"
+
+namespace metrics {
+
+struct CompareOptions {
+  /// Relative change (percent) beyond which a wrong-direction move regresses.
+  double threshold_pct = 5.0;
+  /// Also list informational metrics that changed (never gate on them).
+  bool show_info = false;
+};
+
+struct MetricDelta {
+  std::string name;
+  double old_value = 0.0;
+  double new_value = 0.0;
+  /// Relative change in percent ((new - old) / |old| * 100); 0 when both 0.
+  double delta_pct = 0.0;
+  std::string better;  // "lower", "higher", "info"
+  bool regression = false;
+  bool improvement = false;
+};
+
+struct CompareResult {
+  /// Non-empty when either input is not a parseable RunReport.
+  std::string error;
+  std::vector<MetricDelta> deltas;       // tracked metrics in both reports
+  std::vector<std::string> only_old;     // tracked metrics that disappeared
+  std::vector<std::string> only_new;     // tracked metrics that appeared
+  bool regressed = false;
+
+  [[nodiscard]] bool ok() const noexcept { return error.empty(); }
+};
+
+[[nodiscard]] CompareResult compare_reports(const JsonValue& old_report,
+                                            const JsonValue& new_report,
+                                            const CompareOptions& options = {});
+
+/// Convenience: parse both JSON texts and compare (errors reported in the
+/// result, never thrown).
+[[nodiscard]] CompareResult compare_report_texts(
+    const std::string& old_text, const std::string& new_text,
+    const CompareOptions& options = {});
+
+}  // namespace metrics

@@ -1,0 +1,107 @@
+#include "metrics/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace metrics {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kSubBuckets) return static_cast<std::size_t>(value);
+  const unsigned h = 63U - static_cast<unsigned>(std::countl_zero(value));
+  const std::uint64_t sub =
+      (value >> (h - kSubBucketBits)) & (kSubBuckets - 1);
+  return static_cast<std::size_t>(
+      ((static_cast<std::uint64_t>(h) - kSubBucketBits + 1) << kSubBucketBits) +
+      sub);
+}
+
+std::uint64_t Histogram::bucket_lower(std::size_t index) noexcept {
+  if (index < 2 * kSubBuckets) return index;  // exact range
+  const unsigned h =
+      static_cast<unsigned>(index >> kSubBucketBits) + kSubBucketBits - 1;
+  const std::uint64_t sub = index & (kSubBuckets - 1);
+  return (kSubBuckets + sub) << (h - kSubBucketBits);
+}
+
+std::uint64_t Histogram::bucket_upper(std::size_t index) noexcept {
+  if (index < 2 * kSubBuckets) return index;  // exact range
+  return bucket_lower(index + 1) - 1;
+}
+
+void Histogram::record(std::uint64_t value, std::uint64_t n) {
+  if (n == 0) return;
+  const std::size_t idx = bucket_index(value);
+  if (idx >= counts_.size()) counts_.resize(idx + 1, 0);
+  counts_[idx] += n;
+  count_ += n;
+  sum_ += value * n;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+std::uint64_t Histogram::percentile(double p) const noexcept {
+  if (count_ == 0) return 0;
+  if (p <= 0.0) return min();
+  if (p >= 100.0) return max_;
+  const auto rank = static_cast<std::uint64_t>(
+      std::ceil(p / 100.0 * static_cast<double>(count_)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    cumulative += counts_[i];
+    if (cumulative >= rank) {
+      // The rank-th sample is inside this bucket; its upper bound bounds the
+      // true value from above, and the tracked max bounds the last bucket.
+      return std::min(bucket_upper(i), max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.counts_.size() > counts_.size()) {
+    counts_.resize(other.counts_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::reset() {
+  counts_.clear();
+  count_ = 0;
+  sum_ = 0;
+  min_ = std::numeric_limits<std::uint64_t>::max();
+  max_ = 0;
+}
+
+bool Histogram::operator==(const Histogram& other) const noexcept {
+  if (count_ != other.count_ || sum_ != other.sum_ || max_ != other.max_ ||
+      min() != other.min()) {
+    return false;
+  }
+  // Trailing zero buckets are irrelevant.
+  const std::size_t n = std::max(counts_.size(), other.counts_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t a = i < counts_.size() ? counts_[i] : 0;
+    const std::uint64_t b = i < other.counts_.size() ? other.counts_[i] : 0;
+    if (a != b) return false;
+  }
+  return true;
+}
+
+std::vector<Histogram::Bucket> Histogram::nonzero_buckets() const {
+  std::vector<Bucket> out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    out.push_back(Bucket{bucket_lower(i), bucket_upper(i), counts_[i]});
+  }
+  return out;
+}
+
+}  // namespace metrics

@@ -1,0 +1,72 @@
+// Log-bucketed latency histogram.
+//
+// Values (nanoseconds, counts — any non-negative integers) land in buckets
+// with 16 linear sub-buckets per power of two, HdrHistogram-style: values
+// below 32 are recorded exactly, larger values with a relative bucket width
+// of at most 1/16 (6.25%). That bounds the error of every reported
+// percentile, which is what the histogram test asserts against sorted-sample
+// percentiles. Merging histograms is element-wise addition, so cross-node
+// aggregation is associative and loss-free.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace metrics {
+
+class Histogram {
+ public:
+  /// log2 of the number of linear sub-buckets per power of two.
+  static constexpr unsigned kSubBucketBits = 4;
+  static constexpr std::uint64_t kSubBuckets = 1ULL << kSubBucketBits;
+
+  void record(std::uint64_t value, std::uint64_t n = 1);
+
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] std::uint64_t sum() const noexcept { return sum_; }
+  /// Exact extrema (not bucketed).
+  [[nodiscard]] std::uint64_t min() const noexcept {
+    return count_ == 0 ? 0 : min_;
+  }
+  [[nodiscard]] std::uint64_t max() const noexcept { return max_; }
+  [[nodiscard]] double mean() const noexcept {
+    return count_ == 0 ? 0.0
+                       : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+
+  /// Nearest-rank percentile, `p` in [0, 100]. Returns the upper bound of the
+  /// bucket holding the rank-th smallest sample (so estimates never
+  /// under-report), exact for p=100 (the tracked max) and for values < 32.
+  /// Returns 0 on an empty histogram.
+  [[nodiscard]] std::uint64_t percentile(double p) const noexcept;
+
+  /// Element-wise addition; associative and commutative.
+  void merge(const Histogram& other);
+
+  void reset();
+
+  [[nodiscard]] bool operator==(const Histogram& other) const noexcept;
+
+  /// Non-empty buckets as [lower, upper] inclusive value ranges, ascending.
+  struct Bucket {
+    std::uint64_t lower = 0;
+    std::uint64_t upper = 0;
+    std::uint64_t count = 0;
+  };
+  [[nodiscard]] std::vector<Bucket> nonzero_buckets() const;
+
+  // Bucket index math, exposed for the tests.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_lower(std::size_t index) noexcept;
+  [[nodiscard]] static std::uint64_t bucket_upper(std::size_t index) noexcept;
+
+ private:
+  std::vector<std::uint64_t> counts_;  // grown on demand, index = bucket_index
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+  std::uint64_t min_ = std::numeric_limits<std::uint64_t>::max();
+  std::uint64_t max_ = 0;
+};
+
+}  // namespace metrics

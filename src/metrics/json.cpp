@@ -1,0 +1,360 @@
+#include "metrics/json.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace metrics {
+
+// --- Writer ------------------------------------------------------------------
+
+void JsonWriter::comma_for_value() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!wrote_element_.empty()) {
+    if (wrote_element_.back()) out_ += ',';
+    wrote_element_.back() = true;
+    newline_indent();
+  }
+}
+
+void JsonWriter::newline_indent() {
+  out_ += '\n';
+  out_.append(wrote_element_.size() * 2, ' ');
+}
+
+void JsonWriter::begin_object() {
+  comma_for_value();
+  out_ += '{';
+  wrote_element_.push_back(false);
+}
+
+void JsonWriter::end_object() {
+  const bool had_elements = wrote_element_.back();
+  wrote_element_.pop_back();
+  if (had_elements) newline_indent();
+  out_ += '}';
+}
+
+void JsonWriter::begin_array() {
+  comma_for_value();
+  out_ += '[';
+  wrote_element_.push_back(false);
+}
+
+void JsonWriter::end_array() {
+  const bool had_elements = wrote_element_.back();
+  wrote_element_.pop_back();
+  if (had_elements) newline_indent();
+  out_ += ']';
+}
+
+void JsonWriter::key(std::string_view k) {
+  comma_for_value();
+  out_ += quote(k);
+  out_ += ": ";
+  after_key_ = true;
+}
+
+void JsonWriter::value(std::string_view s) {
+  comma_for_value();
+  out_ += quote(s);
+}
+
+void JsonWriter::value(double d) {
+  comma_for_value();
+  if (!std::isfinite(d)) {
+    out_ += "null";  // JSON has no Inf/NaN
+    return;
+  }
+  char buf[32];
+  // Shortest round-trip representation keeps committed baselines diffable.
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  out_.append(buf, ec == std::errc() ? end : buf);
+}
+
+void JsonWriter::value(std::int64_t i) {
+  comma_for_value();
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, i);
+  out_.append(buf, ec == std::errc() ? end : buf);
+}
+
+void JsonWriter::value(std::uint64_t u) {
+  comma_for_value();
+  char buf[24];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, u);
+  out_.append(buf, ec == std::errc() ? end : buf);
+}
+
+void JsonWriter::value(bool b) {
+  comma_for_value();
+  out_ += b ? "true" : "false";
+}
+
+void JsonWriter::null() {
+  comma_for_value();
+  out_ += "null";
+}
+
+void JsonWriter::raw(std::string_view json) {
+  comma_for_value();
+  out_ += json;
+}
+
+std::string JsonWriter::quote(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+// --- Parser ------------------------------------------------------------------
+
+const JsonValue* JsonValue::find(std::string_view k) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [name, v] : object) {
+    if (name == k) return &v;
+  }
+  return nullptr;
+}
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view text, std::string* error)
+      : text_(text), error_(error) {}
+
+  std::optional<JsonValue> run() {
+    skip_ws();
+    JsonValue v;
+    if (!parse_value(v)) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      fail("trailing characters after top-level value");
+      return std::nullopt;
+    }
+    return v;
+  }
+
+ private:
+  void fail(const char* what) {
+    if (error_ != nullptr && error_->empty()) {
+      *error_ = std::string(what) + " at byte " + std::to_string(pos_);
+    }
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  bool parse_value(JsonValue& out) {
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    switch (text_[pos_]) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"': {
+        out.type = JsonValue::Type::kString;
+        return parse_string(out.string);
+      }
+      case 't':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = true;
+        if (literal("true")) return true;
+        fail("bad literal");
+        return false;
+      case 'f':
+        out.type = JsonValue::Type::kBool;
+        out.boolean = false;
+        if (literal("false")) return true;
+        fail("bad literal");
+        return false;
+      case 'n':
+        out.type = JsonValue::Type::kNull;
+        if (literal("null")) return true;
+        fail("bad literal");
+        return false;
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.type = JsonValue::Type::kObject;
+    ++pos_;  // '{'
+    skip_ws();
+    if (consume('}')) return true;
+    for (;;) {
+      skip_ws();
+      std::string k;
+      if (!parse_string(k)) return false;
+      skip_ws();
+      if (!consume(':')) {
+        fail("expected ':'");
+        return false;
+      }
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.object.emplace_back(std::move(k), std::move(v));
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) {
+        fail("expected ',' or '}'");
+        return false;
+      }
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.type = JsonValue::Type::kArray;
+    ++pos_;  // '['
+    skip_ws();
+    if (consume(']')) return true;
+    for (;;) {
+      skip_ws();
+      JsonValue v;
+      if (!parse_value(v)) return false;
+      out.array.push_back(std::move(v));
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) {
+        fail("expected ',' or ']'");
+        return false;
+      }
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    if (!consume('"')) {
+      fail("expected string");
+      return false;
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) {
+            fail("truncated \\u escape");
+            return false;
+          }
+          unsigned code = 0;
+          const auto [end, ec] = std::from_chars(
+              text_.data() + pos_, text_.data() + pos_ + 4, code, 16);
+          if (ec != std::errc() || end != text_.data() + pos_ + 4) {
+            fail("bad \\u escape");
+            return false;
+          }
+          pos_ += 4;
+          // Reports only ever escape control characters; encode as UTF-8 for
+          // the BMP, which is all \uXXXX can express without surrogates.
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          fail("bad escape");
+          return false;
+      }
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    out.type = JsonValue::Type::kNumber;
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    const auto [end, ec] = std::from_chars(text_.data() + start,
+                                           text_.data() + pos_, out.number);
+    if (ec != std::errc() || end != text_.data() + pos_ || pos_ == start) {
+      fail("bad number");
+      return false;
+    }
+    return true;
+  }
+
+  std::string_view text_;
+  std::string* error_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<JsonValue> parse_json(std::string_view text, std::string* error) {
+  return Parser(text, error).run();
+}
+
+}  // namespace metrics

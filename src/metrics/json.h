@@ -1,0 +1,82 @@
+// Minimal JSON support for the metrics subsystem: a streaming writer (used by
+// the RunReport serializer) and a small recursive-descent parser (used by
+// report_compare and the tests). No external dependencies; covers exactly the
+// JSON subset RunReports emit — objects, arrays, strings, finite numbers,
+// booleans and null.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metrics {
+
+/// Streaming JSON writer with comma/indent management. Keys and values must
+/// alternate correctly inside objects; misuse trips a sim::require-style
+/// assert in debug builds via the internal state checks.
+class JsonWriter {
+ public:
+  void begin_object();
+  void end_object();
+  void begin_array();
+  void end_array();
+
+  /// Object key; must be followed by exactly one value (or container).
+  void key(std::string_view k);
+
+  void value(std::string_view s);
+  void value(const char* s) { value(std::string_view(s)); }
+  void value(double d);
+  void value(std::int64_t i);
+  void value(std::uint64_t u);
+  void value(bool b);
+  void null();
+
+  /// Splice pre-serialized JSON (e.g. sim::Ledger::json()) as a value.
+  void raw(std::string_view json);
+
+  [[nodiscard]] const std::string& str() const noexcept { return out_; }
+  [[nodiscard]] std::string take() { return std::move(out_); }
+
+  /// Escape `s` into a quoted JSON string literal.
+  static std::string quote(std::string_view s);
+
+ private:
+  void comma_for_value();
+  void newline_indent();
+
+  std::string out_;
+  // One entry per open container: true once the first element was written.
+  std::vector<bool> wrote_element_;
+  bool after_key_ = false;
+};
+
+/// Parsed JSON value. Object member order is preserved (reports are written
+/// in deterministic order, and diffs read better that way).
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// Object member lookup; nullptr if absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  [[nodiscard]] bool is_object() const noexcept { return type == Type::kObject; }
+  [[nodiscard]] bool is_number() const noexcept { return type == Type::kNumber; }
+  [[nodiscard]] bool is_string() const noexcept { return type == Type::kString; }
+  [[nodiscard]] bool is_array() const noexcept { return type == Type::kArray; }
+};
+
+/// Parses `text`; on failure returns nullopt and, if `error` is non-null,
+/// stores a one-line description with the byte offset.
+[[nodiscard]] std::optional<JsonValue> parse_json(std::string_view text,
+                                                  std::string* error = nullptr);
+
+}  // namespace metrics

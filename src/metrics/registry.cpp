@@ -1,0 +1,41 @@
+#include "metrics/registry.h"
+
+namespace metrics {
+
+MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
+  const auto it = counters_.find(name);
+  if (it != counters_.end()) return it->second;
+  return counters_.emplace(std::string(name), Counter{}).first->second;
+}
+
+MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name) {
+  const auto it = gauges_.find(name);
+  if (it != gauges_.end()) return it->second;
+  return gauges_.emplace(std::string(name), Gauge{}).first->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) counter(name).value += c.value;
+  for (const auto& [name, g] : other.gauges_) gauge(name).value += g.value;
+  for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+}
+
+Metrics::Metrics(sim::Simulator& s) : sim_(&s) { s.set_metrics(this); }
+
+Metrics::~Metrics() {
+  if (sim_->metrics() == this) sim_->set_metrics(nullptr);
+}
+
+MetricsRegistry Metrics::aggregate() const {
+  MetricsRegistry out = global_;
+  for (const auto& [id, reg] : nodes_) out.merge(reg);
+  return out;
+}
+
+}  // namespace metrics

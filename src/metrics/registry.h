@@ -1,0 +1,101 @@
+// Per-node metrics registry and the simulation-wide hub.
+//
+// The Ledger (sim/ledger.h) accounts simulated *time* per mechanism; the
+// registry accounts *events and distributions*: protocol counters (calls,
+// fragments, retransmits), sampled gauges (wire utilisation, queue peaks) and
+// log-bucketed latency histograms (RPC and group round trips). Like the
+// Tracer, recording is pure observation — it never schedules events, draws
+// random numbers, or charges simulated time, so runs with metrics on or off
+// are time- and trace-identical (asserted by tests/metrics).
+//
+// A metrics::Metrics hub attaches to the Simulator the same way a Tracer
+// does: instrumented sites do
+//   if (auto* mx = sim.metrics()) mx->node(id).counter("rpc.calls").add();
+// so a disabled hub costs one pointer test.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "metrics/histogram.h"
+#include "sim/simulator.h"
+
+namespace metrics {
+
+class MetricsRegistry {
+ public:
+  struct Counter {
+    std::uint64_t value = 0;
+    void add(std::uint64_t n = 1) noexcept { value += n; }
+  };
+
+  struct Gauge {
+    double value = 0.0;
+    void set(double v) noexcept { value = v; }
+  };
+
+  /// Find-or-create; returned references are stable (map nodes never move).
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  // Name-ordered views for deterministic serialization.
+  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters()
+      const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges()
+      const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
+  histograms() const noexcept {
+    return histograms_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept {
+    return counters_.empty() && gauges_.empty() && histograms_.empty();
+  }
+
+  /// Cross-node aggregation: counters and gauges add, histograms merge
+  /// (all associative).
+  void merge(const MetricsRegistry& other);
+
+ private:
+  std::map<std::string, Counter, std::less<>> counters_;
+  std::map<std::string, Gauge, std::less<>> gauges_;
+  std::map<std::string, Histogram, std::less<>> histograms_;
+};
+
+/// The per-run hub: one registry per node plus a global one for metrics that
+/// belong to no single station (the wire, the switch). Attaches to the
+/// simulator on construction, detaches on destruction (the simulator must
+/// outlive it).
+class Metrics {
+ public:
+  explicit Metrics(sim::Simulator& s);
+  ~Metrics();
+
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  [[nodiscard]] MetricsRegistry& node(std::uint32_t id) { return nodes_[id]; }
+  [[nodiscard]] MetricsRegistry& global() noexcept { return global_; }
+
+  [[nodiscard]] const std::map<std::uint32_t, MetricsRegistry>& nodes()
+      const noexcept {
+    return nodes_;
+  }
+
+  /// Global registry plus every node registry, merged.
+  [[nodiscard]] MetricsRegistry aggregate() const;
+
+ private:
+  sim::Simulator* sim_;
+  MetricsRegistry global_;
+  std::map<std::uint32_t, MetricsRegistry> nodes_;
+};
+
+}  // namespace metrics

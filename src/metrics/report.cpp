@@ -1,0 +1,178 @@
+#include "metrics/report.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "metrics/json.h"
+
+#ifndef AMOEBA_GIT_DESCRIBE
+#define AMOEBA_GIT_DESCRIBE "unknown"
+#endif
+
+namespace metrics {
+
+std::string_view better_name(Better b) noexcept {
+  switch (b) {
+    case Better::kLower: return "lower";
+    case Better::kHigher: return "higher";
+    case Better::kInfo: return "info";
+  }
+  return "info";
+}
+
+void RunReport::set_config(std::string key, std::string value) {
+  config_.emplace_back(std::move(key), JsonWriter::quote(value));
+}
+
+void RunReport::set_config(std::string key, std::int64_t value) {
+  config_.emplace_back(std::move(key), std::to_string(value));
+}
+
+void RunReport::set_config(std::string key, std::uint64_t value) {
+  config_.emplace_back(std::move(key), std::to_string(value));
+}
+
+void RunReport::set_config(std::string key, double value) {
+  JsonWriter w;
+  w.value(value);
+  config_.emplace_back(std::move(key), w.take());
+}
+
+void RunReport::set_config(std::string key, bool value) {
+  config_.emplace_back(std::move(key), value ? "true" : "false");
+}
+
+void RunReport::add_metric(std::string name, double value, Better better,
+                           std::string unit) {
+  for (Metric& m : metrics_) {
+    if (m.name == name) {
+      m.value = value;
+      m.better = better;
+      m.unit = std::move(unit);
+      return;
+    }
+  }
+  metrics_.push_back(Metric{std::move(name), value, better, std::move(unit)});
+}
+
+void RunReport::add_histogram(std::string name, const Histogram& h) {
+  histograms_.emplace_back(std::move(name), h);
+}
+
+void RunReport::add_ledger(std::string name, const sim::Ledger& ledger) {
+  ledgers_.emplace_back(std::move(name), ledger);
+}
+
+void RunReport::add_registry(const MetricsRegistry& reg,
+                             const std::string& prefix) {
+  for (const auto& [name, c] : reg.counters()) {
+    add_metric(prefix + name, static_cast<double>(c.value), Better::kInfo,
+               "count");
+  }
+  for (const auto& [name, g] : reg.gauges()) {
+    add_metric(prefix + name, g.value, Better::kInfo);
+  }
+  for (const auto& [name, h] : reg.histograms()) {
+    add_histogram(prefix + name, h);
+  }
+}
+
+std::string RunReport::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("schema_version");
+  w.value(static_cast<std::int64_t>(kSchemaVersion));
+  w.key("bench");
+  w.value(bench_);
+  w.key("git");
+  w.value(AMOEBA_GIT_DESCRIBE);
+
+  w.key("config");
+  w.begin_object();
+  for (const auto& [key, raw] : config_) {
+    w.key(key);
+    w.raw(raw);
+  }
+  w.end_object();
+
+  w.key("metrics");
+  w.begin_object();
+  // Name order keeps reports diffable regardless of insertion order.
+  std::vector<const Metric*> sorted;
+  sorted.reserve(metrics_.size());
+  for (const Metric& m : metrics_) sorted.push_back(&m);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Metric* a, const Metric* b) { return a->name < b->name; });
+  for (const Metric* m : sorted) {
+    w.key(m->name);
+    w.begin_object();
+    w.key("value");
+    w.value(m->value);
+    w.key("better");
+    w.value(better_name(m->better));
+    if (!m->unit.empty()) {
+      w.key("unit");
+      w.value(m->unit);
+    }
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("histograms");
+  w.begin_object();
+  for (const auto& [name, h] : histograms_) {
+    w.key(name);
+    w.begin_object();
+    w.key("count");
+    w.value(h.count());
+    w.key("sum");
+    w.value(h.sum());
+    w.key("min");
+    w.value(h.min());
+    w.key("max");
+    w.value(h.max());
+    w.key("p50");
+    w.value(h.percentile(50));
+    w.key("p90");
+    w.value(h.percentile(90));
+    w.key("p99");
+    w.value(h.percentile(99));
+    w.key("buckets");
+    w.begin_array();
+    for (const Histogram::Bucket& b : h.nonzero_buckets()) {
+      w.begin_array();
+      w.value(b.lower);
+      w.value(b.upper);
+      w.value(b.count);
+      w.end_array();
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+
+  w.key("ledgers");
+  w.begin_object();
+  for (const auto& [name, ledger] : ledgers_) {
+    w.key(name);
+    w.raw(ledger.json());
+  }
+  w.end_object();
+
+  w.end_object();
+  std::string out = w.take();
+  out += '\n';
+  return out;
+}
+
+bool RunReport::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << json();
+  f.flush();
+  return f.good();
+}
+
+}  // namespace metrics

@@ -1,0 +1,82 @@
+// Machine-readable run reports.
+//
+// A RunReport is the versioned JSON artifact a bench binary emits with
+// `--json=FILE`: schema tag, bench name, git describe, the run configuration,
+// named scalar metrics (each tagged with the direction in which change is a
+// regression), latency histograms with precomputed percentiles, and
+// per-mechanism ledger sections. report_compare consumes two of these and
+// flags regressions, so the numbers that matter are the ones written here.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "metrics/registry.h"
+#include "sim/ledger.h"
+
+namespace metrics {
+
+/// Which direction of change counts as a regression for a metric.
+enum class Better : std::uint8_t {
+  kLower,   // latencies, costs: increases regress
+  kHigher,  // throughputs, rates: decreases regress
+  kInfo,    // informational; never gates
+};
+
+[[nodiscard]] std::string_view better_name(Better b) noexcept;
+
+class RunReport {
+ public:
+  static constexpr std::string_view kSchema = "amoeba-runreport/v1";
+  static constexpr int kSchemaVersion = 1;
+
+  explicit RunReport(std::string bench) : bench_(std::move(bench)) {}
+
+  // Run configuration (testbed shape, seed, flags).
+  void set_config(std::string key, std::string value);
+  void set_config(std::string key, std::int64_t value);
+  void set_config(std::string key, std::uint64_t value);
+  void set_config(std::string key, double value);
+  void set_config(std::string key, bool value);
+
+  /// A tracked scalar. Names are unique; re-adding overwrites.
+  void add_metric(std::string name, double value, Better better,
+                  std::string unit = {});
+
+  /// A latency histogram, serialized with p50/p90/p99/max and its buckets.
+  void add_histogram(std::string name, const Histogram& h);
+
+  /// A per-mechanism time ledger section (e.g. one per binding).
+  void add_ledger(std::string name, const sim::Ledger& ledger);
+
+  /// Import a whole registry: counters and gauges become informational
+  /// metrics, histograms become histogram sections. `prefix` namespaces the
+  /// entries (e.g. "user.").
+  void add_registry(const MetricsRegistry& reg, const std::string& prefix = {});
+
+  [[nodiscard]] std::string json() const;
+
+  /// Writes the report to `path`. Returns false (with the OS error intact in
+  /// errno) if the file cannot be opened or written.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  struct Metric {
+    std::string name;
+    double value = 0.0;
+    Better better = Better::kInfo;
+    std::string unit;
+  };
+
+  std::string bench_;
+  std::vector<std::pair<std::string, std::string>> config_;  // key -> raw JSON
+  std::vector<Metric> metrics_;
+  std::vector<std::pair<std::string, Histogram>> histograms_;
+  std::vector<std::pair<std::string, sim::Ledger>> ledgers_;
+};
+
+}  // namespace metrics

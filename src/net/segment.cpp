@@ -1,5 +1,6 @@
 #include "net/segment.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/require.h"
@@ -25,6 +26,7 @@ void Segment::transmit(Frame frame, const Attachment* originator) {
                "Segment::transmit: frame exceeds the 1500-byte MTU; the "
                "network layer must fragment");
   queue_.push_back(Pending{std::move(frame), originator});
+  queue_peak_ = std::max(queue_peak_, queue_.size() + (busy_ ? 1 : 0));
   if (!busy_) start_next();
 }
 

@@ -67,6 +67,9 @@ class Segment {
   [[nodiscard]] std::uint64_t bytes_carried() const noexcept { return bytes_; }
   [[nodiscard]] std::uint64_t frames_dropped() const noexcept { return dropped_; }
   [[nodiscard]] std::size_t queue_depth() const noexcept { return queue_.size(); }
+  /// High-water mark of the transmit queue (frames waiting for the medium,
+  /// including the one on the wire) — the saturation signal of Table 2.
+  [[nodiscard]] std::size_t queue_peak() const noexcept { return queue_peak_; }
 
   /// Fraction of [0, now] the medium was busy.
   [[nodiscard]] double utilization() const noexcept;
@@ -91,6 +94,7 @@ class Segment {
   std::uint64_t frames_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t dropped_ = 0;
+  std::size_t queue_peak_ = 0;
 };
 
 }  // namespace net

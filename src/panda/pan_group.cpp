@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "metrics/registry.h"
 #include "sim/require.h"
 #include "trace/tracer.h"
 
@@ -76,6 +77,7 @@ void PanGroup::start() {
 
 sim::Co<void> PanGroup::send(Thread& self, net::Payload msg) {
   const CostModel& c = kernel_->costs();
+  const sim::Time t0 = kernel_->sim().now();
   // One fragmentation-layer pass at the sending member only: "the user-space
   // group protocol only incurs a 20 us overhead" (§4.3).
   co_await kernel_->charge(Prio::kUserHigh, Mechanism::kFragmentationLayer,
@@ -144,6 +146,12 @@ sim::Co<void> PanGroup::send(Thread& self, net::Payload msg) {
   while (!pending.done) co_await self.block();
   co_await kernel_->syscall_return(c.panda_stack_depth);
   sends_in_flight_.erase(msg_id);
+  if (auto* mx = kernel_->sim().metrics()) {
+    auto& reg = mx->node(kernel_->node());
+    reg.counter("group.sends").add();
+    reg.histogram("group.send_latency_ns")
+        .record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
+  }
 }
 
 void PanGroup::send_retry_tick(std::uint32_t msg_id) {
@@ -160,6 +168,9 @@ void PanGroup::send_retry_tick(std::uint32_t msg_id) {
     }
   }
   ++pending.retries;
+  if (auto* mx = kernel_->sim().metrics()) {
+    mx->node(kernel_->node()).counter("group.retransmits").add();
+  }
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                (static_cast<std::uint64_t>(kernel_->node()) << 32) | msg_id,
@@ -552,6 +563,9 @@ sim::Co<void> PanGroup::deliver_ready() {
         sit->second->timer->cancel();
         d.sender_thread = sit->second->thread;
       }
+    }
+    if (auto* mx = kernel_->sim().metrics()) {
+      mx->node(kernel_->node()).counter("group.deliveries").add();
     }
     if (auto* tr = kernel_->sim().tracer()) {
       tr->record(kernel_->node(), trace::EventKind::kGroupDeliver, d.seqno,

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "metrics/registry.h"
 #include "sim/require.h"
 #include "trace/tracer.h"
 
@@ -49,6 +50,7 @@ sim::Co<void> PanRpc::charge_locks(int n) {
 
 sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
   const CostModel& c = kernel_->costs();
+  const sim::Time t0 = kernel_->sim().now();
   // The user-space protocol takes more locks: "it does seven times more
   // lock() calls than the kernel-space implementation" (§4.2); four of the
   // seven happen on the client's send/receive paths.
@@ -102,6 +104,16 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
                trans_key(kernel_->node(), trans_id),
                result.status == RpcStatus::kOk ? 0 : 1);
   }
+  if (auto* mx = kernel_->sim().metrics()) {
+    auto& reg = mx->node(kernel_->node());
+    reg.counter("rpc.calls").add();
+    if (result.status == RpcStatus::kOk) {
+      reg.histogram("rpc.latency_ns")
+          .record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
+    } else {
+      reg.counter("rpc.timeouts").add();
+    }
+  }
   co_return result;
 }
 
@@ -118,6 +130,9 @@ void PanRpc::retransmit_tick(std::uint32_t trans_id) {
   }
   ++out.sends;
   ++retransmits_;
+  if (auto* mx = kernel_->sim().metrics()) {
+    mx->node(kernel_->node()).counter("rpc.retransmits").add();
+  }
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                trans_key(kernel_->node(), trans_id),
@@ -187,6 +202,9 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
         Thread* daemon = sys_->daemon_thread();
         if (it->second.replied) {
           ++retransmits_;
+          if (auto* mx = kernel_->sim().metrics()) {
+            mx->node(kernel_->node()).counter("rpc.retransmits").add();
+          }
           if (auto* tr = kernel_->sim().tracer()) {
             tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                        trans_key(msg.src, trans_id),

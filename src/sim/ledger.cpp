@@ -1,5 +1,9 @@
 #include "sim/ledger.h"
 
+#include <algorithm>
+#include <cinttypes>
+#include <vector>
+
 namespace sim {
 
 std::string_view mechanism_name(Mechanism m) noexcept {
@@ -44,6 +48,52 @@ Ledger Ledger::diff(const Ledger& other) const noexcept {
     out.entries_[i].count = entries_[i].count - other.entries_[i].count;
     out.entries_[i].total = entries_[i].total - other.entries_[i].total;
   }
+  return out;
+}
+
+void Ledger::print_breakdown(std::FILE* out, const char* title,
+                             std::uint64_t divisor) const {
+  const double total = static_cast<double>(total_time());
+  const double div = divisor == 0 ? 1.0 : static_cast<double>(divisor);
+  std::vector<std::size_t> order;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (entries_[i].count != 0 || entries_[i].total != 0) order.push_back(i);
+  }
+  std::sort(order.begin(), order.end(), [this](std::size_t a, std::size_t b) {
+    return entries_[a].total > entries_[b].total;
+  });
+  std::fprintf(out, "%s (total %.1f us)\n", title, to_us(total_time()) / div);
+  std::fprintf(out, "  %-22s | %9s | %10s | %6s\n", "mechanism", "count",
+               "time [us]", "share");
+  for (const std::size_t i : order) {
+    const Entry& e = entries_[i];
+    std::fprintf(out, "  %-22s | %9.1f | %10.1f | %5.1f%%\n",
+                 std::string(mechanism_name(static_cast<Mechanism>(i))).c_str(),
+                 static_cast<double>(e.count) / div,
+                 to_us(e.total) / div,
+                 total > 0 ? static_cast<double>(e.total) / total * 100.0 : 0.0);
+  }
+}
+
+std::string Ledger::json() const {
+  const double total = static_cast<double>(total_time());
+  std::string out = "{";
+  bool first = true;
+  char buf[160];
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    const Entry& e = entries_[i];
+    if (e.count == 0 && e.total == 0) continue;
+    const std::string_view name = mechanism_name(static_cast<Mechanism>(i));
+    std::snprintf(buf, sizeof buf,
+                  "%s\"%.*s\": {\"count\": %" PRIu64
+                  ", \"time_ns\": %" PRId64 ", \"pct\": %.2f}",
+                  first ? "" : ", ", static_cast<int>(name.size()), name.data(),
+                  e.count, e.total,
+                  total > 0 ? static_cast<double>(e.total) / total * 100.0 : 0.0);
+    out += buf;
+    first = false;
+  }
+  out += "}";
   return out;
 }
 

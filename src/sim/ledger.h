@@ -10,6 +10,8 @@
 
 #include <array>
 #include <cstdint>
+#include <cstdio>
+#include <string>
 #include <string_view>
 
 #include "sim/time.h"
@@ -64,6 +66,16 @@ class Ledger {
   /// Per-mechanism difference (this - other), useful for protocol-vs-protocol
   /// breakdowns.
   [[nodiscard]] Ledger diff(const Ledger& other) const noexcept;
+
+  /// Percentage-of-total breakdown table: one row per non-zero mechanism
+  /// (count, total us, % of total_time()), descending by share. `divisor`
+  /// scales counts and times to a per-operation view (e.g. rounds).
+  void print_breakdown(std::FILE* out, const char* title,
+                       std::uint64_t divisor = 1) const;
+
+  /// JSON object: mechanism -> {count, time_ns, pct}; embedded verbatim in
+  /// RunReports (self-contained so sim does not depend on the metrics lib).
+  [[nodiscard]] std::string json() const;
 
  private:
   std::array<Entry, static_cast<std::size_t>(Mechanism::kCount)> entries_{};

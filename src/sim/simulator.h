@@ -14,6 +14,10 @@
 #include "sim/rng.h"
 #include "sim/time.h"
 
+namespace metrics {
+class Metrics;
+}  // namespace metrics
+
 namespace trace {
 class Tracer;
 }  // namespace trace
@@ -64,6 +68,12 @@ class Simulator {
   [[nodiscard]] trace::Tracer* tracer() const noexcept { return tracer_; }
   void set_tracer(trace::Tracer* t) noexcept { tracer_ = t; }
 
+  /// The attached metrics hub, or nullptr (same contract as the tracer:
+  /// recording is pure observation and never perturbs the simulation).
+  /// Managed by metrics::Metrics's ctor/dtor.
+  [[nodiscard]] metrics::Metrics* metrics() const noexcept { return metrics_; }
+  void set_metrics(metrics::Metrics* m) noexcept { metrics_ = m; }
+
  private:
   struct Event {
     Time t;
@@ -83,6 +93,7 @@ class Simulator {
   std::uint64_t executed_ = 0;
   Rng rng_;
   trace::Tracer* tracer_ = nullptr;
+  metrics::Metrics* metrics_ = nullptr;
 };
 
 }  // namespace sim

@@ -1,0 +1,246 @@
+// Histogram percentile math against ground truth: nearest-rank percentiles
+// computed from the sorted raw samples must match the histogram's answer
+// within the documented bucket resolution (1/16 relative width), and merging
+// must be associative, commutative and loss-free.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "metrics/histogram.h"
+
+namespace {
+
+using metrics::Histogram;
+
+/// Nearest-rank percentile of the raw samples (the definition the histogram
+/// approximates): the ceil(p/100 * n)-th smallest sample.
+std::uint64_t sample_percentile(std::vector<std::uint64_t> samples, double p) {
+  std::sort(samples.begin(), samples.end());
+  if (p <= 0.0) return samples.front();
+  if (p >= 100.0) return samples.back();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(samples.size())));
+  return samples[rank - 1];
+}
+
+/// Asserts the documented accuracy contract for every interesting percentile:
+/// never under-reports, and over-reports by at most one bucket width
+/// (exact below 32, <= 1/16 relative above).
+void expect_percentiles_within_resolution(const Histogram& h,
+                                          const std::vector<std::uint64_t>& samples) {
+  for (const double p : {0.0, 1.0, 10.0, 25.0, 50.0, 75.0, 90.0, 99.0, 99.9, 100.0}) {
+    const std::uint64_t exact = sample_percentile(samples, p);
+    const std::uint64_t est = h.percentile(p);
+    EXPECT_GE(est, exact) << "p=" << p;
+    const std::uint64_t slack = exact < 32 ? 0 : exact / Histogram::kSubBuckets;
+    EXPECT_LE(est, exact + slack) << "p=" << p;
+  }
+}
+
+TEST(Histogram, EmptyIsAllZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.sum(), 0U);
+  EXPECT_EQ(h.min(), 0U);
+  EXPECT_EQ(h.max(), 0U);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(50), 0U);
+  EXPECT_TRUE(h.nonzero_buckets().empty());
+}
+
+TEST(Histogram, SmallValuesAreExact) {
+  // Values below 32 get their own bucket, so every percentile is exact.
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (std::uint64_t v = 0; v < 32; ++v) {
+    for (std::uint64_t k = 0; k <= v; ++k) {
+      h.record(v);
+      samples.push_back(v);
+    }
+  }
+  for (const double p : {1.0, 10.0, 50.0, 90.0, 99.0}) {
+    EXPECT_EQ(h.percentile(p), sample_percentile(samples, p)) << "p=" << p;
+  }
+}
+
+TEST(Histogram, TracksExactExtremaCountAndSum) {
+  Histogram h;
+  h.record(7);
+  h.record(123456789);
+  h.record(1000, 3);
+  EXPECT_EQ(h.count(), 5U);
+  EXPECT_EQ(h.sum(), 7U + 123456789U + 3U * 1000U);
+  EXPECT_EQ(h.min(), 7U);
+  EXPECT_EQ(h.max(), 123456789U);
+  EXPECT_DOUBLE_EQ(h.mean(), static_cast<double>(h.sum()) / 5.0);
+}
+
+TEST(Histogram, PercentileEdgeCases) {
+  Histogram h;
+  h.record(100);
+  h.record(200000);
+  EXPECT_EQ(h.percentile(0), 100U);     // p<=0 -> exact min
+  EXPECT_EQ(h.percentile(-5), 100U);
+  EXPECT_EQ(h.percentile(100), 200000U);  // p>=100 -> exact max
+  EXPECT_EQ(h.percentile(150), 200000U);
+  // Estimates never exceed the tracked max, even though the max's bucket
+  // upper bound does.
+  EXPECT_LE(h.percentile(99.999), h.max());
+}
+
+TEST(Histogram, UniformDistributionWithinResolution) {
+  std::mt19937_64 rng(12345);
+  std::uniform_int_distribution<std::uint64_t> dist(1, 5'000'000);
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 10000; ++i) {
+    const std::uint64_t v = dist(rng);
+    h.record(v);
+    samples.push_back(v);
+  }
+  expect_percentiles_within_resolution(h, samples);
+}
+
+TEST(Histogram, HeavyTailWithinResolution) {
+  // Latency-shaped data: lognormal with a long tail, the case the relative
+  // (rather than absolute) bucket width exists for.
+  std::mt19937_64 rng(99);
+  std::lognormal_distribution<double> dist(12.0, 1.5);
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = static_cast<std::uint64_t>(dist(rng));
+    h.record(v);
+    samples.push_back(v);
+  }
+  expect_percentiles_within_resolution(h, samples);
+}
+
+TEST(Histogram, BimodalWithinResolution) {
+  // Fast path vs retransmission path: two separated modes.
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<std::uint64_t> fast(1'000, 2'000);
+  std::uniform_int_distribution<std::uint64_t> slow(900'000, 1'100'000);
+  Histogram h;
+  std::vector<std::uint64_t> samples;
+  for (int i = 0; i < 5000; ++i) {
+    const std::uint64_t v = (i % 10 == 0) ? slow(rng) : fast(rng);
+    h.record(v);
+    samples.push_back(v);
+  }
+  expect_percentiles_within_resolution(h, samples);
+}
+
+TEST(Histogram, BucketMathBoundsEveryValue) {
+  std::mt19937_64 rng(42);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 1ULL << 40);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t v = i < 100 ? static_cast<std::uint64_t>(i) : dist(rng);
+    const std::size_t idx = Histogram::bucket_index(v);
+    const std::uint64_t lo = Histogram::bucket_lower(idx);
+    const std::uint64_t hi = Histogram::bucket_upper(idx);
+    ASSERT_LE(lo, v);
+    ASSERT_GE(hi, v);
+    // Relative width contract: at most 1/16 of the bucket's lower bound
+    // (exact single-value buckets below 32).
+    if (v >= 32) {
+      ASSERT_LE(hi - lo + 1, lo / Histogram::kSubBuckets) << "v=" << v;
+    } else {
+      ASSERT_EQ(lo, hi);
+    }
+  }
+}
+
+TEST(Histogram, BucketsArePartition) {
+  // Consecutive buckets tile the value space with no gaps or overlaps.
+  for (std::size_t idx = 0; idx < 1000; ++idx) {
+    ASSERT_EQ(Histogram::bucket_upper(idx) + 1, Histogram::bucket_lower(idx + 1));
+  }
+}
+
+TEST(Histogram, MergeMatchesSingleHistogram) {
+  std::mt19937_64 rng(2024);
+  std::uniform_int_distribution<std::uint64_t> dist(0, 10'000'000);
+  Histogram all;
+  Histogram parts[4];
+  for (int i = 0; i < 8000; ++i) {
+    const std::uint64_t v = dist(rng);
+    all.record(v);
+    parts[i % 4].record(v);
+  }
+  Histogram merged;
+  for (const Histogram& p : parts) merged.merge(p);
+  EXPECT_EQ(merged, all);
+  EXPECT_EQ(merged.percentile(99), all.percentile(99));
+}
+
+TEST(Histogram, MergeIsAssociativeAndCommutative) {
+  std::mt19937_64 rng(555);
+  std::lognormal_distribution<double> dist(10.0, 2.0);
+  Histogram a;
+  Histogram b;
+  Histogram c;
+  for (int i = 0; i < 1000; ++i) {
+    a.record(static_cast<std::uint64_t>(dist(rng)));
+    b.record(static_cast<std::uint64_t>(dist(rng)));
+    c.record(static_cast<std::uint64_t>(dist(rng)));
+  }
+  // (a + b) + c
+  Histogram left = a;
+  left.merge(b);
+  left.merge(c);
+  // a + (b + c)
+  Histogram right = b;
+  right.merge(c);
+  Histogram right_total = a;
+  right_total.merge(right);
+  EXPECT_EQ(left, right_total);
+  // b + a == a + b
+  Histogram ab = a;
+  ab.merge(b);
+  Histogram ba = b;
+  ba.merge(a);
+  EXPECT_EQ(ab, ba);
+}
+
+TEST(Histogram, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  a.record(12345);
+  a.record(67);
+  const Histogram before = a;
+  Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a, before);
+  empty.merge(a);
+  EXPECT_EQ(empty, a);
+}
+
+TEST(Histogram, ResetClearsEverything) {
+  Histogram h;
+  h.record(1000, 50);
+  h.reset();
+  EXPECT_EQ(h.count(), 0U);
+  EXPECT_EQ(h.sum(), 0U);
+  EXPECT_EQ(h.min(), 0U);
+  EXPECT_EQ(h.max(), 0U);
+  Histogram empty;
+  EXPECT_EQ(h, empty);
+}
+
+TEST(Histogram, NonzeroBucketsCoverAllSamples) {
+  Histogram h;
+  h.record(5, 2);
+  h.record(100000, 3);
+  std::uint64_t total = 0;
+  for (const Histogram::Bucket& b : h.nonzero_buckets()) {
+    EXPECT_LE(b.lower, b.upper);
+    total += b.count;
+  }
+  EXPECT_EQ(total, h.count());
+}
+
+}  // namespace

@@ -1,0 +1,83 @@
+// MetricsRegistry find-or-create semantics, cross-node aggregation, and the
+// hub's tracer-style attach/detach contract on the simulator.
+#include <gtest/gtest.h>
+
+#include "metrics/registry.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using metrics::Metrics;
+using metrics::MetricsRegistry;
+
+TEST(MetricsRegistry, FindOrCreateReturnsStableEntries) {
+  MetricsRegistry reg;
+  EXPECT_TRUE(reg.empty());
+  MetricsRegistry::Counter& c = reg.counter("rpc.calls");
+  c.add();
+  c.add(4);
+  // Same name finds the same counter; different names don't alias.
+  EXPECT_EQ(reg.counter("rpc.calls").value, 5U);
+  EXPECT_EQ(reg.counter("rpc.timeouts").value, 0U);
+  EXPECT_EQ(reg.counters().size(), 2U);
+
+  reg.gauge("wire.util").set(0.75);
+  EXPECT_DOUBLE_EQ(reg.gauge("wire.util").value, 0.75);
+
+  reg.histogram("rpc.latency_ns").record(1000);
+  EXPECT_EQ(reg.histogram("rpc.latency_ns").count(), 1U);
+  EXPECT_FALSE(reg.empty());
+}
+
+TEST(MetricsRegistry, MergeAddsCountersAndGaugesAndMergesHistograms) {
+  MetricsRegistry a;
+  a.counter("rpc.calls").add(3);
+  a.gauge("nic.rx_frames").set(10.0);
+  a.histogram("lat").record(100);
+
+  MetricsRegistry b;
+  b.counter("rpc.calls").add(2);
+  b.counter("rpc.timeouts").add(1);  // only in b
+  b.gauge("nic.rx_frames").set(7.0);
+  b.histogram("lat").record(200);
+
+  a.merge(b);
+  EXPECT_EQ(a.counter("rpc.calls").value, 5U);
+  EXPECT_EQ(a.counter("rpc.timeouts").value, 1U);
+  EXPECT_DOUBLE_EQ(a.gauge("nic.rx_frames").value, 17.0);
+  EXPECT_EQ(a.histogram("lat").count(), 2U);
+  EXPECT_EQ(a.histogram("lat").min(), 100U);
+  EXPECT_EQ(a.histogram("lat").max(), 200U);
+}
+
+TEST(Metrics, AttachesAndDetachesLikeATracer) {
+  sim::Simulator s;
+  EXPECT_EQ(s.metrics(), nullptr);
+  {
+    Metrics hub(s);
+    EXPECT_EQ(s.metrics(), &hub);
+    // The instrumented-site idiom.
+    if (auto* mx = s.metrics()) mx->node(3).counter("rpc.calls").add();
+    EXPECT_EQ(hub.node(3).counter("rpc.calls").value, 1U);
+  }
+  EXPECT_EQ(s.metrics(), nullptr);  // detached on destruction
+}
+
+TEST(Metrics, AggregateMergesGlobalAndAllNodes) {
+  sim::Simulator s;
+  Metrics hub(s);
+  hub.global().counter("net.bytes").add(1000);
+  hub.node(0).counter("rpc.calls").add(4);
+  hub.node(1).counter("rpc.calls").add(6);
+  hub.node(0).histogram("lat").record(50);
+  hub.node(1).histogram("lat").record(150);
+
+  const MetricsRegistry agg = hub.aggregate();
+  EXPECT_EQ(agg.counters().at("net.bytes").value, 1000U);
+  EXPECT_EQ(agg.counters().at("rpc.calls").value, 10U);
+  EXPECT_EQ(agg.histograms().at("lat").count(), 2U);
+  EXPECT_EQ(agg.histograms().at("lat").max(), 150U);
+  EXPECT_EQ(hub.nodes().size(), 2U);
+}
+
+}  // namespace

@@ -1,0 +1,260 @@
+// RunReport JSON emission round-trips through the bundled parser with all
+// schema fields intact, and report comparison flags regressions in the right
+// direction (and only beyond the threshold).
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/compare.h"
+#include "metrics/json.h"
+#include "metrics/report.h"
+#include "sim/ledger.h"
+
+namespace {
+
+using metrics::Better;
+using metrics::CompareOptions;
+using metrics::CompareResult;
+using metrics::JsonValue;
+using metrics::RunReport;
+
+/// Builds a report with one metric of each direction, like a bench would.
+RunReport make_report(double latency_ms, double throughput_kbs,
+                      double info_value) {
+  RunReport r("unit_test");
+  r.set_config("seed", std::uint64_t{42});
+  r.set_config("nodes", std::int64_t{4});
+  r.set_config("quick", false);
+  r.set_config("label", std::string("hello \"quoted\" world"));
+  r.add_metric("rpc.latency.ms", latency_ms, Better::kLower, "ms");
+  r.add_metric("rpc.throughput.kbs", throughput_kbs, Better::kHigher, "KB/s");
+  r.add_metric("host.time.ns", info_value, Better::kInfo, "ns");
+  return r;
+}
+
+TEST(RunReport, JsonRoundTripsThroughParser) {
+  RunReport report = make_report(1.5, 900.0, 12345.0);
+  metrics::Histogram h;
+  h.record(1000);
+  h.record(2000);
+  h.record(300000);
+  report.add_histogram("rpc.latency_ns", h);
+  sim::Ledger ledger;
+  ledger.add(sim::Mechanism::kContextSwitch, sim::usec(10), 2);
+  report.add_ledger("user", ledger);
+
+  std::string err;
+  const std::optional<JsonValue> parsed = metrics::parse_json(report.json(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  ASSERT_TRUE(parsed->is_object());
+
+  // Versioned schema header.
+  const JsonValue* schema = parsed->find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, RunReport::kSchema);
+  const JsonValue* version = parsed->find("schema_version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->number, RunReport::kSchemaVersion);
+  EXPECT_EQ(parsed->find("bench")->string, "unit_test");
+  ASSERT_NE(parsed->find("git"), nullptr);  // stamped at build time
+
+  // Config round-trips with types (and string escaping) intact.
+  const JsonValue* config = parsed->find("config");
+  ASSERT_NE(config, nullptr);
+  EXPECT_EQ(config->find("seed")->number, 42.0);
+  EXPECT_EQ(config->find("nodes")->number, 4.0);
+  EXPECT_EQ(config->find("quick")->boolean, false);
+  EXPECT_EQ(config->find("label")->string, "hello \"quoted\" world");
+
+  // Metrics carry value, direction and unit.
+  const JsonValue* ms = parsed->find("metrics");
+  ASSERT_NE(ms, nullptr);
+  const JsonValue* lat = ms->find("rpc.latency.ms");
+  ASSERT_NE(lat, nullptr);
+  EXPECT_EQ(lat->find("value")->number, 1.5);
+  EXPECT_EQ(lat->find("better")->string, "lower");
+  EXPECT_EQ(lat->find("unit")->string, "ms");
+  EXPECT_EQ(ms->find("rpc.throughput.kbs")->find("better")->string, "higher");
+  EXPECT_EQ(ms->find("host.time.ns")->find("better")->string, "info");
+
+  // Histogram section: summary stats plus the bucket array.
+  const JsonValue* hist = parsed->find("histograms")->find("rpc.latency_ns");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->find("count")->number, 3.0);
+  EXPECT_EQ(hist->find("min")->number, 1000.0);
+  EXPECT_EQ(hist->find("max")->number, 300000.0);
+  EXPECT_GE(hist->find("p50")->number, 2000.0);
+  ASSERT_TRUE(hist->find("buckets")->is_array());
+  EXPECT_EQ(hist->find("buckets")->array.size(), 3U);
+
+  // Ledger section spliced in as raw JSON.
+  const JsonValue* led = parsed->find("ledgers")->find("user");
+  ASSERT_NE(led, nullptr);
+  EXPECT_TRUE(led->is_object());
+}
+
+TEST(RunReport, ReAddingAMetricOverwrites) {
+  RunReport r("unit_test");
+  r.add_metric("x", 1.0, Better::kLower);
+  r.add_metric("x", 2.0, Better::kHigher);
+  std::string err;
+  const std::optional<JsonValue> parsed = metrics::parse_json(r.json(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  const JsonValue* x = parsed->find("metrics")->find("x");
+  EXPECT_EQ(x->find("value")->number, 2.0);
+  EXPECT_EQ(x->find("better")->string, "higher");
+}
+
+TEST(RunReport, AddRegistryImportsWithPrefix) {
+  metrics::MetricsRegistry reg;
+  reg.counter("rpc.calls").add(16);
+  reg.gauge("wire.util").set(0.5);
+  reg.histogram("rpc.latency_ns").record(777);
+
+  RunReport r("unit_test");
+  r.add_registry(reg, "user.");
+  std::string err;
+  const std::optional<JsonValue> parsed = metrics::parse_json(r.json(), &err);
+  ASSERT_TRUE(parsed.has_value()) << err;
+  const JsonValue* calls = parsed->find("metrics")->find("user.rpc.calls");
+  ASSERT_NE(calls, nullptr);
+  EXPECT_EQ(calls->find("value")->number, 16.0);
+  EXPECT_EQ(calls->find("better")->string, "info");  // registry imports never gate
+  EXPECT_NE(parsed->find("metrics")->find("user.wire.util"), nullptr);
+  EXPECT_NE(parsed->find("histograms")->find("user.rpc.latency_ns"), nullptr);
+}
+
+TEST(Compare, IdenticalReportsAreClean) {
+  const std::string text = make_report(1.5, 900.0, 1.0).json();
+  const CompareResult r = metrics::compare_report_texts(text, text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.regressed);
+  for (const auto& d : r.deltas) {
+    EXPECT_FALSE(d.regression) << d.name;
+    EXPECT_EQ(d.delta_pct, 0.0) << d.name;
+  }
+}
+
+TEST(Compare, LowerBetterIncreaseRegresses) {
+  const std::string old_text = make_report(1.0, 900.0, 1.0).json();
+  const std::string new_text = make_report(1.2, 900.0, 1.0).json();  // +20% latency
+  const CompareResult r = metrics::compare_report_texts(old_text, new_text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.regressed);
+  bool found = false;
+  for (const auto& d : r.deltas) {
+    if (d.name == "rpc.latency.ms") {
+      found = true;
+      EXPECT_TRUE(d.regression);
+      EXPECT_NEAR(d.delta_pct, 20.0, 1e-6);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Compare, LowerBetterDecreaseImproves) {
+  const std::string old_text = make_report(1.0, 900.0, 1.0).json();
+  const std::string new_text = make_report(0.8, 900.0, 1.0).json();
+  const CompareResult r = metrics::compare_report_texts(old_text, new_text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.regressed);
+  for (const auto& d : r.deltas) {
+    if (d.name == "rpc.latency.ms") {
+      EXPECT_TRUE(d.improvement);
+      EXPECT_FALSE(d.regression);
+    }
+  }
+}
+
+TEST(Compare, HigherBetterDecreaseRegresses) {
+  const std::string old_text = make_report(1.0, 1000.0, 1.0).json();
+  const std::string new_text = make_report(1.0, 800.0, 1.0).json();  // -20% tput
+  const CompareResult r = metrics::compare_report_texts(old_text, new_text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.regressed);
+}
+
+TEST(Compare, HigherBetterIncreaseDoesNotRegress) {
+  const std::string old_text = make_report(1.0, 1000.0, 1.0).json();
+  const std::string new_text = make_report(1.0, 1500.0, 1.0).json();
+  const CompareResult r = metrics::compare_report_texts(old_text, new_text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.regressed);
+}
+
+TEST(Compare, InfoMetricsNeverGate) {
+  const std::string old_text = make_report(1.0, 1000.0, 1.0).json();
+  const std::string new_text = make_report(1.0, 1000.0, 500.0).json();  // +49900%
+  const CompareResult r = metrics::compare_report_texts(old_text, new_text);
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_FALSE(r.regressed);
+}
+
+TEST(Compare, ThresholdIsAStrictBoundary) {
+  CompareOptions opt;
+  opt.threshold_pct = 10.0;
+  // Integer-valued doubles so the relative delta is exact.
+  const std::string old_text = make_report(100.0, 1000.0, 1.0).json();
+  // Exactly +10%: not "beyond" the threshold, so no regression.
+  const CompareResult at = metrics::compare_report_texts(
+      old_text, make_report(110.0, 1000.0, 1.0).json(), opt);
+  ASSERT_TRUE(at.ok()) << at.error;
+  EXPECT_FALSE(at.regressed);
+  // Just past it: regression.
+  const CompareResult past = metrics::compare_report_texts(
+      old_text, make_report(112.0, 1000.0, 1.0).json(), opt);
+  ASSERT_TRUE(past.ok()) << past.error;
+  EXPECT_TRUE(past.regressed);
+}
+
+TEST(Compare, HistogramPercentilesCompareAsLatencies) {
+  RunReport old_r("unit_test");
+  metrics::Histogram fast;
+  for (int i = 0; i < 100; ++i) fast.record(1000);
+  old_r.add_histogram("lat", fast);
+
+  RunReport new_r("unit_test");
+  metrics::Histogram slow;
+  for (int i = 0; i < 100; ++i) slow.record(2000);  // 2x worse everywhere
+  new_r.add_histogram("lat", slow);
+
+  const CompareResult r =
+      metrics::compare_report_texts(old_r.json(), new_r.json());
+  ASSERT_TRUE(r.ok()) << r.error;
+  EXPECT_TRUE(r.regressed);
+  bool p99_flagged = false;
+  for (const auto& d : r.deltas) {
+    if (d.name == "lat.p99") p99_flagged = d.regression;
+  }
+  EXPECT_TRUE(p99_flagged);
+}
+
+TEST(Compare, DisappearedAndNewMetricsAreListed) {
+  RunReport old_r("unit_test");
+  old_r.add_metric("gone.ms", 1.0, Better::kLower);
+  old_r.add_metric("both.ms", 1.0, Better::kLower);
+  RunReport new_r("unit_test");
+  new_r.add_metric("both.ms", 1.0, Better::kLower);
+  new_r.add_metric("fresh.ms", 1.0, Better::kLower);
+  const CompareResult r =
+      metrics::compare_report_texts(old_r.json(), new_r.json());
+  ASSERT_TRUE(r.ok()) << r.error;
+  ASSERT_EQ(r.only_old.size(), 1U);
+  EXPECT_EQ(r.only_old[0], "gone.ms");
+  ASSERT_EQ(r.only_new.size(), 1U);
+  EXPECT_EQ(r.only_new[0], "fresh.ms");
+  EXPECT_FALSE(r.regressed);  // presence changes never gate by themselves
+}
+
+TEST(Compare, RejectsForeignOrMalformedInput) {
+  const std::string good = make_report(1.0, 1.0, 1.0).json();
+  const CompareResult not_json = metrics::compare_report_texts("{oops", good);
+  EXPECT_FALSE(not_json.ok());
+  const CompareResult wrong_schema = metrics::compare_report_texts(
+      R"({"schema": "something-else/v1", "metrics": {}})", good);
+  EXPECT_FALSE(wrong_schema.ok());
+  const CompareResult not_object = metrics::compare_report_texts("[1,2]", good);
+  EXPECT_FALSE(not_object.ok());
+}
+
+}  // namespace

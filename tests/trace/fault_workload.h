@@ -34,7 +34,8 @@ struct WorkloadResult {
 /// seeded simulator Rng, so a (binding, seed, fault) triple fully determines
 /// the run.
 inline WorkloadResult run_fault_workload(core::Binding binding,
-                                         std::uint64_t seed, Fault fault) {
+                                         std::uint64_t seed, Fault fault,
+                                         bool metrics = false) {
   constexpr std::size_t kNodes = 4;
   core::TestbedConfig cfg;
   cfg.binding = binding;
@@ -42,6 +43,7 @@ inline WorkloadResult run_fault_workload(core::Binding binding,
   cfg.sequencer = 0;
   cfg.seed = seed;
   cfg.trace = true;
+  cfg.metrics = metrics;
   auto bed = std::make_unique<core::Testbed>(cfg);
   core::Testbed* bp = bed.get();
 
