@@ -103,7 +103,7 @@ sim::Co<void> Flip::unicast(FlipAddr dst, net::Payload message, sim::Prio prio) 
   if (route == route_cache_.end()) {
     auto& pending = locating_[dst];
     pending.queued.push_back(std::move(message));
-    if (pending.timer == nullptr) start_locate(dst);
+    if (!pending.retry.active()) locate_tick(dst);
     co_return;  // unreliable: will go out once located, or vanish
   }
   co_await send_fragments(route->second, dst, src, std::move(message), prio);
@@ -213,11 +213,11 @@ sim::Co<void> Flip::handle_data(const net::Frame& frame) {
 
   const ReassemblyKey key{h.src, h.msg_id};
   auto [it, fresh] = reassembly_.try_emplace(key);
-  Reassembly& ra = it->second;
   const CostModel& c = kernel_->costs();
   const std::size_t capacity =
       kernel_->nic().segment().wire().mtu - kHeaderBytes;
   if (fresh) {
+    Reassembly& ra = it->second;
     ra.dst = h.dst;
     ra.total = h.total_len;
     ra.bytes.resize(h.total_len);
@@ -228,12 +228,24 @@ sim::Co<void> Flip::handle_data(const net::Frame& frame) {
     }
   }
   const std::size_t slot = h.offset / capacity;
-  if (slot < ra.have.size() && !ra.have[slot]) {
+  if (slot < it->second.have.size() && !it->second.have[slot]) {
+    Reassembly& ra = it->second;
     ra.have[slot] = true;
     std::copy(data.bytes().begin(), data.bytes().end(), ra.bytes.begin() + h.offset);
     ra.received += data.size();
+    // The fragment bytes really move into the reassembly buffer; charge the
+    // copy per byte at the same rate as every other message copy so the
+    // paper's copy accounting covers all memory traffic. Charging occupies
+    // the CPU, so this handler suspends here: the sibling fragment that
+    // completes the message, or the timeout sweep, may erase the reassembly
+    // entry before we resume. Re-find it and stand down if it is gone.
+    co_await kernel_->charge(sim::Prio::kInterrupt, sim::Mechanism::kUserKernelCopy,
+                             c.copy_ns_per_byte * static_cast<sim::Time>(data.size()));
+    it = reassembly_.find(key);
+    if (it == reassembly_.end()) co_return;
   }
-  if (ra.received == ra.total) {
+  if (it->second.received == it->second.total) {
+    Reassembly& ra = it->second;
     net::Payload whole{std::move(ra.bytes)};
     const FlipAddr src = h.src;
     const FlipAddr dst = ra.dst;
@@ -288,18 +300,13 @@ void Flip::handle_here_is(const net::Frame& frame) {
   route_cache_[h.dst] = owner_mac;
   const auto it = locating_.find(h.dst);
   if (it == locating_.end()) return;
+  it->second.retry.cancel();  // resolved: no further locate broadcasts
   auto queued = std::move(it->second.queued);
   locating_.erase(it);
   for (auto& message : queued) {
     sim::spawn(send_fragments(owner_mac, h.dst, kernel_flip_addr(kernel_->node()),
                               std::move(message), sim::Prio::kKernel));
   }
-}
-
-void Flip::start_locate(FlipAddr dst) {
-  auto& pending = locating_[dst];
-  pending.timer = std::make_unique<sim::Timer>(kernel_->sim());
-  locate_tick(dst);
 }
 
 void Flip::locate_tick(FlipAddr dst) {
@@ -328,7 +335,8 @@ void Flip::locate_tick(FlipAddr dst) {
   frame.dst = net::kBroadcast;
   frame.payload = serialize_fragment(h, w.take());
   kernel_->nic().send(std::move(frame));
-  pending.timer->schedule(kLocateRetryInterval, [this, dst] { locate_tick(dst); });
+  pending.retry = kernel_->sim().after(kLocateRetryInterval,
+                                       [this, dst] { locate_tick(dst); });
 }
 
 void Flip::sweep_reassembly() {

@@ -140,7 +140,7 @@ class Flip {
   struct PendingLocate {
     std::deque<net::Payload> queued;  // serialized messages awaiting a route
     int attempts = 0;
-    std::unique_ptr<sim::Timer> timer;
+    sim::EventHandle retry;  // the next locate_tick, cancelled on resolution
   };
 
   void on_frame(const net::Frame& frame);
@@ -153,7 +153,6 @@ class Flip {
   [[nodiscard]] sim::Co<void> send_fragments(net::MacAddr dst_mac, FlipAddr dst,
                                              FlipAddr src, net::Payload message,
                                              sim::Prio prio);
-  void start_locate(FlipAddr dst);
   void locate_tick(FlipAddr dst);
   void sweep_reassembly();
 

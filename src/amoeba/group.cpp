@@ -35,11 +35,9 @@ void KernelGroup::join(GroupId gid, GroupConfig config) {
   sim::require(!config.members.empty(), "KernelGroup::join: empty group");
   MemberState& ms = groups_[gid];
   ms.config = std::move(config);
-  ms.gap_timer = std::make_unique<sim::Timer>(kernel_->sim());
   ms.is_sequencer = ms.config.sequencer_node() == kernel_->node();
   if (ms.is_sequencer) {
     ms.seq = std::make_unique<SequencerState>();
-    ms.seq->lag_timer = std::make_unique<sim::Timer>(kernel_->sim());
     kernel_->flip().register_endpoint(
         group_sequencer_addr(gid), [this, gid](FlipMessage m) -> sim::Co<void> {
           co_await on_sequencer_message(gid, std::move(m));
@@ -100,7 +98,6 @@ sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
   ps->thread = &self;
   ps->uid = uid;
   ps->bb = bb;
-  ps->timer = std::make_unique<sim::Timer>(kernel_->sim());
   PendingSend* raw = ps.get();
   ms.sends_in_flight.emplace(uid, raw);
   // Keep ownership alongside the in-flight map entry.
@@ -133,8 +130,9 @@ sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
   }
 
   if (!ms.is_sequencer) {
-    raw->timer->schedule(ms.config.send_retry_interval,
-                         [this, gid, uid] { send_retry_tick(gid, uid); });
+    raw->retry = kernel_->sim().after(
+        ms.config.send_retry_interval,
+        [this, gid, uid] { send_retry_tick(gid, uid); });
   }
 
   // "the calling thread is suspended until the message has returned from the
@@ -153,8 +151,10 @@ sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
 
 void KernelGroup::send_retry_tick(GroupId gid, std::uint64_t uid) {
   MemberState& ms = state(gid);
+  // The retry is cancelled when the send completes, so a live fire always
+  // finds an unfinished send.
   const auto it = ms.sends_in_flight.find(uid);
-  if (it == ms.sends_in_flight.end() || it->second->done) return;
+  if (it == ms.sends_in_flight.end()) return;
   PendingSend& pending = *it->second;
   ++pending.sends;
   if (auto* mx = kernel_->sim().metrics()) {
@@ -175,7 +175,8 @@ void KernelGroup::send_retry_tick(GroupId gid, std::uint64_t uid) {
   // queued behind other traffic, not lost.
   const sim::Time backoff =
       ms.config.send_retry_interval * (1LL << std::min(pending.sends, 4));
-  pending.timer->schedule(backoff, [this, gid, uid] { send_retry_tick(gid, uid); });
+  pending.retry = kernel_->sim().after(
+      backoff, [this, gid, uid] { send_retry_tick(gid, uid); });
 }
 
 sim::Co<GroupMsg> KernelGroup::receive(Thread& self, GroupId gid) {
@@ -405,9 +406,9 @@ sim::Co<void> KernelGroup::sequence(GroupId gid, MemberState& ms, NodeId sender,
 
 void KernelGroup::arm_lag_watchdog(GroupId gid) {
   MemberState& ms = state(gid);
-  if (ms.seq->lag_timer->pending()) return;
-  ms.seq->lag_timer->schedule(sim::msec(200),
-                              [this, gid] { lag_watchdog_tick(gid); });
+  if (ms.seq->lag_probe.active()) return;
+  ms.seq->lag_probe = kernel_->sim().after(
+      sim::msec(200), [this, gid] { lag_watchdog_tick(gid); });
 }
 
 void KernelGroup::lag_watchdog_tick(GroupId gid) {
@@ -415,8 +416,8 @@ void KernelGroup::lag_watchdog_tick(GroupId gid) {
   SequencerState& seq = *ms.seq;
   // Probe only once sequencing has gone quiet (see user-space counterpart).
   if (kernel_->sim().now() - seq.last_progress < sim::msec(200)) {
-    ms.seq->lag_timer->schedule(sim::msec(200),
-                                [this, gid] { lag_watchdog_tick(gid); });
+    ms.seq->lag_probe = kernel_->sim().after(
+        sim::msec(200), [this, gid] { lag_watchdog_tick(gid); });
     return;
   }
   const SeqNo target = seq.next_seqno - 1;
@@ -448,8 +449,8 @@ void KernelGroup::lag_watchdog_tick(GroupId gid) {
                                    0, 0, net::Payload());
     sim::spawn(kernel_->flip().multicast(group_flip_addr(gid), std::move(probe),
                                          sim::Prio::kKernel));
-    ms.seq->lag_timer->schedule(sim::msec(200),
-                                [this, gid] { lag_watchdog_tick(gid); });
+    ms.seq->lag_probe = kernel_->sim().after(
+        sim::msec(200), [this, gid] { lag_watchdog_tick(gid); });
   }
 }
 
@@ -540,7 +541,7 @@ sim::Co<void> KernelGroup::deliver_in_order(GroupId gid, MemberState& ms) {
     SequencedMsg sm = std::move(it->second);
     ms.out_of_order.erase(it);
     ++ms.next_expected;
-    ms.gap_timer->cancel();
+    ms.gap_probe.cancel();
     ms.bb_bodies.erase(sm.uid);
 
     if (sm.sender == kernel_->node()) {
@@ -549,7 +550,7 @@ sim::Co<void> KernelGroup::deliver_in_order(GroupId gid, MemberState& ms) {
       const auto sit = ms.sends_in_flight.find(sm.uid);
       if (sit != ms.sends_in_flight.end() && !sit->second->done) {
         sit->second->done = true;
-        sit->second->timer->cancel();
+        sit->second->retry.cancel();
         unblocked_senders.push_back(sit->second->thread);
       }
     }
@@ -578,8 +579,8 @@ sim::Co<void> KernelGroup::deliver_in_order(GroupId gid, MemberState& ms) {
 
 void KernelGroup::arm_gap_timer(GroupId gid) {
   MemberState& ms = state(gid);
-  if (ms.gap_timer->pending()) return;
-  ms.gap_timer->schedule(ms.config.gap_request_delay, [this, gid] {
+  if (ms.gap_probe.active()) return;
+  ms.gap_probe = kernel_->sim().after(ms.config.gap_request_delay, [this, gid] {
     MemberState& m = state(gid);
     if (m.out_of_order.empty()) return;
     if (auto* tr = kernel_->sim().tracer()) {

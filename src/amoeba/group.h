@@ -35,7 +35,6 @@
 #include "amoeba/kernel.h"
 #include "net/buffer.h"
 #include "sim/co.h"
-#include "sim/timer.h"
 
 namespace amoeba {
 
@@ -127,7 +126,7 @@ class KernelGroup {
     net::Payload wire;      // serialized request/body, for retries
     bool bb = false;
     bool done = false;
-    std::unique_ptr<sim::Timer> timer;
+    sim::EventHandle retry;  // next send_retry_tick; cancelled on completion
     int sends = 0;
   };
 
@@ -151,7 +150,7 @@ class KernelGroup {
     bool status_round_active = false;
     std::uint64_t total_sequenced = 0;
     // Tail-loss watchdog (see the user-space counterpart for rationale).
-    std::unique_ptr<sim::Timer> lag_timer;
+    sim::EventHandle lag_probe;
     sim::Time last_progress = 0;
   };
 
@@ -166,7 +165,7 @@ class KernelGroup {
     std::deque<GroupMsg> inbox;
     std::deque<Thread*> waiting_receivers;
     std::unordered_map<std::uint64_t, PendingSend*> sends_in_flight;
-    std::unique_ptr<sim::Timer> gap_timer;
+    sim::EventHandle gap_probe;  // pending gap-request; cancelled as gaps close
     std::unique_ptr<SequencerState> seq;  // non-null on the sequencer node
   };
 

@@ -71,14 +71,13 @@ sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
   call->thread = &self;
   call->wire = make_header(MsgType::kRequest, trans_id, svc, request);
   call->dst = service_flip_addr(svc);
-  call->timer = std::make_unique<sim::Timer>(kernel_->sim());
   ClientCall* raw = call.get();
   calls_.emplace(trans_id, std::move(call));
 
   ++raw->sends;
   co_await kernel_->flip().unicast(raw->dst, raw->wire, sim::Prio::kKernel);
-  raw->timer->schedule(c.rpc_retransmit_interval,
-                       [this, trans_id] { retransmit_tick(trans_id); });
+  raw->retransmit = kernel_->sim().after(
+      c.rpc_retransmit_interval, [this, trans_id] { retransmit_tick(trans_id); });
 
   while (!raw->done) co_await self.block();
 
@@ -104,8 +103,10 @@ sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
 }
 
 void KernelRpc::retransmit_tick(std::uint32_t trans_id) {
+  // The tick is cancelled when the call settles, so a live fire always finds
+  // an unfinished call.
   const auto it = calls_.find(trans_id);
-  if (it == calls_.end() || it->second->done) return;
+  if (it == calls_.end()) return;
   ClientCall& call = *it->second;
   const CostModel& c = kernel_->costs();
   if (call.sends > c.rpc_max_retransmits) {
@@ -125,8 +126,8 @@ void KernelRpc::retransmit_tick(std::uint32_t trans_id) {
                trace::kReasonClientRetry);
   }
   sim::spawn(kernel_->flip().unicast(call.dst, call.wire, sim::Prio::kKernel));
-  call.timer->schedule(c.rpc_retransmit_interval,
-                       [this, trans_id] { retransmit_tick(trans_id); });
+  call.retransmit = kernel_->sim().after(
+      c.rpc_retransmit_interval, [this, trans_id] { retransmit_tick(trans_id); });
 }
 
 sim::Co<RpcRequestHandle> KernelRpc::get_request(Thread& self, ServiceId svc) {
@@ -276,7 +277,7 @@ sim::Co<void> KernelRpc::on_reply(std::uint32_t trans_id, ServiceId svc,
   const auto it = calls_.find(trans_id);
   if (it != calls_.end() && !it->second->done) {
     ClientCall& call = *it->second;
-    call.timer->cancel();
+    call.retransmit.cancel();
     call.done = true;
     call.status = RpcStatus::kOk;
     call.reply = std::move(payload);

@@ -100,7 +100,7 @@ class KernelRpc {
     net::Payload reply;
     net::Payload wire;  // serialized request, kept for retransmission
     FlipAddr dst = kNoFlipAddr;
-    std::unique_ptr<sim::Timer> timer;
+    sim::EventHandle retransmit;  // next retransmit_tick; cancelled on reply
     int sends = 0;
   };
 

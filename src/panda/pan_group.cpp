@@ -66,7 +66,6 @@ void PanGroup::start() {
                          });
   if (is_sequencer()) {
     seq_ = std::make_unique<SequencerState>();
-    seq_->lag_timer = std::make_unique<sim::Timer>(kernel_->sim());
     seq_thread_ = &kernel_->start_thread(
         "pan_group-sequencer", [this](Thread& self) -> sim::Co<void> {
           co_await sequencer_loop(self);
@@ -100,7 +99,6 @@ sim::Co<void> PanGroup::send(Thread& self, net::Payload msg) {
   PendingSend pending;
   pending.thread = &self;
   pending.bb = bb;
-  pending.timer = std::make_unique<sim::Timer>(kernel_->sim());
   sends_in_flight_.emplace(msg_id, &pending);
 
   std::size_t offset = 0;
@@ -137,8 +135,8 @@ sim::Co<void> PanGroup::send(Thread& self, net::Payload msg) {
   }
 
   if (!is_sequencer()) {
-    pending.timer->schedule(kSendRetryInterval,
-                            [this, msg_id] { send_retry_tick(msg_id); });
+    pending.retry = kernel_->sim().after(
+        kSendRetryInterval, [this, msg_id] { send_retry_tick(msg_id); });
   }
   // Sleep on the condition variable until the daemon notifies us; both the
   // sleep and the wake cross the user/kernel boundary (§4.3).
@@ -155,8 +153,10 @@ sim::Co<void> PanGroup::send(Thread& self, net::Payload msg) {
 }
 
 void PanGroup::send_retry_tick(std::uint32_t msg_id) {
+  // The retry is cancelled when the send completes, so a live fire always
+  // finds an unfinished send.
   const auto it = sends_in_flight_.find(msg_id);
-  if (it == sends_in_flight_.end() || it->second->done) return;
+  if (it == sends_in_flight_.end()) return;
   PendingSend& pending = *it->second;
   Thread* daemon = sys_->daemon_thread();
   for (const net::Payload& wire : pending.wires) {
@@ -178,7 +178,8 @@ void PanGroup::send_retry_tick(std::uint32_t msg_id) {
   }
   const sim::Time backoff =
       kSendRetryInterval * (1LL << std::min(pending.retries, 4));
-  pending.timer->schedule(backoff, [this, msg_id] { send_retry_tick(msg_id); });
+  pending.retry = kernel_->sim().after(
+      backoff, [this, msg_id] { send_retry_tick(msg_id); });
 }
 
 // --- Sequencer thread --------------------------------------------------------
@@ -330,8 +331,9 @@ sim::Co<void> PanGroup::seq_sequence(Thread& self, Unit unit, bool bb) {
 }
 
 void PanGroup::arm_lag_watchdog() {
-  if (seq_->lag_timer->pending()) return;
-  seq_->lag_timer->schedule(kLagWatchdogInterval, [this] { lag_watchdog_tick(); });
+  if (seq_->lag_probe.active()) return;
+  seq_->lag_probe =
+      kernel_->sim().after(kLagWatchdogInterval, [this] { lag_watchdog_tick(); });
 }
 
 void PanGroup::lag_watchdog_tick() {
@@ -340,7 +342,8 @@ void PanGroup::lag_watchdog_tick() {
   // members' own gap machinery recovers faster and probe traffic would eat
   // into a saturated wire.
   if (kernel_->sim().now() - seq.last_progress < kLagWatchdogInterval) {
-    seq.lag_timer->schedule(kLagWatchdogInterval, [this] { lag_watchdog_tick(); });
+    seq.lag_probe =
+        kernel_->sim().after(kLagWatchdogInterval, [this] { lag_watchdog_tick(); });
     return;
   }
   const std::uint32_t target = seq.next_seqno - 1;
@@ -376,7 +379,8 @@ void PanGroup::lag_watchdog_tick() {
     net::Payload wire = make_wire(MsgType::kStatusReq, probe, 0);
     sim::spawn(sys_->multicast_unit(*daemon, PanSys::Module::kGroup,
                                     std::move(wire)));
-    seq_->lag_timer->schedule(kLagWatchdogInterval, [this] { lag_watchdog_tick(); });
+    seq_->lag_probe =
+        kernel_->sim().after(kLagWatchdogInterval, [this] { lag_watchdog_tick(); });
   }
 }
 
@@ -552,7 +556,7 @@ sim::Co<void> PanGroup::deliver_ready() {
     Unit unit = std::move(it->second);
     out_of_order_.erase(it);
     ++next_expected_;
-    gap_timer_.cancel();
+    gap_probe_.cancel();
 
     const bool own = unit.sender == kernel_->node();
     Delivery d(unit.sender, unit.seqno, std::move(unit.payload), own);
@@ -560,7 +564,7 @@ sim::Co<void> PanGroup::deliver_ready() {
       const auto sit = sends_in_flight_.find(unit.msg_id);
       if (sit != sends_in_flight_.end() && !sit->second->done) {
         sit->second->done = true;
-        sit->second->timer->cancel();
+        sit->second->retry.cancel();
         d.sender_thread = sit->second->thread;
       }
     }
@@ -594,8 +598,8 @@ sim::Co<void> PanGroup::deliver_ready() {
 }
 
 void PanGroup::arm_gap_timer() {
-  if (gap_timer_.pending()) return;
-  gap_timer_.schedule(kGapRequestDelay, [this] {
+  if (gap_probe_.active()) return;
+  gap_probe_ = kernel_->sim().after(kGapRequestDelay, [this] {
     if (out_of_order_.empty()) return;
     ++retreqs_;
     if (auto* tr = kernel_->sim().tracer()) {

@@ -30,15 +30,13 @@
 #include "panda/pan_sys.h"
 #include "panda/panda.h"
 #include "sim/co.h"
-#include "sim/timer.h"
 
 namespace panda {
 
 class PanGroup {
  public:
   PanGroup(Kernel& kernel, PanSys& sys, const ClusterConfig& config)
-      : kernel_(&kernel), sys_(&sys), config_(&config),
-        gap_timer_(kernel.sim()) {}
+      : kernel_(&kernel), sys_(&sys), config_(&config) {}
 
   PanGroup(const PanGroup&) = delete;
   PanGroup& operator=(const PanGroup&) = delete;
@@ -106,7 +104,7 @@ class PanGroup {
     std::vector<net::Payload> wires;  // per-fragment, for retries
     bool bb = false;
     int retries = 0;
-    std::unique_ptr<sim::Timer> timer;
+    sim::EventHandle retry;  // next send_retry_tick; cancelled on completion
   };
 
   struct SequencerState {
@@ -122,7 +120,7 @@ class PanGroup {
     // next missing message to each laggard. Without this, an accept lost on
     // the *last* message of a burst would never be detected (receivers only
     // notice gaps when later traffic arrives).
-    std::unique_ptr<sim::Timer> lag_timer;
+    sim::EventHandle lag_probe;
     sim::Time last_progress = 0;
   };
 
@@ -161,7 +159,7 @@ class PanGroup {
   // Accepts that arrived before their (BB) bodies, keyed (sender, msg_id).
   std::map<std::pair<NodeId, std::uint32_t>, Unit> pending_accepts_;
   std::unordered_map<std::uint32_t, PendingSend*> sends_in_flight_;
-  sim::Timer gap_timer_;
+  sim::EventHandle gap_probe_;  // pending gap-request; cancelled as gaps close
   std::uint32_t next_msg_id_ = 1;
   std::uint64_t retreqs_ = 0;
   std::uint64_t status_rounds_ = 0;

@@ -68,7 +68,7 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
     piggyback = it->second;
     unacked_reply_.erase(it);
     if (const auto t = ack_timers_.find(dst); t != ack_timers_.end()) {
-      t->second->cancel();
+      t->second.cancel();
     }
     ++piggy_acks_;
     if (auto* tr = kernel_->sim().tracer()) {
@@ -81,14 +81,13 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
   out->thread = &self;
   out->dst = dst;
   out->wire = make_wire(MsgType::kRequest, trans_id, piggyback, request);
-  out->timer = std::make_unique<sim::Timer>(kernel_->sim());
   Outstanding* raw = out.get();
   outstanding_.emplace(trans_id, std::move(out));
 
   ++raw->sends;
   co_await sys_->unicast(self, dst, PanSys::Module::kRpc, raw->wire);
-  raw->timer->schedule(c.rpc_retransmit_interval,
-                       [this, trans_id] { retransmit_tick(trans_id); });
+  raw->retransmit = kernel_->sim().after(
+      c.rpc_retransmit_interval, [this, trans_id] { retransmit_tick(trans_id); });
 
   // Block in user space on a condition variable. With only kernel threads,
   // sleeping and waking both cross the user/kernel boundary (§4.2).
@@ -118,8 +117,10 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
 }
 
 void PanRpc::retransmit_tick(std::uint32_t trans_id) {
+  // The tick is cancelled when the call settles, so a live fire always finds
+  // an unfinished call.
   const auto it = outstanding_.find(trans_id);
-  if (it == outstanding_.end() || it->second->done) return;
+  if (it == outstanding_.end()) return;
   Outstanding& out = *it->second;
   const CostModel& c = kernel_->costs();
   if (out.sends > c.rpc_max_retransmits) {
@@ -140,8 +141,8 @@ void PanRpc::retransmit_tick(std::uint32_t trans_id) {
   }
   Thread* daemon = sys_->daemon_thread();
   sim::spawn(sys_->unicast(*daemon, out.dst, PanSys::Module::kRpc, out.wire));
-  out.timer->schedule(c.rpc_retransmit_interval,
-                      [this, trans_id] { retransmit_tick(trans_id); });
+  out.retransmit = kernel_->sim().after(
+      c.rpc_retransmit_interval, [this, trans_id] { retransmit_tick(trans_id); });
 }
 
 void PanRpc::ack_tick(NodeId dst) {
@@ -245,7 +246,7 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
       const auto it = outstanding_.find(trans_id);
       if (it == outstanding_.end() || it->second->done) co_return;
       Outstanding& out = *it->second;
-      out.timer->cancel();
+      out.retransmit.cancel();
       out.done = true;
       out.status = RpcStatus::kOk;
       out.reply = std::move(body);
@@ -253,10 +254,11 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
       // that server "and only send an explicit message after a certain
       // timeout".
       unacked_reply_[msg.src] = trans_id;
-      auto& timer = ack_timers_[msg.src];
-      if (timer == nullptr) timer = std::make_unique<sim::Timer>(kernel_->sim());
       const NodeId dst = msg.src;
-      timer->schedule(kExplicitAckDelay, [this, dst] { ack_tick(dst); });
+      sim::EventHandle& ack = ack_timers_[dst];
+      ack.cancel();  // re-arm: at most one explicit-ack event per server
+      ack = kernel_->sim().after(kExplicitAckDelay,
+                                 [this, dst] { ack_tick(dst); });
       // Wake the blocked client thread: a kernel signal from the daemon —
       // the crossing + underflow-trap bundle plus the second context switch
       // of §4.2.

@@ -21,7 +21,6 @@
 #include "panda/pan_sys.h"
 #include "panda/panda.h"
 #include "sim/co.h"
-#include "sim/timer.h"
 
 namespace panda {
 
@@ -65,7 +64,7 @@ class PanRpc {
     net::Payload reply;
     net::Payload wire;
     NodeId dst = 0;
-    std::unique_ptr<sim::Timer> timer;
+    sim::EventHandle retransmit;  // next retransmit_tick; cancelled on reply
     int sends = 0;
   };
 
@@ -103,9 +102,9 @@ class PanRpc {
   std::unordered_map<std::uint32_t, std::unique_ptr<Outstanding>> outstanding_;
   std::map<ServedKey, ServedEntry> served_;
   std::unordered_map<std::uint64_t, TicketState> tickets_;
-  // Per-server unacknowledged reply (piggyback state) + explicit-ack timer.
+  // Per-server unacknowledged reply (piggyback state) + explicit-ack event.
   std::unordered_map<NodeId, std::uint32_t> unacked_reply_;
-  std::unordered_map<NodeId, std::unique_ptr<sim::Timer>> ack_timers_;
+  std::unordered_map<NodeId, sim::EventHandle> ack_timers_;
   std::uint64_t lock_ops_ = 0;
   std::uint64_t piggy_acks_ = 0;
   std::uint64_t explicit_acks_ = 0;

@@ -46,7 +46,7 @@ void Cpu::submit(const std::shared_ptr<Job>& job) {
     busy_[static_cast<std::size_t>(active_->prio)] += elapsed;
     active_->remaining -= elapsed;
     if (active_->remaining < 0) active_->remaining = 0;
-    ++active_gen_;  // cancel the pending completion event
+    completion_.cancel();  // the preempted job will get a fresh finish event
     active_->parked = true;
     active_->park_mark = thread_jobs_started_;
     ready_[static_cast<std::size_t>(active_->prio)].push_front(active_);
@@ -69,11 +69,7 @@ void Cpu::start(const std::shared_ptr<Job>& job) {
   }
   active_ = job;
   active_since_ = sim_->now();
-  const std::uint64_t gen = ++active_gen_;
-  sim_->after(job->remaining, [this, gen] {
-    if (gen != active_gen_) return;  // superseded by a preemption
-    finish();
-  });
+  completion_ = sim_->after(job->remaining, [this] { finish(); });
 }
 
 void Cpu::finish() {

@@ -86,7 +86,7 @@ class Cpu {
   std::array<std::deque<std::shared_ptr<Job>>, kPrioLevels> ready_;
   std::shared_ptr<Job> active_;
   Time active_since_ = 0;
-  std::uint64_t active_gen_ = 0;
+  EventHandle completion_;  // the active job's pending finish event
   std::array<Time, kPrioLevels> busy_{};
   std::uint64_t preemptions_ = 0;
   std::uint64_t completed_ = 0;

@@ -1,32 +1,144 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
-#include <utility>
-
-#include "sim/require.h"
 
 namespace sim {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
-void Simulator::at(Time t, std::function<void()> fn) {
-  require(static_cast<bool>(fn), "Simulator::at: empty callable");
-  heap_.push_back(Event{std::max(t, now_), next_seq_++, std::move(fn)});
-  std::push_heap(heap_.begin(), heap_.end(), Later{});
+Time Simulator::after_time(Time delay) const {
+  if (delay < 0) delay = 0;
+  require(delay <= std::numeric_limits<Time>::max() - now_,
+          "Simulator::after: delay overflows simulated time");
+  return now_ + delay;
 }
 
-void Simulator::after(Time delay, std::function<void()> fn) {
-  at(now_ + std::max<Time>(delay, 0), std::move(fn));
+std::uint32_t Simulator::grow_slot() {
+  require(meta_.size() < kNoPos, "Simulator: event slab exhausted");
+  const std::size_t capacity =
+      fn_chunks_.size() * static_cast<std::size_t>(kChunkSize);
+  if (meta_.size() == capacity) {
+    // Default-init, not make_unique's value-init: a fresh chunk must not pay
+    // a zero-fill of buffers that placement-new immediately overwrites.
+    fn_chunks_.emplace_back(new EventFn[kChunkSize]);
+    meta_.reserve(capacity + kChunkSize);
+  }
+  meta_.emplace_back();
+  return static_cast<std::uint32_t>(meta_.size() - 1);
+}
+
+void Simulator::free_slot(std::uint32_t idx) noexcept {
+  Meta& m = meta_[idx];
+  ++m.gen;  // invalidate every outstanding handle to this occupant
+  m.heap_pos = kNoPos;
+  m.next_free = free_head_;
+  free_head_ = idx;
+}
+
+EventHandle Simulator::commit(Time t, std::uint32_t idx) {
+  const std::size_t pos = heap_.size();
+  heap_.push_back(HeapEntry{t, next_seq_++, idx});
+  sift_up(pos);  // writes the final backlink for idx
+  return EventHandle(this, idx, meta_[idx].gen);
+}
+
+bool Simulator::is_live(std::uint32_t idx, std::uint32_t gen) const noexcept {
+  return idx < meta_.size() && meta_[idx].gen == gen &&
+         meta_[idx].heap_pos != kNoPos;
+}
+
+bool Simulator::cancel_event(std::uint32_t idx, std::uint32_t gen) noexcept {
+  if (!is_live(idx, gen)) return false;
+  remove_heap_entry(meta_[idx].heap_pos);
+  fn_slot(idx).reset();  // destroy the callable eagerly
+  free_slot(idx);
+  ++cancelled_;
+  return true;
+}
+
+bool Simulator::reschedule_event(std::uint32_t idx, std::uint32_t gen,
+                                 Time delay) {
+  if (!is_live(idx, gen)) return false;
+  const std::size_t pos = meta_[idx].heap_pos;
+  heap_[pos].t = after_time(delay);
+  // A fresh sequence number keeps equal-timestamp FIFO semantics identical to
+  // cancel-then-schedule, without destroying and re-erasing the callable.
+  heap_[pos].seq = next_seq_++;
+  sift_up(pos);
+  sift_down(meta_[idx].heap_pos);
+  return true;
+}
+
+void Simulator::sift_up(std::size_t pos) {
+  const HeapEntry e = heap_[pos];
+  while (pos > 0) {
+    const std::size_t parent = (pos - 1) / 4;
+    if (!before(e, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    meta_[heap_[pos].idx].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = parent;
+  }
+  heap_[pos] = e;
+  meta_[e.idx].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::sift_down(std::size_t pos) {
+  const HeapEntry e = heap_[pos];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first = 4 * pos + 1;
+    if (first >= n) break;
+    std::size_t best = first;
+    const std::size_t last = std::min(first + 4, n);
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
+    }
+    if (!before(heap_[best], e)) break;
+    heap_[pos] = heap_[best];
+    meta_[heap_[pos].idx].heap_pos = static_cast<std::uint32_t>(pos);
+    pos = best;
+  }
+  heap_[pos] = e;
+  meta_[e.idx].heap_pos = static_cast<std::uint32_t>(pos);
+}
+
+void Simulator::remove_heap_entry(std::size_t pos) {
+  const HeapEntry last = heap_.back();
+  heap_.pop_back();
+  if (pos == heap_.size()) return;
+  heap_[pos] = last;
+  sift_up(pos);  // writes the final backlink; at most one of the two sifts moves
+  sift_down(meta_[last.idx].heap_pos);
 }
 
 bool Simulator::step() {
   if (heap_.empty()) return false;
-  std::pop_heap(heap_.begin(), heap_.end(), Later{});
-  Event ev = std::move(heap_.back());
+  const HeapEntry top = heap_[0];
+  now_ = top.t;
+  // Take the event out of the heap before invoking it: every handle to *this*
+  // event goes inactive, so self-cancellation from inside the callback is an
+  // inert no-op.
+  meta_[top.idx].heap_pos = kNoPos;
+  const HeapEntry last = heap_.back();
   heap_.pop_back();
-  now_ = ev.t;
+  if (!heap_.empty()) {
+    heap_[0] = last;
+    sift_down(0);
+  }
   ++executed_;
-  ev.fn();
+  // Invoke the callable in place — chunked storage guarantees its address is
+  // stable across any scheduling the callback does — then destroy it and
+  // recycle the slot, even if the callback throws (a SimError escaping run()
+  // must not leak the closure).
+  struct Finally {
+    Simulator* s;
+    std::uint32_t idx;
+    ~Finally() {
+      s->fn_slot(idx).reset();
+      s->free_slot(idx);
+    }
+  } finally{this, top.idx};
+  fn_slot(top.idx)();
   return true;
 }
 
@@ -37,7 +149,7 @@ std::size_t Simulator::run(std::size_t max_events) {
 }
 
 void Simulator::run_until(Time t) {
-  while (!heap_.empty() && heap_.front().t <= t) step();
+  while (!heap_.empty() && heap_[0].t <= t) step();
   now_ = std::max(now_, t);
 }
 

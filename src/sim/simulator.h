@@ -4,13 +4,48 @@
 // execute in submission order (a monotonically increasing sequence number
 // breaks ties), which together with the seeded Rng makes every run fully
 // deterministic.
+//
+// Engine internals (see DESIGN.md for the full story):
+//
+//  * Event records live in a slab threaded with a free list, so steady-state
+//    scheduling recycles slots instead of allocating. The slab is split for
+//    locality: per-slot bookkeeping (generation, heap position, free link) is
+//    a dense 12-byte POD array that heap fixups touch constantly and that
+//    stays cache-resident, while the fat callables live in chunked storage
+//    with stable addresses — growing the slab never moves an existing
+//    callable, and a callback can be invoked in place while new events are
+//    scheduled under it.
+//  * Callbacks are stored in EventFn, a move-only callable with an 88-byte
+//    inline buffer: every closure in the hot paths (frame delivery, timer
+//    wrappers, coroutine resumption) fits inline, so the common path never
+//    touches the heap.
+//  * Ordering is a 4-ary implicit heap of 24-byte (time, seq, slot) entries.
+//    Each slot records its heap position, so cancel() and reschedule() are
+//    eager O(log n) heap fixups — no tombstones, pending() counts only live
+//    events, and a drained queue really is empty.
+//  * at()/after() return an EventHandle: a weak, copyable reference carrying
+//    the slot index and a generation number. The generation bumps when the
+//    slot is freed, so a stale handle's cancel()/reschedule() is a safe no-op
+//    (including self-cancellation from inside the running callback: the slot
+//    leaves the heap *before* the callback is invoked).
+//
+// Determinism contract: scheduling consumes one sequence number per at() or
+// after() call, reschedule() consumes a fresh one (it is equivalent to
+// cancel-then-schedule), and cancel() consumes none. Equal-timestamp events
+// fire in sequence order. A refactor of this engine must reproduce the traces
+// in tests/trace/fixtures/engine_traces.txt byte for byte.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <limits>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/require.h"
 #include "sim/rng.h"
 #include "sim/time.h"
 
@@ -24,6 +59,178 @@ class Tracer;
 
 namespace sim {
 
+/// A move-only type-erased `void()` callable with a small-buffer optimization
+/// sized for the engine's hot-path closures (an MTU-sized frame capture plus
+/// bookkeeping). Callables that fit 88 bytes, are nothrow-move-constructible,
+/// and need no extended alignment are stored inline; anything else is boxed on
+/// the heap. Unlike std::function it never copies and never allocates for the
+/// common case.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineBytes = 88;
+
+  EventFn() noexcept = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+    construct<F, D>(std::forward<F>(fn));
+  }
+
+  EventFn(EventFn&& other) noexcept { steal(other); }
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      steal(other);
+    }
+    return *this;
+  }
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Destroys any current callable and builds `fn` directly in the buffer.
+  /// The engine's schedule path constructs closures in their slab slot with
+  /// this, skipping the type-erased move that construct-then-assign would pay.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace(F&& fn) {
+    reset();
+    construct<F, D>(std::forward<F>(fn));
+  }
+
+  /// Destroys the held callable (if any), leaving the EventFn empty.
+  void reset() noexcept {
+    if (ops_ != nullptr) {
+      if (ops_->destroy != nullptr) ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+  /// Whether a callable of type D would be stored inline (no allocation).
+  template <typename D>
+  static constexpr bool fits_inline() noexcept {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* self);
+    // Move-constructs *dst from *src and leaves *src destroyed.
+    void (*relocate)(void* dst, void* src) noexcept;
+    // nullptr when destruction is a no-op (trivially destructible captures),
+    // so the dispatch loop skips the indirect call entirely.
+    void (*destroy)(void* self) noexcept;
+  };
+
+  template <typename D>
+  static void inline_invoke(void* self) {
+    (*static_cast<D*>(self))();
+  }
+  template <typename D>
+  static void inline_relocate(void* dst, void* src) noexcept {
+    D* from = static_cast<D*>(src);
+    ::new (dst) D(std::move(*from));
+    from->~D();
+  }
+  template <typename D>
+  static void inline_destroy(void* self) noexcept {
+    static_cast<D*>(self)->~D();
+  }
+  template <typename D>
+  static void boxed_invoke(void* self) {
+    (**static_cast<D**>(self))();
+  }
+  template <typename D>
+  static void boxed_relocate(void* dst, void* src) noexcept {
+    ::new (dst) D*(*static_cast<D**>(src));
+  }
+  template <typename D>
+  static void boxed_destroy(void* self) noexcept {
+    delete *static_cast<D**>(self);
+  }
+
+  template <typename D>
+  static constexpr Ops kInlineOps = {
+      &inline_invoke<D>,
+      &inline_relocate<D>,
+      std::is_trivially_destructible_v<D> ? nullptr : &inline_destroy<D>,
+  };
+
+  template <typename D>
+  static constexpr Ops kBoxedOps = {
+      &boxed_invoke<D>,
+      &boxed_relocate<D>,
+      &boxed_destroy<D>,
+  };
+
+  template <typename F, typename D>
+  void construct(F&& fn) {
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(fn));
+      ops_ = &kInlineOps<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(fn)));
+      ops_ = &kBoxedOps<D>;
+    }
+  }
+
+  void steal(EventFn& other) noexcept {
+    if (other.ops_ != nullptr) {
+      other.ops_->relocate(buf_, other.buf_);
+      ops_ = other.ops_;
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+class Simulator;
+
+/// A weak, copyable reference to a scheduled event. Default-constructed
+/// handles (and handles whose event has fired, been cancelled, or been
+/// superseded by a slot reuse) are inert: active() is false and
+/// cancel()/reschedule() do nothing and return false. This replaces the
+/// per-layer "generation counter + settled flag" tombstone idioms.
+class EventHandle {
+ public:
+  EventHandle() noexcept = default;
+
+  /// True while the referenced event is still queued.
+  [[nodiscard]] bool active() const noexcept;
+
+  /// Removes the event from the queue without running it. Returns true if
+  /// this call cancelled a live event, false if it had already fired, been
+  /// cancelled, or the handle is empty.
+  bool cancel() noexcept;
+
+  /// Moves a still-queued event to `now() + delay`, consuming a fresh
+  /// sequence number (identical ordering semantics to cancel-then-schedule).
+  /// Returns false (scheduling nothing) if the event is no longer live.
+  bool reschedule(Time delay);
+
+ private:
+  friend class Simulator;
+  EventHandle(Simulator* sim, std::uint32_t idx, std::uint32_t gen) noexcept
+      : sim_(sim), idx_(idx), gen_(gen) {}
+
+  Simulator* sim_ = nullptr;
+  std::uint32_t idx_ = 0;
+  std::uint32_t gen_ = 0;
+};
+
 class Simulator {
  public:
   explicit Simulator(std::uint64_t seed = 42);
@@ -35,10 +242,24 @@ class Simulator {
   [[nodiscard]] Time now() const noexcept { return now_; }
 
   /// Schedule `fn` at absolute time `t` (clamped to `now()` if in the past).
-  void at(Time t, std::function<void()> fn);
+  template <typename F>
+  EventHandle at(Time t, F&& fn) {
+    reject_empty(fn);
+    const std::uint32_t idx = alloc_slot();
+    fn_slot(idx).emplace(std::forward<F>(fn));
+    return commit(t < now_ ? now_ : t, idx);
+  }
 
-  /// Schedule `fn` after `delay` (clamped to zero if negative).
-  void after(Time delay, std::function<void()> fn);
+  /// Schedule `fn` after `delay` (clamped to zero if negative). Throws
+  /// SimError if `now() + delay` would overflow simulated time.
+  template <typename F>
+  EventHandle after(Time delay, F&& fn) {
+    reject_empty(fn);
+    const Time t = after_time(delay);  // may throw; nothing allocated yet
+    const std::uint32_t idx = alloc_slot();
+    fn_slot(idx).emplace(std::forward<F>(fn));
+    return commit(t, idx);
+  }
 
   /// Execute the next event. Returns false if the queue is empty.
   bool step();
@@ -53,11 +274,15 @@ class Simulator {
   /// Run all events within the next `delay` of simulated time.
   void run_for(Time delay);
 
-  /// Number of pending events.
+  /// Number of pending events. Cancelled events leave the queue eagerly, so
+  /// they are never counted.
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
+
+  /// Total events cancelled (via EventHandle::cancel) since construction.
+  [[nodiscard]] std::uint64_t events_cancelled() const noexcept { return cancelled_; }
 
   /// The simulation-wide deterministic random stream.
   [[nodiscard]] Rng& rng() noexcept { return rng_; }
@@ -75,25 +300,101 @@ class Simulator {
   void set_metrics(metrics::Metrics* m) noexcept { metrics_ = m; }
 
  private:
-  struct Event {
-    Time t;
-    std::uint64_t seq;
-    std::function<void()> fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const noexcept {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
+  friend class EventHandle;
+
+  static constexpr std::uint32_t kNoPos = std::numeric_limits<std::uint32_t>::max();
+
+  // Callables live in fixed-size chunks so slot addresses are stable: growing
+  // the slab never relocates an existing EventFn, and a callback can safely be
+  // invoked in place even while it schedules new events underneath itself.
+  static constexpr std::uint32_t kChunkShift = 8;
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+
+  // Per-slot bookkeeping, kept separate from the fat callables: heap fixups
+  // write `heap_pos` backlinks constantly, and a dense 12-byte POD array keeps
+  // those writes cache-resident. `gen` increments every time the slot is
+  // freed, so an EventHandle minted for a previous occupant can never touch
+  // the next one; `heap_pos` is the backlink into heap_ while the event is
+  // queued (kNoPos otherwise); `next_free` threads the free list.
+  struct Meta {
+    std::uint32_t gen = 0;
+    std::uint32_t heap_pos = kNoPos;
+    std::uint32_t next_free = kNoPos;
   };
 
-  std::vector<Event> heap_;
+  // 4-ary implicit heap entry: the comparison key (t, seq) is stored here so
+  // sift operations never chase the slab.
+  struct HeapEntry {
+    Time t;
+    std::uint64_t seq;
+    std::uint32_t idx;
+  };
+
+  template <typename F>
+  static void reject_empty(const F& fn) {
+    // std::function, function pointers, and similar nullable callables are
+    // bool-testable; reject the empty ones up front like the old engine did.
+    // (Lambdas with captures are not bool-constructible and skip the test.)
+    if constexpr (std::is_constructible_v<bool, const F&>) {
+      require(static_cast<bool>(fn), "Simulator::at: empty callable");
+    }
+  }
+
+  [[nodiscard]] Time after_time(Time delay) const;
+  EventHandle commit(Time t, std::uint32_t idx);
+  [[nodiscard]] bool is_live(std::uint32_t idx, std::uint32_t gen) const noexcept;
+  bool cancel_event(std::uint32_t idx, std::uint32_t gen) noexcept;
+  bool reschedule_event(std::uint32_t idx, std::uint32_t gen, Time delay);
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) noexcept {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+  void sift_up(std::size_t pos);
+  void sift_down(std::size_t pos);
+  void remove_heap_entry(std::size_t pos);
+
+  // Free-list pop stays inline on the schedule fast path; growing the slab
+  // (new chunk, metadata reserve) is the cold out-of-line branch.
+  std::uint32_t alloc_slot() {
+    if (free_head_ != kNoPos) {
+      const std::uint32_t idx = free_head_;
+      free_head_ = meta_[idx].next_free;
+      meta_[idx].next_free = kNoPos;
+      return idx;
+    }
+    return grow_slot();
+  }
+  std::uint32_t grow_slot();
+  void free_slot(std::uint32_t idx) noexcept;
+
+  [[nodiscard]] EventFn& fn_slot(std::uint32_t idx) noexcept {
+    return fn_chunks_[idx >> kChunkShift][idx & (kChunkSize - 1)];
+  }
+
+  std::vector<HeapEntry> heap_;
+  std::vector<Meta> meta_;
+  std::vector<std::unique_ptr<EventFn[]>> fn_chunks_;
+  std::uint32_t free_head_ = kNoPos;
   Time now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
+  std::uint64_t cancelled_ = 0;
   Rng rng_;
   trace::Tracer* tracer_ = nullptr;
   metrics::Metrics* metrics_ = nullptr;
 };
+
+inline bool EventHandle::active() const noexcept {
+  return sim_ != nullptr && sim_->is_live(idx_, gen_);
+}
+
+inline bool EventHandle::cancel() noexcept {
+  return sim_ != nullptr && sim_->cancel_event(idx_, gen_);
+}
+
+inline bool EventHandle::reschedule(Time delay) {
+  return sim_ != nullptr && sim_->reschedule_event(idx_, gen_, delay);
+}
 
 }  // namespace sim

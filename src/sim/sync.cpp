@@ -18,8 +18,7 @@ struct CondVar::WaitAwaiter {
     if (timeout >= 0) {
       auto st = state;
       CondVar* self = &cv;
-      cv.sim_->after(timeout, [self, st] {
-        if (st->settled) return;
+      st->timeout_shot = cv.sim_->after(timeout, [self, st] {
         self->settle_and_resume(st, /*timed_out=*/true);
       });
     }
@@ -39,7 +38,9 @@ Co<bool> CondVar::wait_for(Time timeout) {
 }
 
 void CondVar::settle_and_resume(const std::shared_ptr<WaitState>& st, bool timed_out) {
-  st->settled = true;
+  // Inert when this settle *is* the timeout firing: the engine frees the
+  // event's slot before invoking its callback.
+  st->timeout_shot.cancel();
   st->timed_out = timed_out;
   // Remove from the wait list (it is near the front in the common case).
   for (auto it = waiters_.begin(); it != waiters_.end(); ++it) {

@@ -50,8 +50,11 @@ class CondVar {
  private:
   struct WaitState {
     std::coroutine_handle<> handle;
-    bool settled = false;
     bool timed_out = false;
+    // Live while a wait_for() deadline is queued; settling cancels it, so a
+    // timeout can never fire for an already-notified waiter (and needs no
+    // "settled" flag to check).
+    EventHandle timeout_shot;
   };
   struct WaitAwaiter;
 

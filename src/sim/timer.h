@@ -1,10 +1,14 @@
 // A cancellable one-shot timer, the building block for protocol
 // retransmission and acknowledgement timeouts.
+//
+// A thin wrapper over EventHandle: re-arming cancels the previous shot
+// eagerly (the engine removes the event from the queue; there is no tombstone
+// left behind). Destroying the Timer does NOT cancel a pending shot — the
+// scheduled callable owns everything it captured and fires normally, exactly
+// as with the previous shared-state implementation.
 #pragma once
 
-#include <cstdint>
-#include <functional>
-#include <memory>
+#include <utility>
 
 #include "sim/simulator.h"
 #include "sim/time.h"
@@ -13,28 +17,27 @@ namespace sim {
 
 class Timer {
  public:
-  explicit Timer(Simulator& s);
+  explicit Timer(Simulator& s) : sim_(&s) {}
 
   Timer(const Timer&) = delete;
   Timer& operator=(const Timer&) = delete;
 
   /// Arm the timer to fire `fn` after `delay`. Re-arming cancels any pending
   /// shot. `fn` runs from the event queue; it is not retained after firing.
-  void schedule(Time delay, std::function<void()> fn);
+  template <typename F>
+  void schedule(Time delay, F&& fn) {
+    shot_.cancel();
+    shot_ = sim_->after(delay, std::forward<F>(fn));
+  }
 
   /// Cancel the pending shot, if any.
-  void cancel();
+  void cancel() { shot_.cancel(); }
 
-  [[nodiscard]] bool pending() const noexcept;
+  [[nodiscard]] bool pending() const noexcept { return shot_.active(); }
 
  private:
-  struct State {
-    std::uint64_t generation = 0;
-    bool pending = false;
-    std::function<void()> fn;
-  };
   Simulator* sim_;
-  std::shared_ptr<State> state_;
+  EventHandle shot_;
 };
 
 }  // namespace sim

@@ -190,6 +190,27 @@ TEST_F(FlipTest, ReceiveChargesShowInLedger) {
   EXPECT_GT(e.total, 0);
 }
 
+TEST_F(FlipTest, ReassemblyCopyIsChargedPerByte) {
+  // Every byte std::copy'd into the reassembly buffer must show up in the
+  // copy ledger at the standard per-byte rate. Single-fragment messages skip
+  // reassembly entirely, so compare a fragmented send against the
+  // single-fragment baseline on the receiving node.
+  world.kernel(1).flip().register_endpoint(kEndpointB, recorder(world.sim(), log));
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(100)));
+  world.sim().run();
+  const sim::Time baseline =
+      world.kernel(1).ledger().get(sim::Mechanism::kUserKernelCopy).total;
+
+  const std::size_t size = 4000;  // three fragments
+  sim::spawn(world.kernel(0).flip().unicast(kEndpointB, net::Payload::zeros(size)));
+  world.sim().run();
+  ASSERT_EQ(log.size(), 2u);
+  const sim::Time after =
+      world.kernel(1).ledger().get(sim::Mechanism::kUserKernelCopy).total;
+  EXPECT_EQ(after - baseline,
+            world.costs().copy_ns_per_byte * static_cast<sim::Time>(size));
+}
+
 TEST_F(FlipTest, GroupAddressValidation) {
   EXPECT_THROW(world.kernel(0).flip().register_endpoint(
                    kGroupG, recorder(world.sim(), log)),

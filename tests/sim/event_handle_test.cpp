@@ -1,0 +1,241 @@
+// Lifecycle tests for the scheduling core's EventHandle: cancellation,
+// rescheduling, equal-timestamp FIFO stability under heap churn, and the
+// slab's generation-based protection against stale handles.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <vector>
+
+#include "sim/require.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(EventHandle, DefaultConstructedIsInert) {
+  EventHandle h;
+  EXPECT_FALSE(h.active());
+  EXPECT_FALSE(h.cancel());
+  EXPECT_FALSE(h.reschedule(usec(1)));
+}
+
+TEST(EventHandle, CancelBeforeFiringPreventsExecution) {
+  Simulator s;
+  bool fired = false;
+  EventHandle h = s.after(usec(10), [&] { fired = true; });
+  EXPECT_TRUE(h.active());
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.active());
+  EXPECT_EQ(s.pending(), 0u);
+  s.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(s.events_executed(), 0u);
+  EXPECT_EQ(s.events_cancelled(), 1u);
+}
+
+TEST(EventHandle, CancelAfterFiringIsInert) {
+  Simulator s;
+  int fired = 0;
+  EventHandle h = s.after(usec(10), [&] { ++fired; });
+  s.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(h.active());
+  EXPECT_FALSE(h.cancel());
+  EXPECT_EQ(s.events_cancelled(), 0u);
+}
+
+TEST(EventHandle, DoubleCancelReturnsFalse) {
+  Simulator s;
+  EventHandle h = s.after(usec(10), [] {});
+  EXPECT_TRUE(h.cancel());
+  EXPECT_FALSE(h.cancel());
+  EXPECT_EQ(s.events_cancelled(), 1u);
+}
+
+TEST(EventHandle, SelfCancelInsideCallbackIsInert) {
+  Simulator s;
+  EventHandle h;
+  bool cancel_result = true;
+  h = s.after(usec(1), [&] { cancel_result = h.cancel(); });
+  s.run();
+  EXPECT_FALSE(cancel_result);  // the event left the heap before the callback ran
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+TEST(EventHandle, CancelFromAnotherEventCallback) {
+  Simulator s;
+  bool victim_fired = false;
+  EventHandle victim = s.at(usec(20), [&] { victim_fired = true; });
+  s.at(usec(10), [&] { EXPECT_TRUE(victim.cancel()); });
+  s.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(s.now(), usec(10));  // the cancelled event never advanced time
+}
+
+TEST(EventHandle, StaleHandleDoesNotTouchReusedSlot) {
+  Simulator s;
+  EventHandle first = s.after(usec(10), [] {});
+  EXPECT_TRUE(first.cancel());
+  // The freed slot is recycled for the next event; the stale handle's
+  // generation no longer matches, so it cannot cancel the new occupant.
+  bool second_fired = false;
+  EventHandle second = s.after(usec(20), [&] { second_fired = true; });
+  EXPECT_FALSE(first.cancel());
+  EXPECT_FALSE(first.active());
+  EXPECT_TRUE(second.active());
+  s.run();
+  EXPECT_TRUE(second_fired);
+}
+
+TEST(EventHandle, RescheduleMovesTheEventBothDirections) {
+  Simulator s;
+  std::vector<int> order;
+  EventHandle later = s.at(usec(10), [&] { order.push_back(1); });
+  EventHandle earlier = s.at(usec(40), [&] { order.push_back(2); });
+  s.at(usec(20), [&] { order.push_back(3); });
+  // Push one event past the middle and pull the other before it.
+  EXPECT_TRUE(later.reschedule(usec(30)));   // now fires at t=30
+  EXPECT_TRUE(earlier.reschedule(usec(5)));  // now fires at t=5
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{2, 3, 1}));
+  EXPECT_EQ(s.now(), usec(30));
+}
+
+TEST(EventHandle, RescheduleIsRelativeToNow) {
+  Simulator s;
+  Time fired_at = -1;
+  EventHandle h = s.at(msec(10), [&] { fired_at = s.now(); });
+  s.at(msec(1), [&] { EXPECT_TRUE(h.reschedule(usec(500))); });
+  s.run();
+  EXPECT_EQ(fired_at, msec(1) + usec(500));
+}
+
+TEST(EventHandle, RescheduleActsLikeCancelThenSchedule) {
+  // A rescheduled event takes a fresh sequence number: moved onto the same
+  // timestamp as other events, it fires after every previously scheduled one.
+  Simulator s;
+  std::vector<int> order;
+  EventHandle moved = s.at(usec(10), [&] { order.push_back(0); });
+  s.at(usec(50), [&] { order.push_back(1); });
+  s.at(usec(50), [&] { order.push_back(2); });
+  EXPECT_TRUE(moved.reschedule(usec(50)));
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 0}));
+}
+
+TEST(EventHandle, RescheduleAfterFiringSchedulesNothing) {
+  Simulator s;
+  int fired = 0;
+  EventHandle h = s.after(usec(1), [&] { ++fired; });
+  s.run();
+  EXPECT_FALSE(h.reschedule(usec(1)));
+  s.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventHandle, EqualTimestampFifoSurvivesHeapChurn) {
+  // Cancelling events moves heap entries around (the last entry replaces the
+  // removed one). Submission order at equal timestamps must still hold.
+  Simulator s;
+  std::vector<int> order;
+  std::vector<EventHandle> doomed;
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 20; ++i) {
+      const int id = round * 20 + i;
+      if (i % 2 == 0) {
+        doomed.push_back(s.at(usec(7), [id] { FAIL() << "cancelled " << id; }));
+      } else {
+        s.at(usec(7), [&order, id] { order.push_back(id); });
+      }
+    }
+    for (EventHandle& h : doomed) EXPECT_TRUE(h.cancel());
+    doomed.clear();
+  }
+  s.run();
+  ASSERT_EQ(order.size(), 30u);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+}
+
+TEST(EventHandle, PendingCountsOnlyLiveEvents) {
+  Simulator s;
+  std::array<EventHandle, 4> hs;
+  for (std::size_t i = 0; i < hs.size(); ++i) {
+    hs[i] = s.after(usec(10 + static_cast<Time>(i)), [] {});
+  }
+  EXPECT_EQ(s.pending(), 4u);
+  hs[1].cancel();
+  hs[3].cancel();
+  EXPECT_EQ(s.pending(), 2u);
+  EXPECT_EQ(s.run(), 2u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(EventHandle, LargeCallablesAreBoxedAndStillWork) {
+  // Closures beyond the inline buffer take the heap path of EventFn.
+  struct Big {
+    std::array<std::uint8_t, 256> blob;
+  };
+  static_assert(!EventFn::fits_inline<Big>());
+  Simulator s;
+  Big big;
+  big.blob.fill(0x5a);
+  int sum = 0;
+  EventHandle h = s.after(usec(1), [big, &sum] {
+    for (const std::uint8_t b : big.blob) sum += b;
+  });
+  EXPECT_TRUE(h.active());
+  s.run();
+  EXPECT_EQ(sum, 256 * 0x5a);
+}
+
+TEST(EventHandle, CancelDestroysBoxedCallableWithoutLeaking) {
+  // Run under ASan in CI: cancelling a heap-boxed callable must free it.
+  Simulator s;
+  auto big = std::make_shared<std::array<std::uint8_t, 256>>();
+  std::weak_ptr<std::array<std::uint8_t, 256>> watch = big;
+  EventHandle h = s.after(usec(1), [keep = std::move(big)] { (void)keep; });
+  EXPECT_FALSE(watch.expired());
+  EXPECT_TRUE(h.cancel());
+  EXPECT_TRUE(watch.expired());
+  s.run();
+}
+
+TEST(Simulator, AfterRejectsOverflowingDelay) {
+  constexpr Time kMax = std::numeric_limits<Time>::max();
+  Simulator s;
+  // At now() == 0 even the largest delay is representable.
+  EventHandle horizon = s.after(kMax, [] {});
+  EXPECT_TRUE(horizon.active());
+  // Once the clock has advanced, now() + max wraps and must be rejected.
+  s.at(usec(1), [&] {
+    EXPECT_THROW(s.after(kMax, [] {}), SimError);
+    EXPECT_THROW(s.after(kMax - s.now() + 1, [] {}), SimError);
+    s.after(kMax - s.now(), [] {});  // the largest legal delay still schedules
+  });
+  s.run(1);
+  EXPECT_EQ(s.now(), usec(1));
+  EXPECT_EQ(s.pending(), 2u);
+}
+
+TEST(Simulator, RescheduleRejectsOverflowingDelay) {
+  constexpr Time kMax = std::numeric_limits<Time>::max();
+  Simulator s;
+  EventHandle h = s.at(msec(1), [] { FAIL() << "should stay parked"; });
+  s.at(usec(1), [&] {
+    EXPECT_THROW(h.reschedule(kMax), SimError);
+    EXPECT_TRUE(h.active());  // a rejected reschedule leaves the event queued
+    EXPECT_TRUE(h.reschedule(kMax - s.now()));
+  });
+  s.run(1);
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_TRUE(h.cancel());
+}
+
+}  // namespace
+}  // namespace sim

@@ -4,8 +4,17 @@
 // frame loss, and different seeds actually diverge.
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <tuple>
+
 #include "fault_workload.h"
 #include "trace/tracer.h"
+#include "trace_digest.h"
 
 namespace trace {
 namespace {
@@ -46,6 +55,48 @@ TEST(Determinism, EventsNeverPostdateTheRun) {
   EXPECT_LE(events.back().t, traced.bed->sim().now());
   for (std::size_t i = 1; i < events.size(); ++i) {
     ASSERT_LE(events[i - 1].t, events[i].t);
+  }
+}
+
+TEST(Determinism, EngineRefactorFixtures) {
+  // The committed fixture file pins the exact trace (length + digest over
+  // every event field, timestamps included) of each (binding, fault, seed)
+  // workload. A scheduling-core change that moves any observable protocol
+  // event fails here; regenerate the file with tests/make_trace_fixtures only
+  // when the shift is intentional.
+  std::ifstream in(ENGINE_TRACE_FIXTURES);
+  ASSERT_TRUE(in.is_open()) << "missing " << ENGINE_TRACE_FIXTURES;
+  std::map<std::tuple<int, int, std::uint64_t>,
+           std::pair<std::size_t, std::string>>
+      want;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    int binding = 0;
+    int fault = 0;
+    std::uint64_t seed = 0;
+    std::size_t events = 0;
+    std::string digest;
+    fields >> binding >> fault >> seed >> events >> digest;
+    ASSERT_FALSE(fields.fail()) << "malformed fixture line: " << line;
+    want[{binding, fault, seed}] = {events, digest};
+  }
+  ASSERT_EQ(want.size(), 16u) << "expected 2 bindings x 4 faults x 2 seeds";
+
+  for (const auto& [key, expected] : want) {
+    const auto [binding, fault, seed] = key;
+    WorkloadResult r = run_fault_workload(static_cast<Binding>(binding), seed,
+                                          static_cast<Fault>(fault));
+    const auto& events = r.bed->tracer()->events();
+    char digest[17];
+    std::snprintf(digest, sizeof(digest), "%016llx",
+                  static_cast<unsigned long long>(
+                      trace_test::trace_digest(events)));
+    EXPECT_EQ(events.size(), expected.first)
+        << "binding=" << binding << " fault=" << fault << " seed=" << seed;
+    EXPECT_EQ(std::string(digest), expected.second)
+        << "binding=" << binding << " fault=" << fault << " seed=" << seed;
   }
 }
 

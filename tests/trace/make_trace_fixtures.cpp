@@ -1,0 +1,40 @@
+// Regenerates tests/trace/fixtures/engine_traces.txt: one line per
+// (binding, fault, seed) combination of the shared fault workload, recording
+// the trace length, the final simulated time, and the trace digest.
+//
+//   ./build/tests/make_trace_fixtures > tests/trace/fixtures/engine_traces.txt
+//
+// The committed file is the behaviour contract for the event engine: a
+// refactor of the scheduling core must reproduce every line byte-for-byte
+// (see determinism_test.cpp, EngineRefactorFixtures). Regenerate only when a
+// change is *supposed* to alter protocol timing, and say so in the PR.
+#include <cinttypes>
+#include <cstdio>
+
+#include "fault_workload.h"
+#include "trace_digest.h"
+
+int main() {
+  using core::Binding;
+  using trace_test::Fault;
+
+  // The final drained sim().now() is deliberately NOT recorded: tombstone
+  // no-op events (cancelled timers that still fire) advance it, and removing
+  // them via real cancellation is allowed to change when the queue drains.
+  // The digest pins the timestamp of every *observable* protocol event.
+  std::printf("# binding fault seed events digest\n");
+  for (const Binding binding : {Binding::kKernelSpace, Binding::kUserSpace}) {
+    for (const Fault fault : {Fault::kNone, Fault::kLoss, Fault::kDuplication,
+                              Fault::kReorder}) {
+      for (const std::uint64_t seed : {7ULL, 99ULL}) {
+        trace_test::WorkloadResult r =
+            trace_test::run_fault_workload(binding, seed, fault);
+        const auto& events = r.bed->tracer()->events();
+        std::printf("%d %d %" PRIu64 " %zu %016" PRIx64 "\n",
+                    static_cast<int>(binding), static_cast<int>(fault), seed,
+                    events.size(), trace_test::trace_digest(events));
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Canonical digest over a protocol event trace.
+//
+// The engine-refactor fixtures (fixtures/engine_traces.txt) pin the exact
+// trace each (binding, fault, seed) workload produced under the event engine
+// that generated them. A digest mismatch means the scheduling core changed
+// observable behaviour: event times, ordering of equal-timestamp events, or
+// the Rng draw sequence. `make_trace_fixtures` regenerates the file when a
+// change moves traces *intentionally*.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/tracer.h"
+
+namespace trace_test {
+
+/// FNV-1a over every field of every event, in stream order. 64-bit: a single
+/// flipped bit anywhere in the trace changes the digest.
+inline std::uint64_t trace_digest(const std::vector<trace::Event>& events) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xFF;
+      h *= 0x100000001b3ULL;
+    }
+  };
+  for (const trace::Event& e : events) {
+    mix(static_cast<std::uint64_t>(e.t));
+    mix(e.node);
+    mix(static_cast<std::uint64_t>(e.kind));
+    mix(e.a);
+    mix(e.b);
+    mix(e.c);
+    mix(e.d);
+  }
+  return h;
+}
+
+}  // namespace trace_test
