@@ -1,0 +1,319 @@
+// Parallel experiment sweeps over the paper's parameter matrices.
+//
+// Expands a declarative scenario matrix (app/measurement × binding × node
+// count [× message size] × N seed replicates), runs one fully isolated
+// deterministic simulation per trial across host cores on the work-stealing
+// pool, and aggregates per-cell statistics (mean/stddev/p50/p95/95% CI) into
+// a versioned `amoeba-sweepreport/v1` JSON that report_compare gates with
+// CI-overlap noise suppression.
+//
+// usage: amoeba_sweep [--matrix=table3|table1|smoke] [--apps=tsp,asp,...]
+//                     [--bindings=user,kernel] [--nodes=1,8,16,32]
+//                     [--sizes=0,1024,...] [--seeds=N] [--base-seed=S]
+//                     [--threads=N] [--json=FILE] [--quick] [--no-progress]
+//                     [--verify-pool]
+//
+//   --matrix=table3   six Orca apps × bindings × node counts (default)
+//   --matrix=table1   rpc/group latency × bindings × message sizes
+//   --matrix=smoke    tiny CI matrix (asp × bindings × {1,4} nodes)
+//   --quick           table3 node counts {1,8} instead of {1,8,16,32}
+//   --threads=N       pool width (0 = all host cores)
+//   --verify-pool     also run the matrix serially and assert the two
+//                     reports are byte-identical; prints the speedup
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "apps/ab.h"
+#include "apps/asp.h"
+#include "apps/leq.h"
+#include "apps/rl.h"
+#include "apps/sor.h"
+#include "apps/tsp.h"
+#include "bench/harness.h"
+#include "core/testbed.h"
+#include "sim/require.h"
+#include "sweep/runner.h"
+
+namespace {
+
+using apps::RunConfig;
+using metrics::Better;
+using panda::Binding;
+
+struct SweepArgs {
+  std::string matrix = "table3";
+  std::string apps_csv;      // empty = matrix default
+  std::string bindings_csv = "user,kernel";
+  std::string nodes_csv;     // empty = matrix default
+  std::string sizes_csv;     // empty = matrix default (table1)
+  std::uint64_t seeds = 5;
+  std::uint64_t base_seed = 42;
+  unsigned threads = 0;
+  std::string json_path;
+  bool quick = false;
+  bool progress = true;
+  bool verify_pool = false;
+};
+
+int usage(const char* prog) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--matrix=table3|table1|smoke] [--apps=CSV] "
+      "[--bindings=CSV] [--nodes=CSV] [--sizes=CSV] [--seeds=N] "
+      "[--base-seed=S] [--threads=N] [--json=FILE] [--quick] "
+      "[--no-progress] [--verify-pool]\n",
+      prog);
+  return 2;
+}
+
+std::vector<std::string> split_csv(const std::string& csv) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : csv) {
+    if (c == ',') {
+      if (!cur.empty()) out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0' && !s.empty();
+}
+
+bool parse_sweep_args(int argc, char** argv, SweepArgs& out) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eat = [&arg](const char* prefix, std::string& dst) {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) != 0) return false;
+      dst = arg.substr(n);
+      return true;
+    };
+    std::string v;
+    if (eat("--matrix=", out.matrix) || eat("--apps=", out.apps_csv) ||
+        eat("--bindings=", out.bindings_csv) || eat("--nodes=", out.nodes_csv) ||
+        eat("--sizes=", out.sizes_csv) || eat("--json=", out.json_path)) {
+      continue;
+    }
+    if (eat("--seeds=", v)) {
+      if (!parse_u64(v, out.seeds) || out.seeds == 0) return false;
+    } else if (eat("--base-seed=", v)) {
+      if (!parse_u64(v, out.base_seed)) return false;
+    } else if (eat("--threads=", v)) {
+      std::uint64_t t = 0;
+      if (!parse_u64(v, t)) return false;
+      out.threads = static_cast<unsigned>(t);
+    } else if (arg == "--quick") {
+      out.quick = true;
+    } else if (arg == "--no-progress") {
+      out.progress = false;
+    } else if (arg == "--verify-pool") {
+      out.verify_pool = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                   arg.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Runs one Table 3 application trial; returns (elapsed sec, cluster stats).
+std::pair<double, apps::ClusterStats> run_app(const std::string& app,
+                                              const RunConfig& rc) {
+  if (app == "tsp") {
+    apps::TspParams p;
+    p.run = rc;
+    const auto r = apps::run_tsp(p);
+    return {sim::to_sec(r.elapsed), r.stats};
+  }
+  if (app == "asp") {
+    apps::AspParams p;
+    p.run = rc;
+    const auto r = apps::run_asp(p);
+    return {sim::to_sec(r.elapsed), r.stats};
+  }
+  if (app == "ab") {
+    apps::AbParams p;
+    p.run = rc;
+    const auto r = apps::run_ab(p);
+    return {sim::to_sec(r.elapsed), r.stats};
+  }
+  if (app == "rl") {
+    apps::RlParams p;
+    p.run = rc;
+    const auto r = apps::run_rl(p);
+    return {sim::to_sec(r.elapsed), r.stats};
+  }
+  if (app == "sor") {
+    apps::SorParams p;
+    p.run = rc;
+    const auto r = apps::run_sor(p);
+    return {sim::to_sec(r.elapsed), r.stats};
+  }
+  if (app == "leq") {
+    apps::LeqParams p;
+    p.run = rc;
+    const auto r = apps::run_leq(p);
+    return {sim::to_sec(r.elapsed), r.stats};
+  }
+  sim::require(false, "amoeba_sweep: unknown app '" + app + "'");
+  return {};
+}
+
+Binding parse_binding(const std::string& b) {
+  sim::require(b == "user" || b == "kernel",
+               "amoeba_sweep: unknown binding '" + b + "'");
+  return b == "kernel" ? Binding::kKernelSpace : Binding::kUserSpace;
+}
+
+/// Table 3 matrix: app × binding × processors, elapsed seconds per trial.
+sweep::TrialFn table3_fn(const sweep::Matrix& matrix) {
+  return [&matrix](const sweep::Trial& t) {
+    RunConfig rc;
+    rc.processors = std::strtoull(matrix.value(t, "nodes").c_str(), nullptr, 10);
+    rc.binding = parse_binding(matrix.value(t, "binding"));
+    rc.seed = t.seed;
+    const auto [elapsed, stats] = run_app(matrix.value(t, "app"), rc);
+    return std::vector<sweep::Sample>{
+        {"elapsed.sec", elapsed, Better::kLower, "sec"},
+        {"wire.bytes", static_cast<double>(stats.bytes_on_wire), Better::kInfo,
+         "bytes"},
+        {"segment.util.max", stats.max_segment_utilization, Better::kInfo},
+    };
+  };
+}
+
+/// Table 1 matrix: kind × binding × message size, latency ms per trial.
+sweep::TrialFn table1_fn(const sweep::Matrix& matrix) {
+  return [&matrix](const sweep::Trial& t) {
+    const Binding binding = parse_binding(matrix.value(t, "binding"));
+    const auto bytes = static_cast<std::size_t>(
+        std::strtoull(matrix.value(t, "size").c_str(), nullptr, 10));
+    const std::string& kind = matrix.value(t, "kind");
+    const sim::Time lat =
+        kind == "rpc" ? core::measure_rpc_latency(binding, bytes, 10, t.seed)
+                      : core::measure_group_latency(binding, bytes, 10, t.seed);
+    return std::vector<sweep::Sample>{
+        {"latency.ms", sim::to_ms(lat), Better::kLower, "ms"},
+    };
+  };
+}
+
+void print_cell_table(const sweep::SweepReport& report, const char* primary) {
+  std::printf("\n%-52s | %3s %12s %10s %12s %12s\n", "cell", "n", "mean",
+              "ci95", "p50", "p95");
+  for (const sweep::SweepReport::Entry* e : report.sorted_entries()) {
+    if (e->metric != primary) continue;
+    std::printf("%-52s | %3zu %12.4g %10.3g %12.4g %12.4g\n", e->cell.c_str(),
+                e->stats.n, e->stats.mean, e->stats.ci95, e->stats.p50,
+                e->stats.p95);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SweepArgs args;
+  if (!parse_sweep_args(argc, argv, args)) return usage(argv[0]);
+
+  sweep::Matrix matrix;
+  const char* primary = "elapsed.sec";
+  std::string default_apps = "tsp,asp,ab,rl,sor,leq";
+  std::string default_nodes = args.quick ? "1,8" : "1,8,16,32";
+  if (args.matrix == "smoke") {
+    default_apps = "asp";
+    default_nodes = "1,4";
+  }
+  if (args.matrix == "table3" || args.matrix == "smoke") {
+    matrix.axis("app", split_csv(args.apps_csv.empty() ? default_apps
+                                                       : args.apps_csv));
+    matrix.axis("binding", split_csv(args.bindings_csv));
+    matrix.axis("nodes", split_csv(args.nodes_csv.empty() ? default_nodes
+                                                          : args.nodes_csv));
+  } else if (args.matrix == "table1") {
+    matrix.axis("kind", {"rpc", "group"});
+    matrix.axis("binding", split_csv(args.bindings_csv));
+    matrix.axis("size", split_csv(args.sizes_csv.empty()
+                                      ? "0,1024,2048,3072,4096"
+                                      : args.sizes_csv));
+    primary = "latency.ms";
+  } else {
+    std::fprintf(stderr, "%s: unknown matrix '%s'\n", argv[0],
+                 args.matrix.c_str());
+    return usage(argv[0]);
+  }
+  matrix.seeds(args.seeds, args.base_seed);
+
+  const sweep::TrialFn fn = args.matrix == "table1"
+                                ? table1_fn(matrix)
+                                : table3_fn(matrix);
+
+  bench::print_banner("Parameter sweep — parallel trials, aggregated statistics");
+  const unsigned threads = sweep::resolve_threads(args.threads);
+  std::printf("matrix %s: %zu cells x %llu seeds = %zu trials on %u threads\n",
+              args.matrix.c_str(), matrix.cell_count(),
+              static_cast<unsigned long long>(args.seeds),
+              matrix.trial_count(), threads);
+
+  const std::string name = "sweep_" + args.matrix;
+  sweep::SweepOptions options;
+  options.threads = args.threads;
+  options.progress = args.progress;
+
+  using Clock = std::chrono::steady_clock;
+  const auto t0 = Clock::now();
+  sweep::SweepReport report = sweep::run_sweep(matrix, fn, name, options);
+  const double pool_sec =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  report.set_config("matrix", args.matrix);
+  report.set_config("quick", args.quick);
+
+  // The pool aggregates from per-trial slots in index order, so the report
+  // must not depend on scheduling. --verify-pool proves it on this host by
+  // rerunning the identical matrix single-threaded.
+  if (args.verify_pool) {
+    sweep::SweepOptions serial = options;
+    serial.threads = 1;
+    serial.progress = false;
+    const auto s0 = Clock::now();
+    sweep::SweepReport serial_report = sweep::run_sweep(matrix, fn, name, serial);
+    const double serial_sec =
+        std::chrono::duration<double>(Clock::now() - s0).count();
+    serial_report.set_config("matrix", args.matrix);
+    serial_report.set_config("quick", args.quick);
+    if (serial_report.json() != report.json()) {
+      std::fprintf(stderr,
+                   "FAIL: pooled and serial sweep reports differ (thread-"
+                   "schedule leaked into the aggregation)\n");
+      return 1;
+    }
+    std::printf(
+        "verify-pool: serial report byte-identical; pool %.2fs vs serial "
+        "%.2fs (%.2fx on %u threads)\n",
+        pool_sec, serial_sec, pool_sec > 0 ? serial_sec / pool_sec : 0.0,
+        threads);
+  } else {
+    std::printf("sweep completed in %.2fs\n", pool_sec);
+  }
+
+  print_cell_table(report, primary);
+
+  if (!args.json_path.empty() &&
+      !bench::write_report_text(report.json(), args.json_path)) {
+    return 1;
+  }
+  return 0;
+}

@@ -8,12 +8,20 @@
 // *reproduce* is the shape: which binding wins where, roughly by how much,
 // and the saturation/overload effects the paper explains in §5.
 //
+// Every (app, impl, processors) cell is an independent single-threaded
+// simulation, so the cells fan out over the sweep work-stealing pool and the
+// tables render afterwards from the gathered slots — output bytes are
+// identical for any worker count. (For the full matrix treatment with seeds
+// and statistics, see amoeba_sweep.)
+//
 // Usage: bench_table3_applications [--app=tsp|asp|ab|rl|sor|leq] [--quick]
-//                                  [--json=FILE]
+//                                  [--threads=N] [--json=FILE]
 //   --quick runs only {1,8} processors (for CI smoke runs).
+//   --threads=N pool width (0 = all host cores).
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -24,6 +32,7 @@
 #include "apps/sor.h"
 #include "apps/tsp.h"
 #include "bench/harness.h"
+#include "sweep/pool.h"
 
 namespace {
 
@@ -55,30 +64,53 @@ std::string metric_key(const char* app, const char* impl, std::size_t procs) {
   return key;
 }
 
-template <typename Runner>
-void measure(const char* app, const char* impl,
-             const std::vector<std::size_t>& procs, bool dedicated,
-             metrics::RunReport& report, Runner&& run_one) {
-  std::printf("%-24s |", impl);
-  std::fflush(stdout);
-  double t1 = 0.0;
+/// One (app, impl, processors) simulation: scheduled on the pool, rendered
+/// after the join.
+struct Cell {
+  const char* app;
+  const char* impl;
+  std::size_t procs;
+  bool dedicated;
+  std::function<double(const RunConfig&)> run_one;
+  bool skipped = false;  // dedicated sequencer needs a second machine
+  double sec = 0.0;
+};
+
+/// Queue every cell of one table row; results land in `cells` slots.
+void plan(const char* app, const char* impl,
+          const std::vector<std::size_t>& procs, bool dedicated,
+          std::function<double(const RunConfig&)> run_one,
+          std::vector<Cell>& cells) {
   for (const std::size_t p : procs) {
-    RunConfig rc;
-    rc.processors = p;
-    rc.dedicated_sequencer = dedicated;
-    rc.binding = std::strstr(impl, "Kernel") != nullptr ? Binding::kKernelSpace
-                                                        : Binding::kUserSpace;
-    if (dedicated && p == 1) {
-      std::printf(" %8s", "-");
-      std::fflush(stdout);
+    Cell c;
+    c.app = app;
+    c.impl = impl;
+    c.procs = p;
+    c.dedicated = dedicated;
+    c.run_one = std::move(run_one);
+    c.skipped = dedicated && p == 1;
+    cells.push_back(c);
+    run_one = cells.back().run_one;  // reuse for the next processor count
+  }
+}
+
+/// Print one measured row from the gathered cells and record its metrics.
+void render(const char* app, const char* impl, const std::vector<Cell>& cells,
+            metrics::RunReport& report) {
+  std::printf("%-24s |", impl);
+  double t1 = 0.0;
+  for (const Cell& c : cells) {
+    if (std::strcmp(c.app, app) != 0 || std::strcmp(c.impl, impl) != 0) {
       continue;
     }
-    const double t = run_one(rc);
-    if (p == 1) t1 = t;
-    std::printf(" %8.0f", t);
-    std::fflush(stdout);
-    report.add_metric(metric_key(app, impl, p), t, metrics::Better::kLower,
-                      "sec");
+    if (c.skipped) {
+      std::printf(" %8s", "-");
+      continue;
+    }
+    if (c.procs == 1) t1 = c.sec;
+    std::printf(" %8.0f", c.sec);
+    report.add_metric(metric_key(app, impl, c.procs), c.sec,
+                      metrics::Better::kLower, "sec");
   }
   if (t1 > 0.0) std::printf("   (T1=%.0f)", t1);
   std::printf("\n");
@@ -92,7 +124,8 @@ bool want(const std::string& filter, const char* app) {
 
 int main(int argc, char** argv) {
   bench::Args args;
-  if (!bench::parse_args(argc, argv, bench::kApp | bench::kQuick, args)) {
+  if (!bench::parse_args(argc, argv,
+                         bench::kApp | bench::kQuick | bench::kThreads, args)) {
     return 2;
   }
   const std::string& filter = args.app;
@@ -108,71 +141,122 @@ int main(int argc, char** argv) {
   bench::print_banner(
       "Table 3 — Orca application execution times (paper vs. simulation)");
 
+  std::vector<Cell> cells;
+  if (want(filter, "tsp")) {
+    for (const char* impl : {"Kernel-space", "User-space"}) {
+      plan("tsp", impl, procs, false, [](const RunConfig& rc) {
+        apps::TspParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_tsp(p).elapsed);
+      }, cells);
+    }
+  }
+  if (want(filter, "asp")) {
+    for (const char* impl : {"Kernel-space", "User-space"}) {
+      plan("asp", impl, procs, false, [](const RunConfig& rc) {
+        apps::AspParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_asp(p).elapsed);
+      }, cells);
+    }
+  }
+  if (want(filter, "ab")) {
+    for (const char* impl : {"Kernel-space", "User-space"}) {
+      plan("ab", impl, procs, false, [](const RunConfig& rc) {
+        apps::AbParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_ab(p).elapsed);
+      }, cells);
+    }
+  }
+  if (want(filter, "rl")) {
+    for (const char* impl : {"Kernel-space", "User-space"}) {
+      plan("rl", impl, procs, false, [](const RunConfig& rc) {
+        apps::RlParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_rl(p).elapsed);
+      }, cells);
+    }
+  }
+  if (want(filter, "sor")) {
+    for (const char* impl : {"Kernel-space", "User-space"}) {
+      plan("sor", impl, procs, false, [](const RunConfig& rc) {
+        apps::SorParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_sor(p).elapsed);
+      }, cells);
+    }
+  }
+  if (want(filter, "leq")) {
+    for (const char* impl :
+         {"Kernel-space", "User-space", "User-space-dedicated"}) {
+      const bool dedicated = std::strstr(impl, "dedicated") != nullptr;
+      plan("leq", impl, procs, dedicated, [](const RunConfig& rc) {
+        apps::LeqParams p;
+        p.run = rc;
+        return sim::to_sec(apps::run_leq(p).elapsed);
+      }, cells);
+    }
+  }
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(cells.size());
+  for (Cell& c : cells) {
+    if (c.skipped) continue;
+    tasks.push_back([&c] {
+      RunConfig rc;
+      rc.processors = c.procs;
+      rc.dedicated_sequencer = c.dedicated;
+      rc.binding = std::strstr(c.impl, "Kernel") != nullptr
+                       ? Binding::kKernelSpace
+                       : Binding::kUserSpace;
+      c.sec = c.run_one(rc);
+    });
+  }
+  sweep::PoolOptions pool;
+  pool.threads = args.threads;
+  sweep::run_tasks(std::move(tasks), pool);
+
   if (want(filter, "tsp")) {
     print_paper("Travelling Salesman Problem",
                 {{"Kernel-space", 790, 87, 44, 23}, {"User-space", 783, 92, 46, 24}});
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl : {"Kernel-space", "User-space"}) {
-      measure("tsp", impl, procs, false, report, [](const RunConfig& rc) {
-        apps::TspParams p;
-        p.run = rc;
-        return sim::to_sec(apps::run_tsp(p).elapsed);
-      });
+      render("tsp", impl, cells, report);
     }
   }
-
   if (want(filter, "asp")) {
     print_paper("All-pairs Shortest Paths",
                 {{"Kernel-space", 213, 30, 17, 11}, {"User-space", 216, 31, 18, 11}});
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl : {"Kernel-space", "User-space"}) {
-      measure("asp", impl, procs, false, report, [](const RunConfig& rc) {
-        apps::AspParams p;
-        p.run = rc;
-        return sim::to_sec(apps::run_asp(p).elapsed);
-      });
+      render("asp", impl, cells, report);
     }
   }
-
   if (want(filter, "ab")) {
     print_paper("Alpha-Beta Search",
                 {{"Kernel-space", 565, 106, 78, 60}, {"User-space", 567, 106, 78, 59}});
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl : {"Kernel-space", "User-space"}) {
-      measure("ab", impl, procs, false, report, [](const RunConfig& rc) {
-        apps::AbParams p;
-        p.run = rc;
-        return sim::to_sec(apps::run_ab(p).elapsed);
-      });
+      render("ab", impl, cells, report);
     }
   }
-
   if (want(filter, "rl")) {
     print_paper("Region Labeling",
                 {{"Kernel-space", 759, 132, 115, 114}, {"User-space", 767, 133, 119, 108}});
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl : {"Kernel-space", "User-space"}) {
-      measure("rl", impl, procs, false, report, [](const RunConfig& rc) {
-        apps::RlParams p;
-        p.run = rc;
-        return sim::to_sec(apps::run_rl(p).elapsed);
-      });
+      render("rl", impl, cells, report);
     }
   }
-
   if (want(filter, "sor")) {
     print_paper("Successive Overrelaxation",
                 {{"Kernel-space", 118, 20, 14, 13}, {"User-space", 118, 19, 13, 11}});
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl : {"Kernel-space", "User-space"}) {
-      measure("sor", impl, procs, false, report, [](const RunConfig& rc) {
-        apps::SorParams p;
-        p.run = rc;
-        return sim::to_sec(apps::run_sor(p).elapsed);
-      });
+      render("sor", impl, cells, report);
     }
   }
-
   if (want(filter, "leq")) {
     print_paper("Linear Equation Solver",
                 {{"Kernel-space", 521, 102, 91, 127},
@@ -181,12 +265,7 @@ int main(int argc, char** argv) {
     std::printf("%-24s | %8s %8s %8s %8s\n", "measured [sec]", "1", "8", "16", "32");
     for (const char* impl :
          {"Kernel-space", "User-space", "User-space-dedicated"}) {
-      const bool dedicated = std::strstr(impl, "dedicated") != nullptr;
-      measure("leq", impl, procs, dedicated, report, [](const RunConfig& rc) {
-        apps::LeqParams p;
-        p.run = rc;
-        return sim::to_sec(apps::run_leq(p).elapsed);
-      });
+      render("leq", impl, cells, report);
     }
   }
 

@@ -2,6 +2,7 @@
 
 #include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string_view>
 
@@ -22,6 +23,7 @@ void print_usage(const char* prog, unsigned accepts) {
   if (accepts & kTrace) std::fprintf(stderr, " [--trace=FILE]");
   if (accepts & kApp) std::fprintf(stderr, " [--app=NAME]");
   if (accepts & kQuick) std::fprintf(stderr, " [--quick]");
+  if (accepts & kThreads) std::fprintf(stderr, " [--threads=N]");
   if (accepts & kBenchmark) std::fprintf(stderr, " [--benchmark...]");
   std::fprintf(stderr, "\n");
 }
@@ -50,6 +52,18 @@ bool parse_args(int& argc, char** argv, unsigned accepts, Args& out) {
     if ((accepts & kQuick) && arg == "--quick") {
       out.quick = true;
       continue;
+    }
+    if (accepts & kThreads) {
+      if (std::string v; take_value(arg, "--threads=", v)) {
+        char* end = nullptr;
+        const unsigned long n = std::strtoul(v.c_str(), &end, 10);
+        if (v.empty() || *end != '\0') {
+          std::fprintf(stderr, "%s: --threads needs a number\n", argv[0]);
+          return false;
+        }
+        out.threads = static_cast<unsigned>(n);
+        continue;
+      }
     }
     if ((accepts & kBenchmark) && arg.starts_with("--benchmark")) {
       argv[kept++] = argv[i];
@@ -125,6 +139,24 @@ bool write_report(const metrics::RunReport& report, const std::string& path) {
     return false;
   }
   std::printf("wrote run report to %s\n", path.c_str());
+  return true;
+}
+
+bool write_report_text(const std::string& json, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write report to %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::fprintf(stderr, "error: cannot write report to %s: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  std::printf("wrote sweep report to %s\n", path.c_str());
   return true;
 }
 

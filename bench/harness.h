@@ -26,6 +26,7 @@ enum Accepts : unsigned {
   kApp = 1u << 1,        // --app=NAME     application filter (table 3)
   kQuick = 1u << 2,      // --quick        reduced processor sweep
   kBenchmark = 1u << 3,  // --benchmark*   passed through to google-benchmark
+  kThreads = 1u << 4,    // --threads=N    sweep-pool width (0 = all cores)
 };
 
 struct Args {
@@ -33,6 +34,7 @@ struct Args {
   std::string trace_path;  // empty = no trace run
   std::string app;
   bool quick = false;
+  unsigned threads = 0;
 };
 
 /// Parse argv into `out`. Unknown or malformed options print an error plus
@@ -63,5 +65,10 @@ double print_ledger_delta(const char* row_label, const sim::Ledger& user,
 /// success prints the path to stdout.
 [[nodiscard]] bool write_report(const metrics::RunReport& report,
                                 const std::string& path);
+
+/// Write an already-serialized report (e.g. a sweep::SweepReport's json())
+/// with the same error reporting as write_report.
+[[nodiscard]] bool write_report_text(const std::string& json,
+                                     const std::string& path);
 
 }  // namespace bench

@@ -1,10 +1,14 @@
-// Compare two RunReport JSON files and flag regressions.
+// Compare two RunReport (amoeba-runreport/v1) or two SweepReport
+// (amoeba-sweepreport/v1) JSON files and flag regressions.
 //
 // usage: report_compare [--threshold=PCT] [--show-info] [--warn-only] OLD NEW
 //
-// Every direction-tagged metric present in both reports is compared by
-// relative delta; a wrong-direction move beyond the threshold is a
-// regression. Histogram percentiles are compared as lower-is-better.
+// Run reports: every direction-tagged metric present in both reports is
+// compared by relative delta; a wrong-direction move beyond the threshold is
+// a regression. Histogram percentiles are compared as lower-is-better.
+// Sweep reports: per-cell metric means are compared the same way, but a move
+// whose 95% confidence intervals overlap is reported as "ci-overlap" noise
+// and never gates. Mixing the two schemas is an error.
 // Exit codes: 0 no regression, 1 regression found (0 with --warn-only),
 // 2 usage or parse error.
 #include <cstdio>
@@ -39,6 +43,7 @@ bool read_file(const std::string& path, std::string& out) {
 const char* arrow(const metrics::MetricDelta& d) {
   if (d.regression) return "REGRESSED";
   if (d.improvement) return "improved";
+  if (d.noise_gated) return "ci-overlap";
   return "";
 }
 
@@ -98,6 +103,8 @@ int main(int argc, char** argv) {
     // so the table is a complete picture, but skip unchanged info metrics
     // unless --show-info.
     if (d.better == "info" && !options.show_info && !d.regression) continue;
+    // Sweep tables can be large; unchanged gated means stay useful, but
+    // suppress the unmoved informational companions (.n, .p95) by default.
     std::printf("%-44s | %12.4g | %12.4g | %+7.2f%% | %s\n", d.name.c_str(),
                 d.old_value, d.new_value, d.delta_pct, arrow(d));
     ++shown;

@@ -95,10 +95,12 @@ sim::Time measure_sys_multicast_latency(std::size_t bytes, int rounds) {
   return measure_sys_latency(bytes, rounds, /*multicast=*/true);
 }
 
-sim::Time measure_rpc_latency(Binding binding, std::size_t bytes, int rounds) {
+sim::Time measure_rpc_latency(Binding binding, std::size_t bytes, int rounds,
+                              std::uint64_t seed) {
   TestbedConfig cfg;
   cfg.binding = binding;
   cfg.nodes = 2;
+  cfg.seed = seed;
   Testbed bed(cfg);
   bed.panda(1).set_rpc_handler(
       [&bed](Thread& upcall, panda::RpcTicket t, net::Payload) -> sim::Co<void> {
@@ -122,11 +124,13 @@ sim::Time measure_rpc_latency(Binding binding, std::size_t bytes, int rounds) {
   return elapsed;
 }
 
-sim::Time measure_group_latency(Binding binding, std::size_t bytes, int rounds) {
+sim::Time measure_group_latency(Binding binding, std::size_t bytes, int rounds,
+                                std::uint64_t seed) {
   TestbedConfig cfg;
   cfg.binding = binding;
   cfg.nodes = 2;
   cfg.sequencer = 1;  // "the sequencer (which is on the other processor)"
+  cfg.seed = seed;
   Testbed bed(cfg);
   for (NodeId n = 0; n < 2; ++n) {
     bed.panda(n).set_group_handler(
@@ -152,10 +156,11 @@ sim::Time measure_group_latency(Binding binding, std::size_t bytes, int rounds) 
 }
 
 double measure_rpc_throughput_kbs(Binding binding, std::size_t request_bytes,
-                                  int rounds) {
+                                  int rounds, std::uint64_t seed) {
   TestbedConfig cfg;
   cfg.binding = binding;
   cfg.nodes = 2;
+  cfg.seed = seed;
   Testbed bed(cfg);
   bed.panda(1).set_rpc_handler(
       [&bed](Thread& upcall, panda::RpcTicket t, net::Payload) -> sim::Co<void> {
@@ -181,10 +186,12 @@ double measure_rpc_throughput_kbs(Binding binding, std::size_t request_bytes,
 
 double measure_group_throughput_kbs(Binding binding, std::size_t members,
                                     std::size_t message_bytes,
-                                    int messages_per_member) {
+                                    int messages_per_member,
+                                    std::uint64_t seed) {
   TestbedConfig cfg;
   cfg.binding = binding;
   cfg.nodes = members;
+  cfg.seed = seed;
   Testbed bed(cfg);
   std::uint64_t delivered_bytes = 0;
   sim::Time last_delivery = 0;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -62,7 +63,9 @@ class Testbed {
 // --- Table 1 / Table 2 measurement routines ---------------------------------
 // Each boots a fresh deterministic testbed, runs warm-up rounds first (route
 // caches), and returns averages, mirroring the paper's methodology ("average
-// values of 10 runs with little variation").
+// values of 10 runs with little variation"). The `seed` parameter selects the
+// testbed RNG stream so sweep replicates measure genuinely different runs;
+// the default reproduces the committed BENCH_table1/2 baselines.
 
 /// System-layer (pan_sys over FLIP) one-way latency, user process to user
 /// process, replies sent from within the upcall (Table 1, "unicast user").
@@ -75,24 +78,28 @@ class Testbed {
 
 /// Full RPC latency: request of `bytes`, empty reply (Table 1, RPC columns).
 [[nodiscard]] sim::Time measure_rpc_latency(Binding binding, std::size_t bytes,
-                                            int rounds = 10);
+                                            int rounds = 10,
+                                            std::uint64_t seed = 42);
 
 /// Group latency: 2 members, sequencer on the other machine, sender waits
 /// for its own message (Table 1, group columns).
 [[nodiscard]] sim::Time measure_group_latency(Binding binding, std::size_t bytes,
-                                              int rounds = 10);
+                                              int rounds = 10,
+                                              std::uint64_t seed = 42);
 
 /// RPC throughput in KB/s: stream of 8000-byte requests with empty replies
 /// (Table 2).
 [[nodiscard]] double measure_rpc_throughput_kbs(Binding binding,
                                                 std::size_t request_bytes = 8000,
-                                                int rounds = 25);
+                                                int rounds = 25,
+                                                std::uint64_t seed = 42);
 
 /// Group throughput in KB/s: several members sending 8000-byte messages in
 /// parallel until the Ethernet saturates (Table 2).
 [[nodiscard]] double measure_group_throughput_kbs(Binding binding,
                                                   std::size_t members = 4,
                                                   std::size_t message_bytes = 8000,
-                                                  int messages_per_member = 12);
+                                                  int messages_per_member = 12,
+                                                  std::uint64_t seed = 42);
 
 }  // namespace core

@@ -9,20 +9,34 @@ namespace {
 struct Tracked {
   double value = 0.0;
   std::string better;
+  // Sweep means only: 95% CI half-width and whether one was present.
+  double ci = 0.0;
+  bool has_ci = false;
 };
 
-/// Flattens a report into name -> tracked metric: the `metrics` section
+enum class Schema { kUnknown, kRunReport, kSweepReport };
+
+Schema schema_of(const JsonValue& report) {
+  if (!report.is_object()) return Schema::kUnknown;
+  const JsonValue* schema = report.find("schema");
+  if (schema == nullptr || !schema->is_string()) return Schema::kUnknown;
+  if (schema->string.rfind("amoeba-runreport/", 0) == 0) {
+    return Schema::kRunReport;
+  }
+  if (schema->string.rfind("amoeba-sweepreport/", 0) == 0) {
+    return Schema::kSweepReport;
+  }
+  return Schema::kUnknown;
+}
+
+/// Flattens a run report into name -> tracked metric: the `metrics` section
 /// verbatim, plus the latency percentiles of every histogram.
 bool flatten(const JsonValue& report, std::map<std::string, Tracked>& out,
              std::string& error) {
-  if (!report.is_object()) {
-    error = "not a JSON object";
-    return false;
-  }
-  const JsonValue* schema = report.find("schema");
-  if (schema == nullptr || !schema->is_string() ||
-      schema->string.rfind("amoeba-runreport/", 0) != 0) {
-    error = "missing or foreign \"schema\" tag (expected amoeba-runreport/*)";
+  if (schema_of(report) != Schema::kRunReport) {
+    error =
+        "missing or foreign \"schema\" tag (expected amoeba-runreport/* or "
+        "amoeba-sweepreport/*)";
     return false;
   }
   if (const JsonValue* m = report.find("metrics"); m != nullptr && m->is_object()) {
@@ -51,20 +65,72 @@ bool flatten(const JsonValue& report, std::map<std::string, Tracked>& out,
   return true;
 }
 
+/// Flattens a sweep report into "cell/metric.stat" -> tracked metric. The
+/// direction-tagged entry is the mean (with its CI for overlap gating);
+/// p95 and the replicate count ride along as informational.
+bool flatten_sweep(const JsonValue& report, std::map<std::string, Tracked>& out,
+                   std::string& error) {
+  const JsonValue* cells = report.find("cells");
+  if (cells == nullptr || !cells->is_object()) {
+    error = "sweep report has no \"cells\" object";
+    return false;
+  }
+  for (const auto& [cell, body] : cells->object) {
+    const JsonValue* ms = body.find("metrics");
+    if (ms == nullptr || !ms->is_object()) continue;
+    for (const auto& [metric, m] : ms->object) {
+      const JsonValue* mean = m.find("mean");
+      if (mean == nullptr || !mean->is_number()) continue;
+      const std::string base = cell + "/" + metric;
+      Tracked t;
+      t.value = mean->number;
+      const JsonValue* better = m.find("better");
+      t.better = better != nullptr && better->is_string() ? better->string
+                                                          : "info";
+      if (const JsonValue* ci = m.find("ci95");
+          ci != nullptr && ci->is_number()) {
+        t.ci = ci->number;
+        t.has_ci = true;
+      }
+      out[base + ".mean"] = std::move(t);
+      if (const JsonValue* p95 = m.find("p95");
+          p95 != nullptr && p95->is_number()) {
+        out[base + ".p95"] = Tracked{p95->number, "info", 0.0, false};
+      }
+      if (const JsonValue* n = m.find("n"); n != nullptr && n->is_number()) {
+        out[base + ".n"] = Tracked{n->number, "info", 0.0, false};
+      }
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 CompareResult compare_reports(const JsonValue& old_report,
                               const JsonValue& new_report,
                               const CompareOptions& options) {
   CompareResult result;
+  const Schema old_schema = schema_of(old_report);
+  const Schema new_schema = schema_of(new_report);
+  if (old_schema != Schema::kUnknown && new_schema != Schema::kUnknown &&
+      old_schema != new_schema) {
+    result.error =
+        "schema mismatch: cannot compare a run report against a sweep report";
+    return result;
+  }
+  const bool sweep = old_schema == Schema::kSweepReport;
+
   std::map<std::string, Tracked> old_metrics;
   std::map<std::string, Tracked> new_metrics;
   std::string err;
-  if (!flatten(old_report, old_metrics, err)) {
+  if (!(sweep ? flatten_sweep(old_report, old_metrics, err)
+              : flatten(old_report, old_metrics, err))) {
     result.error = "old report: " + err;
     return result;
   }
-  if (!flatten(new_report, new_metrics, err)) {
+  if (!(sweep ? flatten_sweep(new_report, new_metrics, err)
+              : flatten(new_report, new_metrics, err))) {
     result.error = "new report: " + err;
     return result;
   }
@@ -92,12 +158,26 @@ CompareResult compare_reports(const JsonValue& old_report,
           (new_m.value - old_m.value) / std::fabs(old_m.value) * 100.0;
     }
     const bool moved = std::fabs(d.delta_pct) > options.threshold_pct;
+    // Sweep means carry dispersion: a move whose 95% confidence intervals
+    // still overlap is indistinguishable from seed noise and never gates.
+    bool overlap = false;
+    if (old_m.has_ci || new_m.has_ci) {
+      d.old_ci = old_m.ci;
+      d.new_ci = new_m.ci;
+      overlap = old_m.value - old_m.ci <= new_m.value + new_m.ci &&
+                new_m.value - new_m.ci <= old_m.value + old_m.ci;
+    }
     if (d.better == "lower") {
       d.regression = moved && d.delta_pct > 0;
       d.improvement = moved && d.delta_pct < 0;
     } else if (d.better == "higher") {
       d.regression = moved && d.delta_pct < 0;
       d.improvement = moved && d.delta_pct > 0;
+    }
+    if ((d.regression || d.improvement) && overlap) {
+      d.regression = false;
+      d.improvement = false;
+      d.noise_gated = true;
     }
     result.regressed = result.regressed || d.regression;
     if (d.better != "info" || options.show_info) {

@@ -1,11 +1,20 @@
-// Regression comparison between two RunReports.
+// Regression comparison between two RunReports or two SweepReports.
 //
-// Walks the `metrics` sections of an old and a new report, computes the
-// relative delta for every metric present in both, and flags a regression
-// when a direction-tagged metric ("better": "lower"/"higher") moves the
-// wrong way by more than the threshold. Histogram percentiles (p50/p90/p99,
-// max) are compared as lower-is-better latencies. The report_compare CLI is
-// a thin wrapper; the logic lives here so tests can drive it directly.
+// amoeba-runreport/*: walks the `metrics` sections of an old and a new
+// report, computes the relative delta for every metric present in both, and
+// flags a regression when a direction-tagged metric ("better":
+// "lower"/"higher") moves the wrong way by more than the threshold.
+// Histogram percentiles (p50/p90/p99, max) are compared as lower-is-better
+// latencies.
+//
+// amoeba-sweepreport/*: compares per-cell metric *means*, with CI-overlap
+// noise gating — a wrong-direction move beyond the threshold only regresses
+// when the two 95% confidence intervals are disjoint; overlapping intervals
+// mark the delta `noise_gated` instead. Multi-seed sweeps carry real
+// dispersion, so gating on the point estimate alone would flag noise.
+//
+// Mixing the two schemas is a comparison error. The report_compare CLI is a
+// thin wrapper; the logic lives here so tests can drive it directly.
 #pragma once
 
 #include <string>
@@ -31,6 +40,13 @@ struct MetricDelta {
   std::string better;  // "lower", "higher", "info"
   bool regression = false;
   bool improvement = false;
+  /// Sweep reports only: 95% CI half-widths of the two means.
+  double old_ci = 0.0;
+  double new_ci = 0.0;
+  /// Sweep reports only: the mean moved beyond the threshold in the wrong
+  /// direction, but the confidence intervals overlap — treated as noise,
+  /// not a regression.
+  bool noise_gated = false;
 };
 
 struct CompareResult {

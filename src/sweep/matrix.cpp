@@ -1,0 +1,78 @@
+#include "sweep/matrix.h"
+
+#include <utility>
+
+#include "sim/require.h"
+#include "sweep/seed.h"
+
+namespace sweep {
+
+void Matrix::axis(std::string name, std::vector<std::string> values) {
+  axes_.push_back(Axis{std::move(name), std::move(values)});
+}
+
+void Matrix::seeds(std::uint64_t per_cell, std::uint64_t base_seed) {
+  seeds_ = per_cell;
+  base_seed_ = base_seed;
+}
+
+std::size_t Matrix::cell_count() const noexcept {
+  std::size_t n = 1;
+  for (const Axis& a : axes_) n *= a.values.size();
+  return n;
+}
+
+std::size_t Matrix::trial_count() const noexcept {
+  return cell_count() * static_cast<std::size_t>(seeds_);
+}
+
+const std::string& Matrix::value(const Trial& trial,
+                                 std::string_view axis) const {
+  for (std::size_t i = 0; i < axes_.size(); ++i) {
+    if (axes_[i].name == axis) return axes_[i].values.at(trial.coords.at(i));
+  }
+  sim::require(false, "sweep::Matrix: unknown axis '" + std::string(axis) + "'");
+  // Unreachable; require throws.
+  static const std::string empty;
+  return empty;
+}
+
+std::vector<Trial> Matrix::expand() const {
+  sim::require(seeds_ > 0, "sweep::Matrix: seeds_per_cell must be positive");
+  for (const Axis& a : axes_) {
+    sim::require(!a.values.empty(),
+                 "sweep::Matrix: axis '" + a.name + "' has no values");
+  }
+  std::vector<Trial> trials;
+  trials.reserve(trial_count());
+  std::vector<std::size_t> coords(axes_.size(), 0);
+  for (std::size_t cell = 0; cell < cell_count(); ++cell) {
+    SeedDeriver deriver(base_seed_);
+    std::string name;
+    for (std::size_t i = 0; i < axes_.size(); ++i) {
+      const Axis& a = axes_[i];
+      deriver.bind(a.name, a.values[coords[i]]);
+      if (!name.empty()) name += '/';
+      name += a.name;
+      name += '=';
+      name += a.values[coords[i]];
+    }
+    for (std::uint64_t rep = 0; rep < seeds_; ++rep) {
+      Trial t;
+      t.index = trials.size();
+      t.coords = coords;
+      t.rep = rep;
+      t.seed = deriver.seed(rep);
+      t.cell = name;
+      trials.push_back(std::move(t));
+    }
+    // Odometer increment, last axis fastest.
+    for (std::size_t i = axes_.size(); i-- > 0;) {
+      if (++coords[i] < axes_[i].values.size()) break;
+      coords[i] = 0;
+    }
+  }
+  return trials;
+}
+
+}  // namespace sweep

@@ -1,0 +1,70 @@
+// Declarative scenario matrices: named axes of string values, expanded into
+// the cross product × N seed replicates as independent trial descriptors.
+//
+// A Trial carries its cell name ("app=tsp/binding=user/nodes=8"), its value
+// index along every axis, its replicate number, and a derived RNG seed that
+// is a pure function of (base seed, cell, replicate) — see sweep/seed.h —
+// so trial identity survives matrix edits and reordering. The runner maps
+// trials to simulations; the matrix layer knows nothing about Testbeds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sweep {
+
+struct Axis {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+struct Trial {
+  /// Row-major index into the expansion (cells × replicates); the slot the
+  /// runner stores this trial's samples into.
+  std::size_t index = 0;
+  /// Value index per axis, aligned with Matrix::axes().
+  std::vector<std::size_t> coords;
+  /// Replicate number in [0, seeds_per_cell).
+  std::uint64_t rep = 0;
+  /// Derived RNG seed (stable under matrix reordering/extension).
+  std::uint64_t seed = 0;
+  /// "axis=value/axis=value/..." in axis declaration order; trials of one
+  /// cell share it, and it keys the aggregated statistics.
+  std::string cell;
+};
+
+class Matrix {
+ public:
+  /// Declare an axis. Axes expand in declaration order (first axis slowest).
+  /// Empty `values` is invalid and trips expand().
+  void axis(std::string name, std::vector<std::string> values);
+
+  /// Replicates per cell (default 1) and the base seed they derive from.
+  void seeds(std::uint64_t per_cell, std::uint64_t base_seed);
+
+  [[nodiscard]] const std::vector<Axis>& axes() const noexcept { return axes_; }
+  [[nodiscard]] std::uint64_t seeds_per_cell() const noexcept { return seeds_; }
+  [[nodiscard]] std::uint64_t base_seed() const noexcept { return base_seed_; }
+
+  /// Number of cells (product of axis sizes; 1 with no axes).
+  [[nodiscard]] std::size_t cell_count() const noexcept;
+  /// cells × replicates.
+  [[nodiscard]] std::size_t trial_count() const noexcept;
+
+  /// The value a trial takes on the named axis. Throws sim::SimError on an
+  /// unknown axis name.
+  [[nodiscard]] const std::string& value(const Trial& trial,
+                                         std::string_view axis) const;
+
+  /// Expand into trial descriptors: replicates of a cell are adjacent,
+  /// cells in row-major axis order. Throws sim::SimError on an empty axis.
+  [[nodiscard]] std::vector<Trial> expand() const;
+
+ private:
+  std::vector<Axis> axes_;
+  std::uint64_t seeds_ = 1;
+  std::uint64_t base_seed_ = 42;
+};
+
+}  // namespace sweep

@@ -1,0 +1,38 @@
+// A work-stealing thread pool for trial fan-out.
+//
+// Each worker owns a deque seeded round-robin with task indices; it pops
+// from its own back and, when empty, steals from the front of a victim's.
+// Every task is one fully isolated, single-threaded simulation — the pool
+// parallelises only the fan-out, so results stay deterministic as long as
+// each task writes exclusively to its own pre-allocated slot.
+//
+// Failure semantics: the first exception (in wall-clock order) cancels all
+// not-yet-started tasks and is rethrown from run_tasks() on the calling
+// thread; tasks already running finish. With threads == 1 the tasks execute
+// inline on the caller, in index order, with identical semantics.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace sweep {
+
+struct PoolOptions {
+  /// Worker count; 0 means std::thread::hardware_concurrency() (min 1).
+  unsigned threads = 0;
+  /// Called after each task completes with (done, total). Serialised by the
+  /// pool (never concurrent with itself); keep it cheap.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+};
+
+/// The worker count `options.threads` resolves to.
+[[nodiscard]] unsigned resolve_threads(unsigned requested) noexcept;
+
+/// Run every task, stealing across `options.threads` workers. Tasks must be
+/// independent; they may run in any order and concurrently. Rethrows the
+/// first failure after joining all workers (remaining tasks cancelled).
+void run_tasks(std::vector<std::function<void()>> tasks,
+               const PoolOptions& options = {});
+
+}  // namespace sweep

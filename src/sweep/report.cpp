@@ -1,0 +1,147 @@
+#include "sweep/report.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "metrics/json.h"
+
+#ifndef AMOEBA_GIT_DESCRIBE
+#define AMOEBA_GIT_DESCRIBE "unknown"
+#endif
+
+namespace sweep {
+
+using metrics::JsonWriter;
+
+void SweepReport::set_config(std::string key, std::string value) {
+  config_.emplace_back(std::move(key), JsonWriter::quote(value));
+}
+
+void SweepReport::set_config(std::string key, std::int64_t value) {
+  config_.emplace_back(std::move(key), std::to_string(value));
+}
+
+void SweepReport::set_config(std::string key, std::uint64_t value) {
+  config_.emplace_back(std::move(key), std::to_string(value));
+}
+
+void SweepReport::set_config(std::string key, double value) {
+  JsonWriter w;
+  w.value(value);
+  config_.emplace_back(std::move(key), w.take());
+}
+
+void SweepReport::set_config(std::string key, bool value) {
+  config_.emplace_back(std::move(key), value ? "true" : "false");
+}
+
+void SweepReport::add(std::string cell, std::string metric, const Stats& stats,
+                      metrics::Better better, std::string unit) {
+  for (Entry& e : entries_) {
+    if (e.cell == cell && e.metric == metric) {
+      e.stats = stats;
+      e.better = better;
+      e.unit = std::move(unit);
+      return;
+    }
+  }
+  entries_.push_back(
+      Entry{std::move(cell), std::move(metric), stats, better, std::move(unit)});
+}
+
+std::vector<const SweepReport::Entry*> SweepReport::sorted_entries() const {
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& e : entries_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(), [](const Entry* a, const Entry* b) {
+    return a->cell != b->cell ? a->cell < b->cell : a->metric < b->metric;
+  });
+  return sorted;
+}
+
+std::string SweepReport::json() const {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema");
+  w.value(kSchema);
+  w.key("schema_version");
+  w.value(static_cast<std::int64_t>(kSchemaVersion));
+  w.key("sweep");
+  w.value(sweep_);
+  w.key("git");
+  w.value(AMOEBA_GIT_DESCRIBE);
+
+  w.key("config");
+  w.begin_object();
+  for (const auto& [key, raw] : config_) {
+    w.key(key);
+    w.raw(raw);
+  }
+  w.end_object();
+
+  // (cell, metric) sorted: the serialization is independent of insertion
+  // order, which the pool does not guarantee.
+  const std::vector<const Entry*> sorted = sorted_entries();
+
+  w.key("cells");
+  w.begin_object();
+  const std::string* open_cell = nullptr;
+  for (const Entry* e : sorted) {
+    if (open_cell == nullptr || *open_cell != e->cell) {
+      if (open_cell != nullptr) {
+        w.end_object();  // metrics
+        w.end_object();  // cell
+      }
+      w.key(e->cell);
+      w.begin_object();
+      w.key("metrics");
+      w.begin_object();
+      open_cell = &e->cell;
+    }
+    w.key(e->metric);
+    w.begin_object();
+    w.key("better");
+    w.value(metrics::better_name(e->better));
+    if (!e->unit.empty()) {
+      w.key("unit");
+      w.value(e->unit);
+    }
+    w.key("n");
+    w.value(static_cast<std::uint64_t>(e->stats.n));
+    w.key("mean");
+    w.value(e->stats.mean);
+    w.key("stddev");
+    w.value(e->stats.stddev);
+    w.key("min");
+    w.value(e->stats.min);
+    w.key("max");
+    w.value(e->stats.max);
+    w.key("p50");
+    w.value(e->stats.p50);
+    w.key("p95");
+    w.value(e->stats.p95);
+    w.key("ci95");
+    w.value(e->stats.ci95);
+    w.end_object();
+  }
+  if (open_cell != nullptr) {
+    w.end_object();  // metrics
+    w.end_object();  // cell
+  }
+  w.end_object();  // cells
+
+  w.end_object();
+  std::string out = w.take();
+  out += '\n';
+  return out;
+}
+
+bool SweepReport::write_file(const std::string& path) const {
+  std::ofstream f(path);
+  if (!f) return false;
+  f << json();
+  f.flush();
+  return f.good();
+}
+
+}  // namespace sweep

@@ -1,0 +1,68 @@
+// The versioned sweep-report artifact: `amoeba-sweepreport/v1`.
+//
+// One sweep run produces one JSON document: schema tag, sweep name, git
+// describe, the sweep configuration (matrix shape, seeds, thread count is
+// deliberately excluded — it must not affect the bytes), and per-cell
+// per-metric statistics (n/mean/stddev/min/max/p50/p95/ci95) each tagged
+// with the regression direction, mirroring RunReport's conventions so
+// report_compare can gate on them with CI-overlap noise suppression.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "metrics/report.h"
+#include "sweep/stats.h"
+
+namespace sweep {
+
+class SweepReport {
+ public:
+  static constexpr std::string_view kSchema = "amoeba-sweepreport/v1";
+  static constexpr int kSchemaVersion = 1;
+
+  explicit SweepReport(std::string sweep) : sweep_(std::move(sweep)) {}
+
+  // Sweep configuration (axes, seed count, base seed, filters).
+  void set_config(std::string key, std::string value);
+  void set_config(std::string key, std::int64_t value);
+  void set_config(std::string key, std::uint64_t value);
+  void set_config(std::string key, double value);
+  void set_config(std::string key, bool value);
+
+  /// Record one metric's statistics for one cell. (cell, metric) pairs are
+  /// unique; re-adding overwrites. Insertion order is irrelevant — cells and
+  /// metrics serialize name-sorted.
+  void add(std::string cell, std::string metric, const Stats& stats,
+           metrics::Better better, std::string unit = {});
+
+  struct Entry {
+    std::string cell;
+    std::string metric;
+    Stats stats;
+    metrics::Better better = metrics::Better::kInfo;
+    std::string unit;
+  };
+
+  [[nodiscard]] std::size_t cell_metric_count() const noexcept {
+    return entries_.size();
+  }
+
+  /// Entries sorted by (cell, metric) — the serialization order.
+  [[nodiscard]] std::vector<const Entry*> sorted_entries() const;
+
+  [[nodiscard]] std::string json() const;
+
+  /// Writes the report to `path`. Returns false (errno intact) on failure.
+  [[nodiscard]] bool write_file(const std::string& path) const;
+
+ private:
+  std::string sweep_;
+  std::vector<std::pair<std::string, std::string>> config_;  // key -> raw JSON
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sweep

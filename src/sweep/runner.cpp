@@ -1,0 +1,84 @@
+#include "sweep/runner.h"
+
+#include <cstdio>
+#include <map>
+
+#include "sim/require.h"
+
+namespace sweep {
+
+SweepReport aggregate_trials(const Matrix& matrix,
+                             const std::vector<Trial>& trials,
+                             const std::vector<std::vector<Sample>>& results,
+                             const std::string& name) {
+  sim::require(trials.size() == results.size(),
+               "sweep::aggregate_trials: one result slot per trial required");
+
+  // (cell, metric) -> samples in trial-index order. std::map keys give the
+  // deterministic iteration order; values carry the direction/unit tag of
+  // the first trial that reported the metric.
+  struct Series {
+    std::vector<double> values;
+    metrics::Better better = metrics::Better::kInfo;
+    std::string unit;
+  };
+  std::map<std::pair<std::string, std::string>, Series> series;
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    for (const Sample& s : results[i]) {
+      Series& entry = series[{trials[i].cell, s.metric}];
+      if (entry.values.empty()) {
+        entry.better = s.better;
+        entry.unit = s.unit;
+      }
+      entry.values.push_back(s.value);
+    }
+  }
+
+  SweepReport report(name);
+  report.set_config("cells", static_cast<std::uint64_t>(matrix.cell_count()));
+  report.set_config("trials", static_cast<std::uint64_t>(trials.size()));
+  report.set_config("seeds_per_cell", matrix.seeds_per_cell());
+  report.set_config("base_seed", matrix.base_seed());
+  for (const Axis& a : matrix.axes()) {
+    std::string joined;
+    for (const std::string& v : a.values) {
+      if (!joined.empty()) joined += ',';
+      joined += v;
+    }
+    report.set_config("axis." + a.name, joined);
+  }
+  for (const auto& [key, s] : series) {
+    report.add(key.first, key.second, summarize(s.values), s.better, s.unit);
+  }
+  return report;
+}
+
+SweepReport run_sweep(const Matrix& matrix, const TrialFn& fn,
+                      const std::string& name, const SweepOptions& options) {
+  const std::vector<Trial> trials = matrix.expand();
+  std::vector<std::vector<Sample>> results(trials.size());
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(trials.size());
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    tasks.push_back([&fn, &trials, &results, i] {
+      results[i] = fn(trials[i]);
+    });
+  }
+
+  PoolOptions pool;
+  pool.threads = options.threads;
+  if (options.progress) {
+    pool.progress = [&trials](std::size_t done, std::size_t total) {
+      std::fprintf(stderr, "\r[%zu/%zu] %-60s", done, total,
+                   done < trials.size() ? trials[done].cell.c_str() : "done");
+      if (done == total) std::fprintf(stderr, "\n");
+      std::fflush(stderr);
+    };
+  }
+  run_tasks(std::move(tasks), pool);
+
+  return aggregate_trials(matrix, trials, results, name);
+}
+
+}  // namespace sweep

@@ -1,0 +1,58 @@
+// The sweep runner: expand a Matrix, fan the trials out over the
+// work-stealing pool (one isolated single-threaded simulation per trial),
+// and aggregate the per-trial samples into a SweepReport.
+//
+// Determinism contract: each trial writes its samples into its own
+// pre-allocated slot; aggregation runs after the pool joins, walking slots
+// in trial-index order and metrics in name order. The report bytes are
+// therefore identical for any thread count and any scheduling order —
+// committed tests prove it.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "metrics/report.h"
+#include "sweep/matrix.h"
+#include "sweep/pool.h"
+#include "sweep/report.h"
+
+namespace sweep {
+
+/// One named measurement a trial produced.
+struct Sample {
+  std::string metric;
+  double value = 0.0;
+  metrics::Better better = metrics::Better::kInfo;
+  std::string unit;
+};
+
+/// Runs one trial (on a pool worker thread — must not touch shared mutable
+/// state) and returns its measurements. Metric names must be consistent
+/// across the trials of a cell; a metric missing from some replicates is
+/// aggregated over the replicates that did report it.
+using TrialFn = std::function<std::vector<Sample>(const Trial&)>;
+
+struct SweepOptions {
+  /// Worker threads; 0 = all hardware cores.
+  unsigned threads = 0;
+  /// Live "[done/total] cell" progress line on stderr.
+  bool progress = false;
+};
+
+/// Expand, run, aggregate. Throws whatever the first failing trial threw
+/// (remaining trials are cancelled). The returned report carries per-cell
+/// per-metric Stats over the cell's replicates; matrix shape and seeding go
+/// into the report config, worker count deliberately does not.
+[[nodiscard]] SweepReport run_sweep(const Matrix& matrix, const TrialFn& fn,
+                                    const std::string& name,
+                                    const SweepOptions& options = {});
+
+/// The aggregation stage of run_sweep, exposed for tests and for callers
+/// that execute trials themselves: `results[i]` must hold trial i's samples.
+[[nodiscard]] SweepReport aggregate_trials(
+    const Matrix& matrix, const std::vector<Trial>& trials,
+    const std::vector<std::vector<Sample>>& results, const std::string& name);
+
+}  // namespace sweep

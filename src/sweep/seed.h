@@ -1,0 +1,65 @@
+// Stable per-trial seed derivation for parameter sweeps.
+//
+// A trial's RNG stream must be a pure function of (base seed, which cell it
+// is, which replicate it is) — NOT of the trial's position in the expanded
+// matrix. Any `seed + i` scheme fails that: appending one value to one axis
+// renumbers every later trial and silently reruns the whole sweep on new
+// randomness, which makes before/after sweep reports incomparable. Here each
+// (axis name, axis value) pair is hashed independently through SplitMix64
+// and the pair hashes are XOR-combined, so a trial's seed is invariant under
+// reordering axes, reordering values within an axis, and adding new values
+// or whole new axes that the trial does not use.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sweep {
+
+/// The SplitMix64 finalizer: a bijective 64-bit mix with full avalanche
+/// (Steele, Lea & Flood 2014). Also used to seed xoshiro in sim::Rng.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a over a string, as the pre-mix for axis names/values.
+[[nodiscard]] constexpr std::uint64_t fnv1a(std::string_view s) noexcept {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+/// Order-independent accumulator for one trial's cell identity. Feed every
+/// (axis, value) pair of the cell, then call seed().
+class SeedDeriver {
+ public:
+  explicit constexpr SeedDeriver(std::uint64_t base_seed) noexcept
+      : base_(base_seed) {}
+
+  /// Mix one axis assignment into the cell identity. Each pair is mixed to a
+  /// 64-bit token on its own (so "a=bc" and "ab=c" differ) and the tokens
+  /// XOR-combine, making the result independent of feeding order.
+  constexpr void bind(std::string_view axis, std::string_view value) noexcept {
+    acc_ ^= splitmix64(splitmix64(fnv1a(axis)) ^ fnv1a(value));
+  }
+
+  /// The seed for replicate `rep` of this cell. Distinct reps get
+  /// independent streams; rep 0 is not the base seed itself.
+  [[nodiscard]] constexpr std::uint64_t seed(std::uint64_t rep) const noexcept {
+    return splitmix64(splitmix64(base_ ^ acc_) ^ splitmix64(rep ^ kRepSalt));
+  }
+
+ private:
+  // Arbitrary odd constant so rep-mixing cannot collide with cell-mixing.
+  static constexpr std::uint64_t kRepSalt = 0xA24BAED4963EE407ULL;
+  std::uint64_t base_;
+  std::uint64_t acc_ = 0;
+};
+
+}  // namespace sweep

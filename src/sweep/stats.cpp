@@ -1,0 +1,63 @@
+#include "sweep/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sweep {
+namespace {
+
+/// Nearest-rank percentile of ascending `sorted`: the smallest sample with
+/// at least ceil(p/100 * n) samples at or below it.
+double nearest_rank(const std::vector<double>& sorted, double p) {
+  const std::size_t n = sorted.size();
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(n)));
+  return sorted[rank == 0 ? 0 : rank - 1];
+}
+
+}  // namespace
+
+double t_critical_95(std::size_t df) noexcept {
+  // Two-sided 95% points of the t distribution, df = 1..30.
+  static constexpr double kTable[30] = {
+      12.706, 4.303, 3.182, 2.776, 2.571, 2.447, 2.365, 2.306, 2.262, 2.228,
+      2.201,  2.179, 2.160, 2.145, 2.131, 2.120, 2.110, 2.101, 2.093, 2.086,
+      2.080,  2.074, 2.069, 2.064, 2.060, 2.056, 2.052, 2.048, 2.045, 2.042};
+  if (df == 0) return 0.0;
+  if (df <= 30) return kTable[df - 1];
+  if (df <= 40) return 2.021;
+  if (df <= 60) return 2.000;
+  if (df <= 120) return 1.980;
+  return 1.960;
+}
+
+Stats summarize(const std::vector<double>& samples) {
+  Stats s;
+  s.n = samples.size();
+  if (s.n == 0) return s;
+
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.p50 = nearest_rank(sorted, 50.0);
+  s.p95 = nearest_rank(sorted, 95.0);
+
+  double sum = 0.0;
+  for (const double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.n);
+
+  if (s.n >= 2) {
+    double ss = 0.0;
+    for (const double v : sorted) {
+      const double d = v - s.mean;
+      ss += d * d;
+    }
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+    s.ci95 = t_critical_95(s.n - 1) * s.stddev /
+             std::sqrt(static_cast<double>(s.n));
+  }
+  return s;
+}
+
+}  // namespace sweep

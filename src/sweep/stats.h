@@ -1,0 +1,46 @@
+// Statistical summary of per-trial metric samples.
+//
+// Aggregation happens after the pool joins, over samples stored in trial
+// index order, so the summary is a pure function of the sample values and
+// byte-identical regardless of thread count or completion order. Percentiles
+// use the nearest-rank rule on the sorted samples (consistent with
+// metrics::Histogram's never-under-report convention); the confidence
+// interval is the two-sided 95% Student-t interval on the mean.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sweep {
+
+struct Stats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  /// Sample standard deviation (n-1 denominator); 0 for n < 2.
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  /// Nearest-rank percentiles of the samples.
+  double p50 = 0.0;
+  double p95 = 0.0;
+  /// Half-width of the 95% confidence interval on the mean (t-based);
+  /// 0 for n < 2. The interval is [mean - ci95, mean + ci95].
+  double ci95 = 0.0;
+};
+
+/// Two-sided 95% Student-t critical value for `df` degrees of freedom
+/// (df >= 1; large df converge to the normal 1.96).
+[[nodiscard]] double t_critical_95(std::size_t df) noexcept;
+
+/// Summarise `samples` (unsorted is fine; the input is not modified).
+/// Returns a zero Stats for an empty input.
+[[nodiscard]] Stats summarize(const std::vector<double>& samples);
+
+/// True if [a_lo, a_hi] and [b_lo, b_hi] share at least one point.
+[[nodiscard]] constexpr bool intervals_overlap(double a_lo, double a_hi,
+                                               double b_lo,
+                                               double b_hi) noexcept {
+  return a_lo <= b_hi && b_lo <= a_hi;
+}
+
+}  // namespace sweep

@@ -1,0 +1,171 @@
+// report_compare on amoeba-sweepreport/v1: per-cell means gate with
+// CI-overlap noise suppression, schema mixing is a loud error, and the
+// existing exit semantics (regressed flag, only_old/only_new) carry over.
+#include "metrics/compare.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "metrics/report.h"
+#include "sweep/report.h"
+#include "sweep/stats.h"
+
+namespace sweep {
+namespace {
+
+using metrics::Better;
+using metrics::CompareOptions;
+using metrics::CompareResult;
+using metrics::MetricDelta;
+using metrics::compare_report_texts;
+
+Stats make_stats(double mean, double ci95, std::size_t n = 5) {
+  Stats s;
+  s.n = n;
+  s.mean = mean;
+  s.min = mean - ci95;
+  s.max = mean + ci95;
+  s.p50 = mean;
+  s.p95 = mean + ci95;
+  s.ci95 = ci95;
+  return s;
+}
+
+std::string sweep_text(double mean, double ci95,
+                       Better better = Better::kLower) {
+  SweepReport r("unit");
+  r.add("binding=user/nodes=8", "elapsed.sec", make_stats(mean, ci95), better,
+        "s");
+  return r.json();
+}
+
+const MetricDelta* find_delta(const CompareResult& result,
+                              const std::string& name) {
+  for (const MetricDelta& d : result.deltas) {
+    if (d.name == name) return &d;
+  }
+  return nullptr;
+}
+
+constexpr const char* kMean = "binding=user/nodes=8/elapsed.sec.mean";
+
+TEST(CompareSweep, DisjointIntervalsGateARegression) {
+  // 100 +/- 2 -> 120 +/- 3: +20% on a lower-is-better mean, CIs disjoint.
+  const CompareResult result =
+      compare_report_texts(sweep_text(100.0, 2.0), sweep_text(120.0, 3.0));
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.regressed);
+  const MetricDelta* d = find_delta(result, kMean);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->regression);
+  EXPECT_FALSE(d->noise_gated);
+  EXPECT_DOUBLE_EQ(d->old_ci, 2.0);
+  EXPECT_DOUBLE_EQ(d->new_ci, 3.0);
+  EXPECT_NEAR(d->delta_pct, 20.0, 1e-9);
+}
+
+TEST(CompareSweep, OverlappingIntervalsSuppressTheSameMove) {
+  // Same +20% move, but the intervals share ground: noise, not a regression.
+  const CompareResult result =
+      compare_report_texts(sweep_text(100.0, 15.0), sweep_text(120.0, 15.0));
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(result.regressed);
+  const MetricDelta* d = find_delta(result, kMean);
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->regression);
+  EXPECT_FALSE(d->improvement);
+  EXPECT_TRUE(d->noise_gated);
+}
+
+TEST(CompareSweep, OverlapAlsoGatesImprovements) {
+  const CompareResult result =
+      compare_report_texts(sweep_text(120.0, 15.0), sweep_text(100.0, 15.0));
+  ASSERT_TRUE(result.ok()) << result.error;
+  const MetricDelta* d = find_delta(result, kMean);
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->improvement);
+  EXPECT_TRUE(d->noise_gated);
+}
+
+TEST(CompareSweep, DisjointImprovementReportsAsImprovement) {
+  const CompareResult result =
+      compare_report_texts(sweep_text(120.0, 2.0), sweep_text(100.0, 2.0));
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(result.regressed);
+  const MetricDelta* d = find_delta(result, kMean);
+  ASSERT_NE(d, nullptr);
+  EXPECT_TRUE(d->improvement);
+  EXPECT_FALSE(d->noise_gated);
+}
+
+TEST(CompareSweep, ZeroCiDegradesToPointComparison) {
+  // Single-seed cells have ci95 = 0; a real move must still gate.
+  const CompareResult result =
+      compare_report_texts(sweep_text(100.0, 0.0), sweep_text(120.0, 0.0));
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.regressed);
+}
+
+TEST(CompareSweep, SmallMoveInsideThresholdNeverFlags) {
+  const CompareResult result =
+      compare_report_texts(sweep_text(100.0, 0.1), sweep_text(102.0, 0.1));
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(result.regressed);
+  const MetricDelta* d = find_delta(result, kMean);
+  ASSERT_NE(d, nullptr);
+  EXPECT_FALSE(d->regression);
+  EXPECT_FALSE(d->noise_gated);  // never moved, so nothing was gated
+}
+
+TEST(CompareSweep, HigherIsBetterDirectionRespected) {
+  const CompareResult drop = compare_report_texts(
+      sweep_text(1000.0, 1.0, Better::kHigher),
+      sweep_text(800.0, 1.0, Better::kHigher));
+  ASSERT_TRUE(drop.ok()) << drop.error;
+  EXPECT_TRUE(drop.regressed);
+}
+
+TEST(CompareSweep, CellsAppearingAndDisappearingAreListed) {
+  SweepReport old_r("unit");
+  old_r.add("binding=user", "elapsed.sec", make_stats(1.0, 0.1),
+            Better::kLower, "s");
+  old_r.add("binding=kernel", "elapsed.sec", make_stats(1.0, 0.1),
+            Better::kLower, "s");
+  SweepReport new_r("unit");
+  new_r.add("binding=user", "elapsed.sec", make_stats(1.0, 0.1),
+            Better::kLower, "s");
+  new_r.add("binding=virtual", "elapsed.sec", make_stats(1.0, 0.1),
+            Better::kLower, "s");
+  const CompareResult result =
+      compare_report_texts(old_r.json(), new_r.json());
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(result.only_old.size(), 1u);
+  EXPECT_EQ(result.only_old[0], "binding=kernel/elapsed.sec.mean");
+  ASSERT_EQ(result.only_new.size(), 1u);
+  EXPECT_EQ(result.only_new[0], "binding=virtual/elapsed.sec.mean");
+}
+
+TEST(CompareSweep, MixedSchemasAreAComparisonError) {
+  metrics::RunReport run("unit");
+  run.add_metric("elapsed.sec", 1.0, Better::kLower, "s");
+  const CompareResult result =
+      compare_report_texts(run.json(), sweep_text(1.0, 0.1));
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("schema mismatch"), std::string::npos)
+      << result.error;
+}
+
+TEST(CompareSweep, RunReportsStillCompareAsBefore) {
+  metrics::RunReport old_r("unit");
+  old_r.add_metric("latency.us", 100.0, Better::kLower, "us");
+  metrics::RunReport new_r("unit");
+  new_r.add_metric("latency.us", 120.0, Better::kLower, "us");
+  const CompareResult result =
+      compare_report_texts(old_r.json(), new_r.json());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.regressed);  // run reports carry no CI; no gating
+}
+
+}  // namespace
+}  // namespace sweep

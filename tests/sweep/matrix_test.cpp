@@ -1,0 +1,131 @@
+// Scenario-matrix expansion: shape, cell naming, coordinate layout, and —
+// the property the subsystem exists for — seed stability under matrix edits.
+#include "sweep/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "sim/require.h"
+
+namespace sweep {
+namespace {
+
+Matrix table_matrix() {
+  Matrix m;
+  m.axis("binding", {"user", "kernel"});
+  m.axis("nodes", {"1", "8"});
+  m.seeds(3, 42);
+  return m;
+}
+
+TEST(Matrix, ExpandsFullCrossProduct) {
+  const Matrix m = table_matrix();
+  EXPECT_EQ(m.cell_count(), 4u);
+  EXPECT_EQ(m.trial_count(), 12u);
+  const std::vector<Trial> trials = m.expand();
+  ASSERT_EQ(trials.size(), 12u);
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    EXPECT_EQ(trials[i].index, i);
+  }
+  // Replicates of a cell are adjacent; first axis is slowest.
+  EXPECT_EQ(trials[0].cell, "binding=user/nodes=1");
+  EXPECT_EQ(trials[2].cell, "binding=user/nodes=1");
+  EXPECT_EQ(trials[3].cell, "binding=user/nodes=8");
+  EXPECT_EQ(trials[6].cell, "binding=kernel/nodes=1");
+  EXPECT_EQ(trials[11].cell, "binding=kernel/nodes=8");
+  EXPECT_EQ(trials[0].rep, 0u);
+  EXPECT_EQ(trials[2].rep, 2u);
+}
+
+TEST(Matrix, ValueLookupFollowsCoords) {
+  const Matrix m = table_matrix();
+  const std::vector<Trial> trials = m.expand();
+  EXPECT_EQ(m.value(trials[0], "binding"), "user");
+  EXPECT_EQ(m.value(trials[11], "binding"), "kernel");
+  EXPECT_EQ(m.value(trials[11], "nodes"), "8");
+  EXPECT_THROW((void)m.value(trials[0], "no_such_axis"), sim::SimError);
+}
+
+TEST(Matrix, SeedsAreDistinctAcrossTrials) {
+  const std::vector<Trial> trials = table_matrix().expand();
+  std::set<std::uint64_t> seeds;
+  for (const Trial& t : trials) seeds.insert(t.seed);
+  EXPECT_EQ(seeds.size(), trials.size());
+}
+
+// The anti-`seed + i` property: appending a value to an axis must not
+// change the seed of any pre-existing trial.
+TEST(Matrix, AppendingAxisValueKeepsExistingSeeds) {
+  std::map<std::string, std::uint64_t> before;
+  for (const Trial& t : table_matrix().expand()) {
+    before[t.cell + "#" + std::to_string(t.rep)] = t.seed;
+  }
+
+  Matrix grown;
+  grown.axis("binding", {"user", "kernel"});
+  grown.axis("nodes", {"1", "8", "16", "32"});  // two new values
+  grown.seeds(3, 42);
+  for (const Trial& t : grown.expand()) {
+    const auto it = before.find(t.cell + "#" + std::to_string(t.rep));
+    if (it != before.end()) {
+      EXPECT_EQ(t.seed, it->second) << t.cell << " rep " << t.rep;
+    }
+  }
+}
+
+// Adding a whole new axis leaves trials of other axes' cells with new cell
+// names, but reordering existing axes/values must not move any seed.
+TEST(Matrix, ReorderingAxesAndValuesKeepsSeeds) {
+  std::map<std::string, std::uint64_t> before;
+  for (const Trial& t : table_matrix().expand()) {
+    // Key on the unordered cell assignment, not the rendered name.
+    before["nodes=" + t.cell.substr(t.cell.find("nodes=") + 6) +
+           "|binding=" + (t.cell.find("user") != std::string::npos ? "user"
+                                                                   : "kernel") +
+           "#" + std::to_string(t.rep)] = t.seed;
+  }
+
+  Matrix reordered;
+  reordered.axis("nodes", {"8", "1"});          // axis order and value order
+  reordered.axis("binding", {"kernel", "user"});  // both flipped
+  reordered.seeds(3, 42);
+  std::size_t matched = 0;
+  for (const Trial& t : reordered.expand()) {
+    const std::string nodes = reordered.value(t, "nodes");
+    const std::string binding = reordered.value(t, "binding");
+    const auto it = before.find("nodes=" + nodes + "|binding=" + binding +
+                                "#" + std::to_string(t.rep));
+    ASSERT_NE(it, before.end());
+    EXPECT_EQ(t.seed, it->second) << t.cell << " rep " << t.rep;
+    ++matched;
+  }
+  EXPECT_EQ(matched, 12u);
+}
+
+TEST(Matrix, EmptyAxisAndZeroSeedsAreLoudErrors) {
+  Matrix m;
+  m.axis("binding", {});
+  EXPECT_THROW((void)m.expand(), sim::SimError);
+
+  Matrix z;
+  z.axis("binding", {"user"});
+  z.seeds(0, 42);
+  EXPECT_THROW((void)z.expand(), sim::SimError);
+}
+
+TEST(Matrix, NoAxesMeansOneCell) {
+  Matrix m;
+  m.seeds(4, 7);
+  const std::vector<Trial> trials = m.expand();
+  ASSERT_EQ(trials.size(), 4u);
+  EXPECT_EQ(trials[0].cell, "");
+  std::set<std::uint64_t> seeds;
+  for (const Trial& t : trials) seeds.insert(t.seed);
+  EXPECT_EQ(seeds.size(), 4u);
+}
+
+}  // namespace
+}  // namespace sweep

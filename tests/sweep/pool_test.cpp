@@ -1,0 +1,159 @@
+// Work-stealing pool: every task runs exactly once under stress, the first
+// exception cancels the remainder and is rethrown on the caller, and the
+// slot-writing discipline yields thread-count-independent results.
+#include "sweep/pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace sweep {
+namespace {
+
+TEST(Pool, ResolveThreads) {
+  EXPECT_GE(resolve_threads(0), 1u);
+  EXPECT_EQ(resolve_threads(1), 1u);
+  EXPECT_EQ(resolve_threads(7), 7u);
+}
+
+TEST(Pool, RunsEveryTaskExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 8u}) {
+    constexpr std::size_t kTasks = 500;
+    std::vector<std::atomic<int>> runs(kTasks);
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(kTasks);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      tasks.push_back([&runs, i] { runs[i].fetch_add(1); });
+    }
+    PoolOptions options;
+    options.threads = threads;
+    run_tasks(std::move(tasks), options);
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      EXPECT_EQ(runs[i].load(), 1) << "task " << i << " threads " << threads;
+    }
+  }
+}
+
+TEST(Pool, EmptyTaskListIsANoOp) {
+  run_tasks({});  // must not hang or crash
+}
+
+TEST(Pool, MoreThreadsThanTasks) {
+  std::atomic<int> ran{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 3; ++i) tasks.push_back([&ran] { ran.fetch_add(1); });
+  PoolOptions options;
+  options.threads = 16;
+  run_tasks(std::move(tasks), options);
+  EXPECT_EQ(ran.load(), 3);
+}
+
+TEST(Pool, FirstExceptionPropagatesToCaller) {
+  for (unsigned threads : {1u, 4u}) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 20; ++i) tasks.push_back([] {});
+    tasks.push_back([] { throw std::runtime_error("trial 20 exploded"); });
+    for (int i = 0; i < 20; ++i) tasks.push_back([] {});
+    PoolOptions options;
+    options.threads = threads;
+    try {
+      run_tasks(std::move(tasks), options);
+      FAIL() << "expected the task's exception (threads=" << threads << ")";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "trial 20 exploded");
+    }
+  }
+}
+
+TEST(Pool, FailureCancelsNotYetStartedTasks) {
+  // One worker, serial index order: the throw at index 3 must prevent every
+  // later task from starting.
+  std::atomic<int> started{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&started, i] {
+      started.fetch_add(1);
+      if (i == 3) throw std::runtime_error("stop");
+    });
+  }
+  PoolOptions options;
+  options.threads = 1;
+  EXPECT_THROW(run_tasks(std::move(tasks), options), std::runtime_error);
+  EXPECT_EQ(started.load(), 4);
+}
+
+TEST(Pool, FailureCancelsAcrossWorkers) {
+  // Multi-worker: after the failing task, far fewer than all tasks start.
+  // Already-running tasks may finish, so allow slack for in-flight work.
+  // The failing index sits at the *back* of the last worker's deque (workers
+  // pop their own back first), so it runs among the first tasks.
+  constexpr std::size_t kTasks = 400;
+  constexpr std::size_t kFailing = 399;  // back of worker 3's queue
+  std::atomic<int> started{0};
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < kTasks; ++i) {
+    tasks.push_back([&started, i] {
+      started.fetch_add(1);
+      if (i == kFailing) throw std::runtime_error("early failure");
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    });
+  }
+  PoolOptions options;
+  options.threads = 4;
+  EXPECT_THROW(run_tasks(std::move(tasks), options), std::runtime_error);
+  EXPECT_LT(static_cast<std::size_t>(started.load()), kTasks);
+}
+
+TEST(Pool, ProgressReportsEveryCompletionMonotonically) {
+  static constexpr std::size_t kTasks = 64;
+  std::mutex mu;
+  std::vector<std::size_t> seen;
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < kTasks; ++i) tasks.push_back([] {});
+  PoolOptions options;
+  options.threads = 4;
+  options.progress = [&mu, &seen](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, kTasks);
+    std::lock_guard<std::mutex> lock(mu);
+    seen.push_back(done);
+  };
+  run_tasks(std::move(tasks), options);
+  ASSERT_EQ(seen.size(), kTasks);
+  for (std::size_t i = 0; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], i + 1);  // serialised by the pool: strictly 1..N
+  }
+}
+
+TEST(Pool, SlotResultsAreIdenticalForAnyThreadCount) {
+  // The determinism discipline the sweep runner relies on: tasks write only
+  // their own slot, so the gathered vector is schedule-independent.
+  constexpr std::size_t kTasks = 200;
+  auto run_with = [](unsigned threads) {
+    std::vector<std::string> slots(kTasks);
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < kTasks; ++i) {
+      tasks.push_back([&slots, i] {
+        slots[i] = "task-" + std::to_string(i * i % 97);
+      });
+    }
+    PoolOptions options;
+    options.threads = threads;
+    run_tasks(std::move(tasks), options);
+    return slots;
+  };
+  const auto serial = run_with(1);
+  EXPECT_EQ(serial, run_with(2));
+  EXPECT_EQ(serial, run_with(8));
+}
+
+}  // namespace
+}  // namespace sweep

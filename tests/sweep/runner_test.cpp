@@ -1,0 +1,130 @@
+// End-to-end sweep runner: trials fan out, samples aggregate per cell, and —
+// the acceptance criterion — the report JSON is byte-identical for any
+// worker-thread count.
+#include "sweep/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sweep/matrix.h"
+#include "sweep/seed.h"
+
+namespace sweep {
+namespace {
+
+using metrics::Better;
+
+Matrix small_matrix() {
+  Matrix m;
+  m.axis("binding", {"user", "kernel"});
+  m.axis("nodes", {"1", "8"});
+  m.seeds(5, 42);
+  return m;
+}
+
+// A deterministic stand-in for a simulation: values are pure functions of the
+// trial seed, like a seeded Testbed run.
+std::vector<Sample> fake_trial(const Trial& t) {
+  const double latency = 50.0 + static_cast<double>(splitmix64(t.seed) % 1000);
+  const double throughput = 800.0 + static_cast<double>(t.seed % 100);
+  return {
+      {"latency.us", latency, Better::kLower, "us"},
+      {"throughput.kbs", throughput, Better::kHigher, "kb/s"},
+  };
+}
+
+TEST(Runner, AggregatesEveryCellAndMetric) {
+  const SweepReport report = run_sweep(small_matrix(), fake_trial, "unit");
+  // 4 cells x 2 metrics.
+  EXPECT_EQ(report.cell_metric_count(), 8u);
+  const auto entries = report.sorted_entries();
+  ASSERT_EQ(entries.size(), 8u);
+  for (const auto* e : entries) {
+    EXPECT_EQ(e->stats.n, 5u);
+    EXPECT_GE(e->stats.min, 50.0);
+    EXPECT_LE(e->stats.p50, e->stats.p95);
+    EXPECT_LE(e->stats.min, e->stats.mean);
+    EXPECT_LE(e->stats.mean, e->stats.max);
+  }
+  EXPECT_EQ(entries[0]->cell, "binding=kernel/nodes=1");  // name-sorted
+  EXPECT_EQ(entries[0]->metric, "latency.us");
+  EXPECT_EQ(entries[1]->metric, "throughput.kbs");
+}
+
+TEST(Runner, ReportBytesAreThreadCountInvariant) {
+  auto run_with = [](unsigned threads) {
+    SweepOptions options;
+    options.threads = threads;
+    return run_sweep(small_matrix(), fake_trial, "unit", options).json();
+  };
+  const std::string serial = run_with(1);
+  EXPECT_EQ(serial, run_with(2));
+  EXPECT_EQ(serial, run_with(8));
+}
+
+TEST(Runner, TrialExceptionPropagates) {
+  const TrialFn failing = [](const Trial& t) -> std::vector<Sample> {
+    if (t.index == 7) throw std::runtime_error("simulated trial failure");
+    return {{"m", 1.0, Better::kInfo, ""}};
+  };
+  EXPECT_THROW((void)run_sweep(small_matrix(), failing, "unit"),
+               std::runtime_error);
+}
+
+TEST(Runner, MetricMissingFromSomeReplicatesAggregatesOverReporters) {
+  const TrialFn sparse = [](const Trial& t) -> std::vector<Sample> {
+    std::vector<Sample> out = {{"always", 1.0, Better::kInfo, ""}};
+    if (t.rep % 2 == 0) out.push_back({"sometimes", 2.0, Better::kInfo, ""});
+    return out;
+  };
+  const SweepReport report = run_sweep(small_matrix(), sparse, "unit");
+  for (const auto* e : report.sorted_entries()) {
+    if (e->metric == "always") {
+      EXPECT_EQ(e->stats.n, 5u);
+    } else {
+      EXPECT_EQ(e->metric, "sometimes");
+      EXPECT_EQ(e->stats.n, 3u);  // reps 0, 2, 4
+    }
+  }
+}
+
+TEST(Runner, ConfigRecordsMatrixShapeNotThreads) {
+  SweepOptions options;
+  options.threads = 3;
+  const std::string json =
+      run_sweep(small_matrix(), fake_trial, "unit", options).json();
+  EXPECT_NE(json.find("\"schema\": \"amoeba-sweepreport/v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"seeds_per_cell\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"base_seed\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"axis.binding\""), std::string::npos);
+  EXPECT_EQ(json.find("thread"), std::string::npos);
+}
+
+TEST(Runner, AggregateTrialsMatchesManualStats) {
+  Matrix m;
+  m.axis("a", {"x"});
+  m.seeds(3, 1);
+  const std::vector<Trial> trials = m.expand();
+  std::vector<std::vector<Sample>> results = {
+      {{"v", 1.0, Better::kLower, "u"}},
+      {{"v", 3.0, Better::kLower, "u"}},
+      {{"v", 2.0, Better::kLower, "u"}},
+  };
+  const SweepReport report = aggregate_trials(m, trials, results, "unit");
+  const auto entries = report.sorted_entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0]->cell, "a=x");
+  EXPECT_DOUBLE_EQ(entries[0]->stats.mean, 2.0);
+  EXPECT_DOUBLE_EQ(entries[0]->stats.stddev, 1.0);
+  EXPECT_DOUBLE_EQ(entries[0]->stats.p50, 2.0);
+  EXPECT_EQ(entries[0]->better, Better::kLower);
+  EXPECT_EQ(entries[0]->unit, "u");
+}
+
+}  // namespace
+}  // namespace sweep

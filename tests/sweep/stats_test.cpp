@@ -1,0 +1,96 @@
+// Statistical aggregation: known-answer checks for mean/stddev/percentiles,
+// the Student-t critical values behind the 95% CI, and the order-independence
+// that makes sweep reports byte-stable.
+#include "sweep/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <random>
+#include <vector>
+
+namespace sweep {
+namespace {
+
+TEST(Stats, EmptyInputIsAllZero) {
+  const Stats s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.ci95, 0.0);
+}
+
+TEST(Stats, SingleSample) {
+  const Stats s = summarize({7.5});
+  EXPECT_EQ(s.n, 1u);
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_EQ(s.stddev, 0.0);  // n-1 denominator undefined; reported as 0
+  EXPECT_EQ(s.ci95, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 7.5);
+  EXPECT_DOUBLE_EQ(s.max, 7.5);
+  EXPECT_DOUBLE_EQ(s.p50, 7.5);
+  EXPECT_DOUBLE_EQ(s.p95, 7.5);
+}
+
+TEST(Stats, KnownSampleSet) {
+  // {2, 4, 4, 4, 5, 5, 7, 9}: mean 5, population stddev 2, sample stddev
+  // sqrt(32/7).
+  const Stats s = summarize({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_EQ(s.n, 8u);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_NEAR(s.stddev, 2.1380899352993947, 1e-12);  // sqrt(32/7)
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  // Nearest-rank: p50 -> ceil(0.5*8)=4th of sorted -> 4; p95 -> ceil(7.6)=8th
+  // -> 9.
+  EXPECT_DOUBLE_EQ(s.p50, 4.0);
+  EXPECT_DOUBLE_EQ(s.p95, 9.0);
+  // ci95 = t(7) * stddev / sqrt(8), t(7) = 2.365.
+  EXPECT_NEAR(s.ci95, t_critical_95(7) * s.stddev / std::sqrt(8.0), 1e-12);
+}
+
+TEST(Stats, TCriticalValues) {
+  EXPECT_NEAR(t_critical_95(1), 12.706, 1e-3);
+  EXPECT_NEAR(t_critical_95(7), 2.365, 1e-3);
+  EXPECT_NEAR(t_critical_95(30), 2.042, 1e-3);
+  EXPECT_NEAR(t_critical_95(1000), 1.96, 1e-2);
+  // Monotone non-increasing in df.
+  double prev = t_critical_95(1);
+  for (std::size_t df = 2; df <= 200; ++df) {
+    const double t = t_critical_95(df);
+    EXPECT_LE(t, prev) << "df " << df;
+    prev = t;
+  }
+}
+
+TEST(Stats, OrderIndependentToTheByte) {
+  std::vector<double> samples;
+  std::mt19937_64 rng(12345);
+  std::uniform_real_distribution<double> dist(0.0, 1e6);
+  for (int i = 0; i < 257; ++i) samples.push_back(dist(rng));
+
+  const Stats a = summarize(samples);
+  std::vector<double> shuffled = samples;
+  std::shuffle(shuffled.begin(), shuffled.end(), rng);
+  const Stats b = summarize(shuffled);
+  // Bitwise equality, not EXPECT_NEAR: summation happens over the sorted
+  // samples, so permuting the input must not change a single bit.
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.ci95, b.ci95);
+}
+
+TEST(Stats, IntervalsOverlap) {
+  EXPECT_TRUE(intervals_overlap(0.0, 2.0, 1.0, 3.0));
+  EXPECT_TRUE(intervals_overlap(1.0, 3.0, 0.0, 2.0));
+  EXPECT_TRUE(intervals_overlap(0.0, 1.0, 1.0, 2.0));  // touching counts
+  EXPECT_FALSE(intervals_overlap(0.0, 1.0, 1.5, 2.0));
+  EXPECT_TRUE(intervals_overlap(1.0, 1.0, 1.0, 1.0));  // degenerate points
+  EXPECT_FALSE(intervals_overlap(1.0, 1.0, 2.0, 2.0));
+}
+
+}  // namespace
+}  // namespace sweep

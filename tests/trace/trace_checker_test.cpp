@@ -2,12 +2,23 @@
 // bindings, and each fault model, the protocols must still deliver their
 // guarantees — and the TraceChecker must be able to prove it from the event
 // trace alone.
+//
+// The 50 seeds of each sweep fan out over the sweep::run_tasks work-stealing
+// pool (one isolated single-threaded simulation per seed), so the suite's
+// wall-clock scales down with host cores. Each trial reduces to a verdict
+// digest on its worker; all asserting happens on the main thread, and a
+// dedicated test proves the pooled digests are byte-identical to serial
+// execution of the same trials.
 #include "trace/checker.h"
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <functional>
 #include <string>
+#include <vector>
 
+#include "sweep/pool.h"
 #include "fault_workload.h"
 
 namespace trace {
@@ -20,35 +31,69 @@ using trace_test::run_fault_workload;
 
 constexpr std::uint64_t kSeeds = 50;
 
-std::string violations_to_string(const std::vector<std::string>& v) {
-  std::string out;
-  for (const std::string& s : v) {
-    out += "  ";
-    out += s;
-    out += '\n';
+/// Runs one (binding, seed, fault) trial and reduces it to a verdict digest:
+/// workload outcome, per-node delivery orders, and every checker violation,
+/// all in one deterministic string. A passing trial's digest ends in
+/// "violations=0"; any divergence (wrong order, missed delivery, invariant
+/// violation) lands in the bytes.
+std::string trial_digest(Binding binding, std::uint64_t seed, Fault fault) {
+  WorkloadResult r = run_fault_workload(binding, seed, fault);
+  std::string d = "seed=" + std::to_string(seed);
+  d += " rpc=" + std::to_string(r.rpc_ok) + "/" + std::to_string(r.rpc_total);
+  d += " group_sends=" + std::to_string(r.group_sends);
+  for (std::size_t n = 0; n < r.orders.size(); ++n) {
+    d += " node" + std::to_string(n) + "=[";
+    for (std::size_t i = 0; i < r.orders[n].size(); ++i) {
+      if (i != 0) d += ',';
+      d += std::to_string(r.orders[n][i]);
+    }
+    d += ']';
   }
-  return out;
+  TraceChecker checker(r.bed->tracer()->events());
+  const auto violations = checker.check_all(&r.ledger);
+  for (const std::string& v : violations) d += " VIOLATION: " + v;
+  d += " violations=" + std::to_string(violations.size());
+  return d;
 }
 
+/// Does the digest describe a fully successful trial? (All RPCs ok, every
+/// node delivered every group send in node 0's order, no violations.)
+void expect_trial_ok(const std::string& digest) {
+  ASSERT_NE(digest.find(" rpc=16/16 "), std::string::npos) << digest;
+  ASSERT_NE(digest.find(" violations=0"), std::string::npos) << digest;
+  // All four nodes must report the same order as node 0, and node 0 must
+  // have delivered every group send.
+  const auto node0 = digest.find("node0=[");
+  ASSERT_NE(node0, std::string::npos) << digest;
+  const auto end0 = digest.find(']', node0);
+  const std::string order0 = digest.substr(node0 + 7, end0 - (node0 + 7));
+  const auto gs = digest.find(" group_sends=");
+  ASSERT_NE(gs, std::string::npos) << digest;
+  const auto sends = std::strtoull(digest.c_str() + gs + 13, nullptr, 10);
+  std::size_t delivered = order0.empty() ? 0 : 1;
+  for (const char c : order0) delivered += c == ',' ? 1 : 0;
+  ASSERT_EQ(delivered, sends) << "missed group deliveries: " << digest;
+  for (int n = 1; n < 4; ++n) {
+    const std::string want = "node" + std::to_string(n) + "=[" + order0 + "]";
+    ASSERT_NE(digest.find(want), std::string::npos)
+        << "node " << n << " order differs: " << digest;
+  }
+}
+
+/// Fan the 50 seeds out across the pool, then assert on the main thread.
 void sweep(Binding binding, Fault fault) {
+  std::vector<std::string> digests(kSeeds);
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(kSeeds);
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    tasks.push_back([binding, seed, fault, &digests] {
+      digests[seed - 1] = trial_digest(binding, seed, fault);
+    });
+  }
+  sweep::run_tasks(std::move(tasks));
   for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
     SCOPED_TRACE("seed " + std::to_string(seed));
-    WorkloadResult r = run_fault_workload(binding, seed, fault);
-
-    // The workload itself succeeded despite the faults.
-    ASSERT_EQ(r.rpc_ok, r.rpc_total);
-    for (std::size_t n = 0; n < r.orders.size(); ++n) {
-      ASSERT_EQ(r.orders[n].size(),
-                static_cast<std::size_t>(r.group_sends))
-          << "node " << n << " missed group deliveries";
-      ASSERT_EQ(r.orders[n], r.orders[0]) << "node " << n << " order differs";
-    }
-
-    // The trace proves it: exactly-once, total order, frame lineage, loss
-    // recovery, and ledger consistency all hold.
-    TraceChecker checker(r.bed->tracer()->events());
-    const auto violations = checker.check_all(&r.ledger);
-    ASSERT_TRUE(violations.empty()) << violations_to_string(violations);
+    expect_trial_ok(digests[seed - 1]);
   }
 }
 
@@ -74,6 +119,49 @@ TEST(TraceCheckerSweep, KernelBindingUnderReorder) {
 
 TEST(TraceCheckerSweep, UserBindingUnderReorder) {
   sweep(Binding::kUserSpace, Fault::kReorder);
+}
+
+// Pooled execution must not change any verdict: rerun a slice of the sweep
+// serially on this thread and compare byte-for-byte against a 4-worker pool.
+// (Each trial is an isolated simulation, so this holds by construction; this
+// test is the committed proof.)
+TEST(TraceCheckerSweep, PooledVerdictsMatchSerialByteForByte) {
+  constexpr std::uint64_t kSlice = 10;
+  struct Spec {
+    Binding binding;
+    Fault fault;
+  };
+  const std::vector<Spec> specs = {
+      {Binding::kKernelSpace, Fault::kLoss},
+      {Binding::kUserSpace, Fault::kDuplication},
+  };
+
+  std::vector<std::string> serial;
+  for (const Spec& s : specs) {
+    for (std::uint64_t seed = 1; seed <= kSlice; ++seed) {
+      serial.push_back(trial_digest(s.binding, seed, s.fault));
+    }
+  }
+
+  std::vector<std::string> pooled(serial.size());
+  std::vector<std::function<void()>> tasks;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    for (std::uint64_t seed = 1; seed <= kSlice; ++seed) {
+      const std::size_t slot = i * kSlice + (seed - 1);
+      const Spec s = specs[i];
+      tasks.push_back([s, seed, slot, &pooled] {
+        pooled[slot] = trial_digest(s.binding, seed, s.fault);
+      });
+    }
+  }
+  sweep::PoolOptions options;
+  options.threads = 4;
+  sweep::run_tasks(std::move(tasks), options);
+
+  ASSERT_EQ(serial.size(), pooled.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], pooled[i]) << "trial " << i;
+  }
 }
 
 // The checker is not vacuous: it flags a trace whose invariants are broken.
