@@ -25,8 +25,8 @@ struct FragmentHeader {
   std::uint32_t total_len = 0;
 };
 
-net::Payload serialize_fragment(const FragmentHeader& h, const net::Payload& data) {
-  net::Writer w;
+net::Payload serialize_fragment(net::Writer& w, const FragmentHeader& h,
+                                const net::Payload& data) {
   w.u8(h.type).u8(h.flags).u16(0);
   w.u64(h.dst).u64(h.src);
   w.u32(h.msg_id).u32(h.offset).u32(h.total_len);
@@ -50,6 +50,10 @@ FragmentHeader parse_fragment(net::Reader& r) {
 }  // namespace
 
 Flip::Flip(Kernel& kernel) : kernel_(&kernel), sweep_timer_(kernel.sim()) {
+  const metrics::NodeMetrics nm(kernel.sim().metrics(), kernel.node());
+  m_sends_ = nm.counter("flip.sends");
+  m_fragments_ = nm.counter("flip.fragments");
+  m_delivers_ = nm.counter("flip.delivers");
   kernel_->nic().set_rx_handler([this](const net::Frame& f) { on_frame(f); });
   // Every kernel owns its kernel endpoint implicitly for LOCATE replies.
 }
@@ -87,9 +91,7 @@ sim::Co<void> Flip::unicast(FlipAddr dst, net::Payload message, sim::Prio prio) 
     co_await kernel_->charge(prio, sim::Mechanism::kProtocolProcessing,
                              c.flip_send_per_message);
     ++messages_sent_;
-    if (auto* mx = kernel_->sim().metrics()) {
-      mx->node(kernel_->node()).counter("flip.sends").add();
-    }
+    m_sends_.add();
     if (auto* tr = kernel_->sim().tracer()) {
       tr->record(kernel_->node(), trace::EventKind::kFlipSend, dst, 0,
                  message.size(), 1);
@@ -124,9 +126,7 @@ sim::Co<void> Flip::send_fragments(net::MacAddr dst_mac, FlipAddr dst, FlipAddr 
   const std::uint32_t msg_id = next_msg_id_++;
   ++messages_sent_;
 
-  if (auto* mx = kernel_->sim().metrics()) {
-    mx->node(kernel_->node()).counter("flip.sends").add();
-  }
+  m_sends_.add();
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kFlipSend, dst, msg_id,
                message.size());
@@ -152,10 +152,8 @@ sim::Co<void> Flip::send_fragments(net::MacAddr dst_mac, FlipAddr dst, FlipAddr 
     frame.id = (static_cast<std::uint64_t>(kernel_->node()) << 48) |
                (static_cast<std::uint64_t>(msg_id) << 16) |
                static_cast<std::uint64_t>(offset / std::max<std::size_t>(capacity, 1));
-    frame.payload = serialize_fragment(h, message.slice(offset, chunk));
-    if (auto* mx = kernel_->sim().metrics()) {
-      mx->node(kernel_->node()).counter("flip.fragments").add();
-    }
+    frame.payload = serialize_fragment(frame_writer_, h, message.slice(offset, chunk));
+    m_fragments_.add();
     if (auto* tr = kernel_->sim().tracer()) {
       tr->record(kernel_->node(), trace::EventKind::kFragment, frame.id,
                  msg_id, src, chunk);
@@ -169,7 +167,7 @@ void Flip::on_frame(const net::Frame& frame) { sim::spawn(handle_frame(frame)); 
 
 sim::Co<void> Flip::handle_frame(net::Frame frame) {
   const CostModel& c = kernel_->costs();
-  const auto type = static_cast<FrameType>(frame.payload.data()[0]);
+  const auto type = static_cast<FrameType>(frame.payload.byte_at(0));
   switch (type) {
     case FrameType::kData:
       co_await kernel_->charge(sim::Prio::kInterrupt,
@@ -220,7 +218,7 @@ sim::Co<void> Flip::handle_data(const net::Frame& frame) {
     Reassembly& ra = it->second;
     ra.dst = h.dst;
     ra.total = h.total_len;
-    ra.bytes.resize(h.total_len);
+    ra.buf = reasm_pool_.acquire(h.total_len);
     ra.have.assign((h.total_len + capacity - 1) / capacity, false);
     ra.deadline = kernel_->sim().now() + c.reassembly_timeout;
     if (!sweep_timer_.pending()) {
@@ -231,7 +229,7 @@ sim::Co<void> Flip::handle_data(const net::Frame& frame) {
   if (slot < it->second.have.size() && !it->second.have[slot]) {
     Reassembly& ra = it->second;
     ra.have[slot] = true;
-    std::copy(data.bytes().begin(), data.bytes().end(), ra.bytes.begin() + h.offset);
+    data.copy_out(0, data.size(), ra.buf->data() + h.offset);
     ra.received += data.size();
     // The fragment bytes really move into the reassembly buffer; charge the
     // copy per byte at the same rate as every other message copy so the
@@ -246,7 +244,8 @@ sim::Co<void> Flip::handle_data(const net::Frame& frame) {
   }
   if (it->second.received == it->second.total) {
     Reassembly& ra = it->second;
-    net::Payload whole{std::move(ra.bytes)};
+    net::Payload whole =
+        net::Payload::from_shared(ra.buf, ra.buf->data(), ra.total);
     const FlipAddr src = h.src;
     const FlipAddr dst = ra.dst;
     reassembly_.erase(it);
@@ -267,9 +266,7 @@ sim::Co<void> Flip::deliver(FlipMessage message) {
   const auto it = table.find(message.dst);
   if (it == table.end()) co_return;
   ++messages_delivered_;
-  if (auto* mx = kernel_->sim().metrics()) {
-    mx->node(kernel_->node()).counter("flip.delivers").add();
-  }
+  m_delivers_.add();
   co_await kernel_->charge(sim::Prio::kInterrupt,
                            sim::Mechanism::kProtocolProcessing,
                            kernel_->costs().flip_deliver_per_message);
@@ -289,7 +286,7 @@ sim::Co<void> Flip::handle_locate(net::Frame frame) {
   w.u32(kernel_->nic().mac());
   net::Frame out;
   out.dst = requester_mac;
-  out.payload = serialize_fragment(reply, w.take());
+  out.payload = serialize_fragment(frame_writer_, reply, w.take());
   kernel_->nic().send(std::move(out));
 }
 
@@ -333,7 +330,7 @@ void Flip::locate_tick(FlipAddr dst) {
   w.u32(kernel_->nic().mac());
   net::Frame frame;
   frame.dst = net::kBroadcast;
-  frame.payload = serialize_fragment(h, w.take());
+  frame.payload = serialize_fragment(frame_writer_, h, w.take());
   kernel_->nic().send(std::move(frame));
   pending.retry = kernel_->sim().after(kLocateRetryInterval,
                                        [this, dst] { locate_tick(dst); });

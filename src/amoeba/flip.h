@@ -31,6 +31,7 @@
 #include <optional>
 #include <unordered_map>
 
+#include "metrics/handles.h"
 #include "net/buffer.h"
 #include "net/frame.h"
 #include "sim/co.h"
@@ -133,7 +134,8 @@ class Flip {
     FlipAddr dst = kNoFlipAddr;
     std::size_t total = 0;
     std::size_t received = 0;
-    std::vector<std::uint8_t> bytes;
+    // Pooled: recycled once the delivered message releases it.
+    std::shared_ptr<std::vector<std::uint8_t>> buf;
     std::vector<bool> have;  // per fragment slot
     sim::Time deadline = 0;
   };
@@ -157,6 +159,13 @@ class Flip {
   void sweep_reassembly();
 
   Kernel* kernel_;
+  // Host-side fast path: a reusable frame serializer, a pool of reassembly
+  // buffers, and interned metric handles (all invisible to simulated time).
+  net::Writer frame_writer_;
+  net::BufferPool reasm_pool_;
+  metrics::CounterHandle m_sends_;
+  metrics::CounterHandle m_fragments_;
+  metrics::CounterHandle m_delivers_;
   std::unordered_map<FlipAddr, FlipHandler> endpoints_;
   std::unordered_map<FlipAddr, FlipHandler> groups_;
   std::unordered_map<FlipAddr, net::MacAddr> route_cache_;

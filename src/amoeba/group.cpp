@@ -15,8 +15,8 @@ constexpr std::size_t kHeaderFixed = 28;  // serialized fields before padding
 
 net::Payload KernelGroup::make_wire(MsgType type, GroupId gid, SeqNo seqno,
                                     NodeId sender, std::uint64_t uid, SeqNo horizon,
-                                    const net::Payload& body) const {
-  net::Writer w;
+                                    const net::Payload& body) {
+  net::Writer& w = wire_writer_;
   w.u8(static_cast<std::uint8_t>(type));
   w.u8(0).u16(0);
   w.u32(gid);
@@ -75,6 +75,7 @@ std::uint64_t KernelGroup::sequenced_count(GroupId gid) const {
   const MemberState& ms = state(gid);
   return ms.seq ? ms.seq->total_sequenced : 0;
 }
+
 
 sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
   MemberState& ms = state(gid);
@@ -141,12 +142,8 @@ sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
 
   ms.sends_in_flight.erase(uid);
   co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
-  if (auto* mx = kernel_->sim().metrics()) {
-    auto& reg = mx->node(kernel_->node());
-    reg.counter("group.sends").add();
-    reg.histogram("group.send_latency_ns")
-        .record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
-  }
+  m_sends_.add();
+  m_send_latency_.record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
 }
 
 void KernelGroup::send_retry_tick(GroupId gid, std::uint64_t uid) {
@@ -157,9 +154,7 @@ void KernelGroup::send_retry_tick(GroupId gid, std::uint64_t uid) {
   if (it == ms.sends_in_flight.end()) return;
   PendingSend& pending = *it->second;
   ++pending.sends;
-  if (auto* mx = kernel_->sim().metrics()) {
-    mx->node(kernel_->node()).counter("group.retransmits").add();
-  }
+  m_retransmits_.add();
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kRetransmit, uid,
                trace::kReasonGroupSendRetry);
@@ -554,9 +549,7 @@ sim::Co<void> KernelGroup::deliver_in_order(GroupId gid, MemberState& ms) {
         unblocked_senders.push_back(sit->second->thread);
       }
     }
-    if (auto* mx = kernel_->sim().metrics()) {
-      mx->node(kernel_->node()).counter("group.deliveries").add();
-    }
+    m_deliveries_.add();
     if (auto* tr = kernel_->sim().tracer()) {
       tr->record(kernel_->node(), trace::EventKind::kGroupDeliver, sm.seqno,
                  sm.sender, sm.payload.size(), gid);

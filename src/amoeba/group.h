@@ -33,6 +33,7 @@
 
 #include "amoeba/flip.h"
 #include "amoeba/kernel.h"
+#include "metrics/handles.h"
 #include "net/buffer.h"
 #include "sim/co.h"
 
@@ -81,7 +82,13 @@ struct GroupMsg {
 
 class KernelGroup {
  public:
-  explicit KernelGroup(Kernel& kernel) : kernel_(&kernel) {}
+  explicit KernelGroup(Kernel& kernel) : kernel_(&kernel) {
+    const metrics::NodeMetrics nm(kernel.sim().metrics(), kernel.node());
+    m_sends_ = nm.counter("group.sends");
+    m_retransmits_ = nm.counter("group.retransmits");
+    m_deliveries_ = nm.counter("group.deliveries");
+    m_send_latency_ = nm.histogram("group.send_latency_ns");
+  }
 
   KernelGroup(const KernelGroup&) = delete;
   KernelGroup& operator=(const KernelGroup&) = delete;
@@ -193,12 +200,17 @@ class KernelGroup {
   [[nodiscard]] net::Payload make_wire(MsgType type, GroupId gid, SeqNo seqno,
                                        NodeId sender, std::uint64_t uid,
                                        SeqNo horizon,
-                                       const net::Payload& body) const;
+                                       const net::Payload& body);
 
   [[nodiscard]] MemberState& state(GroupId gid);
   [[nodiscard]] const MemberState& state(GroupId gid) const;
 
   Kernel* kernel_;
+  net::Writer wire_writer_;
+  metrics::CounterHandle m_sends_;
+  metrics::CounterHandle m_retransmits_;
+  metrics::CounterHandle m_deliveries_;
+  metrics::HistogramHandle m_send_latency_;
   std::map<GroupId, MemberState> groups_;
   std::uint64_t next_uid_ = 1;
   std::uint64_t retreqs_ = 0;

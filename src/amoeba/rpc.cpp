@@ -24,8 +24,8 @@ namespace {
 }  // namespace
 
 net::Payload KernelRpc::make_header(MsgType type, std::uint32_t trans_id,
-                                    ServiceId svc, const net::Payload& body) const {
-  net::Writer w;
+                                    ServiceId svc, const net::Payload& body) {
+  net::Writer& w = hdr_writer_;
   w.u8(static_cast<std::uint8_t>(type));
   w.u32(trans_id);
   w.u32(kernel_->node());
@@ -89,15 +89,11 @@ sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
                result.status == RpcStatus::kOk ? 0 : 1);
   }
   co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
-  if (auto* mx = kernel_->sim().metrics()) {
-    auto& reg = mx->node(kernel_->node());
-    reg.counter("rpc.calls").add();
-    if (result.status == RpcStatus::kOk) {
-      reg.histogram("rpc.latency_ns")
-          .record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
-    } else {
-      reg.counter("rpc.timeouts").add();
-    }
+  m_calls_.add();
+  if (result.status == RpcStatus::kOk) {
+    m_latency_.record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
+  } else {
+    m_timeouts_.add();
   }
   co_return result;
 }
@@ -117,9 +113,7 @@ void KernelRpc::retransmit_tick(std::uint32_t trans_id) {
   }
   ++call.sends;
   ++retransmits_;
-  if (auto* mx = kernel_->sim().metrics()) {
-    mx->node(kernel_->node()).counter("rpc.retransmits").add();
-  }
+  m_retransmits_.add();
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                trans_key(kernel_->node(), trans_id),
@@ -222,9 +216,7 @@ sim::Co<void> KernelRpc::on_request(NodeId client, std::uint32_t trans_id,
     if (it->second.replied) {
       // Client missed the reply: resend the cached one.
       ++retransmits_;
-      if (auto* mx = kernel_->sim().metrics()) {
-        mx->node(kernel_->node()).counter("rpc.retransmits").add();
-      }
+      m_retransmits_.add();
       if (auto* tr = kernel_->sim().tracer()) {
         tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                    trans_key(client, trans_id), trace::kReasonCachedReply);

@@ -23,6 +23,7 @@
 
 #include "amoeba/flip.h"
 #include "amoeba/kernel.h"
+#include "metrics/handles.h"
 #include "net/buffer.h"
 #include "sim/co.h"
 #include "sim/timer.h"
@@ -63,7 +64,13 @@ struct RpcRequestHandle {
 
 class KernelRpc {
  public:
-  explicit KernelRpc(Kernel& kernel) : kernel_(&kernel) {}
+  explicit KernelRpc(Kernel& kernel) : kernel_(&kernel) {
+    const metrics::NodeMetrics nm(kernel.sim().metrics(), kernel.node());
+    m_calls_ = nm.counter("rpc.calls");
+    m_timeouts_ = nm.counter("rpc.timeouts");
+    m_retransmits_ = nm.counter("rpc.retransmits");
+    m_latency_ = nm.histogram("rpc.latency_ns");
+  }
 
   KernelRpc(const KernelRpc&) = delete;
   KernelRpc& operator=(const KernelRpc&) = delete;
@@ -146,9 +153,14 @@ class KernelRpc {
 
   [[nodiscard]] net::Payload make_header(MsgType type, std::uint32_t trans_id,
                                          ServiceId svc,
-                                         const net::Payload& body) const;
+                                         const net::Payload& body);
 
   Kernel* kernel_;
+  net::Writer hdr_writer_;
+  metrics::CounterHandle m_calls_;
+  metrics::CounterHandle m_timeouts_;
+  metrics::CounterHandle m_retransmits_;
+  metrics::HistogramHandle m_latency_;
   bool client_endpoint_ready_ = false;
   std::uint32_t next_trans_ = 1;
   std::unordered_map<std::uint32_t, std::unique_ptr<ClientCall>> calls_;

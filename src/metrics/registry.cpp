@@ -2,28 +2,25 @@
 
 namespace metrics {
 
-MetricsRegistry::Counter& MetricsRegistry::counter(std::string_view name) {
-  const auto it = counters_.find(name);
-  if (it != counters_.end()) return it->second;
-  return counters_.emplace(std::string(name), Counter{}).first->second;
-}
-
-MetricsRegistry::Gauge& MetricsRegistry::gauge(std::string_view name) {
-  const auto it = gauges_.find(name);
-  if (it != gauges_.end()) return it->second;
-  return gauges_.emplace(std::string(name), Gauge{}).first->second;
-}
-
-Histogram& MetricsRegistry::histogram(std::string_view name) {
-  const auto it = histograms_.find(name);
-  if (it != histograms_.end()) return it->second;
-  return histograms_.emplace(std::string(name), Histogram{}).first->second;
+MetricsRegistry& MetricsRegistry::operator=(const MetricsRegistry& other) {
+  if (this == &other) return *this;
+  counters_ = Family<Counter>{};
+  gauges_ = Family<Gauge>{};
+  histograms_ = Family<Histogram>{};
+  merge(other);
+  return *this;
 }
 
 void MetricsRegistry::merge(const MetricsRegistry& other) {
-  for (const auto& [name, c] : other.counters_) counter(name).value += c.value;
-  for (const auto& [name, g] : other.gauges_) gauge(name).value += g.value;
-  for (const auto& [name, h] : other.histograms_) histogram(name).merge(h);
+  for (const auto& [name, c] : other.counters_.index) {
+    counter(name).value += c->value;
+  }
+  for (const auto& [name, g] : other.gauges_.index) {
+    gauge(name).value += g->value;
+  }
+  for (const auto& [name, h] : other.histograms_.index) {
+    histogram(name).merge(*h);
+  }
 }
 
 Metrics::Metrics(sim::Simulator& s) : sim_(&s) { s.set_metrics(this); }
@@ -33,7 +30,8 @@ Metrics::~Metrics() {
 }
 
 MetricsRegistry Metrics::aggregate() const {
-  MetricsRegistry out = global_;
+  MetricsRegistry out;
+  out.merge(global_);
   for (const auto& [id, reg] : nodes_) out.merge(reg);
   return out;
 }

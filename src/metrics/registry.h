@@ -9,15 +9,19 @@
 // are time- and trace-identical (asserted by tests/metrics).
 //
 // A metrics::Metrics hub attaches to the Simulator the same way a Tracer
-// does: instrumented sites do
-//   if (auto* mx = sim.metrics()) mx->node(id).counter("rpc.calls").add();
-// so a disabled hub costs one pointer test.
+// does. Hot-path instrumentation goes through interned handles
+// (metrics/handles.h) that cache a pointer into the dense slab below; the
+// string-keyed accessors here are the resolution path, not the per-event
+// path. Storage is a deque slab (stable addresses, cache-dense) with a
+// name-ordered pointer index for deterministic serialization.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
 
 #include "metrics/histogram.h"
 #include "sim/simulator.h"
@@ -36,27 +40,40 @@ class MetricsRegistry {
     void set(double v) noexcept { value = v; }
   };
 
-  /// Find-or-create; returned references are stable (map nodes never move).
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
-  Histogram& histogram(std::string_view name);
+  MetricsRegistry() = default;
+  // The name index stores pointers into the slab, so copies rebuild it by
+  // merging; moves keep it valid (deque moves preserve element addresses).
+  MetricsRegistry(const MetricsRegistry& other) { merge(other); }
+  MetricsRegistry& operator=(const MetricsRegistry& other);
+  MetricsRegistry(MetricsRegistry&&) = default;
+  MetricsRegistry& operator=(MetricsRegistry&&) = default;
 
-  // Name-ordered views for deterministic serialization.
-  [[nodiscard]] const std::map<std::string, Counter, std::less<>>& counters()
-      const noexcept {
-    return counters_;
+  /// Find-or-create; returned references are stable (slab entries never
+  /// move).
+  Counter& counter(std::string_view name) { return counters_.intern(name); }
+  Gauge& gauge(std::string_view name) { return gauges_.intern(name); }
+  Histogram& histogram(std::string_view name) {
+    return histograms_.intern(name);
   }
-  [[nodiscard]] const std::map<std::string, Gauge, std::less<>>& gauges()
-      const noexcept {
-    return gauges_;
+
+  // Name-ordered pointer views for deterministic serialization.
+  using CounterMap = std::map<std::string, Counter*, std::less<>>;
+  using GaugeMap = std::map<std::string, Gauge*, std::less<>>;
+  using HistogramMap = std::map<std::string, Histogram*, std::less<>>;
+
+  [[nodiscard]] const CounterMap& counters() const noexcept {
+    return counters_.index;
   }
-  [[nodiscard]] const std::map<std::string, Histogram, std::less<>>&
-  histograms() const noexcept {
-    return histograms_;
+  [[nodiscard]] const GaugeMap& gauges() const noexcept {
+    return gauges_.index;
+  }
+  [[nodiscard]] const HistogramMap& histograms() const noexcept {
+    return histograms_.index;
   }
 
   [[nodiscard]] bool empty() const noexcept {
-    return counters_.empty() && gauges_.empty() && histograms_.empty();
+    return counters_.index.empty() && gauges_.index.empty() &&
+           histograms_.index.empty();
   }
 
   /// Cross-node aggregation: counters and gauges add, histograms merge
@@ -64,9 +81,23 @@ class MetricsRegistry {
   void merge(const MetricsRegistry& other);
 
  private:
-  std::map<std::string, Counter, std::less<>> counters_;
-  std::map<std::string, Gauge, std::less<>> gauges_;
-  std::map<std::string, Histogram, std::less<>> histograms_;
+  template <typename T>
+  struct Family {
+    std::deque<T> slab;
+    std::map<std::string, T*, std::less<>> index;
+
+    T& intern(std::string_view name) {
+      const auto it = index.find(name);
+      if (it != index.end()) return *it->second;
+      T& slot = slab.emplace_back();
+      index.emplace(std::string(name), &slot);
+      return slot;
+    }
+  };
+
+  Family<Counter> counters_;
+  Family<Gauge> gauges_;
+  Family<Histogram> histograms_;
 };
 
 /// The per-run hub: one registry per node plus a global one for metrics that

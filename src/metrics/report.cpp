@@ -66,14 +66,14 @@ void RunReport::add_ledger(std::string name, const sim::Ledger& ledger) {
 void RunReport::add_registry(const MetricsRegistry& reg,
                              const std::string& prefix) {
   for (const auto& [name, c] : reg.counters()) {
-    add_metric(prefix + name, static_cast<double>(c.value), Better::kInfo,
+    add_metric(prefix + name, static_cast<double>(c->value), Better::kInfo,
                "count");
   }
   for (const auto& [name, g] : reg.gauges()) {
-    add_metric(prefix + name, g.value, Better::kInfo);
+    add_metric(prefix + name, g->value, Better::kInfo);
   }
   for (const auto& [name, h] : reg.histograms()) {
-    add_histogram(prefix + name, h);
+    add_histogram(prefix + name, *h);
   }
 }
 

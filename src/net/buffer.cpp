@@ -1,5 +1,6 @@
 #include "net/buffer.h"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 #include <utility>
@@ -9,130 +10,529 @@
 namespace net {
 
 namespace {
+
 const std::uint8_t kNoData = 0;
+
+// The process-shared zero page backing Payload::zeros. Lives in .bss: the OS
+// maps it copy-on-write onto shared zero pages and nothing ever writes it, so
+// a 1 MB "allocation" of zeros costs neither memory nor a memset.
+constexpr std::size_t kZeroPageBytes = std::size_t{1} << 20;
+std::uint8_t g_zero_page[kZeroPageBytes];
+
+thread_local PayloadAllocStats t_alloc_stats;
+
+void note_payload_alloc(std::size_t bytes) noexcept {
+  ++t_alloc_stats.count;
+  t_alloc_stats.bytes += bytes;
 }
 
-Payload::Payload(std::vector<std::uint8_t> bytes)
-    : storage_(std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes))),
-      offset_(0),
-      length_(storage_->size()) {}
+}  // namespace
+
+PayloadAllocStats payload_alloc_stats() noexcept { return t_alloc_stats; }
+
+// ---------------------------------------------------------------------------
+// Payload
+
+Payload::Payload(std::vector<std::uint8_t> bytes) {
+  length_ = bytes.size();
+  if (length_ == 0) return;
+  if (length_ <= kInlineBytes) {
+    InlineRep r;
+    std::memcpy(r.bytes.data(), bytes.data(), length_);
+    rep_ = r;
+    return;
+  }
+  note_payload_alloc(length_);
+  auto sp = std::make_shared<const std::vector<std::uint8_t>>(std::move(bytes));
+  const std::uint8_t* d = sp->data();
+  const std::size_t n = sp->size();
+  rep_ = ChunkRep{1, {Chunk{std::move(sp), d, n}}};
+}
 
 Payload Payload::zeros(std::size_t n) {
-  return Payload(std::vector<std::uint8_t>(n, 0));
+  Payload out;
+  out.length_ = n;
+  if (n == 0) return out;
+  if (n <= kInlineBytes) {
+    out.rep_ = InlineRep{};  // value-initialized: all zero
+    return out;
+  }
+  const std::size_t nchunks = (n + kZeroPageBytes - 1) / kZeroPageBytes;
+  auto page_chunk = [](std::size_t sz) {
+    return Chunk{nullptr, g_zero_page, sz};
+  };
+  if (nchunks <= kInlineChunks) {
+    ChunkRep r;
+    std::size_t left = n;
+    while (left > 0) {
+      const std::size_t sz = std::min(left, kZeroPageBytes);
+      r.chunk[r.count++] = page_chunk(sz);
+      left -= sz;
+    }
+    out.rep_ = std::move(r);
+    return out;
+  }
+  auto v = std::make_shared<std::vector<Chunk>>();
+  note_payload_alloc(nchunks * sizeof(Chunk));
+  v->reserve(nchunks);
+  std::size_t left = n;
+  while (left > 0) {
+    const std::size_t sz = std::min(left, kZeroPageBytes);
+    v->push_back(page_chunk(sz));
+    left -= sz;
+  }
+  out.rep_ = SharedRep{std::move(v)};
+  return out;
 }
 
-const std::uint8_t* Payload::data() const noexcept {
-  if (storage_ == nullptr || length_ == 0) return &kNoData;
-  return storage_->data() + offset_;
+Payload Payload::from_shared(std::shared_ptr<const void> owner,
+                             const std::uint8_t* data, std::size_t size) {
+  Payload out;
+  out.length_ = size;
+  if (size == 0) return out;
+  out.rep_ = ChunkRep{1, {Chunk{std::move(owner), data, size}}};
+  return out;
 }
 
-std::span<const std::uint8_t> Payload::bytes() const noexcept {
-  return {data(), length_};
+Payload Payload::make_inline(const std::uint8_t* data, std::size_t n) {
+  Payload out;
+  out.length_ = n;
+  if (n == 0) return out;
+  InlineRep r;
+  std::memcpy(r.bytes.data(), data, n);
+  out.rep_ = r;
+  return out;
+}
+
+Payload Payload::single_chunk(Chunk c, std::size_t size) {
+  Payload out;
+  out.length_ = size;
+  if (size == 0) return out;
+  out.rep_ = ChunkRep{1, {std::move(c)}};
+  return out;
+}
+
+std::size_t Payload::raw_count() const noexcept {
+  if (std::holds_alternative<std::monostate>(rep_)) return 0;
+  if (std::holds_alternative<InlineRep>(rep_)) return 1;
+  if (const auto* cr = std::get_if<ChunkRep>(&rep_)) return cr->count;
+  return std::get<SharedRep>(rep_).chunks->size();
+}
+
+std::pair<const std::uint8_t*, std::size_t> Payload::raw_piece(
+    std::size_t i) const noexcept {
+  if (const auto* ir = std::get_if<InlineRep>(&rep_)) {
+    return {ir->bytes.data(), offset_ + length_};
+  }
+  if (const auto* cr = std::get_if<ChunkRep>(&rep_)) {
+    return {cr->chunk[i].data, cr->chunk[i].size};
+  }
+  const Chunk& c = (*std::get<SharedRep>(rep_).chunks)[i];
+  return {c.data, c.size};
+}
+
+Payload::Piece Payload::locate(std::size_t pos, std::size_t& idx,
+                               std::size_t& raw_begin) const noexcept {
+  const std::size_t target = offset_ + pos;
+  const std::size_t n = raw_count();
+  if (idx >= n || raw_begin > target) {
+    idx = 0;
+    raw_begin = 0;
+  }
+  for (;;) {
+    const auto [d, sz] = raw_piece(idx);
+    if (target < raw_begin + sz) {
+      const std::size_t lo = std::max(raw_begin, offset_);
+      const std::size_t hi = std::min(raw_begin + sz, offset_ + length_);
+      return Piece{d + (lo - raw_begin), hi - lo, lo - offset_};
+    }
+    raw_begin += sz;
+    ++idx;
+  }
+}
+
+template <typename F>
+void Payload::visit_chunks(F&& f) const {
+  std::size_t skip = offset_, want = length_;
+  const std::size_t n = raw_count();
+  const std::shared_ptr<const void> no_owner;
+  for (std::size_t i = 0; i < n && want > 0; ++i) {
+    const Chunk* c = nullptr;
+    const std::uint8_t* d = nullptr;
+    std::size_t sz = 0;
+    if (const auto* cr = std::get_if<ChunkRep>(&rep_)) {
+      c = &cr->chunk[i];
+    } else if (const auto* sr = std::get_if<SharedRep>(&rep_)) {
+      c = &(*sr->chunks)[i];
+    }
+    if (c != nullptr) {
+      d = c->data;
+      sz = c->size;
+    } else {
+      std::tie(d, sz) = raw_piece(i);
+    }
+    if (skip >= sz) {
+      skip -= sz;
+      continue;
+    }
+    const std::size_t take = std::min(sz - skip, want);
+    f(c != nullptr ? c->owner : no_owner, d + skip, take);
+    want -= take;
+    skip = 0;
+  }
+}
+
+bool Payload::contiguous() const noexcept {
+  if (length_ == 0) return true;
+  std::size_t idx = 0, rb = 0;
+  Piece p = locate(0, idx, rb);
+  return p.size >= length_;
+}
+
+std::size_t Payload::chunk_count() const noexcept {
+  std::size_t count = 0;
+  for_each_chunk([&count](const std::uint8_t*, std::size_t) { ++count; });
+  return count;
+}
+
+void Payload::collapse() const {
+  std::vector<std::uint8_t> flat(length_);
+  copy_out(0, length_, flat.data());
+  note_payload_alloc(length_);
+  auto sp = std::make_shared<const std::vector<std::uint8_t>>(std::move(flat));
+  const std::uint8_t* d = sp->data();
+  rep_ = ChunkRep{1, {Chunk{std::move(sp), d, length_}}};
+  offset_ = 0;
+}
+
+const std::uint8_t* Payload::data() const {
+  if (length_ == 0) return &kNoData;
+  std::size_t idx = 0, rb = 0;
+  Piece p = locate(0, idx, rb);
+  if (p.size >= length_) return p.data;
+  collapse();
+  idx = 0;
+  rb = 0;
+  return locate(0, idx, rb).data;
+}
+
+std::span<const std::uint8_t> Payload::bytes() const { return {data(), length_}; }
+
+std::uint8_t Payload::byte_at(std::size_t i) const {
+  sim::require(i < length_, "Payload::byte_at: out of range");
+  std::size_t idx = 0, rb = 0;
+  const Piece p = locate(i, idx, rb);
+  return p.data[i - p.view_begin];
+}
+
+void Payload::copy_out(std::size_t pos, std::size_t n,
+                       std::uint8_t* out) const noexcept {
+  std::size_t idx = 0, rb = 0;
+  while (n > 0) {
+    const Piece p = locate(pos, idx, rb);
+    const std::size_t off = pos - p.view_begin;
+    const std::size_t take = std::min(p.size - off, n);
+    if (p.data >= g_zero_page && p.data < g_zero_page + kZeroPageBytes) {
+      // Zero-page-backed chunk: a memset writes the same bytes without
+      // streaming reads through the source page.
+      std::memset(out, 0, take);
+    } else {
+      std::memcpy(out, p.data + off, take);
+    }
+    out += take;
+    pos += take;
+    n -= take;
+  }
+}
+
+std::size_t Payload::copy_prefix(std::uint8_t* out, std::size_t n) const noexcept {
+  const std::size_t take = std::min(n, length_);
+  copy_out(0, take, out);
+  return take;
 }
 
 Payload Payload::slice(std::size_t offset, std::size_t length) const {
-  sim::require(offset + length <= length_, "Payload::slice: out of range");
-  Payload out;
-  out.storage_ = storage_;
-  out.offset_ = offset_ + offset;
+  sim::require(offset <= length_ && length <= length_ - offset,
+               "Payload::slice: out of range");
+  Payload out = *this;
+  out.offset_ += offset;
   out.length_ = length;
+  if (length == 0) out.rep_ = std::monostate{};
   return out;
 }
 
 bool Payload::content_equals(const Payload& other) const noexcept {
   if (length_ != other.length_) return false;
-  return std::memcmp(data(), other.data(), length_) == 0;
-}
-
-Writer& Writer::u8(std::uint8_t v) {
-  bytes_.push_back(v);
-  return *this;
-}
-
-Writer& Writer::u16(std::uint16_t v) {
-  bytes_.push_back(static_cast<std::uint8_t>(v >> 8));
-  bytes_.push_back(static_cast<std::uint8_t>(v));
-  return *this;
-}
-
-Writer& Writer::u32(std::uint32_t v) {
-  for (int shift = 24; shift >= 0; shift -= 8) {
-    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+  std::size_t ai = 0, ab = 0, bi = 0, bb = 0;
+  std::size_t pos = 0;
+  while (pos < length_) {
+    const Piece pa = locate(pos, ai, ab);
+    const Piece pb = other.locate(pos, bi, bb);
+    const std::size_t na = pa.size - (pos - pa.view_begin);
+    const std::size_t nb = pb.size - (pos - pb.view_begin);
+    const std::size_t n = std::min({na, nb, length_ - pos});
+    if (std::memcmp(pa.data + (pos - pa.view_begin),
+                    pb.data + (pos - pb.view_begin), n) != 0) {
+      return false;
+    }
+    pos += n;
   }
-  return *this;
+  return true;
 }
 
-Writer& Writer::u64(std::uint64_t v) {
-  for (int shift = 56; shift >= 0; shift -= 8) {
-    bytes_.push_back(static_cast<std::uint8_t>(v >> shift));
+// ---------------------------------------------------------------------------
+// BufferPool
+
+std::shared_ptr<std::vector<std::uint8_t>> BufferPool::acquire(std::size_t n) {
+  for (auto& s : slots_) {
+    if (s && s.use_count() == 1) {
+      if (s->capacity() < n) note_payload_alloc(n);
+      s->resize(n);
+      return s;
+    }
   }
-  return *this;
+  note_payload_alloc(n);
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(n);
+  for (auto& s : slots_) {
+    if (!s) {
+      s = buf;
+      return buf;
+    }
+  }
+  slots_[victim_++ % slots_.size()] = buf;
+  return buf;
 }
 
-Writer& Writer::i32(std::int32_t v) { return u32(static_cast<std::uint32_t>(v)); }
-Writer& Writer::i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
-
-Writer& Writer::f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
+// ---------------------------------------------------------------------------
+// Writer
 
 Writer& Writer::raw(std::span<const std::uint8_t> bytes) {
-  bytes_.insert(bytes_.end(), bytes.begin(), bytes.end());
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
   return *this;
 }
 
-Writer& Writer::payload(const Payload& p) { return raw(p.bytes()); }
+Writer& Writer::payload(const Payload& p) {
+  if (p.empty()) return *this;
+  if (p.size() <= Payload::kInlineBytes) {
+    // Header-sized: cheaper to copy into the literal stream than to carry a
+    // chunk (and inline-stored payloads have no stable backing to reference).
+    const std::size_t at = buf_.size();
+    buf_.resize(at + p.size());
+    p.copy_out(0, p.size(), buf_.data() + at);
+    return *this;
+  }
+  refs_.push_back(Ref{p, buf_.size()});
+  ref_bytes_ += p.size();
+  return *this;
+}
 
 Writer& Writer::str(const std::string& s) {
   u32(static_cast<std::uint32_t>(s.size()));
-  bytes_.insert(bytes_.end(), s.begin(), s.end());
+  buf_.insert(buf_.end(), s.begin(), s.end());
   return *this;
 }
 
 Writer& Writer::zeros(std::size_t n) {
-  bytes_.insert(bytes_.end(), n, 0);
-  return *this;
+  if (n <= Payload::kInlineBytes) {
+    buf_.insert(buf_.end(), n, 0);
+    return *this;
+  }
+  return payload(Payload::zeros(n));
 }
 
-Payload Writer::take() { return Payload(std::exchange(bytes_, {})); }
+void Writer::rotate(std::size_t need) {
+  const std::size_t want = std::max(need, kArenaBlockBytes);
+  for (auto& s : slots_) {
+    // use_count()==1 means only the pool slot holds it: no frame still
+    // references bytes inside, so it is safe to overwrite.
+    if (s && s != cur_ && s.use_count() == 1) {
+      if (s->size() < want) {
+        note_payload_alloc(want);
+        s = std::make_shared<std::vector<std::uint8_t>>(want);
+      }
+      cur_ = s;
+      cur_used_ = 0;
+      return;
+    }
+  }
+  note_payload_alloc(want);
+  auto blk = std::make_shared<std::vector<std::uint8_t>>(want);
+  for (auto& s : slots_) {
+    if (!s) {
+      s = blk;
+      cur_ = std::move(blk);
+      cur_used_ = 0;
+      return;
+    }
+  }
+  // All blocks are still referenced by in-flight frames; retire the oldest
+  // slot (its storage stays alive until those frames release it).
+  slots_[victim_++ % slots_.size()] = blk;
+  cur_ = std::move(blk);
+  cur_used_ = 0;
+}
+
+Payload::Chunk Writer::commit(const std::uint8_t* src, std::size_t n) {
+  if (!cur_ || cur_used_ + n > cur_->size()) rotate(n);
+  std::uint8_t* dst = cur_->data() + cur_used_;
+  std::memcpy(dst, src, n);
+  cur_used_ += n;
+  return Payload::Chunk{cur_, dst, n};
+}
+
+std::shared_ptr<std::vector<Payload::Chunk>> Writer::acquire_chunk_vec() {
+  for (auto& s : chunk_slots_) {
+    if (s && s.use_count() == 1) {
+      s->clear();  // releases the previous message's chunk references
+      return s;
+    }
+  }
+  note_payload_alloc(sizeof(Payload::Chunk) * Payload::kInlineChunks);
+  auto v = std::make_shared<std::vector<Payload::Chunk>>();
+  for (auto& s : chunk_slots_) {
+    if (!s) {
+      s = v;
+      return v;
+    }
+  }
+  chunk_slots_[chunk_victim_++ % chunk_slots_.size()] = v;
+  return v;
+}
+
+void Writer::reset() {
+  if (buf_.capacity() != buf_cap_seen_) {
+    note_payload_alloc(buf_.capacity());
+    buf_cap_seen_ = buf_.capacity();
+  }
+  if (refs_.capacity() != refs_cap_seen_) {
+    note_payload_alloc(refs_.capacity() * sizeof(Ref));
+    refs_cap_seen_ = refs_.capacity();
+  }
+  buf_.clear();
+  refs_.clear();
+  ref_bytes_ = 0;
+}
+
+Payload Writer::take() {
+  const std::size_t total = size();
+  if (total == 0) {
+    reset();
+    return Payload{};
+  }
+  if (refs_.empty()) {
+    Payload out = total <= Payload::kInlineBytes
+                      ? Payload::make_inline(buf_.data(), total)
+                      : Payload::single_chunk(commit(buf_.data(), total), total);
+    reset();
+    return out;
+  }
+
+  // General case: commit all literal bytes as one arena run, then assemble
+  // the cord by interleaving literal sub-chunks with the referenced chunks.
+  Payload::Chunk lit;
+  if (!buf_.empty()) lit = commit(buf_.data(), buf_.size());
+
+  std::array<Payload::Chunk, Payload::kInlineChunks> small;
+  std::size_t count = 0;
+  std::shared_ptr<std::vector<Payload::Chunk>> big;
+  auto push = [&](const std::shared_ptr<const void>& owner,
+                  const std::uint8_t* d, std::size_t sz) {
+    if (sz == 0) return;
+    Payload::Chunk* last = nullptr;
+    if (big != nullptr && !big->empty()) {
+      last = &big->back();
+    } else if (big == nullptr && count > 0) {
+      last = &small[count - 1];
+    }
+    // Coalesce physically adjacent chunks from the same owner (common when
+    // consecutive refs were sliced out of one buffer).
+    if (last != nullptr && last->data + last->size == d &&
+        last->owner.get() == owner.get()) {
+      last->size += sz;
+      return;
+    }
+    if (big != nullptr) {
+      big->push_back(Payload::Chunk{owner, d, sz});
+      return;
+    }
+    if (count < Payload::kInlineChunks) {
+      small[count++] = Payload::Chunk{owner, d, sz};
+      return;
+    }
+    big = acquire_chunk_vec();
+    big->assign(small.begin(), small.end());
+    big->push_back(Payload::Chunk{owner, d, sz});
+  };
+
+  std::size_t lit_pos = 0;
+  auto push_literal = [&](std::size_t upto) {
+    if (upto > lit_pos) {
+      push(lit.owner, lit.data + lit_pos, upto - lit_pos);
+      lit_pos = upto;
+    }
+  };
+  // Small referenced chunks (nested protocol headers, mostly) are copied
+  // into the arena instead of kept as separate chunks: the copy lands right
+  // after the literal run in the same block, so it coalesces and the usual
+  // header+header+body wrap stays within the inline chunk budget instead of
+  // forcing a heap chunk vector per message.
+  auto push_ref = [&](const std::shared_ptr<const void>& owner,
+                      const std::uint8_t* d, std::size_t sz) {
+    if (sz != 0 && sz <= Payload::kInlineBytes) {
+      const Payload::Chunk c = commit(d, sz);
+      push(c.owner, c.data, c.size);
+    } else {
+      push(owner, d, sz);
+    }
+  };
+  for (const Ref& r : refs_) {
+    push_literal(r.at);
+    r.p.visit_chunks(push_ref);
+  }
+  push_literal(buf_.size());
+
+  Payload out;
+  out.length_ = total;
+  if (big != nullptr) {
+    out.rep_ = Payload::SharedRep{std::move(big)};
+  } else {
+    Payload::ChunkRep r;
+    r.count = static_cast<std::uint32_t>(count);
+    for (std::size_t i = 0; i < count; ++i) r.chunk[i] = std::move(small[i]);
+    out.rep_ = std::move(r);
+  }
+  reset();
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Reader
 
 void Reader::need(std::size_t n) const {
-  sim::require(offset_ + n <= payload_.size(), "Reader: payload underrun");
+  sim::require(n <= payload_.size() - offset_, "Reader: payload underrun");
 }
 
-std::uint8_t Reader::u8() {
-  need(1);
-  return payload_.data()[offset_++];
+const std::uint8_t* Reader::fetch_slow(std::size_t n, std::uint8_t* scratch) {
+  need(n);
+  const Payload::Piece p = payload_.locate(offset_, cur_idx_, cur_raw_begin_);
+  piece_data_ = p.data;
+  piece_begin_ = p.view_begin;
+  piece_size_ = p.size;
+  const std::size_t off = offset_ - p.view_begin;
+  if (off + n <= p.size) {
+    offset_ += n;
+    return p.data + off;
+  }
+  payload_.copy_out(offset_, n, scratch);
+  offset_ += n;
+  return scratch;
 }
-
-std::uint16_t Reader::u16() {
-  need(2);
-  const auto* p = payload_.data() + offset_;
-  offset_ += 2;
-  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
-}
-
-std::uint32_t Reader::u32() {
-  need(4);
-  const auto* p = payload_.data() + offset_;
-  offset_ += 4;
-  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
-         (static_cast<std::uint32_t>(p[2]) << 8) | static_cast<std::uint32_t>(p[3]);
-}
-
-std::uint64_t Reader::u64() {
-  const std::uint64_t hi = u32();
-  const std::uint64_t lo = u32();
-  return (hi << 32) | lo;
-}
-
-std::int32_t Reader::i32() { return static_cast<std::int32_t>(u32()); }
-std::int64_t Reader::i64() { return static_cast<std::int64_t>(u64()); }
-
-double Reader::f64() { return std::bit_cast<double>(u64()); }
 
 std::string Reader::str() {
   const std::uint32_t n = u32();
   need(n);
-  std::string s(reinterpret_cast<const char*>(payload_.data() + offset_), n);
+  std::string s(n, '\0');
+  payload_.copy_out(offset_, n, reinterpret_cast<std::uint8_t*>(s.data()));
   offset_ += n;
   return s;
 }

@@ -5,29 +5,97 @@
 // Amoeba RPC headers vs 64-byte Panda RPC headers, 52 vs 40 for the group
 // protocols). Payload is an immutable, cheaply copyable view over shared
 // bytes, with zero-copy slicing for fragmentation.
+//
+// Host-cost design (simulated Ledger charges are unaffected by any of this):
+//
+//   * Payload is a cord: a gather list of up to three inline chunks (or a
+//     shared chunk vector beyond that), so header-prepend, fragmentation and
+//     reassembly splice pointers instead of copying bytes. A contiguous view
+//     is materialized lazily, only where one is truly required.
+//   * Header-sized payloads (<= 64 B, covering all four protocol headers)
+//     are stored inline in the Payload object itself: no heap traffic.
+//   * Payload::zeros references a process-shared static zero page, so bulk
+//     "content-irrelevant" data costs no allocation or memset at any size.
+//   * Writer keeps a reusable scratch buffer plus a small arena of pooled
+//     blocks recycled when no frame references them any more; a long-lived
+//     Writer reaches a steady state of zero allocations per message.
+//
+// Every host allocation made on behalf of payload storage is counted in a
+// thread-local channel (payload_alloc_stats) so tests can assert the steady
+// state really is allocation-free.
 #pragma once
 
+#include <array>
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <span>
 #include <string>
+#include <variant>
 #include <vector>
 
 namespace net {
 
-/// Immutable shared byte string with zero-copy slicing.
+/// Thread-local running totals of payload-storage acquisitions (arena blocks,
+/// shared buffers, chunk vectors, lazy flattens). Monotonic; sample before
+/// and after a region to measure its allocation cost.
+struct PayloadAllocStats {
+  std::uint64_t count = 0;
+  std::uint64_t bytes = 0;
+};
+[[nodiscard]] PayloadAllocStats payload_alloc_stats() noexcept;
+
+/// Immutable shared byte string with zero-copy slicing and concatenation.
 class Payload {
  public:
+  /// Payloads at or below this size are stored inline (no heap storage).
+  static constexpr std::size_t kInlineBytes = 64;
+  /// Cords up to this many chunks avoid a shared chunk vector.
+  static constexpr std::size_t kInlineChunks = 3;
+
   Payload() = default;
   explicit Payload(std::vector<std::uint8_t> bytes);
 
   /// A payload of `n` zero bytes (bulk data whose content is irrelevant).
+  /// Backed by a process-shared zero page: no allocation, no memset.
   static Payload zeros(std::size_t n);
+
+  /// Wrap externally owned bytes; `owner` keeps them alive. Zero-copy.
+  static Payload from_shared(std::shared_ptr<const void> owner,
+                             const std::uint8_t* data, std::size_t size);
 
   [[nodiscard]] std::size_t size() const noexcept { return length_; }
   [[nodiscard]] bool empty() const noexcept { return length_ == 0; }
-  [[nodiscard]] const std::uint8_t* data() const noexcept;
-  [[nodiscard]] std::span<const std::uint8_t> bytes() const noexcept;
+
+  /// Contiguous view; flattens the cord first if needed (allocates once and
+  /// caches the flat form — prefer byte_at/copy_prefix/for_each_chunk on
+  /// potentially-fragmented payloads).
+  [[nodiscard]] const std::uint8_t* data() const;
+  [[nodiscard]] std::span<const std::uint8_t> bytes() const;
+
+  /// True when the view is already a single contiguous run (data() is free).
+  [[nodiscard]] bool contiguous() const noexcept;
+  /// Number of chunks visible through the view.
+  [[nodiscard]] std::size_t chunk_count() const noexcept;
+
+  /// Random access without flattening.
+  [[nodiscard]] std::uint8_t byte_at(std::size_t i) const;
+  /// Copy up to `n` leading bytes into `out`; returns the count copied.
+  std::size_t copy_prefix(std::uint8_t* out, std::size_t n) const noexcept;
+  /// Copy `n` bytes starting at view-offset `pos` (callers check bounds).
+  void copy_out(std::size_t pos, std::size_t n, std::uint8_t* out) const noexcept;
+
+  /// Visit each visible chunk in order: f(const std::uint8_t*, std::size_t).
+  template <typename F>
+  void for_each_chunk(F&& f) const {
+    std::size_t idx = 0, raw_begin = 0, pos = 0;
+    while (pos < length_) {
+      const Piece p = locate(pos, idx, raw_begin);
+      f(p.data, p.size);
+      pos = p.view_begin + p.size;
+    }
+  }
 
   /// Zero-copy sub-range view. Throws SimError if out of range.
   [[nodiscard]] Payload slice(std::size_t offset, std::size_t length) const;
@@ -36,48 +104,210 @@ class Payload {
   [[nodiscard]] bool content_equals(const Payload& other) const noexcept;
 
  private:
-  std::shared_ptr<const std::vector<std::uint8_t>> storage_;
-  std::size_t offset_ = 0;
+  friend class Writer;
+  friend class Reader;
+
+  /// One gather-list entry. `owner` keeps `data` alive; a null owner means
+  /// the bytes are static (the zero page). Inline-stored payloads have no
+  /// Chunk at all — their bytes live in the Payload object itself.
+  struct Chunk {
+    std::shared_ptr<const void> owner;
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+  };
+  struct InlineRep {
+    std::array<std::uint8_t, kInlineBytes> bytes;
+  };
+  struct ChunkRep {
+    std::uint32_t count = 0;
+    std::array<Chunk, kInlineChunks> chunk;
+  };
+  struct SharedRep {
+    std::shared_ptr<const std::vector<Chunk>> chunks;
+  };
+
+  /// A visible run of bytes: covers view offsets
+  /// [view_begin, view_begin + size).
+  struct Piece {
+    const std::uint8_t* data = nullptr;
+    std::size_t size = 0;
+    std::size_t view_begin = 0;
+  };
+
+  [[nodiscard]] std::size_t raw_count() const noexcept;
+  /// Raw chunk `i` as (data, size), ignoring the view.
+  [[nodiscard]] std::pair<const std::uint8_t*, std::size_t> raw_piece(
+      std::size_t i) const noexcept;
+  /// The visible piece containing view-offset `pos`. (idx, raw_begin) is a
+  /// resumable cursor hint: raw chunk index and the raw offset of its first
+  /// byte; both are updated. pos must be < size().
+  Piece locate(std::size_t pos, std::size_t& idx,
+               std::size_t& raw_begin) const noexcept;
+  /// Visit visible chunks with their owners:
+  /// f(const std::shared_ptr<const void>&, const std::uint8_t*, std::size_t).
+  /// Inline-backed payloads yield a null owner and a pointer into *this.
+  template <typename F>
+  void visit_chunks(F&& f) const;
+  /// Replace the cord with a single flat chunk (allocates; cached).
+  void collapse() const;
+
+  static Payload make_inline(const std::uint8_t* data, std::size_t n);
+  static Payload single_chunk(Chunk c, std::size_t size);
+
+  // The view [offset_, offset_ + length_) over the rep's raw bytes. rep_ and
+  // offset_ are mutable so data() can cache the flattened form.
+  mutable std::variant<std::monostate, InlineRep, ChunkRep, SharedRep> rep_;
+  mutable std::size_t offset_ = 0;
   std::size_t length_ = 0;
 };
 
+/// A pool of reusable byte buffers for receive-side reassembly: acquire()
+/// prefers a pooled buffer no frame references any more, so a steady-state
+/// receive loop recycles the same storage instead of allocating per message.
+class BufferPool {
+ public:
+  explicit BufferPool(std::size_t slots = 4) : slots_(slots) {}
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// A writable buffer of exactly `n` bytes (contents unspecified). Wrap the
+  /// filled buffer with Payload::from_shared to hand it off zero-copy.
+  [[nodiscard]] std::shared_ptr<std::vector<std::uint8_t>> acquire(
+      std::size_t n);
+
+ private:
+  std::vector<std::shared_ptr<std::vector<std::uint8_t>>> slots_;
+  std::size_t victim_ = 0;
+};
+
 /// Serializer producing a Payload. All multi-byte values are big-endian.
+///
+/// Literal bytes accumulate in a reusable scratch buffer; payload() splices
+/// payloads >64 B in as chunk references (zero-copy). take() commits the
+/// literal bytes into a pooled arena block and assembles the cord. Reuse one
+/// Writer per protocol object: after warm-up it allocates nothing.
 class Writer {
  public:
-  Writer& u8(std::uint8_t v);
-  Writer& u16(std::uint16_t v);
-  Writer& u32(std::uint32_t v);
-  Writer& u64(std::uint64_t v);
-  Writer& i32(std::int32_t v);
-  Writer& i64(std::int64_t v);
-  Writer& f64(double v);
+  Writer() = default;
+  Writer(const Writer&) = delete;
+  Writer& operator=(const Writer&) = delete;
+
+  Writer& u8(std::uint8_t v) {
+    buf_.push_back(v);
+    return *this;
+  }
+  Writer& u16(std::uint16_t v) {
+    std::uint8_t* p = grow(2);
+    p[0] = static_cast<std::uint8_t>(v >> 8);
+    p[1] = static_cast<std::uint8_t>(v);
+    return *this;
+  }
+  Writer& u32(std::uint32_t v) {
+    std::uint8_t* p = grow(4);
+    p[0] = static_cast<std::uint8_t>(v >> 24);
+    p[1] = static_cast<std::uint8_t>(v >> 16);
+    p[2] = static_cast<std::uint8_t>(v >> 8);
+    p[3] = static_cast<std::uint8_t>(v);
+    return *this;
+  }
+  Writer& u64(std::uint64_t v) {
+    std::uint8_t* p = grow(8);
+    for (int i = 0; i < 8; ++i) {
+      p[i] = static_cast<std::uint8_t>(v >> (56 - 8 * i));
+    }
+    return *this;
+  }
+  Writer& i32(std::int32_t v) { return u32(static_cast<std::uint32_t>(v)); }
+  Writer& i64(std::int64_t v) { return u64(static_cast<std::uint64_t>(v)); }
+  Writer& f64(double v) { return u64(std::bit_cast<std::uint64_t>(v)); }
   Writer& raw(std::span<const std::uint8_t> bytes);
   Writer& payload(const Payload& p);
   Writer& str(const std::string& s);  // u32 length prefix + bytes
   Writer& zeros(std::size_t n);
 
-  [[nodiscard]] std::size_t size() const noexcept { return bytes_.size(); }
+  [[nodiscard]] std::size_t size() const noexcept {
+    return buf_.size() + ref_bytes_;
+  }
 
-  /// Finalize; the Writer is empty afterwards.
+  /// Finalize; the Writer is empty (and reusable) afterwards.
   [[nodiscard]] Payload take();
 
  private:
-  std::vector<std::uint8_t> bytes_;
+  static constexpr std::size_t kArenaBlockBytes = 64 * 1024;
+  static constexpr std::size_t kArenaSlots = 8;
+  static constexpr std::size_t kChunkVecSlots = 4;
+
+  /// A payload spliced into the byte stream after literal offset `at`.
+  struct Ref {
+    Payload p;
+    std::size_t at = 0;
+  };
+
+  /// Append `n` uninitialized-ish bytes to the literal stream and return a
+  /// pointer to them (scalar writers fill them in place).
+  [[nodiscard]] std::uint8_t* grow(std::size_t n) {
+    const std::size_t at = buf_.size();
+    buf_.resize(at + n);
+    return buf_.data() + at;
+  }
+
+  /// Copy `n` bytes into the current arena block (rotating to a free pooled
+  /// block, or allocating, as needed) and return the owning chunk.
+  Payload::Chunk commit(const std::uint8_t* src, std::size_t n);
+  void rotate(std::size_t need);
+  [[nodiscard]] std::shared_ptr<std::vector<Payload::Chunk>> acquire_chunk_vec();
+  void reset();
+
+  std::vector<std::uint8_t> buf_;  // literal bytes of the message being built
+  std::vector<Ref> refs_;
+  std::size_t ref_bytes_ = 0;
+  std::size_t buf_cap_seen_ = 0;
+  std::size_t refs_cap_seen_ = 0;
+
+  std::shared_ptr<std::vector<std::uint8_t>> cur_;
+  std::size_t cur_used_ = 0;
+  std::array<std::shared_ptr<std::vector<std::uint8_t>>, kArenaSlots> slots_;
+  std::size_t victim_ = 0;
+  std::array<std::shared_ptr<std::vector<Payload::Chunk>>, kChunkVecSlots>
+      chunk_slots_;
+  std::size_t chunk_victim_ = 0;
 };
 
 /// Deserializer over a Payload. Underruns throw SimError (a protocol bug,
-/// not a simulated failure).
+/// not a simulated failure). Reads walk the cord with a sequential cursor —
+/// no flattening, even for scalar reads that straddle a chunk boundary.
 class Reader {
  public:
   explicit Reader(Payload p) : payload_(std::move(p)) {}
 
-  std::uint8_t u8();
-  std::uint16_t u16();
-  std::uint32_t u32();
-  std::uint64_t u64();
-  std::int32_t i32();
-  std::int64_t i64();
-  double f64();
+  std::uint8_t u8() {
+    std::uint8_t tmp;
+    return *fetch(1, &tmp);
+  }
+  std::uint16_t u16() {
+    std::uint8_t tmp[2];
+    const std::uint8_t* p = fetch(2, tmp);
+    return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+  }
+  std::uint32_t u32() {
+    std::uint8_t tmp[4];
+    const std::uint8_t* p = fetch(4, tmp);
+    return (static_cast<std::uint32_t>(p[0]) << 24) |
+           (static_cast<std::uint32_t>(p[1]) << 16) |
+           (static_cast<std::uint32_t>(p[2]) << 8) |
+           static_cast<std::uint32_t>(p[3]);
+  }
+  std::uint64_t u64() {
+    std::uint8_t tmp[8];
+    const std::uint8_t* p = fetch(8, tmp);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | p[i];
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+  double f64() { return std::bit_cast<double>(u64()); }
   std::string str();
   /// Consume `n` bytes as a zero-copy sub-payload.
   Payload raw(std::size_t n);
@@ -90,8 +320,30 @@ class Reader {
 
  private:
   void need(std::size_t n) const;
+  /// `n` contiguous bytes at the cursor, either in place or staged into
+  /// `scratch` when the read straddles chunks. Advances the cursor. The
+  /// common case — the read lies inside the piece the cursor already sits
+  /// in — stays inline; everything else goes through fetch_slow.
+  const std::uint8_t* fetch(std::size_t n, std::uint8_t* scratch) {
+    const std::size_t off = offset_ - piece_begin_;
+    if (off + n <= piece_size_) {
+      offset_ += n;
+      return piece_data_ + off;
+    }
+    return fetch_slow(n, scratch);
+  }
+  const std::uint8_t* fetch_slow(std::size_t n, std::uint8_t* scratch);
+
   Payload payload_;
   std::size_t offset_ = 0;
+  // Cord cursor hint (raw chunk index / raw offset of its first byte).
+  std::size_t cur_idx_ = 0;
+  std::size_t cur_raw_begin_ = 0;
+  // The piece the cursor last resolved to: view span
+  // [piece_begin_, piece_begin_ + piece_size_) is contiguous at piece_data_.
+  const std::uint8_t* piece_data_ = nullptr;
+  std::size_t piece_begin_ = 0;
+  std::size_t piece_size_ = 0;
 };
 
 }  // namespace net

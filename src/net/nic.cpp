@@ -1,5 +1,7 @@
 #include "net/nic.h"
 
+#include <array>
+
 #include "trace/tracer.h"
 
 namespace net {
@@ -13,11 +15,13 @@ void Nic::on_frame(const Frame& frame) {
   if (rx_drop_hook_ && rx_drop_hook_(frame)) {
     ++rx_dropped_;
     if (auto* tr = segment_->simulator().tracer()) {
+      // Classification reads at most the first 49 bytes; copy a prefix
+      // instead of flattening a fragmented payload.
+      std::array<std::uint8_t, 64> head;
+      const std::size_t n = frame.payload.copy_prefix(head.data(), head.size());
       tr->record(mac_ - 1, trace::EventKind::kFrameDrop, frame.id,
                  frame.payload.size(), src_dst,
-                 (tr->classify(frame.payload.data(), frame.payload.size())
-                  << 1) |
-                     1);
+                 (tr->classify(head.data(), n) << 1) | 1);
     }
     return;
   }

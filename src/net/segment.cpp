@@ -1,6 +1,7 @@
 #include "net/segment.h"
 
 #include <algorithm>
+#include <array>
 #include <utility>
 
 #include "sim/require.h"
@@ -59,9 +60,14 @@ void Segment::start_next() {
                   ++dropped_;
                   if (auto* tr = sim_->tracer()) {
                     const Payload& pl = p.frame.payload;
+                    // Classification reads at most the first 49 bytes (FLIP
+                    // header + inner type fields); copy a prefix instead of
+                    // flattening a fragmented payload.
+                    std::array<std::uint8_t, 64> head;
+                    const std::size_t n = pl.copy_prefix(head.data(), head.size());
                     tr->record(trace::kNoNode, trace::EventKind::kFrameDrop,
                                p.frame.id, pl.size(), pack_src_dst(p.frame),
-                               (tr->classify(pl.data(), pl.size()) << 1) | 0);
+                               (tr->classify(head.data(), n) << 1) | 0);
                   }
                 } else {
                   const int copies = duplicate ? 2 : 1;

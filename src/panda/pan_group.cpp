@@ -23,8 +23,8 @@ constexpr sim::Time kLagWatchdogInterval = sim::msec(200);
 }  // namespace
 
 net::Payload PanGroup::make_wire(MsgType type, const Unit& unit,
-                                 std::uint32_t horizon) const {
-  net::Writer w;
+                                 std::uint32_t horizon) {
+  net::Writer& w = wire_writer_;
   w.u8(static_cast<std::uint8_t>(type));
   w.u8(0);
   w.u16(unit.frag_idx);
@@ -144,12 +144,8 @@ sim::Co<void> PanGroup::send(Thread& self, net::Payload msg) {
   while (!pending.done) co_await self.block();
   co_await kernel_->syscall_return(c.panda_stack_depth);
   sends_in_flight_.erase(msg_id);
-  if (auto* mx = kernel_->sim().metrics()) {
-    auto& reg = mx->node(kernel_->node());
-    reg.counter("group.sends").add();
-    reg.histogram("group.send_latency_ns")
-        .record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
-  }
+  m_sends_.add();
+  m_send_latency_.record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
 }
 
 void PanGroup::send_retry_tick(std::uint32_t msg_id) {
@@ -168,9 +164,7 @@ void PanGroup::send_retry_tick(std::uint32_t msg_id) {
     }
   }
   ++pending.retries;
-  if (auto* mx = kernel_->sim().metrics()) {
-    mx->node(kernel_->node()).counter("group.retransmits").add();
-  }
+  m_retransmits_.add();
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                (static_cast<std::uint64_t>(kernel_->node()) << 32) | msg_id,
@@ -256,7 +250,7 @@ sim::Co<void> PanGroup::seq_handle(Thread& self, SysMsg msg) {
         }
       }
       if (!complete) break;
-      net::Writer assembled;
+      net::Writer& assembled = assembled_writer_;
       for (std::uint16_t i = 0; i < unit.frag_count; ++i) {
         const UnitKey k{unit.sender, unit.msg_id, i};
         assembled.payload(bb_bodies_.at(k));
@@ -467,7 +461,7 @@ sim::Co<void> PanGroup::on_group_message(SysMsg msg) {
         if (complete) {
           Unit ready = pa->second;
           pending_accepts_.erase(pa);
-          net::Writer assembled;
+          net::Writer& assembled = assembled_writer_;
           for (std::uint16_t i = 0; i < ready.frag_count; ++i) {
             const UnitKey k{ready.sender, ready.msg_id, i};
             assembled.payload(bb_bodies_.at(k));
@@ -501,7 +495,7 @@ sim::Co<void> PanGroup::on_group_message(SysMsg msg) {
         pending_accepts_[{unit.sender, unit.msg_id}] = unit;
         break;
       }
-      net::Writer assembled;
+      net::Writer& assembled = assembled_writer_;
       for (std::uint16_t i = 0; i < unit.frag_count; ++i) {
         const UnitKey k{unit.sender, unit.msg_id, i};
         assembled.payload(bb_bodies_.at(k));
@@ -568,9 +562,7 @@ sim::Co<void> PanGroup::deliver_ready() {
         d.sender_thread = sit->second->thread;
       }
     }
-    if (auto* mx = kernel_->sim().metrics()) {
-      mx->node(kernel_->node()).counter("group.deliveries").add();
-    }
+    m_deliveries_.add();
     if (auto* tr = kernel_->sim().tracer()) {
       tr->record(kernel_->node(), trace::EventKind::kGroupDeliver, d.seqno,
                  d.sender, d.payload.size());

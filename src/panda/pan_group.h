@@ -27,6 +27,7 @@
 #include <unordered_map>
 
 #include "amoeba/kernel.h"
+#include "metrics/handles.h"
 #include "panda/pan_sys.h"
 #include "panda/panda.h"
 #include "sim/co.h"
@@ -36,7 +37,13 @@ namespace panda {
 class PanGroup {
  public:
   PanGroup(Kernel& kernel, PanSys& sys, const ClusterConfig& config)
-      : kernel_(&kernel), sys_(&sys), config_(&config) {}
+      : kernel_(&kernel), sys_(&sys), config_(&config) {
+    const metrics::NodeMetrics nm(kernel.sim().metrics(), kernel.node());
+    m_sends_ = nm.counter("group.sends");
+    m_retransmits_ = nm.counter("group.retransmits");
+    m_deliveries_ = nm.counter("group.deliveries");
+    m_send_latency_ = nm.histogram("group.send_latency_ns");
+  }
 
   PanGroup(const PanGroup&) = delete;
   PanGroup& operator=(const PanGroup&) = delete;
@@ -140,7 +147,7 @@ class PanGroup {
   void send_retry_tick(std::uint32_t msg_id);
 
   [[nodiscard]] net::Payload make_wire(MsgType type, const Unit& unit,
-                                       std::uint32_t horizon) const;
+                                       std::uint32_t horizon);
   [[nodiscard]] static Unit parse_wire(const net::Payload& p,
                                        std::size_t header_bytes,
                                        std::uint8_t& type_out,
@@ -149,6 +156,12 @@ class PanGroup {
   Kernel* kernel_;
   PanSys* sys_;
   const ClusterConfig* config_;
+  net::Writer wire_writer_;
+  net::Writer assembled_writer_;  // reassembles BB bodies; never held across a suspend
+  metrics::CounterHandle m_sends_;
+  metrics::CounterHandle m_retransmits_;
+  metrics::CounterHandle m_deliveries_;
+  metrics::HistogramHandle m_send_latency_;
   GroupHandler handler_;
   Thread* seq_thread_ = nullptr;
   std::unique_ptr<SequencerState> seq_;

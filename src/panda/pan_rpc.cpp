@@ -29,8 +29,8 @@ void PanRpc::start() {
 
 net::Payload PanRpc::make_wire(MsgType type, std::uint32_t trans_id,
                                std::uint32_t piggyback_ack,
-                               const net::Payload& body) const {
-  net::Writer w;
+                               const net::Payload& body) {
+  net::Writer& w = wire_writer_;
   w.u8(static_cast<std::uint8_t>(type));
   w.u32(trans_id);
   w.u32(piggyback_ack);
@@ -103,15 +103,11 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
                trans_key(kernel_->node(), trans_id),
                result.status == RpcStatus::kOk ? 0 : 1);
   }
-  if (auto* mx = kernel_->sim().metrics()) {
-    auto& reg = mx->node(kernel_->node());
-    reg.counter("rpc.calls").add();
-    if (result.status == RpcStatus::kOk) {
-      reg.histogram("rpc.latency_ns")
-          .record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
-    } else {
-      reg.counter("rpc.timeouts").add();
-    }
+  m_calls_.add();
+  if (result.status == RpcStatus::kOk) {
+    m_latency_.record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
+  } else {
+    m_timeouts_.add();
   }
   co_return result;
 }
@@ -131,9 +127,7 @@ void PanRpc::retransmit_tick(std::uint32_t trans_id) {
   }
   ++out.sends;
   ++retransmits_;
-  if (auto* mx = kernel_->sim().metrics()) {
-    mx->node(kernel_->node()).counter("rpc.retransmits").add();
-  }
+  m_retransmits_.add();
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                trans_key(kernel_->node(), trans_id),
@@ -203,9 +197,7 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
         Thread* daemon = sys_->daemon_thread();
         if (it->second.replied) {
           ++retransmits_;
-          if (auto* mx = kernel_->sim().metrics()) {
-            mx->node(kernel_->node()).counter("rpc.retransmits").add();
-          }
+          m_retransmits_.add();
           if (auto* tr = kernel_->sim().tracer()) {
             tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                        trans_key(msg.src, trans_id),

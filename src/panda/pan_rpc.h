@@ -18,6 +18,7 @@
 #include <unordered_map>
 
 #include "amoeba/kernel.h"
+#include "metrics/handles.h"
 #include "panda/pan_sys.h"
 #include "panda/panda.h"
 #include "sim/co.h"
@@ -27,7 +28,13 @@ namespace panda {
 class PanRpc {
  public:
   PanRpc(Kernel& kernel, PanSys& sys, const ClusterConfig& config)
-      : kernel_(&kernel), sys_(&sys), config_(&config) {}
+      : kernel_(&kernel), sys_(&sys), config_(&config) {
+    const metrics::NodeMetrics nm(kernel.sim().metrics(), kernel.node());
+    m_calls_ = nm.counter("rpc.calls");
+    m_timeouts_ = nm.counter("rpc.timeouts");
+    m_retransmits_ = nm.counter("rpc.retransmits");
+    m_latency_ = nm.histogram("rpc.latency_ns");
+  }
 
   PanRpc(const PanRpc&) = delete;
   PanRpc& operator=(const PanRpc&) = delete;
@@ -88,13 +95,18 @@ class PanRpc {
   [[nodiscard]] sim::Co<void> on_message(SysMsg msg);
   [[nodiscard]] net::Payload make_wire(MsgType type, std::uint32_t trans_id,
                                        std::uint32_t piggyback_ack,
-                                       const net::Payload& body) const;
+                                       const net::Payload& body);
   void retransmit_tick(std::uint32_t trans_id);
   void ack_tick(NodeId dst);
   [[nodiscard]] sim::Co<void> charge_locks(int n);
 
   Kernel* kernel_;
   PanSys* sys_;
+  net::Writer wire_writer_;
+  metrics::CounterHandle m_calls_;
+  metrics::CounterHandle m_timeouts_;
+  metrics::CounterHandle m_retransmits_;
+  metrics::HistogramHandle m_latency_;
   const ClusterConfig* config_;
   RpcHandler handler_;
   std::uint32_t next_trans_ = 1;

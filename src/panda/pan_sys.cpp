@@ -97,16 +97,6 @@ sim::Co<void> PanSys::send_impl(Thread& self, amoeba::FlipAddr dst,
   std::size_t offset = 0;
   for (std::uint16_t idx = 0; idx < frag_count; ++idx) {
     const std::size_t chunk = std::min(kFragmentData, total - offset);
-    net::Writer w;
-    w.u8(static_cast<std::uint8_t>(m));
-    w.u8(0);
-    w.u16(idx);
-    w.u16(frag_count);
-    w.u16(0);
-    w.u32(kernel_->node());
-    w.u32(msg_id);
-    w.payload(msg.slice(offset, chunk));
-    offset += chunk;
     ++fragments_;
     // User-level fragment: no frame id / FLIP address yet (a=0, c=0); the
     // FLIP layer below traces the wire-level fragments.
@@ -119,6 +109,18 @@ sim::Co<void> PanSys::send_impl(Thread& self, amoeba::FlipAddr dst,
     co_await kernel_->syscall_enter();
     co_await kernel_->user_flip_translation();
     co_await kernel_->copy_boundary(chunk + kPanHeader);
+    // Serialize only after the charges above: the member writer must never be
+    // held across a suspend, and none of those costs depend on the bytes.
+    net::Writer& w = frame_writer_;
+    w.u8(static_cast<std::uint8_t>(m));
+    w.u8(0);
+    w.u16(idx);
+    w.u16(frag_count);
+    w.u16(0);
+    w.u32(kernel_->node());
+    w.u32(msg_id);
+    w.payload(msg.slice(offset, chunk));
+    offset += chunk;
     if (is_multicast) {
       co_await kernel_->flip().multicast(dst, w.take(), Prio::kKernel);
     } else {
@@ -161,7 +163,7 @@ sim::Co<void> PanSys::on_flip_message(amoeba::FlipMessage m) {
     p.module = module;
     if (p.chunks.emplace(idx, std::move(chunk)).second) ++p.received;
     if (p.received != p.expected) co_return;
-    net::Writer w;
+    net::Writer& w = reasm_writer_;
     for (auto& [i, part] : p.chunks) w.payload(part);
     complete = SysMsg(src, w.take());
     complete_module = p.module;

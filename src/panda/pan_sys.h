@@ -128,6 +128,10 @@ class PanSys {
   [[nodiscard]] sim::Co<void> daemon_loop(Thread& self);
 
   Kernel* kernel_;
+  // Reusable frame/reassembly serializers (host-side; never held across a
+  // suspend — each is fully built and taken within one resume).
+  net::Writer frame_writer_;
+  net::Writer reasm_writer_;
   std::unordered_map<std::uint8_t, Handler> handlers_;
   Thread* daemon_ = nullptr;
   Thread* sequencer_thread_ = nullptr;

@@ -1,0 +1,161 @@
+// Steady-state allocation audit of the message path (ISSUE 5 satellite).
+//
+// After a warm-up phase — enough traffic for every Writer arena, buffer pool
+// and metrics slab to reach capacity — an 8-byte RPC loop and a 1 MB group
+// broadcast must perform ZERO payload-storage allocations per message, on
+// both bindings. Payload storage is counted at the acquisition sites
+// (net::payload_alloc_stats), so the assertion holds under sanitizers too;
+// the global operator-new audit (tests/support/alloc_audit.h) additionally
+// bounds total host allocations when its hooks are active.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "amoeba/world.h"
+#include "net/buffer.h"
+#include "panda/panda.h"
+#include "support/alloc_audit.h"
+
+namespace {
+
+using amoeba::Thread;
+using panda::Binding;
+
+struct Window {
+  net::PayloadAllocStats payload;
+  testsupport::AllocCounts global;
+};
+
+Window sample() { return Window{net::payload_alloc_stats(), testsupport::alloc_counts()}; }
+
+struct AuditOutcome {
+  // RPC phase: [rpc_before, rpc_after) brackets the measured iterations.
+  Window rpc_before, rpc_after;
+  // Broadcast phase likewise.
+  Window bcast_before, bcast_after;
+  int rpc_ok = 0;
+  std::uint64_t deliveries = 0;
+};
+
+// A Writer retires a 64 KiB arena block roughly every ~450 small messages;
+// warm-up must push every writer on the path through all eight of its arena
+// slots (~3600 messages) before the measured window opens.
+constexpr int kRpcWarmup = 6000;
+constexpr int kRpcMeasured = 2000;
+constexpr int kBcastWarmup = 10;
+constexpr int kBcastMeasured = 10;
+constexpr std::size_t kBulkBytes = 1 << 20;
+
+AuditOutcome run(Binding binding) {
+  amoeba::WorldConfig wc;
+  wc.metrics = true;  // the interned-handle path must be allocation-free too
+  // A 1 MB message needs ~0.84 s of wire time on the paper's 10 Mbit/s
+  // Ethernet — longer than every protocol timeout (50 ms reassembly sweep,
+  // 100 ms send retry), so bulk broadcasts would retransmit forever. This
+  // test is about HOST allocation behaviour, not the era's wire speed: run
+  // the same protocols over a 100x faster link so 1 MB messages fit inside
+  // the timeouts and the protocols quiesce.
+  wc.network.wire.ns_per_byte = 8;
+  // Even then, the receiver's modeled per-byte copy charge (50 ns/byte,
+  // ~52 ms/MB of interrupt-priority CPU) exceeds the default 50 ms
+  // reassembly window, so give bulk reassembly a comfortable deadline.
+  wc.costs.reassembly_timeout = sim::sec(1);
+  amoeba::World world(wc);
+  world.add_nodes(4);
+
+  panda::ClusterConfig cfg;
+  cfg.binding = binding;
+  cfg.nodes = {0, 1, 2, 3};
+  std::vector<std::unique_ptr<panda::Panda>> pandas;
+  AuditOutcome out;
+  for (amoeba::NodeId i = 0; i < 4; ++i) {
+    pandas.push_back(panda::make_panda(world.kernel(i), cfg));
+    pandas.back()->set_group_handler(
+        [&out](Thread&, amoeba::NodeId, std::uint32_t,
+               net::Payload) -> sim::Co<void> {
+          ++out.deliveries;
+          co_return;
+        });
+  }
+  pandas[1]->set_rpc_handler(
+      [&](Thread& upcall, panda::RpcTicket t, net::Payload req) -> sim::Co<void> {
+        co_await pandas[1]->rpc_reply(upcall, t, std::move(req));
+      });
+  for (auto& p : pandas) p->start();
+
+  sim::spawn([](panda::Panda& p, amoeba::World& w, AuditOutcome& out) -> sim::Co<void> {
+    Thread& self = w.kernel(0).create_thread("driver");
+    for (int i = 0; i < kRpcWarmup + kRpcMeasured; ++i) {
+      if (i == kRpcWarmup) out.rpc_before = sample();
+      panda::RpcReply r = co_await p.rpc(self, 1, net::Payload::zeros(8));
+      if (r.status == panda::RpcStatus::kOk) ++out.rpc_ok;
+    }
+    out.rpc_after = sample();
+
+    for (int i = 0; i < kBcastWarmup + kBcastMeasured; ++i) {
+      if (i == kBcastWarmup) out.bcast_before = sample();
+      co_await p.group_send(self, net::Payload::zeros(kBulkBytes));
+      // group_send returns at the sender's own delivery; the other members
+      // are still draining their receive queues (the modeled per-byte copy
+      // makes a 1 MB delivery take ~52 ms of receiver CPU). Wait for all
+      // four members' handlers to consume this round so queued bodies don't
+      // accumulate — a real throughput harness paces on delivery completion.
+      const std::uint64_t want = 4ull * (i + 1);
+      while (out.deliveries < want) co_await sim::delay(w.sim(), sim::msec(1));
+    }
+    out.bcast_after = sample();
+  }(*pandas[0], world, out));
+  world.sim().run();
+  return out;
+}
+
+class AllocAudit : public ::testing::TestWithParam<Binding> {};
+
+TEST_P(AllocAudit, SteadyStateMessagePathAllocatesNoPayloadStorage) {
+  const AuditOutcome out = run(GetParam());
+
+  // The traffic actually happened.
+  ASSERT_EQ(out.rpc_ok, kRpcWarmup + kRpcMeasured);
+  ASSERT_GE(out.deliveries,
+            static_cast<std::uint64_t>(4 * (kBcastWarmup + kBcastMeasured)));
+
+  // Tentpole claim: zero payload-storage allocations per message once warm.
+  EXPECT_EQ(out.rpc_after.payload.count - out.rpc_before.payload.count, 0u)
+      << "8-byte RPC loop allocated payload storage after warm-up";
+  EXPECT_EQ(out.bcast_after.payload.count - out.bcast_before.payload.count, 0u)
+      << "1 MB group broadcast allocated payload storage after warm-up";
+
+  // When the operator-new hooks are live, also bound host allocations.
+  // Small allocations (coroutine frames, event-queue and map nodes — a few
+  // hundred per simulated RPC, thousands per fragmented 1 MB broadcast) are
+  // per-event machinery, not data-path copies, so the broadcast bound looks
+  // only at LARGE requests: a reintroduced bulk copy allocates >= chunk-size
+  // blocks and would trip it immediately.
+  if (testsupport::alloc_counting_enabled()) {
+    const std::uint64_t rpc_news =
+        out.rpc_after.global.news - out.rpc_before.global.news;
+    const std::uint64_t bcast_large =
+        out.bcast_after.global.large_bytes - out.bcast_before.global.large_bytes;
+    EXPECT_LT(rpc_news / kRpcMeasured, 600u);
+    // Far below one 1 MB copy per broadcast.
+    EXPECT_LT(bcast_large / kBcastMeasured, kBulkBytes / 4);
+    ::testing::Test::RecordProperty(
+        "rpc_news_per_iter", static_cast<int>(rpc_news / kRpcMeasured));
+    ::testing::Test::RecordProperty(
+        "bcast_large_bytes_per_iter",
+        static_cast<int>(bcast_large / kBcastMeasured));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bindings, AllocAudit,
+                         ::testing::Values(Binding::kKernelSpace,
+                                           Binding::kUserSpace),
+                         [](const auto& info) {
+                           return info.param == Binding::kKernelSpace
+                                      ? "KernelSpace"
+                                      : "UserSpace";
+                         });
+
+}  // namespace

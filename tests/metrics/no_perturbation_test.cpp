@@ -55,13 +55,13 @@ TEST(MetricsWorkload, CountersMatchTheWorkloadShape) {
     WorkloadResult r = run_fault_workload(binding, 7, Fault::kNone, true);
     ASSERT_NE(r.bed->metrics(), nullptr);
     const metrics::MetricsRegistry agg = r.bed->metrics()->aggregate();
-    EXPECT_EQ(agg.counters().at("rpc.calls").value, 16U);
-    EXPECT_EQ(agg.counters().at("group.sends").value, 6U);
-    EXPECT_EQ(agg.counters().at("group.deliveries").value, 24U);
+    EXPECT_EQ(agg.counters().at("rpc.calls")->value, 16U);
+    EXPECT_EQ(agg.counters().at("group.sends")->value, 6U);
+    EXPECT_EQ(agg.counters().at("group.deliveries")->value, 24U);
     EXPECT_EQ(agg.counters().count("rpc.timeouts"), 0U);  // fault-free run
     // Every completed RPC contributed one latency sample.
-    EXPECT_EQ(agg.histograms().at("rpc.latency_ns").count(), 16U);
-    EXPECT_EQ(agg.histograms().at("group.send_latency_ns").count(), 6U);
+    EXPECT_EQ(agg.histograms().at("rpc.latency_ns")->count(), 16U);
+    EXPECT_EQ(agg.histograms().at("group.send_latency_ns")->count(), 6U);
   }
 }
 
@@ -73,8 +73,8 @@ TEST(MetricsWorkload, FaultsShowUpAsRetransmits) {
   const auto it = agg.counters().find("rpc.retransmits");
   const auto git = agg.counters().find("group.retransmits");
   const std::uint64_t retrans =
-      (it != agg.counters().end() ? it->second.value : 0) +
-      (git != agg.counters().end() ? git->second.value : 0);
+      (it != agg.counters().end() ? it->second->value : 0) +
+      (git != agg.counters().end() ? git->second->value : 0);
   EXPECT_GT(retrans, 0U);
 }
 

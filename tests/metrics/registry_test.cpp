@@ -2,6 +2,9 @@
 // hub's tracer-style attach/detach contract on the simulator.
 #include <gtest/gtest.h>
 
+#include <utility>
+
+#include "metrics/handles.h"
 #include "metrics/registry.h"
 #include "sim/simulator.h"
 
@@ -73,11 +76,59 @@ TEST(Metrics, AggregateMergesGlobalAndAllNodes) {
   hub.node(1).histogram("lat").record(150);
 
   const MetricsRegistry agg = hub.aggregate();
-  EXPECT_EQ(agg.counters().at("net.bytes").value, 1000U);
-  EXPECT_EQ(agg.counters().at("rpc.calls").value, 10U);
-  EXPECT_EQ(agg.histograms().at("lat").count(), 2U);
-  EXPECT_EQ(agg.histograms().at("lat").max(), 150U);
+  EXPECT_EQ(agg.counters().at("net.bytes")->value, 1000U);
+  EXPECT_EQ(agg.counters().at("rpc.calls")->value, 10U);
+  EXPECT_EQ(agg.histograms().at("lat")->count(), 2U);
+  EXPECT_EQ(agg.histograms().at("lat")->max(), 150U);
   EXPECT_EQ(hub.nodes().size(), 2U);
+}
+
+TEST(MetricsRegistry, CopyAndMoveKeepViewsConsistent) {
+  MetricsRegistry a;
+  a.counter("rpc.calls").add(7);
+  a.histogram("lat").record(100);
+
+  // Copy rebuilds the pointer index against the copy's own slab.
+  MetricsRegistry b = a;
+  b.counter("rpc.calls").add(1);
+  EXPECT_EQ(a.counters().at("rpc.calls")->value, 7U);
+  EXPECT_EQ(b.counters().at("rpc.calls")->value, 8U);
+  EXPECT_NE(a.counters().at("rpc.calls"), b.counters().at("rpc.calls"));
+
+  // Move keeps the index valid (deque elements don't move).
+  MetricsRegistry c = std::move(b);
+  EXPECT_EQ(c.counters().at("rpc.calls")->value, 8U);
+  EXPECT_EQ(c.histograms().at("lat")->count(), 1U);
+}
+
+TEST(Handles, ResolveLazilyAndRecordThroughCachedSlot) {
+  sim::Simulator s;
+  Metrics hub(s);
+  const metrics::NodeMetrics nm(s.metrics(), 2);
+  metrics::CounterHandle calls = nm.counter("rpc.calls");
+  metrics::CounterHandle timeouts = nm.counter("rpc.timeouts");
+  metrics::HistogramHandle lat = nm.histogram("rpc.latency_ns");
+
+  // Lazy interning: nothing exists until the first record, so a metric that
+  // never fires never appears (the fault-free-run property).
+  EXPECT_TRUE(hub.node(2).empty());
+  calls.add();
+  calls.add(2);
+  lat.record(500);
+  EXPECT_EQ(hub.node(2).counter("rpc.calls").value, 3U);
+  EXPECT_EQ(hub.node(2).histogram("rpc.latency_ns").count(), 1U);
+  EXPECT_EQ(hub.node(2).counters().count("rpc.timeouts"), 0U);
+  (void)timeouts;
+}
+
+TEST(Handles, DetachedHubMakesHandlesInert) {
+  const metrics::NodeMetrics nm(nullptr, 0);
+  metrics::CounterHandle c = nm.counter("x");
+  metrics::HistogramHandle h = nm.histogram("y");
+  metrics::GaugeHandle g = nm.gauge("z");
+  c.add();
+  h.record(1);
+  g.set(1.0);  // no crash, no effect
 }
 
 }  // namespace

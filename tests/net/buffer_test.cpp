@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+#include <vector>
+
 #include "sim/require.h"
 
 namespace net {
@@ -121,6 +125,177 @@ TEST(Writer, TakeResets) {
   w.u8(2);
   Payload p = w.take();
   EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Payload, SliceNearSizeMaxDoesNotOverflow) {
+  // Regression: `offset + length` used to wrap around SIZE_MAX and pass the
+  // bounds check, yielding a "valid" slice far beyond the payload.
+  Payload p = Payload::zeros(10);
+  constexpr std::size_t kMax = std::numeric_limits<std::size_t>::max();
+  EXPECT_THROW((void)p.slice(5, kMax - 2), sim::SimError);
+  EXPECT_THROW((void)p.slice(kMax, 1), sim::SimError);
+  EXPECT_THROW((void)p.slice(kMax, kMax), sim::SimError);
+  EXPECT_THROW((void)p.slice(0, kMax), sim::SimError);
+  EXPECT_NO_THROW((void)p.slice(0, 10));
+}
+
+TEST(Payload, ZerosIsAllocationFreeAtAnySmallOrBulkSize) {
+  const PayloadAllocStats before = payload_alloc_stats();
+  Payload small = Payload::zeros(8);
+  Payload bulk = Payload::zeros(1 << 20);
+  Payload multi = Payload::zeros(2 << 20);  // spans two zero-page chunks
+  const PayloadAllocStats after = payload_alloc_stats();
+  EXPECT_EQ(after.count, before.count);
+  EXPECT_EQ(small.size(), 8u);
+  EXPECT_EQ(bulk.size(), 1u << 20);
+  EXPECT_EQ(multi.size(), 2u << 20);
+  EXPECT_EQ(bulk.byte_at(0), 0);
+  EXPECT_EQ(multi.byte_at((2 << 20) - 1), 0);
+  // Slicing bulk zeros is also free.
+  const PayloadAllocStats b2 = payload_alloc_stats();
+  Payload frag = bulk.slice(12345, 1468);
+  EXPECT_EQ(payload_alloc_stats().count, b2.count);
+  EXPECT_EQ(frag.size(), 1468u);
+}
+
+TEST(Payload, SmallVectorsAreStoredInline) {
+  std::vector<std::uint8_t> v(Payload::kInlineBytes);
+  for (std::size_t i = 0; i < v.size(); ++i) v[i] = static_cast<std::uint8_t>(i);
+  const PayloadAllocStats before = payload_alloc_stats();
+  Payload p(std::move(v));
+  EXPECT_EQ(payload_alloc_stats().count, before.count);
+  EXPECT_TRUE(p.contiguous());
+  EXPECT_EQ(p.size(), Payload::kInlineBytes);
+  EXPECT_EQ(p.byte_at(63), 63);
+  // Copies and slices of an inline payload are self-contained values.
+  Payload q = p.slice(10, 20);
+  p = Payload();
+  EXPECT_EQ(q.byte_at(0), 10);
+}
+
+TEST(Payload, CordGathersChunksWithoutCopying) {
+  std::vector<std::uint8_t> big(300);
+  for (std::size_t i = 0; i < big.size(); ++i)
+    big[i] = static_cast<std::uint8_t>(i & 0xFF);
+  Payload body(std::move(big));
+
+  Writer w;
+  w.u16(0xCAFE);
+  w.payload(body);   // > 64 B: spliced by reference
+  w.u16(0xBEEF);
+  Payload frame = w.take();
+  EXPECT_EQ(frame.size(), 304u);
+  EXPECT_FALSE(frame.contiguous());
+  EXPECT_GE(frame.chunk_count(), 2u);
+
+  // Random access and bulk copies work without flattening.
+  EXPECT_EQ(frame.byte_at(0), 0xCA);
+  EXPECT_EQ(frame.byte_at(2), 0);
+  EXPECT_EQ(frame.byte_at(2 + 299), 299 & 0xFF);
+  EXPECT_EQ(frame.byte_at(303), 0xEF);
+  std::uint8_t out[8] = {};
+  frame.copy_out(300, 4, out);
+  EXPECT_EQ(out[0], static_cast<std::uint8_t>(298 & 0xFF));
+  EXPECT_EQ(out[2], 0xBE);
+
+  // for_each_chunk walks the gather list in order and covers every byte.
+  std::vector<std::uint8_t> gathered;
+  frame.for_each_chunk([&](const std::uint8_t* d, std::size_t n) {
+    gathered.insert(gathered.end(), d, d + n);
+  });
+  ASSERT_EQ(gathered.size(), frame.size());
+  for (std::size_t i = 0; i < gathered.size(); ++i)
+    EXPECT_EQ(gathered[i], frame.byte_at(i)) << i;
+
+  // data() flattens lazily and agrees with the chunked view.
+  const std::uint8_t* flat = frame.data();
+  for (std::size_t i = 0; i < frame.size(); ++i) EXPECT_EQ(flat[i], gathered[i]);
+  EXPECT_TRUE(frame.contiguous());  // cached flat form
+}
+
+TEST(Payload, SliceAcrossChunkBoundaries) {
+  Writer w;
+  w.zeros(10);
+  std::vector<std::uint8_t> big(100, 0xAA);
+  w.payload(Payload(std::move(big)));
+  w.u32(0x01020304);
+  Payload p = w.take();
+  Payload mid = p.slice(8, 100);  // 2 zeros + 98 of 0xAA
+  EXPECT_EQ(mid.size(), 100u);
+  EXPECT_EQ(mid.byte_at(0), 0);
+  EXPECT_EQ(mid.byte_at(2), 0xAA);
+  EXPECT_EQ(mid.byte_at(99), 0xAA);
+  Payload tail = p.slice(108, 6);  // last 2 of 0xAA + the u32
+  EXPECT_EQ(tail.byte_at(2), 0x01);
+  EXPECT_EQ(tail.byte_at(5), 0x04);
+  // Equality across different chunkings.
+  EXPECT_TRUE(p.slice(10, 100).content_equals(
+      Payload(std::vector<std::uint8_t>(100, 0xAA))));
+}
+
+TEST(Reader, ScalarsThatStraddleChunksAreStaged) {
+  std::vector<std::uint8_t> a(100);
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = static_cast<std::uint8_t>(i);
+  Writer w;
+  w.payload(Payload(std::move(a)));
+  w.u32(0xDEADBEEF);
+  Reader r(w.take());
+  Payload head = r.raw(98);
+  EXPECT_EQ(head.size(), 98u);
+  // This u32 spans the ref chunk boundary (bytes 98..101).
+  const std::uint32_t v = r.u32();
+  EXPECT_EQ(v, 0x6263DEADu);  // 98, 99, then the first two header bytes
+  EXPECT_EQ(r.u16(), 0xBEEFu);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(Writer, SteadyStateLoopIsAllocationFree) {
+  Writer w;
+  Payload bulk = Payload::zeros(1 << 20);
+  auto build = [&] {
+    w.u32(0xABCD0123);
+    w.zeros(28);                      // pad to a 32-byte header
+    w.payload(bulk.slice(4096, 1468));  // one fragment of bulk data
+    return w.take();
+  };
+  // Warm-up: let the scratch buffer, ref list and arena pool reach capacity
+  // (the arena rotates every ~2048 frames; warm two full blocks).
+  for (int i = 0; i < 5000; ++i) (void)build();
+  const PayloadAllocStats before = payload_alloc_stats();
+  for (int i = 0; i < 5000; ++i) {
+    Payload frame = build();
+    EXPECT_EQ(frame.size(), 32u + 1468u);
+  }
+  EXPECT_EQ(payload_alloc_stats().count, before.count);
+}
+
+TEST(BufferPool, RecyclesBuffersOnceUnreferenced) {
+  BufferPool pool;
+  std::shared_ptr<std::vector<std::uint8_t>> first = pool.acquire(1024);
+  const void* storage = first->data();
+  first.reset();  // no frame references it any more
+  const PayloadAllocStats before = payload_alloc_stats();
+  std::shared_ptr<std::vector<std::uint8_t>> again = pool.acquire(1000);
+  EXPECT_EQ(payload_alloc_stats().count, before.count);
+  EXPECT_EQ(static_cast<const void*>(again->data()), storage);
+  EXPECT_EQ(again->size(), 1000u);
+
+  // A buffer still referenced by a payload is NOT recycled.
+  Payload held = Payload::from_shared(again, again->data(), again->size());
+  std::shared_ptr<std::vector<std::uint8_t>> other = pool.acquire(1024);
+  EXPECT_NE(static_cast<const void*>(other->data()), storage);
+  EXPECT_EQ(held.size(), 1000u);
+}
+
+TEST(Payload, FromSharedKeepsOwnerAlive) {
+  auto buf = std::make_shared<std::vector<std::uint8_t>>(128, 0x5A);
+  Payload p = Payload::from_shared(buf, buf->data(), buf->size());
+  std::weak_ptr<std::vector<std::uint8_t>> watch = buf;
+  buf.reset();
+  EXPECT_FALSE(watch.expired());
+  EXPECT_EQ(p.byte_at(127), 0x5A);
+  p = Payload();
+  EXPECT_TRUE(watch.expired());
 }
 
 }  // namespace

@@ -1,0 +1,121 @@
+// Counting global operator new/delete. See alloc_audit.h for the sanitizer
+// interaction that gates these hooks out.
+#include "support/alloc_audit.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__) || \
+    defined(__SANITIZE_MEMORY__)
+#define ALLOC_AUDIT_HOOKS_DISABLED 1
+#endif
+#if !defined(ALLOC_AUDIT_HOOKS_DISABLED) && defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define ALLOC_AUDIT_HOOKS_DISABLED 1
+#endif
+#endif
+
+namespace testsupport {
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+std::atomic<std::uint64_t> g_deletes{0};
+std::atomic<std::uint64_t> g_bytes{0};
+std::atomic<std::uint64_t> g_large_news{0};
+std::atomic<std::uint64_t> g_large_bytes{0};
+
+}  // namespace
+
+AllocCounts alloc_counts() noexcept {
+  AllocCounts c;
+  c.news = g_news.load(std::memory_order_relaxed);
+  c.deletes = g_deletes.load(std::memory_order_relaxed);
+  c.bytes = g_bytes.load(std::memory_order_relaxed);
+  c.large_news = g_large_news.load(std::memory_order_relaxed);
+  c.large_bytes = g_large_bytes.load(std::memory_order_relaxed);
+  return c;
+}
+
+bool alloc_counting_enabled() noexcept {
+#if defined(ALLOC_AUDIT_HOOKS_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace testsupport
+
+#if !defined(ALLOC_AUDIT_HOOKS_DISABLED)
+
+namespace {
+
+void note(std::size_t size) noexcept {
+  testsupport::g_news.fetch_add(1, std::memory_order_relaxed);
+  testsupport::g_bytes.fetch_add(size, std::memory_order_relaxed);
+  if (size >= testsupport::kLargeAllocBytes) {
+    testsupport::g_large_news.fetch_add(1, std::memory_order_relaxed);
+    testsupport::g_large_bytes.fetch_add(size, std::memory_order_relaxed);
+  }
+}
+
+void* counted_alloc(std::size_t size) {
+  note(size);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void counted_free(void* p) noexcept {
+  if (p == nullptr) return;
+  testsupport::g_deletes.fetch_add(1, std::memory_order_relaxed);
+  std::free(p);
+}
+
+void* counted_alloc_aligned(std::size_t size, std::size_t align) {
+  note(size);
+  if (void* p = std::aligned_alloc(align, (size + align - 1) / align * align))
+    return p;
+  throw std::bad_alloc();
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  try {
+    return counted_alloc(size);
+  } catch (...) {
+    return nullptr;
+  }
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { counted_free(p); }
+void operator delete[](void* p) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::size_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { counted_free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  counted_free(p);
+}
+
+#endif  // !ALLOC_AUDIT_HOOKS_DISABLED

@@ -1,0 +1,54 @@
+// Scoped allocation audit for tests: counts every global operator new/delete
+// in the linking binary, so a test can assert that a region performs a
+// bounded (or zero) number of host allocations.
+//
+// The hooks replace the global allocation functions, which clashes with the
+// sanitizers' own interposition (ASan/TSan/MSan intercept malloc and account
+// allocations themselves). Under those sanitizers the hooks compile away and
+// `enabled()` reports false; tests should skip the global-count assertions
+// (the net::payload_alloc_stats channel remains valid everywhere — it counts
+// at the call site, not in the allocator).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace testsupport {
+
+struct AllocCounts {
+  std::uint64_t news = 0;     // operator new / new[] calls
+  std::uint64_t deletes = 0;  // operator delete / delete[] calls
+  std::uint64_t bytes = 0;    // total bytes requested through new
+  // Requests of at least kLargeAllocBytes. Small allocations are coroutine
+  // frames and container nodes — unavoidable per-event churn; bulk payload
+  // copies show up here, so "large_bytes stayed flat" is the signal that no
+  // per-byte copying path was reintroduced.
+  std::uint64_t large_news = 0;
+  std::uint64_t large_bytes = 0;
+};
+
+inline constexpr std::size_t kLargeAllocBytes = 4096;
+
+/// Process-wide running totals (monotonic). Zeros when hooks are disabled.
+[[nodiscard]] AllocCounts alloc_counts() noexcept;
+
+/// False when the counting hooks are compiled out (sanitizer builds).
+[[nodiscard]] bool alloc_counting_enabled() noexcept;
+
+/// Samples the counters at construction; deltas are queried later.
+class AllocAudit {
+ public:
+  AllocAudit() : start_(alloc_counts()) {}
+
+  [[nodiscard]] std::uint64_t news_since() const noexcept {
+    return alloc_counts().news - start_.news;
+  }
+  [[nodiscard]] std::uint64_t bytes_since() const noexcept {
+    return alloc_counts().bytes - start_.bytes;
+  }
+
+ private:
+  AllocCounts start_;
+};
+
+}  // namespace testsupport
