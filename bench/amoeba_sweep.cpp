@@ -7,7 +7,8 @@
 // a versioned `amoeba-sweepreport/v1` JSON that report_compare gates with
 // CI-overlap noise suppression.
 //
-// usage: amoeba_sweep [--matrix=table3|table1|smoke] [--apps=tsp,asp,...]
+// usage: amoeba_sweep [--matrix=table3|table1|smoke|failover]
+//                     [--apps=tsp,asp,...]
 //                     [--bindings=user,kernel] [--nodes=1,8,16,32]
 //                     [--sizes=0,1024,...] [--seeds=N] [--base-seed=S]
 //                     [--threads=N] [--json=FILE] [--quick] [--no-progress]
@@ -16,6 +17,10 @@
 //   --matrix=table3   six Orca apps × bindings × node counts (default)
 //   --matrix=table1   rpc/group latency × bindings × message sizes
 //   --matrix=smoke    tiny CI matrix (asp × bindings × {1,4} nodes)
+//   --matrix=failover sequencer-crash axis: group variant (classic single
+//                     sequencer vs the replicated Paxos sequencer on both
+//                     bindings) × crash point, TraceChecker-verified per
+//                     trial (see tests/trace/failover_workload.h)
 //   --quick           table3 node counts {1,8} instead of {1,8,16,32}
 //   --threads=N       pool width (0 = all host cores)
 //   --verify-pool     also run the matrix serially and assert the two
@@ -37,6 +42,7 @@
 #include "core/testbed.h"
 #include "sim/require.h"
 #include "sweep/runner.h"
+#include "tests/trace/failover_workload.h"
 
 namespace {
 
@@ -211,6 +217,48 @@ sweep::TrialFn table1_fn(const sweep::Matrix& matrix) {
   };
 }
 
+/// Failover matrix: group variant × crash point, 5-node crash workload per
+/// trial. Every replicated trial is TraceChecker-verified inline (total
+/// order, agreement, membership windows, no-loss) and must complete all
+/// surviving sends — a violation aborts the sweep. The classic variant is
+/// the control: it is *expected* to lose the tail, and its completion
+/// fraction is recorded so the report shows the gap the replica set closes.
+sweep::TrialFn failover_fn(const sweep::Matrix& matrix) {
+  return [&matrix](const sweep::Trial& t) {
+    using failover_test::CrashPoint;
+    const std::string& group = matrix.value(t, "group");
+    const std::string& crash = matrix.value(t, "crash");
+    const bool replicated = group != "classic";
+    const Binding binding = group == "paxos-user" ? Binding::kUserSpace
+                                                  : Binding::kKernelSpace;
+    const CrashPoint cp = crash == "early"  ? CrashPoint::kEarly
+                          : crash == "mid" ? CrashPoint::kMid
+                                           : CrashPoint::kLate;
+    failover_test::FailoverResult r = failover_test::run_failover_workload(
+        binding, replicated, t.seed, cp, /*loss=*/t.seed % 2 == 0);
+    if (replicated) {
+      for (const std::string& v : r.violations) {
+        sim::require(false, "failover sweep: checker violation (" + group +
+                                " seed " + std::to_string(t.seed) + "): " + v);
+      }
+      sim::require(r.sends_completed == r.sends_attempted,
+                   "failover sweep: lost sends in " + group + " seed " +
+                       std::to_string(t.seed));
+    }
+    const double frac =
+        r.sends_attempted == 0
+            ? 0.0
+            : static_cast<double>(r.sends_completed) / r.sends_attempted;
+    return std::vector<sweep::Sample>{
+        {"completed.frac", frac, Better::kHigher, ""},
+        {"violations", static_cast<double>(r.violations.size()),
+         Better::kLower, ""},
+        {"view.changes", static_cast<double>(r.view_changes), Better::kInfo,
+         ""},
+    };
+  };
+}
+
 void print_cell_table(const sweep::SweepReport& report, const char* primary) {
   std::printf("\n%-52s | %3s %12s %10s %12s %12s\n", "cell", "n", "mean",
               "ci95", "p50", "p95");
@@ -249,6 +297,10 @@ int main(int argc, char** argv) {
                                       ? "0,1024,2048,3072,4096"
                                       : args.sizes_csv));
     primary = "latency.ms";
+  } else if (args.matrix == "failover") {
+    matrix.axis("group", {"classic", "paxos-kernel", "paxos-user"});
+    matrix.axis("crash", {"early", "mid", "late"});
+    primary = "completed.frac";
   } else {
     std::fprintf(stderr, "%s: unknown matrix '%s'\n", argv[0],
                  args.matrix.c_str());
@@ -256,9 +308,9 @@ int main(int argc, char** argv) {
   }
   matrix.seeds(args.seeds, args.base_seed);
 
-  const sweep::TrialFn fn = args.matrix == "table1"
-                                ? table1_fn(matrix)
-                                : table3_fn(matrix);
+  const sweep::TrialFn fn = args.matrix == "table1"     ? table1_fn(matrix)
+                            : args.matrix == "failover" ? failover_fn(matrix)
+                                                        : table3_fn(matrix);
 
   bench::print_banner("Parameter sweep — parallel trials, aggregated statistics");
   const unsigned threads = sweep::resolve_threads(args.threads);

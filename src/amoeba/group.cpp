@@ -35,6 +35,28 @@ void KernelGroup::join(GroupId gid, GroupConfig config) {
   sim::require(!config.members.empty(), "KernelGroup::join: empty group");
   MemberState& ms = groups_[gid];
   ms.config = std::move(config);
+  if (ms.config.replicated) {
+    // The sequencer role is a replicated state machine; no single node owns
+    // the group_sequencer_addr endpoint.
+    paxos::Config pc;
+    pc.replicas = ms.config.replicas;
+    pc.self = kernel_->node();
+    pc.members = ms.config.members;
+    pc.group = gid;
+    pc.lease = ms.config.paxos_lease;
+    pc.tick = ms.config.paxos_tick;
+    ms.pax = std::make_unique<paxos::Participant>(kernel_->sim(), std::move(pc));
+    kernel_->flip().register_group(
+        group_flip_addr(gid), [this, gid](FlipMessage m) -> sim::Co<void> {
+          co_await on_group_message(gid, std::move(m));
+        });
+    kernel_->flip().register_endpoint(
+        group_member_addr(gid, kernel_->node()),
+        [this, gid](FlipMessage m) -> sim::Co<void> {
+          co_await on_group_message(gid, std::move(m));
+        });
+    return;
+  }
   ms.is_sequencer = ms.config.sequencer_node() == kernel_->node();
   if (ms.is_sequencer) {
     ms.seq = std::make_unique<SequencerState>();
@@ -68,17 +90,42 @@ const KernelGroup::MemberState& KernelGroup::state(GroupId gid) const {
 }
 
 SeqNo KernelGroup::delivered_up_to(GroupId gid) const {
-  return state(gid).next_expected - 1;
+  const MemberState& ms = state(gid);
+  return ms.pax ? ms.pax->applied() : ms.next_expected - 1;
 }
 
 std::uint64_t KernelGroup::sequenced_count(GroupId gid) const {
   const MemberState& ms = state(gid);
+  if (ms.pax) return ms.pax->sequenced_count();
   return ms.seq ? ms.seq->total_sequenced : 0;
+}
+
+std::uint64_t KernelGroup::view_changes(GroupId gid) const {
+  const MemberState& ms = state(gid);
+  return ms.pax ? ms.pax->view_changes() : 0;
+}
+
+void KernelGroup::crash(GroupId gid) {
+  MemberState& ms = state(gid);
+  if (ms.crashed) return;
+  ms.crashed = true;
+  ms.gap_probe.cancel();
+  ms.pax_tick.cancel();
+  if (ms.seq) ms.seq->lag_probe.cancel();
+  for (auto& [uid, ps] : ms.sends_in_flight) ps->retry.cancel();
+  if (ms.pax) ms.pax->crash();
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kCrash, 0, 0, 0, gid);
+  }
 }
 
 
 sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
   MemberState& ms = state(gid);
+  if (ms.pax) {
+    co_await paxos_submit(self, gid, paxos::CmdKind::kApp, std::move(msg));
+    co_return;
+  }
   const CostModel& c = kernel_->costs();
   const sim::Time t0 = kernel_->sim().now();
   co_await kernel_->syscall_enter();
@@ -146,8 +193,76 @@ sim::Co<void> KernelGroup::send(Thread& self, GroupId gid, net::Payload msg) {
   m_send_latency_.record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
 }
 
+sim::Co<void> KernelGroup::leave(Thread& self, GroupId gid) {
+  sim::require(state(gid).pax != nullptr,
+               "KernelGroup::leave: replicated mode only");
+  co_await paxos_submit(self, gid, paxos::CmdKind::kLeave, net::Payload());
+}
+
+sim::Co<void> KernelGroup::rejoin(Thread& self, GroupId gid) {
+  sim::require(state(gid).pax != nullptr,
+               "KernelGroup::rejoin: replicated mode only");
+  co_await paxos_submit(self, gid, paxos::CmdKind::kJoin, net::Payload());
+}
+
+sim::Co<void> KernelGroup::paxos_submit(Thread& self, GroupId gid,
+                                        paxos::CmdKind cmd, net::Payload msg) {
+  MemberState& ms = state(gid);
+  const CostModel& c = kernel_->costs();
+  const sim::Time t0 = kernel_->sim().now();
+  co_await kernel_->syscall_enter();
+  co_await kernel_->copy_boundary(msg.size());
+  co_await kernel_->charge(sim::Prio::kKernel,
+                           sim::Mechanism::kProtocolProcessing,
+                           c.group_protocol_processing);
+
+  const std::uint64_t uid =
+      (static_cast<std::uint64_t>(kernel_->node()) << 32) | next_uid_++;
+  if (cmd == paxos::CmdKind::kApp) {
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kGroupSend, uid, 0,
+                 msg.size(), gid);
+    }
+  }
+  auto ps = std::make_unique<PendingSend>();
+  ps->thread = &self;
+  ps->uid = uid;
+  ps->cmd = cmd;
+  ps->body = msg;
+  PendingSend* raw = ps.get();
+  ms.sends_in_flight.emplace(uid, raw);
+  std::unique_ptr<PendingSend> owner = std::move(ps);
+
+  net::Payload req = ms.pax->make_request(cmd, uid, msg, /*escalated=*/false);
+  if (ms.pax->is_leader()) {
+    // Leader-local sequencing: the request never touches the wire — the
+    // replicated analogue of the classic sequencer sending to itself.
+    paxos::Out out;
+    ms.pax->on_wire(req, out);
+    co_await pax_flush(gid, ms, std::move(out));
+  } else {
+    net::Payload wire = make_wire(MsgType::kPax, gid, 0, kernel_->node(), 0, 0,
+                                  req);
+    co_await kernel_->flip().unicast(group_member_addr(gid, ms.pax->leader()),
+                                     std::move(wire), sim::Prio::kKernel);
+  }
+  if (!raw->done && !ms.crashed) {
+    raw->retry = kernel_->sim().after(
+        ms.config.send_retry_interval,
+        [this, gid, uid] { send_retry_tick(gid, uid); });
+  }
+
+  while (!raw->done) co_await self.block();
+
+  ms.sends_in_flight.erase(uid);
+  co_await kernel_->syscall_return(c.amoeba_stub_stack_depth);
+  m_sends_.add();
+  m_send_latency_.record(static_cast<std::uint64_t>(kernel_->sim().now() - t0));
+}
+
 void KernelGroup::send_retry_tick(GroupId gid, std::uint64_t uid) {
   MemberState& ms = state(gid);
+  if (ms.crashed) return;
   // The retry is cancelled when the send completes, so a live fire always
   // finds an unfinished send.
   const auto it = ms.sends_in_flight.find(uid);
@@ -158,6 +273,45 @@ void KernelGroup::send_retry_tick(GroupId gid, std::uint64_t uid) {
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kRetransmit, uid,
                trace::kReasonGroupSendRetry);
+  }
+  if (ms.pax) {
+    // Rebuild the request (the leader may have moved). After two quiet
+    // retries, escalate to the whole group: any replica relays, and the
+    // escalation itself is election fuel at the replicas.
+    const bool escalate = pending.sends >= 2;
+    net::Payload req = ms.pax->make_request(pending.cmd, uid, pending.body,
+                                            escalate);
+    if (ms.pax->is_leader()) {
+      paxos::Out out;
+      ms.pax->on_wire(req, out);
+      sim::spawn(pax_flush(gid, ms, std::move(out)));
+    } else {
+      net::Payload wire = make_wire(MsgType::kPax, gid, 0, kernel_->node(), 0,
+                                    0, req);
+      if (escalate) {
+        // A multicast is a single frame, i.e. a single loss draw: dropped,
+        // it silences the whole round. Pair it with a direct copy to the
+        // believed leader so one drop cannot erase the escalation.
+        sim::spawn(kernel_->flip().unicast(
+            group_member_addr(gid, ms.pax->leader()), wire,
+            sim::Prio::kKernel));
+        sim::spawn(kernel_->flip().multicast(group_flip_addr(gid),
+                                             std::move(wire),
+                                             sim::Prio::kKernel));
+      } else {
+        sim::spawn(kernel_->flip().unicast(
+            group_member_addr(gid, ms.pax->leader()), std::move(wire),
+            sim::Prio::kKernel));
+      }
+    }
+    // Backoff caps at 4x, not the classic 16x: with a replica set the group
+    // repairs itself, and a sender sleeping seconds past an election is the
+    // only way a surviving send can miss a bounded failover window.
+    const sim::Time backoff =
+        ms.config.send_retry_interval * (1LL << std::min(pending.sends, 2));
+    pending.retry = kernel_->sim().after(
+        backoff, [this, gid, uid] { send_retry_tick(gid, uid); });
+    return;
   }
   if (pending.bb) {
     sim::spawn(kernel_->flip().multicast(group_flip_addr(gid), pending.wire,
@@ -225,6 +379,7 @@ struct KernelGroup::Header {
 
 sim::Co<void> KernelGroup::on_group_message(GroupId gid, FlipMessage m) {
   MemberState& ms = state(gid);
+  if (ms.crashed) co_return;  // a dead node's NIC hears nothing
   const CostModel& c = kernel_->costs();
   co_await kernel_->charge(sim::Prio::kInterrupt,
                            sim::Mechanism::kProtocolProcessing,
@@ -233,6 +388,16 @@ sim::Co<void> KernelGroup::on_group_message(GroupId gid, FlipMessage m) {
   const ParsedHeader h =
       Header::parse(m.payload, c.amoeba_group_header, body);
   switch (static_cast<MsgType>(h.type)) {
+    case MsgType::kPax: {
+      if (ms.pax) {
+        // The Paxos core runs at interrupt level, exactly where the classic
+        // sequencer logic runs — the kernel-space half of the paper's axis.
+        paxos::Out out;
+        ms.pax->on_wire(body, out);
+        co_await pax_flush(gid, ms, std::move(out));
+      }
+      break;
+    }
     case MsgType::kBody: {
       ms.bb_bodies.emplace(h.uid, body);
       // An accept that raced ahead of this body can now be honoured.
@@ -247,9 +412,12 @@ sim::Co<void> KernelGroup::on_group_message(GroupId gid, FlipMessage m) {
         SequencerState& seq = *ms.seq;
         if (const auto it = seq.sequenced_uids.find(h.uid);
             it != seq.sequenced_uids.end()) {
-          // Duplicate body: the sender missed the accept. Resend only the
-          // *small* accept (the sender already has the body) — resending the
-          // full payload under load would melt the saturated wire.
+          // Duplicate body. Still held pending (seqno 0): the real accept is
+          // coming, drop. Otherwise the sender missed the accept: resend
+          // only the *small* accept (the sender already has the body) —
+          // resending the full payload under load would melt the saturated
+          // wire.
+          if (it->second == 0) break;
           if (auto* tr = kernel_->sim().tracer()) {
             tr->record(kernel_->node(), trace::EventKind::kRetransmit,
                        it->second, trace::kReasonSequencerResend);
@@ -298,6 +466,7 @@ sim::Co<void> KernelGroup::on_group_message(GroupId gid, FlipMessage m) {
 
 sim::Co<void> KernelGroup::on_sequencer_message(GroupId gid, FlipMessage m) {
   MemberState& ms = state(gid);
+  if (ms.crashed) co_return;
   sim::require(ms.is_sequencer, "sequencer message arrived at a non-sequencer");
   const CostModel& c = kernel_->costs();
   // "the sequencer runs entirely inside the Amoeba kernel" — processed at
@@ -314,7 +483,10 @@ sim::Co<void> KernelGroup::on_sequencer_message(GroupId gid, FlipMessage m) {
           std::max(seq.member_horizon[h.sender], h.horizon);
       if (const auto it = seq.sequenced_uids.find(h.uid);
           it != seq.sequenced_uids.end()) {
-        // Duplicate: resend the accept content straight to the sender.
+        // Duplicate: resend the accept content straight to the sender. A
+        // pending hold (seqno 0) or a trimmed slot resends nothing — the
+        // accept is still coming, or every horizon (the sender's included)
+        // already passed it.
         for (const SequencedMsg& sm : seq.history) {
           if (sm.seqno == it->second) {
             if (auto* tr = kernel_->sim().tracer()) {
@@ -373,6 +545,8 @@ sim::Co<void> KernelGroup::sequence(GroupId gid, MemberState& ms, NodeId sender,
   trim_history(ms);
   if (seq.history.size() >= ms.config.history_capacity) {
     // History full: hold the message and solicit horizons from the members.
+    // The seqno-0 dedup entry makes retries of the held message no-ops.
+    seq.sequenced_uids[uid] = 0;
     SequencedMsg sm(0, sender, uid, std::move(body));
     sm.bb = bb;
     seq.pending.push_back(std::move(sm));
@@ -391,7 +565,7 @@ sim::Co<void> KernelGroup::sequence(GroupId gid, MemberState& ms, NodeId sender,
     tr->record(kernel_->node(), trace::EventKind::kSeqnoAssign, sm.seqno,
                sender, uid, gid);
   }
-  seq.sequenced_uids.emplace(uid, sm.seqno);
+  seq.sequenced_uids[uid] = sm.seqno;
   seq.history.push_back(sm);
   ++seq.total_sequenced;
   seq.last_progress = kernel_->sim().now();
@@ -493,8 +667,18 @@ void KernelGroup::trim_history(MemberState& ms) {
     min_horizon = std::min(min_horizon, it->second);
   }
   while (!seq.history.empty() && seq.history.front().seqno <= min_horizon) {
-    seq.sequenced_uids.erase(seq.history.front().uid);
+    // Keep the dedup entry past the trim: a retry of this message may still
+    // be in flight (it was racing the accept when the sender completed), and
+    // without the entry it would be sequenced a second time under a fresh
+    // seqno. Entries age out of the bounded `retired` FIFO instead.
+    seq.retired.push_back(seq.history.front().uid);
     seq.history.pop_front();
+  }
+  const std::size_t keep =
+      std::max<std::size_t>(256, 4 * ms.config.history_capacity);
+  while (seq.retired.size() > keep) {
+    seq.sequenced_uids.erase(seq.retired.front());
+    seq.retired.pop_front();
   }
 }
 
@@ -510,7 +694,7 @@ sim::Co<void> KernelGroup::drain_pending(GroupId gid, MemberState& ms) {
       tr->record(kernel_->node(), trace::EventKind::kSeqnoAssign, sm.seqno,
                  sm.sender, sm.uid, gid);
     }
-    seq.sequenced_uids.emplace(sm.uid, sm.seqno);
+    seq.sequenced_uids[sm.uid] = sm.seqno;
     seq.history.push_back(sm);
     ++seq.total_sequenced;
     co_await emit_accept(gid, ms, sm, sm.bb);
@@ -568,6 +752,106 @@ sim::Co<void> KernelGroup::deliver_in_order(GroupId gid, MemberState& ms) {
     co_await kernel_->dispatch_from_interrupt(*receiver);
   }
   for (Thread* sender : unblocked_senders) co_await kernel_->dispatch(*sender);
+}
+
+sim::Co<void> KernelGroup::pax_flush(GroupId gid, MemberState& ms,
+                                     paxos::Out out) {
+  // Bookkeeping first, synchronously — mirrors deliver_in_order: inbox pushes
+  // happen in slot order before any dispatch can interleave another flush.
+  std::vector<Thread*> unblocked_senders;
+  std::vector<Thread*> woken_receivers;
+  const auto complete = [&](std::uint64_t uid) {
+    const auto sit = ms.sends_in_flight.find(uid);
+    if (sit != ms.sends_in_flight.end() && !sit->second->done) {
+      sit->second->done = true;
+      sit->second->retry.cancel();
+      unblocked_senders.push_back(sit->second->thread);
+    }
+  };
+  for (paxos::Decision& d : out.decisions) {
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kGroupDeliver, d.seqno,
+                 d.sender, d.payload.size(), gid);
+    }
+    if (d.kind != paxos::CmdKind::kApp) continue;  // noop/membership slots
+    m_deliveries_.add();
+    if (d.sender == kernel_->node()) complete(d.uid);
+    ms.inbox.emplace_back(d.sender, d.seqno, std::move(d.payload));
+    if (!ms.waiting_receivers.empty()) {
+      woken_receivers.push_back(ms.waiting_receivers.front());
+      ms.waiting_receivers.pop_front();
+    }
+  }
+  if (out.activated) complete(out.activated_uid);
+  if (out.deactivated) complete(out.deactivated_uid);
+
+  for (paxos::Send& s : out.sends) {
+    if (!s.multicast && s.dst == kernel_->node()) {
+      // Core asked us to talk to ourselves (possible transiently around a
+      // view change): short-circuit without touching the wire.
+      paxos::Out self_out;
+      ms.pax->on_wire(s.wire, self_out);
+      co_await pax_flush(gid, ms, std::move(self_out));
+      continue;
+    }
+    net::Payload wire = make_wire(MsgType::kPax, gid, 0, kernel_->node(), 0, 0,
+                                  s.wire);
+    if (s.multicast) {
+      co_await kernel_->flip().multicast(group_flip_addr(gid), std::move(wire),
+                                         sim::Prio::kKernel);
+    } else {
+      co_await kernel_->flip().unicast(group_member_addr(gid, s.dst),
+                                       std::move(wire), sim::Prio::kKernel);
+    }
+  }
+
+  if (out.view_changed && !ms.crashed) {
+    // Re-aim in-flight requests at the new leader right away instead of
+    // waiting out the retry backoff.
+    std::vector<std::uint64_t> uids;
+    for (const auto& [uid, ps] : ms.sends_in_flight) {
+      if (!ps->done) uids.push_back(uid);
+    }
+    std::sort(uids.begin(), uids.end());
+    for (const std::uint64_t uid : uids) {
+      const auto sit = ms.sends_in_flight.find(uid);
+      if (sit == ms.sends_in_flight.end() || sit->second->done) continue;
+      PendingSend& pending = *sit->second;
+      net::Payload req = ms.pax->make_request(pending.cmd, uid, pending.body,
+                                              pending.sends >= 2);
+      if (ms.pax->is_leader()) {
+        paxos::Out self_out;
+        ms.pax->on_wire(req, self_out);
+        co_await pax_flush(gid, ms, std::move(self_out));
+      } else {
+        net::Payload wire = make_wire(MsgType::kPax, gid, 0, kernel_->node(),
+                                      0, 0, req);
+        co_await kernel_->flip().unicast(
+            group_member_addr(gid, ms.pax->leader()), std::move(wire),
+            sim::Prio::kKernel);
+      }
+    }
+  }
+
+  for (Thread* receiver : woken_receivers) {
+    co_await kernel_->dispatch_from_interrupt(*receiver);
+  }
+  for (Thread* sender : unblocked_senders) co_await kernel_->dispatch(*sender);
+  arm_pax_tick(gid);
+}
+
+void KernelGroup::arm_pax_tick(GroupId gid) {
+  MemberState& ms = state(gid);
+  if (!ms.pax || ms.crashed || ms.pax_tick.active() || !ms.pax->need_tick()) {
+    return;
+  }
+  ms.pax_tick = kernel_->sim().after(ms.config.paxos_tick, [this, gid] {
+    MemberState& m = state(gid);
+    if (!m.pax || m.crashed) return;
+    paxos::Out out;
+    m.pax->on_tick(out);
+    sim::spawn(pax_flush(gid, m, std::move(out)));  // flush re-arms the tick
+  });
 }
 
 void KernelGroup::arm_gap_timer(GroupId gid) {

@@ -35,6 +35,7 @@
 #include "amoeba/kernel.h"
 #include "metrics/handles.h"
 #include "net/buffer.h"
+#include "paxos/paxos.h"
 #include "sim/co.h"
 
 namespace amoeba {
@@ -67,6 +68,16 @@ struct GroupConfig {
   /// Delay before a gap triggers a retransmission request (allows simple
   /// reordering to resolve itself).
   sim::Time gap_request_delay = sim::msec(5);
+
+  /// Replicated-sequencer mode: instead of one sequencer node, `replicas`
+  /// runs a multi-Paxos core (paxos::Participant); the current leader plays
+  /// the sequencer role and survives crashes by election. The classic
+  /// sequencer fields (sequencer_index, history_capacity, bb_threshold) are
+  /// ignored in this mode.
+  bool replicated = false;
+  std::vector<NodeId> replicas;
+  sim::Time paxos_lease = sim::msec(60);
+  sim::Time paxos_tick = sim::msec(10);
 
   [[nodiscard]] NodeId sequencer_node() const { return members.at(sequencer_index); }
 };
@@ -104,6 +115,17 @@ class KernelGroup {
   /// Blocking receive of the next message in total order.
   [[nodiscard]] sim::Co<GroupMsg> receive(Thread& self, GroupId gid);
 
+  /// Sequenced leave / re-join (replicated mode only): the membership change
+  /// goes through the ordered log, so every member agrees on the exact slot
+  /// the caller's delivery window closes / reopens.
+  [[nodiscard]] sim::Co<void> leave(Thread& self, GroupId gid);
+  [[nodiscard]] sim::Co<void> rejoin(Thread& self, GroupId gid);
+
+  /// Fault injection: this node stops participating in the group — timers
+  /// cancelled, ingress dropped, the Paxos core (if any) silenced. Blocked
+  /// send() callers on this node never return (their node is dead).
+  void crash(GroupId gid);
+
   /// Messages delivered to this member so far (high-water mark of seqno).
   [[nodiscard]] SeqNo delivered_up_to(GroupId gid) const;
 
@@ -112,6 +134,8 @@ class KernelGroup {
   [[nodiscard]] std::uint64_t retransmit_requests() const noexcept { return retreqs_; }
   [[nodiscard]] std::uint64_t status_rounds() const noexcept { return status_rounds_; }
   [[nodiscard]] std::uint64_t bb_sends() const noexcept { return bb_sends_; }
+  /// Views adopted by this member (replicated mode; 0 in classic mode).
+  [[nodiscard]] std::uint64_t view_changes(GroupId gid) const;
 
  private:
   enum class MsgType : std::uint8_t {
@@ -123,6 +147,7 @@ class KernelGroup {
     kRetrans = 6,      // sequencer -> member (one sequenced message, full)
     kStatusReq = 7,    // sequencer -> group (report your horizon)
     kStatus = 8,       // member -> sequencer (piggyback is implicit elsewhere)
+    kPax = 9,          // replicated mode: body is one paxos::Participant wire
   };
 
   struct Header;
@@ -131,6 +156,8 @@ class KernelGroup {
     Thread* thread = nullptr;
     std::uint64_t uid = 0;
     net::Payload wire;      // serialized request/body, for retries
+    net::Payload body;      // app payload (replicated mode rebuilds requests)
+    paxos::CmdKind cmd = paxos::CmdKind::kApp;
     bool bb = false;
     bool done = false;
     sim::EventHandle retry;  // next send_retry_tick; cancelled on completion
@@ -151,7 +178,13 @@ class KernelGroup {
   struct SequencerState {
     SeqNo next_seqno = 1;
     std::deque<SequencedMsg> history;
+    // uid -> seqno for every message accepted for sequencing. An entry is
+    // created (seqno 0) when the message is held pending and kept after its
+    // history slot is trimmed — until it ages out of `retired` — so a
+    // sender's late retry is answered from history or dropped, never
+    // sequenced a second time.
     std::unordered_map<std::uint64_t, SeqNo> sequenced_uids;
+    std::deque<std::uint64_t> retired;  // trimmed uids, oldest first
     std::unordered_map<NodeId, SeqNo> member_horizon;
     std::deque<SequencedMsg> pending;  // waiting for history space
     bool status_round_active = false;
@@ -174,6 +207,10 @@ class KernelGroup {
     std::unordered_map<std::uint64_t, PendingSend*> sends_in_flight;
     sim::EventHandle gap_probe;  // pending gap-request; cancelled as gaps close
     std::unique_ptr<SequencerState> seq;  // non-null on the sequencer node
+    bool crashed = false;
+    // Replicated mode: the Paxos core and its timer.
+    std::unique_ptr<paxos::Participant> pax;
+    sim::EventHandle pax_tick;
   };
 
   [[nodiscard]] sim::Co<void> on_group_message(GroupId gid, FlipMessage m);
@@ -196,6 +233,14 @@ class KernelGroup {
   [[nodiscard]] sim::Co<void> deliver_in_order(GroupId gid, MemberState& ms);
   void arm_gap_timer(GroupId gid);
   void send_retry_tick(GroupId gid, std::uint64_t uid);
+
+  // Replicated mode: submit a command, flush a core invocation's output
+  // (sends, decisions, wakeups) through the kernel stack, keep the tick armed.
+  [[nodiscard]] sim::Co<void> paxos_submit(Thread& self, GroupId gid,
+                                           paxos::CmdKind cmd, net::Payload msg);
+  [[nodiscard]] sim::Co<void> pax_flush(GroupId gid, MemberState& ms,
+                                        paxos::Out out);
+  void arm_pax_tick(GroupId gid);
 
   [[nodiscard]] net::Payload make_wire(MsgType type, GroupId gid, SeqNo seqno,
                                        NodeId sender, std::uint64_t uid,

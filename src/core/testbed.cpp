@@ -21,6 +21,9 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   cc.binding = config_.binding;
   for (NodeId i = 0; i < config_.nodes; ++i) cc.nodes.push_back(i);
   cc.sequencer = config_.sequencer;
+  cc.replicated_sequencer = config_.replicated_sequencer;
+  cc.sequencer_replicas = config_.sequencer_replicas;
+  cc.group_history = config_.group_history;
   for (NodeId i = 0; i < config_.nodes; ++i) {
     pandas_.push_back(panda::make_panda(world_->kernel(i), cc));
   }
@@ -187,11 +190,12 @@ double measure_rpc_throughput_kbs(Binding binding, std::size_t request_bytes,
 double measure_group_throughput_kbs(Binding binding, std::size_t members,
                                     std::size_t message_bytes,
                                     int messages_per_member,
-                                    std::uint64_t seed) {
+                                    std::uint64_t seed, bool replicated) {
   TestbedConfig cfg;
   cfg.binding = binding;
   cfg.nodes = members;
   cfg.seed = seed;
+  cfg.replicated_sequencer = replicated;
   Testbed bed(cfg);
   std::uint64_t delivered_bytes = 0;
   sim::Time last_delivery = 0;
@@ -218,7 +222,13 @@ double measure_group_throughput_kbs(Binding binding, std::size_t members,
       ++done;
     }(bed.panda(n), t, message_bytes, messages_per_member, finished));
   }
-  bed.sim().run();
+  if (replicated) {
+    // The Paxos leader's lease renewal keeps the event queue alive forever,
+    // so run to a horizon far past the transfer instead of to quiescence.
+    bed.sim().run_until(sim::msec(5000));
+  } else {
+    bed.sim().run();
+  }
   sim::require(finished == static_cast<int>(members),
                "group throughput: senders did not finish");
   // Trailing protocol timers (flow-control/watchdog quiet periods) run after

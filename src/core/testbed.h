@@ -21,6 +21,13 @@ struct TestbedConfig {
   Binding binding = Binding::kUserSpace;
   std::size_t nodes = 2;
   NodeId sequencer = 0;
+  /// Replicated-sequencer mode: the sequencer role is a multi-Paxos replica
+  /// set of `sequencer_replicas` nodes (led from `sequencer`); survives
+  /// sequencer crashes by election. Works with either binding.
+  bool replicated_sequencer = false;
+  std::size_t sequencer_replicas = 3;
+  /// Classic sequencer history capacity (forces status rounds when small).
+  std::size_t group_history = 512;
   std::uint64_t seed = 42;
   amoeba::CostModel costs;
   net::NetworkConfig network;
@@ -95,11 +102,14 @@ class Testbed {
                                                 std::uint64_t seed = 42);
 
 /// Group throughput in KB/s: several members sending 8000-byte messages in
-/// parallel until the Ethernet saturates (Table 2).
+/// parallel until the Ethernet saturates (Table 2). With `replicated` the
+/// sequencer is the 3-replica multi-Paxos set instead of the classic single
+/// sequencer (the paxos:: rows of the extended Table 2).
 [[nodiscard]] double measure_group_throughput_kbs(Binding binding,
                                                   std::size_t members = 4,
                                                   std::size_t message_bytes = 8000,
                                                   int messages_per_member = 12,
-                                                  std::uint64_t seed = 42);
+                                                  std::uint64_t seed = 42,
+                                                  bool replicated = false);
 
 }  // namespace core

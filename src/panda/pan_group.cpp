@@ -20,6 +20,7 @@ constexpr std::size_t kUnitData = 1400;
 constexpr sim::Time kSendRetryInterval = sim::msec(100);
 constexpr sim::Time kGapRequestDelay = sim::msec(5);
 constexpr sim::Time kLagWatchdogInterval = sim::msec(200);
+constexpr sim::Time kPaxTickInterval = sim::msec(10);
 }  // namespace
 
 net::Payload PanGroup::make_wire(MsgType type, const Unit& unit,
@@ -64,6 +65,25 @@ void PanGroup::start() {
                          [this](SysMsg m) -> sim::Co<void> {
                            co_await on_group_message(std::move(m));
                          });
+  if (config_->replicated_sequencer) {
+    paxos::Config pc;
+    pc.replicas = config_->replica_set();
+    pc.self = kernel_->node();
+    pc.members = config_->nodes;
+    pc.group = 0;
+    pax_ = std::make_unique<paxos::Participant>(kernel_->sim(), std::move(pc));
+    if (pax_->is_replica()) {
+      // Every replica runs the Paxos core in a sequencer thread: each wire
+      // pays the daemon -> sequencer thread switch, the user-space cost the
+      // paper measures (§4.3) — now on the whole replica set.
+      seq_thread_ = &kernel_->start_thread(
+          "pan_group-sequencer", [this](Thread& self) -> sim::Co<void> {
+            co_await sequencer_loop(self);
+          });
+      sys_->set_sequencer_thread(*seq_thread_);
+    }
+    return;
+  }
   if (is_sequencer()) {
     seq_ = std::make_unique<SequencerState>();
     seq_thread_ = &kernel_->start_thread(
@@ -75,6 +95,10 @@ void PanGroup::start() {
 }
 
 sim::Co<void> PanGroup::send(Thread& self, net::Payload msg) {
+  if (pax_) {
+    co_await paxos_submit(self, paxos::CmdKind::kApp, std::move(msg));
+    co_return;
+  }
   const CostModel& c = kernel_->costs();
   const sim::Time t0 = kernel_->sim().now();
   // One fragmentation-layer pass at the sending member only: "the user-space
@@ -149,18 +173,28 @@ sim::Co<void> PanGroup::send(Thread& self, net::Payload msg) {
 }
 
 void PanGroup::send_retry_tick(std::uint32_t msg_id) {
+  if (crashed_) return;
   // The retry is cancelled when the send completes, so a live fire always
   // finds an unfinished send.
   const auto it = sends_in_flight_.find(msg_id);
   if (it == sends_in_flight_.end()) return;
   PendingSend& pending = *it->second;
   Thread* daemon = sys_->daemon_thread();
-  for (const net::Payload& wire : pending.wires) {
-    if (pending.bb) {
-      sim::spawn(sys_->multicast_unit(*daemon, PanSys::Module::kGroup, wire));
-    } else {
-      sim::spawn(sys_->unicast_unit(*daemon, config_->sequencer,
-                                    PanSys::Module::kSequencer, wire));
+  if (pax_) {
+    // After repeated silence a plain member escalates to multicast: any
+    // replica forwards to the leader it believes in, and the escalations
+    // double as failure evidence. Replicas never escalate — they feed their
+    // own core, which relays.
+    const bool esc = !pax_->is_replica() && pending.retries >= 2;
+    sim::spawn(pax_send_request(*daemon, pending, msg_id, esc));
+  } else {
+    for (const net::Payload& wire : pending.wires) {
+      if (pending.bb) {
+        sim::spawn(sys_->multicast_unit(*daemon, PanSys::Module::kGroup, wire));
+      } else {
+        sim::spawn(sys_->unicast_unit(*daemon, config_->sequencer,
+                                      PanSys::Module::kSequencer, wire));
+      }
     }
   }
   ++pending.retries;
@@ -170,8 +204,11 @@ void PanGroup::send_retry_tick(std::uint32_t msg_id) {
                (static_cast<std::uint64_t>(kernel_->node()) << 32) | msg_id,
                trace::kReasonGroupSendRetry);
   }
+  // A replicated group repairs itself, so its backoff caps at 4x — the
+  // classic 16x cap would let a sender sleep past a bounded failover window
+  // after an unlucky run of drops.
   const sim::Time backoff =
-      kSendRetryInterval * (1LL << std::min(pending.retries, 4));
+      kSendRetryInterval * (1LL << std::min(pending.retries, pax_ ? 2 : 4));
   pending.retry = kernel_->sim().after(
       backoff, [this, msg_id] { send_retry_tick(msg_id); });
 }
@@ -181,11 +218,16 @@ void PanGroup::send_retry_tick(std::uint32_t msg_id) {
 sim::Co<void> PanGroup::sequencer_loop(Thread& self) {
   for (;;) {
     SysMsg msg = co_await sys_->seq_receive(self);
-    co_await seq_handle(self, std::move(msg));
+    if (pax_) {
+      co_await pax_seq_handle(self, std::move(msg));
+    } else {
+      co_await seq_handle(self, std::move(msg));
+    }
   }
 }
 
 sim::Co<void> PanGroup::seq_handle(Thread& self, SysMsg msg) {
+  if (crashed_) co_return;  // sequencer wires bypass on_group_message
   const CostModel& c = kernel_->costs();
   co_await kernel_->charge(Prio::kUserHigh, Mechanism::kProtocolProcessing,
                            c.group_protocol_processing);
@@ -201,10 +243,14 @@ sim::Co<void> PanGroup::seq_handle(Thread& self, SysMsg msg) {
       // Dedupe at message granularity: one accept per message.
       const UnitKey msg_key{unit.sender, unit.msg_id, 0};
       if (const auto it = seq.sequenced.find(msg_key); it != seq.sequenced.end()) {
-        // Duplicate: the sender missed its accept. A BB sender still has the
-        // body, so a small accept-ref suffices (a full retransmission would
-        // feed the congestion that delayed the accept); a PB sender does
-        // not, so it gets the full message back.
+        // Duplicate. Still held pending (seqno 0): the real accept is
+        // coming, drop. Otherwise the sender missed its accept. A BB sender
+        // still has the body, so a small accept-ref suffices (a full
+        // retransmission would feed the congestion that delayed the accept);
+        // a PB sender does not, so it gets the full message back — or
+        // nothing, if the slot was already trimmed (every horizon, the
+        // sender's included, has passed it).
+        if (it->second == 0) co_return;
         const bool was_bb = static_cast<MsgType>(type_raw) == MsgType::kBody;
         if (auto* tr = kernel_->sim().tracer()) {
           tr->record(kernel_->node(), trace::EventKind::kRetransmit,
@@ -294,6 +340,8 @@ sim::Co<void> PanGroup::seq_sequence(Thread& self, Unit unit, bool bb) {
   SequencerState& seq = *seq_;
   seq_trim();  // piggybacked horizons may already allow progress
   if (seq.history.size() >= config_->group_history) {
+    // The seqno-0 dedup entry makes retries of the held message no-ops.
+    seq.sequenced[UnitKey{unit.sender, unit.msg_id, 0}] = 0;
     unit.pending_bb = bb;
     seq.pending.push_back(std::move(unit));
     if (!seq.status_round_active) {
@@ -316,7 +364,7 @@ sim::Co<void> PanGroup::seq_sequence(Thread& self, Unit unit, bool bb) {
     tr->record(kernel_->node(), trace::EventKind::kSeqnoAssign, unit.seqno,
                unit.sender, unit.msg_id);
   }
-  seq.sequenced.emplace(UnitKey{unit.sender, unit.msg_id, 0}, unit.seqno);
+  seq.sequenced[UnitKey{unit.sender, unit.msg_id, 0}] = unit.seqno;
   seq.history.push_back(unit);
   ++seq.total_sequenced;
   seq.last_progress = kernel_->sim().now();
@@ -416,10 +464,18 @@ void PanGroup::seq_trim() {
     min_horizon = std::min(min_horizon, it->second);
   }
   while (!seq.history.empty() && seq.history.front().seqno <= min_horizon) {
-    seq.sequenced.erase(UnitKey{seq.history.front().sender,
-                                seq.history.front().msg_id,
-                                seq.history.front().frag_idx});
+    // Keep the dedup entry past the trim (a retry may still be in flight;
+    // without it the message would be sequenced twice); it ages out of the
+    // bounded `retired` FIFO instead.
+    seq.retired.push_back(UnitKey{seq.history.front().sender,
+                                  seq.history.front().msg_id, 0});
     seq.history.pop_front();
+  }
+  const std::size_t keep =
+      std::max<std::size_t>(256, 4 * config_->group_history);
+  while (seq.retired.size() > keep) {
+    seq.sequenced.erase(seq.retired.front());
+    seq.retired.pop_front();
   }
 }
 
@@ -437,12 +493,38 @@ sim::Co<void> PanGroup::seq_drain(Thread& self) {
 // --- Member side -------------------------------------------------------------
 
 sim::Co<void> PanGroup::on_group_message(SysMsg msg) {
+  if (crashed_) co_return;  // a crashed node's stack is silent
   const CostModel& c = kernel_->costs();
   co_await kernel_->charge(Prio::kUserHigh, Mechanism::kProtocolProcessing,
                            c.group_protocol_processing);
   std::uint8_t type_raw = 0;
   std::uint32_t horizon = 0;
   Unit unit = parse_wire(msg.payload, c.panda_group_header, type_raw, horizon);
+
+  if (pax_) {
+    switch (static_cast<MsgType>(type_raw)) {
+      case MsgType::kPax:
+        if (pax_->is_replica()) {
+          // Replicas run the core in the sequencer thread (§4.3's switch).
+          co_await sys_->inject_sequencer(std::move(msg));
+        } else {
+          paxos::Out out;
+          pax_->on_wire(unit.payload, out);
+          co_await pax_flush(*sys_->daemon_thread(), std::move(out));
+        }
+        break;
+      case MsgType::kPaxDeliver:
+        // Decision handed from our own sequencer thread; the kind rides the
+        // (otherwise unused) horizon field.
+        co_await deliver_paxos(unit.seqno, unit.sender,
+                               static_cast<paxos::CmdKind>(horizon),
+                               unit.msg_id, std::move(unit.payload));
+        break;
+      default:
+        break;
+    }
+    co_return;
+  }
 
   switch (static_cast<MsgType>(type_raw)) {
     case MsgType::kBody: {
@@ -587,6 +669,231 @@ sim::Co<void> PanGroup::deliver_ready() {
                         std::move(d.payload));
     }
   }
+}
+
+// --- Replicated-sequencer mode ----------------------------------------------
+
+sim::Co<void> PanGroup::leave(Thread& self) {
+  sim::require(pax_ != nullptr, "PanGroup::leave: replicated mode only");
+  co_await paxos_submit(self, paxos::CmdKind::kLeave, net::Payload());
+}
+
+sim::Co<void> PanGroup::rejoin(Thread& self) {
+  sim::require(pax_ != nullptr, "PanGroup::rejoin: replicated mode only");
+  co_await paxos_submit(self, paxos::CmdKind::kJoin, net::Payload());
+}
+
+void PanGroup::crash() {
+  crashed_ = true;
+  gap_probe_.cancel();
+  pax_tick_.cancel();
+  if (seq_) seq_->lag_probe.cancel();
+  for (auto& [id, p] : sends_in_flight_) p->retry.cancel();
+  if (pax_) pax_->crash();
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kCrash);
+  }
+}
+
+sim::Co<void> PanGroup::paxos_submit(Thread& self, paxos::CmdKind cmd,
+                                     net::Payload msg) {
+  const CostModel& c = kernel_->costs();
+  const sim::Time t0 = kernel_->sim().now();
+  co_await kernel_->charge(Prio::kUserHigh, Mechanism::kFragmentationLayer,
+                           c.user_fragmentation_layer);
+  co_await kernel_->charge(Prio::kUserHigh, Mechanism::kProtocolProcessing,
+                           c.group_protocol_processing);
+
+  const std::uint32_t msg_id = next_msg_id_++;
+  if (cmd == paxos::CmdKind::kApp) {
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kGroupSend,
+                 (static_cast<std::uint64_t>(kernel_->node()) << 32) | msg_id, 0,
+                 msg.size());
+    }
+  }
+  PendingSend pending;
+  pending.thread = &self;
+  pending.cmd = cmd;
+  pending.body = std::move(msg);
+  sends_in_flight_.emplace(msg_id, &pending);
+
+  co_await pax_send_request(self, pending, msg_id, /*escalate=*/false);
+
+  if (!pending.done && !crashed_) {
+    pending.retry = kernel_->sim().after(
+        kSendRetryInterval, [this, msg_id] { send_retry_tick(msg_id); });
+  }
+  co_await kernel_->syscall_enter();
+  while (!pending.done) co_await self.block();
+  co_await kernel_->syscall_return(c.panda_stack_depth);
+  sends_in_flight_.erase(msg_id);
+  if (cmd == paxos::CmdKind::kApp) {
+    m_sends_.add();
+    m_send_latency_.record(
+        static_cast<std::uint64_t>(kernel_->sim().now() - t0));
+  }
+}
+
+sim::Co<void> PanGroup::pax_send_request(Thread& ctx, PendingSend& p,
+                                         std::uint32_t msg_id, bool escalate) {
+  const std::uint64_t uid =
+      (static_cast<std::uint64_t>(kernel_->node()) << 32) | msg_id;
+  net::Payload req = pax_->make_request(p.cmd, uid, p.body, escalate);
+  if (pax_->is_replica()) {
+    // Feed our own core; it sequences (leader) or relays (follower).
+    Unit u;
+    u.sender = kernel_->node();
+    u.payload = std::move(req);
+    net::Payload wire = make_wire(MsgType::kPax, u, 0);
+    co_await sys_->inject_sequencer(SysMsg(kernel_->node(), std::move(wire)));
+  } else {
+    if (escalate) {
+      // A multicast is a single frame, i.e. a single loss draw: dropped, it
+      // silences the whole round. Pair it with a direct copy to the believed
+      // leader so one drop cannot erase the escalation.
+      co_await pax_wire_out(ctx, /*multicast=*/false, pax_->leader(), req);
+    }
+    co_await pax_wire_out(ctx, escalate, pax_->leader(), req);
+  }
+}
+
+sim::Co<void> PanGroup::pax_seq_handle(Thread& self, SysMsg msg) {
+  if (crashed_) co_return;
+  const CostModel& c = kernel_->costs();
+  co_await kernel_->charge(Prio::kUserHigh, Mechanism::kProtocolProcessing,
+                           c.group_protocol_processing);
+  std::uint8_t type_raw = 0;
+  std::uint32_t kind_raw = 0;
+  Unit unit = parse_wire(msg.payload, c.panda_group_header, type_raw, kind_raw);
+  if (static_cast<MsgType>(type_raw) != MsgType::kPax) co_return;
+  paxos::Out out;
+  pax_->on_wire(unit.payload, out);
+  co_await pax_flush(self, std::move(out));
+}
+
+sim::Co<void> PanGroup::pax_wire_out(Thread& ctx, bool multicast, NodeId dst,
+                                     const net::Payload& core) {
+  Unit u;
+  u.sender = kernel_->node();
+  u.payload = core;
+  net::Payload wire = make_wire(MsgType::kPax, u, 0);
+  if (wire.size() <= PanSys::kFragmentData) {
+    if (multicast) {
+      co_await sys_->multicast_unit(ctx, PanSys::Module::kGroup,
+                                    std::move(wire));
+    } else {
+      co_await sys_->unicast_unit(ctx, dst, PanSys::Module::kGroup,
+                                  std::move(wire));
+    }
+  } else if (multicast) {
+    // Oversized core wire (an accept carrying a big value, or a batched
+    // catch-up response): let the system layer fragment it.
+    co_await sys_->multicast(ctx, PanSys::Module::kGroup, std::move(wire));
+  } else {
+    co_await sys_->unicast(ctx, dst, PanSys::Module::kGroup, std::move(wire));
+  }
+}
+
+sim::Co<void> PanGroup::pax_flush(Thread& ctx, paxos::Out out) {
+  const CostModel& c = kernel_->costs();
+
+  for (paxos::Decision& d : out.decisions) {
+    if (pax_->is_replica() && (handler_ || !sends_in_flight_.empty())) {
+      // As on the classic sequencer node: "an extra thread runs to deliver
+      // the group message to the user" — hand the decision to the daemon.
+      Unit u;
+      u.seqno = d.seqno;
+      u.sender = d.sender;
+      u.msg_id = static_cast<std::uint32_t>(d.uid);
+      u.payload = std::move(d.payload);
+      net::Payload wire =
+          make_wire(MsgType::kPaxDeliver, u, static_cast<std::uint32_t>(d.kind));
+      co_await sys_->inject_daemon(PanSys::Module::kGroup,
+                                   SysMsg(kernel_->node(), std::move(wire)));
+    } else {
+      co_await deliver_paxos(d.seqno, d.sender, d.kind,
+                             static_cast<std::uint32_t>(d.uid),
+                             std::move(d.payload));
+    }
+  }
+
+  if (out.activated || out.deactivated) {
+    const std::uint64_t uid =
+        out.activated ? out.activated_uid : out.deactivated_uid;
+    const auto sit = sends_in_flight_.find(static_cast<std::uint32_t>(uid));
+    if (sit != sends_in_flight_.end() && !sit->second->done) {
+      sit->second->done = true;
+      sit->second->retry.cancel();
+      co_await kernel_->signal_thread(*sit->second->thread,
+                                      c.panda_stack_depth);
+    }
+  }
+
+  for (paxos::Send& s : out.sends) {
+    if (!s.multicast && s.dst == kernel_->node()) {
+      paxos::Out nested;
+      pax_->on_wire(s.wire, nested);
+      co_await pax_flush(ctx, std::move(nested));
+      continue;
+    }
+    co_await pax_wire_out(ctx, s.multicast, s.dst, s.wire);
+  }
+
+  if (out.view_changed && !sends_in_flight_.empty()) {
+    // Re-aim pending requests at the new leader (deterministic order).
+    std::vector<std::uint32_t> ids;
+    for (const auto& [id, p] : sends_in_flight_) {
+      if (!p->done) ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    for (const std::uint32_t id : ids) {
+      const auto it = sends_in_flight_.find(id);
+      if (it == sends_in_flight_.end() || it->second->done) continue;
+      const bool esc = !pax_->is_replica() && it->second->retries >= 2;
+      co_await pax_send_request(ctx, *it->second, id, esc);
+    }
+  }
+
+  arm_pax_tick();
+}
+
+sim::Co<void> PanGroup::deliver_paxos(std::uint32_t seqno, NodeId sender,
+                                      paxos::CmdKind kind, std::uint32_t msg_id,
+                                      net::Payload payload) {
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(kernel_->node(), trace::EventKind::kGroupDeliver, seqno, sender,
+               payload.size());
+  }
+  if (kind != paxos::CmdKind::kApp) co_return;
+  m_deliveries_.add();
+  const CostModel& c = kernel_->costs();
+  if (sender == kernel_->node()) {
+    const auto sit = sends_in_flight_.find(msg_id);
+    if (sit != sends_in_flight_.end() && !sit->second->done) {
+      sit->second->done = true;
+      sit->second->retry.cancel();
+      co_await kernel_->signal_thread(*sit->second->thread,
+                                      c.panda_stack_depth);
+    }
+  }
+  if (handler_) {
+    if (auto* tr = kernel_->sim().tracer()) {
+      tr->record(kernel_->node(), trace::EventKind::kUpcall, seqno, 2);
+    }
+    co_await handler_(*sys_->daemon_thread(), sender, seqno,
+                      std::move(payload));
+  }
+}
+
+void PanGroup::arm_pax_tick() {
+  if (!pax_ || crashed_ || pax_tick_.active() || !pax_->need_tick()) return;
+  pax_tick_ = kernel_->sim().after(kPaxTickInterval, [this] {
+    if (crashed_) return;
+    paxos::Out out;
+    pax_->on_tick(out);
+    sim::spawn(pax_flush(*sys_->daemon_thread(), std::move(out)));
+  });
 }
 
 void PanGroup::arm_gap_timer() {

@@ -30,6 +30,7 @@
 #include "metrics/handles.h"
 #include "panda/pan_sys.h"
 #include "panda/panda.h"
+#include "paxos/paxos.h"
 #include "sim/co.h"
 
 namespace panda {
@@ -57,14 +58,26 @@ class PanGroup {
   /// Blocking, totally-ordered send.
   [[nodiscard]] sim::Co<void> send(Thread& self, net::Payload msg);
 
+  /// Sequenced leave / re-join (replicated-sequencer mode only).
+  [[nodiscard]] sim::Co<void> leave(Thread& self);
+  [[nodiscard]] sim::Co<void> rejoin(Thread& self);
+
+  /// Fault injection: this node's group stack goes silent (timers cancelled,
+  /// ingress dropped, Paxos core crashed).
+  void crash();
+
   [[nodiscard]] std::uint32_t delivered_up_to() const noexcept {
-    return next_expected_ - 1;
+    return pax_ ? pax_->applied() : next_expected_ - 1;
   }
   [[nodiscard]] bool is_sequencer() const noexcept {
     return config_->sequencer == kernel_->node();
   }
   [[nodiscard]] std::uint64_t sequenced_count() const noexcept {
+    if (pax_) return pax_->sequenced_count();
     return seq_ ? seq_->total_sequenced : 0;
+  }
+  [[nodiscard]] std::uint64_t view_changes() const noexcept {
+    return pax_ ? pax_->view_changes() : 0;
   }
   [[nodiscard]] std::uint64_t retransmit_requests() const noexcept { return retreqs_; }
   [[nodiscard]] std::uint64_t status_rounds() const noexcept { return status_rounds_; }
@@ -80,6 +93,8 @@ class PanGroup {
     kRetrans = 6,
     kStatusReq = 7,
     kStatus = 8,
+    kPax = 9,         // replicated mode: payload is one paxos::Participant wire
+    kPaxDeliver = 10,  // replica seq thread -> own daemon: one applied decision
   };
 
   /// One sequencing unit: a single fragment of a member message.
@@ -109,6 +124,8 @@ class PanGroup {
     Thread* thread = nullptr;
     bool done = false;
     std::vector<net::Payload> wires;  // per-fragment, for retries
+    net::Payload body;                // app payload (replicated-mode resends)
+    paxos::CmdKind cmd = paxos::CmdKind::kApp;
     bool bb = false;
     int retries = 0;
     sim::EventHandle retry;  // next send_retry_tick; cancelled on completion
@@ -117,7 +134,12 @@ class PanGroup {
   struct SequencerState {
     std::uint32_t next_seqno = 1;
     std::deque<Unit> history;
+    // Message-key -> seqno dedup map. An entry is created (seqno 0) when the
+    // message is held on the pending queue and kept after its history slot
+    // is trimmed — until it ages out of `retired` — so a late retry is
+    // answered from history or dropped, never sequenced a second time.
     std::map<UnitKey, std::uint32_t> sequenced;
+    std::deque<UnitKey> retired;  // trimmed message keys, oldest first
     std::unordered_map<NodeId, std::uint32_t> horizon;
     std::deque<Unit> pending;
     bool status_round_active = false;
@@ -146,6 +168,25 @@ class PanGroup {
   void arm_gap_timer();
   void send_retry_tick(std::uint32_t msg_id);
 
+  // Replicated-sequencer mode. The Paxos core runs in the sequencer thread
+  // on replica nodes (every wire pays the daemon->sequencer thread switch,
+  // the user-space cost the paper measures) and inline in the receive daemon
+  // on plain members.
+  [[nodiscard]] sim::Co<void> paxos_submit(Thread& self, paxos::CmdKind cmd,
+                                           net::Payload msg);
+  [[nodiscard]] sim::Co<void> pax_send_request(Thread& ctx, PendingSend& p,
+                                               std::uint32_t msg_id,
+                                               bool escalate);
+  [[nodiscard]] sim::Co<void> pax_seq_handle(Thread& self, SysMsg msg);
+  [[nodiscard]] sim::Co<void> pax_flush(Thread& ctx, paxos::Out out);
+  [[nodiscard]] sim::Co<void> pax_wire_out(Thread& ctx, bool multicast,
+                                           NodeId dst, const net::Payload& core);
+  [[nodiscard]] sim::Co<void> deliver_paxos(std::uint32_t seqno, NodeId sender,
+                                            paxos::CmdKind kind,
+                                            std::uint32_t msg_id,
+                                            net::Payload payload);
+  void arm_pax_tick();
+
   [[nodiscard]] net::Payload make_wire(MsgType type, const Unit& unit,
                                        std::uint32_t horizon);
   [[nodiscard]] static Unit parse_wire(const net::Payload& p,
@@ -165,6 +206,9 @@ class PanGroup {
   GroupHandler handler_;
   Thread* seq_thread_ = nullptr;
   std::unique_ptr<SequencerState> seq_;
+  std::unique_ptr<paxos::Participant> pax_;
+  sim::EventHandle pax_tick_;
+  bool crashed_ = false;
 
   std::uint32_t next_expected_ = 1;
   std::map<std::uint32_t, Unit> out_of_order_;

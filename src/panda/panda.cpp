@@ -37,6 +37,10 @@ class KernelPanda final : public Panda {
     }
     gc.history_capacity = config_.group_history;
     gc.bb_threshold = config_.bb_threshold;
+    if (config_.replicated_sequencer) {
+      gc.replicated = true;
+      gc.replicas = config_.replica_set();
+    }
     group_.join(kOrcaGroup, gc);
 
     // Group listener daemon: bridges Amoeba's explicit receive to Panda's
@@ -86,6 +90,24 @@ class KernelPanda final : public Panda {
 
   sim::Co<void> group_send(Thread& self, net::Payload message) override {
     co_await group_.send(self, kOrcaGroup, std::move(message));
+  }
+
+  sim::Co<void> group_leave(Thread& self) override {
+    co_await group_.leave(self, kOrcaGroup);
+  }
+
+  sim::Co<void> group_rejoin(Thread& self) override {
+    co_await group_.rejoin(self, kOrcaGroup);
+  }
+
+  void group_crash() override { group_.crash(kOrcaGroup); }
+
+  std::uint64_t group_view_changes() const override {
+    return group_.view_changes(kOrcaGroup);
+  }
+
+  std::uint64_t group_status_rounds() const override {
+    return group_.status_rounds();
   }
 
  private:
@@ -166,6 +188,24 @@ class UserPanda final : public Panda {
 
   sim::Co<void> group_send(Thread& self, net::Payload message) override {
     co_await group_.send(self, std::move(message));
+  }
+
+  sim::Co<void> group_leave(Thread& self) override {
+    co_await group_.leave(self);
+  }
+
+  sim::Co<void> group_rejoin(Thread& self) override {
+    co_await group_.rejoin(self);
+  }
+
+  void group_crash() override { group_.crash(); }
+
+  std::uint64_t group_view_changes() const override {
+    return group_.view_changes();
+  }
+
+  std::uint64_t group_status_rounds() const override {
+    return group_.status_rounds();
   }
 
   [[nodiscard]] PanSys& sys() noexcept { return sys_; }

@@ -71,6 +71,28 @@ struct ClusterConfig {
   std::size_t group_history = 512;
   /// Messages above this use the BB (sender-broadcast) method.
   std::size_t bb_threshold = 1400;
+  /// Replicated-sequencer mode: the sequencer role is a multi-Paxos replica
+  /// set (led from `sequencer`) instead of a single node, and survives
+  /// sequencer crashes by election. Both bindings support it.
+  bool replicated_sequencer = false;
+  /// Size of the replica set (clamped to the cluster size).
+  std::size_t sequencer_replicas = 3;
+
+  /// The replica set: `sequencer` first, then the following nodes in ring
+  /// order, so every node derives the identical list.
+  [[nodiscard]] std::vector<NodeId> replica_set() const {
+    std::size_t start = 0;
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      if (nodes[i] == sequencer) start = i;
+    }
+    std::vector<NodeId> replicas;
+    const std::size_t count =
+        sequencer_replicas < nodes.size() ? sequencer_replicas : nodes.size();
+    for (std::size_t i = 0; i < count; ++i) {
+      replicas.push_back(nodes[(start + i) % nodes.size()]);
+    }
+    return replicas;
+  }
 };
 
 /// One node's Panda instance. Create one per node via make_panda(), install
@@ -107,6 +129,22 @@ class Panda {
   /// Totally-ordered, blocking group send (returns after own delivery).
   [[nodiscard]] virtual sim::Co<void> group_send(Thread& self,
                                                  net::Payload message) = 0;
+
+  /// Sequenced leave / re-join of the broadcast group (replicated-sequencer
+  /// mode only): the membership change rides the ordered log, so every
+  /// member agrees on the seqno where this node's window closes / reopens.
+  [[nodiscard]] virtual sim::Co<void> group_leave(Thread& self) = 0;
+  [[nodiscard]] virtual sim::Co<void> group_rejoin(Thread& self) = 0;
+
+  /// Fault injection: this node's group stack goes silent — timers
+  /// cancelled, ingress dropped, the Paxos core (if any) crashed. Blocked
+  /// group_send callers on this node never return.
+  virtual void group_crash() = 0;
+
+  /// Views adopted by this member (replicated-sequencer mode; 0 classic).
+  [[nodiscard]] virtual std::uint64_t group_view_changes() const = 0;
+  /// Sequencer history-overflow status rounds run on this node.
+  [[nodiscard]] virtual std::uint64_t group_status_rounds() const = 0;
 
   /// Convenience: spawn a thread on this node.
   Thread& start_thread(std::string name,

@@ -1,0 +1,746 @@
+#include "paxos/paxos.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/require.h"
+
+namespace paxos {
+
+namespace {
+constexpr std::uint8_t kFlagEscalated = 0x80;
+constexpr std::uint8_t kFlagProbe = 0x01;
+constexpr Slot kLearnBatch = 16;
+}  // namespace
+
+Participant::Participant(sim::Simulator& sim, Config cfg)
+    : sim_(&sim), cfg_(std::move(cfg)) {
+  sim::require(!cfg_.replicas.empty(), "paxos: empty replica set");
+  rank_ = rank_of(cfg_.self);
+  members_.insert(cfg_.members.begin(), cfg_.members.end());
+  for (const NodeId r : cfg_.replicas) {
+    sim::require(members_.contains(r), "paxos: replicas must be members");
+  }
+  active_ = members_.contains(cfg_.self);
+  leading_ = rank_ == 0;  // replicas[0] leads view 0
+  if (leading_) {
+    for (const NodeId m : members_) member_horizon_[m] = 0;
+  }
+  if (active_) trace(trace::EventKind::kMemberJoin, 1);
+}
+
+int Participant::rank_of(NodeId n) const {
+  for (std::size_t i = 0; i < cfg_.replicas.size(); ++i) {
+    if (cfg_.replicas[i] == n) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+NodeId Participant::leader() const noexcept {
+  return cfg_.replicas[view_ % cfg_.replicas.size()];
+}
+
+void Participant::trace(trace::EventKind k, std::uint64_t a, std::uint64_t b,
+                        std::uint64_t c) {
+  if (auto* tr = sim_->tracer()) tr->record(cfg_.self, k, a, b, c, cfg_.group);
+}
+
+void Participant::begin(MsgType type, std::uint8_t flags, Ballot ballot) {
+  writer_.u8(static_cast<std::uint8_t>(type));
+  writer_.u8(flags);
+  writer_.u16(0);
+  writer_.u32(cfg_.self);
+  writer_.u64(ballot);
+}
+
+net::Payload Participant::make_request(CmdKind kind, std::uint64_t uid,
+                                       const net::Payload& body,
+                                       bool escalated) {
+  if (kind == CmdKind::kJoin) {
+    join_uid_ = uid;
+    join_slot_ = 0;
+  }
+  begin(MsgType::kReq, static_cast<std::uint8_t>(kind) |
+                           (escalated ? kFlagEscalated : 0),
+        view_);
+  writer_.u64(uid);
+  writer_.u32(applied_);
+  writer_.payload(body);
+  return writer_.take();
+}
+
+net::Payload Participant::make_learn_request(Slot from) {
+  begin(MsgType::kLearnReq, 0, view_);
+  writer_.u32(from);
+  writer_.u32(applied_);
+  return writer_.take();
+}
+
+// --- Ingress ----------------------------------------------------------------
+
+void Participant::on_wire(const net::Payload& wire, Out& out) {
+  if (crashed_) return;
+  net::Reader r(wire);
+  const auto type = static_cast<MsgType>(r.u8());
+  const std::uint8_t flags = r.u8();
+  (void)r.u16();
+  const NodeId from = r.u32();
+  const Ballot b = r.u64();
+  switch (type) {
+    case MsgType::kReq:
+      on_request(from, r, flags, wire, out);
+      break;
+    case MsgType::kPrepare:
+      on_prepare(from, b, r, out);
+      break;
+    case MsgType::kPromise:
+      on_promise(from, b, r, out);
+      break;
+    case MsgType::kAccept:
+      on_accept(from, b, r, out);
+      break;
+    case MsgType::kAccepted:
+      on_accepted(from, b, r, out);
+      break;
+    case MsgType::kCommit:
+      on_commit(from, b, flags, r, out);
+      break;
+    case MsgType::kNewView:
+      on_new_view(from, b, r, out);
+      break;
+    case MsgType::kLearnReq:
+      on_learn_req(from, r, out);
+      break;
+    case MsgType::kLearnRsp:
+      on_learn_rsp(r, out);
+      break;
+    case MsgType::kHorizon: {
+      const Slot h = r.u32();
+      if (leading_) {
+        member_horizon_[from] = std::max(member_horizon_[from], h);
+        silent_rounds_[from] = 0;
+        suspects_.erase(from);
+      }
+      break;
+    }
+    case MsgType::kJoinAck: {
+      const Slot s = r.u32();
+      const std::uint64_t uid = r.u64();
+      if (!active_ && join_uid_ != 0 && uid == join_uid_) {
+        join_slot_ = s;
+        commit_known_ = std::max(commit_known_, s);
+        apply_ready(out);
+      }
+      break;
+    }
+  }
+}
+
+void Participant::on_request(NodeId from, net::Reader& r, std::uint8_t flags,
+                             const net::Payload& wire, Out& out) {
+  const auto kind = static_cast<CmdKind>(flags & 0x3F);
+  const std::uint64_t uid = r.u64();
+  const Slot horizon = r.u32();
+  net::Payload body = r.rest();
+  if (leading_) {
+    member_horizon_[from] = std::max(member_horizon_[from], horizon);
+    silent_rounds_[from] = 0;
+    suspects_.erase(from);
+    if (const auto it = uid_slot_.find(uid); it != uid_slot_.end()) {
+      // Duplicate: the sender missed its outcome. A committed slot is served
+      // back from the log (a join gets its compact ack); an in-flight slot
+      // is covered by the tick's accept resend.
+      if (it->second <= commit_known_) {
+        if (kind == CmdKind::kJoin) {
+          begin(MsgType::kJoinAck, 0, view_);
+          writer_.u32(it->second);
+          writer_.u64(uid);
+          out.sends.push_back({false, from, writer_.take()});
+        } else {
+          serve_learn(from, horizon + 1, out);
+        }
+      }
+      return;
+    }
+    propose(kind, from, uid, std::move(body), out);
+    return;
+  }
+  last_request_seen_ = sim_->now();
+  // A replica relays a misdirected request to the leader it believes in;
+  // escalated (multicast) requests already reached that leader directly.
+  if (is_replica() && (flags & kFlagEscalated) == 0 &&
+      leader() != cfg_.self) {
+    out.sends.push_back({false, leader(), wire});
+  }
+}
+
+// --- Leader -----------------------------------------------------------------
+
+void Participant::propose(CmdKind kind, NodeId sender, std::uint64_t uid,
+                          net::Payload body, Out& out) {
+  const Slot s = next_slot_++;
+  Entry& e = log_[s];
+  e.have = true;
+  e.safe = quorum() == 1;
+  e.ballot = view_;
+  e.kind = kind;
+  e.sender = sender;
+  e.uid = uid;
+  e.payload = std::move(body);
+  if (uid != 0) uid_slot_[uid] = s;
+  acks_[s] = {cfg_.self};
+  ++sequenced_;
+  trace(trace::EventKind::kSeqnoAssign, s, sender, uid);
+  send_accept(s, out);
+  leader_advance_commit(out);
+}
+
+void Participant::send_accept(Slot s, Out& out) {
+  const Entry& e = log_.at(s);
+  begin(MsgType::kAccept, 0, view_);
+  writer_.u32(s);
+  writer_.u32(commit_known_);
+  writer_.u32(trim_floor());
+  writer_.u8(static_cast<std::uint8_t>(e.kind));
+  writer_.u8(0);
+  writer_.u16(0);
+  writer_.u32(e.sender);
+  writer_.u64(e.uid);
+  writer_.payload(e.payload);
+  out.sends.push_back({true, 0, writer_.take()});
+}
+
+void Participant::on_accepted(NodeId from, Ballot b, net::Reader& r, Out& out) {
+  const Slot s = r.u32();
+  const Slot their_applied = r.u32();
+  if (!leading_ || b != view_) return;
+  member_horizon_[from] = std::max(member_horizon_[from], their_applied);
+  silent_rounds_[from] = 0;
+  suspects_.erase(from);
+  acks_[s].insert(from);
+  leader_advance_commit(out);
+}
+
+void Participant::leader_advance_commit(Out& out) {
+  bool advanced = false;
+  while (true) {
+    const auto it = log_.find(commit_known_ + 1);
+    if (it == log_.end() || !it->second.have) break;
+    Entry& e = it->second;
+    if (!e.safe) {
+      const auto a = acks_.find(commit_known_ + 1);
+      if (a == acks_.end() || a->second.size() < quorum()) break;
+      e.safe = true;
+    }
+    ++commit_known_;
+    advanced = true;
+  }
+  if (!advanced) return;
+  begin(MsgType::kCommit, 0, view_);
+  writer_.u32(commit_known_);
+  writer_.u32(trim_floor());
+  out.sends.push_back({true, 0, writer_.take()});
+  apply_ready(out);
+  trim_log(trim_floor());
+}
+
+Slot Participant::trim_floor() const {
+  // Suspects are NOT skipped here, unlike in quiescent(): a "suspect" may
+  // merely be backing off between retries (sender retry intervals dwarf the
+  // suspicion clock), and a trimmed slot can never be served again — a trim
+  // past a live member would turn a false suspicion into real loss. The
+  // price is that a genuinely crashed member pins the log for the rest of
+  // the run; bounded-history pressure is the classic sequencer's story.
+  Slot floor = applied_;
+  for (const NodeId m : members_) {
+    if (m == cfg_.self) continue;
+    const auto it = member_horizon_.find(m);
+    floor = std::min(floor, it == member_horizon_.end() ? 0 : it->second);
+  }
+  return floor;
+}
+
+bool Participant::quiescent() const {
+  if (commit_known_ + 1 != next_slot_) return false;
+  if (applied_ != commit_known_) return false;
+  for (const NodeId m : members_) {
+    if (m == cfg_.self || suspects_.contains(m)) continue;
+    const auto it = member_horizon_.find(m);
+    if (it == member_horizon_.end() || it->second < commit_known_) return false;
+  }
+  return true;
+}
+
+// --- Election ---------------------------------------------------------------
+
+void Participant::on_prepare(NodeId from, Ballot b, net::Reader& r, Out& out) {
+  const Slot from_slot = r.u32();
+  if (!is_replica()) return;
+  if (b <= promised_ || b <= view_) {
+    // Stale candidate: point it at the regime we know.
+    begin(MsgType::kNewView, 0, view_);
+    writer_.u32(commit_known_);
+    writer_.u32(0);
+    out.sends.push_back({false, from, writer_.take()});
+    return;
+  }
+  promised_ = b;
+  leading_ = false;
+  electing_ = electing_ && candidate_ballot_ > b;
+  // The candidate's activity counts as leadership liveness: suppress our own
+  // stagger clock while it works.
+  last_leader_heard_ = sim_->now();
+  std::vector<std::pair<Slot, const Entry*>> entries;
+  for (const auto& [s, e] : log_) {
+    if (s >= from_slot && e.have) entries.emplace_back(s, &e);
+  }
+  begin(MsgType::kPromise, 0, b);
+  writer_.u32(applied_);
+  writer_.u32(commit_known_);
+  writer_.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [s, e] : entries) {
+    writer_.u32(s);
+    writer_.u64(e->ballot);
+    writer_.u8(static_cast<std::uint8_t>(e->kind));
+    writer_.u8(e->safe ? 1 : 0);
+    writer_.u16(0);
+    writer_.u32(e->sender);
+    writer_.u64(e->uid);
+    writer_.u32(static_cast<std::uint32_t>(e->payload.size()));
+    writer_.payload(e->payload);
+  }
+  out.sends.push_back({false, from, writer_.take()});
+}
+
+void Participant::on_promise(NodeId from, Ballot b, net::Reader& r, Out& out) {
+  if (!electing_ || b != candidate_ballot_) return;
+  const Slot their_applied = r.u32();
+  (void)their_applied;
+  const Slot their_commit = r.u32();
+  merged_commit_ = std::max(merged_commit_, their_commit);
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Slot s = r.u32();
+    Entry e;
+    e.have = true;
+    e.ballot = r.u64();
+    e.kind = static_cast<CmdKind>(r.u8());
+    e.safe = r.u8() != 0;
+    (void)r.u16();
+    e.sender = r.u32();
+    e.uid = r.u64();
+    const std::uint32_t len = r.u32();
+    e.payload = r.raw(len);
+    Entry& m = merged_[s];
+    // A safe entry is the chosen value; otherwise the highest ballot wins.
+    if (e.safe) {
+      if (!m.safe) m = std::move(e);
+    } else if (!m.safe && (!m.have || e.ballot > m.ballot)) {
+      m = std::move(e);
+    }
+  }
+  promisers_.insert(from);
+  if (promisers_.size() >= quorum()) become_leader(out);
+}
+
+void Participant::start_election(Out& out) {
+  if (crashed_ || !is_replica()) return;
+  Ballot b = std::max({view_, promised_, candidate_ballot_}) + 1;
+  const std::size_t R = cfg_.replicas.size();
+  while (cfg_.replicas[b % R] != cfg_.self) ++b;
+  electing_ = true;
+  candidate_ballot_ = b;
+  promised_ = b;
+  promisers_.clear();
+  promisers_.insert(cfg_.self);
+  merged_.clear();
+  const Slot from = applied_ + 1;
+  for (const auto& [s, e] : log_) {
+    if (s >= from && e.have) merged_[s] = e;
+  }
+  merged_commit_ = commit_known_;
+  election_deadline_ = sim_->now() + cfg_.lease;
+  begin(MsgType::kPrepare, 0, b);
+  writer_.u32(from);
+  out.sends.push_back({true, 0, writer_.take()});
+  if (promisers_.size() >= quorum()) become_leader(out);
+}
+
+void Participant::become_leader(Out& out) {
+  electing_ = false;
+  view_ = candidate_ballot_;
+  leading_ = true;
+  ++view_changes_;
+  trace(trace::EventKind::kGroupView, view_, cfg_.self);
+  out.view_changed = true;
+
+  // Adopt the promise union. Slots at or below the recovered commit floor
+  // are chosen (quorum intersection guarantees the value survived); above
+  // it, the highest-ballot value is re-proposed and true holes are filled
+  // with noops so the delivered stream stays gapless.
+  for (auto& [s, e] : merged_) {
+    Entry& mine = log_[s];
+    if (e.safe) {
+      if (!mine.safe) mine = e;
+    } else if (!mine.safe && (!mine.have || e.ballot > mine.ballot)) {
+      mine = e;
+    }
+  }
+  const Slot floor = std::max(commit_known_, merged_commit_);
+  for (auto& [s, e] : log_) {
+    if (s <= floor && e.have) e.safe = true;
+  }
+  commit_known_ = std::max(commit_known_, floor);
+  const Slot maxs = log_.empty() ? 0 : log_.rbegin()->first;
+  next_slot_ = std::max(maxs, floor) + 1;
+
+  uid_slot_.clear();
+  acks_.clear();
+  for (const auto& [s, e] : log_) {
+    if (e.uid != 0) uid_slot_[e.uid] = s;
+  }
+  member_horizon_.clear();
+  for (const NodeId m : members_) member_horizon_[m] = 0;
+  member_horizon_[cfg_.self] = applied_;
+  silent_rounds_.clear();
+  suspects_.clear();
+  tick_commit_seen_ = commit_known_;
+
+  for (Slot s = floor + 1; s < next_slot_; ++s) {
+    Entry& e = log_[s];
+    if (!e.have) {
+      e.have = true;
+      e.kind = CmdKind::kNoop;
+      e.sender = kNoopSender;
+      e.uid = 0;
+      e.payload = net::Payload();
+    }
+    e.ballot = view_;
+    e.safe = quorum() == 1;
+    acks_[s] = {cfg_.self};
+    ++sequenced_;
+    trace(trace::EventKind::kSeqnoAssign, s, e.sender, e.uid);
+    send_accept(s, out);
+  }
+  begin(MsgType::kNewView, 0, view_);
+  writer_.u32(commit_known_);
+  writer_.u32(trim_floor());
+  out.sends.push_back({true, 0, writer_.take()});
+  leader_advance_commit(out);
+  apply_ready(out);
+}
+
+// --- Learner ----------------------------------------------------------------
+
+void Participant::note_leader(Ballot b, Out& out) {
+  last_leader_heard_ = sim_->now();
+  if (b <= view_) return;
+  view_ = b;
+  leading_ = false;
+  if (electing_ && candidate_ballot_ <= b) electing_ = false;
+  ++view_changes_;
+  trace(trace::EventKind::kGroupView, b, leader());
+  out.view_changed = true;
+}
+
+void Participant::mark_safe_up_to(Slot upto, Ballot b) {
+  commit_known_ = std::max(commit_known_, upto);
+  for (Slot s = applied_ + 1; s <= commit_known_; ++s) {
+    const auto it = log_.find(s);
+    if (it == log_.end()) continue;
+    Entry& e = it->second;
+    if (e.have && !e.safe && e.ballot == b) e.safe = true;
+  }
+}
+
+void Participant::on_accept(NodeId from, Ballot b, net::Reader& r, Out& out) {
+  if (is_replica() && b < promised_) return;  // stale leader
+  const Slot s = r.u32();
+  const Slot commit_upto = r.u32();
+  const Slot trim_upto = r.u32();
+  const auto kind = static_cast<CmdKind>(r.u8());
+  (void)r.u8();
+  (void)r.u16();
+  const NodeId sender = r.u32();
+  const std::uint64_t uid = r.u64();
+  net::Payload body = r.rest();
+  note_leader(b, out);
+  if (s > applied_) {
+    Entry& e = log_[s];
+    if (!e.safe && (!e.have || b >= e.ballot)) {
+      e.have = true;
+      e.ballot = b;
+      e.kind = kind;
+      e.sender = sender;
+      e.uid = uid;
+      e.payload = std::move(body);
+    }
+  }
+  if (!active_ && join_uid_ != 0 && kind == CmdKind::kJoin &&
+      sender == cfg_.self && uid == join_uid_) {
+    join_slot_ = s;  // our join is in the log; activation waits for commit
+  }
+  if (is_replica()) {
+    promised_ = std::max(promised_, b);
+    begin(MsgType::kAccepted, 0, b);
+    writer_.u32(s);
+    writer_.u32(applied_);
+    out.sends.push_back({false, from, writer_.take()});
+  }
+  mark_safe_up_to(commit_upto, b);
+  trim_log(trim_upto);
+  apply_ready(out);
+}
+
+void Participant::on_commit(NodeId from, Ballot b, std::uint8_t flags,
+                            net::Reader& r, Out& out) {
+  const Slot upto = r.u32();
+  const Slot trim_upto = r.u32();
+  note_leader(b, out);
+  mark_safe_up_to(upto, b);
+  trim_log(trim_upto);
+  apply_ready(out);
+  if ((flags & kFlagProbe) != 0 && from != cfg_.self) {
+    begin(MsgType::kHorizon, 0, view_);
+    writer_.u32(applied_);
+    out.sends.push_back({false, from, writer_.take()});
+  }
+}
+
+void Participant::on_new_view(NodeId from, Ballot b, net::Reader& r, Out& out) {
+  (void)from;
+  const Slot floor = r.u32();
+  const Slot trim_upto = r.u32();
+  note_leader(b, out);
+  commit_known_ = std::max(commit_known_, floor);
+  trim_log(trim_upto);
+  apply_ready(out);
+}
+
+void Participant::on_learn_req(NodeId from, net::Reader& r, Out& out) {
+  const Slot want = r.u32();
+  const Slot their_applied = r.u32();
+  if (leading_) {
+    member_horizon_[from] = std::max(member_horizon_[from], their_applied);
+    silent_rounds_[from] = 0;
+    suspects_.erase(from);
+  } else {
+    // Repeated catch-up asks are evidence the asker cannot reach a leader.
+    last_request_seen_ = sim_->now();
+  }
+  serve_learn(from, want, out);
+}
+
+void Participant::serve_learn(NodeId to, Slot from, Out& out) {
+  if (from > commit_known_) return;
+  const Slot last = std::min(commit_known_, from + kLearnBatch - 1);
+  std::vector<std::pair<Slot, const Entry*>> entries;
+  for (Slot s = from; s <= last; ++s) {
+    const auto it = log_.find(s);
+    if (it != log_.end() && it->second.have && it->second.safe) {
+      entries.emplace_back(s, &it->second);
+    }
+  }
+  if (entries.empty()) return;
+  trace(trace::EventKind::kRetransmit, from, trace::kReasonSequencerResend);
+  begin(MsgType::kLearnRsp, 0, view_);
+  writer_.u32(commit_known_);
+  writer_.u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& [s, e] : entries) {
+    writer_.u32(s);
+    writer_.u8(static_cast<std::uint8_t>(e->kind));
+    writer_.u8(0);
+    writer_.u16(0);
+    writer_.u32(e->sender);
+    writer_.u64(e->uid);
+    writer_.u32(static_cast<std::uint32_t>(e->payload.size()));
+    writer_.payload(e->payload);
+  }
+  out.sends.push_back({false, to, writer_.take()});
+}
+
+void Participant::on_learn_rsp(net::Reader& r, Out& out) {
+  const Slot upto = r.u32();
+  commit_known_ = std::max(commit_known_, upto);
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Slot s = r.u32();
+    const auto kind = static_cast<CmdKind>(r.u8());
+    (void)r.u8();
+    (void)r.u16();
+    const NodeId sender = r.u32();
+    const std::uint64_t uid = r.u64();
+    const std::uint32_t len = r.u32();
+    net::Payload body = r.raw(len);
+    if (s <= applied_) continue;
+    Entry& e = log_[s];
+    if (e.safe) continue;
+    e.have = true;
+    e.safe = true;  // authoritative: served from a committed prefix
+    e.kind = kind;
+    e.sender = sender;
+    e.uid = uid;
+    e.payload = std::move(body);
+  }
+  learn_outstanding_ = false;  // tries persist so escalation sticks
+  apply_ready(out);
+}
+
+void Participant::request_learn(Out& out) {
+  learn_outstanding_ = true;
+  learn_sent_ = sim_->now();
+  ++learn_tries_;
+  trace(trace::EventKind::kRetransmit, applied_ + 1, trace::kReasonGapRequest);
+  net::Payload wire = make_learn_request(applied_ + 1);
+  // Escalate to the whole replica set once the believed leader looks dead:
+  // any replica may serve its committed prefix.
+  if (learn_tries_ >= 3 || leader() == cfg_.self) {
+    out.sends.push_back({true, 0, std::move(wire)});
+  } else {
+    out.sends.push_back({false, leader(), std::move(wire)});
+  }
+}
+
+void Participant::try_activate(Out& out) {
+  if (active_ || crashed_ || join_slot_ == 0 || commit_known_ < join_slot_) {
+    return;
+  }
+  applied_ = std::max(applied_, join_slot_);
+  log_.erase(log_.begin(), log_.upper_bound(applied_));
+  active_ = true;
+  learn_outstanding_ = false;
+  learn_tries_ = 0;
+  trace(trace::EventKind::kMemberJoin, applied_ + 1);
+  out.activated = true;
+  out.activated_uid = join_uid_;
+  join_uid_ = 0;
+  join_slot_ = 0;
+}
+
+void Participant::apply_ready(Out& out) {
+  if (!active_) {
+    try_activate(out);
+    if (!active_) return;
+  }
+  while (applied_ < commit_known_) {
+    const auto it = log_.find(applied_ + 1);
+    if (it == log_.end() || !it->second.have || !it->second.safe) break;
+    const Entry e = it->second;
+    const Slot s = ++applied_;
+    learn_outstanding_ = false;
+    learn_tries_ = 0;
+    if (e.kind == CmdKind::kJoin) {
+      members_.insert(e.sender);
+      if (leading_) {
+        member_horizon_[e.sender] = s;  // the joiner starts applied at s
+        silent_rounds_[e.sender] = 0;
+        suspects_.erase(e.sender);
+        if (e.sender != cfg_.self) {
+          begin(MsgType::kJoinAck, 0, view_);
+          writer_.u32(s);
+          writer_.u64(e.uid);
+          out.sends.push_back({false, e.sender, writer_.take()});
+        }
+      }
+    } else if (e.kind == CmdKind::kLeave) {
+      members_.erase(e.sender);
+      if (leading_) {
+        member_horizon_.erase(e.sender);
+        silent_rounds_.erase(e.sender);
+        suspects_.erase(e.sender);
+      }
+    }
+    out.decisions.push_back(Decision{s, e.kind, e.sender, e.uid, e.payload});
+    if (e.kind == CmdKind::kLeave && e.sender == cfg_.self) {
+      // Our own leave: the leave slot is the last one we deliver.
+      trace(trace::EventKind::kMemberLeave, s);
+      active_ = false;
+      out.deactivated = true;
+      out.deactivated_uid = e.uid;
+      break;
+    }
+  }
+  if (leading_) {
+    member_horizon_[cfg_.self] = applied_;
+  } else if (active_ && applied_ < commit_known_ && !learn_outstanding_) {
+    request_learn(out);
+  }
+}
+
+void Participant::trim_log(Slot upto) {
+  const Slot cut = std::min(upto, applied_);
+  if (cut == 0) return;
+  log_.erase(log_.begin(), log_.upper_bound(cut));
+}
+
+// --- Timers -----------------------------------------------------------------
+
+bool Participant::need_tick() const noexcept {
+  if (crashed_) return false;
+  if (leading_) return !quiescent();
+  if (is_replica()) {
+    if (electing_) return true;
+    const Slot maxs = log_.empty() ? 0 : log_.rbegin()->first;
+    if (maxs > commit_known_) return true;
+    if (last_request_seen_ > last_leader_heard_) return true;
+  }
+  return learn_outstanding_ && applied_ < commit_known_;
+}
+
+void Participant::on_tick(Out& out) {
+  if (crashed_) return;
+  const sim::Time now = sim_->now();
+  if (leading_) {
+    if (quiescent()) return;
+    if (commit_known_ == tick_commit_seen_) {
+      // No progress since the last tick: nudge the uncommitted head and
+      // probe member horizons (the probe doubles as the suspicion clock for
+      // members that have gone silent — a crashed old leader, say).
+      if (commit_known_ + 1 < next_slot_) {
+        const auto it = log_.find(commit_known_ + 1);
+        if (it != log_.end() && it->second.have) {
+          trace(trace::EventKind::kRetransmit, commit_known_ + 1,
+                trace::kReasonSequencerResend);
+          send_accept(commit_known_ + 1, out);
+        }
+      }
+      bool lagging = false;
+      for (const NodeId m : members_) {
+        if (m == cfg_.self || suspects_.contains(m)) continue;
+        if (member_horizon_[m] >= commit_known_) continue;
+        lagging = true;
+        if (++silent_rounds_[m] > cfg_.suspect_after) suspects_.insert(m);
+      }
+      if (lagging) {
+        begin(MsgType::kCommit, kFlagProbe, view_);
+        writer_.u32(commit_known_);
+        writer_.u32(trim_floor());
+        out.sends.push_back({true, 0, writer_.take()});
+      }
+    }
+    tick_commit_seen_ = commit_known_;
+    return;
+  }
+  if (is_replica()) {
+    if (electing_) {
+      if (now >= election_deadline_) start_election(out);
+    } else {
+      const Slot maxs = log_.empty() ? 0 : log_.rbegin()->first;
+      const bool interest = maxs > commit_known_ ||
+                            last_request_seen_ > last_leader_heard_;
+      if (interest &&
+          now >= last_leader_heard_ + cfg_.lease +
+                     cfg_.stagger * static_cast<sim::Time>(rank_)) {
+        start_election(out);
+      }
+    }
+  }
+  if (active_ && learn_outstanding_ && applied_ < commit_known_ &&
+      now - learn_sent_ >= cfg_.lease / 2) {
+    request_learn(out);
+  }
+}
+
+void Participant::crash() { crashed_ = true; }
+
+}  // namespace paxos

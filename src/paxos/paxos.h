@@ -1,0 +1,278 @@
+// Replicated sequencer: a multi-Paxos core shared by both protocol bindings.
+//
+// The paper's sequencer (Kaashoek, §2/§4.3) is a single point of failure; the
+// ROADMAP names a replicated sequencer as the next step. This module replaces
+// the sequencer *role* with a replicated state machine: a small set of
+// replicas runs multi-Paxos over the ordered log of group messages, with a
+// stable leader that plays the sequencer (assigns slots = seqnos) and
+// disseminates the accept phase over the segment's hardware multicast, per
+// Ring Paxos ("Ring Paxos: High-Throughput Atomic Broadcast"): the accept for
+// a slot carries the full value and is multicast once to the whole group, so
+// acceptors and plain learners share one transmission.
+//
+// The Participant is transport- and binding-agnostic: it never touches the
+// simulator queue, never draws randomness, and does no I/O. The bindings —
+// kernel-space (amoeba::KernelGroup, driven from the FLIP interrupt handlers)
+// and user-space (panda::PanGroup, driven from the receive daemon and the
+// sequencer thread) — feed it wire payloads and timer ticks, and flush the
+// resulting sends/decisions through their own stacks with their own cost
+// models. That replays the paper's kernel-vs-user axis against a consensus
+// workload: same algorithm, different crossings.
+//
+// Covered failure modes (exercised by the failover workloads/sweeps):
+//   * leader crash mid-stream: followers detect silence past the lease,
+//     elect by rank-staggered prepare, recover uncommitted slots from
+//     promises (highest ballot wins), fill holes with noops, re-propose;
+//   * lost accepts/commits: leader re-multicasts the lowest uncommitted slot
+//     while not quiescent; learners fetch missed committed slots (log
+//     catch-up) from the leader or, escalated, from any replica;
+//   * member join/leave: sequenced through the same log as commands, so
+//     every member agrees on the exact slot a membership window opens/closes.
+//
+// Safety invariants (proved per run by trace::TraceChecker):
+//   * a slot is applied only when known chosen ("safe"): covered by a commit
+//     horizon under the ballot that accepted it locally, or learned from an
+//     authoritative catch-up response;
+//   * a new leader re-proposes above max(promise commit horizons) only, and
+//     adopts the highest-ballot promise entry per slot below its range.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/buffer.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+#include "trace/tracer.h"
+
+namespace paxos {
+
+using NodeId = std::uint32_t;
+using Slot = std::uint32_t;
+using Ballot = std::uint64_t;
+
+/// Sender id for leader-generated hole-filling noops.
+inline constexpr NodeId kNoopSender = 0xFFFF'FFFF;
+
+/// What a log entry carries. Everything is sequenced — including membership
+/// changes, so all members agree on the slot where a window opens or closes.
+enum class CmdKind : std::uint8_t { kApp = 0, kNoop = 1, kJoin = 2, kLeave = 3 };
+
+struct Config {
+  /// Acceptor set; replicas[view % replicas.size()] leads that view. The
+  /// initial leader is replicas[0]. Replicas must not leave the group.
+  std::vector<NodeId> replicas;
+  NodeId self = 0;
+  /// Initial delivery membership (replicas included).
+  std::vector<NodeId> members;
+  /// Trace tag: the `d` field of group events emitted by this core.
+  std::uint64_t group = 0;
+  /// Leader silence beyond this makes interested followers start an election.
+  sim::Time lease = sim::msec(60);
+  /// Timer granularity: bindings call on_tick() at this period while
+  /// need_tick() holds.
+  sim::Time tick = sim::msec(10);
+  /// Election stagger per replica rank; keeps followers from duelling.
+  sim::Time stagger = sim::msec(20);
+  /// Probe rounds without a sign of life before the leader stops waiting for
+  /// a member (excludes it from quiescence — but never from the trim floor:
+  /// a suspect may just be backing off between retries, and a trimmed slot
+  /// can never be served again).
+  int suspect_after = 5;
+};
+
+/// One applied log entry, in slot (= seqno) order.
+struct Decision {
+  Slot seqno = 0;
+  CmdKind kind = CmdKind::kApp;
+  NodeId sender = 0;
+  std::uint64_t uid = 0;
+  net::Payload payload;
+};
+
+struct Send {
+  bool multicast = false;
+  NodeId dst = 0;  // meaningful when !multicast
+  net::Payload wire;
+};
+
+/// Everything one core invocation asks the binding to do. The binding owns
+/// transport, cost charging, delivery tracing, and sender wakeups.
+struct Out {
+  std::vector<Send> sends;
+  std::vector<Decision> decisions;
+  /// The view moved: pending requests should be re-aimed at leader() now.
+  bool view_changed = false;
+  /// This member finished (re)joining; the send carrying `activated_uid`
+  /// is complete.
+  bool activated = false;
+  std::uint64_t activated_uid = 0;
+  /// This member's leave was applied; deliveries stop after `decisions`.
+  bool deactivated = false;
+  std::uint64_t deactivated_uid = 0;
+};
+
+class Participant {
+ public:
+  Participant(sim::Simulator& sim, Config cfg);
+
+  Participant(const Participant&) = delete;
+  Participant& operator=(const Participant&) = delete;
+
+  /// Serialize a client request the binding can (re)send to leader(). With
+  /// `escalated` set the binding multicasts it instead — any replica forwards
+  /// it to the leader it believes in, and repeated escalations count as
+  /// evidence the leader is gone. kJoin requests also arm the join watch.
+  [[nodiscard]] net::Payload make_request(CmdKind kind, std::uint64_t uid,
+                                          const net::Payload& body,
+                                          bool escalated);
+
+  /// Same for a log catch-up request (used internally; exposed for tests).
+  [[nodiscard]] net::Payload make_learn_request(Slot from);
+
+  /// Feed one core wire (the payload the binding unwrapped from its own
+  /// group header). Appends to `out`.
+  void on_wire(const net::Payload& wire, Out& out);
+
+  /// Timer tick; bindings arm a repeating tick while need_tick() holds.
+  void on_tick(Out& out);
+  [[nodiscard]] bool need_tick() const noexcept;
+
+  /// Stop participating (crash injection). The core goes silent; it never
+  /// recovers within a run.
+  void crash();
+
+  // Introspection.
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+  [[nodiscard]] bool is_replica() const noexcept { return rank_ >= 0; }
+  [[nodiscard]] bool is_leader() const noexcept { return leading_; }
+  [[nodiscard]] NodeId leader() const noexcept;
+  [[nodiscard]] Ballot view() const noexcept { return view_; }
+  [[nodiscard]] bool active() const noexcept { return active_; }
+  [[nodiscard]] Slot applied() const noexcept { return applied_; }
+  [[nodiscard]] Slot committed() const noexcept { return commit_known_; }
+  [[nodiscard]] std::uint64_t view_changes() const noexcept {
+    return view_changes_;
+  }
+  [[nodiscard]] std::uint64_t sequenced_count() const noexcept {
+    return sequenced_;
+  }
+
+ private:
+  enum class MsgType : std::uint8_t {
+    kReq = 1,       // client -> leader (or multicast when escalated)
+    kPrepare = 2,   // candidate -> replicas (multicast)
+    kPromise = 3,   // replica -> candidate, with log tail
+    kAccept = 4,    // leader -> group (multicast, full value — Ring Paxos)
+    kAccepted = 5,  // replica -> leader
+    kCommit = 6,    // leader -> group (commit horizon; doubles as probe)
+    kNewView = 7,   // leader -> group after winning an election
+    kLearnReq = 8,  // learner -> leader (escalated: multicast) catch-up ask
+    kLearnRsp = 9,  // authoritative committed entries
+    kHorizon = 10,  // member -> leader: applied horizon (probe answer)
+    kJoinAck = 11,  // leader -> joiner: your join committed at this slot
+  };
+
+  struct Entry {
+    bool have = false;
+    bool safe = false;  // known chosen; may be applied
+    Ballot ballot = 0;
+    CmdKind kind = CmdKind::kNoop;
+    NodeId sender = kNoopSender;
+    std::uint64_t uid = 0;
+    net::Payload payload;
+  };
+
+  // Message handlers (wire already parsed down to the shared header).
+  void on_request(NodeId from, net::Reader& r, std::uint8_t flags,
+                  const net::Payload& wire, Out& out);
+  void on_prepare(NodeId from, Ballot b, net::Reader& r, Out& out);
+  void on_promise(NodeId from, Ballot b, net::Reader& r, Out& out);
+  void on_accept(NodeId from, Ballot b, net::Reader& r, Out& out);
+  void on_accepted(NodeId from, Ballot b, net::Reader& r, Out& out);
+  void on_commit(NodeId from, Ballot b, std::uint8_t flags, net::Reader& r,
+                 Out& out);
+  void on_new_view(NodeId from, Ballot b, net::Reader& r, Out& out);
+  void on_learn_req(NodeId from, net::Reader& r, Out& out);
+  void on_learn_rsp(net::Reader& r, Out& out);
+  void serve_learn(NodeId to, Slot from, Out& out);
+
+  // Leader side.
+  void propose(CmdKind kind, NodeId sender, std::uint64_t uid,
+               net::Payload body, Out& out);
+  void leader_advance_commit(Out& out);
+  void send_accept(Slot s, Out& out);
+  [[nodiscard]] Slot trim_floor() const;
+  [[nodiscard]] bool quiescent() const;
+
+  // Election.
+  void start_election(Out& out);
+  void become_leader(Out& out);
+
+  // Learner side.
+  void note_leader(Ballot b, Out& out);
+  void mark_safe_up_to(Slot upto, Ballot b);
+  void apply_ready(Out& out);
+  void try_activate(Out& out);
+  void request_learn(Out& out);
+  void trim_log(Slot upto);
+
+  void begin(MsgType type, std::uint8_t flags, Ballot ballot);
+  [[nodiscard]] int rank_of(NodeId n) const;
+  [[nodiscard]] std::size_t quorum() const {
+    return cfg_.replicas.size() / 2 + 1;
+  }
+  void trace(trace::EventKind k, std::uint64_t a = 0, std::uint64_t b = 0,
+             std::uint64_t c = 0);
+
+  sim::Simulator* sim_;
+  Config cfg_;
+  int rank_ = -1;  // index in cfg_.replicas, -1 for plain members
+  net::Writer writer_;
+
+  // Shared learner state.
+  Ballot view_ = 0;           // highest ballot whose leadership we've seen
+  Ballot promised_ = 0;       // highest ballot promised (replicas)
+  Slot applied_ = 0;          // delivered prefix
+  Slot commit_known_ = 0;     // highest commit horizon heard
+  std::map<Slot, Entry> log_;
+  bool active_ = true;        // delivering? (false between leave and re-join)
+  bool crashed_ = false;
+  std::set<NodeId> members_;
+  std::uint64_t view_changes_ = 0;
+
+  // Leader state (valid while leading_).
+  bool leading_ = false;
+  Slot next_slot_ = 1;
+  std::map<std::uint64_t, Slot> uid_slot_;
+  std::map<Slot, std::set<NodeId>> acks_;
+  std::map<NodeId, Slot> member_horizon_;
+  std::map<NodeId, int> silent_rounds_;
+  std::set<NodeId> suspects_;
+  Slot tick_commit_seen_ = 0;  // progress marker between probe rounds
+  std::uint64_t sequenced_ = 0;
+
+  // Election state (replicas).
+  bool electing_ = false;
+  Ballot candidate_ballot_ = 0;
+  std::set<NodeId> promisers_;
+  std::map<Slot, Entry> merged_;
+  Slot merged_commit_ = 0;
+  sim::Time election_deadline_ = 0;
+  sim::Time last_leader_heard_ = 0;
+  sim::Time last_request_seen_ = 0;
+
+  // Learner catch-up state.
+  bool learn_outstanding_ = false;
+  sim::Time learn_sent_ = 0;
+  int learn_tries_ = 0;
+
+  // Join watch (set by make_request(kJoin)).
+  std::uint64_t join_uid_ = 0;
+  Slot join_slot_ = 0;  // 0 = unknown
+};
+
+}  // namespace paxos

@@ -63,39 +63,78 @@ std::vector<std::string> TraceChecker::check_exactly_once_rpc() const {
 
 std::vector<std::string> TraceChecker::check_total_order() const {
   std::vector<std::string> out;
-  struct Assigned {
-    std::uint64_t sender = 0;
-    bool seen = false;
-  };
-  // group id -> seqno -> assignment; events appear in trace (= time) order.
-  std::map<std::uint64_t, std::map<std::uint64_t, Assigned>> assigned;
+  // Groups where leadership moved: a new leader legally re-assigns slots it
+  // recovered from promises, so the classic one-shot assignment rules relax.
+  std::set<std::uint64_t> has_view_change;
+  for (const Event& e : *events_) {
+    if (e.kind == EventKind::kGroupView) has_view_change.insert(e.d);
+  }
+
+  // group -> seqno -> every sender it was ever assigned to.
+  std::map<std::uint64_t, std::map<std::uint64_t, std::set<std::uint64_t>>>
+      assigned;
   std::map<std::uint64_t, std::uint64_t> last_assigned;
-  // (group, node) -> next expected seqno.
+  // (group, node) -> next expected seqno - 1; join events reposition it.
   std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint64_t> expect;
+  // (group, node) -> closed window end (node left at that slot).
+  std::map<std::pair<std::uint64_t, std::uint32_t>, std::uint64_t> left_at;
   // group -> seqno -> (sender, bytes) as first delivered anywhere.
   std::map<std::uint64_t, std::map<std::uint64_t,
                                    std::pair<std::uint64_t, std::uint64_t>>>
       content;
 
   for (const Event& e : *events_) {
-    if (e.kind == EventKind::kSeqnoAssign) {
+    if (e.kind == EventKind::kMemberJoin) {
+      // Window opens at e.a: the next delivery must be exactly e.a.
+      expect[{e.d, e.node}] = e.a == 0 ? 0 : e.a - 1;
+      left_at.erase({e.d, e.node});
+    } else if (e.kind == EventKind::kMemberLeave) {
+      // Window closes after slot e.a (the leave is itself delivered).
+      left_at[{e.d, e.node}] = e.a;
+    } else if (e.kind == EventKind::kSeqnoAssign) {
       const std::uint64_t g = e.d;
-      if (e.a != last_assigned[g] + 1) {
-        out.push_back(fmt("group %llu: sequencer assigned %llu after %llu",
-                          static_cast<unsigned long long>(g),
-                          static_cast<unsigned long long>(e.a),
-                          static_cast<unsigned long long>(last_assigned[g])));
+      auto& senders = assigned[g][e.a];
+      if (!has_view_change.contains(g)) {
+        // Single stable sequencer: strictly consecutive, never repeated.
+        if (e.a != last_assigned[g] + 1) {
+          out.push_back(fmt("group %llu: sequencer assigned %llu after %llu",
+                            static_cast<unsigned long long>(g),
+                            static_cast<unsigned long long>(e.a),
+                            static_cast<unsigned long long>(last_assigned[g])));
+        }
+        if (!senders.empty()) {
+          out.push_back(fmt("group %llu: seqno %llu assigned twice",
+                            static_cast<unsigned long long>(g),
+                            static_cast<unsigned long long>(e.a)));
+        }
+      } else {
+        // Re-assignment is legal across views — but a slot some member has
+        // already delivered is chosen, and choosing a different value for it
+        // would violate Paxos safety.
+        const auto cit = content[g].find(e.a);
+        if (cit != content[g].end() && cit->second.first != e.b) {
+          out.push_back(
+              fmt("group %llu: delivered seqno %llu re-assigned from sender "
+                  "%llu to %llu (chosen value changed)",
+                  static_cast<unsigned long long>(g),
+                  static_cast<unsigned long long>(e.a),
+                  static_cast<unsigned long long>(cit->second.first),
+                  static_cast<unsigned long long>(e.b)));
+        }
       }
       last_assigned[g] = e.a;
-      auto& slot = assigned[g][e.a];
-      if (slot.seen) {
-        out.push_back(fmt("group %llu: seqno %llu assigned twice",
-                          static_cast<unsigned long long>(g),
-                          static_cast<unsigned long long>(e.a)));
-      }
-      slot = Assigned{e.b, true};
+      senders.insert(e.b);
     } else if (e.kind == EventKind::kGroupDeliver) {
       const std::uint64_t g = e.d;
+      if (const auto lit = left_at.find({g, e.node});
+          lit != left_at.end() && e.a > lit->second) {
+        out.push_back(
+            fmt("group %llu node %u: delivered seqno %llu after leaving at "
+                "%llu",
+                static_cast<unsigned long long>(g), e.node,
+                static_cast<unsigned long long>(e.a),
+                static_cast<unsigned long long>(lit->second)));
+      }
       auto& next = expect[{g, e.node}];
       if (e.a != next + 1) {
         out.push_back(
@@ -111,14 +150,13 @@ std::vector<std::string> TraceChecker::check_total_order() const {
         out.push_back(fmt("group %llu node %u: delivered unassigned seqno %llu",
                           static_cast<unsigned long long>(g), e.node,
                           static_cast<unsigned long long>(e.a)));
-      } else if (it->second.sender != e.b) {
+      } else if (!it->second.contains(e.b)) {
         out.push_back(
             fmt("group %llu node %u: seqno %llu delivered from sender %llu "
-                "but assigned to %llu",
+                "but never assigned to it",
                 static_cast<unsigned long long>(g), e.node,
                 static_cast<unsigned long long>(e.a),
-                static_cast<unsigned long long>(e.b),
-                static_cast<unsigned long long>(it->second.sender)));
+                static_cast<unsigned long long>(e.b)));
       }
       auto [cit, fresh] = content[g].emplace(e.a, std::make_pair(e.b, e.c));
       if (!fresh && cit->second != std::make_pair(e.b, e.c)) {
@@ -126,6 +164,68 @@ std::vector<std::string> TraceChecker::check_total_order() const {
             fmt("group %llu: members disagree on seqno %llu content",
                 static_cast<unsigned long long>(g),
                 static_cast<unsigned long long>(e.a)));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> TraceChecker::check_no_loss() const {
+  std::vector<std::string> out;
+  struct Member {
+    std::uint64_t window_from = 1;    // current window start
+    std::uint64_t delivered = 0;      // max delivered in the current window
+    bool crashed = false;
+    bool left = false;
+    std::uint64_t left_slot = 0;
+  };
+  std::map<std::uint64_t, std::map<std::uint32_t, Member>> groups;
+
+  for (const Event& e : *events_) {
+    switch (e.kind) {
+      case EventKind::kMemberJoin: {
+        Member& m = groups[e.d][e.node];
+        m.window_from = e.a == 0 ? 1 : e.a;
+        m.delivered = m.window_from - 1;
+        m.left = false;
+        break;
+      }
+      case EventKind::kMemberLeave: {
+        Member& m = groups[e.d][e.node];
+        m.left = true;
+        m.left_slot = e.a;
+        break;
+      }
+      case EventKind::kCrash:
+        groups[e.d][e.node].crashed = true;
+        break;
+      case EventKind::kGroupDeliver: {
+        Member& m = groups[e.d][e.node];
+        m.delivered = std::max(m.delivered, e.a);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  for (const auto& [g, members] : groups) {
+    // The horizon every surviving member must reach: the highest seqno any
+    // non-crashed member delivered.
+    std::uint64_t horizon = 0;
+    for (const auto& [node, m] : members) {
+      if (!m.crashed) horizon = std::max(horizon, m.delivered);
+    }
+    for (const auto& [node, m] : members) {
+      if (m.crashed) continue;  // a crashed node's stream may stop anywhere
+      const std::uint64_t need = m.left ? m.left_slot : horizon;
+      if (m.delivered < need && need >= m.window_from) {
+        out.push_back(
+            fmt("group %llu node %u: delivered up to %llu but the group "
+                "reached %llu (loss across failover)",
+                static_cast<unsigned long long>(g), node,
+                static_cast<unsigned long long>(m.delivered),
+                static_cast<unsigned long long>(need)));
       }
     }
   }
@@ -193,11 +293,21 @@ std::vector<std::string> TraceChecker::check_frame_lineage() const {
 std::vector<std::string> TraceChecker::check_loss_recovery() const {
   std::vector<std::string> out;
   std::size_t data_drops = 0, retransmits = 0;
+  bool replicated = false;
   for (const Event& e : *events_) {
     if (e.kind == EventKind::kFrameDrop && (e.d >> 1) == kClassData) {
       ++data_drops;
     }
     if (e.kind == EventKind::kRetransmit) ++retransmits;
+    if (e.kind == EventKind::kGroupView) replicated = true;
+  }
+  if (replicated) {
+    // Only the replicated sequencer emits kGroupView. There, loss repair is
+    // leader-driven — re-sent accepts and learn requests at tick cadence —
+    // and never surfaces as a binding-level retransmit, so "drops imply
+    // retransmits" does not hold. Recovery is instead proven by the no-gap
+    // delivery invariants above.
+    return out;
   }
   if (data_drops > 0 && retransmits == 0) {
     out.push_back(fmt(
@@ -245,6 +355,7 @@ std::vector<std::string> TraceChecker::check_all(
     const sim::Ledger* aggregate) const {
   std::vector<std::string> out = check_exactly_once_rpc();
   for (auto&& v : check_total_order()) out.push_back(std::move(v));
+  for (auto&& v : check_no_loss()) out.push_back(std::move(v));
   for (auto&& v : check_frame_lineage()) out.push_back(std::move(v));
   for (auto&& v : check_loss_recovery()) out.push_back(std::move(v));
   if (aggregate != nullptr) {

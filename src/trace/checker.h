@@ -6,9 +6,18 @@
 //   * exactly-once RPC: no transaction id executes twice at the server, and
 //     every successful call executed exactly once — retransmissions and
 //     duplicated frames notwithstanding;
-//   * gapless total order: every group member delivers seqnos 1..k with no
-//     gap or reorder, all members agree on (sender, size) per seqno, and
-//     deliveries match what the sequencer actually assigned;
+//   * gapless total order: every group member delivers consecutive seqnos
+//     within its membership window(s) with no gap or reorder, all members
+//     agree on (sender, size) per seqno, and deliveries match what the
+//     sequencer actually assigned. Membership windows come from the
+//     kMemberJoin/kMemberLeave events the replicated sequencer emits (a node
+//     with no membership events is open from seqno 1, the classic protocol).
+//     In a trace with view changes (kGroupView) a new leader may legally
+//     re-assign a seqno — but never with a different value once any member
+//     has delivered it (the Paxos safety clause);
+//   * no loss across failover: every seqno delivered by any surviving member
+//     is delivered by every member whose window covers it, crashed nodes
+//     (kCrash) exempted;
 //   * frame lineage: every NIC interrupt stems from a traced wire
 //     transmission, every wire-path FLIP delivery is backed by a received
 //     interrupt for each of its fragments (so no delivery was derived from a
@@ -36,6 +45,7 @@ class TraceChecker {
 
   [[nodiscard]] std::vector<std::string> check_exactly_once_rpc() const;
   [[nodiscard]] std::vector<std::string> check_total_order() const;
+  [[nodiscard]] std::vector<std::string> check_no_loss() const;
   [[nodiscard]] std::vector<std::string> check_frame_lineage() const;
   [[nodiscard]] std::vector<std::string> check_loss_recovery() const;
 

@@ -23,6 +23,10 @@ int lane_of(EventKind k) noexcept {
     case EventKind::kGroupSend:
     case EventKind::kSeqnoAssign:
     case EventKind::kGroupDeliver:
+    case EventKind::kGroupView:
+    case EventKind::kMemberJoin:
+    case EventKind::kMemberLeave:
+    case EventKind::kCrash:
       return 1;
     case EventKind::kFlipSend:
     case EventKind::kFragment:

@@ -25,6 +25,10 @@ std::string_view kind_name(EventKind k) noexcept {
     case EventKind::kRetransmit: return "retransmit";
     case EventKind::kUpcall: return "upcall";
     case EventKind::kCharge: return "charge";
+    case EventKind::kGroupView: return "group_view";
+    case EventKind::kMemberJoin: return "member_join";
+    case EventKind::kMemberLeave: return "member_leave";
+    case EventKind::kCrash: return "crash";
     case EventKind::kKindCount: break;
   }
   return "?";

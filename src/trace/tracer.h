@@ -55,6 +55,14 @@ enum class EventKind : std::uint8_t {
   kUpcall,        // handler invocation         a=key/seqno, b=1 rpc, 2 group
   kCharge,        // ledger charge              a=Mechanism index, b=cost ns, c=count
 
+  // Replicated-sequencer (Paxos) group lifecycle. New kinds append here so
+  // the numeric values of everything above — and therefore the committed
+  // fixture digests of non-replicated runs — never move.
+  kGroupView,     // node adopted a new view    a=view, b=leader node, d=group
+  kMemberJoin,    // membership window opens    a=first deliverable seqno, d=group
+  kMemberLeave,   // membership window closes   a=last deliverable seqno, d=group
+  kCrash,         // node stops participating   d=group
+
   kKindCount
 };
 

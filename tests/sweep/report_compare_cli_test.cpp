@@ -1,0 +1,136 @@
+// End-to-end exit-code contract of the report_compare CLI (bench/
+// report_compare.cpp), driven through the real binary: 0 = no regression
+// (including CI-overlap noise and --warn-only), 1 = regression, 2 = usage,
+// unreadable input, or schema mismatch. The in-process comparison logic is
+// covered by compare_sweep_test.cpp; this suite pins the process boundary
+// that CI scripts depend on.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "metrics/report.h"
+#include "sweep/report.h"
+#include "sweep/stats.h"
+
+#ifndef REPORT_COMPARE_BIN
+#error "REPORT_COMPARE_BIN must point at the report_compare executable"
+#endif
+
+namespace {
+
+std::string write_temp(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + name;
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out << text;
+  return path;
+}
+
+std::string sweep_text(double mean, double ci95) {
+  sweep::Stats s;
+  s.n = 5;
+  s.mean = mean;
+  s.min = mean - ci95;
+  s.max = mean + ci95;
+  s.p50 = mean;
+  s.p95 = mean + ci95;
+  s.ci95 = ci95;
+  sweep::SweepReport r("cli");
+  r.add("binding=user/nodes=8", "elapsed.sec", s, metrics::Better::kLower, "s");
+  return r.json();
+}
+
+std::string run_text(double value) {
+  metrics::RunReport r("cli");
+  r.add_metric("elapsed.sec", value, metrics::Better::kLower, "s");
+  return r.json();
+}
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string out_path = ::testing::TempDir() + "report_compare_out.txt";
+  const std::string cmd = std::string(REPORT_COMPARE_BIN) + " " + args + " > " +
+                          out_path + " 2>&1";
+  const int status = std::system(cmd.c_str());
+  CliResult r;
+  r.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  std::ifstream in(out_path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  r.output = ss.str();
+  return r;
+}
+
+TEST(ReportCompareCli, CleanComparisonExitsZero) {
+  const std::string a = write_temp("rc_same_old.json", sweep_text(100.0, 2.0));
+  const std::string b = write_temp("rc_same_new.json", sweep_text(100.5, 2.0));
+  const CliResult r = run_cli(a + " " + b);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("RESULT: ok"), std::string::npos) << r.output;
+}
+
+TEST(ReportCompareCli, DisjointRegressionExitsOne) {
+  const std::string a = write_temp("rc_reg_old.json", sweep_text(100.0, 2.0));
+  const std::string b = write_temp("rc_reg_new.json", sweep_text(120.0, 3.0));
+  const CliResult r = run_cli(a + " " + b);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("REGRESSED"), std::string::npos) << r.output;
+}
+
+TEST(ReportCompareCli, CiOverlapNeverGatesTheExitCode) {
+  // The same +20% move, but the 95% confidence intervals share ground: the
+  // CLI must report it as noise and exit 0 so flaky cells cannot fail CI.
+  const std::string a = write_temp("rc_noise_old.json", sweep_text(100.0, 15.0));
+  const std::string b = write_temp("rc_noise_new.json", sweep_text(120.0, 15.0));
+  const CliResult r = run_cli(a + " " + b);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("ci-overlap"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("REGRESSED"), std::string::npos) << r.output;
+}
+
+TEST(ReportCompareCli, WarnOnlyExitsZeroOnARealRegression) {
+  const std::string a = write_temp("rc_warn_old.json", sweep_text(100.0, 2.0));
+  const std::string b = write_temp("rc_warn_new.json", sweep_text(120.0, 3.0));
+  const CliResult r = run_cli("--warn-only " + a + " " + b);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  // The regression is still reported loudly, only the gate is disarmed.
+  EXPECT_NE(r.output.find("REGRESSED"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("(warn-only)"), std::string::npos) << r.output;
+}
+
+TEST(ReportCompareCli, MixedSchemasExitTwo) {
+  const std::string a = write_temp("rc_mix_old.json", run_text(100.0));
+  const std::string b = write_temp("rc_mix_new.json", sweep_text(100.0, 2.0));
+  const CliResult r = run_cli(a + " " + b);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("schema mismatch"), std::string::npos) << r.output;
+}
+
+TEST(ReportCompareCli, UnreadableInputExitsTwo) {
+  const std::string a = write_temp("rc_lone.json", sweep_text(100.0, 2.0));
+  const CliResult r = run_cli(a + " " + ::testing::TempDir() + "rc_absent.json");
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+}
+
+TEST(ReportCompareCli, UsageErrorsExitTwo) {
+  EXPECT_EQ(run_cli("").exit_code, 2);
+  const std::string a = write_temp("rc_usage.json", sweep_text(100.0, 2.0));
+  EXPECT_EQ(run_cli("--no-such-flag " + a + " " + a).exit_code, 2);
+  EXPECT_EQ(run_cli("--threshold=banana " + a + " " + a).exit_code, 2);
+}
+
+TEST(ReportCompareCli, ThresholdWidensTheGate) {
+  // +20% regresses at the default threshold but passes at --threshold=25.
+  const std::string a = write_temp("rc_thr_old.json", sweep_text(100.0, 2.0));
+  const std::string b = write_temp("rc_thr_new.json", sweep_text(120.0, 3.0));
+  EXPECT_EQ(run_cli(a + " " + b).exit_code, 1);
+  EXPECT_EQ(run_cli("--threshold=25 " + a + " " + b).exit_code, 0);
+}
+
+}  // namespace

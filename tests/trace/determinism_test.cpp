@@ -60,10 +60,11 @@ TEST(Determinism, EventsNeverPostdateTheRun) {
 
 TEST(Determinism, EngineRefactorFixtures) {
   // The committed fixture file pins the exact trace (length + digest over
-  // every event field, timestamps included) of each (binding, fault, seed)
-  // workload. A scheduling-core change that moves any observable protocol
-  // event fails here; regenerate the file with tests/make_trace_fixtures only
-  // when the shift is intentional.
+  // every event field, timestamps included) of each (variant, fault, seed)
+  // workload — the classic sequencer on both bindings plus the replicated
+  // (multi-Paxos) sequencer on both. A scheduling-core change that moves any
+  // observable protocol event fails here; regenerate the file with
+  // tests/make_trace_fixtures only when the shift is intentional.
   std::ifstream in(ENGINE_TRACE_FIXTURES);
   ASSERT_TRUE(in.is_open()) << "missing " << ENGINE_TRACE_FIXTURES;
   std::map<std::tuple<int, int, std::uint64_t>,
@@ -73,30 +74,31 @@ TEST(Determinism, EngineRefactorFixtures) {
   while (std::getline(in, line)) {
     if (line.empty() || line[0] == '#') continue;
     std::istringstream fields(line);
-    int binding = 0;
+    int variant = 0;
     int fault = 0;
     std::uint64_t seed = 0;
     std::size_t events = 0;
     std::string digest;
-    fields >> binding >> fault >> seed >> events >> digest;
+    fields >> variant >> fault >> seed >> events >> digest;
     ASSERT_FALSE(fields.fail()) << "malformed fixture line: " << line;
-    want[{binding, fault, seed}] = {events, digest};
+    want[{variant, fault, seed}] = {events, digest};
   }
-  ASSERT_EQ(want.size(), 16u) << "expected 2 bindings x 4 faults x 2 seeds";
+  ASSERT_EQ(want.size(), 32u) << "expected 4 variants x 4 faults x 2 seeds";
 
   for (const auto& [key, expected] : want) {
-    const auto [binding, fault, seed] = key;
-    WorkloadResult r = run_fault_workload(static_cast<Binding>(binding), seed,
-                                          static_cast<Fault>(fault));
+    const auto [variant, fault, seed] = key;
+    WorkloadResult r = run_fault_workload(
+        static_cast<trace_test::Variant>(variant), seed,
+        static_cast<Fault>(fault));
     const auto& events = r.bed->tracer()->events();
     char digest[17];
     std::snprintf(digest, sizeof(digest), "%016llx",
                   static_cast<unsigned long long>(
                       trace_test::trace_digest(events)));
     EXPECT_EQ(events.size(), expected.first)
-        << "binding=" << binding << " fault=" << fault << " seed=" << seed;
+        << "variant=" << variant << " fault=" << fault << " seed=" << seed;
     EXPECT_EQ(std::string(digest), expected.second)
-        << "binding=" << binding << " fault=" << fault << " seed=" << seed;
+        << "variant=" << variant << " fault=" << fault << " seed=" << seed;
   }
 }
 

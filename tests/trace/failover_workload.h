@@ -1,0 +1,142 @@
+// Shared traced failover workload: a 5-node pool running a totally-ordered
+// group load while the sequencer node crashes mid-stream (optionally under
+// frame loss). Drives all four group variants — {kernel, user} binding ×
+// {classic, replicated} sequencer — so the crash-failover sweeps and the
+// trace fixtures exercise the same code path.
+//
+// With the replicated sequencer (3-replica multi-Paxos on nodes 0-2, led
+// from node 0) the run survives the crash: a follower replica is elected,
+// recovers the log, and every surviving send completes. With the classic
+// single sequencer the same crash is fatal — senders retry forever and the
+// run is truncated at the horizon; the result records how much was lost.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/testbed.h"
+#include "trace/checker.h"
+
+namespace failover_test {
+
+/// When the sequencer (node 0) crashes, relative to the send burst.
+enum class CrashPoint {
+  kNone,   // fault-free baseline
+  kEarly,  // during the first sends
+  kMid,    // mid-burst
+  kLate,   // after most sends landed
+};
+
+[[nodiscard]] inline sim::Time crash_time(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kEarly: return sim::msec(3);
+    case CrashPoint::kMid: return sim::msec(12);
+    case CrashPoint::kLate: return sim::msec(40);
+    case CrashPoint::kNone: break;
+  }
+  return 0;
+}
+
+[[nodiscard]] inline const char* crash_point_name(CrashPoint p) {
+  switch (p) {
+    case CrashPoint::kEarly: return "early";
+    case CrashPoint::kMid: return "mid";
+    case CrashPoint::kLate: return "late";
+    case CrashPoint::kNone: break;
+  }
+  return "none";
+}
+
+struct FailoverResult {
+  // The testbed owns the tracer; keep it alive while the trace is inspected.
+  std::unique_ptr<core::Testbed> bed;
+  int sends_attempted = 0;
+  int sends_completed = 0;
+  /// Delivered (seqno) streams per node, in delivery order.
+  std::vector<std::vector<std::uint32_t>> orders;
+  /// check_all() over the run's trace (ledger included).
+  std::vector<std::string> violations;
+  /// Max views adopted by any surviving node (0 in classic mode).
+  std::uint64_t view_changes = 0;
+  sim::Ledger ledger;
+};
+
+/// Nodes 1-4 each send five 512-byte group messages, start times staggered
+/// so the burst spans the crash window; node 0 hosts the (lead) sequencer
+/// and crashes at `crash_time(crash)`. All randomness (loss draws included)
+/// comes from the seeded simulator Rng, so (binding, replicated, seed,
+/// crash, loss) fully determines the run.
+inline FailoverResult run_failover_workload(core::Binding binding,
+                                            bool replicated,
+                                            std::uint64_t seed,
+                                            CrashPoint crash = CrashPoint::kNone,
+                                            bool loss = false) {
+  constexpr std::size_t kNodes = 5;
+  constexpr int kSendsPerNode = 5;
+  core::TestbedConfig cfg;
+  cfg.binding = binding;
+  cfg.nodes = kNodes;
+  cfg.sequencer = 0;
+  cfg.replicated_sequencer = replicated;
+  cfg.sequencer_replicas = 3;
+  cfg.seed = seed;
+  cfg.trace = true;
+  auto bed = std::make_unique<core::Testbed>(cfg);
+  core::Testbed* bp = bed.get();
+
+  if (loss) {
+    net::Segment& wire = bp->world().network().segment(0);
+    sim::Rng& rng = bp->sim().rng();
+    wire.set_loss_hook([&rng](const net::Frame&) { return rng.bernoulli(0.05); });
+  }
+
+  FailoverResult r;
+  r.orders.resize(kNodes);
+  for (core::NodeId n = 0; n < kNodes; ++n) {
+    bp->panda(n).set_group_handler(
+        [&r, n](amoeba::Thread&, core::NodeId, std::uint32_t seqno,
+                net::Payload) -> sim::Co<void> {
+          r.orders[n].push_back(seqno);
+          co_return;
+        });
+  }
+  bp->start();
+
+  for (core::NodeId n = 1; n < kNodes; ++n) {
+    amoeba::Thread& driver = bp->world().kernel(n).create_thread("driver");
+    sim::spawn([](core::Testbed& b, amoeba::Thread& self, core::NodeId src,
+                  FailoverResult& out) -> sim::Co<void> {
+      // Stagger start and inter-send spacing so the burst straddles every
+      // crash point.
+      (void)co_await self.block_for(sim::msec(2) * src);
+      for (int i = 0; i < kSendsPerNode; ++i) {
+        ++out.sends_attempted;
+        co_await b.panda(src).group_send(self, net::Payload::zeros(512));
+        ++out.sends_completed;
+        (void)co_await self.block_for(sim::msec(4));
+      }
+    }(*bp, driver, n, r));
+  }
+
+  if (crash != CrashPoint::kNone) {
+    bp->sim().after(crash_time(crash), [bp] { bp->panda(0).group_crash(); });
+  }
+
+  // A crashed classic sequencer leaves senders retrying forever, so the run
+  // never quiesces; bound it. Two seconds is far past the replicated
+  // protocol's election + catch-up + delivery of every surviving send.
+  bp->sim().run_until(sim::msec(2000));
+
+  for (core::NodeId n = 0; n < kNodes; ++n) {
+    r.view_changes = std::max(r.view_changes, bp->panda(n).group_view_changes());
+  }
+  r.ledger = bp->world().aggregate_ledger();
+  trace::TraceChecker checker(bp->tracer()->events());
+  r.violations = checker.check_all(&r.ledger);
+  r.bed = std::move(bed);
+  return r;
+}
+
+}  // namespace failover_test

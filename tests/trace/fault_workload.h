@@ -19,6 +19,27 @@ enum class Fault {
   kReorder,      // uniform 0-400 us extra delivery latency per frame
 };
 
+/// Group-protocol variants for the fixture matrix. The numeric values are
+/// the first column of fixtures/engine_traces.txt; 0 and 1 predate the
+/// replicated sequencer and must keep their meaning (and their fixture rows)
+/// forever.
+enum class Variant {
+  kKernel = 0,      // classic single sequencer, kernel-space binding
+  kUser = 1,        // classic single sequencer, user-space binding
+  kKernelPaxos = 2, // replicated (multi-Paxos) sequencer, kernel-space
+  kUserPaxos = 3,   // replicated (multi-Paxos) sequencer, user-space
+};
+
+[[nodiscard]] inline core::Binding variant_binding(Variant v) {
+  return (v == Variant::kKernel || v == Variant::kKernelPaxos)
+             ? core::Binding::kKernelSpace
+             : core::Binding::kUserSpace;
+}
+
+[[nodiscard]] inline bool variant_replicated(Variant v) {
+  return v == Variant::kKernelPaxos || v == Variant::kUserPaxos;
+}
+
 struct WorkloadResult {
   // The testbed owns the tracer; keep it alive while the trace is inspected.
   std::unique_ptr<core::Testbed> bed;
@@ -35,12 +56,15 @@ struct WorkloadResult {
 /// the run.
 inline WorkloadResult run_fault_workload(core::Binding binding,
                                          std::uint64_t seed, Fault fault,
-                                         bool metrics = false) {
+                                         bool metrics = false,
+                                         bool replicated = false) {
   constexpr std::size_t kNodes = 4;
   core::TestbedConfig cfg;
   cfg.binding = binding;
   cfg.nodes = kNodes;
   cfg.sequencer = 0;
+  cfg.replicated_sequencer = replicated;
+  cfg.sequencer_replicas = 3;
   cfg.seed = seed;
   cfg.trace = true;
   cfg.metrics = metrics;
@@ -102,10 +126,24 @@ inline WorkloadResult run_fault_workload(core::Binding binding,
       }
     }(*bp, driver, n, r));
   }
-  bp->sim().run();
+  if (replicated) {
+    // The Paxos leader keeps renewing its lease, so the event queue never
+    // drains; a fixed horizon (generous against the worst retry backoff)
+    // replaces quiescence and keeps the trace a pure function of the seed.
+    bp->sim().run_until(sim::msec(1000));
+  } else {
+    bp->sim().run();
+  }
   r.ledger = bp->world().aggregate_ledger();
   r.bed = std::move(bed);
   return r;
+}
+
+/// Variant-code front-end for the fixture matrix (see Variant above).
+inline WorkloadResult run_fault_workload(Variant variant, std::uint64_t seed,
+                                         Fault fault, bool metrics = false) {
+  return run_fault_workload(variant_binding(variant), seed, fault, metrics,
+                            variant_replicated(variant));
 }
 
 }  // namespace trace_test

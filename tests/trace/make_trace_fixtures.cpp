@@ -1,5 +1,5 @@
 // Regenerates tests/trace/fixtures/engine_traces.txt: one line per
-// (binding, fault, seed) combination of the shared fault workload, recording
+// (variant, fault, seed) combination of the shared fault workload, recording
 // the trace length, the final simulated time, and the trace digest.
 //
 //   ./build/tests/make_trace_fixtures > tests/trace/fixtures/engine_traces.txt
@@ -15,23 +15,24 @@
 #include "trace_digest.h"
 
 int main() {
-  using core::Binding;
   using trace_test::Fault;
+  using trace_test::Variant;
 
   // The final drained sim().now() is deliberately NOT recorded: tombstone
   // no-op events (cancelled timers that still fire) advance it, and removing
   // them via real cancellation is allowed to change when the queue drains.
   // The digest pins the timestamp of every *observable* protocol event.
-  std::printf("# binding fault seed events digest\n");
-  for (const Binding binding : {Binding::kKernelSpace, Binding::kUserSpace}) {
+  std::printf("# variant fault seed events digest\n");
+  for (const Variant variant : {Variant::kKernel, Variant::kUser,
+                                Variant::kKernelPaxos, Variant::kUserPaxos}) {
     for (const Fault fault : {Fault::kNone, Fault::kLoss, Fault::kDuplication,
                               Fault::kReorder}) {
       for (const std::uint64_t seed : {7ULL, 99ULL}) {
         trace_test::WorkloadResult r =
-            trace_test::run_fault_workload(binding, seed, fault);
+            trace_test::run_fault_workload(variant, seed, fault);
         const auto& events = r.bed->tracer()->events();
         std::printf("%d %d %" PRIu64 " %zu %016" PRIx64 "\n",
-                    static_cast<int>(binding), static_cast<int>(fault), seed,
+                    static_cast<int>(variant), static_cast<int>(fault), seed,
                     events.size(), trace_test::trace_digest(events));
       }
     }
