@@ -1,0 +1,158 @@
+// Causal span profiler CLI: critical-path latency attribution from a raw
+// `amoeba-trace/v1` dump (bench --trace=FILE with a non-.json extension).
+//
+// usage: amoeba_prof --trace=FILE [--json=FILE] [--folded=FILE]
+//                    [--check-conservation] [--vs=FILE] [--check-gap]
+//
+//   --trace=FILE          the trace to profile (required)
+//   --json=FILE           write the amoeba-profile/v1 JSON
+//   --folded=FILE         write folded flamegraph stacks (flamegraph.pl)
+//   --check-conservation  exit 1 unless per-mechanism on+off-path time and
+//                         counts match the trace ledger *exactly*
+//   --vs=FILE             second trace (e.g. the kernel binding): print the
+//                         per-mechanism delta table, §4.2/§4.3 style
+//   --check-gap           with --vs: exit 1 unless the paper's headline
+//                         holds on the section-4.2 categories — switching
+//                         (switches + signals + the traps/crossings they
+//                         force) is the largest per-operation regression of
+//                         --trace over --vs and the user-level fragmentation
+//                         layer ranks in the top three
+//
+// Everything printed or written is a byte-deterministic function of the
+// input traces.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "trace/profile.h"
+#include "trace/trace_io.h"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s --trace=FILE [--json=FILE] [--folded=FILE] "
+               "[--check-conservation] [--vs=FILE] [--check-gap]\n",
+               prog);
+  return 2;
+}
+
+bool load_trace(const char* prog, const std::string& path,
+                std::vector<trace::Event>& events) {
+  std::string error;
+  if (!trace::read_trace_text_file(path, events, &error)) {
+    std::fprintf(stderr, "%s: %s: %s\n", prog, path.c_str(), error.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool write_text(const char* prog, const std::string& path,
+                const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "%s: cannot write %s\n", prog, path.c_str());
+    return false;
+  }
+  const bool wrote = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::fprintf(stderr, "%s: cannot write %s\n", prog, path.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string json_path;
+  std::string folded_path;
+  std::string vs_path;
+  bool check_conservation = false;
+  bool check_gap = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto eat = [&arg](const char* prefix, std::string& dst) {
+      const std::size_t n = std::strlen(prefix);
+      if (arg.rfind(prefix, 0) != 0) return false;
+      dst = arg.substr(n);
+      return true;
+    };
+    if (eat("--trace=", trace_path) || eat("--json=", json_path) ||
+        eat("--folded=", folded_path) || eat("--vs=", vs_path)) {
+      continue;
+    }
+    if (arg == "--check-conservation") {
+      check_conservation = true;
+    } else if (arg == "--check-gap") {
+      check_gap = true;
+    } else {
+      std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0],
+                   arg.c_str());
+      return usage(argv[0]);
+    }
+  }
+  if (trace_path.empty()) return usage(argv[0]);
+  if (check_gap && vs_path.empty()) {
+    std::fprintf(stderr, "%s: --check-gap needs --vs=FILE\n", argv[0]);
+    return usage(argv[0]);
+  }
+
+  std::vector<trace::Event> events;
+  if (!load_trace(argv[0], trace_path, events)) return 2;
+  const trace::Profile profile = trace::profile_trace(events);
+
+  std::printf("trace %s: %zu events, %zu ops (%zu complete)\n",
+              trace_path.c_str(), profile.events, profile.ops_total,
+              profile.ops_complete);
+  trace::print_profile(profile, stdout);
+
+  std::string why;
+  const bool conserved = trace::conservation_ok(profile, &why);
+  if (conserved) {
+    std::printf("\nconservation: exact (on-path + off-path == ledger for "
+                "every mechanism)\n");
+  } else {
+    std::printf("\nconservation: FAILED — %s\n", why.c_str());
+  }
+
+  if (!json_path.empty()) {
+    if (!write_text(argv[0], json_path,
+                    trace::profile_json(profile, trace_path))) {
+      return 2;
+    }
+    std::printf("wrote profile JSON to %s\n", json_path.c_str());
+  }
+  if (!folded_path.empty()) {
+    if (!write_text(argv[0], folded_path, trace::folded_stacks(profile))) {
+      return 2;
+    }
+    std::printf("wrote folded flamegraph stacks to %s\n", folded_path.c_str());
+  }
+
+  int rc = 0;
+  if (check_conservation && !conserved) rc = 1;
+
+  if (!vs_path.empty()) {
+    std::vector<trace::Event> vs_events;
+    if (!load_trace(argv[0], vs_path, vs_events)) return 2;
+    const trace::Profile vs_profile = trace::profile_trace(vs_events);
+    std::printf("\n");
+    trace::print_profile_vs(profile, trace_path.c_str(), vs_profile,
+                            vs_path.c_str(), stdout);
+    if (check_gap) {
+      std::string gap_why;
+      if (trace::check_headline_gap(profile, vs_profile, &gap_why)) {
+        std::printf("\nheadline gap: ok (switching category dominates, "
+                    "fragmentation in the top three)\n");
+      } else {
+        std::printf("\nheadline gap: FAILED — %s\n", gap_why.c_str());
+        rc = 1;
+      }
+    }
+  }
+  return rc;
+}

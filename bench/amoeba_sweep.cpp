@@ -202,18 +202,28 @@ sweep::TrialFn table3_fn(const sweep::Matrix& matrix) {
 }
 
 /// Table 1 matrix: kind × binding × message size, latency ms per trial.
+/// Each trial also runs the windowed telemetry sampler; its per-column
+/// mean/max summaries ride along as informational per-trial metrics (window
+/// rates depend on workload phase, so they never gate).
 sweep::TrialFn table1_fn(const sweep::Matrix& matrix) {
   return [&matrix](const sweep::Trial& t) {
     const Binding binding = parse_binding(matrix.value(t, "binding"));
     const auto bytes = static_cast<std::size_t>(
         std::strtoull(matrix.value(t, "size").c_str(), nullptr, 10));
     const std::string& kind = matrix.value(t, "kind");
+    core::SeriesCapture series;
     const sim::Time lat =
-        kind == "rpc" ? core::measure_rpc_latency(binding, bytes, 10, t.seed)
-                      : core::measure_group_latency(binding, bytes, 10, t.seed);
-    return std::vector<sweep::Sample>{
+        kind == "rpc" ? core::measure_rpc_latency_series(
+                            binding, bytes, 10, t.seed, sim::usec(500), series)
+                      : core::measure_group_latency_series(
+                            binding, bytes, 10, t.seed, sim::usec(500), series);
+    std::vector<sweep::Sample> samples{
         {"latency.ms", sim::to_ms(lat), Better::kLower, "ms"},
     };
+    for (const auto& [name, value] : series.summary) {
+      samples.push_back({"series." + name, value, Better::kInfo, ""});
+    }
+    return samples;
   };
 }
 

@@ -96,6 +96,17 @@ int main(int argc, char** argv) {
   bench::Args args;
   if (!bench::parse_args(argc, argv, bench::kNone, args)) return 2;
 
+  // --profile=FILE: causal profile of the ablations' subject — the
+  // user-space group send path.
+  if (!args.profile_path.empty()) {
+    const core::TracedRun run =
+        core::traced_group_run(core::Binding::kUserSpace, 8);
+    return bench::write_profile(run.events, "ablation:group_user_8B",
+                                args.profile_path)
+               ? 0
+               : 1;
+  }
+
   metrics::RunReport report("ablation");
   report.set_config("seed", std::uint64_t{42});
 

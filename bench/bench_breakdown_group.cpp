@@ -24,6 +24,7 @@ struct GroupRun {
   sim::Time latency = 0;
   sim::Ledger ledger;
   metrics::MetricsRegistry registry;  // aggregated across nodes
+  core::SeriesCapture series;         // windowed telemetry over the run
 };
 
 GroupRun run_null_sends(Binding binding, int count) {
@@ -32,6 +33,7 @@ GroupRun run_null_sends(Binding binding, int count) {
   cfg.nodes = 2;
   cfg.sequencer = 1;
   cfg.metrics = true;
+  cfg.series_window = sim::usec(500);
   core::Testbed bed(cfg);
   for (core::NodeId n = 0; n < 2; ++n) {
     bed.panda(n).set_group_handler(
@@ -59,7 +61,18 @@ GroupRun run_null_sends(Binding binding, int count) {
   result.latency = elapsed / count;
   result.ledger = bed.world().aggregate_ledger().diff(before);
   result.registry = bed.metrics()->aggregate();
+  bed.series()->finish(bed.sim().now());
+  result.series.window = bed.series()->window();
+  result.series.columns = bed.series()->columns();
   return result;
+}
+
+/// Serialize a run's windowed telemetry into the report's `series` section.
+void add_series(metrics::RunReport& report, const std::string& name,
+                const core::SeriesCapture& s) {
+  std::vector<std::pair<std::string, std::vector<double>>> columns;
+  for (const auto& c : s.columns) columns.emplace_back(c.name, c.values);
+  report.add_series(name, s.window, std::move(columns));
 }
 
 /// Thread-switch cost at the sequencer with/without an application thread
@@ -129,6 +142,16 @@ int main(int argc, char** argv) {
   bench::Args args;
   if (!bench::parse_args(argc, argv, bench::kTrace, args)) return 2;
   if (!args.trace_path.empty()) return run_traced(args.trace_path);
+  // --profile=FILE: the §4.3 accounting computed automatically — causal
+  // profile of the user-space 8-byte group send run.
+  if (!args.profile_path.empty()) {
+    const core::TracedRun run =
+        core::traced_group_run(Binding::kUserSpace, 8, 50);
+    return bench::write_profile(run.events, "breakdown_group:group_user_8B",
+                                args.profile_path)
+               ? 0
+               : 1;
+  }
 
   constexpr int kRounds = 50;
   const GroupRun user = run_null_sends(Binding::kUserSpace, kRounds);
@@ -153,6 +176,8 @@ int main(int argc, char** argv) {
                             kRounds, &report);
   report.add_registry(user.registry, "user.");
   report.add_registry(kernel.registry, "kernel.");
+  add_series(report, "user", user.series);
+  add_series(report, "kernel", kernel.series);
 
   const sim::Time loaded = sequencer_switch_cost(/*dedicated=*/true);
   const sim::Time unloaded = sequencer_switch_cost(/*dedicated=*/false);

@@ -27,6 +27,7 @@ struct RpcRun {
   sim::Time latency = 0;
   sim::Ledger ledger;
   metrics::MetricsRegistry registry;  // aggregated across nodes
+  core::SeriesCapture series;         // windowed telemetry over the run
 };
 
 RpcRun run_null_rpcs(Binding binding, int count) {
@@ -34,6 +35,7 @@ RpcRun run_null_rpcs(Binding binding, int count) {
   cfg.binding = binding;
   cfg.nodes = 2;
   cfg.metrics = true;
+  cfg.series_window = sim::usec(500);
   core::Testbed bed(cfg);
   bed.panda(1).set_rpc_handler(
       [&bed](Thread& upcall, panda::RpcTicket t, net::Payload) -> sim::Co<void> {
@@ -59,7 +61,18 @@ RpcRun run_null_rpcs(Binding binding, int count) {
   run.latency = elapsed / count;
   run.ledger = bed.world().aggregate_ledger().diff(before);
   run.registry = bed.metrics()->aggregate();
+  bed.series()->finish(bed.sim().now());
+  run.series.window = bed.series()->window();
+  run.series.columns = bed.series()->columns();
   return run;
+}
+
+/// Serialize a run's windowed telemetry into the report's `series` section.
+void add_series(metrics::RunReport& report, const std::string& name,
+                const core::SeriesCapture& s) {
+  std::vector<std::pair<std::string, std::vector<double>>> columns;
+  for (const auto& c : s.columns) columns.emplace_back(c.name, c.values);
+  report.add_series(name, s.window, std::move(columns));
 }
 
 /// --trace=FILE: run a traced 4-node RPC workload (each node calls its
@@ -100,6 +113,16 @@ int main(int argc, char** argv) {
   bench::Args args;
   if (!bench::parse_args(argc, argv, bench::kTrace, args)) return 2;
   if (!args.trace_path.empty()) return run_traced(args.trace_path);
+  // --profile=FILE: the §4.2 accounting computed automatically — causal
+  // profile of the user-space 8-byte RPC run.
+  if (!args.profile_path.empty()) {
+    const core::TracedRun run =
+        core::traced_rpc_run(Binding::kUserSpace, 8, 50);
+    return bench::write_profile(run.events, "breakdown_rpc:rpc_user_8B",
+                                args.profile_path)
+               ? 0
+               : 1;
+  }
 
   constexpr int kRounds = 50;
   const RpcRun user = run_null_rpcs(Binding::kUserSpace, kRounds);
@@ -123,6 +146,8 @@ int main(int argc, char** argv) {
                             kRounds, &report);
   report.add_registry(user.registry, "user.");
   report.add_registry(kernel.registry, "kernel.");
+  add_series(report, "user", user.series);
+  add_series(report, "kernel", kernel.series);
 
   std::printf("\nPaper's essential components: 140 us context switches, ~50 us\n"
               "traps+crossings, 40 us fragmentation, 16 us headers, ~54 us\n"

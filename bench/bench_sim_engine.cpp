@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "bench/harness.h"
+#include "core/testbed.h"
 #include "metrics/handles.h"
 #include "metrics/registry.h"
 #include "net/buffer.h"
@@ -277,6 +278,17 @@ class CollectingReporter : public benchmark::ConsoleReporter {
 int main(int argc, char** argv) {
   bench::Args args;
   if (!bench::parse_args(argc, argv, bench::kBenchmark, args)) return 2;
+
+  // --profile=FILE: causal profile of a protocol run driven by this engine
+  // (user-space 8-byte RPC), for before/after engine-work comparisons.
+  if (!args.profile_path.empty()) {
+    const core::TracedRun run =
+        core::traced_rpc_run(core::Binding::kUserSpace, 8);
+    return bench::write_profile(run.events, "sim_engine:rpc_user_8B",
+                                args.profile_path)
+               ? 0
+               : 1;
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 2;

@@ -48,7 +48,30 @@ std::string cell(const char* what, std::size_t bytes) {
 
 int main(int argc, char** argv) {
   bench::Args args;
-  if (!bench::parse_args(argc, argv, bench::kNone, args)) return 2;
+  if (!bench::parse_args(argc, argv, bench::kTrace, args)) return 2;
+
+  // --trace=PATH: dump raw amoeba-trace/v1 event streams of the headline
+  // 8-byte RPC runs, one per binding (PATH.user.trace / PATH.kernel.trace).
+  // These feed amoeba_prof, whose conservation gate runs over them in CI.
+  if (!args.trace_path.empty()) {
+    const core::TracedRun user =
+        core::traced_rpc_run(core::Binding::kUserSpace, 8);
+    const core::TracedRun kernel =
+        core::traced_rpc_run(core::Binding::kKernelSpace, 8);
+    const bool ok =
+        bench::write_trace(user.events, args.trace_path + ".user.trace") &&
+        bench::write_trace(kernel.events, args.trace_path + ".kernel.trace");
+    return ok ? 0 : 1;
+  }
+  // --profile=FILE: causal profile of the user-space 8-byte RPC run.
+  if (!args.profile_path.empty()) {
+    const core::TracedRun run =
+        core::traced_rpc_run(core::Binding::kUserSpace, 8);
+    return bench::write_profile(run.events, "table1_latency:rpc_user_8B",
+                                args.profile_path)
+               ? 0
+               : 1;
+  }
 
   metrics::RunReport report("table1_latency");
   report.set_config("rounds", std::int64_t{10});

@@ -20,6 +20,17 @@ int main(int argc, char** argv) {
   bench::Args args;
   if (!bench::parse_args(argc, argv, bench::kNone, args)) return 2;
 
+  // --profile=FILE: causal profile of the throughput workload's unit — one
+  // stream of 8000-byte user-space RPCs (three fragments each).
+  if (!args.profile_path.empty()) {
+    const core::TracedRun run =
+        core::traced_rpc_run(core::Binding::kUserSpace, 8000, 25);
+    return bench::write_profile(run.events, "table2_throughput:rpc_user_8000B",
+                                args.profile_path)
+               ? 0
+               : 1;
+  }
+
   bench::print_banner(
       "Table 2 — Communication Throughputs (paper vs. simulation)");
   std::printf("\n");

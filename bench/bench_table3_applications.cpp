@@ -32,6 +32,7 @@
 #include "apps/sor.h"
 #include "apps/tsp.h"
 #include "bench/harness.h"
+#include "core/testbed.h"
 #include "sweep/pool.h"
 
 namespace {
@@ -127,6 +128,16 @@ int main(int argc, char** argv) {
   if (!bench::parse_args(argc, argv,
                          bench::kApp | bench::kQuick | bench::kThreads, args)) {
     return 2;
+  }
+  // --profile=FILE: causal profile of the communication primitive the Orca
+  // runtime leans on (user-space RPC).
+  if (!args.profile_path.empty()) {
+    const core::TracedRun run =
+        core::traced_rpc_run(core::Binding::kUserSpace, 8);
+    return bench::write_profile(run.events, "table3_applications:rpc_user_8B",
+                                args.profile_path)
+               ? 0
+               : 1;
   }
   const std::string& filter = args.app;
   const std::vector<std::size_t> procs =

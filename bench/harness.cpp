@@ -7,6 +7,8 @@
 #include <string_view>
 
 #include "trace/chrome_export.h"
+#include "trace/profile.h"
+#include "trace/trace_io.h"
 
 namespace bench {
 
@@ -19,7 +21,7 @@ bool take_value(std::string_view arg, std::string_view flag, std::string& out) {
 }
 
 void print_usage(const char* prog, unsigned accepts) {
-  std::fprintf(stderr, "usage: %s [--json=FILE]", prog);
+  std::fprintf(stderr, "usage: %s [--json=FILE] [--profile=FILE]", prog);
   if (accepts & kTrace) std::fprintf(stderr, " [--trace=FILE]");
   if (accepts & kApp) std::fprintf(stderr, " [--app=NAME]");
   if (accepts & kQuick) std::fprintf(stderr, " [--quick]");
@@ -37,6 +39,13 @@ bool parse_args(int& argc, char** argv, unsigned accepts, Args& out) {
     if (take_value(arg, "--json=", out.json_path)) {
       if (out.json_path.empty()) {
         std::fprintf(stderr, "%s: --json needs a file name\n", argv[0]);
+        return false;
+      }
+      continue;
+    }
+    if (take_value(arg, "--profile=", out.profile_path)) {
+      if (out.profile_path.empty()) {
+        std::fprintf(stderr, "%s: --profile needs a file name\n", argv[0]);
         return false;
       }
       continue;
@@ -122,13 +131,47 @@ double print_ledger_delta(const char* row_label, const sim::Ledger& user,
 
 bool write_trace(const std::vector<trace::Event>& events,
                  const std::string& path) {
-  if (!trace::write_chrome_trace_file(events, path)) {
+  const bool chrome = path.size() >= 5 &&
+                      path.compare(path.size() - 5, 5, ".json") == 0;
+  const bool ok = chrome ? trace::write_chrome_trace_file(events, path)
+                         : trace::write_trace_text_file(events, path);
+  if (!ok) {
     std::fprintf(stderr, "error: cannot write trace to %s: %s\n", path.c_str(),
                  std::strerror(errno));
     return false;
   }
-  std::printf("wrote %zu trace events to %s (chrome://tracing)\n",
-              events.size(), path.c_str());
+  std::printf("wrote %zu trace events to %s (%s)\n", events.size(),
+              path.c_str(), chrome ? "chrome://tracing" : "amoeba-trace/v1");
+  return true;
+}
+
+bool write_profile(const std::vector<trace::Event>& events,
+                   const std::string& source, const std::string& path) {
+  const trace::Profile p = trace::profile_trace(events);
+  std::string why;
+  if (!trace::conservation_ok(p, &why)) {
+    std::fprintf(stderr, "error: profile conservation failed for %s: %s\n",
+                 source.c_str(), why.c_str());
+    return false;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "error: cannot write profile to %s: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  const std::string json = trace::profile_json(p, source);
+  const bool wrote = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!wrote || !closed) {
+    std::fprintf(stderr, "error: cannot write profile to %s: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  std::printf(
+      "wrote causal profile (%zu ops, %.1f us on critical paths) to %s\n",
+      static_cast<std::size_t>(p.ops_complete),
+      static_cast<double>(p.on_path_total()) / 1000.0, path.c_str());
   return true;
 }
 

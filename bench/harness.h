@@ -19,10 +19,11 @@
 
 namespace bench {
 
-/// Optional flags a bench opts into (--json=FILE is always accepted).
+/// Optional flags a bench opts into (--json=FILE and --profile=FILE are
+/// always accepted).
 enum Accepts : unsigned {
   kNone = 0,
-  kTrace = 1u << 0,      // --trace=FILE   Chrome trace-event JSON dump
+  kTrace = 1u << 0,      // --trace=FILE   trace dump (.json Chrome, else raw)
   kApp = 1u << 1,        // --app=NAME     application filter (table 3)
   kQuick = 1u << 2,      // --quick        reduced processor sweep
   kBenchmark = 1u << 3,  // --benchmark*   passed through to google-benchmark
@@ -30,8 +31,9 @@ enum Accepts : unsigned {
 };
 
 struct Args {
-  std::string json_path;   // empty = no RunReport
-  std::string trace_path;  // empty = no trace run
+  std::string json_path;     // empty = no RunReport
+  std::string trace_path;    // empty = no trace run
+  std::string profile_path;  // empty = no causal profile run
   std::string app;
   bool quick = false;
   unsigned threads = 0;
@@ -56,10 +58,21 @@ double print_ledger_delta(const char* row_label, const sim::Ledger& user,
                           const sim::Ledger& kernel, int rounds,
                           metrics::RunReport* report = nullptr);
 
-/// Write a Chrome trace-event file; on failure prints to stderr and returns
-/// false, on success prints the event count + path to stdout.
+/// Write a trace dump; the format follows the extension — `.json` emits
+/// Chrome trace-event JSON (chrome://tracing, with causal flow arrows),
+/// anything else the raw `amoeba-trace/v1` text the profiler reads. On
+/// failure prints to stderr and returns false, on success prints the event
+/// count + path to stdout.
 [[nodiscard]] bool write_trace(const std::vector<trace::Event>& events,
                                const std::string& path);
+
+/// Build a causal profile from a traced event stream and write it as
+/// `amoeba-profile/v1` JSON (the `source` string labels the run). Prints a
+/// one-line summary; a conservation divergence (attributed time != traced
+/// ledger) is reported on stderr and fails the write.
+[[nodiscard]] bool write_profile(const std::vector<trace::Event>& events,
+                                 const std::string& source,
+                                 const std::string& path);
 
 /// Write a RunReport; on failure prints to stderr and returns false, on
 /// success prints the path to stdout.

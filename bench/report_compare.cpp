@@ -1,16 +1,23 @@
-// Compare two RunReport (amoeba-runreport/v1) or two SweepReport
-// (amoeba-sweepreport/v1) JSON files and flag regressions.
+// Compare two RunReport (amoeba-runreport/v1), SweepReport
+// (amoeba-sweepreport/v1) or profiler (amoeba-profile/v1) JSON files and
+// flag regressions.
 //
-// usage: report_compare [--threshold=PCT] [--show-info] [--warn-only] OLD NEW
+// usage: report_compare [--threshold=PCT] [--show-info] [--warn-only]
+//                       [--gate-profiles] OLD NEW
 //
 // Run reports: every direction-tagged metric present in both reports is
 // compared by relative delta; a wrong-direction move beyond the threshold is
-// a regression. Histogram percentiles are compared as lower-is-better.
+// a regression. Histogram percentiles are compared as lower-is-better, and
+// `series` telemetry columns ride along as informational means.
 // Sweep reports: per-cell metric means are compared the same way, but a move
 // whose 95% confidence intervals overlap is reported as "ci-overlap" noise
-// and never gates. Mixing the two schemas is an error.
-// Exit codes: 0 no regression, 1 regression found (0 with --warn-only),
-// 2 usage or parse error.
+// and never gates.
+// Profiles: per-mechanism on-path time and per-op latency percentiles are
+// compared as lower-is-better, but warn-only by default (pass
+// --gate-profiles to make profile regressions fail). Mixing schemas is an
+// error.
+// Exit codes: 0 no regression, 1 regression found (0 with --warn-only, and
+// for profiles without --gate-profiles), 2 usage or parse error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -26,7 +33,7 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--threshold=PCT] [--show-info] [--warn-only] "
-               "OLD.json NEW.json\n",
+               "[--gate-profiles] OLD.json NEW.json\n",
                prog);
   return 2;
 }
@@ -52,6 +59,7 @@ const char* arrow(const metrics::MetricDelta& d) {
 int main(int argc, char** argv) {
   metrics::CompareOptions options;
   bool warn_only = false;
+  bool gate_profiles = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -66,6 +74,8 @@ int main(int argc, char** argv) {
       options.show_info = true;
     } else if (arg == "--warn-only") {
       warn_only = true;
+    } else if (arg == "--gate-profiles") {
+      gate_profiles = true;
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
       return usage(argv[0]);
@@ -118,9 +128,13 @@ int main(int argc, char** argv) {
   }
 
   if (result.regressed) {
+    const bool soft = warn_only || (result.advisory && !gate_profiles);
     std::printf("RESULT: regression beyond %.1f%% threshold%s\n",
-                options.threshold_pct, warn_only ? " (warn-only)" : "");
-    return warn_only ? 0 : 1;
+                options.threshold_pct,
+                warn_only              ? " (warn-only)"
+                : result.advisory && !gate_profiles ? " (profile: advisory)"
+                                                    : "");
+    return soft ? 0 : 1;
   }
   std::printf("RESULT: ok\n");
   return 0;

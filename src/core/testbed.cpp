@@ -1,5 +1,6 @@
 #include "core/testbed.h"
 
+#include <functional>
 #include <utility>
 
 #include "panda/pan_sys.h"
@@ -7,15 +8,80 @@
 
 namespace core {
 
+namespace {
+
+/// Sum of one named counter across every node registry (0 where absent).
+std::function<double()> sum_counter(metrics::Metrics* hub, std::string name) {
+  return [hub, name = std::move(name)]() {
+    double total = 0.0;
+    for (const auto& [id, reg] : hub->nodes()) {
+      const auto it = reg.counters().find(name);
+      if (it != reg.counters().end()) {
+        total += static_cast<double>(it->second->value);
+      }
+    }
+    return total;
+  };
+}
+
+/// Merge of one named histogram across every node registry.
+std::function<metrics::Histogram()> merge_histogram(metrics::Metrics* hub,
+                                                    std::string name) {
+  return [hub, name = std::move(name)]() {
+    metrics::Histogram merged;
+    for (const auto& [id, reg] : hub->nodes()) {
+      const auto it = reg.histograms().find(name);
+      if (it != reg.histograms().end()) merged.merge(*it->second);
+    }
+    return merged;
+  };
+}
+
+}  // namespace
+
 Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   amoeba::WorldConfig wc;
   wc.network = config_.network;
   wc.costs = config_.costs;
   wc.seed = config_.seed;
-  wc.metrics = config_.metrics;
+  // The sampler polls counter/histogram deltas, so telemetry implies metrics.
+  wc.metrics = config_.metrics || config_.series_window > 0;
   world_ = std::make_unique<amoeba::World>(wc);
   if (config_.trace) tracer_ = std::make_unique<trace::Tracer>(world_->sim());
   world_->add_nodes(config_.nodes);
+
+  if (config_.series_window > 0) {
+    series_ = std::make_unique<metrics::SeriesSampler>(world_->sim(),
+                                                       config_.series_window);
+    net::Network& net = world_->network();
+    for (std::size_t i = 0; i < net.segment_count(); ++i) {
+      net::Segment& seg = net.segment(i);
+      const std::string base = "net.seg" + std::to_string(i);
+      series_->add_gauge(base + ".queue_depth", [&seg] {
+        return static_cast<double>(seg.queue_depth());
+      });
+      // busy-time delta in ns over the window duration = utilisation fraction.
+      series_->add_rate(
+          base + ".utilisation",
+          [&seg] { return static_cast<double>(seg.busy_time()); }, 1e-9);
+      series_->add_rate(base + ".bytes_per_s", [&seg] {
+        return static_cast<double>(seg.bytes_carried());
+      });
+    }
+    metrics::Metrics* hub = world_->metrics();
+    series_->add_rate("rpc.calls_per_s", sum_counter(hub, "rpc.calls"));
+    series_->add_rate("rpc.retransmits_per_s",
+                      sum_counter(hub, "rpc.retransmits"));
+    series_->add_rate("group.deliveries_per_s",
+                      sum_counter(hub, "group.deliveries"));
+    series_->add_rate("group.retransmits_per_s",
+                      sum_counter(hub, "group.retransmits"));
+    series_->add_rate("flip.delivers_per_s", sum_counter(hub, "flip.delivers"));
+    series_->add_histogram("rpc.latency_ns",
+                           merge_histogram(hub, "rpc.latency_ns"));
+    series_->add_histogram("group.send_latency_ns",
+                           merge_histogram(hub, "group.send_latency_ns"));
+  }
 
   panda::ClusterConfig cc;
   cc.binding = config_.binding;
@@ -98,12 +164,39 @@ sim::Time measure_sys_multicast_latency(std::size_t bytes, int rounds) {
   return measure_sys_latency(bytes, rounds, /*multicast=*/true);
 }
 
-sim::Time measure_rpc_latency(Binding binding, std::size_t bytes, int rounds,
-                              std::uint64_t seed) {
+namespace {
+
+/// Optional observation attachments for a latency run. Tracing and telemetry
+/// are pure observation, so any combination leaves the measured latency
+/// identical to the plain routine.
+struct ObserveOpts {
+  sim::Time series_window = 0;
+  SeriesCapture* series = nullptr;
+  TracedRun* traced = nullptr;
+};
+
+void harvest(Testbed& bed, sim::Time latency, const ObserveOpts& opts) {
+  if (opts.series != nullptr && bed.series() != nullptr) {
+    bed.series()->finish(bed.sim().now());
+    opts.series->window = bed.series()->window();
+    opts.series->columns = bed.series()->columns();
+    opts.series->summary = bed.series()->summary();
+  }
+  if (opts.traced != nullptr && bed.tracer() != nullptr) {
+    opts.traced->events = bed.tracer()->events();
+    opts.traced->ledger = bed.world().aggregate_ledger();
+    opts.traced->latency = latency;
+  }
+}
+
+sim::Time rpc_latency_run(Binding binding, std::size_t bytes, int rounds,
+                          std::uint64_t seed, const ObserveOpts& opts) {
   TestbedConfig cfg;
   cfg.binding = binding;
   cfg.nodes = 2;
   cfg.seed = seed;
+  cfg.trace = opts.traced != nullptr;
+  cfg.series_window = opts.series_window;
   Testbed bed(cfg);
   bed.panda(1).set_rpc_handler(
       [&bed](Thread& upcall, panda::RpcTicket t, net::Payload) -> sim::Co<void> {
@@ -124,16 +217,19 @@ sim::Time measure_rpc_latency(Binding binding, std::size_t bytes, int rounds,
   }(bed.panda(0), client, bed.sim(), bytes, rounds, elapsed));
   bed.sim().run();
   sim::require(elapsed > 0, "rpc latency: no result");
+  harvest(bed, elapsed, opts);
   return elapsed;
 }
 
-sim::Time measure_group_latency(Binding binding, std::size_t bytes, int rounds,
-                                std::uint64_t seed) {
+sim::Time group_latency_run(Binding binding, std::size_t bytes, int rounds,
+                            std::uint64_t seed, const ObserveOpts& opts) {
   TestbedConfig cfg;
   cfg.binding = binding;
   cfg.nodes = 2;
   cfg.sequencer = 1;  // "the sequencer (which is on the other processor)"
   cfg.seed = seed;
+  cfg.trace = opts.traced != nullptr;
+  cfg.series_window = opts.series_window;
   Testbed bed(cfg);
   for (NodeId n = 0; n < 2; ++n) {
     bed.panda(n).set_group_handler(
@@ -155,7 +251,57 @@ sim::Time measure_group_latency(Binding binding, std::size_t bytes, int rounds,
   }(bed.panda(0), sender, bed.sim(), bytes, rounds, elapsed));
   bed.sim().run();
   sim::require(elapsed > 0, "group latency: no result");
+  harvest(bed, elapsed, opts);
   return elapsed;
+}
+
+}  // namespace
+
+sim::Time measure_rpc_latency(Binding binding, std::size_t bytes, int rounds,
+                              std::uint64_t seed) {
+  return rpc_latency_run(binding, bytes, rounds, seed, {});
+}
+
+sim::Time measure_group_latency(Binding binding, std::size_t bytes, int rounds,
+                                std::uint64_t seed) {
+  return group_latency_run(binding, bytes, rounds, seed, {});
+}
+
+TracedRun traced_rpc_run(Binding binding, std::size_t bytes, int rounds,
+                         std::uint64_t seed) {
+  TracedRun run;
+  ObserveOpts opts;
+  opts.traced = &run;
+  (void)rpc_latency_run(binding, bytes, rounds, seed, opts);
+  return run;
+}
+
+TracedRun traced_group_run(Binding binding, std::size_t bytes, int rounds,
+                           std::uint64_t seed) {
+  TracedRun run;
+  ObserveOpts opts;
+  opts.traced = &run;
+  (void)group_latency_run(binding, bytes, rounds, seed, opts);
+  return run;
+}
+
+sim::Time measure_rpc_latency_series(Binding binding, std::size_t bytes,
+                                     int rounds, std::uint64_t seed,
+                                     sim::Time window, SeriesCapture& series) {
+  ObserveOpts opts;
+  opts.series_window = window;
+  opts.series = &series;
+  return rpc_latency_run(binding, bytes, rounds, seed, opts);
+}
+
+sim::Time measure_group_latency_series(Binding binding, std::size_t bytes,
+                                       int rounds, std::uint64_t seed,
+                                       sim::Time window,
+                                       SeriesCapture& series) {
+  ObserveOpts opts;
+  opts.series_window = window;
+  opts.series = &series;
+  return group_latency_run(binding, bytes, rounds, seed, opts);
 }
 
 double measure_rpc_throughput_kbs(Binding binding, std::size_t request_bytes,

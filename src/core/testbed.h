@@ -9,7 +9,9 @@
 #include <vector>
 
 #include "amoeba/world.h"
+#include "metrics/series.h"
 #include "panda/panda.h"
+#include "sim/ledger.h"
 #include "trace/tracer.h"
 
 namespace core {
@@ -38,6 +40,12 @@ struct TestbedConfig {
   /// Attach a metrics::Metrics hub (counters, gauges, latency histograms) to
   /// the simulator. Off by default; same no-perturbation contract as trace.
   bool metrics = false;
+  /// Windowed time-series telemetry: when > 0, attach a
+  /// metrics::SeriesSampler with this window (implies `metrics`). Each window
+  /// close polls segment queue depth/utilisation/bytes, protocol counter
+  /// rates and windowed latency percentiles — host-side only, so an enabled
+  /// sampler never perturbs the simulated event sequence.
+  sim::Time series_window = 0;
 };
 
 /// A booted pool: world + per-node Panda instances (started lazily so tests
@@ -55,6 +63,9 @@ class Testbed {
   [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
   /// Non-null iff config.metrics was set (the hub lives in the World).
   [[nodiscard]] metrics::Metrics* metrics() noexcept { return world_->metrics(); }
+  /// Non-null iff config.series_window was set. Call finish() on it after the
+  /// run before reading columns.
+  [[nodiscard]] metrics::SeriesSampler* series() noexcept { return series_.get(); }
 
   /// Start every Panda instance (after handlers are installed).
   void start();
@@ -64,6 +75,7 @@ class Testbed {
   std::unique_ptr<amoeba::World> world_;
   // Declared after world_: destroyed first, detaching from the simulator.
   std::unique_ptr<trace::Tracer> tracer_;
+  std::unique_ptr<metrics::SeriesSampler> series_;
   std::vector<std::unique_ptr<panda::Panda>> pandas_;
 };
 
@@ -111,5 +123,54 @@ class Testbed {
                                                   int messages_per_member = 12,
                                                   std::uint64_t seed = 42,
                                                   bool replicated = false);
+
+// --- Profiler / telemetry entry points --------------------------------------
+
+/// A fully traced measurement run: the raw event stream feeds the causal
+/// profiler (trace/profile.h), the ledger is the run's aggregate mechanism
+/// accounting (the profiler's conservation reference), and `latency` is the
+/// same per-round average the plain measure_* routine returns.
+struct TracedRun {
+  std::vector<trace::Event> events;
+  sim::Ledger ledger;
+  sim::Time latency = 0;
+};
+
+/// measure_rpc_latency with tracing on; identical workload and timings (the
+/// tracer never perturbs simulated time).
+[[nodiscard]] TracedRun traced_rpc_run(Binding binding, std::size_t bytes,
+                                       int rounds = 10,
+                                       std::uint64_t seed = 42);
+
+/// measure_group_latency with tracing on.
+[[nodiscard]] TracedRun traced_group_run(Binding binding, std::size_t bytes,
+                                         int rounds = 10,
+                                         std::uint64_t seed = 42);
+
+/// Windowed telemetry captured alongside a measurement: the closed windows'
+/// summary scalars (`<column>.mean` / `<column>.max`) plus the raw columns
+/// for run-report `series` sections.
+struct SeriesCapture {
+  sim::Time window = 0;
+  std::vector<metrics::SeriesSampler::Column> columns;
+  std::vector<std::pair<std::string, double>> summary;
+};
+
+/// measure_rpc_latency with a SeriesSampler attached (window > 0); the
+/// capture is written to `series`. Latency result matches the plain routine.
+[[nodiscard]] sim::Time measure_rpc_latency_series(Binding binding,
+                                                   std::size_t bytes,
+                                                   int rounds,
+                                                   std::uint64_t seed,
+                                                   sim::Time window,
+                                                   SeriesCapture& series);
+
+/// measure_group_latency with a SeriesSampler attached.
+[[nodiscard]] sim::Time measure_group_latency_series(Binding binding,
+                                                     std::size_t bytes,
+                                                     int rounds,
+                                                     std::uint64_t seed,
+                                                     sim::Time window,
+                                                     SeriesCapture& series);
 
 }  // namespace core

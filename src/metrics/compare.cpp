@@ -14,7 +14,7 @@ struct Tracked {
   bool has_ci = false;
 };
 
-enum class Schema { kUnknown, kRunReport, kSweepReport };
+enum class Schema { kUnknown, kRunReport, kSweepReport, kProfile };
 
 Schema schema_of(const JsonValue& report) {
   if (!report.is_object()) return Schema::kUnknown;
@@ -25,6 +25,9 @@ Schema schema_of(const JsonValue& report) {
   }
   if (schema->string.rfind("amoeba-sweepreport/", 0) == 0) {
     return Schema::kSweepReport;
+  }
+  if (schema->string.rfind("amoeba-profile/", 0) == 0) {
+    return Schema::kProfile;
   }
   return Schema::kUnknown;
 }
@@ -60,6 +63,74 @@ bool flatten(const JsonValue& report, std::map<std::string, Tracked>& out,
       if (const JsonValue* c = h.find("count"); c != nullptr && c->is_number()) {
         out[name + ".count"] = Tracked{c->number, "info"};
       }
+    }
+  }
+  // Time-series telemetry rides along informationally: per-column window
+  // means, never gated (windowed rates are workload-phase dependent).
+  if (const JsonValue* ss = report.find("series");
+      ss != nullptr && ss->is_object()) {
+    for (const auto& [sname, s] : ss->object) {
+      const JsonValue* cols = s.find("columns");
+      if (cols == nullptr || !cols->is_object()) continue;
+      for (const auto& [cname, values] : cols->object) {
+        if (!values.is_array() || values.array.empty()) continue;
+        double sum = 0.0;
+        std::size_t n = 0;
+        for (const JsonValue& v : values.array) {
+          if (!v.is_number()) continue;
+          sum += v.number;
+          ++n;
+        }
+        if (n == 0) continue;
+        out["series." + sname + "." + cname + ".mean"] =
+            Tracked{sum / static_cast<double>(n), "info"};
+      }
+    }
+  }
+  return true;
+}
+
+/// Flattens an amoeba-profile/v1 document: per-mechanism on-path time and
+/// per-operation latency percentiles gate as lower-is-better; counts,
+/// off-path time and residuals ride along informationally.
+bool flatten_profile(const JsonValue& report,
+                     std::map<std::string, Tracked>& out, std::string& error) {
+  const JsonValue* ms = report.find("mechanisms");
+  if (ms == nullptr || !ms->is_object()) {
+    error = "profile has no \"mechanisms\" object";
+    return false;
+  }
+  for (const auto& [name, m] : ms->object) {
+    if (const JsonValue* v = m.find("on_path_ns");
+        v != nullptr && v->is_number()) {
+      out["mechanisms." + name + ".on_path_ns"] = Tracked{v->number, "lower"};
+    }
+    for (const char* q : {"off_path_ns", "total_ns", "count"}) {
+      if (const JsonValue* v = m.find(q); v != nullptr && v->is_number()) {
+        out["mechanisms." + name + "." + q] = Tracked{v->number, "info"};
+      }
+    }
+  }
+  if (const JsonValue* ops = report.find("ops");
+      ops != nullptr && ops->is_object()) {
+    for (const char* kind : {"rpc", "group"}) {
+      const JsonValue* k = ops->find(kind);
+      if (k == nullptr || !k->is_object()) continue;
+      for (const char* q : {"p50_ns", "p99_ns", "max_ns"}) {
+        if (const JsonValue* v = k->find(q); v != nullptr && v->is_number()) {
+          out[std::string("ops.") + kind + "." + q] = Tracked{v->number, "lower"};
+        }
+      }
+      if (const JsonValue* v = k->find("count");
+          v != nullptr && v->is_number()) {
+        out[std::string("ops.") + kind + ".count"] = Tracked{v->number, "info"};
+      }
+    }
+  }
+  if (const JsonValue* rs = report.find("residuals");
+      rs != nullptr && rs->is_object()) {
+    for (const auto& [name, v] : rs->object) {
+      if (v.is_number()) out["residuals." + name] = Tracked{v.number, "info"};
     }
   }
   return true;
@@ -116,21 +187,32 @@ CompareResult compare_reports(const JsonValue& old_report,
   if (old_schema != Schema::kUnknown && new_schema != Schema::kUnknown &&
       old_schema != new_schema) {
     result.error =
-        "schema mismatch: cannot compare a run report against a sweep report";
+        "schema mismatch: cannot compare reports of different schemas "
+        "(run report / sweep report / profile)";
     return result;
   }
-  const bool sweep = old_schema == Schema::kSweepReport;
+  const Schema schema = old_schema;
+  // Profiles are advisory by default: their per-mechanism splits shift with
+  // attribution refinements, so the CLI reports but does not gate on them.
+  result.advisory = schema == Schema::kProfile;
 
+  const auto flatten_any = [&](const JsonValue& report,
+                               std::map<std::string, Tracked>& out,
+                               std::string& err) {
+    switch (schema) {
+      case Schema::kSweepReport: return flatten_sweep(report, out, err);
+      case Schema::kProfile: return flatten_profile(report, out, err);
+      default: return flatten(report, out, err);
+    }
+  };
   std::map<std::string, Tracked> old_metrics;
   std::map<std::string, Tracked> new_metrics;
   std::string err;
-  if (!(sweep ? flatten_sweep(old_report, old_metrics, err)
-              : flatten(old_report, old_metrics, err))) {
+  if (!flatten_any(old_report, old_metrics, err)) {
     result.error = "old report: " + err;
     return result;
   }
-  if (!(sweep ? flatten_sweep(new_report, new_metrics, err)
-              : flatten(new_report, new_metrics, err))) {
+  if (!flatten_any(new_report, new_metrics, err)) {
     result.error = "new report: " + err;
     return result;
   }

@@ -13,8 +13,14 @@
 // mark the delta `noise_gated` instead. Multi-seed sweeps carry real
 // dispersion, so gating on the point estimate alone would flag noise.
 //
-// Mixing the two schemas is a comparison error. The report_compare CLI is a
-// thin wrapper; the logic lives here so tests can drive it directly.
+// amoeba-profile/*: compares per-mechanism on-path time and per-operation
+// latency percentiles as lower-is-better, but the comparison is *advisory*:
+// the CLI reports profile regressions without failing (attribution splits
+// move with profiler refinements). Run-report `series` sections flatten to
+// informational per-column means.
+//
+// Mixing schemas is a comparison error. The report_compare CLI is a thin
+// wrapper; the logic lives here so tests can drive it directly.
 #pragma once
 
 #include <string>
@@ -56,6 +62,9 @@ struct CompareResult {
   std::vector<std::string> only_old;     // tracked metrics that disappeared
   std::vector<std::string> only_new;     // tracked metrics that appeared
   bool regressed = false;
+  /// amoeba-profile/* comparisons are warn-only by default: regressions are
+  /// reported but the CLI exits 0 unless the caller opts into gating.
+  bool advisory = false;
 
   [[nodiscard]] bool ok() const noexcept { return error.empty(); }
 };

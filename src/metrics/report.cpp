@@ -63,6 +63,12 @@ void RunReport::add_ledger(std::string name, const sim::Ledger& ledger) {
   ledgers_.emplace_back(std::move(name), ledger);
 }
 
+void RunReport::add_series(
+    std::string name, sim::Time window_ns,
+    std::vector<std::pair<std::string, std::vector<double>>> columns) {
+  series_.push_back(Series{std::move(name), window_ns, std::move(columns)});
+}
+
 void RunReport::add_registry(const MetricsRegistry& reg,
                              const std::string& prefix) {
   for (const auto& [name, c] : reg.counters()) {
@@ -160,6 +166,36 @@ std::string RunReport::json() const {
     w.raw(ledger.json());
   }
   w.end_object();
+
+  // Only present when telemetry ran: reports without it keep their exact
+  // pre-series bytes, so committed baselines stay valid.
+  if (!series_.empty()) {
+    w.key("series");
+    w.begin_object();
+    for (const Series& s : series_) {
+      w.key(s.name);
+      w.begin_object();
+      w.key("window_ns");
+      w.value(static_cast<std::int64_t>(s.window_ns));
+      std::size_t windows = 0;
+      for (const auto& [cname, values] : s.columns) {
+        windows = std::max(windows, values.size());
+      }
+      w.key("windows");
+      w.value(static_cast<std::uint64_t>(windows));
+      w.key("columns");
+      w.begin_object();
+      for (const auto& [cname, values] : s.columns) {
+        w.key(cname);
+        w.begin_array();
+        for (double v : values) w.value(v);
+        w.end_array();
+      }
+      w.end_object();
+      w.end_object();
+    }
+    w.end_object();
+  }
 
   w.end_object();
   std::string out = w.take();

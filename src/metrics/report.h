@@ -53,6 +53,14 @@ class RunReport {
   /// A per-mechanism time ledger section (e.g. one per binding).
   void add_ledger(std::string name, const sim::Ledger& ledger);
 
+  /// A time-series section (from metrics::SeriesSampler): window length, and
+  /// one value per closed window per column. Serialized under a top-level
+  /// `series` key (emitted only when at least one series was added, so
+  /// reports without telemetry keep their exact historical bytes).
+  void add_series(std::string name, sim::Time window_ns,
+                  std::vector<std::pair<std::string, std::vector<double>>>
+                      columns);
+
   /// Import a whole registry: counters and gauges become informational
   /// metrics, histograms become histogram sections. `prefix` namespaces the
   /// entries (e.g. "user.").
@@ -72,11 +80,18 @@ class RunReport {
     std::string unit;
   };
 
+  struct Series {
+    std::string name;
+    sim::Time window_ns = 0;
+    std::vector<std::pair<std::string, std::vector<double>>> columns;
+  };
+
   std::string bench_;
   std::vector<std::pair<std::string, std::string>> config_;  // key -> raw JSON
   std::vector<Metric> metrics_;
   std::vector<std::pair<std::string, Histogram>> histograms_;
   std::vector<std::pair<std::string, sim::Ledger>> ledgers_;
+  std::vector<Series> series_;
 };
 
 }  // namespace metrics

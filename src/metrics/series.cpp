@@ -1,0 +1,147 @@
+#include "metrics/series.h"
+
+#include <algorithm>
+#include <map>
+
+namespace metrics {
+namespace {
+
+// Nearest-rank percentile over the bucket-count delta between two cumulative
+// snapshots (cur - prev). Returns the upper bound of the bucket holding the
+// rank-th new sample, 0 if the window recorded nothing.
+std::uint64_t delta_percentile(const Histogram& prev, const Histogram& cur,
+                               double p) {
+  std::map<std::uint64_t, std::pair<std::uint64_t, std::uint64_t>> delta;
+  for (const Histogram::Bucket& b : cur.nonzero_buckets()) {
+    delta[b.lower] = {b.upper, b.count};
+  }
+  for (const Histogram::Bucket& b : prev.nonzero_buckets()) {
+    auto it = delta.find(b.lower);
+    if (it != delta.end()) it->second.second -= b.count;
+  }
+  std::uint64_t total = 0;
+  for (const auto& [lower, uc] : delta) total += uc.second;
+  if (total == 0) return 0;
+  auto rank = static_cast<std::uint64_t>(p / 100.0 * static_cast<double>(total) +
+                                         0.999999);
+  if (rank == 0) rank = 1;
+  if (rank > total) rank = total;
+  std::uint64_t seen = 0;
+  for (const auto& [lower, uc] : delta) {
+    seen += uc.second;
+    if (seen >= rank) return uc.first;
+  }
+  return 0;
+}
+
+}  // namespace
+
+SeriesSampler::SeriesSampler(sim::Simulator& s, sim::Time window)
+    : sim_(&s), window_(window), next_close_(window) {
+  sim_->set_step_observer(this);
+}
+
+SeriesSampler::~SeriesSampler() {
+  if (sim_->step_observer() == this) sim_->set_step_observer(nullptr);
+}
+
+void SeriesSampler::add_gauge(std::string name, std::function<double()> poll) {
+  Source src;
+  src.kind = Source::Kind::kGauge;
+  src.poll = std::move(poll);
+  src.column = columns_.size();
+  columns_.push_back(Column{std::move(name), {}});
+  sources_.push_back(std::move(src));
+}
+
+void SeriesSampler::add_rate(std::string name, std::function<double()> poll,
+                             double scale) {
+  Source src;
+  src.kind = Source::Kind::kRate;
+  src.poll = std::move(poll);
+  src.scale = scale;
+  src.prev = src.poll();
+  src.column = columns_.size();
+  columns_.push_back(Column{std::move(name), {}});
+  sources_.push_back(std::move(src));
+}
+
+void SeriesSampler::add_histogram(std::string name,
+                                  std::function<Histogram()> poll) {
+  Source src;
+  src.kind = Source::Kind::kHist;
+  src.poll_hist = std::move(poll);
+  src.prev_hist = src.poll_hist();
+  src.column = columns_.size();
+  columns_.push_back(Column{name + ".p50", {}});
+  columns_.push_back(Column{name + ".p99", {}});
+  sources_.push_back(std::move(src));
+}
+
+void SeriesSampler::close_window() {
+  const double secs = sim::to_sec(window_);
+  for (Source& src : sources_) {
+    switch (src.kind) {
+      case Source::Kind::kGauge:
+        columns_[src.column].values.push_back(src.poll());
+        break;
+      case Source::Kind::kRate: {
+        const double cur = src.poll();
+        columns_[src.column].values.push_back((cur - src.prev) * src.scale /
+                                              secs);
+        src.prev = cur;
+        break;
+      }
+      case Source::Kind::kHist: {
+        Histogram cur = src.poll_hist();
+        columns_[src.column].values.push_back(
+            static_cast<double>(delta_percentile(src.prev_hist, cur, 50.0)));
+        columns_[src.column + 1].values.push_back(
+            static_cast<double>(delta_percentile(src.prev_hist, cur, 99.0)));
+        src.prev_hist = std::move(cur);
+        break;
+      }
+    }
+  }
+  ++windows_;
+}
+
+void SeriesSampler::on_step(sim::Time now) {
+  // An idle stretch can jump several boundaries at once; close each window
+  // separately so rate columns show the zeros.
+  while (now >= next_close_) {
+    close_window();
+    next_close_ += window_;
+  }
+}
+
+void SeriesSampler::finish(sim::Time end) {
+  while (next_close_ <= end) {
+    close_window();
+    next_close_ += window_;
+  }
+  if (end > next_close_ - window_) {
+    close_window();  // trailing partial window
+    next_close_ += window_;
+  }
+}
+
+std::vector<std::pair<std::string, double>> SeriesSampler::summary() const {
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(columns_.size() * 2);
+  for (const Column& c : columns_) {
+    double sum = 0.0;
+    double mx = 0.0;
+    for (double v : c.values) {
+      sum += v;
+      mx = std::max(mx, v);
+    }
+    const double mean =
+        c.values.empty() ? 0.0 : sum / static_cast<double>(c.values.size());
+    out.emplace_back(c.name + ".mean", mean);
+    out.emplace_back(c.name + ".max", mx);
+  }
+  return out;
+}
+
+}  // namespace metrics

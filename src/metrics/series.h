@@ -1,0 +1,101 @@
+// Windowed time-series telemetry over a running simulation.
+//
+// A SeriesSampler attaches to the Simulator's per-step observer hook and
+// closes fixed simulated-time windows as the dispatch loop crosses their
+// boundaries. At each close it polls its registered sources *host-side*:
+//
+//  * gauge    — instantaneous value at window close (queue depths),
+//  * rate     — cumulative counter, reported as delta/second over the window
+//               (deliveries/s, retransmits/s, bytes/s; with a scale factor,
+//               segment busy-time deltas become utilisation fractions),
+//  * hist     — cumulative histogram, reported as windowed p50/p99 computed
+//               from bucket-count deltas (two columns, `<name>.p50` and
+//               `<name>.p99`).
+//
+// The sampler is pure observation, like Tracer and Metrics: it never
+// schedules events, draws random numbers, or charges simulated time, so an
+// enabled sampler leaves traces byte-identical (the fixture digest test runs
+// with it on to prove exactly that). Results serialize as the `series`
+// section of run reports and as summary scalars for sweep trials.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "metrics/histogram.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace metrics {
+
+class SeriesSampler final : public sim::StepObserver {
+ public:
+  /// Attaches to the simulator's step-observer slot; detaches on destruction
+  /// (if still attached). Windows are [k*window, (k+1)*window).
+  SeriesSampler(sim::Simulator& s, sim::Time window);
+  ~SeriesSampler();
+
+  SeriesSampler(const SeriesSampler&) = delete;
+  SeriesSampler& operator=(const SeriesSampler&) = delete;
+
+  /// Instantaneous value polled at each window close.
+  void add_gauge(std::string name, std::function<double()> poll);
+
+  /// Cumulative counter; the column reports (delta * scale) / window_seconds.
+  /// scale=1 gives events/second; scale=1e-9 over a busy-time counter in
+  /// nanoseconds gives a utilisation fraction.
+  void add_rate(std::string name, std::function<double()> poll,
+                double scale = 1.0);
+
+  /// Cumulative histogram; emits windowed p50/p99 columns computed from
+  /// bucket-count deltas (0 for windows with no new samples).
+  void add_histogram(std::string name, std::function<Histogram()> poll);
+
+  void on_step(sim::Time now) override;
+
+  /// Close the final (possibly partial) window at simulation end. Idempotent
+  /// per end time; call before reading columns.
+  void finish(sim::Time end);
+
+  [[nodiscard]] sim::Time window() const noexcept { return window_; }
+  [[nodiscard]] std::size_t windows() const noexcept { return windows_; }
+
+  struct Column {
+    std::string name;
+    std::vector<double> values;  // one per closed window
+  };
+  /// Columns in registration order (histogram sources contribute two).
+  [[nodiscard]] const std::vector<Column>& columns() const noexcept {
+    return columns_;
+  }
+
+  /// Per-column summary scalars for sweep trials: `<name>.mean` and
+  /// `<name>.max` over the closed windows.
+  [[nodiscard]] std::vector<std::pair<std::string, double>> summary() const;
+
+ private:
+  void close_window();
+
+  struct Source {
+    enum class Kind : std::uint8_t { kGauge, kRate, kHist };
+    Kind kind;
+    std::function<double()> poll;
+    std::function<Histogram()> poll_hist;
+    double scale = 1.0;
+    double prev = 0.0;       // rate: last cumulative value
+    Histogram prev_hist;     // hist: last cumulative snapshot
+    std::size_t column = 0;  // first column index (hist uses two)
+  };
+
+  sim::Simulator* sim_;
+  sim::Time window_;
+  sim::Time next_close_ = 0;
+  std::size_t windows_ = 0;
+  std::vector<Source> sources_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace metrics

@@ -126,6 +126,9 @@ bool Simulator::step() {
     sift_down(0);
   }
   ++executed_;
+  // Observe before the callback runs: window boundaries close on the state
+  // left by all events strictly earlier than `now_`.
+  if (step_observer_ != nullptr) step_observer_->on_step(now_);
   // Invoke the callable in place — chunked storage guarantees its address is
   // stable across any scheduling the callback does — then destroy it and
   // recycle the slot, even if the callback throws (a SimError escaping run()

@@ -59,6 +59,20 @@ class Tracer;
 
 namespace sim {
 
+/// Host-side hook invoked once per dispatched event, after `now()` has
+/// advanced but before the event's callback runs. Observers are pure
+/// observation: they must never schedule events, draw from the Rng, or
+/// otherwise perturb the simulation (the committed trace fixtures are the
+/// proof obligation, same as for Tracer and Metrics). The time-series
+/// sampler (metrics::SeriesSampler) is the canonical implementation.
+class StepObserver {
+ public:
+  virtual void on_step(Time now) = 0;
+
+ protected:
+  ~StepObserver() = default;
+};
+
 /// A move-only type-erased `void()` callable with a small-buffer optimization
 /// sized for the engine's hot-path closures (an MTU-sized frame capture plus
 /// bookkeeping). Callables that fit 88 bytes, are nothrow-move-constructible,
@@ -299,6 +313,14 @@ class Simulator {
   [[nodiscard]] metrics::Metrics* metrics() const noexcept { return metrics_; }
   void set_metrics(metrics::Metrics* m) noexcept { metrics_ = m; }
 
+  /// The attached per-step observer, or nullptr (the common case). Called
+  /// once per dispatched event after `now()` advances; costs one pointer test
+  /// when disabled. Same observation-only contract as tracer()/metrics().
+  [[nodiscard]] StepObserver* step_observer() const noexcept {
+    return step_observer_;
+  }
+  void set_step_observer(StepObserver* o) noexcept { step_observer_ = o; }
+
  private:
   friend class EventHandle;
 
@@ -383,6 +405,7 @@ class Simulator {
   Rng rng_;
   trace::Tracer* tracer_ = nullptr;
   metrics::Metrics* metrics_ = nullptr;
+  StepObserver* step_observer_ = nullptr;
 };
 
 inline bool EventHandle::active() const noexcept {

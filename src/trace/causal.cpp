@@ -1,0 +1,661 @@
+#include "trace/causal.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <unordered_map>
+#include <utility>
+
+namespace trace {
+namespace {
+
+constexpr std::uint32_t kNone = 0xFFFF'FFFF;
+
+// Frame ids are minted by the FLIP fragmenter as
+// (node << 48) | (msg_id << 16) | fragment_index, so a wire-level event keys
+// straight back to its message instance.
+constexpr std::uint32_t frame_node(std::uint64_t frame_id) {
+  return static_cast<std::uint32_t>(frame_id >> 48);
+}
+constexpr std::uint64_t frame_msg(std::uint64_t frame_id) {
+  return (frame_id >> 16) & 0xFFFF'FFFFull;
+}
+
+// (sender node, msg_id) -> flat key. msg ids are per-node 32-bit counters.
+constexpr std::uint64_t inst_key(std::uint32_t node, std::uint64_t msg_id) {
+  return (static_cast<std::uint64_t>(node) << 32) | (msg_id & 0xFFFF'FFFFull);
+}
+
+// Group message uids are (sender << 32 | per-sender counter) in both
+// bindings; kSeqnoAssign carries b=sender and c=uid-or-counter, so this
+// normalisation reproduces the full uid either way.
+constexpr std::uint64_t full_uid(std::uint64_t sender, std::uint64_t c) {
+  return (sender << 32) | (c & 0xFFFF'FFFFull);
+}
+
+// One transmission attempt's wire footprint: the fragment, its wire slot, and
+// every NIC that accepted it (several for multicast, or under duplication).
+struct FrameRec {
+  std::uint64_t id = 0;
+  std::uint32_t frag = kNone;
+  std::uint32_t wire = kNone;
+  std::vector<std::uint32_t> interrupts;
+  std::vector<std::uint32_t> drops;
+};
+
+// One FLIP message instance: a single kFlipSend and everything downstream of
+// it. A retransmission is a *new* instance (fresh msg_id), which is what lets
+// the graph keep retransmit branches distinct.
+struct Inst {
+  std::uint32_t node = kNoNode;
+  std::uint64_t msg_id = 0;
+  std::uint32_t flip_send = kNone;
+  std::uint64_t dst_addr = 0;
+  std::uint64_t src_addr = 0;  // learned from the first fragment
+  std::vector<FrameRec> frames;
+  std::vector<std::uint32_t> delivers;  // kFlipDeliver, possibly many nodes
+  std::uint32_t claimed_by = kNoOp;
+
+  FrameRec& frame(std::uint64_t id) {
+    for (FrameRec& f : frames) {
+      if (f.id == id) return f;
+    }
+    frames.push_back(FrameRec{id, kNone, kNone, {}, {}});
+    return frames.back();
+  }
+};
+
+// Per-operation protocol anchors, kept out of the public Operation struct.
+struct OpScratch {
+  std::uint32_t send = kNone;   // kRpcSend / kGroupSend
+  std::uint32_t exec = kNone;   // kRpcExec
+  std::uint32_t reply = kNone;  // kRpcReply
+  std::uint32_t done = kNone;   // kRpcDone
+  std::uint32_t assign = kNone;  // kSeqnoAssign
+  std::vector<std::uint32_t> delivers;     // kGroupDeliver
+  std::vector<std::uint32_t> upcalls;      // kUpcall
+  std::vector<std::uint32_t> retransmits;  // kRetransmit
+};
+
+struct Builder {
+  const std::vector<Event>& ev;
+  CausalGraph g;
+  std::vector<OpScratch> scratch;
+
+  std::vector<Inst> insts;
+  std::unordered_map<std::uint64_t, std::uint32_t> inst_by_key;
+  // (src FLIP addr, msg_id) -> instance, for joining kFlipDeliver.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> inst_by_src;
+  // node -> its instances, in flip-send order.
+  std::map<std::uint32_t, std::vector<std::uint32_t>> insts_of_node;
+
+  std::unordered_map<std::uint64_t, std::uint32_t> rpc_op;  // trans key
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> group_op;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::uint32_t> seqno_op;
+  std::map<std::uint64_t, std::vector<std::uint32_t>> ops_of_seqno;
+  std::map<std::uint64_t, std::vector<std::uint32_t>> ops_of_uid;
+  // node -> last local (d==1) kFlipSend seen there.
+  std::unordered_map<std::uint32_t, std::uint32_t> last_local_send;
+
+  explicit Builder(const std::vector<Event>& events) : ev(events) {
+    g.preds.assign(ev.size(), {});
+    g.op_of.assign(ev.size(), kNoOp);
+  }
+
+  // u happened-before v. Trace order is execution order, so a real causal
+  // predecessor always has a smaller index; the guard also keeps the
+  // backward critical-path walk strictly decreasing (no cycles).
+  void add_pred(std::uint32_t v, std::uint32_t u) {
+    if (u == kNone || v == kNone || u >= v) return;
+    if (ev[u].t > ev[v].t) return;
+    g.preds[v].push_back(u);
+  }
+
+  std::uint32_t new_op(Operation::Kind kind, std::uint64_t key,
+                       std::uint64_t gid, std::uint32_t node, sim::Time t) {
+    Operation op;
+    op.kind = kind;
+    op.key = key;
+    op.gid = gid;
+    op.initiator = node;
+    op.start = t;
+    op.end = t;
+    g.ops.push_back(std::move(op));
+    scratch.emplace_back();
+    return static_cast<std::uint32_t>(g.ops.size() - 1);
+  }
+
+  void attach(std::uint32_t op, std::uint32_t idx) {
+    if (g.op_of[idx] == kNoOp) g.op_of[idx] = op;
+    g.ops[op].events.push_back(idx);
+    g.ops[op].end = std::max(g.ops[op].end, ev[idx].t);
+  }
+
+  void claim_inst(std::uint32_t op, std::uint32_t ii) {
+    Inst& in = insts[ii];
+    if (in.claimed_by != kNoOp) return;
+    in.claimed_by = op;
+    if (in.flip_send != kNone) attach(op, in.flip_send);
+    for (const FrameRec& f : in.frames) {
+      if (f.frag != kNone) attach(op, f.frag);
+      if (f.wire != kNone) attach(op, f.wire);
+      for (std::uint32_t i : f.interrupts) attach(op, i);
+      for (std::uint32_t i : f.drops) attach(op, i);
+    }
+    for (std::uint32_t i : in.delivers) attach(op, i);
+  }
+
+  // Latest kFlipDeliver of instance `ii` at `node` with t <= hi (kNone if
+  // none). Ties break toward the later event index.
+  std::uint32_t deliver_at(std::uint32_t ii, std::uint32_t node,
+                           sim::Time hi) const {
+    std::uint32_t best = kNone;
+    for (std::uint32_t d : insts[ii].delivers) {
+      if (ev[d].node != node || ev[d].t > hi) continue;
+      if (best == kNone || ev[d].t > ev[best].t ||
+          (ev[d].t == ev[best].t && d > best)) {
+        best = d;
+      }
+    }
+    return best;
+  }
+
+  void index_network(std::uint32_t i) {
+    const Event& e = ev[i];
+    switch (e.kind) {
+      case EventKind::kFlipSend: {
+        if (e.d == 1) {  // local fast path: no instance, link at deliver
+          last_local_send[e.node] = i;
+          break;
+        }
+        Inst in;
+        in.node = e.node;
+        in.msg_id = e.b;
+        in.flip_send = i;
+        in.dst_addr = e.a;
+        insts.push_back(std::move(in));
+        const auto ii = static_cast<std::uint32_t>(insts.size() - 1);
+        inst_by_key[inst_key(e.node, e.b)] = ii;
+        insts_of_node[e.node].push_back(ii);
+        break;
+      }
+      case EventKind::kFragment: {
+        if (e.a == 0) break;  // user-level fragmentation marker, no frame
+        const auto it = inst_by_key.find(inst_key(e.node, e.b));
+        if (it == inst_by_key.end()) break;
+        Inst& in = insts[it->second];
+        if (in.src_addr == 0) {
+          in.src_addr = e.c;
+          inst_by_src[{e.c, e.b}] = it->second;
+        }
+        FrameRec& f = in.frame(e.a);
+        f.frag = i;
+        add_pred(i, in.flip_send);
+        break;
+      }
+      case EventKind::kWireTx: {
+        const auto it =
+            inst_by_key.find(inst_key(frame_node(e.a), frame_msg(e.a)));
+        if (it == inst_by_key.end()) break;
+        FrameRec& f = insts[it->second].frame(e.a);
+        f.wire = i;
+        add_pred(i, f.frag);
+        break;
+      }
+      case EventKind::kInterrupt: {
+        const auto it =
+            inst_by_key.find(inst_key(frame_node(e.a), frame_msg(e.a)));
+        if (it == inst_by_key.end()) break;
+        FrameRec& f = insts[it->second].frame(e.a);
+        f.interrupts.push_back(i);
+        add_pred(i, f.wire);
+        break;
+      }
+      case EventKind::kFrameDrop: {
+        const auto it =
+            inst_by_key.find(inst_key(frame_node(e.a), frame_msg(e.a)));
+        if (it == inst_by_key.end()) break;
+        FrameRec& f = insts[it->second].frame(e.a);
+        f.drops.push_back(i);
+        // A loss descends from the transmission attempt it destroyed, so a
+        // retransmit rooted at the drop walks back through the lost branch.
+        const std::uint32_t tx = f.wire != kNone ? f.wire : f.frag;
+        if (tx != kNone) add_pred(i, tx);
+        break;
+      }
+      case EventKind::kFlipDeliver: {
+        if (e.d == 1) {  // local fast path: pair with the adjacent local send
+          const auto it = last_local_send.find(e.node);
+          if (it != last_local_send.end()) add_pred(i, it->second);
+          break;
+        }
+        const auto it = inst_by_src.find({e.a, e.b});
+        if (it == inst_by_src.end()) break;
+        Inst& in = insts[it->second];
+        in.delivers.push_back(i);
+        // Reassembled delivery depends on every fragment's interrupt at the
+        // delivering node; the critical path picks the latest.
+        bool linked = false;
+        for (const FrameRec& f : in.frames) {
+          for (std::uint32_t intr : f.interrupts) {
+            if (ev[intr].node == e.node && ev[intr].t <= e.t) {
+              add_pred(i, intr);
+              linked = true;
+            }
+          }
+        }
+        if (!linked) add_pred(i, in.flip_send);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void index_protocol(std::uint32_t i) {
+    const Event& e = ev[i];
+    switch (e.kind) {
+      case EventKind::kRpcSend: {
+        const std::uint32_t op =
+            new_op(Operation::Kind::kRpc, e.a, 0, e.node, e.t);
+        rpc_op[e.a] = op;
+        scratch[op].send = i;
+        attach(op, i);
+        break;
+      }
+      case EventKind::kRpcExec:
+      case EventKind::kRpcReply:
+      case EventKind::kRpcDone:
+      case EventKind::kAck: {
+        const auto it = rpc_op.find(e.a);
+        if (it == rpc_op.end()) break;
+        const std::uint32_t op = it->second;
+        attach(op, i);
+        if (e.kind == EventKind::kRpcExec) {
+          if (scratch[op].exec == kNone) scratch[op].exec = i;
+          g.ops[op].responder = e.node;
+        } else if (e.kind == EventKind::kRpcReply) {
+          if (scratch[op].reply == kNone) scratch[op].reply = i;
+        } else if (e.kind == EventKind::kRpcDone) {
+          scratch[op].done = i;
+          g.ops[op].complete = true;
+          g.ops[op].ok = e.b == 0;
+        }
+        break;
+      }
+      case EventKind::kGroupSend: {
+        const std::uint32_t op =
+            new_op(Operation::Kind::kGroup, e.a, e.d, e.node, e.t);
+        group_op[{e.d, e.a}] = op;
+        ops_of_uid[e.a].push_back(op);
+        scratch[op].send = i;
+        attach(op, i);
+        break;
+      }
+      case EventKind::kSeqnoAssign: {
+        const auto it = group_op.find({e.d, full_uid(e.b, e.c)});
+        if (it == group_op.end()) break;
+        const std::uint32_t op = it->second;
+        attach(op, i);
+        if (scratch[op].assign == kNone) {
+          scratch[op].assign = i;
+          g.ops[op].responder = e.node;
+        }
+        seqno_op[{e.d, e.a}] = op;
+        ops_of_seqno[e.a].push_back(op);
+        break;
+      }
+      case EventKind::kGroupDeliver: {
+        const auto it = seqno_op.find({e.d, e.a});
+        if (it == seqno_op.end()) break;
+        const std::uint32_t op = it->second;
+        attach(op, i);
+        scratch[op].delivers.push_back(i);
+        g.ops[op].complete = true;
+        g.ops[op].ok = true;
+        break;
+      }
+      case EventKind::kUpcall: {
+        if (e.b == 1) {
+          const auto it = rpc_op.find(e.a);
+          if (it == rpc_op.end()) break;
+          attach(it->second, i);
+          scratch[it->second].upcalls.push_back(i);
+        } else {
+          const auto it = ops_of_seqno.find(e.a);
+          if (it == ops_of_seqno.end() || it->second.size() != 1) break;
+          attach(it->second.front(), i);
+          scratch[it->second.front()].upcalls.push_back(i);
+        }
+        break;
+      }
+      case EventKind::kRetransmit: {
+        std::uint32_t op = kNoOp;
+        switch (e.b) {
+          case kReasonClientRetry:
+          case kReasonCachedReply: {
+            const auto it = rpc_op.find(e.a);
+            if (it != rpc_op.end()) op = it->second;
+            break;
+          }
+          case kReasonGroupSendRetry: {
+            auto it = ops_of_uid.find(e.a);
+            if (it == ops_of_uid.end()) {
+              it = ops_of_uid.find(full_uid(e.node, e.a));
+            }
+            if (it != ops_of_uid.end() && it->second.size() == 1) {
+              op = it->second.front();
+            }
+            break;
+          }
+          case kReasonSequencerResend:
+          case kReasonGapRequest:
+          case kReasonLagWatchdog: {
+            const auto it = ops_of_seqno.find(e.a);
+            if (it != ops_of_seqno.end() && it->second.size() == 1) {
+              op = it->second.front();
+            }
+            break;
+          }
+          default:
+            break;
+        }
+        if (op != kNoOp) {
+          attach(op, i);
+          scratch[op].retransmits.push_back(i);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Claim unclaimed instances sent by `node` whose flip-send falls in
+  // [lo, hi]. FLIP destinations are service addresses (unmappable to nodes),
+  // so the destination filter uses the instance's own delivery record: an
+  // instance that delivered somewhere must have delivered at `want_dst`
+  // (multicast delivers everywhere, so sequencer broadcasts pass), while an
+  // instance with no deliveries (dropped, or a retransmit branch still in
+  // flight) stays eligible — the sender and time window already pin it to
+  // this operation.
+  std::vector<std::uint32_t> claim_window(std::uint32_t op, std::uint32_t node,
+                                          sim::Time lo, sim::Time hi,
+                                          std::uint32_t want_dst) {
+    std::vector<std::uint32_t> out;
+    const auto it = insts_of_node.find(node);
+    if (it == insts_of_node.end()) return out;
+    for (std::uint32_t ii : it->second) {
+      Inst& in = insts[ii];
+      if (in.claimed_by != kNoOp || in.flip_send == kNone) continue;
+      const sim::Time t = ev[in.flip_send].t;
+      if (t < lo || t > hi) continue;
+      if (want_dst != kNoNode && !in.delivers.empty()) {
+        bool at_dst = false;
+        for (std::uint32_t d : in.delivers) {
+          if (ev[d].node == want_dst) {
+            at_dst = true;
+            break;
+          }
+        }
+        if (!at_dst) continue;
+      }
+      claim_inst(op, ii);
+      out.push_back(ii);
+    }
+    return out;
+  }
+
+  // Latest event already claimed by `op` on `node` ordered before event `r`
+  // (by (t, index)), else `fallback`. A retransmission is triggered by local
+  // state — a client timer armed at the last transmission attempt, a server
+  // answering a duplicate request it just received, a member noticing a gap
+  // after a delivery — so its causal root is the op's most recent local
+  // event. Wire-level events (node == kNoNode) also qualify: when the op's
+  // own frame was dropped, that drop *is* what the recovery answers, and
+  // keeping it upstream of the retransmit puts the whole loss story (first
+  // attempt, drop, timeout wait, retry) on one causal chain.
+  std::uint32_t local_root(std::uint32_t op, std::uint32_t node,
+                           std::uint32_t r, std::uint32_t fallback) const {
+    std::uint32_t best = kNone;
+    for (std::uint32_t e : g.ops[op].events) {
+      if ((ev[e].node != node && ev[e].node != kNoNode) || e == r) continue;
+      if (ev[e].t > ev[r].t || (ev[e].t == ev[r].t && e > r)) continue;
+      if (best == kNone || ev[e].t > ev[best].t ||
+          (ev[e].t == ev[best].t && e > best)) {
+        best = e;
+      }
+    }
+    return best == kNone ? fallback : best;
+  }
+
+  // Latest retransmit event of `op` at `node` with t <= hi, else `fallback`.
+  std::uint32_t resend_root(std::uint32_t op, std::uint32_t node, sim::Time hi,
+                            std::uint32_t fallback) const {
+    std::uint32_t best = fallback;
+    for (std::uint32_t r : scratch[op].retransmits) {
+      if (ev[r].node != node || ev[r].t > hi) continue;
+      if (best == kNone || ev[r].t > ev[best].t ||
+          (ev[r].t == ev[best].t && r > best)) {
+        best = r;
+      }
+    }
+    return best;
+  }
+
+  void link_rpc(std::uint32_t op) {
+    const OpScratch& s = scratch[op];
+    Operation& o = g.ops[op];
+    if (s.send == kNone) return;
+    const std::uint32_t client = o.initiator;
+    // Fall back to the kRpcSend service field (the server node in both
+    // bindings) when the exec side of the transaction was never traced.
+    const std::uint32_t server =
+        o.responder != kNoNode ? o.responder
+                               : static_cast<std::uint32_t>(ev[s.send].b);
+    const sim::Time t_exec = s.exec != kNone ? ev[s.exec].t : o.end;
+    const sim::Time t_end = s.done != kNone ? ev[s.done].t : o.end;
+
+    // Request journey: every transmission attempt. The window runs to the
+    // call's completion, not just to exec — when a *reply* is lost the client
+    // retries after the server already executed, and that retry (plus the
+    // client's explicit ack) still belongs to this operation. Only delivers
+    // up to t_exec can carry the exec edge (deliver_at bounds them below).
+    const auto req = claim_window(op, client, ev[s.send].t, t_end, server);
+    std::uint32_t exec_deliver = kNone;
+    for (std::uint32_t ii : req) {
+      add_pred(insts[ii].flip_send,
+               resend_root(op, client, ev[insts[ii].flip_send].t, s.send));
+      if (s.exec != kNone) {
+        const std::uint32_t d = deliver_at(ii, server, t_exec);
+        if (d != kNone &&
+            (exec_deliver == kNone || ev[d].t > ev[exec_deliver].t ||
+             (ev[d].t == ev[exec_deliver].t && d > exec_deliver))) {
+          exec_deliver = d;
+        }
+      }
+    }
+    if (s.exec != kNone) {
+      std::uint32_t prev = exec_deliver != kNone ? exec_deliver : s.send;
+      for (std::uint32_t u : s.upcalls) {
+        if (ev[u].node == server && u < s.exec) {
+          add_pred(u, prev);
+          prev = u;
+        }
+      }
+      add_pred(s.exec, prev);
+    }
+    if (s.reply != kNone) {
+      add_pred(s.reply, s.exec != kNone ? s.exec : s.send);
+      // Reply journey, bounded by the call completing (or the op dying).
+      const sim::Time t_done = s.done != kNone ? ev[s.done].t : o.end;
+      const auto rep = claim_window(op, server, ev[s.reply].t, t_done, client);
+      std::uint32_t done_deliver = kNone;
+      for (std::uint32_t ii : rep) {
+        add_pred(insts[ii].flip_send,
+                 resend_root(op, server, ev[insts[ii].flip_send].t, s.reply));
+        if (s.done != kNone) {
+          const std::uint32_t d = deliver_at(ii, client, t_done);
+          if (d != kNone &&
+              (done_deliver == kNone || ev[d].t > ev[done_deliver].t ||
+               (ev[d].t == ev[done_deliver].t && d > done_deliver))) {
+            done_deliver = d;
+          }
+        }
+      }
+      if (s.done != kNone) {
+        add_pred(s.done, done_deliver != kNone ? done_deliver : s.reply);
+      }
+    } else if (s.done != kNone) {
+      add_pred(s.done, s.send);  // timed out: terminal links to the root
+    }
+    for (std::uint32_t r : s.retransmits) {
+      add_pred(r, local_root(op, ev[r].node, r, s.send));
+    }
+  }
+
+  void link_group(std::uint32_t op) {
+    const OpScratch& s = scratch[op];
+    Operation& o = g.ops[op];
+    if (s.send == kNone) return;
+    const std::uint32_t sender = o.initiator;
+    const std::uint32_t sequencer = o.responder;
+
+    if (s.assign != kNone && sequencer != kNoNode && sequencer != sender) {
+      // Sender -> sequencer journey (PB request, or BB body broadcast that
+      // the sequencer also receives — either way it delivers at the
+      // sequencer, which is what the claim filter checks).
+      const auto req =
+          claim_window(op, sender, ev[s.send].t, ev[s.assign].t, sequencer);
+      std::uint32_t assign_deliver = kNone;
+      for (std::uint32_t ii : req) {
+        add_pred(insts[ii].flip_send,
+                 resend_root(op, sender, ev[insts[ii].flip_send].t, s.send));
+        const std::uint32_t d = deliver_at(ii, sequencer, ev[s.assign].t);
+        if (d != kNone &&
+            (assign_deliver == kNone || ev[d].t > ev[assign_deliver].t ||
+             (ev[d].t == ev[assign_deliver].t && d > assign_deliver))) {
+          assign_deliver = d;
+        }
+      }
+      add_pred(s.assign, assign_deliver != kNone ? assign_deliver : s.send);
+    } else if (s.assign != kNone) {
+      add_pred(s.assign, s.send);  // sender is the sequencer: local hop
+    }
+
+    // Member deliveries: each rides the latest FLIP delivery at that member
+    // from an instance originating at the sequencer (ordered broadcast /
+    // history resend) or the sender (big-blob body broadcast).
+    for (std::uint32_t gd : s.delivers) {
+      const std::uint32_t member = ev[gd].node;
+      std::uint32_t carrier_inst = kNone;
+      std::uint32_t carrier = kNone;
+      const std::uint32_t origins[2] = {sequencer, sender};
+      for (int oi = 0; oi < 2; ++oi) {
+        const std::uint32_t origin = origins[oi];
+        if (origin == kNoNode) continue;
+        if (oi == 1 && origin == sequencer) break;  // scanned already
+        const auto it = insts_of_node.find(origin);
+        if (it == insts_of_node.end()) continue;
+        for (std::uint32_t ii : it->second) {
+          const Inst& in = insts[ii];
+          if (in.flip_send == kNone || ev[in.flip_send].t < o.start) continue;
+          if (in.claimed_by != kNoOp && in.claimed_by != op) continue;
+          const std::uint32_t d = deliver_at(ii, member, ev[gd].t);
+          if (d != kNone && (carrier == kNone || ev[d].t > ev[carrier].t ||
+                             (ev[d].t == ev[carrier].t && d > carrier))) {
+            carrier = d;
+            carrier_inst = ii;
+          }
+        }
+      }
+      std::uint32_t prev = carrier;
+      if (carrier_inst != kNone) {
+        claim_inst(op, carrier_inst);
+        const Inst& in = insts[carrier_inst];
+        if (in.node == sequencer && s.assign != kNone) {
+          add_pred(in.flip_send, s.assign);
+        } else {
+          add_pred(in.flip_send,
+                   resend_root(op, in.node, ev[in.flip_send].t, s.send));
+        }
+      }
+      if (prev == kNone) prev = s.assign != kNone ? s.assign : s.send;
+      for (std::uint32_t u : s.upcalls) {
+        if (ev[u].node == member && u < gd && u > prev) {
+          add_pred(u, prev);
+          prev = u;
+        }
+      }
+      add_pred(gd, prev);
+    }
+    for (std::uint32_t r : s.retransmits) {
+      add_pred(r, local_root(op, ev[r].node, r, s.send));
+    }
+  }
+
+  void finish_op(std::uint32_t op) {
+    Operation& o = g.ops[op];
+    std::sort(o.events.begin(), o.events.end());
+    o.events.erase(std::unique(o.events.begin(), o.events.end()),
+                   o.events.end());
+
+    // Terminal event: kRpcDone, or the last kGroupDeliver (the makespan
+    // across members), falling back to the op's latest event.
+    std::uint32_t terminal = scratch[op].done;
+    if (o.kind == Operation::Kind::kGroup) {
+      terminal = kNone;
+      for (std::uint32_t gd : scratch[op].delivers) {
+        if (terminal == kNone || ev[gd].t > ev[terminal].t ||
+            (ev[gd].t == ev[terminal].t && gd > terminal)) {
+          terminal = gd;
+        }
+      }
+    }
+    if (terminal == kNone && !o.events.empty()) terminal = o.events.back();
+    if (terminal == kNone) return;
+    o.end = ev[terminal].t;
+
+    // Backward max-time walk. add_pred guarantees pred < cur, so the walk
+    // strictly decreases and must terminate.
+    std::vector<std::uint32_t> path;
+    std::uint32_t cur = terminal;
+    path.push_back(cur);
+    while (!g.preds[cur].empty()) {
+      std::uint32_t best = kNone;
+      for (std::uint32_t p : g.preds[cur]) {
+        if (best == kNone || ev[p].t > ev[best].t ||
+            (ev[p].t == ev[best].t && p > best)) {
+          best = p;
+        }
+      }
+      cur = best;
+      path.push_back(cur);
+    }
+    std::reverse(path.begin(), path.end());
+    o.critical_path = std::move(path);
+  }
+
+  CausalGraph build() {
+    const auto n = static_cast<std::uint32_t>(ev.size());
+    for (std::uint32_t i = 0; i < n; ++i) index_network(i);
+    for (std::uint32_t i = 0; i < n; ++i) index_protocol(i);
+    for (std::uint32_t op = 0; op < g.ops.size(); ++op) {
+      if (g.ops[op].kind == Operation::Kind::kRpc) {
+        link_rpc(op);
+      } else {
+        link_group(op);
+      }
+    }
+    for (std::uint32_t op = 0; op < g.ops.size(); ++op) finish_op(op);
+    return std::move(g);
+  }
+};
+
+}  // namespace
+
+CausalGraph build_causal_graph(const std::vector<Event>& events) {
+  return Builder(events).build();
+}
+
+}  // namespace trace

@@ -1,0 +1,75 @@
+// Per-operation causal DAG reconstruction from a flat event trace.
+//
+// The Tracer records what happened; this module recovers *why*. From a raw
+// `trace::Event` stream it rebuilds, per operation (one RPC transaction, one
+// totally-ordered group send):
+//
+//  * the set of events that belong to the operation, including every
+//    retransmission branch and dropped frame,
+//  * a causal edge set: protocol edges (kRpcSend -> kRpcExec -> kRpcReply ->
+//    kRpcDone; kGroupSend -> kSeqnoAssign -> kGroupDeliver per member) joined
+//    to network edges (kFlipSend -> kFragment -> kWireTx -> kInterrupt ->
+//    kFlipDeliver) through FLIP message instances. Instances are keyed by
+//    (sender node, msg id); wire frames key back to their instance because
+//    frame ids embed (node << 48 | msg_id << 16 | fragment index),
+//  * the operation's critical path: the backward max-time walk from its
+//    terminal event (kRpcDone; for group sends the *last* kGroupDeliver, i.e.
+//    the makespan across members).
+//
+// Everything is deterministic: ties break on event index, containers iterate
+// in insertion or sorted order, and the output is a pure function of the
+// event vector. profile.h turns these paths into the paper's §4.2/§4.3
+// breakdowns.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/tracer.h"
+
+namespace trace {
+
+/// Sentinel for "event claimed by no operation".
+inline constexpr std::uint32_t kNoOp = 0xFFFF'FFFF;
+
+/// One reconstructed operation.
+struct Operation {
+  enum class Kind : std::uint8_t { kRpc, kGroup };
+
+  Kind kind = Kind::kRpc;
+  std::uint64_t key = 0;        // RPC transaction key, or group message uid
+  std::uint64_t gid = 0;        // group id (0 for RPC and the panda binding)
+  std::uint32_t initiator = kNoNode;  // client / sending member
+  std::uint32_t responder = kNoNode;  // RPC server / sequencer (if observed)
+  sim::Time start = 0;          // t of kRpcSend / kGroupSend
+  sim::Time end = 0;            // t of the terminal event
+  bool complete = false;        // saw kRpcDone / at least one kGroupDeliver
+  bool ok = false;              // kRpcDone with b==0; groups: any delivery
+
+  /// Indices (into the source event vector) of every event claimed by this
+  /// operation, ascending.
+  std::vector<std::uint32_t> events;
+
+  /// Critical path, root (kRpcSend/kGroupSend) to terminal, as event indices.
+  /// Empty only for degenerate operations with no terminal event.
+  std::vector<std::uint32_t> critical_path;
+};
+
+/// The reconstructed DAG over one trace.
+struct CausalGraph {
+  std::vector<Operation> ops;
+
+  /// preds[i]: causal predecessors of event i (event indices, each with
+  /// t <= events[i].t). Events outside any reconstructed edge have none.
+  std::vector<std::vector<std::uint32_t>> preds;
+
+  /// op_of[i]: index into `ops` of the operation that claimed event i, or
+  /// kNoOp. kCharge events are never claimed here — profile.h joins them
+  /// against critical-path windows instead.
+  std::vector<std::uint32_t> op_of;
+};
+
+/// Rebuild the causal graph. Pure function of `events`.
+[[nodiscard]] CausalGraph build_causal_graph(const std::vector<Event>& events);
+
+}  // namespace trace

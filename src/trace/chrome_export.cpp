@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "sim/ledger.h"
+#include "trace/causal.h"
 
 namespace trace {
 namespace {
@@ -119,6 +120,44 @@ void write_chrome_trace(const std::vector<Event>& events, std::ostream& os) {
                     lane_of(e.kind), e.a, e.b, e.c, e.d);
     }
     os << buf;
+  }
+
+  // Flow events along the causal protocol chains, so Perfetto draws
+  // send -> sequence -> deliver arrows: "s" opens the flow at the initiating
+  // event, "t" threads each intermediate hop, "f" closes it at the terminal.
+  const CausalGraph graph = build_causal_graph(events);
+  for (std::size_t oi = 0; oi < graph.ops.size(); ++oi) {
+    const Operation& op = graph.ops[oi];
+    std::vector<std::uint32_t> chain;
+    for (std::uint32_t idx : op.events) {
+      switch (events[idx].kind) {
+        case EventKind::kRpcSend:
+        case EventKind::kRpcExec:
+        case EventKind::kRpcReply:
+        case EventKind::kRpcDone:
+        case EventKind::kGroupSend:
+        case EventKind::kSeqnoAssign:
+        case EventKind::kGroupDeliver:
+          chain.push_back(idx);
+          break;
+        default:
+          break;
+      }
+    }
+    if (chain.size() < 2) continue;
+    const char* flow =
+        op.kind == Operation::Kind::kRpc ? "rpc-flow" : "group-flow";
+    for (std::size_t k = 0; k < chain.size(); ++k) {
+      const Event& e = events[chain[k]];
+      const char* ph = k == 0 ? "s" : k + 1 == chain.size() ? "f" : "t";
+      const char* bp = k + 1 == chain.size() ? R"(,"bp":"e")" : "";
+      std::snprintf(buf, sizeof buf,
+                    R"({"name":"%s","cat":"causal","ph":"%s","id":%zu,)"
+                    R"("ts":%.3f,"pid":%u,"tid":%d%s})",
+                    flow, ph, oi, static_cast<double>(e.t) / 1000.0, pid_of(e),
+                    lane_of(e.kind), bp);
+      os << ",\n" << buf;
+    }
   }
   os << "\n],\"displayTimeUnit\":\"ms\"}\n";
 }

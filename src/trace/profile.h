@@ -1,0 +1,130 @@
+// Critical-path latency attribution: the paper's §4.2/§4.3 accounting,
+// reproduced automatically from a trace.
+//
+// Given a raw event stream, the profiler rebuilds the causal graph
+// (causal.h), then joins every kCharge event against the per-node time
+// windows spanned by critical-path edges. Each charge lands in exactly one
+// bucket — (mechanism, on-path) if its window overlaps a critical-path
+// segment on its node, (mechanism, off-path) otherwise — so the attribution
+// is *conservative* by construction:
+//
+//     for every mechanism m:
+//       on_path(m) + off_path(m) == Ledger total(m)      (time and count)
+//
+// That is a hard invariant (`conservation_ok`), gated in CI against
+// bench_table1 traces of both bindings. Critical-path time not covered by
+// any charge is classified into explicit residual categories instead of
+// disappearing: wire occupancy (kWireTx -> kInterrupt), medium-arbitration
+// wait (kFragment -> kWireTx), CPU queueing (uncharged time inside an
+// on-node segment), and sequencer queueing (the same, when the segment ends
+// in kSeqnoAssign).
+//
+// Output formats: a §4.2-style breakdown table (print_profile /
+// print_profile_vs), a folded-stack flamegraph file (folded_stacks, one
+// `stack;frames count` line per bucket, flamegraph.pl-compatible), and the
+// versioned `amoeba-profile/v1` JSON (profile_json) understood by
+// report_compare. All outputs are byte-deterministic functions of the trace.
+#pragma once
+
+#include <array>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/ledger.h"
+#include "trace/causal.h"
+#include "trace/tracer.h"
+
+namespace trace {
+
+/// Where one mechanism's charged time went, relative to critical paths.
+struct MechanismSlice {
+  std::uint64_t count = 0;     // total charges (on + off path)
+  std::uint64_t on_count = 0;  // charges that landed on a critical path
+  sim::Time on_path = 0;
+  sim::Time off_path = 0;
+
+  [[nodiscard]] sim::Time total() const noexcept { return on_path + off_path; }
+};
+
+/// Exact order statistics over completed-operation latencies (nearest-rank).
+struct LatencyStats {
+  std::uint64_t count = 0;
+  sim::Time total = 0;
+  sim::Time min = 0;
+  sim::Time max = 0;
+  sim::Time p50 = 0;
+  sim::Time p99 = 0;
+};
+
+/// Critical-path time charged to no mechanism, by residual category.
+struct Residuals {
+  sim::Time wire_occupancy = 0;   // kWireTx -> kInterrupt edges
+  sim::Time medium_wait = 0;      // kFragment -> kWireTx edges (CSMA backoff,
+                                  // queueing behind a busy segment)
+  sim::Time cpu_queue = 0;        // uncharged time inside on-node segments
+  sim::Time sequencer_queue = 0;  // the same, for segments ending in
+                                  // kSeqnoAssign (waiting to be ordered)
+  sim::Time unattributed = 0;     // cross-node edges the model cannot name
+};
+
+struct Profile {
+  std::size_t events = 0;
+  std::size_t ops_total = 0;
+  std::size_t ops_complete = 0;
+  LatencyStats rpc;
+  LatencyStats group;
+  std::array<MechanismSlice, static_cast<std::size_t>(sim::Mechanism::kCount)>
+      mechanisms{};
+  Residuals residuals;
+  /// The Ledger recomputed from the trace's kCharge events; conservation is
+  /// checked against this (and the TraceChecker separately proves it equals
+  /// the aggregate in-sim Ledger).
+  sim::Ledger ledger;
+  /// Folded flamegraph stacks: "kind;role;frame" -> nanoseconds.
+  std::map<std::string, sim::Time> folded;
+
+  [[nodiscard]] sim::Time on_path_total() const noexcept;
+  [[nodiscard]] sim::Time off_path_total() const noexcept;
+};
+
+/// Profile a trace (rebuilds the causal graph internally).
+[[nodiscard]] Profile profile_trace(const std::vector<Event>& events);
+
+/// Profile a trace against an already-built graph for the same events.
+[[nodiscard]] Profile profile_trace(const std::vector<Event>& events,
+                                    const CausalGraph& graph);
+
+/// The conservation invariant: per-mechanism on+off time and counts equal
+/// the trace Ledger exactly. On failure describes the first divergence.
+[[nodiscard]] bool conservation_ok(const Profile& p, std::string* why = nullptr);
+
+/// amoeba-profile/v1 JSON. `source` labels where the trace came from.
+[[nodiscard]] std::string profile_json(const Profile& p,
+                                       std::string_view source);
+
+/// Folded stacks, lexicographically sorted, one "stack value" line each.
+[[nodiscard]] std::string folded_stacks(const Profile& p);
+
+/// §4.2-style table: per-mechanism on/off-path time plus residuals.
+void print_profile(const Profile& p, std::FILE* out);
+
+/// Side-by-side per-operation breakdown of two profiles (e.g. user-space vs
+/// kernel-space), sorted by on-path delta: the paper's kernel-vs-user gap
+/// table, reproduced from traces alone.
+void print_profile_vs(const Profile& a, const char* name_a, const Profile& b,
+                      const char* name_b, std::FILE* out);
+
+/// The paper's headline check, on §4.2's category decomposition: comparing
+/// `user` against `kernel` 8-byte RPC profiles, the switching category
+/// (context/thread switches, signals, and the register-window traps and
+/// address-space crossings they force) must be the largest per-operation
+/// on-path regression, and the user-level fragmentation layer must rank in
+/// the top three categories. Used by `amoeba_prof --check-gap` and the CI
+/// gate.
+[[nodiscard]] bool check_headline_gap(const Profile& user,
+                                      const Profile& kernel, std::string* why);
+
+}  // namespace trace

@@ -1,0 +1,146 @@
+#include "trace/trace_io.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstring>
+
+namespace trace {
+namespace {
+
+// Fast unsigned decimal parse over [p, end). Returns nullptr on empty or
+// non-digit input, else one past the last digit consumed.
+const char* parse_u64(const char* p, const char* end, std::uint64_t& out) {
+  if (p == end || *p < '0' || *p > '9') return nullptr;
+  std::uint64_t v = 0;
+  while (p != end && *p >= '0' && *p <= '9') {
+    v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+    ++p;
+  }
+  out = v;
+  return p;
+}
+
+const char* skip_spaces(const char* p, const char* end) {
+  while (p != end && *p == ' ') ++p;
+  return p;
+}
+
+}  // namespace
+
+std::string trace_text(const std::vector<Event>& events) {
+  std::string out;
+  out.reserve(events.size() * 40 + 32);
+  out.append(kTraceTextHeader);
+  out.push_back('\n');
+  char line[160];
+  for (const Event& e : events) {
+    const int n = std::snprintf(
+        line, sizeof line,
+        "%" PRId64 " %" PRIu32 " %u %" PRIu64 " %" PRIu64 " %" PRIu64
+        " %" PRIu64 "\n",
+        e.t, e.node, static_cast<unsigned>(e.kind), e.a, e.b, e.c, e.d);
+    out.append(line, static_cast<std::size_t>(n));
+  }
+  return out;
+}
+
+bool write_trace_text_file(const std::vector<Event>& events,
+                           const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot open %s for writing: %s\n",
+                 path.c_str(), std::strerror(errno));
+    return false;
+  }
+  const std::string text = trace_text(events);
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  const bool closed = std::fclose(f) == 0;
+  if (!ok || !closed) {
+    std::fprintf(stderr, "trace: short write to %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool parse_trace_text(std::string_view text, std::vector<Event>& out,
+                      std::string* error) {
+  auto fail = [&](std::size_t lineno, const char* what) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + what;
+    }
+    return false;
+  };
+  out.clear();
+  std::size_t pos = 0;
+  std::size_t lineno = 0;
+  bool saw_header = false;
+  while (pos <= text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    std::string_view line = text.substr(pos, eol - pos);
+    const bool last = eol == text.size();
+    pos = eol + 1;
+    ++lineno;
+    if (!saw_header) {
+      if (line != kTraceTextHeader) return fail(lineno, "bad header (want '# amoeba-trace/v1')");
+      saw_header = true;
+      if (last) break;
+      continue;
+    }
+    if (line.empty()) {
+      if (last) break;
+      return fail(lineno, "empty line");
+    }
+    const char* p = line.data();
+    const char* end = p + line.size();
+    std::uint64_t f[7];
+    for (int i = 0; i < 7; ++i) {
+      p = skip_spaces(p, end);
+      p = parse_u64(p, end, f[i]);
+      if (p == nullptr) return fail(lineno, "expected 7 decimal fields");
+    }
+    if (skip_spaces(p, end) != end) return fail(lineno, "trailing garbage");
+    if (f[1] > 0xFFFF'FFFFu) return fail(lineno, "node out of range");
+    if (f[2] >= static_cast<std::uint64_t>(EventKind::kKindCount)) {
+      return fail(lineno, "unknown event kind");
+    }
+    Event e;
+    e.t = static_cast<sim::Time>(f[0]);
+    e.node = static_cast<std::uint32_t>(f[1]);
+    e.kind = static_cast<EventKind>(f[2]);
+    e.a = f[3];
+    e.b = f[4];
+    e.c = f[5];
+    e.d = f[6];
+    out.push_back(e);
+    if (last) break;
+  }
+  if (!saw_header) return fail(1, "empty file");
+  return true;
+}
+
+bool read_trace_text_file(const std::string& path, std::vector<Event>& out,
+                          std::string* error) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    if (error != nullptr) *error = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  std::string text;
+  char buf[1 << 16];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  if (!read_ok) {
+    if (error != nullptr) *error = "read error on " + path;
+    return false;
+  }
+  if (!parse_trace_text(text, out, error)) {
+    if (error != nullptr) *error = path + ": " + *error;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace trace

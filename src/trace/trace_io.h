@@ -1,0 +1,45 @@
+// Raw trace serialization: the `amoeba-trace/v1` text format.
+//
+// The Chrome exporter (chrome_export.h) is a lossy visualisation format; the
+// causal profiler (causal.h / profile.h) and the amoeba_prof CLI need every
+// field of every Event back, byte-exact. This format is deliberately dumb:
+// one header line, then one space-separated decimal line per event in record
+// order:
+//
+//   # amoeba-trace/v1
+//   <t> <node> <kind> <a> <b> <c> <d>
+//
+// `node` is the raw uint32 (4294967295 for kNoNode) and `kind` the stable
+// numeric EventKind value, so the bytes are a pure function of the trace and
+// a round-trip reproduces the event vector exactly.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/tracer.h"
+
+namespace trace {
+
+inline constexpr std::string_view kTraceTextHeader = "# amoeba-trace/v1";
+
+/// Serialize a trace to amoeba-trace/v1 text. Deterministic bytes.
+[[nodiscard]] std::string trace_text(const std::vector<Event>& events);
+
+/// Write amoeba-trace/v1 text to `path`. Returns false (and prints to stderr)
+/// on I/O failure.
+bool write_trace_text_file(const std::vector<Event>& events,
+                           const std::string& path);
+
+/// Parse amoeba-trace/v1 text. On failure returns false and, when `error` is
+/// non-null, stores a one-line description (bad header, short line, ...).
+bool parse_trace_text(std::string_view text, std::vector<Event>& out,
+                      std::string* error);
+
+/// Read and parse an amoeba-trace/v1 file.
+bool read_trace_text_file(const std::string& path, std::vector<Event>& out,
+                          std::string* error);
+
+}  // namespace trace

@@ -6,14 +6,18 @@
 // that CI scripts depend on.
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
 #include <string>
 
+#include "../trace/mini_traces.h"
 #include "metrics/report.h"
 #include "sweep/report.h"
 #include "sweep/stats.h"
+#include "trace/profile.h"
 
 #ifndef REPORT_COMPARE_BIN
 #error "REPORT_COMPARE_BIN must point at the report_compare executable"
@@ -54,7 +58,13 @@ struct CliResult {
 };
 
 CliResult run_cli(const std::string& args) {
-  const std::string out_path = ::testing::TempDir() + "report_compare_out.txt";
+  // ctest runs each test case as its own process in parallel; the capture
+  // file must be unique per test (and per process) to avoid collisions.
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  const std::string out_path = ::testing::TempDir() + "report_compare_out_" +
+                               info->name() + "_" +
+                               std::to_string(::getpid()) + ".txt";
   const std::string cmd = std::string(REPORT_COMPARE_BIN) + " " + args + " > " +
                           out_path + " 2>&1";
   const int status = std::system(cmd.c_str());
@@ -123,6 +133,85 @@ TEST(ReportCompareCli, UsageErrorsExitTwo) {
   const std::string a = write_temp("rc_usage.json", sweep_text(100.0, 2.0));
   EXPECT_EQ(run_cli("--no-such-flag " + a + " " + a).exit_code, 2);
   EXPECT_EQ(run_cli("--threshold=banana " + a + " " + a).exit_code, 2);
+}
+
+std::string profile_text(bool slow) {
+  // The same hand-authored RPC trace, with the server's protocol-processing
+  // charge doubled in the "slow" variant: a 2x on-path regression in exactly
+  // one mechanism.
+  std::vector<trace::Event> ev = trace_test::linear_rpc();
+  if (slow) {
+    for (trace::Event& e : ev) {
+      if (e.kind == trace::EventKind::kCharge &&
+          e.a == static_cast<std::uint64_t>(
+                     sim::Mechanism::kProtocolProcessing)) {
+        e.b *= 2;
+      }
+    }
+  }
+  return trace::profile_json(trace::profile_trace(ev), "cli");
+}
+
+TEST(ReportCompareCli, ProfileRegressionIsAdvisoryByDefault) {
+  const std::string a = write_temp("rc_prof_old.json", profile_text(false));
+  const std::string b = write_temp("rc_prof_new.json", profile_text(true));
+  const CliResult r = run_cli(a + " " + b);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("REGRESSED"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("(profile: advisory)"), std::string::npos)
+      << r.output;
+}
+
+TEST(ReportCompareCli, GateProfilesArmsTheExitCode) {
+  const std::string a = write_temp("rc_gprof_old.json", profile_text(false));
+  const std::string b = write_temp("rc_gprof_new.json", profile_text(true));
+  const CliResult r = run_cli("--gate-profiles " + a + " " + b);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("REGRESSED"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("(profile: advisory)"), std::string::npos)
+      << r.output;
+}
+
+TEST(ReportCompareCli, IdenticalProfilesExitZero) {
+  const std::string a = write_temp("rc_eqprof_old.json", profile_text(false));
+  const std::string b = write_temp("rc_eqprof_new.json", profile_text(false));
+  const CliResult r = run_cli("--gate-profiles " + a + " " + b);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("RESULT: ok"), std::string::npos) << r.output;
+}
+
+TEST(ReportCompareCli, ProfileAgainstRunReportExitsTwo) {
+  const std::string a = write_temp("rc_pmix_old.json", profile_text(false));
+  const std::string b = write_temp("rc_pmix_new.json", run_text(100.0));
+  const CliResult r = run_cli(a + " " + b);
+  EXPECT_EQ(r.exit_code, 2) << r.output;
+  EXPECT_NE(r.output.find("schema mismatch"), std::string::npos) << r.output;
+}
+
+TEST(ReportCompareCli, SeriesColumnsSurfaceAsInfoLines) {
+  // Run reports carrying a `series` section expose per-column means as
+  // informational rows: visible under --show-info, never gating the exit
+  // code no matter how far they move.
+  const auto text = [](double mean) {
+    metrics::RunReport r("cli");
+    r.add_metric("elapsed.sec", 1.0, metrics::Better::kLower, "s");
+    r.add_series("wire0", sim::usec(500),
+                 {{"util", {mean, mean + 0.2}},
+                  {"queue_depth", {1.0, 3.0}}});
+    return r.json();
+  };
+  const std::string a = write_temp("rc_ser_old.json", text(0.2));
+  const std::string b = write_temp("rc_ser_new.json", text(0.6));
+  const CliResult r = run_cli("--show-info " + a + " " + b);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("series.wire0.util.mean"), std::string::npos)
+      << r.output;
+  // Without the flag the telemetry stays out of the table and out of the
+  // gate.
+  const CliResult quiet = run_cli(a + " " + b);
+  EXPECT_EQ(quiet.exit_code, 0) << quiet.output;
+  EXPECT_EQ(quiet.output.find("series.wire0"), std::string::npos)
+      << quiet.output;
 }
 
 TEST(ReportCompareCli, ThresholdWidensTheGate) {

@@ -1,0 +1,208 @@
+// Causal-DAG reconstruction on hand-authored miniature traces: every
+// scenario is small enough to reason about the expected critical path by
+// hand, so these tests pin the linking semantics event by event.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "mini_traces.h"
+#include "trace/causal.h"
+
+namespace trace {
+namespace {
+
+using trace_test::dropped_reply_recovery;
+using trace_test::fragmented_group_send;
+using trace_test::linear_rpc;
+using trace_test::retransmit_branch;
+
+std::vector<EventKind> path_kinds(const std::vector<Event>& ev,
+                                  const Operation& op) {
+  std::vector<EventKind> kinds;
+  kinds.reserve(op.critical_path.size());
+  for (std::uint32_t i : op.critical_path) kinds.push_back(ev[i].kind);
+  return kinds;
+}
+
+bool path_has(const Operation& op, std::uint32_t idx) {
+  return std::find(op.critical_path.begin(), op.critical_path.end(), idx) !=
+         op.critical_path.end();
+}
+
+std::uint32_t index_of(const std::vector<Event>& ev, EventKind k,
+                       sim::Time t) {
+  for (std::uint32_t i = 0; i < ev.size(); ++i) {
+    if (ev[i].kind == k && ev[i].t == t) return i;
+  }
+  return kNoOp;
+}
+
+TEST(Causal, LinearRpcFullPath) {
+  const std::vector<Event> ev = linear_rpc();
+  const CausalGraph g = build_causal_graph(ev);
+  ASSERT_EQ(g.ops.size(), 1u);
+  const Operation& op = g.ops[0];
+  EXPECT_EQ(op.kind, Operation::Kind::kRpc);
+  EXPECT_EQ(op.key, 1u);
+  EXPECT_TRUE(op.complete);
+  EXPECT_TRUE(op.ok);
+  EXPECT_EQ(op.initiator, 0u);
+  EXPECT_EQ(op.responder, 1u);
+  EXPECT_EQ(op.start, sim::usec(10));
+  EXPECT_EQ(op.end, sim::usec(150));
+
+  // The full request + reply journey, hop by hop.
+  const std::vector<EventKind> want = {
+      EventKind::kRpcSend,     EventKind::kFlipSend, EventKind::kFragment,
+      EventKind::kWireTx,      EventKind::kInterrupt, EventKind::kFlipDeliver,
+      EventKind::kUpcall,      EventKind::kRpcExec,  EventKind::kRpcReply,
+      EventKind::kFlipSend,    EventKind::kFragment, EventKind::kWireTx,
+      EventKind::kInterrupt,   EventKind::kFlipDeliver, EventKind::kRpcDone};
+  EXPECT_EQ(path_kinds(ev, op), want);
+
+  // Every non-charge event belongs to the op; charges are joined later by
+  // the profiler, never claimed by the graph.
+  for (std::uint32_t i = 0; i < ev.size(); ++i) {
+    if (ev[i].kind == EventKind::kCharge) {
+      EXPECT_EQ(g.op_of[i], kNoOp) << "event " << i;
+    } else {
+      EXPECT_EQ(g.op_of[i], 0u) << "event " << i;
+    }
+  }
+
+  // Causal edges never point forward in time.
+  for (std::uint32_t i = 0; i < ev.size(); ++i) {
+    for (std::uint32_t p : g.preds[i]) {
+      EXPECT_LE(ev[p].t, ev[i].t);
+    }
+  }
+}
+
+TEST(Causal, FragmentedGroupSendThroughSequencer) {
+  const std::vector<Event> ev = fragmented_group_send();
+  const CausalGraph g = build_causal_graph(ev);
+  ASSERT_EQ(g.ops.size(), 1u);
+  const Operation& op = g.ops[0];
+  EXPECT_EQ(op.kind, Operation::Kind::kGroup);
+  EXPECT_TRUE(op.complete);
+  EXPECT_EQ(op.initiator, 0u);
+  EXPECT_EQ(op.responder, 1u);  // the sequencer
+  // The terminal is the *last* member delivery: the makespan.
+  EXPECT_EQ(op.end, sim::usec(155));
+  ASSERT_FALSE(op.critical_path.empty());
+  EXPECT_EQ(ev[op.critical_path.front()].kind, EventKind::kGroupSend);
+  EXPECT_EQ(ev[op.critical_path.back()].kind, EventKind::kGroupDeliver);
+  EXPECT_EQ(ev[op.critical_path.back()].node, 2u);
+
+  // The path runs through the seqno assignment and the ordered broadcast.
+  EXPECT_TRUE(path_has(op, index_of(ev, EventKind::kSeqnoAssign,
+                                        sim::usec(80))));
+  // Reassembly completes with the *second* fragment, so the path carries the
+  // later interrupt of the two-frame request...
+  EXPECT_TRUE(path_has(op, index_of(ev, EventKind::kInterrupt,
+                                        sim::usec(62))));
+  EXPECT_FALSE(path_has(op, index_of(ev, EventKind::kInterrupt,
+                                         sim::usec(55))));
+  // ...and the broadcast reaches node 2 via its own interrupt of the shared
+  // frame.
+  EXPECT_TRUE(path_has(op, index_of(ev, EventKind::kInterrupt,
+                                        sim::usec(131))));
+
+  // Both request fragments are claimed by the op even though only one is on
+  // the critical path, as are all three group deliveries.
+  for (std::uint32_t i = 0; i < ev.size(); ++i) {
+    EXPECT_EQ(g.op_of[i], 0u) << "event " << i;
+  }
+}
+
+TEST(Causal, RetransmitBranchCarriesTheOp) {
+  const std::vector<Event> ev = retransmit_branch();
+  const CausalGraph g = build_causal_graph(ev);
+  ASSERT_EQ(g.ops.size(), 1u);
+  const Operation& op = g.ops[0];
+  EXPECT_TRUE(op.complete);
+  EXPECT_TRUE(op.ok);
+
+  // The dropped first attempt and the retransmission marker both belong to
+  // the op.
+  const std::uint32_t drop =
+      index_of(ev, EventKind::kFrameDrop, sim::usec(40));
+  const std::uint32_t retrans =
+      index_of(ev, EventKind::kRetransmit, sim::usec(100));
+  ASSERT_NE(drop, kNoOp);
+  ASSERT_NE(retrans, kNoOp);
+  EXPECT_EQ(g.op_of[drop], 0u);
+  EXPECT_EQ(g.op_of[retrans], 0u);
+
+  // The critical path tells the whole loss story: first attempt, the drop
+  // that destroyed it, the retransmit it forced, and the second attempt
+  // that delivered.
+  EXPECT_TRUE(path_has(op, index_of(ev, EventKind::kWireTx,
+                                        sim::usec(30))));
+  EXPECT_TRUE(path_has(op, drop));
+  EXPECT_TRUE(path_has(op, retrans));
+  EXPECT_TRUE(path_has(op, index_of(ev, EventKind::kFlipSend,
+                                        sim::usec(110))));
+  // The retransmit is rooted at the drop, not teleported back to kRpcSend.
+  ASSERT_FALSE(g.preds[retrans].empty());
+  std::uint32_t root = g.preds[retrans].front();
+  for (std::uint32_t p : g.preds[retrans]) {
+    if (ev[p].t > ev[root].t) root = p;
+  }
+  EXPECT_EQ(ev[root].kind, EventKind::kFrameDrop);
+}
+
+TEST(Causal, DroppedReplyRecoversThroughCachedResend) {
+  const std::vector<Event> ev = dropped_reply_recovery();
+  const CausalGraph g = build_causal_graph(ev);
+  ASSERT_EQ(g.ops.size(), 1u) << "the duplicate request must not mint an op";
+  const Operation& op = g.ops[0];
+  EXPECT_TRUE(op.complete);
+  EXPECT_TRUE(op.ok);
+  EXPECT_EQ(op.end, sim::usec(300));
+
+  // Everything — the dropped reply, the client retry, the cached resend —
+  // is claimed by the single op.
+  for (std::uint32_t i = 0; i < ev.size(); ++i) {
+    EXPECT_EQ(g.op_of[i], 0u) << "event " << i;
+  }
+
+  // kRpcDone rides the cached-reply instance's delivery, and the path keeps
+  // the whole loss story upstream: the first reply attempt, its drop, and
+  // the server's one-and-only execution.
+  EXPECT_TRUE(path_has(op, index_of(ev, EventKind::kFlipDeliver,
+                                        sim::usec(290))));
+  EXPECT_TRUE(path_has(op, index_of(ev, EventKind::kWireTx,
+                                        sim::usec(110))));
+  EXPECT_TRUE(path_has(op, index_of(ev, EventKind::kFrameDrop,
+                                        sim::usec(120))));
+  EXPECT_TRUE(path_has(op, index_of(ev, EventKind::kRpcExec,
+                                        sim::usec(80))));
+  // The server's cached-reply retransmit is rooted at the duplicate
+  // request's local delivery, not teleported back to kRpcSend.
+  const std::uint32_t cached =
+      index_of(ev, EventKind::kRetransmit, sim::usec(250));
+  ASSERT_NE(cached, kNoOp);
+  ASSERT_FALSE(g.preds[cached].empty());
+  const std::uint32_t root = *std::max_element(g.preds[cached].begin(),
+                                               g.preds[cached].end());
+  EXPECT_EQ(ev[root].kind, EventKind::kFlipDeliver);
+  EXPECT_EQ(ev[root].t, sim::usec(240));
+}
+
+TEST(Causal, PureFunctionOfTheEventVector) {
+  const std::vector<Event> ev = dropped_reply_recovery();
+  const CausalGraph a = build_causal_graph(ev);
+  const CausalGraph b = build_causal_graph(ev);
+  ASSERT_EQ(a.ops.size(), b.ops.size());
+  for (std::size_t i = 0; i < a.ops.size(); ++i) {
+    EXPECT_EQ(a.ops[i].events, b.ops[i].events);
+    EXPECT_EQ(a.ops[i].critical_path, b.ops[i].critical_path);
+  }
+  EXPECT_EQ(a.preds, b.preds);
+  EXPECT_EQ(a.op_of, b.op_of);
+}
+
+}  // namespace
+}  // namespace trace

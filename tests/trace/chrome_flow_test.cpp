@@ -1,0 +1,69 @@
+// Chrome exporter flow events: causal edges serialize as "s"/"t"/"f" flow
+// steps along each operation's protocol chain, pinned byte-for-byte by a
+// committed golden file (regenerate by deleting the file and re-running this
+// test binary with CHROME_EXPORT_GOLDEN_WRITE=1 in the environment, then
+// inspect the diff).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "mini_traces.h"
+#include "trace/chrome_export.h"
+
+#ifndef CHROME_EXPORT_GOLDEN
+#error "CHROME_EXPORT_GOLDEN must point at the committed golden file"
+#endif
+
+namespace trace {
+namespace {
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ChromeFlow, RpcFlowStepsFollowTheCausalChain) {
+  const std::string json = chrome_trace_json(trace_test::linear_rpc());
+  // One flow start, terminated with a binding-point "f", stepping through
+  // the four protocol events of the RPC.
+  EXPECT_EQ(count_of(json, "\"name\":\"rpc-flow\""), 4u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"s\""), 1u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"t\""), 2u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"f\""), 1u);
+  EXPECT_EQ(count_of(json, "\"bp\":\"e\""), 1u);
+  EXPECT_NE(json.find("\"cat\":\"causal\""), std::string::npos);
+}
+
+TEST(ChromeFlow, GroupFlowFansOutPerDelivery) {
+  const std::string json =
+      chrome_trace_json(trace_test::fragmented_group_send());
+  EXPECT_GE(count_of(json, "\"name\":\"group-flow\""), 3u);
+  EXPECT_EQ(count_of(json, "\"ph\":\"s\""), 1u);
+}
+
+TEST(ChromeFlow, GoldenFileIsByteExact) {
+  const std::string json = chrome_trace_json(trace_test::linear_rpc());
+  const char* path = CHROME_EXPORT_GOLDEN;
+  if (std::getenv("CHROME_EXPORT_GOLDEN_WRITE") != nullptr) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << json;
+    GTEST_SKIP() << "rewrote " << path;
+  }
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.is_open()) << "missing golden file " << path;
+  std::ostringstream want;
+  want << in.rdbuf();
+  EXPECT_EQ(json, want.str())
+      << "chrome exporter output drifted from the committed golden; if the "
+         "change is intentional, regenerate with CHROME_EXPORT_GOLDEN_WRITE=1";
+}
+
+}  // namespace
+}  // namespace trace

@@ -58,13 +58,37 @@ TEST(Determinism, EventsNeverPostdateTheRun) {
   }
 }
 
+TEST(Determinism, EnabledSamplerDoesNotPerturbTheTrace) {
+  // The series sampler is pure observation: running the identical workload
+  // with windowed telemetry enabled must leave the event trace — timestamps
+  // included — byte-identical, while actually closing windows and producing
+  // columns. This is the same property the fixture test below then pins
+  // against committed digests.
+  for (const Binding binding : {Binding::kKernelSpace, Binding::kUserSpace}) {
+    WorkloadResult plain = run_fault_workload(binding, 99, Fault::kLoss);
+    WorkloadResult sampled =
+        run_fault_workload(binding, 99, Fault::kLoss, /*metrics=*/false,
+                           /*replicated=*/false,
+                           /*series_window=*/sim::usec(500));
+    ASSERT_NE(sampled.bed->series(), nullptr);
+    sampled.bed->series()->finish(sampled.bed->sim().now());
+    EXPECT_GT(sampled.bed->series()->windows(), 0u);
+    EXPECT_FALSE(sampled.bed->series()->columns().empty());
+    EXPECT_EQ(plain.bed->tracer()->events(),
+              sampled.bed->tracer()->events());
+    EXPECT_EQ(plain.bed->sim().now(), sampled.bed->sim().now());
+  }
+}
+
 TEST(Determinism, EngineRefactorFixtures) {
   // The committed fixture file pins the exact trace (length + digest over
   // every event field, timestamps included) of each (variant, fault, seed)
   // workload — the classic sequencer on both bindings plus the replicated
   // (multi-Paxos) sequencer on both. A scheduling-core change that moves any
   // observable protocol event fails here; regenerate the file with
-  // tests/make_trace_fixtures only when the shift is intentional.
+  // tests/make_trace_fixtures only when the shift is intentional. The runs
+  // here deliberately carry a live SeriesSampler the generator did not:
+  // matching digests prove windowed telemetry is observation-only.
   std::ifstream in(ENGINE_TRACE_FIXTURES);
   ASSERT_TRUE(in.is_open()) << "missing " << ENGINE_TRACE_FIXTURES;
   std::map<std::tuple<int, int, std::uint64_t>,
@@ -89,7 +113,8 @@ TEST(Determinism, EngineRefactorFixtures) {
     const auto [variant, fault, seed] = key;
     WorkloadResult r = run_fault_workload(
         static_cast<trace_test::Variant>(variant), seed,
-        static_cast<Fault>(fault));
+        static_cast<Fault>(fault), /*metrics=*/false,
+        /*series_window=*/sim::usec(500));
     const auto& events = r.bed->tracer()->events();
     char digest[17];
     std::snprintf(digest, sizeof(digest), "%016llx",

@@ -57,7 +57,8 @@ struct WorkloadResult {
 inline WorkloadResult run_fault_workload(core::Binding binding,
                                          std::uint64_t seed, Fault fault,
                                          bool metrics = false,
-                                         bool replicated = false) {
+                                         bool replicated = false,
+                                         sim::Time series_window = 0) {
   constexpr std::size_t kNodes = 4;
   core::TestbedConfig cfg;
   cfg.binding = binding;
@@ -68,6 +69,7 @@ inline WorkloadResult run_fault_workload(core::Binding binding,
   cfg.seed = seed;
   cfg.trace = true;
   cfg.metrics = metrics;
+  cfg.series_window = series_window;
   auto bed = std::make_unique<core::Testbed>(cfg);
   core::Testbed* bp = bed.get();
 
@@ -141,9 +143,10 @@ inline WorkloadResult run_fault_workload(core::Binding binding,
 
 /// Variant-code front-end for the fixture matrix (see Variant above).
 inline WorkloadResult run_fault_workload(Variant variant, std::uint64_t seed,
-                                         Fault fault, bool metrics = false) {
+                                         Fault fault, bool metrics = false,
+                                         sim::Time series_window = 0) {
   return run_fault_workload(variant_binding(variant), seed, fault, metrics,
-                            variant_replicated(variant));
+                            variant_replicated(variant), series_window);
 }
 
 }  // namespace trace_test

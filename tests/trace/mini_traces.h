@@ -1,0 +1,183 @@
+// Hand-authored miniature traces for the causal profiler tests.
+//
+// Each builder returns a fully deterministic `amoeba-trace`-shaped event
+// vector exercising one linking scenario: a clean linear RPC, a fragmented
+// group send through the sequencer, a request retransmit after a dropped
+// frame, and a reply-loss recovery through the server's cached-reply resend.
+// Field encodings mirror the real instrumentation sites (tracer.h): frame
+// ids embed (node << 48 | msg_id << 16 | fragment index), kCharge carries
+// (mechanism, cost ns, count).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/ledger.h"
+#include "sim/time.h"
+#include "trace/tracer.h"
+
+namespace trace_test {
+
+inline constexpr std::uint64_t kClientAddr = 111;   // node 0's FLIP point
+inline constexpr std::uint64_t kServerAddr = 112;   // node 1's FLIP point
+inline constexpr std::uint64_t kMemberAddr = 113;   // node 2's FLIP point
+inline constexpr std::uint64_t kServiceAddr = 999;  // unmappable service addr
+inline constexpr std::uint64_t kGroupAddr = 888;    // multicast group addr
+
+[[nodiscard]] inline std::uint64_t frame_id(std::uint64_t node,
+                                            std::uint64_t msg,
+                                            std::uint64_t frag) {
+  return (node << 48) | (msg << 16) | frag;
+}
+
+[[nodiscard]] inline std::uint64_t macs(std::uint64_t src, std::uint64_t dst) {
+  return ((src + 1) << 32) | (dst + 1);
+}
+
+class MiniTrace {
+ public:
+  MiniTrace& at(sim::Time t_us, std::uint32_t node, trace::EventKind kind,
+                std::uint64_t a = 0, std::uint64_t b = 0, std::uint64_t c = 0,
+                std::uint64_t d = 0) {
+    ev_.push_back(trace::Event{sim::usec(t_us), node, kind, a, b, c, d});
+    return *this;
+  }
+
+  MiniTrace& charge(sim::Time t_us, std::uint32_t node, sim::Mechanism m,
+                    sim::Time cost_us, std::uint64_t count = 1) {
+    return at(t_us, node, trace::EventKind::kCharge,
+              static_cast<std::uint64_t>(m),
+              static_cast<std::uint64_t>(sim::usec(cost_us)), count);
+  }
+
+  [[nodiscard]] std::vector<trace::Event> take() { return std::move(ev_); }
+
+ private:
+  std::vector<trace::Event> ev_;
+};
+
+/// One clean 8-byte RPC, client node 0 -> server node 1, no faults. Charges:
+/// one context switch before the op (off-path), one syscall crossing inside
+/// the client's send window (on-path), one protocol charge inside the
+/// server's exec->reply window (on-path), one context switch after kRpcDone
+/// (off-path).
+[[nodiscard]] inline std::vector<trace::Event> linear_rpc() {
+  using K = trace::EventKind;
+  MiniTrace m;
+  m.charge(2, 0, sim::Mechanism::kContextSwitch, 5);
+  m.at(10, 0, K::kRpcSend, /*key=*/1, /*server=*/1, /*bytes=*/8);
+  m.charge(20, 0, sim::Mechanism::kSyscallCrossing, 5);
+  m.at(30, 0, K::kFlipSend, kServiceAddr, /*msg=*/1, 88);
+  m.at(40, 0, K::kFragment, frame_id(0, 1, 0), 1, kClientAddr, 88);
+  m.at(40, 0, K::kWireTx, frame_id(0, 1, 0), 120, macs(0, 1));
+  m.at(60, 1, K::kInterrupt, frame_id(0, 1, 0), 120, macs(0, 1));
+  m.at(70, 1, K::kFlipDeliver, kClientAddr, 1, 88);
+  m.at(75, 1, K::kUpcall, 1, /*rpc=*/1);
+  m.at(80, 1, K::kRpcExec, 1);
+  m.charge(85, 1, sim::Mechanism::kProtocolProcessing, 3);
+  m.at(90, 1, K::kRpcReply, 1);
+  m.at(100, 1, K::kFlipSend, kServiceAddr - 1, 1, 80);
+  m.at(110, 1, K::kFragment, frame_id(1, 1, 0), 1, kServerAddr, 80);
+  m.at(110, 1, K::kWireTx, frame_id(1, 1, 0), 112, macs(1, 0));
+  m.at(130, 0, K::kInterrupt, frame_id(1, 1, 0), 112, macs(1, 0));
+  m.at(140, 0, K::kFlipDeliver, kServerAddr, 1, 80);
+  m.at(150, 0, K::kRpcDone, 1, /*ok=*/0);
+  m.charge(160, 0, sim::Mechanism::kContextSwitch, 5);
+  return m.take();
+}
+
+/// One totally-ordered group send: sender node 0, sequencer node 1, third
+/// member node 2. The request to the sequencer fragments into two wire
+/// frames; the sequencer's ordered broadcast delivers at both other members
+/// (two interrupts for one frame). The uncharged wait between the
+/// sequencer's FLIP delivery and kSeqnoAssign is sequencer queueing.
+[[nodiscard]] inline std::vector<trace::Event> fragmented_group_send() {
+  using K = trace::EventKind;
+  MiniTrace m;
+  m.at(10, 0, K::kGroupSend, /*uid=*/7, 0, /*bytes=*/256);
+  m.at(20, 0, K::kFlipSend, kServiceAddr, /*msg=*/1, 300);
+  m.at(30, 0, K::kFragment, frame_id(0, 1, 0), 1, kClientAddr, 200);
+  m.at(30, 0, K::kWireTx, frame_id(0, 1, 0), 232, macs(0, 1));
+  m.at(45, 0, K::kFragment, frame_id(0, 1, 1), 1, kClientAddr, 100);
+  m.at(45, 0, K::kWireTx, frame_id(0, 1, 1), 132, macs(0, 1));
+  m.at(55, 1, K::kInterrupt, frame_id(0, 1, 0), 232, macs(0, 1));
+  m.at(62, 1, K::kInterrupt, frame_id(0, 1, 1), 132, macs(0, 1));
+  m.at(70, 1, K::kFlipDeliver, kClientAddr, 1, 300);
+  m.at(80, 1, K::kSeqnoAssign, /*seqno=*/1, /*sender=*/0, /*uid=*/7, 0);
+  m.at(90, 1, K::kGroupDeliver, 1, 0, 256, 0);
+  m.at(100, 1, K::kFlipSend, kGroupAddr, /*msg=*/1, 300);
+  m.at(110, 1, K::kFragment, frame_id(1, 1, 0), 1, kServerAddr, 300);
+  m.at(110, 1, K::kWireTx, frame_id(1, 1, 0), 332, macs(1, 0));
+  m.at(130, 0, K::kInterrupt, frame_id(1, 1, 0), 332, macs(1, 0));
+  m.at(131, 2, K::kInterrupt, frame_id(1, 1, 0), 332, macs(1, 2));
+  m.at(140, 0, K::kFlipDeliver, kServerAddr, 1, 300);
+  m.at(145, 2, K::kFlipDeliver, kServerAddr, 1, 300);
+  m.at(150, 0, K::kGroupDeliver, 1, 0, 256, 0);
+  m.at(155, 2, K::kGroupDeliver, 1, 0, 256, 0);
+  return m.take();
+}
+
+/// A request frame dropped on the wire, recovered by a client retry: the
+/// first FLIP instance never delivers, the retransmit branch carries the op.
+[[nodiscard]] inline std::vector<trace::Event> retransmit_branch() {
+  using K = trace::EventKind;
+  MiniTrace m;
+  m.at(10, 0, K::kRpcSend, 1, 1, 8);
+  m.at(20, 0, K::kFlipSend, kServiceAddr, /*msg=*/1, 88);
+  m.at(30, 0, K::kFragment, frame_id(0, 1, 0), 1, kClientAddr, 88);
+  m.at(30, 0, K::kWireTx, frame_id(0, 1, 0), 120, macs(0, 1));
+  m.at(40, trace::kNoNode, K::kFrameDrop, frame_id(0, 1, 0), 120, macs(0, 1),
+       (trace::kClassData << 1) | 0);
+  m.at(100, 0, K::kRetransmit, 1, trace::kReasonClientRetry);
+  m.at(110, 0, K::kFlipSend, kServiceAddr, /*msg=*/2, 88);
+  m.at(120, 0, K::kFragment, frame_id(0, 2, 0), 2, kClientAddr, 88);
+  m.at(120, 0, K::kWireTx, frame_id(0, 2, 0), 120, macs(0, 1));
+  m.at(140, 1, K::kInterrupt, frame_id(0, 2, 0), 120, macs(0, 1));
+  m.at(150, 1, K::kFlipDeliver, kClientAddr, 2, 88);
+  m.at(160, 1, K::kRpcExec, 1);
+  m.at(170, 1, K::kRpcReply, 1);
+  m.at(180, 1, K::kFlipSend, kServiceAddr - 1, 1, 80);
+  m.at(190, 1, K::kFragment, frame_id(1, 1, 0), 1, kServerAddr, 80);
+  m.at(190, 1, K::kWireTx, frame_id(1, 1, 0), 112, macs(1, 0));
+  m.at(210, 0, K::kInterrupt, frame_id(1, 1, 0), 112, macs(1, 0));
+  m.at(220, 0, K::kFlipDeliver, kServerAddr, 1, 80);
+  m.at(230, 0, K::kRpcDone, 1, 0);
+  return m.take();
+}
+
+/// The *reply* frame dropped: the client retries after the server already
+/// executed, the server answers the duplicate with a cached reply (no second
+/// kRpcExec), and the op completes through the resent reply.
+[[nodiscard]] inline std::vector<trace::Event> dropped_reply_recovery() {
+  using K = trace::EventKind;
+  MiniTrace m;
+  m.at(10, 0, K::kRpcSend, 1, 1, 8);
+  m.at(20, 0, K::kFlipSend, kServiceAddr, /*msg=*/1, 88);
+  m.at(30, 0, K::kFragment, frame_id(0, 1, 0), 1, kClientAddr, 88);
+  m.at(30, 0, K::kWireTx, frame_id(0, 1, 0), 120, macs(0, 1));
+  m.at(50, 1, K::kInterrupt, frame_id(0, 1, 0), 120, macs(0, 1));
+  m.at(60, 1, K::kFlipDeliver, kClientAddr, 1, 88);
+  m.at(80, 1, K::kRpcExec, 1);
+  m.at(90, 1, K::kRpcReply, 1);
+  m.at(100, 1, K::kFlipSend, kServiceAddr - 1, /*msg=*/1, 80);
+  m.at(110, 1, K::kFragment, frame_id(1, 1, 0), 1, kServerAddr, 80);
+  m.at(110, 1, K::kWireTx, frame_id(1, 1, 0), 112, macs(1, 0));
+  m.at(120, trace::kNoNode, K::kFrameDrop, frame_id(1, 1, 0), 112, macs(1, 0),
+       (trace::kClassData << 1) | 0);
+  m.at(200, 0, K::kRetransmit, 1, trace::kReasonClientRetry);
+  m.at(210, 0, K::kFlipSend, kServiceAddr, /*msg=*/2, 88);
+  m.at(215, 0, K::kFragment, frame_id(0, 2, 0), 2, kClientAddr, 88);
+  m.at(215, 0, K::kWireTx, frame_id(0, 2, 0), 120, macs(0, 1));
+  m.at(230, 1, K::kInterrupt, frame_id(0, 2, 0), 120, macs(0, 1));
+  m.at(240, 1, K::kFlipDeliver, kClientAddr, 2, 88);
+  m.at(250, 1, K::kRetransmit, 1, trace::kReasonCachedReply);
+  m.at(260, 1, K::kFlipSend, kServiceAddr - 1, /*msg=*/2, 80);
+  m.at(265, 1, K::kFragment, frame_id(1, 2, 0), 2, kServerAddr, 80);
+  m.at(265, 1, K::kWireTx, frame_id(1, 2, 0), 112, macs(1, 0));
+  m.at(280, 0, K::kInterrupt, frame_id(1, 2, 0), 112, macs(1, 0));
+  m.at(290, 0, K::kFlipDeliver, kServerAddr, 2, 80);
+  m.at(300, 0, K::kRpcDone, 1, 0);
+  return m.take();
+}
+
+}  // namespace trace_test

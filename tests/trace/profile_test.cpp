@@ -1,0 +1,174 @@
+// Critical-path attribution: exact bucket placement on hand-authored
+// traces, and the conservation invariant + byte determinism + the paper's
+// headline gap on real Testbed traces (clean and fault-injected).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/testbed.h"
+#include "fault_workload.h"
+#include "mini_traces.h"
+#include "trace/profile.h"
+
+namespace trace {
+namespace {
+
+using core::Binding;
+using trace_test::Fault;
+using trace_test::WorkloadResult;
+using trace_test::run_fault_workload;
+
+const MechanismSlice& slice(const Profile& p, sim::Mechanism m) {
+  return p.mechanisms[static_cast<std::size_t>(m)];
+}
+
+TEST(Profile, LinearRpcAttributionIsExact) {
+  const Profile p = profile_trace(trace_test::linear_rpc());
+  EXPECT_EQ(p.ops_total, 1u);
+  EXPECT_EQ(p.ops_complete, 1u);
+  EXPECT_EQ(p.rpc.count, 1u);
+  EXPECT_EQ(p.rpc.p50, sim::usec(140));
+
+  std::string why;
+  EXPECT_TRUE(conservation_ok(p, &why)) << why;
+
+  // The two context switches bracket the op (before kRpcSend / after
+  // kRpcDone): charged time, but off every critical-path window.
+  const MechanismSlice& ctx = slice(p, sim::Mechanism::kContextSwitch);
+  EXPECT_EQ(ctx.count, 2u);
+  EXPECT_EQ(ctx.on_path, 0);
+  EXPECT_EQ(ctx.off_path, sim::usec(10));
+  // The syscall crossing sits inside the client's send window and the
+  // protocol charge inside the server's exec->reply window: both on-path.
+  EXPECT_EQ(slice(p, sim::Mechanism::kSyscallCrossing).on_path, sim::usec(5));
+  EXPECT_EQ(slice(p, sim::Mechanism::kSyscallCrossing).off_path, 0);
+  EXPECT_EQ(slice(p, sim::Mechanism::kProtocolProcessing).on_path,
+            sim::usec(3));
+
+  // Both wire hops (20 us each) are wire occupancy; the 100 us of on-node
+  // path time minus the 8 us of on-path charges is CPU queueing; nothing is
+  // unnameable.
+  EXPECT_EQ(p.residuals.wire_occupancy, sim::usec(40));
+  EXPECT_EQ(p.residuals.cpu_queue, sim::usec(92));
+  EXPECT_EQ(p.residuals.medium_wait, 0);
+  EXPECT_EQ(p.residuals.sequencer_queue, 0);
+  EXPECT_EQ(p.residuals.unattributed, 0);
+
+  // Every critical-path nanosecond is accounted for: on-path charges plus
+  // the residual categories reconstruct the operation's latency exactly.
+  EXPECT_EQ(p.on_path_total() + p.residuals.wire_occupancy +
+                p.residuals.medium_wait + p.residuals.cpu_queue +
+                p.residuals.sequencer_queue + p.residuals.unattributed,
+            p.rpc.total);
+}
+
+TEST(Profile, GroupSendSequencerQueueResidual) {
+  const Profile p = profile_trace(trace_test::fragmented_group_send());
+  EXPECT_EQ(p.group.count, 1u);
+  // Makespan: kGroupSend at 10 us, last member delivery at 155 us.
+  EXPECT_EQ(p.group.p50, sim::usec(145));
+  std::string why;
+  EXPECT_TRUE(conservation_ok(p, &why)) << why;
+  // The uncharged 10 us between the sequencer's FLIP delivery (70) and
+  // kSeqnoAssign (80) is ordering wait, not generic CPU queueing.
+  EXPECT_EQ(p.residuals.sequencer_queue, sim::usec(10));
+  EXPECT_EQ(p.residuals.unattributed, 0);
+}
+
+TEST(Profile, FaultMinisConserve) {
+  for (auto maker : {trace_test::retransmit_branch,
+                     trace_test::dropped_reply_recovery}) {
+    const Profile p = profile_trace(maker());
+    EXPECT_EQ(p.ops_complete, 1u);
+    std::string why;
+    EXPECT_TRUE(conservation_ok(p, &why)) << why;
+  }
+}
+
+TEST(Profile, ConservesAgainstTheRealRpcLedger) {
+  // The trace-side Ledger (rebuilt from kCharge events) must equal the
+  // in-sim aggregate exactly, and attribution must conserve against it —
+  // for both bindings.
+  for (const Binding b : {Binding::kKernelSpace, Binding::kUserSpace}) {
+    const core::TracedRun run = core::traced_rpc_run(b, 8);
+    ASSERT_FALSE(run.events.empty());
+    const Profile p = profile_trace(run.events);
+    std::string why;
+    EXPECT_TRUE(conservation_ok(p, &why)) << why;
+    for (std::size_t m = 0;
+         m < static_cast<std::size_t>(sim::Mechanism::kCount); ++m) {
+      const auto mech = static_cast<sim::Mechanism>(m);
+      EXPECT_EQ(p.ledger.get(mech).total, run.ledger.get(mech).total)
+          << sim::mechanism_name(mech);
+      EXPECT_EQ(p.ledger.get(mech).count, run.ledger.get(mech).count)
+          << sim::mechanism_name(mech);
+    }
+    EXPECT_GT(p.ops_complete, 0u);
+    EXPECT_EQ(p.residuals.unattributed, 0) << "RPC linking left gaps";
+  }
+}
+
+TEST(Profile, ConservesAgainstTheRealGroupLedger) {
+  for (const Binding b : {Binding::kKernelSpace, Binding::kUserSpace}) {
+    const core::TracedRun run = core::traced_group_run(b, 8);
+    const Profile p = profile_trace(run.events);
+    std::string why;
+    EXPECT_TRUE(conservation_ok(p, &why)) << why;
+    EXPECT_EQ(p.ledger.total_time(), run.ledger.total_time());
+    EXPECT_GT(p.group.count, 0u);
+  }
+}
+
+TEST(Profile, ConservesUnderFaultInjection) {
+  // Loss, duplication, and reordering produce retransmit branches, dropped
+  // frames, and duplicate deliveries; attribution must stay exact through
+  // all of them, on both bindings.
+  for (const Binding b : {Binding::kKernelSpace, Binding::kUserSpace}) {
+    for (const Fault f :
+         {Fault::kLoss, Fault::kDuplication, Fault::kReorder}) {
+      WorkloadResult r = run_fault_workload(b, 7, f);
+      const Profile p = profile_trace(r.bed->tracer()->events());
+      std::string why;
+      EXPECT_TRUE(conservation_ok(p, &why))
+          << "fault=" << static_cast<int>(f) << ": " << why;
+      EXPECT_EQ(p.ledger.total_time(), r.ledger.total_time());
+      // 16 RPCs and 6 group sends are issued; every one must be
+      // reconstructed as an operation even when recovery branches pile up.
+      EXPECT_GE(p.ops_total, 22u);
+    }
+  }
+}
+
+TEST(Profile, HeadlineGapReproducedFromTracesAlone) {
+  const core::TracedRun user = core::traced_rpc_run(Binding::kUserSpace, 8);
+  const core::TracedRun kernel =
+      core::traced_rpc_run(Binding::kKernelSpace, 8);
+  const Profile pu = profile_trace(user.events);
+  const Profile pk = profile_trace(kernel.events);
+  std::string why;
+  EXPECT_TRUE(check_headline_gap(pu, pk, &why)) << why;
+}
+
+TEST(Profile, RealTraceJsonIsByteDeterministic) {
+  const core::TracedRun a = core::traced_rpc_run(Binding::kUserSpace, 8);
+  const core::TracedRun b = core::traced_rpc_run(Binding::kUserSpace, 8);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  EXPECT_EQ(profile_json(profile_trace(a.events), "t"),
+            profile_json(profile_trace(b.events), "t"));
+  EXPECT_EQ(folded_stacks(profile_trace(a.events)),
+            folded_stacks(profile_trace(b.events)));
+}
+
+TEST(Profile, JsonAndFoldedAreByteDeterministic) {
+  const std::vector<Event> ev = trace_test::dropped_reply_recovery();
+  const Profile a = profile_trace(ev);
+  const Profile b = profile_trace(ev);
+  EXPECT_EQ(profile_json(a, "mini"), profile_json(b, "mini"));
+  EXPECT_EQ(folded_stacks(a), folded_stacks(b));
+  EXPECT_NE(profile_json(a, "mini").find("\"schema\": \"amoeba-profile/v1\""),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace trace
