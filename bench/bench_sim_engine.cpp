@@ -19,8 +19,12 @@
 #include "metrics/handles.h"
 #include "metrics/registry.h"
 #include "net/buffer.h"
+#include "net/frame.h"
+#include "net/network.h"
+#include "net/nic.h"
 #include "sim/co.h"
 #include "sim/cpu.h"
+#include "sim/partition.h"
 #include "sim/simulator.h"
 #include "sim/sync.h"
 #include "sim/timer.h"
@@ -242,6 +246,78 @@ void BM_MsgPathMetricsLookup(benchmark::State& state) {
 }
 BENCHMARK(BM_MsgPathMetricsLookup);
 
+// ---------------------------------------------------------------------------
+// Partitioned topologies: the conservative parallel core driving multi-segment
+// pools. Each segment runs mostly partition-local ping-pong traffic plus an
+// inter-segment beacon ring that exercises the cross-partition mailbox path.
+// The /S/1 rows are the single-engine baseline for the same topology; the
+// /S/S rows run one engine (and one worker) per segment group, so
+// real_time(S/1) / real_time(S/S) is the speedup-vs-partitions gauge the
+// RunReport publishes.
+
+void BM_PartitionedTopology(benchmark::State& state) {
+  const auto segments = static_cast<std::size_t>(state.range(0));
+  const auto partitions = static_cast<unsigned>(state.range(1));
+  constexpr std::size_t kPerSegment = 8;
+  constexpr std::size_t kBytes = 64;
+  constexpr sim::Time kHorizon = sim::msec(20);
+  std::uint64_t events = 0;
+  for (auto _ : state) {
+    sim::PartitionedSimulator ps(
+        sim::PartitionedSimulator::Config{partitions, partitions, 42});
+    net::NetworkConfig cfg;
+    cfg.nodes_per_segment = kPerSegment;
+    cfg.wire.ns_per_byte = 8;  // gigabit-class wire keeps every window busy
+    // The switch latency is the conservative lookahead, so it sets the
+    // window-sync cadence: a coarse store-and-forward switch amortizes each
+    // barrier over hundreds of partition-local events, which is the regime
+    // where the parallel core pays off (the /S/1 rows time the identical
+    // topology on one engine).
+    cfg.switch_forward_latency = sim::usec(100);
+    net::Network n(ps, cfg);
+    const std::size_t total = segments * kPerSegment;
+    for (std::size_t i = 0; i < total; ++i) n.add_node();
+    const auto ping = [](net::NodeId to) {
+      net::Frame f;
+      f.dst = net::Network::mac_of(to);
+      f.payload = net::Payload::zeros(kBytes);
+      return f;
+    };
+    for (std::size_t s = 0; s < segments; ++s) {
+      const net::NodeId base = static_cast<net::NodeId>(s * kPerSegment);
+      // Three partition-local ping-pong pairs per segment.
+      for (net::NodeId p = 0; p < 6; p += 2) {
+        const auto bounce = [&n, &ping](net::NodeId self, net::NodeId peer) {
+          n.nic(self).set_rx_handler([&n, &ping, self, peer](const net::Frame&) {
+            n.nic(self).send(ping(peer));
+          });
+        };
+        bounce(base + p, base + p + 1);
+        bounce(base + p + 1, base + p);
+        n.nic(base + p).send(ping(base + p + 1));
+      }
+      // Beacon ring across segments: one frame per segment circulating
+      // through the switch, crossing partitions whenever neighbours map to
+      // different engines.
+      const net::NodeId ring = base + 6;
+      const net::NodeId next = static_cast<net::NodeId>(
+          ((s + 1) % segments) * kPerSegment + 6);
+      n.nic(ring).set_rx_handler([&n, &ping, ring, next](const net::Frame&) {
+        n.nic(ring).send(ping(next));
+      });
+      n.nic(ring).send(ping(next));
+    }
+    ps.run_until(kHorizon);
+    events += ps.events_executed();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(events));
+}
+BENCHMARK(BM_PartitionedTopology)
+    ->Args({4, 1})
+    ->Args({4, 4})
+    ->Args({8, 1})
+    ->Args({8, 8});
+
 /// Console output as usual, plus a (name, adjusted real time) record per run
 /// for the RunReport.
 class CollectingReporter : public benchmark::ConsoleReporter {
@@ -314,6 +390,25 @@ int main(int argc, char** argv) {
       } else if (r.name == "BM_MsgPathMetrics") {
         report.add_metric("msgpath.metric_incr_per_sec", r.items_per_second,
                           metrics::Better::kHigher, "increments/s");
+      }
+    }
+    // Speedup-vs-partitions: same topology, single engine vs one engine per
+    // segment group. Host-time ratio, so informational like the other rows.
+    const auto real_time_of = [&reporter](const std::string& name) {
+      for (const auto& r : reporter.results()) {
+        if (r.name == name) return r.real_time;
+      }
+      return 0.0;
+    };
+    for (const int segments : {4, 8}) {
+      const std::string prefix =
+          "BM_PartitionedTopology/" + std::to_string(segments) + "/";
+      const double base = real_time_of(prefix + "1");
+      const double par = real_time_of(prefix + std::to_string(segments));
+      if (base > 0.0 && par > 0.0) {
+        report.add_metric(
+            "partitioned.speedup_" + std::to_string(segments) + "seg",
+            base / par, metrics::Better::kHigher, "x");
       }
     }
     for (const auto& r : reporter.results()) {

@@ -9,15 +9,34 @@ namespace amoeba {
 
 World::World(WorldConfig config)
     : config_(config),
-      sim_(config.seed),
-      metrics_(config.metrics ? std::make_unique<metrics::Metrics>(sim_)
-                              : nullptr),
-      network_(sim_, config.network) {}
+      psim_(sim::PartitionedSimulator::Config{config.partitions,
+                                              config.threads, config.seed}),
+      metrics_(config.metrics
+                   ? std::make_unique<metrics::Metrics>(psim_.engine(0))
+                   : nullptr),
+      network_(psim_, config.network) {
+  // The hub's intern maps are not synchronized, so concurrent windows must
+  // not record into it: metrics on a multi-partition world needs threads==1.
+  sim::require(!(metrics_ && psim_.partitions() > 1 && psim_.threads() > 1),
+               "World: metrics with partitions > 1 requires threads == 1");
+  // Every engine resolves the same hub, so per-node registries keep working
+  // wherever the node's partition lands.
+  for (unsigned p = 1; p < psim_.partitions(); ++p) {
+    psim_.engine(p).set_metrics(metrics_.get());
+  }
+}
+
+World::~World() {
+  // Metrics's own dtor only detaches from engine 0.
+  for (unsigned p = 1; p < psim_.partitions(); ++p) {
+    psim_.engine(p).set_metrics(nullptr);
+  }
+}
 
 Kernel& World::add_node() {
   const NodeId id = network_.add_node();
-  kernels_.push_back(
-      std::make_unique<Kernel>(sim_, network_.nic(id), config_.costs, id));
+  kernels_.push_back(std::make_unique<Kernel>(
+      network_.node_simulator(id), network_.nic(id), config_.costs, id));
   return *kernels_.back();
 }
 

@@ -11,6 +11,7 @@
 #include "metrics/registry.h"
 #include "net/network.h"
 #include "sim/ledger.h"
+#include "sim/partition.h"
 #include "sim/simulator.h"
 
 namespace amoeba {
@@ -23,11 +24,18 @@ struct WorldConfig {
   /// (no sim-time charges, no RNG draws), so turning this on never changes a
   /// run's event sequence — a property the no-perturbation test asserts.
   bool metrics = false;
+  /// Partition the pool across this many engines (segments dealt
+  /// round-robin); 1 is the classic single-engine path.
+  unsigned partitions = 1;
+  /// Worker team size for lookahead windows, capped at `partitions`; 1 runs
+  /// windows inline on the caller — results never depend on this knob.
+  unsigned threads = 1;
 };
 
 class World {
  public:
   explicit World(WorldConfig config = {});
+  ~World();
 
   World(const World&) = delete;
   World& operator=(const World&) = delete;
@@ -40,7 +48,17 @@ class World {
 
   [[nodiscard]] Kernel& kernel(NodeId id);
   [[nodiscard]] std::size_t node_count() const noexcept { return kernels_.size(); }
-  [[nodiscard]] sim::Simulator& sim() noexcept { return sim_; }
+  /// Partition 0's engine — "the" simulator of a single-partition world.
+  [[nodiscard]] sim::Simulator& sim() noexcept { return psim_.engine(0); }
+  /// The parallel driver. Runs with partitions > 1 must go through its
+  /// run()/run_until() (or the helpers below), never a single engine's.
+  [[nodiscard]] sim::PartitionedSimulator& partitioned() noexcept {
+    return psim_;
+  }
+  /// Run to quiescence across all partitions. Returns events executed.
+  std::size_t run() { return psim_.run(); }
+  /// Run through simulated time t across all partitions.
+  void run_until(sim::Time t) { psim_.run_until(t); }
   [[nodiscard]] net::Network& network() noexcept { return network_; }
   [[nodiscard]] const CostModel& costs() const noexcept { return config_.costs; }
 
@@ -57,7 +75,7 @@ class World {
 
  private:
   WorldConfig config_;
-  sim::Simulator sim_;
+  sim::PartitionedSimulator psim_;
   std::unique_ptr<metrics::Metrics> metrics_;
   net::Network network_;
   std::vector<std::unique_ptr<Kernel>> kernels_;

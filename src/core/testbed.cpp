@@ -1,5 +1,6 @@
 #include "core/testbed.h"
 
+#include <algorithm>
 #include <functional>
 #include <utility>
 
@@ -40,14 +41,27 @@ std::function<metrics::Histogram()> merge_histogram(metrics::Metrics* hub,
 }  // namespace
 
 Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
+  // The sampler attaches a step observer to one engine; it has no meaning
+  // across concurrently running partitions.
+  sim::require(config_.series_window == 0 || config_.partitions <= 1,
+               "Testbed: series_window requires partitions == 1");
   amoeba::WorldConfig wc;
   wc.network = config_.network;
   wc.costs = config_.costs;
   wc.seed = config_.seed;
+  wc.partitions = config_.partitions;
+  wc.threads = config_.threads;
   // The sampler polls counter/histogram deltas, so telemetry implies metrics.
   wc.metrics = config_.metrics || config_.series_window > 0;
   world_ = std::make_unique<amoeba::World>(wc);
-  if (config_.trace) tracer_ = std::make_unique<trace::Tracer>(world_->sim());
+  if (config_.trace) {
+    // One tracer per engine: a node records into its own partition's tracer
+    // without cross-thread sharing; trace_events() merges deterministically.
+    sim::PartitionedSimulator& ps = world_->partitioned();
+    for (unsigned p = 0; p < ps.partitions(); ++p) {
+      tracers_.push_back(std::make_unique<trace::Tracer>(ps.engine(p)));
+    }
+  }
   world_->add_nodes(config_.nodes);
 
   if (config_.series_window > 0) {
@@ -97,6 +111,21 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
 
 void Testbed::start() {
   for (auto& p : pandas_) p->start();
+}
+
+std::vector<trace::Event> Testbed::trace_events() const {
+  std::vector<trace::Event> merged;
+  for (const auto& tr : tracers_) {
+    merged.insert(merged.end(), tr->events().begin(), tr->events().end());
+  }
+  // Each per-engine stream is already time-ordered; a stable sort on time
+  // alone keeps intra-partition order and breaks cross-partition ties by
+  // partition index (the concatenation order) — a pure function of the
+  // simulation state, never of thread scheduling.
+  std::stable_sort(
+      merged.begin(), merged.end(),
+      [](const trace::Event& a, const trace::Event& b) { return a.t < b.t; });
+  return merged;
 }
 
 namespace {

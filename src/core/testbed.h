@@ -46,6 +46,13 @@ struct TestbedConfig {
   /// rates and windowed latency percentiles — host-side only, so an enabled
   /// sampler never perturbs the simulated event sequence.
   sim::Time series_window = 0;
+  /// Partition the pool's segments across this many engines (conservative
+  /// parallel core; 1 = the classic single-engine path). Runs must then go
+  /// through world().partitioned() (or world().run()/run_until()).
+  unsigned partitions = 1;
+  /// Worker team size for lookahead windows, capped at `partitions`.
+  /// threads == 1 executes the same windows inline — never affects results.
+  unsigned threads = 1;
 };
 
 /// A booted pool: world + per-node Panda instances (started lazily so tests
@@ -59,8 +66,15 @@ class Testbed {
   [[nodiscard]] panda::Panda& panda(NodeId n) { return *pandas_.at(n); }
   [[nodiscard]] std::size_t node_count() const noexcept { return pandas_.size(); }
   [[nodiscard]] const TestbedConfig& config() const noexcept { return config_; }
-  /// Non-null iff config.trace was set.
-  [[nodiscard]] trace::Tracer* tracer() noexcept { return tracer_.get(); }
+  /// Non-null iff config.trace was set. With partitions > 1 this is
+  /// partition 0's tracer; trace_events() merges all partitions.
+  [[nodiscard]] trace::Tracer* tracer() noexcept {
+    return tracers_.empty() ? nullptr : tracers_.front().get();
+  }
+  /// All traced events across partitions, merged by time (ties keep lower
+  /// partitions first — deterministic for any thread count). Empty when
+  /// config.trace was off.
+  [[nodiscard]] std::vector<trace::Event> trace_events() const;
   /// Non-null iff config.metrics was set (the hub lives in the World).
   [[nodiscard]] metrics::Metrics* metrics() noexcept { return world_->metrics(); }
   /// Non-null iff config.series_window was set. Call finish() on it after the
@@ -73,8 +87,9 @@ class Testbed {
  private:
   TestbedConfig config_;
   std::unique_ptr<amoeba::World> world_;
-  // Declared after world_: destroyed first, detaching from the simulator.
-  std::unique_ptr<trace::Tracer> tracer_;
+  // Declared after world_: destroyed first, detaching from the simulators.
+  // One tracer per partition engine; [0] is the classic tracer.
+  std::vector<std::unique_ptr<trace::Tracer>> tracers_;
   std::unique_ptr<metrics::SeriesSampler> series_;
   std::vector<std::unique_ptr<panda::Panda>> pandas_;
 };

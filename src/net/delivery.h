@@ -1,0 +1,72 @@
+// The delivery seam between the switch and the event engine(s).
+//
+// Historically net::Switch scheduled forwarded frames directly into the one
+// global simulator — a layering smell that became a blocker the moment
+// segments could live on different partition engines: a callback running on
+// partition A's worker must never touch partition B's heap. DeliveryPort
+// abstracts "enqueue this frame on that segment at time t" so single- and
+// multi-partition delivery share the one call site in Switch::emit():
+//
+//   * DirectDeliveryPort schedules straight into the destination segment's
+//     engine — in a single-partition world that is the same simulator the
+//     switch always used, with identical (time, seq) ordering.
+//   * PartitionedDeliveryPort routes same-partition frames directly and
+//     turns cross-partition frames into time-stamped mailbox messages
+//     (sim::PartitionedSimulator::post), which the driver merges into the
+//     destination heap at the next lookahead barrier.
+#pragma once
+
+#include <utility>
+
+#include "net/frame.h"
+#include "net/segment.h"
+#include "sim/partition.h"
+#include "sim/time.h"
+
+namespace net {
+
+class DeliveryPort {
+ public:
+  virtual ~DeliveryPort() = default;
+
+  /// Enqueue `frame` for transmission on `to` at absolute time `t`.
+  /// `originator` is the egress attachment that must not hear its own copy
+  /// back (loop prevention). `from` identifies the ingress segment — the
+  /// partitioned implementation reads both partition ids off the segments.
+  virtual void deliver(Segment& from, Segment& to, sim::Time t, Frame frame,
+                       const Attachment* originator) = 0;
+};
+
+/// Single-engine delivery: schedule into the destination segment's simulator.
+class DirectDeliveryPort final : public DeliveryPort {
+ public:
+  void deliver(Segment& /*from*/, Segment& to, sim::Time t, Frame frame,
+               const Attachment* originator) override {
+    to.simulator().at(
+        t, [&to, frame = std::move(frame), originator]() mutable {
+          to.transmit(std::move(frame), originator);
+        });
+  }
+};
+
+/// Partitioned delivery: cross-partition frames become mailbox messages and
+/// never schedule into a foreign heap.
+class PartitionedDeliveryPort final : public DeliveryPort {
+ public:
+  explicit PartitionedDeliveryPort(sim::PartitionedSimulator& psim)
+      : psim_(&psim) {}
+
+  void deliver(Segment& from, Segment& to, sim::Time t, Frame frame,
+               const Attachment* originator) override {
+    psim_->post(from.partition(), to.partition(), t,
+                sim::EventFn([&to, frame = std::move(frame),
+                              originator]() mutable {
+                  to.transmit(std::move(frame), originator);
+                }));
+  }
+
+ private:
+  sim::PartitionedSimulator* psim_;
+};
+
+}  // namespace net

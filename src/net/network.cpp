@@ -5,15 +5,38 @@
 namespace net {
 
 Network::Network(sim::Simulator& s, NetworkConfig config)
-    : sim_(&s), config_(config), switch_(s, config.switch_forward_latency) {
+    : sim_(&s), config_(config), switch_(config.switch_forward_latency) {
   sim::require(config_.nodes_per_segment > 0, "Network: nodes_per_segment must be positive");
+}
+
+Network::Network(sim::PartitionedSimulator& ps, NetworkConfig config)
+    : sim_(&ps.engine(0)),
+      psim_(&ps),
+      config_(config),
+      switch_(config.switch_forward_latency) {
+  sim::require(config_.nodes_per_segment > 0, "Network: nodes_per_segment must be positive");
+  sim::require(ps.partitions() == 1 || config_.switch_forward_latency > 0,
+               "Network: partitions > 1 needs switch_forward_latency > 0 "
+               "(it is the cross-partition lookahead)");
+  partitioned_delivery_ = std::make_unique<PartitionedDeliveryPort>(ps);
+  switch_.set_delivery_port(*partitioned_delivery_);
+  // Safe even before any cross-partition pair exists: with none, no message
+  // ever crosses, and any positive lookahead is conservatively valid.
+  ps.set_lookahead(config_.switch_forward_latency);
 }
 
 NodeId Network::add_node() {
   const NodeId id = static_cast<NodeId>(nics_.size());
   const std::size_t segment_index = id / config_.nodes_per_segment;
   if (segment_index == segments_.size()) {
-    segments_.push_back(std::make_unique<Segment>(*sim_, config_.wire));
+    const unsigned partition =
+        psim_ != nullptr
+            ? static_cast<unsigned>(segment_index % psim_->partitions())
+            : 0;
+    sim::Simulator& engine =
+        psim_ != nullptr ? psim_->engine(partition) : *sim_;
+    segments_.push_back(std::make_unique<Segment>(engine, config_.wire));
+    segments_.back()->set_partition(partition);
     switch_.connect(*segments_.back());
   }
   Segment& home = *segments_[segment_index];
@@ -36,6 +59,32 @@ std::uint64_t Network::total_bytes_carried() const noexcept {
   std::uint64_t total = 0;
   for (const auto& seg : segments_) total += seg->bytes_carried();
   return total;
+}
+
+unsigned Network::partition_of(NodeId id) const {
+  sim::require(id < nics_.size(), "Network::partition_of: unknown node");
+  const std::size_t segment_index = id / config_.nodes_per_segment;
+  return segments_[segment_index]->partition();
+}
+
+sim::Simulator& Network::node_simulator(NodeId id) {
+  if (psim_ == nullptr) return *sim_;
+  return psim_->engine(partition_of(id));
+}
+
+sim::Time Network::cross_partition_lookahead() const noexcept {
+  // Every cross-partition path runs through the one store-and-forward
+  // switch, so the minimum over cross-partition segment pairs is the
+  // switch's forward latency whenever at least one pair crosses. (The wire
+  // time the frame already spent on the ingress segment only adds slack.)
+  for (std::size_t i = 0; i + 1 < segments_.size(); ++i) {
+    for (std::size_t j = i + 1; j < segments_.size(); ++j) {
+      if (segments_[i]->partition() != segments_[j]->partition()) {
+        return config_.switch_forward_latency;
+      }
+    }
+  }
+  return sim::Simulator::kNever;
 }
 
 }  // namespace net

@@ -3,16 +3,26 @@
 // Nodes are added one at a time; every `nodes_per_segment` nodes a fresh
 // segment is created and connected to the central switch. With 8 nodes per
 // segment (the paper's pool layout) a 32-node run spans four segments.
+//
+// Partitioned construction: built on a sim::PartitionedSimulator, segments
+// are dealt round-robin across partitions (segment s lives on engine
+// s % partitions) and the switch routes cross-partition frames through a
+// PartitionedDeliveryPort. The conservative lookahead is derived from the
+// topology — the minimum latency of any cross-partition path, which with a
+// single store-and-forward switch is its forward latency — and pushed into
+// the driver as segments appear.
 #pragma once
 
 #include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "net/delivery.h"
 #include "net/frame.h"
 #include "net/nic.h"
 #include "net/segment.h"
 #include "net/switch.h"
+#include "sim/partition.h"
 #include "sim/simulator.h"
 
 namespace net {
@@ -28,6 +38,10 @@ struct NetworkConfig {
 class Network {
  public:
   Network(sim::Simulator& s, NetworkConfig config = {});
+  /// Partitioned topology: segments map round-robin onto the driver's
+  /// engines. Requires switch_forward_latency > 0 when the driver has more
+  /// than one partition (it is the lookahead source).
+  Network(sim::PartitionedSimulator& ps, NetworkConfig config = {});
 
   Network(const Network&) = delete;
   Network& operator=(const Network&) = delete;
@@ -49,13 +63,31 @@ class Network {
   /// Aggregate bytes carried across all segments (throughput accounting).
   [[nodiscard]] std::uint64_t total_bytes_carried() const noexcept;
 
+  /// The partition a node's home segment lives in (0 without partitioning).
+  [[nodiscard]] unsigned partition_of(NodeId id) const;
+  /// The engine a node's events must be scheduled on: its partition's.
+  [[nodiscard]] sim::Simulator& node_simulator(NodeId id);
+
+  /// Minimum latency of any cross-partition path in the current topology, or
+  /// sim::Simulator::kNever when no segment pair crosses a partition
+  /// boundary. This is the conservative lookahead the parallel driver runs
+  /// with: a frame leaving one partition reaches another no sooner than this
+  /// many nanoseconds after the event that sent it.
+  [[nodiscard]] sim::Time cross_partition_lookahead() const noexcept;
+
   [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
+  /// The parallel driver, or nullptr for a single-engine network.
+  [[nodiscard]] sim::PartitionedSimulator* partitioned() noexcept {
+    return psim_;
+  }
   [[nodiscard]] const NetworkConfig& config() const noexcept { return config_; }
 
  private:
   sim::Simulator* sim_;
+  sim::PartitionedSimulator* psim_ = nullptr;
   NetworkConfig config_;
   Switch switch_;
+  std::unique_ptr<PartitionedDeliveryPort> partitioned_delivery_;
   std::vector<std::unique_ptr<Segment>> segments_;
   std::vector<std::unique_ptr<Nic>> nics_;
 };

@@ -52,6 +52,10 @@ class Nic final : public Attachment {
   [[nodiscard]] std::uint64_t tx_frames() const noexcept { return tx_frames_; }
   [[nodiscard]] std::uint64_t rx_dropped() const noexcept { return rx_dropped_; }
   [[nodiscard]] Segment& segment() noexcept { return *segment_; }
+  /// The partition this NIC lives in (its segment's partition).
+  [[nodiscard]] unsigned partition() const noexcept {
+    return segment_->partition();
+  }
 
  private:
   MacAddr mac_;

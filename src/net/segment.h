@@ -61,6 +61,11 @@ class Segment {
 
   [[nodiscard]] sim::Simulator& simulator() noexcept { return *sim_; }
 
+  /// The partition this segment (and everything attached to it) lives in.
+  /// 0 in a single-partition world; set once by the topology builder.
+  [[nodiscard]] unsigned partition() const noexcept { return partition_; }
+  void set_partition(unsigned p) noexcept { partition_ = p; }
+
   [[nodiscard]] const WireParams& wire() const noexcept { return wire_; }
   [[nodiscard]] sim::Time busy_time() const noexcept { return busy_time_; }
   [[nodiscard]] std::uint64_t frames_carried() const noexcept { return frames_; }
@@ -83,6 +88,7 @@ class Segment {
   void start_next();
 
   sim::Simulator* sim_;
+  unsigned partition_ = 0;
   WireParams wire_;
   std::vector<Attachment*> attachments_;
   std::deque<Pending> queue_;

@@ -16,17 +16,17 @@ void Switch::forward(Segment& from, const Frame& frame) {
     if (it == where_.end()) return;  // unknown station: drop
     Segment* egress = it->second;
     if (egress == &from) return;  // local traffic: nothing to do
-    emit(*egress, frame);
+    emit(from, *egress, frame);
     return;
   }
   // Broadcast / multicast: flood all other ports.
   for (const auto& port : ports_) {
-    if (&port->segment() != &from) emit(port->segment(), frame);
+    if (&port->segment() != &from) emit(from, port->segment(), frame);
   }
 }
 
-void Switch::emit(Segment& to, Frame frame) {
-  ++forwarded_;
+void Switch::emit(Segment& from, Segment& to, Frame frame) {
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
   // Store-and-forward: the frame was fully received at on_frame time; after
   // the forwarding latency it contends for the egress medium. The port that
   // enqueues it must not hear the copy back (loop prevention), which
@@ -39,9 +39,11 @@ void Switch::emit(Segment& to, Frame frame) {
       break;
     }
   }
-  sim_->after(forward_latency_, [&to, frame = std::move(frame), egress_port]() mutable {
-    to.transmit(std::move(frame), egress_port);
-  });
+  // The one delivery call site shared by single- and multi-partition runs:
+  // the ingress engine's clock stamps the arrival, the delivery port decides
+  // how the event reaches the egress engine.
+  const sim::Time t = from.simulator().now() + forward_latency_;
+  delivery_->deliver(from, to, t, std::move(frame), egress_port);
 }
 
 }  // namespace net

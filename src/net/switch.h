@@ -7,11 +7,13 @@
 // wire time on its egress segment).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
+#include "net/delivery.h"
 #include "net/frame.h"
 #include "net/segment.h"
 #include "sim/simulator.h"
@@ -20,8 +22,13 @@ namespace net {
 
 class Switch {
  public:
-  Switch(sim::Simulator& s, sim::Time forward_latency)
-      : sim_(&s), forward_latency_(forward_latency) {}
+  explicit Switch(sim::Time forward_latency)
+      : forward_latency_(forward_latency) {}
+  /// Compatibility constructor: forwarding is scheduled through the delivery
+  /// port on the *destination* segment's engine, so the switch itself no
+  /// longer holds a simulator.
+  Switch(sim::Simulator& /*s*/, sim::Time forward_latency)
+      : Switch(forward_latency) {}
 
   Switch(const Switch&) = delete;
   Switch& operator=(const Switch&) = delete;
@@ -33,7 +40,18 @@ class Switch {
   /// dynamic MAC learning needed for a fixed pool).
   void learn(MacAddr mac, Segment& segment) { where_[mac] = &segment; }
 
-  [[nodiscard]] std::uint64_t frames_forwarded() const noexcept { return forwarded_; }
+  /// Route forwarded frames through `port` instead of the default direct
+  /// scheduling. The port must outlive the switch; topology must be frozen
+  /// before the simulation runs (the pointer is not synchronized).
+  void set_delivery_port(DeliveryPort& port) noexcept { delivery_ = &port; }
+
+  [[nodiscard]] sim::Time forward_latency() const noexcept {
+    return forward_latency_;
+  }
+
+  [[nodiscard]] std::uint64_t frames_forwarded() const noexcept {
+    return forwarded_.load(std::memory_order_relaxed);
+  }
   [[nodiscard]] std::size_t port_count() const noexcept { return ports_.size(); }
 
  private:
@@ -49,13 +67,16 @@ class Switch {
   };
 
   void forward(Segment& from, const Frame& frame);
-  void emit(Segment& to, Frame frame);
+  void emit(Segment& from, Segment& to, Frame frame);
 
-  sim::Simulator* sim_;
   sim::Time forward_latency_;
+  DirectDeliveryPort direct_;
+  DeliveryPort* delivery_ = &direct_;
   std::vector<std::unique_ptr<Port>> ports_;
   std::unordered_map<MacAddr, Segment*> where_;
-  std::uint64_t forwarded_ = 0;
+  // Ports on different partitions forward concurrently within a window; the
+  // counter is the only mutable shared state on that path.
+  std::atomic<std::uint64_t> forwarded_{0};
 };
 
 }  // namespace net

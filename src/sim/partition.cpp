@@ -1,0 +1,178 @@
+#include "sim/partition.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sweep/persistent_pool.h"
+
+namespace sim {
+namespace {
+
+/// Per-partition seed derivation: one SplitMix64 step keyed by the partition
+/// id. Partition 0 keeps the root seed itself, so a 1-partition run draws the
+/// exact stream a bare Simulator(seed) would.
+std::uint64_t derive_seed(std::uint64_t root, unsigned p) noexcept {
+  if (p == 0) return root;
+  std::uint64_t z = root + 0x9E3779B97F4A7C15ULL * static_cast<std::uint64_t>(p);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+unsigned clamp_min_one(unsigned n) noexcept { return n == 0 ? 1 : n; }
+
+}  // namespace
+
+PartitionedSimulator::PartitionedSimulator(const Config& config)
+    : threads_(std::min(clamp_min_one(config.threads),
+                        clamp_min_one(config.partitions))) {
+  const unsigned p_count = clamp_min_one(config.partitions);
+  engines_.reserve(p_count);
+  for (unsigned p = 0; p < p_count; ++p) {
+    engines_.push_back(std::make_unique<Simulator>(derive_seed(config.seed, p)));
+  }
+  mailboxes_.resize(static_cast<std::size_t>(p_count) * p_count);
+  window_counts_.resize(p_count, 0);
+  if (threads_ > 1) pool_ = std::make_unique<sweep::PersistentPool>(threads_);
+}
+
+PartitionedSimulator::~PartitionedSimulator() = default;
+
+void PartitionedSimulator::set_lookahead(Time lookahead) {
+  require(lookahead >= 0, "PartitionedSimulator: lookahead must be >= 0");
+  require(window_bound_ == 0,
+          "PartitionedSimulator: lookahead cannot change inside a window");
+  lookahead_ = lookahead;
+}
+
+void PartitionedSimulator::post(unsigned from, unsigned to, Time t,
+                                EventFn fn) {
+  require(from < engines_.size() && to < engines_.size(),
+          "PartitionedSimulator::post: bad partition");
+  require(static_cast<bool>(fn), "PartitionedSimulator::post: empty callable");
+  if (from == to) {
+    engines_[to]->schedule_fn(t, std::move(fn));
+    return;
+  }
+  // Conservative safety: while a window [M, bound) is running, anything that
+  // crosses partitions must land at or beyond the bound — otherwise the
+  // lookahead the topology reported was wrong.
+  require(window_bound_ == 0 || t >= window_bound_,
+          "PartitionedSimulator::post: cross-partition message inside the "
+          "lookahead window (topology lookahead too large)");
+  Mailbox& mb = mailboxes_[static_cast<std::size_t>(from) * engines_.size() + to];
+  mb.msgs.push_back(Msg{t, mb.next_seq++, from, std::move(fn)});
+}
+
+void PartitionedSimulator::deliver_mailboxes() {
+  const unsigned p_count = partitions();
+  for (unsigned to = 0; to < p_count; ++to) {
+    merge_scratch_.clear();
+    for (unsigned from = 0; from < p_count; ++from) {
+      if (from == to) continue;
+      Mailbox& mb =
+          mailboxes_[static_cast<std::size_t>(from) * p_count + to];
+      for (Msg& m : mb.msgs) merge_scratch_.push_back(std::move(m));
+      mb.msgs.clear();
+    }
+    if (merge_scratch_.empty()) continue;
+    // Deterministic merge order: time, then source partition, then the
+    // source's own post order. Each mailbox's contents are a pure function of
+    // its source partition's (deterministic) execution, so this order is
+    // independent of how the window's work was spread across threads.
+    std::sort(merge_scratch_.begin(), merge_scratch_.end(),
+              [](const Msg& a, const Msg& b) {
+                if (a.t != b.t) return a.t < b.t;
+                if (a.from != b.from) return a.from < b.from;
+                return a.seq < b.seq;
+              });
+    for (Msg& m : merge_scratch_) {
+      engines_[to]->schedule_fn(m.t, std::move(m.fn));
+    }
+  }
+  merge_scratch_.clear();
+}
+
+Time PartitionedSimulator::next_event_time() const noexcept {
+  Time m = Simulator::kNever;
+  for (const std::unique_ptr<Simulator>& e : engines_) {
+    m = std::min(m, e->next_event_time());
+  }
+  return m;
+}
+
+std::size_t PartitionedSimulator::run_window(Time bound) {
+  window_bound_ = bound;
+  struct CloseWindow {
+    Time* bound;
+    ~CloseWindow() { *bound = 0; }
+  } close{&window_bound_};
+  std::fill(window_counts_.begin(), window_counts_.end(), std::size_t{0});
+  if (pool_) {
+    pool_->run(engines_.size(), [this, bound](std::size_t p) {
+      window_counts_[p] = engines_[p]->run_before(bound);
+    });
+  } else {
+    for (std::size_t p = 0; p < engines_.size(); ++p) {
+      window_counts_[p] = engines_[p]->run_before(bound);
+    }
+  }
+  ++windows_;
+  std::size_t total = 0;
+  for (const std::size_t c : window_counts_) total += c;
+  return total;
+}
+
+std::size_t PartitionedSimulator::run() {
+  if (partitions() == 1) return engines_[0]->run();
+  require(lookahead_ > 0,
+          "PartitionedSimulator::run: partitions > 1 needs positive lookahead");
+  std::size_t total = 0;
+  for (;;) {
+    deliver_mailboxes();
+    const Time m = next_event_time();
+    if (m == Simulator::kNever) break;
+    const Time bound =
+        lookahead_ > Simulator::kNever - m ? Simulator::kNever : m + lookahead_;
+    total += run_window(bound);
+  }
+  return total;
+}
+
+void PartitionedSimulator::run_until(Time t) {
+  if (partitions() == 1) {
+    engines_[0]->run_until(t);
+    return;
+  }
+  require(lookahead_ > 0,
+          "PartitionedSimulator::run_until: partitions > 1 needs positive "
+          "lookahead");
+  // run_until executes t itself, so the exclusive limit is t + 1.
+  const Time limit = t == Simulator::kNever ? t : t + 1;
+  for (;;) {
+    deliver_mailboxes();
+    const Time m = next_event_time();
+    if (m > t) break;
+    Time bound =
+        lookahead_ > Simulator::kNever - m ? Simulator::kNever : m + lookahead_;
+    if (bound > limit) bound = limit;
+    run_window(bound);
+  }
+  for (const std::unique_ptr<Simulator>& e : engines_) e->advance_to(t);
+}
+
+std::uint64_t PartitionedSimulator::cross_posts() const noexcept {
+  std::uint64_t n = 0;
+  for (const Mailbox& mb : mailboxes_) n += mb.next_seq;
+  return n;
+}
+
+std::uint64_t PartitionedSimulator::events_executed() const noexcept {
+  std::uint64_t n = 0;
+  for (const std::unique_ptr<Simulator>& e : engines_) {
+    n += e->events_executed();
+  }
+  return n;
+}
+
+}  // namespace sim

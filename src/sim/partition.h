@@ -1,0 +1,146 @@
+// The conservative parallel discrete-event driver.
+//
+// A PartitionedSimulator owns N logical processes — each a full sim::Simulator
+// with its own event heap, slab, sequence counter, and Rng — and synchronizes
+// them with a window-barrier protocol built on the topology's lookahead:
+//
+//   * Every simulated object (segment, NIC, kernel, timer) lives in exactly
+//     one partition and schedules only into its own engine, so within a
+//     window the engines share nothing and can run on separate workers.
+//   * Cross-partition influence exists only where the topology routes a frame
+//     through the store-and-forward switch, which delays it by at least the
+//     lookahead L (the minimum cross-partition forward latency, computed from
+//     the topology by net::Network — never hard-coded). If the globally
+//     earliest pending event is at time M, no event executed in [M, M+L) can
+//     affect another partition before M+L, so the window [M, M+L) is safe to
+//     run concurrently. At the window barrier the driver drains the
+//     cross-partition mailboxes and opens the next window.
+//   * A cross-partition frame is posted as a time-stamped message into a
+//     per-(source, destination) mailbox — single writer (the source
+//     partition's worker), drained only at barriers — and never scheduled
+//     directly into a foreign heap. Mailbox sequence numbers are allocated
+//     deterministically per source, and deliveries are merged per destination
+//     in (time, source, seq) order, so the destination engine observes the
+//     same schedule no matter how the window's work was interleaved across
+//     threads.
+//
+// Determinism contract: results are a pure function of (topology, partition
+// count, seed). The thread count never affects results — threads only decide
+// how many windows run concurrently, and `threads == 1` executes the very
+// same windows inline in partition order. With partitions == 1 the driver
+// delegates to the single engine's run()/run_until() directly: the exact
+// single-threaded code path that produced the committed trace fixtures.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sweep {
+class PersistentPool;
+}  // namespace sweep
+
+namespace sim {
+
+class PartitionedSimulator {
+ public:
+  struct Config {
+    /// Logical processes; 1 (the default) is the plain single-engine path.
+    unsigned partitions = 1;
+    /// Worker team size for window execution, capped at `partitions`;
+    /// 1 runs every window inline on the caller in partition order.
+    unsigned threads = 1;
+    /// Root seed. Engine 0 is seeded with it exactly (a 1-partition run is
+    /// bit-identical to a bare Simulator); engines p > 0 get seeds derived
+    /// deterministically from (seed, p).
+    std::uint64_t seed = 42;
+  };
+
+  PartitionedSimulator() : PartitionedSimulator(Config{}) {}
+  explicit PartitionedSimulator(const Config& config);
+  ~PartitionedSimulator();
+
+  PartitionedSimulator(const PartitionedSimulator&) = delete;
+  PartitionedSimulator& operator=(const PartitionedSimulator&) = delete;
+
+  [[nodiscard]] unsigned partitions() const noexcept {
+    return static_cast<unsigned>(engines_.size());
+  }
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// The engine of partition `p`. engine(0) is "the" simulator of a
+  /// single-partition run.
+  [[nodiscard]] Simulator& engine(unsigned p) {
+    require(p < engines_.size(), "PartitionedSimulator::engine: bad partition");
+    return *engines_[p];
+  }
+  [[nodiscard]] const Simulator& engine(unsigned p) const {
+    require(p < engines_.size(), "PartitionedSimulator::engine: bad partition");
+    return *engines_[p];
+  }
+
+  /// The conservative lookahead L (minimum cross-partition latency), set by
+  /// the topology layer. Running with partitions > 1 requires L > 0.
+  void set_lookahead(Time lookahead);
+  [[nodiscard]] Time lookahead() const noexcept { return lookahead_; }
+
+  /// Deliver `fn` to partition `to` at absolute time `t`. Same-partition
+  /// posts schedule directly (one fresh sequence number, like at()); cross-
+  /// partition posts go through the (from, to) mailbox and are merged into
+  /// the destination heap at the next window barrier. During a window a
+  /// cross-partition post must land at or beyond the window bound — that is
+  /// the conservative-safety invariant, and it is checked.
+  void post(unsigned from, unsigned to, Time t, EventFn fn);
+
+  /// Run until every engine's queue drains. Returns events executed.
+  std::size_t run();
+
+  /// Run all events with timestamp <= t, then advance every engine's clock
+  /// to t (single-engine run_until semantics, per partition).
+  void run_until(Time t);
+
+  /// Lookahead windows executed so far (0 with partitions == 1).
+  [[nodiscard]] std::uint64_t windows() const noexcept { return windows_; }
+
+  /// Cross-partition messages posted so far (sum over mailboxes).
+  [[nodiscard]] std::uint64_t cross_posts() const noexcept;
+
+  /// Events executed across all engines since construction.
+  [[nodiscard]] std::uint64_t events_executed() const noexcept;
+
+ private:
+  struct Msg {
+    Time t;
+    std::uint64_t seq;  // per-mailbox, deterministic in source execution order
+    unsigned from;
+    EventFn fn;
+  };
+  struct Mailbox {
+    std::vector<Msg> msgs;        // single writer: partition `from`'s worker
+    std::uint64_t next_seq = 0;   // survives drains: seq is monotone per edge
+  };
+
+  /// Drain every mailbox into its destination engine, merged per destination
+  /// by (t, from, seq). Caller must hold the window barrier (no worker runs).
+  void deliver_mailboxes();
+  /// Earliest pending timestamp across engines, or Simulator::kNever.
+  [[nodiscard]] Time next_event_time() const noexcept;
+  /// One window: run_before(bound) on every engine, inline or on the pool.
+  std::size_t run_window(Time bound);
+
+  const unsigned threads_;
+  Time lookahead_ = 0;
+  Time window_bound_ = 0;  // exclusive bound of the window in flight, else 0
+  std::vector<std::unique_ptr<Simulator>> engines_;
+  std::vector<Mailbox> mailboxes_;  // indexed from * partitions + to
+  std::vector<Msg> merge_scratch_;
+  std::vector<std::size_t> window_counts_;  // per-partition, reused
+  std::unique_ptr<sweep::PersistentPool> pool_;
+  std::uint64_t windows_ = 0;
+};
+
+}  // namespace sim

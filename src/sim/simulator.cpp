@@ -111,6 +111,13 @@ void Simulator::remove_heap_entry(std::size_t pos) {
   sift_down(meta_[last.idx].heap_pos);
 }
 
+EventHandle Simulator::schedule_fn(Time t, EventFn&& fn) {
+  require(static_cast<bool>(fn), "Simulator::schedule_fn: empty callable");
+  const std::uint32_t idx = alloc_slot();
+  fn_slot(idx) = std::move(fn);  // relocates the (possibly boxed) callable
+  return commit(t < now_ ? now_ : t, idx);
+}
+
 bool Simulator::step() {
   if (heap_.empty()) return false;
   const HeapEntry top = heap_[0];
@@ -154,6 +161,15 @@ std::size_t Simulator::run(std::size_t max_events) {
 void Simulator::run_until(Time t) {
   while (!heap_.empty() && heap_[0].t <= t) step();
   now_ = std::max(now_, t);
+}
+
+std::size_t Simulator::run_before(Time t) {
+  std::size_t n = 0;
+  while (!heap_.empty() && heap_[0].t < t) {
+    step();
+    ++n;
+  }
+  return n;
 }
 
 void Simulator::run_for(Time delay) { run_until(now_ + std::max<Time>(delay, 0)); }

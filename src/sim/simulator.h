@@ -36,6 +36,7 @@
 // in tests/trace/fixtures/engine_traces.txt byte for byte.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <limits>
@@ -275,6 +276,13 @@ class Simulator {
     return commit(t, idx);
   }
 
+  /// Schedule an already-type-erased callable at absolute time `t` (clamped
+  /// to `now()` if in the past). Identical ordering semantics to at(): one
+  /// fresh sequence number per call. This is the cross-partition delivery
+  /// path of the parallel driver (sim/partition.h), where the closure was
+  /// type-erased on another partition's engine before crossing the boundary.
+  EventHandle schedule_fn(Time t, EventFn&& fn);
+
   /// Execute the next event. Returns false if the queue is empty.
   bool step();
 
@@ -285,12 +293,33 @@ class Simulator {
   /// Run all events with timestamp <= t, then advance `now()` to t.
   void run_until(Time t);
 
+  /// Run all events with timestamp strictly below `t`, leaving `now()` at the
+  /// last executed event — it never advances to `t` itself. This is one
+  /// conservative lookahead window of the parallel driver: the bound is
+  /// exclusive so an event at exactly the horizon waits for the barrier's
+  /// cross-partition deliveries, and `now()` is left untouched so a
+  /// partitioned run finishes with the same clock a plain run() would.
+  /// Returns the number of events executed.
+  std::size_t run_before(Time t);
+
+  /// Advance `now()` to `t` if `t` is ahead; runs nothing. Closes a
+  /// partitioned run_until() horizon with single-engine run_until semantics.
+  void advance_to(Time t) noexcept { now_ = std::max(now_, t); }
+
   /// Run all events within the next `delay` of simulated time.
   void run_for(Time delay);
 
   /// Number of pending events. Cancelled events leave the queue eagerly, so
   /// they are never counted.
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+
+  /// Timestamp of the earliest pending event, or kNever when the queue is
+  /// empty. The partitioned driver's window placement reads this to pick the
+  /// global minimum across engines.
+  static constexpr Time kNever = std::numeric_limits<Time>::max();
+  [[nodiscard]] Time next_event_time() const noexcept {
+    return heap_.empty() ? kNever : heap_[0].t;
+  }
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }

@@ -1,0 +1,142 @@
+#include "sweep/persistent_pool.h"
+
+#include <utility>
+
+namespace sweep {
+
+PersistentPool::PersistentPool(unsigned threads)
+    : threads_(threads == 0 ? 1 : threads), queues_(threads_) {
+  workers_.reserve(threads_ - 1);
+  for (unsigned w = 1; w < threads_; ++w) {
+    workers_.emplace_back([this, w] { worker_loop(w); });
+  }
+}
+
+PersistentPool::~PersistentPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void PersistentPool::submit(std::size_t n, std::function<void(std::size_t)> body) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (open_) std::terminate();  // rounds are sequential: barrier() first
+  body_ = std::move(body);
+  for (std::size_t i = 0; i < n; ++i) queues_[i % threads_].push_back(i);
+  outstanding_ = n;
+  open_ = true;
+  first_error_ = nullptr;
+  if (threads_ > 1) work_cv_.notify_all();
+}
+
+bool PersistentPool::has_queued() const {
+  for (const std::deque<std::size_t>& q : queues_) {
+    if (!q.empty()) return true;
+  }
+  return false;
+}
+
+bool PersistentPool::take(unsigned self, std::size_t& out) {
+  std::deque<std::size_t>& mine = queues_[self];
+  if (!mine.empty()) {
+    out = mine.back();
+    mine.pop_back();
+    return true;
+  }
+  for (unsigned i = 1; i < threads_; ++i) {
+    std::deque<std::size_t>& victim = queues_[(self + i) % threads_];
+    if (!victim.empty()) {
+      out = victim.front();
+      victim.pop_front();
+      return true;
+    }
+  }
+  return false;
+}
+
+void PersistentPool::record_error_and_cancel() {
+  if (!first_error_) first_error_ = std::current_exception();
+  // Cancel the round's unstarted tasks; running ones finish and count down.
+  for (std::deque<std::size_t>& q : queues_) {
+    outstanding_ -= q.size();
+    q.clear();
+  }
+}
+
+void PersistentPool::worker_loop(unsigned self) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    std::size_t index = 0;
+    if (take(self, index)) {
+      lock.unlock();
+      try {
+        body_(index);
+        lock.lock();
+      } catch (...) {
+        lock.lock();
+        record_error_and_cancel();
+      }
+      if (--outstanding_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock, [this] { return stop_ || has_queued(); });
+  }
+}
+
+void PersistentPool::barrier() {
+  if (threads_ == 1) {
+    // Inline reference path: index order, exceptions propagate directly
+    // (remaining tasks of the round are dropped, matching the cancellation
+    // semantics of the threaded path).
+    if (!open_) return;
+    std::deque<std::size_t>& q = queues_[0];
+    open_ = false;
+    try {
+      while (!q.empty()) {
+        const std::size_t index = q.front();
+        q.pop_front();
+        --outstanding_;
+        body_(index);
+      }
+    } catch (...) {
+      outstanding_ -= q.size();
+      q.clear();
+      body_ = nullptr;
+      throw;
+    }
+    body_ = nullptr;
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!open_ && outstanding_ == 0) return;
+  // The caller is member 0: work the round down alongside the team.
+  for (;;) {
+    std::size_t index = 0;
+    if (!take(0, index)) break;
+    lock.unlock();
+    try {
+      body_(index);
+      lock.lock();
+    } catch (...) {
+      lock.lock();
+      record_error_and_cancel();
+    }
+    if (--outstanding_ == 0) done_cv_.notify_all();
+  }
+  done_cv_.wait(lock, [this] { return outstanding_ == 0; });
+  open_ = false;
+  body_ = nullptr;
+  if (first_error_) {
+    std::exception_ptr e = std::move(first_error_);
+    first_error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
+}
+
+}  // namespace sweep

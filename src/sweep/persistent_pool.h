@@ -1,0 +1,85 @@
+// A persistent team of worker threads with a barrier primitive.
+//
+// run_tasks() (pool.h) parallelises one fan-out and tears its threads down;
+// the conservative parallel event core (sim/partition.h) needs the opposite
+// shape: thousands of short synchronized rounds — one per lookahead window —
+// where spawning threads per round would dominate the work. PersistentPool
+// keeps the workers alive across rounds:
+//
+//   * Construction spawns `threads - 1` workers; the caller is the team's
+//     member 0 and participates in every round. threads == 1 spawns nothing,
+//     and barrier() then executes the queued tasks inline on the caller in
+//     index order — the deterministic single-threaded reference path.
+//   * submit(n, body) opens a round of index-tasks 0..n-1, dealt round-robin
+//     into per-member deques; members pop their own back and steal from a
+//     victim's front (the same balancing idiom as run_tasks).
+//   * barrier() blocks until every task of the round has finished, with the
+//     caller working alongside the team, then rethrows the round's first
+//     exception (wall-clock order; the remaining unstarted tasks of the
+//     round are cancelled). Completing barrier() gives the caller a
+//     happens-before edge on everything the workers wrote during the round,
+//     which is what makes partition-exclusive simulation state safe to hand
+//     between workers across windows.
+//
+// Rounds are strictly sequential: submit() requires the previous round to
+// have been closed by barrier().
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include <condition_variable>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sweep {
+
+class PersistentPool {
+ public:
+  /// Total team size, caller included; spawns `threads - 1` workers.
+  explicit PersistentPool(unsigned threads);
+  ~PersistentPool();
+
+  PersistentPool(const PersistentPool&) = delete;
+  PersistentPool& operator=(const PersistentPool&) = delete;
+
+  [[nodiscard]] unsigned threads() const noexcept { return threads_; }
+
+  /// Open a round: tasks 0..n-1, each `body(i)`. Does not wait.
+  void submit(std::size_t n, std::function<void(std::size_t)> body);
+
+  /// Work on and wait out the current round; rethrows its first exception
+  /// once the round has fully drained. No-op if no round is open.
+  void barrier();
+
+  /// submit + barrier.
+  void run(std::size_t n, std::function<void(std::size_t)> body) {
+    submit(n, std::move(body));
+    barrier();
+  }
+
+ private:
+  /// Pop from member `self`'s back, else steal from the front of the next
+  /// non-empty victim. Caller holds mu_.
+  bool take(unsigned self, std::size_t& out);
+  [[nodiscard]] bool has_queued() const;  // caller holds mu_
+  void record_error_and_cancel();  // caller holds mu_
+  void worker_loop(unsigned self);
+
+  const unsigned threads_;
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: new round or shutdown
+  std::condition_variable done_cv_;  // barrier(): round drained
+  std::vector<std::deque<std::size_t>> queues_;  // per member, [0] = caller
+  std::function<void(std::size_t)> body_;
+  std::size_t outstanding_ = 0;  // round tasks not yet finished
+  bool open_ = false;            // a round has been submitted, not yet joined
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace sweep

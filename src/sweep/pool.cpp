@@ -1,94 +1,12 @@
 #include "sweep/pool.h"
 
-#include <atomic>
-#include <deque>
-#include <exception>
 #include <mutex>
 #include <thread>
 #include <utility>
 
+#include "sweep/persistent_pool.h"
+
 namespace sweep {
-namespace {
-
-/// Shared state of one run_tasks() invocation.
-struct PoolRun {
-  explicit PoolRun(std::vector<std::function<void()>> t, unsigned workers)
-      : tasks(std::move(t)), queues(workers) {}
-
-  std::vector<std::function<void()>> tasks;
-
-  struct Queue {
-    std::mutex mu;
-    std::deque<std::size_t> indices;
-  };
-  std::vector<Queue> queues;
-
-  std::atomic<bool> cancelled{false};
-  std::atomic<std::size_t> done{0};
-
-  std::mutex error_mu;
-  std::exception_ptr first_error;
-
-  std::mutex progress_mu;
-
-  void fail(std::exception_ptr e) {
-    {
-      const std::lock_guard<std::mutex> lock(error_mu);
-      if (!first_error) first_error = std::move(e);
-    }
-    cancelled.store(true, std::memory_order_release);
-  }
-
-  /// Pop from our own back, else steal from the front of the next non-empty
-  /// victim (scanning forward from our id keeps contention spread out).
-  bool next(unsigned self, std::size_t& out) {
-    {
-      Queue& mine = queues[self];
-      const std::lock_guard<std::mutex> lock(mine.mu);
-      if (!mine.indices.empty()) {
-        out = mine.indices.back();
-        mine.indices.pop_back();
-        return true;
-      }
-    }
-    for (std::size_t i = 1; i < queues.size(); ++i) {
-      Queue& victim = queues[(self + i) % queues.size()];
-      const std::lock_guard<std::mutex> lock(victim.mu);
-      if (!victim.indices.empty()) {
-        out = victim.indices.front();
-        victim.indices.pop_front();
-        return true;
-      }
-    }
-    return false;
-  }
-};
-
-void worker_loop(PoolRun& run, unsigned self,
-                 const PoolOptions& options) {
-  std::size_t index = 0;
-  while (!run.cancelled.load(std::memory_order_acquire) &&
-         run.next(self, index)) {
-    try {
-      run.tasks[index]();
-    } catch (...) {
-      run.fail(std::current_exception());
-      return;
-    }
-    if (options.progress) {
-      // Increment and callback under one lock so `done` is strictly
-      // monotone across workers as the callback observes it.
-      const std::lock_guard<std::mutex> lock(run.progress_mu);
-      const std::size_t done =
-          run.done.fetch_add(1, std::memory_order_acq_rel) + 1;
-      options.progress(done, run.tasks.size());
-    } else {
-      run.done.fetch_add(1, std::memory_order_acq_rel);
-    }
-  }
-}
-
-}  // namespace
 
 unsigned resolve_threads(unsigned requested) noexcept {
   if (requested != 0) return requested;
@@ -112,21 +30,22 @@ void run_tasks(std::vector<std::function<void()>> tasks,
     return;
   }
 
-  PoolRun run(std::move(tasks), workers);
-  // Round-robin initial distribution; stealing rebalances uneven trials.
-  for (std::size_t i = 0; i < total; ++i) {
-    run.queues[i % workers].indices.push_back(i);
-  }
-
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    threads.emplace_back(
-        [&run, w, &options] { worker_loop(run, w, options); });
-  }
-  for (std::thread& t : threads) t.join();
-
-  if (run.first_error) std::rethrow_exception(run.first_error);
+  // One round on a persistent team: the caller works as member 0, the
+  // barrier inside run() joins the round and rethrows the first failure
+  // (remaining tasks cancelled) — the same contract the bespoke per-run
+  // spawn used to implement.
+  PersistentPool pool(workers);
+  std::mutex progress_mu;
+  std::size_t done = 0;
+  pool.run(total, [&](std::size_t index) {
+    tasks[index]();
+    if (options.progress) {
+      // Increment and callback under one lock so `done` is strictly
+      // monotone across workers as the callback observes it.
+      const std::lock_guard<std::mutex> lock(progress_mu);
+      options.progress(++done, total);
+    }
+  });
 }
 
 }  // namespace sweep

@@ -1,0 +1,108 @@
+// Partitioned topology construction: round-robin segment-to-engine mapping,
+// topology-derived lookahead, and cross-partition frame delivery through the
+// switch's mailbox path.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/frame.h"
+#include "net/network.h"
+#include "net/nic.h"
+#include "sim/partition.h"
+#include "sim/simulator.h"
+
+namespace net {
+namespace {
+
+Frame make_frame(MacAddr dst, std::size_t bytes, std::uint64_t id = 0) {
+  Frame f;
+  f.dst = dst;
+  f.payload = Payload::zeros(bytes);
+  f.id = id;
+  return f;
+}
+
+TEST(PartitionNet, SegmentsMapRoundRobinOntoEngines) {
+  sim::PartitionedSimulator ps(
+      sim::PartitionedSimulator::Config{/*partitions=*/2, /*threads=*/1, 42});
+  NetworkConfig cfg;
+  cfg.nodes_per_segment = 2;
+  Network n(ps, cfg);
+  for (int i = 0; i < 8; ++i) n.add_node();  // 4 segments of 2
+  ASSERT_EQ(n.segment_count(), 4u);
+  for (std::size_t s = 0; s < 4; ++s) {
+    EXPECT_EQ(n.segment(s).partition(), s % 2) << "segment " << s;
+    EXPECT_EQ(&n.segment(s).simulator(), &ps.engine(s % 2)) << "segment " << s;
+  }
+  // Nodes inherit their home segment's partition and engine.
+  for (NodeId id = 0; id < 8; ++id) {
+    const unsigned p = (id / 2) % 2;
+    EXPECT_EQ(n.partition_of(id), p) << "node " << id;
+    EXPECT_EQ(n.nic(id).partition(), p) << "node " << id;
+    EXPECT_EQ(&n.node_simulator(id), &ps.engine(p)) << "node " << id;
+  }
+}
+
+TEST(PartitionNet, LookaheadIsMinCrossPartitionLatencyFromTheTopology) {
+  sim::PartitionedSimulator ps(
+      sim::PartitionedSimulator::Config{/*partitions=*/2, /*threads=*/1, 42});
+  NetworkConfig cfg;
+  cfg.nodes_per_segment = 2;
+  cfg.switch_forward_latency = sim::usec(25);
+  Network n(ps, cfg);
+  // One segment: nothing crosses a partition boundary yet.
+  n.add_node();
+  n.add_node();
+  EXPECT_EQ(n.cross_partition_lookahead(), sim::Simulator::kNever);
+  // A second segment lands on partition 1: the minimum cross-partition path
+  // is one hop through the store-and-forward switch.
+  n.add_node();
+  EXPECT_EQ(n.cross_partition_lookahead(), sim::usec(25));
+  EXPECT_EQ(ps.lookahead(), sim::usec(25));
+}
+
+TEST(PartitionNet, SinglePartitionTopologyNeverCrosses) {
+  sim::PartitionedSimulator ps(
+      sim::PartitionedSimulator::Config{/*partitions=*/1, /*threads=*/1, 42});
+  NetworkConfig cfg;
+  cfg.nodes_per_segment = 2;
+  Network n(ps, cfg);
+  for (int i = 0; i < 6; ++i) n.add_node();
+  EXPECT_EQ(n.cross_partition_lookahead(), sim::Simulator::kNever);
+}
+
+TEST(PartitionNet, CrossPartitionFrameArrivesThroughTheMailbox) {
+  sim::PartitionedSimulator ps(
+      sim::PartitionedSimulator::Config{/*partitions=*/2, /*threads=*/1, 42});
+  NetworkConfig cfg;
+  cfg.nodes_per_segment = 2;
+  Network n(ps, cfg);
+  for (int i = 0; i < 4; ++i) n.add_node();  // seg0 (p0): 0,1; seg1 (p1): 2,3
+  std::vector<std::uint64_t> got;
+  n.nic(2).set_rx_handler([&](const Frame& f) { got.push_back(f.id); });
+  n.nic(0).send(make_frame(Network::mac_of(2), 300, /*id=*/9));
+  ps.run();
+  EXPECT_EQ(got, (std::vector<std::uint64_t>{9}));
+  EXPECT_EQ(ps.cross_posts(), 1u);  // the forwarded copy crossed partitions
+  EXPECT_GT(ps.windows(), 0u);
+}
+
+TEST(PartitionNet, SamePartitionForwardingSkipsTheMailbox) {
+  // With 3 segments on 2 partitions, segments 0 and 2 share partition 0:
+  // traffic between them is switch-forwarded but stays on one engine.
+  sim::PartitionedSimulator ps(
+      sim::PartitionedSimulator::Config{/*partitions=*/2, /*threads=*/1, 42});
+  NetworkConfig cfg;
+  cfg.nodes_per_segment = 2;
+  Network n(ps, cfg);
+  for (int i = 0; i < 6; ++i) n.add_node();
+  int got = 0;
+  n.nic(4).set_rx_handler([&](const Frame&) { ++got; });  // seg2, partition 0
+  n.nic(0).send(make_frame(Network::mac_of(4), 100));     // seg0, partition 0
+  ps.run();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(ps.cross_posts(), 0u);
+}
+
+}  // namespace
+}  // namespace net

@@ -121,6 +121,61 @@ TEST(Switch, ShorterFrameWinsTheEgressRace) {
   EXPECT_EQ(order, (std::vector<std::uint64_t>{1, 2}));
 }
 
+/// Records every delivery the switch routes through the seam, then performs
+/// the default direct scheduling so the frame still flows.
+struct RecordingPort final : DeliveryPort {
+  struct Call {
+    Segment* from;
+    Segment* to;
+    sim::Time t;
+    sim::Time now;  // ingress-side clock at the moment of forwarding
+    std::uint64_t id;
+  };
+  std::vector<Call> calls;
+  DirectDeliveryPort direct;
+  void deliver(Segment& from, Segment& to, sim::Time t, Frame frame,
+               const Attachment* originator) override {
+    calls.push_back({&from, &to, t, from.simulator().now(), frame.id});
+    direct.deliver(from, to, t, std::move(frame), originator);
+  }
+};
+
+TEST(Switch, UnicastForwardingGoesThroughTheDeliveryPort) {
+  Pool p;
+  RecordingPort port;
+  p.n.backbone().set_delivery_port(port);
+  int got = 0;
+  p.n.nic(9).set_rx_handler([&](const Frame&) { ++got; });
+  p.n.nic(0).send(make_frame(Network::mac_of(9), 200, /*id=*/5));
+  p.s.run();
+  ASSERT_EQ(port.calls.size(), 1u);
+  EXPECT_EQ(port.calls[0].from, &p.n.segment(0));
+  EXPECT_EQ(port.calls[0].to, &p.n.segment(1));
+  EXPECT_EQ(port.calls[0].id, 5u);
+  // The seam sees the arrival stamped exactly one store-and-forward latency
+  // after the ingress-side forwarding instant — the timestamp the partitioned
+  // port relies on for its conservative-safety proof.
+  EXPECT_EQ(port.calls[0].t,
+            port.calls[0].now + p.n.config().switch_forward_latency);
+  EXPECT_GE(port.calls[0].now, wire_time(p.n.config().wire, 200));
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(p.n.backbone().frames_forwarded(), port.calls.size());
+}
+
+TEST(Switch, FloodingRoutesEveryCopyThroughTheDeliveryPort) {
+  Pool p;
+  RecordingPort port;
+  p.n.backbone().set_delivery_port(port);
+  p.n.nic(0).send(make_frame(kBroadcast, 64));
+  p.s.run();
+  // One seam call per non-ingress segment, in port order.
+  ASSERT_EQ(port.calls.size(), 2u);
+  EXPECT_EQ(port.calls[0].to, &p.n.segment(1));
+  EXPECT_EQ(port.calls[1].to, &p.n.segment(2));
+  EXPECT_EQ(port.calls[0].from, &p.n.segment(0));
+  EXPECT_EQ(port.calls[1].from, &p.n.segment(0));
+}
+
 TEST(Switch, ForwardedFrameTracesWireTxOnBothSegments) {
   Pool p;
   trace::Tracer tr(p.s);

@@ -1,0 +1,163 @@
+#include "sim/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "sim/require.h"
+#include "sim/simulator.h"
+#include "sim/time.h"
+
+namespace sim {
+namespace {
+
+TEST(Partition, SinglePartitionDelegatesToThePlainEngine) {
+  // partitions == 1 must be the exact single-threaded code path: identical
+  // event order, clock, and Rng stream as a bare Simulator with the seed.
+  Simulator plain(1234);
+  PartitionedSimulator part(
+      PartitionedSimulator::Config{/*partitions=*/1, /*threads=*/4, 1234});
+
+  std::vector<std::pair<Time, int>> plain_log;
+  std::vector<std::pair<Time, int>> part_log;
+  const auto load = [](Simulator& s, std::vector<std::pair<Time, int>>& log) {
+    for (int i = 0; i < 5; ++i) {
+      s.after(usec(10 * (5 - i)), [&s, &log, i] {
+        log.emplace_back(s.now(), i);
+        if (i == 0) {
+          s.after(usec(7), [&s, &log] { log.emplace_back(s.now(), 99); });
+        }
+      });
+    }
+  };
+  load(plain, plain_log);
+  load(part.engine(0), part_log);
+  plain.run();
+  EXPECT_EQ(part.run(), plain_log.size());
+  EXPECT_EQ(part_log, plain_log);
+  EXPECT_EQ(part.engine(0).now(), plain.now());
+  EXPECT_EQ(part.windows(), 0u);  // no windowed machinery on this path
+  EXPECT_EQ(part.engine(0).rng().next_u64(), plain.rng().next_u64());
+}
+
+TEST(Partition, SeedDerivationIsPerPartitionAndKeepsEngineZeroExact) {
+  PartitionedSimulator part(
+      PartitionedSimulator::Config{/*partitions=*/3, /*threads=*/1, 77});
+  Simulator reference(77);
+  EXPECT_EQ(part.engine(0).rng().next_u64(), reference.rng().next_u64());
+  const std::uint64_t a = part.engine(1).rng().next_u64();
+  const std::uint64_t b = part.engine(2).rng().next_u64();
+  EXPECT_NE(a, b);  // independent streams
+}
+
+TEST(Partition, CrossPartitionMessagesMergeByTimeSourceSeq) {
+  PartitionedSimulator part(
+      PartitionedSimulator::Config{/*partitions=*/3, /*threads=*/1, 42});
+  part.set_lookahead(usec(10));
+  // Posts arrive out of order from two sources; the destination must execute
+  // them sorted by (time, source partition, per-source post order).
+  std::vector<int> order;
+  part.post(2, 0, usec(5), EventFn([&order] { order.push_back(1); }));  // t=5 src=2
+  part.post(1, 0, usec(5), EventFn([&order] { order.push_back(2); }));  // t=5 src=1
+  part.post(1, 0, usec(3), EventFn([&order] { order.push_back(3); }));  // t=3 src=1
+  part.post(2, 0, usec(5), EventFn([&order] { order.push_back(4); }));  // t=5 src=2 seq+1
+  part.post(1, 0, usec(5), EventFn([&order] { order.push_back(5); }));  // t=5 src=1 seq+1
+  EXPECT_EQ(part.cross_posts(), 5u);
+  part.run();
+  // t=3 first; then the t=5 group: src 1 (post order 2, 5), then src 2
+  // (post order 1, 4).
+  EXPECT_EQ(order, (std::vector<int>{3, 2, 5, 1, 4}));
+}
+
+TEST(Partition, SamePartitionPostSchedulesDirectly) {
+  PartitionedSimulator part(
+      PartitionedSimulator::Config{/*partitions=*/2, /*threads=*/1, 42});
+  part.set_lookahead(usec(10));
+  bool ran = false;
+  part.post(1, 1, usec(4), EventFn([&ran] { ran = true; }));
+  EXPECT_EQ(part.cross_posts(), 0u);  // no mailbox involved
+  EXPECT_EQ(part.engine(1).pending(), 1u);
+  part.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Partition, ThreadCountNeverChangesResults) {
+  // A deterministic cross-partition ping-pong: each hop re-posts to the
+  // other partition at now + lookahead. Per-partition logs (no shared
+  // state) must be identical for any worker-team size.
+  const auto run_once = [](unsigned threads) {
+    PartitionedSimulator part(
+        PartitionedSimulator::Config{/*partitions=*/2, threads, 7});
+    part.set_lookahead(usec(10));
+    auto log = std::make_unique<std::vector<std::pair<Time, unsigned>>[]>(2);
+    struct Hop {
+      PartitionedSimulator* ps;
+      std::vector<std::pair<Time, unsigned>>* log;
+      int left;
+      void operator()(unsigned here) const {
+        Simulator& eng = ps->engine(here);
+        log[here].emplace_back(eng.now(), here);
+        if (left == 0) return;
+        const unsigned next = 1 - here;
+        ps->post(here, next, eng.now() + usec(10),
+                 EventFn([h = Hop{ps, log, left - 1}, next] { h(next); }));
+      }
+    };
+    part.engine(0).at(usec(1), [h = Hop{&part, log.get(), 20}] { h(0); });
+    part.run();
+    std::vector<std::pair<Time, unsigned>> flat;
+    for (int p = 0; p < 2; ++p) {
+      flat.insert(flat.end(), log[p].begin(), log[p].end());
+    }
+    return std::make_pair(flat, part.windows());
+  };
+  const auto [log1, windows1] = run_once(1);
+  const auto [log2, windows2] = run_once(2);
+  const auto [log4, windows4] = run_once(4);
+  EXPECT_EQ(log1.size(), 21u);
+  EXPECT_EQ(log1, log2);
+  EXPECT_EQ(log1, log4);
+  EXPECT_EQ(windows1, windows2);
+  EXPECT_EQ(windows1, windows4);
+  EXPECT_GT(windows1, 0u);
+}
+
+TEST(Partition, RunUntilAdvancesEveryEngineClock) {
+  PartitionedSimulator part(
+      PartitionedSimulator::Config{/*partitions=*/2, /*threads=*/1, 42});
+  part.set_lookahead(usec(10));
+  int ran = 0;
+  part.engine(0).at(usec(50), [&ran] { ++ran; });
+  part.engine(1).at(usec(300), [&ran] { ++ran; });  // beyond the horizon
+  part.run_until(usec(200));
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(part.engine(0).now(), usec(200));
+  EXPECT_EQ(part.engine(1).now(), usec(200));
+  EXPECT_EQ(part.engine(1).pending(), 1u);  // still queued past the horizon
+}
+
+TEST(Partition, MultiPartitionRunRequiresLookahead) {
+  PartitionedSimulator part(
+      PartitionedSimulator::Config{/*partitions=*/2, /*threads=*/1, 42});
+  part.engine(0).at(usec(1), [] {});
+  EXPECT_THROW(part.run(), SimError);
+}
+
+TEST(Partition, CrossPostInsideTheWindowViolatesConservativeSafety) {
+  // An event that claims influence on another partition sooner than the
+  // lookahead means the topology lied about its minimum latency; the driver
+  // must refuse rather than silently produce a schedule-dependent result.
+  PartitionedSimulator part(
+      PartitionedSimulator::Config{/*partitions=*/2, /*threads=*/1, 42});
+  part.set_lookahead(usec(10));
+  part.engine(0).at(usec(1), [&part] {
+    part.post(0, 1, part.engine(0).now(), EventFn([] {}));  // zero latency!
+  });
+  EXPECT_THROW(part.run(), SimError);
+}
+
+}  // namespace
+}  // namespace sim

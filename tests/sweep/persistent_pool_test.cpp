@@ -1,0 +1,106 @@
+#include "sweep/persistent_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace sweep {
+namespace {
+
+TEST(PersistentPool, RunExecutesEveryTaskExactlyOnce) {
+  for (const unsigned threads : {1u, 2u, 4u}) {
+    PersistentPool pool(threads);
+    std::vector<std::atomic<int>> hits(23);
+    pool.run(hits.size(), [&hits](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1) << threads << " threads";
+  }
+}
+
+TEST(PersistentPool, ZeroThreadsClampsToOne) {
+  PersistentPool pool(0);
+  EXPECT_EQ(pool.threads(), 1u);
+}
+
+TEST(PersistentPool, InlinePathRunsInIndexOrder) {
+  // threads == 1 is the deterministic reference path: tasks run on the
+  // caller in index order, exactly like a plain loop.
+  PersistentPool pool(1);
+  std::vector<std::size_t> order;
+  pool.run(8, [&order](std::size_t i) { order.push_back(i); });
+  std::vector<std::size_t> want(8);
+  std::iota(want.begin(), want.end(), 0u);
+  EXPECT_EQ(order, want);
+}
+
+TEST(PersistentPool, BarrierPublishesWorkerWrites) {
+  // Plain (non-atomic) per-slot writes, read by the caller after barrier():
+  // the round join is the happens-before edge the partitioned engine relies
+  // on when it hands partition state between workers across windows.
+  PersistentPool pool(4);
+  std::vector<std::size_t> slots(64, 0);
+  pool.submit(slots.size(), [&slots](std::size_t i) { slots[i] = i * i; });
+  pool.barrier();
+  for (std::size_t i = 0; i < slots.size(); ++i) EXPECT_EQ(slots[i], i * i);
+}
+
+TEST(PersistentPool, RoundsReuseTheSameWorkers) {
+  // Thousands of short rounds — the lookahead-window shape. Every round must
+  // see all its tasks complete before the next is submitted.
+  PersistentPool pool(3);
+  std::vector<int> counts(5, 0);
+  for (int round = 0; round < 2000; ++round) {
+    pool.run(counts.size(), [&counts](std::size_t i) { ++counts[i]; });
+  }
+  for (const int c : counts) EXPECT_EQ(c, 2000);
+}
+
+TEST(PersistentPool, BarrierIsANoOpWithoutARound) {
+  PersistentPool pool(2);
+  pool.barrier();  // nothing submitted: must not hang or throw
+  pool.run(3, [](std::size_t) {});
+  pool.barrier();  // round already joined by run()
+}
+
+TEST(PersistentPool, FirstExceptionPropagatesAndCancelsTheRest) {
+  for (const unsigned threads : {1u, 4u}) {
+    PersistentPool pool(threads);
+    std::atomic<int> executed{0};
+    EXPECT_THROW(
+        pool.run(100,
+                 [&executed](std::size_t i) {
+                   if (i == 3) throw std::runtime_error("boom");
+                   executed.fetch_add(1, std::memory_order_relaxed);
+                 }),
+        std::runtime_error);
+    // Unstarted tasks were cancelled: strictly fewer than the full round ran.
+    EXPECT_LT(executed.load(), 99);
+    // The pool survives a failed round and runs the next one normally.
+    std::atomic<int> after{0};
+    pool.run(10, [&after](std::size_t) {
+      after.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(after.load(), 10);
+  }
+}
+
+TEST(PersistentPool, InlineExceptionDropsTheRemainingTasksInOrder) {
+  PersistentPool pool(1);
+  std::vector<std::size_t> ran;
+  EXPECT_THROW(pool.run(6,
+                        [&ran](std::size_t i) {
+                          if (i == 2) throw std::runtime_error("boom");
+                          ran.push_back(i);
+                        }),
+               std::runtime_error);
+  // Index order up to the failure; everything after is cancelled.
+  EXPECT_EQ(ran, (std::vector<std::size_t>{0, 1}));
+}
+
+}  // namespace
+}  // namespace sweep

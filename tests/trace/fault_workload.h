@@ -58,7 +58,9 @@ inline WorkloadResult run_fault_workload(core::Binding binding,
                                          std::uint64_t seed, Fault fault,
                                          bool metrics = false,
                                          bool replicated = false,
-                                         sim::Time series_window = 0) {
+                                         sim::Time series_window = 0,
+                                         unsigned partitions = 1,
+                                         unsigned threads = 1) {
   constexpr std::size_t kNodes = 4;
   core::TestbedConfig cfg;
   cfg.binding = binding;
@@ -70,6 +72,8 @@ inline WorkloadResult run_fault_workload(core::Binding binding,
   cfg.trace = true;
   cfg.metrics = metrics;
   cfg.series_window = series_window;
+  cfg.partitions = partitions;
+  cfg.threads = threads;
   auto bed = std::make_unique<core::Testbed>(cfg);
   core::Testbed* bp = bed.get();
 
@@ -128,13 +132,15 @@ inline WorkloadResult run_fault_workload(core::Binding binding,
       }
     }(*bp, driver, n, r));
   }
+  // world().run()/run_until() route through the partitioned driver; with
+  // partitions == 1 they delegate to the exact single-engine path.
   if (replicated) {
     // The Paxos leader keeps renewing its lease, so the event queue never
     // drains; a fixed horizon (generous against the worst retry backoff)
     // replaces quiescence and keeps the trace a pure function of the seed.
-    bp->sim().run_until(sim::msec(1000));
+    bp->world().run_until(sim::msec(1000));
   } else {
-    bp->sim().run();
+    bp->world().run();
   }
   r.ledger = bp->world().aggregate_ledger();
   r.bed = std::move(bed);
@@ -144,9 +150,12 @@ inline WorkloadResult run_fault_workload(core::Binding binding,
 /// Variant-code front-end for the fixture matrix (see Variant above).
 inline WorkloadResult run_fault_workload(Variant variant, std::uint64_t seed,
                                          Fault fault, bool metrics = false,
-                                         sim::Time series_window = 0) {
+                                         sim::Time series_window = 0,
+                                         unsigned partitions = 1,
+                                         unsigned threads = 1) {
   return run_fault_workload(variant_binding(variant), seed, fault, metrics,
-                            variant_replicated(variant), series_window);
+                            variant_replicated(variant), series_window,
+                            partitions, threads);
 }
 
 }  // namespace trace_test

@@ -1,0 +1,204 @@
+// Parallel-core determinism: the partitioned engine is a drop-in for the
+// classic single-engine core. The committed engine-trace fixtures must replay
+// byte-identical at partitions ∈ {2, 4} (the 4-node pool maps onto partition
+// 0, so the windowed driver must preserve the exact (time, seq) order), and a
+// genuinely multi-partition topology must produce results that are a pure
+// function of (topology, partitions, seed) — never of the worker-team size.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "fault_workload.h"
+#include "trace/tracer.h"
+#include "trace_digest.h"
+
+namespace trace {
+namespace {
+
+using trace_test::Fault;
+using trace_test::WorkloadResult;
+using trace_test::run_fault_workload;
+
+[[nodiscard]] std::string digest_of(const std::vector<trace::Event>& events) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(
+                    trace_test::trace_digest(events)));
+  return buf;
+}
+
+TEST(PartitionDeterminism, FixturesReplayByteIdenticalAtAnyPartitionCount) {
+  // Same fixture file, same parse, same digests as
+  // Determinism.EngineRefactorFixtures — but every workload now runs through
+  // the partitioned driver with 2 and 4 engines and a matching worker team.
+  // (The sampler-equivalence test already proves series_window is
+  // observation-only, so comparing these sampler-less runs against the
+  // committed digests is exact.)
+  std::ifstream in(ENGINE_TRACE_FIXTURES);
+  ASSERT_TRUE(in.is_open()) << "missing " << ENGINE_TRACE_FIXTURES;
+  std::map<std::tuple<int, int, std::uint64_t>,
+           std::pair<std::size_t, std::string>>
+      want;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream fields(line);
+    int variant = 0;
+    int fault = 0;
+    std::uint64_t seed = 0;
+    std::size_t events = 0;
+    std::string digest;
+    fields >> variant >> fault >> seed >> events >> digest;
+    ASSERT_FALSE(fields.fail()) << "malformed fixture line: " << line;
+    want[{variant, fault, seed}] = {events, digest};
+  }
+  ASSERT_EQ(want.size(), 32u) << "expected 4 variants x 4 faults x 2 seeds";
+
+  for (const unsigned partitions : {2u, 4u}) {
+    for (const auto& [key, expected] : want) {
+      const auto [variant, fault, seed] = key;
+      WorkloadResult r = run_fault_workload(
+          static_cast<trace_test::Variant>(variant), seed,
+          static_cast<Fault>(fault), /*metrics=*/false,
+          /*series_window=*/0, partitions, /*threads=*/partitions);
+      const std::vector<trace::Event> events = r.bed->trace_events();
+      EXPECT_EQ(events.size(), expected.first)
+          << "partitions=" << partitions << " variant=" << variant
+          << " fault=" << fault << " seed=" << seed;
+      EXPECT_EQ(digest_of(events), expected.second)
+          << "partitions=" << partitions << " variant=" << variant
+          << " fault=" << fault << " seed=" << seed;
+    }
+  }
+}
+
+// --- Multi-segment workload: segments genuinely spread across engines -------
+
+/// Eight nodes, two per segment: four segments, so partitions ∈ {2, 4} place
+/// traffic on distinct engines and every RPC to the ring neighbour two hops
+/// away crosses a partition boundary. All result slots are per-node (written
+/// only from that node's engine), so the workload itself is race-free under
+/// any worker-team size.
+struct MultiSegResult {
+  std::unique_ptr<core::Testbed> bed;
+  std::array<int, 8> rpc_ok{};
+  std::array<int, 8> rpc_total{};
+  std::vector<std::vector<std::uint32_t>> orders;  // delivered seqnos per node
+};
+
+[[nodiscard]] MultiSegResult run_multi_segment(unsigned partitions,
+                                               unsigned threads,
+                                               std::uint64_t seed) {
+  constexpr std::size_t kNodes = 8;
+  core::TestbedConfig cfg;
+  cfg.binding = core::Binding::kUserSpace;
+  cfg.nodes = kNodes;
+  cfg.sequencer = 0;
+  cfg.seed = seed;
+  cfg.trace = true;
+  cfg.network.nodes_per_segment = 2;
+  cfg.partitions = partitions;
+  cfg.threads = threads;
+  auto bed = std::make_unique<core::Testbed>(cfg);
+  core::Testbed* bp = bed.get();
+
+  MultiSegResult r;
+  r.orders.resize(kNodes);
+  for (core::NodeId n = 0; n < kNodes; ++n) {
+    bp->panda(n).set_rpc_handler(
+        [bp, n](amoeba::Thread& upcall, panda::RpcTicket t,
+                net::Payload req) -> sim::Co<void> {
+          co_await bp->panda(n).rpc_reply(upcall, t, std::move(req));
+        });
+    bp->panda(n).set_group_handler(
+        [&r, n](amoeba::Thread&, core::NodeId, std::uint32_t seqno,
+                net::Payload) -> sim::Co<void> {
+          r.orders[n].push_back(seqno);
+          co_return;
+        });
+  }
+  bp->start();
+
+  for (core::NodeId n = 0; n < kNodes; ++n) {
+    amoeba::Thread& driver = bp->world().kernel(n).create_thread("driver");
+    sim::spawn([](core::Testbed& b, amoeba::Thread& self, core::NodeId src,
+                  MultiSegResult& out) -> sim::Co<void> {
+      const core::NodeId dst = (src + 1) % kNodes;
+      for (int i = 0; i < 4; ++i) {
+        ++out.rpc_total[src];
+        panda::RpcReply reply = co_await b.panda(src).rpc(
+            self, dst, net::Payload::zeros(96 * (i + 1)));
+        if (reply.status == panda::RpcStatus::kOk) ++out.rpc_ok[src];
+        if ((src == 0 || src == 4) && i < 3) {
+          co_await b.panda(src).group_send(self, net::Payload::zeros(200));
+        }
+      }
+    }(*bp, driver, n, r));
+  }
+  bp->world().run();
+  r.bed = std::move(bed);
+  return r;
+}
+
+void expect_protocol_outcomes(const MultiSegResult& r, const char* label) {
+  for (std::size_t n = 0; n < 8; ++n) {
+    EXPECT_EQ(r.rpc_total[n], 4) << label << " node " << n;
+    EXPECT_EQ(r.rpc_ok[n], 4) << label << " node " << n;
+    // Every member delivered all six group messages (three each from nodes
+    // 0 and 4) in one total order.
+    EXPECT_EQ(r.orders[n].size(), 6u) << label << " node " << n;
+    EXPECT_EQ(r.orders[n], r.orders[0]) << label << " node " << n;
+  }
+}
+
+TEST(PartitionDeterminism, MultiSegmentResultsAreThreadCountInvariant) {
+  // For a fixed partition count the merged trace digest — every event field,
+  // timestamps included — must not depend on how many workers execute the
+  // windows. threads == 1 is the inline reference schedule; 2 and 4 race the
+  // same windows across a real team.
+  for (const unsigned partitions : {2u, 4u}) {
+    std::string reference_digest;
+    std::size_t reference_events = 0;
+    for (const unsigned threads : {1u, 2u, 4u}) {
+      MultiSegResult r = run_multi_segment(partitions, threads, /*seed=*/11);
+      ASSERT_GT(r.bed->world().partitioned().windows(), 0u)
+          << partitions << "p/" << threads << "t";
+      ASSERT_GT(r.bed->world().partitioned().cross_posts(), 0u)
+          << partitions << "p/" << threads << "t";
+      expect_protocol_outcomes(r, "multi-segment");
+      const std::vector<trace::Event> events = r.bed->trace_events();
+      ASSERT_FALSE(events.empty());
+      if (threads == 1) {
+        reference_digest = digest_of(events);
+        reference_events = events.size();
+      } else {
+        EXPECT_EQ(events.size(), reference_events)
+            << partitions << "p/" << threads << "t";
+        EXPECT_EQ(digest_of(events), reference_digest)
+            << partitions << "p/" << threads << "t";
+      }
+    }
+  }
+}
+
+TEST(PartitionDeterminism, MultiSegmentSinglePartitionBaselineAgrees) {
+  // The same workload on the classic single-engine path reaches the same
+  // protocol outcomes — the parallel core changes the execution schedule,
+  // never what the protocols do.
+  MultiSegResult r = run_multi_segment(/*partitions=*/1, /*threads=*/1, 11);
+  EXPECT_EQ(r.bed->world().partitioned().windows(), 0u);
+  expect_protocol_outcomes(r, "baseline");
+}
+
+}  // namespace
+}  // namespace trace
