@@ -9,14 +9,14 @@
 //
 // usage: amoeba_sweep [--matrix=table3|table1|smoke|failover]
 //                     [--apps=tsp,asp,...]
-//                     [--bindings=user,kernel] [--nodes=1,8,16,32]
+//                     [--bindings=user,kernel,bypass] [--nodes=1,8,16,32]
 //                     [--sizes=0,1024,...] [--seeds=N] [--base-seed=S]
 //                     [--threads=N] [--json=FILE] [--quick] [--no-progress]
 //                     [--verify-pool]
 //
 //   --matrix=table3   six Orca apps × bindings × node counts (default)
 //   --matrix=table1   rpc/group latency × bindings × message sizes
-//   --matrix=smoke    tiny CI matrix (asp × bindings × {1,4} nodes)
+//   --matrix=smoke    tiny CI matrix (asp × all three bindings × {1,4} nodes)
 //   --matrix=failover sequencer-crash axis: group variant (classic single
 //                     sequencer vs the replicated Paxos sequencer on both
 //                     bindings) × crash point, TraceChecker-verified per
@@ -179,8 +179,9 @@ std::pair<double, apps::ClusterStats> run_app(const std::string& app,
 }
 
 Binding parse_binding(const std::string& b) {
-  sim::require(b == "user" || b == "kernel",
+  sim::require(b == "user" || b == "kernel" || b == "bypass",
                "amoeba_sweep: unknown binding '" + b + "'");
+  if (b == "bypass") return Binding::kBypass;
   return b == "kernel" ? Binding::kKernelSpace : Binding::kUserSpace;
 }
 
@@ -290,14 +291,18 @@ int main(int argc, char** argv) {
   const char* primary = "elapsed.sec";
   std::string default_apps = "tsp,asp,ab,rl,sor,leq";
   std::string default_nodes = args.quick ? "1,8" : "1,8,16,32";
+  std::string bindings_csv = args.bindings_csv;
   if (args.matrix == "smoke") {
     default_apps = "asp";
     default_nodes = "1,4";
+    // The smoke matrix is the tier-1 gate for every binding, so the
+    // kernel-bypass transport rides along unless --bindings overrides it.
+    if (bindings_csv == "user,kernel") bindings_csv = "user,kernel,bypass";
   }
   if (args.matrix == "table3" || args.matrix == "smoke") {
     matrix.axis("app", split_csv(args.apps_csv.empty() ? default_apps
                                                        : args.apps_csv));
-    matrix.axis("binding", split_csv(args.bindings_csv));
+    matrix.axis("binding", split_csv(bindings_csv));
     matrix.axis("nodes", split_csv(args.nodes_csv.empty() ? default_nodes
                                                           : args.nodes_csv));
   } else if (args.matrix == "table1") {

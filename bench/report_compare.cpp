@@ -16,6 +16,9 @@
 // compared as lower-is-better, but warn-only by default (pass
 // --gate-profiles to make profile regressions fail). Mixing schemas is an
 // error.
+// Metrics the baseline has never seen print as "new row (no baseline)" info
+// lines with their measured value and never fail the comparison; refresh the
+// baseline to start gating them.
 // Exit codes: 0 no regression, 1 regression found (0 with --warn-only, and
 // for profiles without --gate-profiles), 2 usage or parse error.
 #include <cstdio>
@@ -120,11 +123,15 @@ int main(int argc, char** argv) {
     ++shown;
   }
   if (shown == 0) std::printf("(no comparable tracked metrics)\n");
+  // Rows the baseline predates render with their measured value: a metric
+  // with no baseline has no direction to regress in, so "new row" is
+  // informational, never a failure. Refreshing the baseline promotes it.
+  for (const auto& d : result.added) {
+    std::printf("%-44s | %12s | %12.4g | %8s | new row (no baseline)\n",
+                d.name.c_str(), "-", d.new_value, "-");
+  }
   for (const auto& name : result.only_old) {
     std::printf("only in old: %s\n", name.c_str());
-  }
-  for (const auto& name : result.only_new) {
-    std::printf("only in new: %s\n", name.c_str());
   }
 
   if (result.regressed) {

@@ -1,0 +1,264 @@
+#include "bypass/bypass_panda.h"
+
+#include <unordered_map>
+#include <utility>
+
+#include "metrics/handles.h"
+#include "sim/require.h"
+
+namespace bypass {
+
+namespace {
+
+using panda::Binding;
+using panda::ClusterConfig;
+using panda::Panda;
+using panda::RpcReply;
+using panda::RpcStatus;
+using panda::RpcTicket;
+using panda::Thread;
+using sim::Mechanism;
+using sim::Prio;
+
+// Message type tags (first byte of every bypass-Panda message).
+constexpr std::uint8_t kRpcReq = 1;    // u32 tid, u32 client, body
+constexpr std::uint8_t kRpcRep = 2;    // u32 tid, u32 client, body
+constexpr std::uint8_t kGroupPub = 3;  // u64 uid, u32 sender, body
+constexpr std::uint8_t kGroupDel = 4;  // u32 seqno, u32 sender, u64 uid, body
+
+class BypassPanda final : public Panda {
+ public:
+  BypassPanda(Kernel& kernel, ClusterConfig config)
+      : Panda(kernel, std::move(config)), dev_(kernel) {
+    const metrics::NodeMetrics nm(kernel.sim().metrics(), kernel.node());
+    m_calls_ = nm.counter("rpc.calls");
+    m_latency_ = nm.histogram("rpc.latency_ns");
+    m_group_sends_ = nm.counter("group.sends");
+    m_deliveries_ = nm.counter("group.deliveries");
+    m_group_latency_ = nm.histogram("group.send_latency_ns");
+  }
+
+  void start() override {
+    start_thread("bypass-cq-poller",
+                 [this](Thread& t) -> sim::Co<void> { co_await poll_loop(t); });
+  }
+
+  [[nodiscard]] bypass::BypassDevice* bypass_device() noexcept override {
+    return &dev_;
+  }
+
+  sim::Co<RpcReply> rpc(Thread& self, NodeId dst, net::Payload request) override {
+    (void)self;  // the QP carries identity; no daemon thread to signal
+    const std::uint32_t tid = next_trans_++;
+    const std::uint64_t key = (static_cast<std::uint64_t>(node()) << 32) | tid;
+    record(trace::EventKind::kRpcSend, key, dst, request.size());
+    m_calls_.add();
+    const sim::Time t0 = sim().now();
+    co_await kernel_->charge(Prio::kUser, Mechanism::kProtocolProcessing,
+                             kernel_->costs().bypass_protocol_processing);
+    auto call = std::make_shared<PendingCall>(sim());
+    calls_.emplace(tid, call);
+    net::Writer w;
+    w.u8(kRpcReq).u32(tid).u32(node()).payload(request);
+    (void)co_await dev_.post_send(dst, w.take());
+    while (!call->done) co_await call->cv.wait();
+    calls_.erase(tid);
+    record(trace::EventKind::kRpcDone, key, 0);
+    m_latency_.record(static_cast<std::uint64_t>(sim().now() - t0));
+    co_return RpcReply{RpcStatus::kOk, std::move(call->reply)};
+  }
+
+  sim::Co<void> rpc_reply(Thread& self, RpcTicket ticket,
+                          net::Payload reply) override {
+    (void)self;
+    const auto it = tickets_.find(ticket.id);
+    sim::require(it != tickets_.end(), "bypass: rpc_reply for unknown ticket");
+    const Served served = it->second;
+    tickets_.erase(it);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(served.client) << 32) | served.tid;
+    record(trace::EventKind::kRpcReply, key, served.client, reply.size());
+    co_await kernel_->charge(Prio::kUser, Mechanism::kProtocolProcessing,
+                             kernel_->costs().bypass_protocol_processing);
+    net::Writer w;
+    w.u8(kRpcRep).u32(served.tid).u32(served.client).payload(reply);
+    (void)co_await dev_.post_send(served.client, w.take());
+  }
+
+  sim::Co<void> group_send(Thread& self, net::Payload message) override {
+    if (crashed_) {  // a crashed member's send never returns (contract)
+      while (true) co_await dead_cv_.wait();
+    }
+    (void)self;
+    const std::uint64_t uid =
+        (static_cast<std::uint64_t>(node()) << 32) | next_group_uid_++;
+    record(trace::EventKind::kGroupSend, uid, 0, message.size());
+    m_group_sends_.add();
+    const sim::Time t0 = sim().now();
+    co_await kernel_->charge(Prio::kUser, Mechanism::kProtocolProcessing,
+                             kernel_->costs().bypass_protocol_processing);
+    auto pending = std::make_shared<PendingSend>(sim());
+    group_pending_.emplace(uid, pending);
+    net::Writer w;
+    w.u8(kGroupPub).u64(uid).u32(node()).payload(message);
+    (void)co_await dev_.post_send(config_.sequencer, w.take());
+    while (!pending->done) co_await pending->cv.wait();
+    group_pending_.erase(uid);
+    m_group_latency_.record(static_cast<std::uint64_t>(sim().now() - t0));
+  }
+
+  sim::Co<void> group_leave(Thread& self) override {
+    (void)self;
+    sim::require(false, "bypass: sequenced group membership is unsupported");
+    co_return;
+  }
+
+  sim::Co<void> group_rejoin(Thread& self) override {
+    (void)self;
+    sim::require(false, "bypass: sequenced group membership is unsupported");
+    co_return;
+  }
+
+  void group_crash() override { crashed_ = true; }
+
+  std::uint64_t group_view_changes() const override { return 0; }
+  std::uint64_t group_status_rounds() const override { return 0; }
+
+ private:
+  struct PendingCall {
+    explicit PendingCall(sim::Simulator& s) : cv(s) {}
+    bool done = false;
+    net::Payload reply;
+    sim::CondVar cv;
+  };
+  struct PendingSend {
+    explicit PendingSend(sim::Simulator& s) : cv(s) {}
+    bool done = false;
+    sim::CondVar cv;
+  };
+  struct Served {  // an accepted request awaiting its pan_rpc_reply
+    NodeId client = 0;
+    std::uint32_t tid = 0;
+  };
+
+  void record(trace::EventKind kind, std::uint64_t a, std::uint64_t b = 0,
+              std::uint64_t c = 0, std::uint64_t d = 0) {
+    if (auto* tr = sim().tracer()) tr->record(node(), kind, a, b, c, d);
+  }
+
+  sim::Co<void> poll_loop(Thread& t) {
+    while (true) {
+      Completion cqe = co_await dev_.poll();
+      if (cqe.op != Opcode::kSend) continue;  // signaled sends: nothing to do
+      co_await dispatch(t, std::move(cqe.payload));
+    }
+  }
+
+  sim::Co<void> dispatch(Thread& t, net::Payload msg) {
+    net::Reader r(std::move(msg));
+    const std::uint8_t type = r.u8();
+    switch (type) {
+      case kRpcReq: {
+        const std::uint32_t tid = r.u32();
+        const NodeId client = r.u32();
+        net::Payload body = r.rest();
+        const std::uint64_t key =
+            (static_cast<std::uint64_t>(client) << 32) | tid;
+        // Hardware exactly-once: every arriving request is fresh.
+        record(trace::EventKind::kRpcExec, key);
+        record(trace::EventKind::kUpcall, key, 1);
+        co_await kernel_->charge(Prio::kUser, Mechanism::kProtocolProcessing,
+                                 kernel_->costs().bypass_protocol_processing);
+        const std::uint64_t ticket = next_ticket_++;
+        tickets_.emplace(ticket, Served{client, tid});
+        if (rpc_handler_) {
+          co_await rpc_handler_(t, RpcTicket{ticket}, std::move(body));
+        }
+        break;
+      }
+      case kRpcRep: {
+        const std::uint32_t tid = r.u32();
+        (void)r.u32();  // client (us)
+        const auto it = calls_.find(tid);
+        if (it == calls_.end()) break;
+        const std::shared_ptr<PendingCall> call = it->second;
+        call->reply = r.rest();
+        call->done = true;
+        call->cv.notify_all();
+        break;
+      }
+      case kGroupPub: {
+        if (crashed_) break;
+        const std::uint64_t uid = r.u64();
+        const NodeId sender = r.u32();
+        net::Payload body = r.rest();
+        const std::uint32_t seqno = next_seqno_++;
+        record(trace::EventKind::kSeqnoAssign, seqno, sender, uid);
+        co_await kernel_->charge(Prio::kUser, Mechanism::kProtocolProcessing,
+                                 kernel_->costs().bypass_protocol_processing);
+        // PB fan-out: one reliable SEND per member (self included — the
+        // loopback path keeps delivery order uniform).
+        net::Writer w;
+        for (const NodeId member : config_.nodes) {
+          w.u8(kGroupDel).u32(seqno).u32(sender).u64(uid).payload(body);
+          (void)co_await dev_.post_send(member, w.take());
+        }
+        break;
+      }
+      case kGroupDel: {
+        if (crashed_) break;
+        const std::uint32_t seqno = r.u32();
+        const NodeId sender = r.u32();
+        const std::uint64_t uid = r.u64();
+        net::Payload body = r.rest();
+        record(trace::EventKind::kGroupDeliver, seqno, sender, body.size());
+        m_deliveries_.add();
+        co_await kernel_->charge(Prio::kUser, Mechanism::kProtocolProcessing,
+                                 kernel_->costs().bypass_protocol_processing);
+        if (group_handler_) {
+          co_await group_handler_(t, sender, seqno, std::move(body));
+        }
+        if (sender == node()) {
+          const auto it = group_pending_.find(uid);
+          if (it != group_pending_.end()) {
+            it->second->done = true;
+            it->second->cv.notify_all();
+          }
+        }
+        break;
+      }
+      default:
+        sim::require(false, "bypass: unknown panda message type");
+    }
+  }
+
+  BypassDevice dev_;
+  std::unordered_map<std::uint32_t, std::shared_ptr<PendingCall>> calls_;
+  std::unordered_map<std::uint64_t, Served> tickets_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<PendingSend>> group_pending_;
+  sim::CondVar dead_cv_{kernel_->sim()};
+  std::uint32_t next_trans_ = 1;
+  std::uint64_t next_ticket_ = 1;
+  std::uint32_t next_group_uid_ = 1;
+  std::uint32_t next_seqno_ = 1;
+  bool crashed_ = false;
+
+  metrics::CounterHandle m_calls_;
+  metrics::HistogramHandle m_latency_;
+  metrics::CounterHandle m_group_sends_;
+  metrics::CounterHandle m_deliveries_;
+  metrics::HistogramHandle m_group_latency_;
+};
+
+}  // namespace
+
+std::unique_ptr<Panda> make_bypass_panda(amoeba::Kernel& kernel,
+                                         const ClusterConfig& config) {
+  sim::require(config.binding == Binding::kBypass,
+               "make_bypass_panda: config.binding must be kBypass");
+  sim::require(!config.replicated_sequencer,
+               "bypass: replicated sequencer is unsupported");
+  return std::make_unique<BypassPanda>(kernel, config);
+}
+
+}  // namespace bypass

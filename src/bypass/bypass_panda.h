@@ -1,0 +1,37 @@
+// The kernel-bypass Panda binding (Binding::kBypass).
+//
+// Panda's RPC and totally-ordered group protocols re-expressed over the
+// bypass verbs (verbs.h) instead of kernel Amoeba (§3.1) or user-space FLIP
+// (§3.2). The shape follows the paper's user-space binding — the protocol is
+// a library in the application's address space — but the transport underneath
+// is reliable NIC hardware, which deletes most of the protocol itself:
+//
+//   * RPC is a single two-sided SEND each way. The QP is exactly-once, so
+//     there are no client retransmit timers, no reply cache, no duplicate
+//     detection — an RPC can't time out, it can only complete.
+//   * The group protocol is the PB method reduced to its skeleton: a member
+//     SENDs to the sequencer, the sequencer assigns the next seqno and fans
+//     the message out with one SEND per member. Hardware reliability means
+//     no history buffer, no status rounds, no gap requests.
+//   * One CQ-poller thread per node replaces interrupt-driven daemons: every
+//     upcall runs from the poller, woken by kCqPoll, never by
+//     interrupt_thread_switch.
+//
+// The classic single sequencer is the only group mode (make_bypass_panda
+// rejects replicated_sequencer configs); sequenced leave/rejoin is
+// unsupported.
+#pragma once
+
+#include <memory>
+
+#include "bypass/verbs.h"
+#include "panda/panda.h"
+
+namespace bypass {
+
+/// Instantiate the bypass binding for `kernel`'s node. Requires
+/// config.binding == kBypass and !config.replicated_sequencer.
+[[nodiscard]] std::unique_ptr<panda::Panda> make_bypass_panda(
+    amoeba::Kernel& kernel, const panda::ClusterConfig& config);
+
+}  // namespace bypass

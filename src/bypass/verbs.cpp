@@ -1,0 +1,600 @@
+#include "bypass/verbs.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/network.h"
+#include "sim/require.h"
+
+namespace bypass {
+
+using amoeba::CostModel;
+using sim::Mechanism;
+using sim::Prio;
+
+namespace {
+
+net::Payload serialize(net::Writer& w, const BypassDevice* dev,
+                       std::uint8_t opcode, std::uint32_t psn,
+                       std::uint32_t ack, std::uint32_t msg_id,
+                       std::uint32_t offset, std::uint32_t total,
+                       std::uint64_t wr, std::uint64_t rkey,
+                       std::uint64_t raddr, const net::Payload& data,
+                       NodeId src_node, std::size_t header_bytes) {
+  (void)dev;
+  w.u8(kMagic).u8(opcode).u16(static_cast<std::uint16_t>(src_node));
+  w.u32(psn).u32(ack).u32(msg_id).u32(offset).u32(total);
+  w.u64(wr).u64(rkey).u64(raddr);
+  // Pad to the modelled transport header size so header bytes hit the wire
+  // exactly as the cost model states them.
+  if (header_bytes > w.size()) w.zeros(header_bytes - w.size());
+  w.payload(data);
+  return w.take();
+}
+
+}  // namespace
+
+BypassDevice::BypassDevice(Kernel& kernel)
+    : kernel_(&kernel), cq_cv_(kernel.sim()) {
+  // Map the NIC into user space: from here on every frame this station
+  // accepts goes to the bypass engine, not to kernel FLIP.
+  kernel_->nic().set_rx_handler([this](const net::Frame& f) { on_frame(f); });
+}
+
+// --- Small helpers -----------------------------------------------------------
+
+BypassDevice::Conn& BypassDevice::conn(NodeId peer) {
+  auto it = conns_.find(peer);
+  if (it == conns_.end()) {
+    auto c = std::make_unique<Conn>(kernel_->sim());
+    c->peer = peer;
+    c->mac = net::Network::mac_of(peer);
+    it = conns_.emplace(peer, std::move(c)).first;
+  }
+  return *it->second;
+}
+
+std::uint64_t BypassDevice::make_wr() noexcept {
+  return (static_cast<std::uint64_t>(node()) << 32) | wr_seq_++;
+}
+
+std::size_t BypassDevice::frag_capacity() const noexcept {
+  const std::size_t mtu = kernel_->nic().segment().wire().mtu;
+  const std::size_t header = kernel_->costs().bypass_header;
+  return mtu > header ? mtu - header : 1;
+}
+
+sim::Time BypassDevice::dma_time(std::size_t bytes) const noexcept {
+  const std::size_t rate = kernel_->costs().bypass_dma_bytes_per_ns;
+  if (rate == 0) return 0;
+  return static_cast<sim::Time>(bytes / rate);
+}
+
+sim::Co<void> BypassDevice::nic_charge(Mechanism m, sim::Time cost,
+                                       std::uint64_t count) {
+  kernel_->ledger().add(m, cost, count);
+  if (auto* tr = kernel_->sim().tracer()) {
+    tr->record(node(), trace::EventKind::kCharge,
+               static_cast<std::uint64_t>(m), static_cast<std::uint64_t>(cost),
+               count);
+  }
+  if (cost > 0) co_await sim::delay(kernel_->sim(), cost);
+}
+
+void BypassDevice::record(trace::EventKind kind, std::uint64_t a,
+                          std::uint64_t b, std::uint64_t c, std::uint64_t d) {
+  if (auto* tr = kernel_->sim().tracer()) tr->record(node(), kind, a, b, c, d);
+}
+
+// --- Memory registration -----------------------------------------------------
+
+RegionHandle BypassDevice::register_region(std::size_t bytes) {
+  const std::uint64_t rkey = region_rkey(node(), next_region_++);
+  regions_[rkey].bytes.assign(bytes, 0);
+  const std::uint64_t pages = (bytes + 4095) / 4096;
+  const CostModel& c = kernel_->costs();
+  const sim::Time cost =
+      c.bypass_reg_base + c.bypass_reg_per_page * static_cast<sim::Time>(pages);
+  // Pinning runs driver code on this node's CPU; it is setup cost, charged
+  // when the simulation starts executing, never on the data path.
+  sim::spawn(kernel_->charge(Prio::kUser, Mechanism::kMemoryRegistration, cost));
+  return {rkey, bytes};
+}
+
+void BypassDevice::set_read_hook(std::uint64_t rkey, ReadHook hook) {
+  const auto it = regions_.find(rkey);
+  sim::require(it != regions_.end(), "bypass: read hook on unknown rkey");
+  it->second.hook = std::move(hook);
+}
+
+std::uint8_t* BypassDevice::region_data(std::uint64_t rkey) {
+  const auto it = regions_.find(rkey);
+  sim::require(it != regions_.end(), "bypass: unknown rkey");
+  return it->second.bytes.data();
+}
+
+std::size_t BypassDevice::region_size(std::uint64_t rkey) const {
+  const auto it = regions_.find(rkey);
+  sim::require(it != regions_.end(), "bypass: unknown rkey");
+  return it->second.bytes.size();
+}
+
+// --- Send path ---------------------------------------------------------------
+
+sim::Co<std::uint64_t> BypassDevice::post_send(NodeId peer, net::Payload msg,
+                                               bool signaled) {
+  const std::uint64_t wr = make_wr();
+  co_await kernel_->charge(Prio::kUser, Mechanism::kDoorbell,
+                           kernel_->costs().bypass_doorbell);
+  record(trace::EventKind::kBypassPost, wr, peer, msg.size(),
+         static_cast<std::uint64_t>(Opcode::kSend));
+  OutMsg m;
+  m.op = Opcode::kSend;
+  m.wr = wr;
+  m.msg_id = next_msg_id_++;
+  m.payload = std::move(msg);
+  m.ack_completes = signaled;
+  if (peer == node()) {
+    deliver_local(std::move(m));
+  } else {
+    enqueue(peer, std::move(m));
+  }
+  co_return wr;
+}
+
+void BypassDevice::deliver_local(OutMsg m) {
+  // Loopback: the NIC short-circuits self-addressed WQEs without touching
+  // the wire (the sequencer delivering to itself).
+  record(trace::EventKind::kFlipSend, bypass_addr(node()), m.msg_id,
+         m.payload.size(), 1);
+  record(trace::EventKind::kFlipDeliver, bypass_addr(node()), m.msg_id,
+         m.payload.size(), 1);
+  Completion cqe;
+  cqe.wr = m.wr;
+  cqe.op = Opcode::kSend;
+  cqe.peer = node();
+  cqe.bytes = static_cast<std::uint32_t>(m.payload.size());
+  cqe.payload = std::move(m.payload);
+  complete(std::move(cqe));
+}
+
+void BypassDevice::enqueue(NodeId peer, OutMsg m) {
+  Conn& c = conn(peer);
+  c.sendq.push_back(std::move(m));
+  if (!c.pumping) {
+    c.pumping = true;
+    sim::spawn(pump(c));
+  }
+}
+
+sim::Co<void> BypassDevice::pump(Conn& c) {
+  const CostModel& cm = kernel_->costs();
+  while (!c.sendq.empty()) {
+    OutMsg m = std::move(c.sendq.front());
+    c.sendq.pop_front();
+    const std::size_t capacity = frag_capacity();
+    record(trace::EventKind::kFlipSend, bypass_addr(c.peer), m.msg_id,
+           m.payload.size());
+    std::size_t offset = 0;
+    do {
+      const std::size_t chunk = std::min(capacity, m.payload.size() - offset);
+      // The NIC engine fetches the WQE and DMAs the fragment out of the
+      // registered buffer: NIC time, not CPU time.
+      co_await nic_charge(Mechanism::kWqeProcessing,
+                          cm.bypass_wqe + dma_time(chunk + cm.bypass_header));
+      const std::uint32_t psn = c.next_psn++;
+      const bool last = offset + chunk == m.payload.size();
+      net::Frame frame;
+      frame.dst = c.mac;
+      frame.id = (static_cast<std::uint64_t>(node()) << 48) |
+                 (static_cast<std::uint64_t>(m.msg_id) << 16) |
+                 static_cast<std::uint64_t>(offset / capacity);
+      // Outgoing data always piggybacks our cumulative ack; a pending
+      // explicit-ack shot becomes redundant.
+      c.ack_timer.cancel();
+      frame.payload = serialize(
+          frame_writer_, this, static_cast<std::uint8_t>(m.op), psn,
+          c.expect - 1, m.msg_id, static_cast<std::uint32_t>(offset),
+          static_cast<std::uint32_t>(m.payload.size()), m.wr, m.rkey, m.raddr,
+          m.payload.slice(offset, chunk), node(), cm.bypass_header);
+      record(trace::EventKind::kFragment, frame.id, m.msg_id,
+             bypass_addr(node()), chunk);
+      Outgoing out;
+      out.psn = psn;
+      out.frame = frame;
+      out.wr = (last && m.ack_completes) ? m.wr : 0;
+      out.op = m.op;
+      out.bytes = static_cast<std::uint32_t>(m.payload.size());
+      c.unacked.push_back(std::move(out));
+      ++frames_sent_;
+      kernel_->nic().send(std::move(frame));
+      offset += chunk;
+    } while (offset < m.payload.size());
+    arm_rto(c);
+  }
+  c.pumping = false;
+}
+
+void BypassDevice::arm_rto(Conn& c) {
+  if (c.unacked.empty() || silenced_) {
+    c.rto.cancel();
+    return;
+  }
+  // The NIC knows its own transmit queue: the timeout covers the wire time
+  // of everything still unacked plus the ack's return path, so a slow medium
+  // never triggers retransmission of frames that simply have not finished
+  // transmitting yet. Consecutive no-progress rounds back off exponentially
+  // (the window replay itself occupies the wire).
+  const net::WireParams& wp = kernel_->nic().segment().wire();
+  const CostModel& cm = kernel_->costs();
+  sim::Time outstanding = 0;
+  for (const Outgoing& o : c.unacked) {
+    outstanding += net::wire_time(wp, o.frame.payload.size());
+  }
+  const sim::Time ack_path = net::wire_time(wp, cm.bypass_header) +
+                             2 * wp.propagation + cm.bypass_ack_delay;
+  const sim::Time interval = cm.bypass_retransmit_interval
+                             << std::min<std::uint32_t>(c.backoff, 6);
+  c.rto.schedule(interval + outstanding + ack_path,
+                 [this, &c] { sim::spawn(retransmit(c)); });
+}
+
+sim::Co<void> BypassDevice::retransmit(Conn& c) {
+  if (silenced_ || c.unacked.empty()) co_return;
+  ++retransmit_rounds_;
+  ++c.backoff;
+  record(trace::EventKind::kRetransmit, c.unacked.front().psn,
+         trace::kReasonGoBackN);
+  // Go-back-N: replay the whole window from the oldest unacked PSN. Snapshot
+  // first — an ack arriving between NIC charges may shrink the deque.
+  std::vector<net::Frame> window;
+  window.reserve(c.unacked.size());
+  for (const Outgoing& o : c.unacked) window.push_back(o.frame);
+  const CostModel& cm = kernel_->costs();
+  for (net::Frame& f : window) {
+    co_await nic_charge(Mechanism::kWqeProcessing,
+                        cm.bypass_wqe + dma_time(f.payload.size()));
+    if (silenced_) co_return;
+    ++frames_sent_;
+    kernel_->nic().send(std::move(f));
+  }
+  arm_rto(c);
+}
+
+void BypassDevice::schedule_ack(Conn& c) {
+  if (c.ack_timer.pending() || silenced_) return;
+  c.ack_timer.schedule(kernel_->costs().bypass_ack_delay,
+                       [this, &c] { sim::spawn(send_ack(c)); });
+}
+
+sim::Co<void> BypassDevice::send_ack(Conn& c) {
+  if (silenced_) co_return;
+  const CostModel& cm = kernel_->costs();
+  co_await nic_charge(Mechanism::kWqeProcessing,
+                      cm.bypass_wqe + dma_time(cm.bypass_header));
+  if (silenced_) co_return;
+  const std::uint32_t acked = c.expect - 1;
+  net::Frame frame;
+  frame.dst = c.mac;
+  // Acks are unsequenced control frames; msg_id 0 keeps them outside the
+  // fragment-lineage namespace.
+  frame.id = (static_cast<std::uint64_t>(node()) << 48) |
+             static_cast<std::uint64_t>(ack_seq_++ & 0xFFFF);
+  frame.payload =
+      serialize(frame_writer_, this, static_cast<std::uint8_t>(Opcode::kAck),
+                0, acked, 0, 0, 0, 0, 0, 0, {}, node(), cm.bypass_header);
+  record(trace::EventKind::kAck,
+         (static_cast<std::uint64_t>(c.peer) << 32) | acked, 1);
+  ++frames_sent_;
+  kernel_->nic().send(std::move(frame));
+}
+
+void BypassDevice::process_ack(Conn& c, std::uint32_t ack) {
+  if (ack <= c.acked) return;
+  c.acked = ack;
+  c.backoff = 0;  // cumulative progress: the path works, reset the backoff
+  while (!c.unacked.empty() && c.unacked.front().psn <= ack) {
+    Outgoing o = std::move(c.unacked.front());
+    c.unacked.pop_front();
+    if (o.wr != 0) {
+      Completion cqe;
+      cqe.wr = o.wr;
+      cqe.op = o.op;
+      cqe.peer = c.peer;
+      cqe.bytes = o.bytes;
+      complete(std::move(cqe));
+    }
+  }
+  arm_rto(c);
+}
+
+// --- Receive path ------------------------------------------------------------
+
+void BypassDevice::on_frame(const net::Frame& f) {
+  if (silenced_) return;
+  if (f.payload.empty() || f.payload.byte_at(0) != kMagic) return;
+  // The rx engine is one pipeline: frames are processed strictly in arrival
+  // order. Spawning a handler per frame would let a small trailing fragment
+  // (short validate+DMA charge) overtake the large fragment before it, and
+  // the PSN gate would drop the overtaken frame as stale — turning every
+  // fragmented message into an RTO round trip.
+  rxq_.push_back(f);
+  if (!rx_pumping_) {
+    rx_pumping_ = true;
+    sim::spawn(rx_pump());
+  }
+}
+
+sim::Co<void> BypassDevice::rx_pump() {
+  while (!rxq_.empty() && !silenced_) {
+    net::Frame f = std::move(rxq_.front());
+    rxq_.pop_front();
+    co_await handle_frame(std::move(f));
+  }
+  rx_pumping_ = false;
+}
+
+sim::Co<void> BypassDevice::handle_frame(net::Frame f) {
+  const CostModel& cm = kernel_->costs();
+  // The receiving NIC engine validates the frame and DMAs it to host memory.
+  co_await nic_charge(Mechanism::kWqeProcessing,
+                      cm.bypass_wqe + dma_time(f.payload.size()));
+  if (silenced_) co_return;
+
+  net::Reader r(f.payload);
+  (void)r.u8();  // magic, checked in on_frame
+  WireHeader h;
+  h.op = static_cast<Opcode>(r.u8());
+  h.src_node = r.u16();
+  h.psn = r.u32();
+  h.ack = r.u32();
+  h.msg_id = r.u32();
+  h.offset = r.u32();
+  h.total = r.u32();
+  h.wr = r.u64();
+  h.rkey = r.u64();
+  h.raddr = r.u64();
+  const std::size_t pad = cm.bypass_header > 48 ? cm.bypass_header - 48 : 0;
+  if (pad > 0) (void)r.raw(pad);
+  net::Payload data = r.rest();
+
+  Conn& c = conn(h.src_node);
+  // Every bypass frame carries the peer's cumulative ack for our direction.
+  process_ack(c, h.ack);
+  if (h.op == Opcode::kAck) co_return;
+
+  if (h.psn != c.expect) {
+    // Stale duplicate or go-back-N gap: drop, and re-ack so the sender's
+    // window can advance (or rewind) quickly.
+    ++stale_frames_;
+    schedule_ack(c);
+    co_return;
+  }
+  c.expect = h.psn + 1;
+  schedule_ack(c);
+
+  // Frames of one message arrive strictly in order (PSN-gated), so
+  // reassembly is a plain accumulator.
+  if (h.offset == 0) {
+    c.rx_msg_id = h.msg_id;
+    c.rx_received = 0;
+    (void)c.rx_writer.take();  // reset any abandoned partial message
+  } else if (h.msg_id != c.rx_msg_id) {
+    co_return;  // fragment of an abandoned message (cannot happen in-order)
+  }
+  c.rx_writer.payload(data);
+  c.rx_received += static_cast<std::uint32_t>(data.size());
+  if (c.rx_received < h.total) co_return;
+
+  net::Payload whole = c.rx_writer.take();
+  record(trace::EventKind::kFlipDeliver, bypass_addr(h.src_node), h.msg_id,
+         whole.size());
+  co_await handle_message(c, h, std::move(whole));
+}
+
+sim::Co<void> BypassDevice::handle_message(Conn& c, WireHeader h,
+                                           net::Payload whole) {
+  const CostModel& cm = kernel_->costs();
+  switch (h.op) {
+    case Opcode::kSend: {
+      Completion cqe;
+      cqe.wr = h.wr;
+      cqe.op = Opcode::kSend;
+      cqe.peer = h.src_node;
+      cqe.bytes = h.total;
+      cqe.payload = std::move(whole);
+      complete(std::move(cqe));
+      break;
+    }
+    case Opcode::kWrite: {
+      // One-sided WRITE: the NIC lands the bytes in the registered region.
+      // No thread is scheduled; the target CPU never notices.
+      co_await nic_charge(Mechanism::kRemoteAccess,
+                          cm.bypass_remote_access + dma_time(h.total));
+      const auto it = regions_.find(h.rkey);
+      if (it != regions_.end() &&
+          h.raddr + whole.size() <= it->second.bytes.size()) {
+        whole.copy_out(0, whole.size(), it->second.bytes.data() + h.raddr);
+        record(trace::EventKind::kBypassRemote, h.wr, h.src_node, h.total,
+               static_cast<std::uint64_t>(Opcode::kWrite));
+      }
+      break;
+    }
+    case Opcode::kReadReq: {
+      net::Reader rr(whole);
+      const std::uint32_t len = rr.u32();
+      net::Payload args = rr.rest();
+      const auto it = regions_.find(h.rkey);
+      net::Payload result;
+      if (it != regions_.end()) {
+        if (it->second.hook) {
+          result = it->second.hook(h.raddr, len, args);
+        } else if (h.raddr + len <= it->second.bytes.size()) {
+          std::vector<std::uint8_t> out(
+              it->second.bytes.begin() + static_cast<std::ptrdiff_t>(h.raddr),
+              it->second.bytes.begin() +
+                  static_cast<std::ptrdiff_t>(h.raddr + len));
+          result = net::Payload(std::move(out));
+        }
+      }
+      co_await nic_charge(Mechanism::kRemoteAccess,
+                          cm.bypass_remote_access + dma_time(result.size()));
+      record(trace::EventKind::kBypassRemote, h.wr, h.src_node, result.size(),
+             static_cast<std::uint64_t>(Opcode::kReadReq));
+      OutMsg resp;
+      resp.op = Opcode::kReadResp;
+      resp.wr = h.wr;
+      resp.msg_id = next_msg_id_++;
+      resp.payload = std::move(result);
+      enqueue(c.peer, std::move(resp));
+      break;
+    }
+    case Opcode::kAtomicReq: {
+      net::Reader rr(whole);
+      const std::uint64_t delta = rr.u64();
+      co_await nic_charge(Mechanism::kRemoteAccess, cm.bypass_remote_access);
+      std::uint64_t old = 0;
+      const auto it = regions_.find(h.rkey);
+      if (it != regions_.end() && h.raddr + 8 <= it->second.bytes.size()) {
+        std::uint8_t* p = it->second.bytes.data() + h.raddr;
+        for (int i = 0; i < 8; ++i) old = (old << 8) | p[i];
+        const std::uint64_t updated = old + delta;
+        for (int i = 0; i < 8; ++i) {
+          p[i] = static_cast<std::uint8_t>(updated >> (56 - 8 * i));
+        }
+        record(trace::EventKind::kBypassRemote, h.wr, h.src_node, 8,
+               static_cast<std::uint64_t>(Opcode::kAtomicReq));
+      }
+      net::Writer w;
+      w.u64(old);
+      OutMsg resp;
+      resp.op = Opcode::kAtomicResp;
+      resp.wr = h.wr;
+      resp.msg_id = next_msg_id_++;
+      resp.payload = w.take();
+      enqueue(c.peer, std::move(resp));
+      break;
+    }
+    case Opcode::kReadResp:
+    case Opcode::kAtomicResp: {
+      Completion cqe;
+      cqe.wr = h.wr;
+      cqe.op = h.op == Opcode::kReadResp ? Opcode::kReadReq : Opcode::kAtomicReq;
+      cqe.peer = h.src_node;
+      cqe.bytes = h.total;
+      cqe.payload = std::move(whole);
+      complete(std::move(cqe));
+      break;
+    }
+    case Opcode::kAck:
+      break;  // handled before reassembly
+  }
+}
+
+// --- Completion delivery -----------------------------------------------------
+
+void BypassDevice::complete(Completion cqe) {
+  const auto it = waiters_.find(cqe.wr);
+  if (it != waiters_.end()) {
+    const std::shared_ptr<Waiter> w = it->second;
+    w->result = std::move(cqe);
+    w->done = true;
+    w->cv.notify_all();
+    return;
+  }
+  cq_.push_back(std::move(cqe));
+  cq_cv_.notify_one();
+}
+
+sim::Co<Completion> BypassDevice::poll() {
+  while (cq_.empty()) co_await cq_cv_.wait();
+  Completion cqe = std::move(cq_.front());
+  cq_.pop_front();
+  co_await kernel_->charge(Prio::kUser, Mechanism::kCqPoll,
+                           kernel_->costs().bypass_cq_poll);
+  record(trace::EventKind::kBypassComplete, cqe.wr, cqe.ok ? 0 : 1, cqe.bytes,
+         static_cast<std::uint64_t>(cqe.op));
+  co_return cqe;
+}
+
+// --- One-sided verbs ---------------------------------------------------------
+
+sim::Co<Completion> BypassDevice::post_and_wait(NodeId peer, OutMsg m,
+                                                std::uint32_t post_bytes) {
+  sim::require(peer != node(), "bypass: one-sided verb to self");
+  const Opcode posted = m.op;
+  const std::uint64_t wr = m.wr;
+  auto waiter = std::make_shared<Waiter>(kernel_->sim());
+  waiters_.emplace(wr, waiter);
+  co_await kernel_->charge(Prio::kUser, Mechanism::kDoorbell,
+                           kernel_->costs().bypass_doorbell);
+  record(trace::EventKind::kBypassPost, wr, peer, post_bytes,
+         static_cast<std::uint64_t>(posted));
+  enqueue(peer, std::move(m));
+  while (!waiter->done) co_await waiter->cv.wait();
+  waiters_.erase(wr);
+  // The initiating thread spins on its own CQ; reaping the CQE is the only
+  // CPU cost of completion — no interrupt, no dispatch.
+  co_await kernel_->charge(Prio::kUser, Mechanism::kCqPoll,
+                           kernel_->costs().bypass_cq_poll);
+  record(trace::EventKind::kBypassComplete, wr,
+         waiter->result.ok ? 0 : 1, waiter->result.payload.size(),
+         static_cast<std::uint64_t>(posted));
+  co_return std::move(waiter->result);
+}
+
+sim::Co<Completion> BypassDevice::read(NodeId peer, std::uint64_t rkey,
+                                       std::uint64_t addr, std::uint32_t len,
+                                       net::Payload args) {
+  net::Writer w;
+  w.u32(len);
+  w.payload(args);
+  OutMsg m;
+  m.op = Opcode::kReadReq;
+  m.wr = make_wr();
+  m.msg_id = next_msg_id_++;
+  m.rkey = rkey;
+  m.raddr = addr;
+  m.payload = w.take();
+  co_return co_await post_and_wait(peer, std::move(m), len);
+}
+
+sim::Co<Completion> BypassDevice::write(NodeId peer, std::uint64_t rkey,
+                                        std::uint64_t addr, net::Payload data) {
+  OutMsg m;
+  m.op = Opcode::kWrite;
+  m.wr = make_wr();
+  m.msg_id = next_msg_id_++;
+  m.rkey = rkey;
+  m.raddr = addr;
+  const auto bytes = static_cast<std::uint32_t>(data.size());
+  m.payload = std::move(data);
+  m.ack_completes = true;  // WRITE completes when the QP acks the last PSN
+  co_return co_await post_and_wait(peer, std::move(m), bytes);
+}
+
+sim::Co<Completion> BypassDevice::fetch_add(NodeId peer, std::uint64_t rkey,
+                                            std::uint64_t addr,
+                                            std::uint64_t delta) {
+  net::Writer w;
+  w.u64(delta);
+  OutMsg m;
+  m.op = Opcode::kAtomicReq;
+  m.wr = make_wr();
+  m.msg_id = next_msg_id_++;
+  m.rkey = rkey;
+  m.raddr = addr;
+  m.payload = w.take();
+  co_return co_await post_and_wait(peer, std::move(m), 8);
+}
+
+void BypassDevice::silence() {
+  silenced_ = true;
+  rxq_.clear();
+  for (auto& [peer, c] : conns_) {
+    c->rto.cancel();
+    c->ack_timer.cancel();
+  }
+}
+
+}  // namespace bypass

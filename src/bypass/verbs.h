@@ -1,0 +1,286 @@
+// Kernel-bypass (RDMA-style) verbs over the simulated NIC.
+//
+// The paper's axis is *where the protocol stack lives* — kernel space vs user
+// space — on hardware where every network event costs a trap, an interrupt
+// and often a context switch. This module models the modern third answer:
+// the protocol lives in NIC hardware and the host touches it through mapped
+// queues. Concretely:
+//
+//   * Registered memory regions: pinned byte arenas with rkey handles.
+//     Registration is charged (kMemoryRegistration) once at setup; the data
+//     path never pays it again.
+//   * Doorbell-rung send queues: posting a work request is an MMIO write
+//     (kDoorbell) — no syscall_enter, ever. The NIC then fetches and
+//     executes the WQE on its own engine (kWqeProcessing + DMA time),
+//     charged to the node's ledger but *not* occupying the node CPU.
+//   * Completion queues discovered by polling (kCqPoll per reaped CQE) —
+//     no interrupt_thread_switch, ever. The Nic's kInterrupt trace event
+//     still marks hardware frame acceptance, but it carries no CPU charge
+//     on this path.
+//   * One-sided READ / WRITE / ATOMIC verbs execute at the *target NIC*
+//     (kRemoteAccess) without scheduling any target-side thread.
+//   * Two-sided SEND/RECV with hardware reliability: per-peer RC queue
+//     pairs, PSN-sequenced frames, cumulative acks (piggybacked on reverse
+//     data, or delayed explicit acks), and go-back-N retransmission — so the
+//     layers above never retransmit and exactly-once falls out of the QP.
+//
+// Trace linking reuses the FLIP conventions (kFlipSend / kFragment /
+// kFlipDeliver with frame.id = node<<48 | msg_id<<16 | fragment), so the
+// causal profiler and the TraceChecker's frame-lineage invariant work on
+// bypass traffic unchanged; three new event kinds (kBypassPost,
+// kBypassRemote, kBypassComplete) record the verb lifecycle itself.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "amoeba/kernel.h"
+#include "net/buffer.h"
+#include "net/frame.h"
+#include "sim/sync.h"
+#include "sim/timer.h"
+#include "trace/tracer.h"
+
+namespace bypass {
+
+using amoeba::Kernel;
+using NodeId = net::NodeId;
+
+/// Wire opcodes. The first payload byte of every bypass frame is kMagic, the
+/// second is the opcode (the dissector classifies on this pair).
+enum class Opcode : std::uint8_t {
+  kSend = 1,        // two-sided message fragment
+  kAck = 2,         // explicit cumulative ack (unsequenced control)
+  kReadReq = 3,     // one-sided READ request
+  kReadResp = 4,    // READ response data
+  kWrite = 5,       // one-sided WRITE data
+  kAtomicReq = 6,   // one-sided fetch-and-add request
+  kAtomicResp = 7,  // fetch-and-add old value
+};
+
+inline constexpr std::uint8_t kMagic = 0xBD;
+
+/// FLIP-style endpoint address of a bypass device (trace linking only; the
+/// transport resolves MACs directly — "connection setup" is out of band).
+[[nodiscard]] constexpr std::uint64_t bypass_addr(std::uint32_t node) noexcept {
+  return 0x00D0'0000'0000'0000ULL | node;
+}
+
+/// The rkey of the `index`-th region registered on `node` (1-based).
+/// Registration order is deterministic, so peers derive well-known handles
+/// the way real systems exchange them during connection setup.
+[[nodiscard]] constexpr std::uint64_t region_rkey(NodeId node,
+                                                  std::uint32_t index) noexcept {
+  return (static_cast<std::uint64_t>(node) << 32) | index;
+}
+
+struct RegionHandle {
+  std::uint64_t rkey = 0;
+  std::size_t bytes = 0;
+};
+
+/// A reaped CQE. `wr` identifies the originating work request
+/// (initiator_node << 32 | sequence); for receive completions it is the
+/// *sender's* wr key.
+struct Completion {
+  std::uint64_t wr = 0;
+  Opcode op = Opcode::kSend;
+  NodeId peer = 0;        // remote end (sender for recv completions)
+  std::uint32_t bytes = 0;
+  net::Payload payload;   // recv: the message; READ: data; ATOMIC: old value
+  bool ok = true;
+};
+
+/// One node's bypass NIC context. Constructing it maps the NIC into user
+/// space: the device takes over the Nic rx handler (FLIP goes dark on this
+/// node — a bypass node speaks only the bypass transport).
+class BypassDevice {
+ public:
+  /// Serves a one-sided READ against a region at the target NIC: returns the
+  /// bytes for (addr, len). Installed by the region owner; models the NIC
+  /// fetching host memory, so it runs with no target-side CPU charge.
+  using ReadHook = std::function<net::Payload(
+      std::uint64_t addr, std::uint32_t len, const net::Payload& args)>;
+
+  explicit BypassDevice(Kernel& kernel);
+
+  [[nodiscard]] Kernel& kernel() noexcept { return *kernel_; }
+  [[nodiscard]] NodeId node() const noexcept { return kernel_->node(); }
+
+  // --- Memory registration -------------------------------------------------
+
+  /// Pin a region of `bytes` and hand out its rkey. The registration cost
+  /// (base + per-4KiB-page) is charged asynchronously on this node's CPU —
+  /// setup cost, off the data path.
+  RegionHandle register_region(std::size_t bytes);
+
+  /// Install a READ hook for `rkey` (replaces raw byte service).
+  void set_read_hook(std::uint64_t rkey, ReadHook hook);
+
+  /// Host access to a region's backing bytes (owner-side initialisation and
+  /// WRITE-visibility checks in tests).
+  [[nodiscard]] std::uint8_t* region_data(std::uint64_t rkey);
+  [[nodiscard]] std::size_t region_size(std::uint64_t rkey) const;
+
+  // --- Two-sided SEND/RECV -------------------------------------------------
+
+  /// Post a SEND WQE to `peer` and ring the doorbell; returns the wr key
+  /// immediately after the doorbell (the NIC transmits asynchronously).
+  /// With `signaled`, a send completion is pushed to the CQ once the QP has
+  /// acked the last fragment; unsignaled sends complete silently.
+  [[nodiscard]] sim::Co<std::uint64_t> post_send(NodeId peer, net::Payload msg,
+                                                 bool signaled = false);
+
+  /// Reap the next CQE from the shared completion queue (receive completions
+  /// and signaled send completions), polling-style: charges kCqPoll per
+  /// reap, never a syscall or a dispatch.
+  [[nodiscard]] sim::Co<Completion> poll();
+
+  // --- One-sided verbs -----------------------------------------------------
+  // Each posts a WQE (doorbell), then polls its own completion. The target
+  // NIC serves the request (kRemoteAccess) without scheduling any thread.
+
+  [[nodiscard]] sim::Co<Completion> read(NodeId peer, std::uint64_t rkey,
+                                         std::uint64_t addr, std::uint32_t len,
+                                         net::Payload args = {});
+  [[nodiscard]] sim::Co<Completion> write(NodeId peer, std::uint64_t rkey,
+                                          std::uint64_t addr, net::Payload data);
+  [[nodiscard]] sim::Co<Completion> fetch_add(NodeId peer, std::uint64_t rkey,
+                                              std::uint64_t addr,
+                                              std::uint64_t delta);
+
+  /// Fault injection: the device stops receiving and retransmitting.
+  void silence();
+
+  // --- Introspection (tests / DESIGN numbers) ------------------------------
+  [[nodiscard]] std::uint64_t retransmit_rounds() const noexcept {
+    return retransmit_rounds_;
+  }
+  [[nodiscard]] std::uint64_t frames_sent() const noexcept { return frames_sent_; }
+  [[nodiscard]] std::uint64_t stale_frames() const noexcept { return stale_frames_; }
+
+ private:
+  struct OutMsg {
+    Opcode op = Opcode::kSend;
+    std::uint64_t wr = 0;
+    std::uint32_t msg_id = 0;
+    std::uint64_t rkey = 0;
+    std::uint64_t raddr = 0;
+    net::Payload payload;
+    bool ack_completes = false;  // CQE when the last fragment is acked
+  };
+
+  struct Outgoing {  // one in-flight frame (go-back-N window entry)
+    std::uint32_t psn = 0;
+    net::Frame frame;
+    std::uint64_t wr = 0;  // != 0: completes on cumulative ack of this psn
+    Opcode op = Opcode::kSend;
+    std::uint32_t bytes = 0;
+  };
+
+  struct Conn {  // one RC queue pair (per peer, bidirectional)
+    explicit Conn(sim::Simulator& s) : rto(s), ack_timer(s) {}
+    NodeId peer = 0;
+    net::MacAddr mac = net::kNoMac;
+    // Send direction.
+    std::uint32_t next_psn = 1;
+    std::uint32_t acked = 0;
+    std::deque<Outgoing> unacked;
+    std::deque<OutMsg> sendq;
+    bool pumping = false;
+    sim::Timer rto;
+    std::uint32_t backoff = 0;  // consecutive no-progress retransmit rounds
+    // Receive direction.
+    std::uint32_t expect = 1;
+    sim::Timer ack_timer;
+    // In-order reassembly of the message currently arriving.
+    std::uint32_t rx_msg_id = 0;
+    std::uint32_t rx_received = 0;
+    net::Writer rx_writer;
+  };
+
+  struct Waiter {  // a one-sided initiator parked on its own completion
+    explicit Waiter(sim::Simulator& s) : cv(s) {}
+    bool done = false;
+    Completion result;
+    sim::CondVar cv;
+  };
+
+  struct Region {
+    std::vector<std::uint8_t> bytes;
+    ReadHook hook;
+  };
+
+  struct WireHeader {
+    Opcode op = Opcode::kSend;
+    NodeId src_node = 0;
+    std::uint32_t psn = 0;
+    std::uint32_t ack = 0;
+    std::uint32_t msg_id = 0;
+    std::uint32_t offset = 0;
+    std::uint32_t total = 0;
+    std::uint64_t wr = 0;
+    std::uint64_t rkey = 0;
+    std::uint64_t raddr = 0;
+  };
+
+  [[nodiscard]] Conn& conn(NodeId peer);
+  [[nodiscard]] std::uint64_t make_wr() noexcept;
+  [[nodiscard]] std::size_t frag_capacity() const noexcept;
+  [[nodiscard]] sim::Time dma_time(std::size_t bytes) const noexcept;
+
+  /// Ledger charge for NIC-engine work: records kCharge and elapses time
+  /// without occupying the node CPU (the NIC is its own resource).
+  [[nodiscard]] sim::Co<void> nic_charge(sim::Mechanism m, sim::Time cost,
+                                         std::uint64_t count = 1);
+
+  void record(trace::EventKind kind, std::uint64_t a, std::uint64_t b = 0,
+              std::uint64_t c = 0, std::uint64_t d = 0);
+
+  void enqueue(NodeId peer, OutMsg m);
+  [[nodiscard]] sim::Co<void> pump(Conn& c);
+  [[nodiscard]] sim::Co<void> retransmit(Conn& c);
+  void arm_rto(Conn& c);
+  void schedule_ack(Conn& c);
+  [[nodiscard]] sim::Co<void> send_ack(Conn& c);
+  void process_ack(Conn& c, std::uint32_t ack);
+
+  void on_frame(const net::Frame& f);
+  [[nodiscard]] sim::Co<void> rx_pump();
+  [[nodiscard]] sim::Co<void> handle_frame(net::Frame f);
+  [[nodiscard]] sim::Co<void> handle_message(Conn& c, WireHeader h,
+                                             net::Payload whole);
+
+  /// Deliver a completion: to the registered one-sided waiter for `wr`, or
+  /// to the shared CQ otherwise.
+  void complete(Completion cqe);
+
+  void deliver_local(OutMsg m);
+
+  [[nodiscard]] sim::Co<Completion> post_and_wait(NodeId peer, OutMsg m,
+                                                  std::uint32_t post_bytes);
+
+  Kernel* kernel_;
+  std::unordered_map<NodeId, std::unique_ptr<Conn>> conns_;
+  std::unordered_map<std::uint64_t, Region> regions_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Waiter>> waiters_;
+  std::deque<Completion> cq_;
+  sim::CondVar cq_cv_;
+  std::deque<net::Frame> rxq_;
+  bool rx_pumping_ = false;
+  net::Writer frame_writer_;
+  std::uint32_t next_region_ = 1;
+  std::uint32_t next_msg_id_ = 1;
+  std::uint32_t wr_seq_ = 1;
+  std::uint32_t ack_seq_ = 0;
+  bool silenced_ = false;
+  std::uint64_t retransmit_rounds_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t stale_frames_ = 0;
+};
+
+}  // namespace bypass

@@ -45,6 +45,19 @@ Testbed::Testbed(TestbedConfig config) : config_(std::move(config)) {
   // across concurrently running partitions.
   sim::require(config_.series_window == 0 || config_.partitions <= 1,
                "Testbed: series_window requires partitions == 1");
+  const bool modern =
+      config_.preset == Preset::kModern ||
+      (config_.preset == Preset::kAuto && config_.binding == Binding::kBypass);
+  if (modern) {
+    // Modern silicon: replace the 1995 cost/wire parameters wholesale (a
+    // caller who wants custom modern numbers sets preset = kPaper and fills
+    // `costs`/`network` explicitly).
+    config_.costs = amoeba::CostModel::modern();
+    config_.network.wire.ns_per_byte = 1;  // ~8 Gbit/s
+    config_.network.wire.propagation = sim::nsec(400);
+    config_.network.wire.mtu = 4096;
+    config_.network.switch_forward_latency = sim::nsec(500);
+  }
   amoeba::WorldConfig wc;
   wc.network = config_.network;
   wc.costs = config_.costs;

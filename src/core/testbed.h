@@ -19,8 +19,21 @@ namespace core {
 using amoeba::NodeId;
 using panda::Binding;
 
+/// Hardware-era preset applied on top of `costs`/`network` defaults.
+enum class Preset : std::uint8_t {
+  /// kPaper for the kernel/user bindings, kModern for the bypass binding —
+  /// the bypass hardware simply does not exist on the 1995 testbed.
+  kAuto,
+  /// The paper's 50 MHz SPARC / 10 Mbit/s Ethernet numbers (the defaults).
+  kPaper,
+  /// 2020s server: CostModel::modern() plus a multi-Gbit, sub-microsecond
+  /// wire (overrides `costs` and the network wire/switch parameters).
+  kModern,
+};
+
 struct TestbedConfig {
   Binding binding = Binding::kUserSpace;
+  Preset preset = Preset::kAuto;
   std::size_t nodes = 2;
   NodeId sequencer = 0;
   /// Replicated-sequencer mode: the sequencer role is a multi-Paxos replica

@@ -269,6 +269,14 @@ CompareResult compare_reports(const JsonValue& old_report,
   for (const auto& [name, new_m] : new_metrics) {
     if (new_m.better != "info" && !old_metrics.contains(name)) {
       result.only_new.push_back(name);
+      // Surface the value too: a row the baseline predates is rendered as an
+      // informational line, never a failure — the baseline refresh is what
+      // promotes it to a gated metric.
+      MetricDelta d;
+      d.name = name;
+      d.new_value = new_m.value;
+      d.better = "info";
+      result.added.push_back(std::move(d));
     }
   }
   return result;

@@ -61,6 +61,11 @@ struct CompareResult {
   std::vector<MetricDelta> deltas;       // tracked metrics in both reports
   std::vector<std::string> only_old;     // tracked metrics that disappeared
   std::vector<std::string> only_new;     // tracked metrics that appeared
+  /// One entry per `only_new` name, carrying the new report's value so a
+  /// renderer can show the row instead of a bare name. A metric the baseline
+  /// has never seen has no direction to regress in, so these are always
+  /// "info" and never gate — refresh the baseline to start tracking them.
+  std::vector<MetricDelta> added;
   bool regressed = false;
   /// amoeba-profile/* comparisons are warn-only by default: regressions are
   /// reported but the CLI exits 0 unless the caller opts into gating.

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "bypass/verbs.h"
 #include "sim/require.h"
 
 namespace orca {
@@ -36,6 +37,17 @@ void Rts::attach() {
       [this](Thread& upcall, RpcTicket ticket, net::Payload req) -> sim::Co<void> {
         co_await on_rpc_upcall(upcall, ticket, std::move(req));
       });
+  if (auto* dev = panda_->bypass_device()) {
+    // Kernel-bypass binding: expose this RTS through a registered region so
+    // peers can fetch unguarded reads with a one-sided READ. The RTS
+    // registers first, so its rkey is the well-known region_rkey(node, 1).
+    const bypass::RegionHandle mr = dev->register_region(4096);
+    dev->set_read_hook(mr.rkey,
+                       [this](std::uint64_t addr, std::uint32_t,
+                              const net::Payload& args) -> net::Payload {
+                         return serve_one_sided_read(addr, args);
+                       });
+  }
 }
 
 Thread& Rts::fork(std::string name, std::function<sim::Co<void>(Process&)> body) {
@@ -146,6 +158,27 @@ sim::Co<net::Payload> Rts::invoke(Thread& self, const ObjHandle& obj, OpId opid,
     co_return co_await apply_and_wake(self, obj.id, r, opid, args);
   }
 
+  // Unguarded read on a remote single-copy object over the bypass binding:
+  // fetch the result with a one-sided READ — the owner's CPU never runs.
+  // The operation cost is charged here (the reader computes on the fetched
+  // bytes); the owner pays only the NIC's kRemoteAccess service time.
+  if (auto* dev = panda_->bypass_device();
+      dev != nullptr && !op.is_write && !op.guard) {
+    ++one_sided_reads_;
+    net::Writer w;
+    w.u32(opid);
+    w.payload(args);
+    const bypass::Completion c = co_await dev->read(
+        obj.owner, bypass::region_rkey(obj.owner, 1), obj.id, 64, w.take());
+    if (op.cost > 0) {
+      co_await panda_->kernel().charge(Prio::kUser,
+                                       Mechanism::kProtocolProcessing, op.cost);
+    }
+    net::Reader r(c.payload);
+    sim::require(r.u8() == 1, "Rts::invoke: one-sided read missed at owner");
+    co_return r.rest();
+  }
+
   // Remote invocation via Panda RPC.
   ++remote_invocations_;
   net::Writer w;
@@ -223,6 +256,25 @@ sim::Co<void> Rts::reevaluate_blocked(Thread& ctx, ObjId id, Replica& r) {
     }
   }
   (void)id;
+}
+
+net::Payload Rts::serve_one_sided_read(std::uint64_t addr,
+                                       const net::Payload& args) {
+  net::Writer w;
+  const auto it = objects_.find(addr);
+  if (it == objects_.end()) {
+    w.u8(0);
+    return w.take();
+  }
+  Replica& r = it->second;
+  net::Reader rd(args);
+  const OpId opid = rd.u32();
+  const OpDef& op = registry_->type(r.type).op(opid);
+  sim::require(!op.is_write && !op.guard,
+               "Rts: one-sided read on a write/guarded op");
+  w.u8(1);
+  w.payload(op.apply(*r.state, rd.rest()));
+  return w.take();
 }
 
 sim::Co<void> Rts::on_group(NodeId sender, std::uint32_t seqno, net::Payload msg) {

@@ -103,6 +103,11 @@ class Rts {
   [[nodiscard]] std::uint64_t continuations_resumed() const noexcept {
     return continuations_resumed_;
   }
+  /// Unguarded reads on remote single-copy objects served by a one-sided
+  /// bypass READ instead of an RPC (kBypass binding only; 0 otherwise).
+  [[nodiscard]] std::uint64_t one_sided_reads() const noexcept {
+    return one_sided_reads_;
+  }
 
  private:
   enum class GroupKind : std::uint8_t { kCreate = 1, kWrite = 2 };
@@ -151,6 +156,13 @@ class Rts {
   [[nodiscard]] Replica& replica(ObjId id);
   [[nodiscard]] sim::Co<void> wait_for_replica(ObjId id);
 
+  /// Serve a one-sided READ against this node's objects (installed as the
+  /// bypass read hook; runs NIC-side with no local thread or CPU charge).
+  /// `addr` is the ObjId; `args` is [u32 opid][op args]. Reply:
+  /// [u8 ok][result] — ok=0 when the object is unknown here.
+  [[nodiscard]] net::Payload serve_one_sided_read(std::uint64_t addr,
+                                                  const net::Payload& args);
+
   panda::Panda* panda_;
   const TypeRegistry* registry_;
   Thread* group_upcall_thread_ = nullptr;
@@ -164,6 +176,7 @@ class Rts {
   std::uint64_t remote_invocations_ = 0;
   std::uint64_t continuations_created_ = 0;
   std::uint64_t continuations_resumed_ = 0;
+  std::uint64_t one_sided_reads_ = 0;
 };
 
 }  // namespace orca

@@ -5,6 +5,7 @@
 
 #include "amoeba/group.h"
 #include "amoeba/rpc.h"
+#include "bypass/bypass_panda.h"
 #include "panda/pan_group.h"
 #include "panda/pan_rpc.h"
 #include "panda/pan_sys.h"
@@ -223,6 +224,9 @@ class UserPanda final : public Panda {
 std::unique_ptr<Panda> make_panda(Kernel& kernel, const ClusterConfig& config) {
   if (config.binding == Binding::kKernelSpace) {
     return std::make_unique<KernelPanda>(kernel, config);
+  }
+  if (config.binding == Binding::kBypass) {
+    return bypass::make_bypass_panda(kernel, config);
   }
   return std::make_unique<UserPanda>(kernel, config);
 }

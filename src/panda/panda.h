@@ -28,6 +28,10 @@
 #include "net/buffer.h"
 #include "sim/co.h"
 
+namespace bypass {
+class BypassDevice;
+}  // namespace bypass
+
 namespace panda {
 
 using amoeba::Kernel;
@@ -57,7 +61,11 @@ using GroupHandler =
     std::function<sim::Co<void>(Thread& upcall, NodeId sender,
                                 std::uint32_t seqno, net::Payload message)>;
 
-enum class Binding : std::uint8_t { kKernelSpace, kUserSpace };
+enum class Binding : std::uint8_t {
+  kKernelSpace,  // Amoeba kernel RPC + group protocols (paper §3.1)
+  kUserSpace,    // Panda user-space protocols over raw FLIP (paper §3.2)
+  kBypass,       // kernel-bypass RDMA-style verbs (src/bypass, post-paper)
+};
 
 struct ClusterConfig {
   Binding binding = Binding::kUserSpace;
@@ -145,6 +153,13 @@ class Panda {
   [[nodiscard]] virtual std::uint64_t group_view_changes() const = 0;
   /// Sequencer history-overflow status rounds run on this node.
   [[nodiscard]] virtual std::uint64_t group_status_rounds() const = 0;
+
+  /// The kernel-bypass verbs device backing this Panda, or nullptr for the
+  /// kernel/user bindings. Orca uses it to issue one-sided READs against
+  /// remote shared objects instead of full RPCs.
+  [[nodiscard]] virtual bypass::BypassDevice* bypass_device() noexcept {
+    return nullptr;
+  }
 
   /// Convenience: spawn a thread on this node.
   Thread& start_thread(std::string name,

@@ -23,6 +23,11 @@ std::string_view mechanism_name(Mechanism m) noexcept {
     case Mechanism::kProtocolProcessing: return "protocol-processing";
     case Mechanism::kLockOp: return "lock-op";
     case Mechanism::kSignal: return "signal";
+    case Mechanism::kMemoryRegistration: return "memory-registration";
+    case Mechanism::kDoorbell: return "doorbell";
+    case Mechanism::kWqeProcessing: return "wqe-processing";
+    case Mechanism::kCqPoll: return "cq-poll";
+    case Mechanism::kRemoteAccess: return "remote-access";
     case Mechanism::kCount: break;
   }
   return "unknown";

@@ -34,6 +34,13 @@ enum class Mechanism : std::size_t {
   kProtocolProcessing,   // generic protocol CPU work
   kLockOp,               // mutex lock/unlock pairs
   kSignal,               // signalling another thread (condvar/kernel signal)
+  // Kernel-bypass (RDMA-style) binding. Appended after the 1995 mechanisms so
+  // existing numeric indices in committed traces keep their meaning.
+  kMemoryRegistration,   // pinning a memory region + rkey setup
+  kDoorbell,             // user-space MMIO doorbell ring (no syscall)
+  kWqeProcessing,        // NIC work-queue-element fetch/processing + DMA
+  kCqPoll,               // completion-queue poll + CQE reap
+  kRemoteAccess,         // target-NIC service of a one-sided READ/WRITE/ATOMIC
   kCount
 };
 

@@ -317,6 +317,80 @@ std::vector<std::string> TraceChecker::check_loss_recovery() const {
   return out;
 }
 
+std::vector<std::string> TraceChecker::check_bypass_verbs() const {
+  std::vector<std::string> out;
+  std::unordered_map<std::uint64_t, int> posts;    // wr -> post count
+  std::unordered_map<std::uint64_t, int> remotes;  // wr -> remote-service count
+  std::set<std::pair<std::uint64_t, std::uint32_t>> completed;  // (wr, node)
+  // (initiator, peer) -> last one-sided wr completed at the initiator.
+  std::map<std::pair<std::uint32_t, std::uint64_t>, std::uint64_t> last_one_sided;
+  std::unordered_map<std::uint64_t, std::uint64_t> post_peer;  // wr -> peer
+
+  for (const Event& e : *events_) {
+    switch (e.kind) {
+      case EventKind::kBypassPost: {
+        if (++posts[e.a] > 1) {
+          out.push_back(fmt("bypass wr %llx posted %d times",
+                            static_cast<unsigned long long>(e.a), posts[e.a]));
+        }
+        if (e.node != static_cast<std::uint32_t>(e.a >> 32)) {
+          out.push_back(fmt("bypass wr %llx posted at node %u, not its owner",
+                            static_cast<unsigned long long>(e.a), e.node));
+        }
+        post_peer[e.a] = e.b;
+        break;
+      }
+      case EventKind::kBypassRemote: {
+        if (!posts.contains(e.a)) {
+          out.push_back(fmt("bypass wr %llx served remotely but never posted",
+                            static_cast<unsigned long long>(e.a)));
+        }
+        if (++remotes[e.a] > 1) {
+          out.push_back(
+              fmt("bypass wr %llx served remotely %d times (duplicate one-"
+                  "sided execution)",
+                  static_cast<unsigned long long>(e.a), remotes[e.a]));
+        }
+        if (e.node == static_cast<std::uint32_t>(e.a >> 32)) {
+          out.push_back(
+              fmt("bypass wr %llx served remotely at its own initiator node %u",
+                  static_cast<unsigned long long>(e.a), e.node));
+        }
+        break;
+      }
+      case EventKind::kBypassComplete: {
+        if (!posts.contains(e.a)) {
+          out.push_back(fmt("bypass wr %llx completed but never posted",
+                            static_cast<unsigned long long>(e.a)));
+        }
+        if (!completed.insert({e.a, e.node}).second) {
+          out.push_back(fmt("bypass wr %llx completed twice at node %u",
+                            static_cast<unsigned long long>(e.a), e.node));
+        }
+        // One-sided verbs (READ / WRITE / ATOMIC) complete at the initiator
+        // in post order per peer: the RC QP is FIFO and acks are cumulative.
+        const bool one_sided = e.d == 3 || e.d == 5 || e.d == 6;
+        if (one_sided && e.node == static_cast<std::uint32_t>(e.a >> 32)) {
+          const auto key = std::make_pair(e.node, post_peer[e.a]);
+          auto& last = last_one_sided[key];
+          if (e.a <= last) {
+            out.push_back(
+                fmt("bypass wr %llx completed after wr %llx (one-sided "
+                    "completion order violated)",
+                    static_cast<unsigned long long>(e.a),
+                    static_cast<unsigned long long>(last)));
+          }
+          last = e.a;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return out;
+}
+
 std::vector<std::string> TraceChecker::check_ledger(
     const sim::Ledger& aggregate) const {
   std::vector<std::string> out;
@@ -358,6 +432,7 @@ std::vector<std::string> TraceChecker::check_all(
   for (auto&& v : check_no_loss()) out.push_back(std::move(v));
   for (auto&& v : check_frame_lineage()) out.push_back(std::move(v));
   for (auto&& v : check_loss_recovery()) out.push_back(std::move(v));
+  for (auto&& v : check_bypass_verbs()) out.push_back(std::move(v));
   if (aggregate != nullptr) {
     for (auto&& v : check_ledger(*aggregate)) out.push_back(std::move(v));
   }

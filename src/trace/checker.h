@@ -25,7 +25,12 @@
 //     somewhere in the trace;
 //   * ledger consistency: per-mechanism Ledger totals equal the sum of the
 //     traced charge events — the aggregate accounting and the event stream
-//     tell the same story.
+//     tell the same story;
+//   * bypass verb lifecycle: every work request is posted at most once and
+//     only at the node its key names, remote service and completion always
+//     follow a post, the same (wr, node) never completes twice — duplicated
+//     or replayed frames notwithstanding — and one-sided completions at an
+//     initiator occur in post order per peer (the RC QP promise).
 //
 // Each check returns human-readable violation strings; an empty vector means
 // the invariant holds.
@@ -48,6 +53,7 @@ class TraceChecker {
   [[nodiscard]] std::vector<std::string> check_no_loss() const;
   [[nodiscard]] std::vector<std::string> check_frame_lineage() const;
   [[nodiscard]] std::vector<std::string> check_loss_recovery() const;
+  [[nodiscard]] std::vector<std::string> check_bypass_verbs() const;
 
   /// `aggregate` is the sum of every node's ledger (World::aggregate_ledger).
   [[nodiscard]] std::vector<std::string> check_ledger(

@@ -37,7 +37,14 @@ bool group_control(std::uint8_t type) noexcept {
 
 std::uint64_t dissect_frame_class(const std::uint8_t* data,
                                   std::size_t size) noexcept {
-  if (data == nullptr || size < kFlipHeader) return kClassMeta;
+  if (data == nullptr || size == 0) return kClassMeta;
+  // Kernel-bypass frames (verbs.cpp): magic 0xBD @0, opcode @1. Only the
+  // explicit cumulative ack is pure control; everything else carries a verb.
+  if (data[0] == 0xBD) {
+    if (size < 2) return kClassMeta;
+    return data[1] == 2 /* Opcode::kAck */ ? kClassControl : kClassData;
+  }
+  if (size < kFlipHeader) return kClassMeta;
   if (data[0] != 1 /* FrameType::kData */) return kClassMeta;
   // A non-first fragment carries no protocol header; it always belongs to a
   // multi-fragment body, which is never pure control traffic.

@@ -29,6 +29,9 @@ std::string_view kind_name(EventKind k) noexcept {
     case EventKind::kMemberJoin: return "member_join";
     case EventKind::kMemberLeave: return "member_leave";
     case EventKind::kCrash: return "crash";
+    case EventKind::kBypassPost: return "bypass_post";
+    case EventKind::kBypassRemote: return "bypass_remote";
+    case EventKind::kBypassComplete: return "bypass_complete";
     case EventKind::kKindCount: break;
   }
   return "?";

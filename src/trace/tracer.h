@@ -63,6 +63,15 @@ enum class EventKind : std::uint8_t {
   kMemberLeave,   // membership window closes   a=last deliverable seqno, d=group
   kCrash,         // node stops participating   d=group
 
+  // Kernel-bypass (RDMA-style) verbs. Appended after the Paxos kinds so the
+  // numeric values of everything above keep their committed-fixture meaning.
+  kBypassPost,     // WQE posted + doorbell rung  a=wr key (node<<32|seq),
+                   //                             b=peer, c=bytes, d=opcode
+  kBypassRemote,   // one-sided op served by the  a=wr key, b=initiator node,
+                   // *target NIC*, no thread     c=bytes, d=opcode
+  kBypassComplete, // CQE reaped by a poller      a=wr key, b=0 ok / 1 error,
+                   //                             c=bytes, d=opcode
+
   kKindCount
 };
 
@@ -77,6 +86,7 @@ enum RetransmitReason : std::uint64_t {
   kReasonSequencerResend = 5,  // sequencer re-emitted an already-ordered message
   kReasonGapRequest = 6,    // member asked for a missing seqno
   kReasonLagWatchdog = 7,   // sequencer pushed history at a lagging member
+  kReasonGoBackN = 8,       // bypass NIC go-back-N window retransmit
 };
 
 /// Wire-frame classification, used by the checker's loss-recovery invariant.

@@ -107,7 +107,7 @@ TEST(Determinism, EngineRefactorFixtures) {
     ASSERT_FALSE(fields.fail()) << "malformed fixture line: " << line;
     want[{variant, fault, seed}] = {events, digest};
   }
-  ASSERT_EQ(want.size(), 32u) << "expected 4 variants x 4 faults x 2 seeds";
+  ASSERT_EQ(want.size(), 40u) << "expected 5 variants x 4 faults x 2 seeds";
 
   for (const auto& [key, expected] : want) {
     const auto [variant, fault, seed] = key;

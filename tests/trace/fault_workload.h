@@ -28,9 +28,11 @@ enum class Variant {
   kUser = 1,        // classic single sequencer, user-space binding
   kKernelPaxos = 2, // replicated (multi-Paxos) sequencer, kernel-space
   kUserPaxos = 3,   // replicated (multi-Paxos) sequencer, user-space
+  kBypass = 4,      // classic single sequencer, kernel-bypass binding
 };
 
 [[nodiscard]] inline core::Binding variant_binding(Variant v) {
+  if (v == Variant::kBypass) return core::Binding::kBypass;
   return (v == Variant::kKernel || v == Variant::kKernelPaxos)
              ? core::Binding::kKernelSpace
              : core::Binding::kUserSpace;

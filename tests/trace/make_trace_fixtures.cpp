@@ -23,8 +23,9 @@ int main() {
   // them via real cancellation is allowed to change when the queue drains.
   // The digest pins the timestamp of every *observable* protocol event.
   std::printf("# variant fault seed events digest\n");
-  for (const Variant variant : {Variant::kKernel, Variant::kUser,
-                                Variant::kKernelPaxos, Variant::kUserPaxos}) {
+  for (const Variant variant :
+       {Variant::kKernel, Variant::kUser, Variant::kKernelPaxos,
+        Variant::kUserPaxos, Variant::kBypass}) {
     for (const Fault fault : {Fault::kNone, Fault::kLoss, Fault::kDuplication,
                               Fault::kReorder}) {
       for (const std::uint64_t seed : {7ULL, 99ULL}) {
