@@ -176,6 +176,16 @@ bool write_profile(const std::vector<trace::Event>& events,
 }
 
 bool write_report(const metrics::RunReport& report, const std::string& path) {
+  const std::string stamp = metrics::RunReport::git_stamp();
+  if (stamp.find("-dirty") != std::string::npos) {
+    // A committed baseline must be reproducible from its git stamp; a -dirty
+    // stamp names a tree state nobody can check out again.
+    std::fprintf(stderr,
+                 "WARNING: report %s is stamped \"%s\" — the build came from "
+                 "an uncommitted tree. Do not commit it as a baseline; commit, "
+                 "reconfigure, and rerun for a clean provenance stamp.\n",
+                 path.c_str(), stamp.c_str());
+  }
   if (!report.write_file(path)) {
     std::fprintf(stderr, "error: cannot write report to %s: %s\n", path.c_str(),
                  std::strerror(errno));

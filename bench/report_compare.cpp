@@ -3,7 +3,7 @@
 // flag regressions.
 //
 // usage: report_compare [--threshold=PCT] [--show-info] [--warn-only]
-//                       [--gate-profiles] OLD NEW
+//                       [--gate-profiles] [--gate=SUBSTR]... OLD NEW
 //
 // Run reports: every direction-tagged metric present in both reports is
 // compared by relative delta; a wrong-direction move beyond the threshold is
@@ -19,8 +19,15 @@
 // Metrics the baseline has never seen print as "new row (no baseline)" info
 // lines with their measured value and never fail the comparison; refresh the
 // baseline to start gating them.
-// Exit codes: 0 no regression, 1 regression found (0 with --warn-only, and
-// for profiles without --gate-profiles), 2 usage or parse error.
+// --gate=SUBSTR (repeatable) selects which rows can fail the run: a
+// regression only produces exit code 1 if the metric name contains one of
+// the gate substrings; every other row is implicitly warn-only (printed as
+// REGRESSED, exit 0). Without --gate, every tracked row gates, as before.
+// This is how CI hard-gates the deterministic headline rows of a report
+// whose remaining rows are host-time-noisy.
+// Exit codes: 0 no regression, 1 regression found (0 with --warn-only, for
+// rows matching no --gate when gates are given, and for profiles without
+// --gate-profiles), 2 usage or parse error.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,7 +43,7 @@ namespace {
 int usage(const char* prog) {
   std::fprintf(stderr,
                "usage: %s [--threshold=PCT] [--show-info] [--warn-only] "
-               "[--gate-profiles] OLD.json NEW.json\n",
+               "[--gate-profiles] [--gate=SUBSTR]... OLD.json NEW.json\n",
                prog);
   return 2;
 }
@@ -63,6 +70,7 @@ int main(int argc, char** argv) {
   metrics::CompareOptions options;
   bool warn_only = false;
   bool gate_profiles = false;
+  std::vector<std::string> gates;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -79,6 +87,13 @@ int main(int argc, char** argv) {
       warn_only = true;
     } else if (arg == "--gate-profiles") {
       gate_profiles = true;
+    } else if (arg.rfind("--gate=", 0) == 0) {
+      const std::string pattern = arg.substr(7);
+      if (pattern.empty()) {
+        std::fprintf(stderr, "%s: empty --gate pattern\n", argv[0]);
+        return 2;
+      }
+      gates.push_back(pattern);
     } else if (arg.rfind("--", 0) == 0) {
       std::fprintf(stderr, "%s: unknown argument '%s'\n", argv[0], argv[i]);
       return usage(argv[0]);
@@ -135,10 +150,21 @@ int main(int argc, char** argv) {
   }
 
   if (result.regressed) {
-    const bool soft = warn_only || (result.advisory && !gate_profiles);
+    // With --gate patterns, only a regression on a matching row fails the
+    // run; everything else stays a warning.
+    bool gated_hit = gates.empty();
+    for (const auto& d : result.deltas) {
+      if (!d.regression) continue;
+      for (const auto& g : gates) {
+        if (d.name.find(g) != std::string::npos) gated_hit = true;
+      }
+    }
+    const bool soft =
+        warn_only || !gated_hit || (result.advisory && !gate_profiles);
     std::printf("RESULT: regression beyond %.1f%% threshold%s\n",
                 options.threshold_pct,
-                warn_only              ? " (warn-only)"
+                warn_only    ? " (warn-only)"
+                : !gated_hit ? " (warn-only: no --gate row regressed)"
                 : result.advisory && !gate_profiles ? " (profile: advisory)"
                                                     : "");
     return soft ? 0 : 1;

@@ -86,7 +86,7 @@ std::size_t Flip::fragment_count(std::size_t bytes) const noexcept {
 sim::Co<void> Flip::unicast(FlipAddr dst, net::Payload message, sim::Prio prio) {
   const FlipAddr src = kernel_flip_addr(kernel_->node());
   // Local destination? FLIP delivers without touching the wire.
-  if (const auto it = endpoints_.find(dst); it != endpoints_.end()) {
+  if (endpoints_.contains(dst)) {
     const CostModel& c = kernel_->costs();
     co_await kernel_->charge(prio, sim::Mechanism::kProtocolProcessing,
                              c.flip_send_per_message);
@@ -101,14 +101,14 @@ sim::Co<void> Flip::unicast(FlipAddr dst, net::Payload message, sim::Prio prio) 
     co_await deliver(FlipMessage(dst, src, std::move(message)));
     co_return;
   }
-  const auto route = route_cache_.find(dst);
-  if (route == route_cache_.end()) {
+  const net::MacAddr* route = route_cache_.find(dst);
+  if (!route) {
     auto& pending = locating_[dst];
     pending.queued.push_back(std::move(message));
     if (!pending.retry.active()) locate_tick(dst);
     co_return;  // unreliable: will go out once located, or vanish
   }
-  co_await send_fragments(route->second, dst, src, std::move(message), prio);
+  co_await send_fragments(*route, dst, src, std::move(message), prio);
 }
 
 sim::Co<void> Flip::multicast(FlipAddr group, net::Payload message, sim::Prio prio) {
@@ -210,45 +210,43 @@ sim::Co<void> Flip::handle_data(const net::Frame& frame) {
   }
 
   const ReassemblyKey key{h.src, h.msg_id};
-  auto [it, fresh] = reassembly_.try_emplace(key);
+  auto [ra, fresh] = reassembly_.try_emplace(key);
   const CostModel& c = kernel_->costs();
   const std::size_t capacity =
       kernel_->nic().segment().wire().mtu - kHeaderBytes;
   if (fresh) {
-    Reassembly& ra = it->second;
-    ra.dst = h.dst;
-    ra.total = h.total_len;
-    ra.buf = reasm_pool_.acquire(h.total_len);
-    ra.have.assign((h.total_len + capacity - 1) / capacity, false);
-    ra.deadline = kernel_->sim().now() + c.reassembly_timeout;
+    ra->dst = h.dst;
+    ra->total = h.total_len;
+    ra->buf = reasm_pool_.acquire(h.total_len);
+    ra->have.assign((h.total_len + capacity - 1) / capacity, false);
+    ra->deadline = kernel_->sim().now() + c.reassembly_timeout;
     if (!sweep_timer_.pending()) {
       sweep_timer_.schedule(c.reassembly_timeout, [this] { sweep_reassembly(); });
     }
   }
   const std::size_t slot = h.offset / capacity;
-  if (slot < it->second.have.size() && !it->second.have[slot]) {
-    Reassembly& ra = it->second;
-    ra.have[slot] = true;
-    data.copy_out(0, data.size(), ra.buf->data() + h.offset);
-    ra.received += data.size();
+  if (slot < ra->have.size() && !ra->have[slot]) {
+    ra->have[slot] = true;
+    data.copy_out(0, data.size(), ra->buf->data() + h.offset);
+    ra->received += data.size();
     // The fragment bytes really move into the reassembly buffer; charge the
     // copy per byte at the same rate as every other message copy so the
     // paper's copy accounting covers all memory traffic. Charging occupies
     // the CPU, so this handler suspends here: the sibling fragment that
     // completes the message, or the timeout sweep, may erase the reassembly
-    // entry before we resume. Re-find it and stand down if it is gone.
+    // entry before we resume — and a concurrent arrival may insert, which in
+    // a flat table also relocates entries. Re-find and stand down if gone.
     co_await kernel_->charge(sim::Prio::kInterrupt, sim::Mechanism::kUserKernelCopy,
                              c.copy_ns_per_byte * static_cast<sim::Time>(data.size()));
-    it = reassembly_.find(key);
-    if (it == reassembly_.end()) co_return;
+    ra = reassembly_.find(key);
+    if (!ra) co_return;
   }
-  if (it->second.received == it->second.total) {
-    Reassembly& ra = it->second;
+  if (ra->received == ra->total) {
     net::Payload whole =
-        net::Payload::from_shared(ra.buf, ra.buf->data(), ra.total);
+        net::Payload::from_shared(ra->buf, ra->buf->data(), ra->total);
     const FlipAddr src = h.src;
-    const FlipAddr dst = ra.dst;
-    reassembly_.erase(it);
+    const FlipAddr dst = ra->dst;
+    reassembly_.erase(key);
     co_await kernel_->charge(sim::Prio::kInterrupt,
                              sim::Mechanism::kProtocolProcessing,
                              c.flip_reassembly);
@@ -263,14 +261,16 @@ sim::Co<void> Flip::handle_data(const net::Frame& frame) {
 sim::Co<void> Flip::deliver(FlipMessage message) {
   const bool group = is_flip_group(message.dst);
   auto& table = group ? groups_ : endpoints_;
-  const auto it = table.find(message.dst);
-  if (it == table.end()) co_return;
+  // Slab-backed: the handler's address is stable even if registrations land
+  // while the charge below has us suspended.
+  FlipHandler* handler = table.find(message.dst);
+  if (!handler) co_return;
   ++messages_delivered_;
   m_delivers_.add();
   co_await kernel_->charge(sim::Prio::kInterrupt,
                            sim::Mechanism::kProtocolProcessing,
                            kernel_->costs().flip_deliver_per_message);
-  co_await it->second(std::move(message));
+  co_await (*handler)(std::move(message));
 }
 
 sim::Co<void> Flip::handle_locate(net::Frame frame) {
@@ -338,14 +338,11 @@ void Flip::locate_tick(FlipAddr dst) {
 
 void Flip::sweep_reassembly() {
   const sim::Time now = kernel_->sim().now();
-  for (auto it = reassembly_.begin(); it != reassembly_.end();) {
-    if (it->second.deadline <= now) {
-      ++reassembly_timeouts_;
-      it = reassembly_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // Expiry is per-entry; erasure order is unobservable.
+  reassembly_timeouts_ += reassembly_.erase_if(
+      [now](const ReassemblyKey&, const Reassembly& ra) {
+        return ra.deadline <= now;
+      });
   if (!reassembly_.empty()) {
     sweep_timer_.schedule(kernel_->costs().reassembly_timeout / 2,
                           [this] { sweep_reassembly(); });

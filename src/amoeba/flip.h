@@ -26,9 +26,7 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <map>
 #include <memory>
-#include <optional>
 #include <unordered_map>
 
 #include "metrics/handles.h"
@@ -36,6 +34,7 @@
 #include "net/frame.h"
 #include "sim/co.h"
 #include "sim/cpu.h"
+#include "sim/flat_map.h"
 #include "sim/timer.h"
 
 namespace amoeba {
@@ -124,10 +123,13 @@ class Flip {
   };
 
   struct ReassemblyKey {
-    FlipAddr src;
-    std::uint32_t msg_id;
-    bool operator<(const ReassemblyKey& o) const noexcept {
-      return src != o.src ? src < o.src : msg_id < o.msg_id;
+    FlipAddr src = kNoFlipAddr;
+    std::uint32_t msg_id = 0;
+    bool operator==(const ReassemblyKey&) const noexcept = default;
+  };
+  struct ReassemblyKeyHash {
+    [[nodiscard]] std::uint64_t operator()(const ReassemblyKey& k) const noexcept {
+      return sim::mix64(k.src ^ (static_cast<std::uint64_t>(k.msg_id) << 32));
     }
   };
   struct Reassembly {
@@ -166,11 +168,17 @@ class Flip {
   metrics::CounterHandle m_sends_;
   metrics::CounterHandle m_fragments_;
   metrics::CounterHandle m_delivers_;
-  std::unordered_map<FlipAddr, FlipHandler> endpoints_;
-  std::unordered_map<FlipAddr, FlipHandler> groups_;
-  std::unordered_map<FlipAddr, net::MacAddr> route_cache_;
+  // Per-packet lookups go through flat tables (sim/flat_map.h). Handlers
+  // live in a slab: a suspended handler coroutine points into its own
+  // std::function object, which therefore must not relocate when another
+  // endpoint registers. The locate table stays node-based — it is cold by
+  // definition (one entry per unresolved address, touched at most every
+  // retry interval).
+  sim::SlabMap<FlipAddr, FlipHandler> endpoints_;
+  sim::SlabMap<FlipAddr, FlipHandler> groups_;
+  sim::FlatMap<FlipAddr, net::MacAddr> route_cache_;
   std::unordered_map<FlipAddr, PendingLocate> locating_;
-  std::map<ReassemblyKey, Reassembly> reassembly_;
+  sim::FlatMap<ReassemblyKey, Reassembly, ReassemblyKeyHash> reassembly_;
   sim::Timer sweep_timer_;
   std::uint32_t next_msg_id_ = 1;
   std::uint64_t messages_sent_ = 0;

@@ -47,13 +47,13 @@ void KernelGroup::join(GroupId gid, GroupConfig config) {
     pc.tick = ms.config.paxos_tick;
     ms.pax = std::make_unique<paxos::Participant>(kernel_->sim(), std::move(pc));
     kernel_->flip().register_group(
-        group_flip_addr(gid), [this, gid](FlipMessage m) -> sim::Co<void> {
-          co_await on_group_message(gid, std::move(m));
+        group_flip_addr(gid), [this, gid](FlipMessage m) {
+          return on_group_message(gid, std::move(m));
         });
     kernel_->flip().register_endpoint(
         group_member_addr(gid, kernel_->node()),
-        [this, gid](FlipMessage m) -> sim::Co<void> {
-          co_await on_group_message(gid, std::move(m));
+        [this, gid](FlipMessage m) {
+          return on_group_message(gid, std::move(m));
         });
     return;
   }
@@ -61,19 +61,19 @@ void KernelGroup::join(GroupId gid, GroupConfig config) {
   if (ms.is_sequencer) {
     ms.seq = std::make_unique<SequencerState>();
     kernel_->flip().register_endpoint(
-        group_sequencer_addr(gid), [this, gid](FlipMessage m) -> sim::Co<void> {
-          co_await on_sequencer_message(gid, std::move(m));
+        group_sequencer_addr(gid), [this, gid](FlipMessage m) {
+          return on_sequencer_message(gid, std::move(m));
         });
   }
   kernel_->flip().register_group(
-      group_flip_addr(gid), [this, gid](FlipMessage m) -> sim::Co<void> {
-        co_await on_group_message(gid, std::move(m));
+      group_flip_addr(gid), [this, gid](FlipMessage m) {
+        return on_group_message(gid, std::move(m));
       });
   // Point-to-point retransmissions from the sequencer arrive here.
   kernel_->flip().register_endpoint(
       group_member_addr(gid, kernel_->node()),
-      [this, gid](FlipMessage m) -> sim::Co<void> {
-        co_await on_group_message(gid, std::move(m));
+      [this, gid](FlipMessage m) {
+        return on_group_message(gid, std::move(m));
       });
 }
 

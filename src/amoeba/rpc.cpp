@@ -39,17 +39,18 @@ net::Payload KernelRpc::make_header(MsgType type, std::uint32_t trans_id,
 void KernelRpc::ensure_client_endpoint() {
   if (client_endpoint_ready_) return;
   client_endpoint_ready_ = true;
+  // Return the handler coroutine directly: a `co_await on_message(...)`
+  // wrapper would add one suspended frame per delivered packet for nothing.
   kernel_->flip().register_endpoint(
       rpc_client_addr(kernel_->node()),
-      [this](FlipMessage m) -> sim::Co<void> { co_await on_message(std::move(m)); });
+      [this](FlipMessage m) { return on_message(std::move(m)); });
 }
 
 void KernelRpc::ensure_service_endpoint(ServiceId svc) {
-  if (services_.contains(svc)) return;
-  services_.emplace(svc, Service{});
+  if (!services_.try_emplace(svc).second) return;
   kernel_->flip().register_endpoint(
       service_flip_addr(svc),
-      [this](FlipMessage m) -> sim::Co<void> { co_await on_message(std::move(m)); });
+      [this](FlipMessage m) { return on_message(std::move(m)); });
 }
 
 sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
@@ -67,12 +68,10 @@ sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
     tr->record(kernel_->node(), trace::EventKind::kRpcSend,
                trans_key(kernel_->node(), trans_id), svc, request.size());
   }
-  auto call = std::make_unique<ClientCall>();
-  call->thread = &self;
-  call->wire = make_header(MsgType::kRequest, trans_id, svc, request);
-  call->dst = service_flip_addr(svc);
-  ClientCall* raw = call.get();
-  calls_.emplace(trans_id, std::move(call));
+  ClientCall* raw = calls_.try_emplace(trans_id).first;
+  raw->thread = &self;
+  raw->wire = make_header(MsgType::kRequest, trans_id, svc, request);
+  raw->dst = service_flip_addr(svc);
 
   ++raw->sends;
   co_await kernel_->flip().unicast(raw->dst, raw->wire, sim::Prio::kKernel);
@@ -101,9 +100,9 @@ sim::Co<RpcResult> KernelRpc::trans(Thread& self, ServiceId svc,
 void KernelRpc::retransmit_tick(std::uint32_t trans_id) {
   // The tick is cancelled when the call settles, so a live fire always finds
   // an unfinished call.
-  const auto it = calls_.find(trans_id);
-  if (it == calls_.end()) return;
-  ClientCall& call = *it->second;
+  ClientCall* found = calls_.find(trans_id);
+  if (!found) return;
+  ClientCall& call = *found;
   const CostModel& c = kernel_->costs();
   if (call.sends > c.rpc_max_retransmits) {
     call.done = true;
@@ -156,8 +155,7 @@ sim::Co<void> KernelRpc::put_reply(Thread& self, const RpcRequestHandle& req,
   co_await kernel_->charge(sim::Prio::kKernel, sim::Mechanism::kProtocolProcessing,
                            c.rpc_protocol_processing);
 
-  const ServedKey key{req.client, req.trans_id};
-  auto& entry = served_[key];
+  auto& entry = served_[trans_key(req.client, req.trans_id)];
   entry.replied = true;
   entry.service = req.service;
   entry.cached_reply = make_header(MsgType::kReply, req.trans_id, req.service, reply);
@@ -198,8 +196,8 @@ sim::Co<void> KernelRpc::on_message(FlipMessage m) {
     case MsgType::kServerBusy: {
       // The server is alive and still working: keep retransmitting (as a
       // liveness probe) but never give up on this transaction.
-      const auto it = calls_.find(trans_id);
-      if (it != calls_.end() && !it->second->done) it->second->sends = 1;
+      ClientCall* call = calls_.find(trans_id);
+      if (call && !call->done) call->sends = 1;
       break;
     }
   }
@@ -211,9 +209,9 @@ sim::Co<void> KernelRpc::on_request(NodeId client, std::uint32_t trans_id,
   co_await kernel_->charge(sim::Prio::kInterrupt,
                            sim::Mechanism::kProtocolProcessing,
                            c.rpc_protocol_processing);
-  const ServedKey key{client, trans_id};
-  if (const auto it = served_.find(key); it != served_.end()) {
-    if (it->second.replied) {
+  const std::uint64_t key = trans_key(client, trans_id);
+  if (ServedEntry* entry = served_.find(key)) {
+    if (entry->replied) {
       // Client missed the reply: resend the cached one.
       ++retransmits_;
       m_retransmits_.add();
@@ -222,7 +220,7 @@ sim::Co<void> KernelRpc::on_request(NodeId client, std::uint32_t trans_id,
                    trans_key(client, trans_id), trace::kReasonCachedReply);
       }
       co_await kernel_->flip().unicast(rpc_client_addr(client),
-                                       it->second.cached_reply,
+                                       entry->cached_reply,
                                        sim::Prio::kKernel);
     } else {
       ++dup_dropped_;
@@ -235,8 +233,8 @@ sim::Co<void> KernelRpc::on_request(NodeId client, std::uint32_t trans_id,
     }
     co_return;
   }
-  auto service_it = services_.find(svc);
-  if (service_it == services_.end()) co_return;  // nobody serves this here
+  Service* found = services_.find(svc);
+  if (!found) co_return;  // nobody serves this here
 
   // The exactly-once commit point: from here on the transaction is in
   // served_ and every duplicate is absorbed above.
@@ -244,12 +242,13 @@ sim::Co<void> KernelRpc::on_request(NodeId client, std::uint32_t trans_id,
     tr->record(kernel_->node(), trace::EventKind::kRpcExec,
                trans_key(client, trans_id));
   }
-  served_[key].replied = false;
-  served_[key].expires = kernel_->sim().now() + c.reply_cache_ttl;
+  ServedEntry& fresh = served_[key];
+  fresh.replied = false;
+  fresh.expires = kernel_->sim().now() + c.reply_cache_ttl;
   if (!gc_timer_.pending()) {
     gc_timer_.schedule(c.reply_cache_ttl, [this] { gc_served(); });
   }
-  Service& service = service_it->second;
+  Service& service = *found;
   service.pending.emplace_back(client, trans_id, std::move(payload));
   if (!service.waiting.empty()) {
     Thread* server = service.waiting.front();
@@ -266,9 +265,9 @@ sim::Co<void> KernelRpc::on_reply(std::uint32_t trans_id, ServiceId svc,
   co_await kernel_->charge(sim::Prio::kInterrupt,
                            sim::Mechanism::kProtocolProcessing,
                            c.rpc_protocol_processing);
-  const auto it = calls_.find(trans_id);
-  if (it != calls_.end() && !it->second->done) {
-    ClientCall& call = *it->second;
+  ClientCall* found = calls_.find(trans_id);
+  if (found && !found->done) {
+    ClientCall& call = *found;
     call.retransmit.cancel();
     call.done = true;
     call.status = RpcStatus::kOk;
@@ -291,21 +290,18 @@ sim::Co<void> KernelRpc::on_reply(std::uint32_t trans_id, ServiceId svc,
 }
 
 void KernelRpc::on_ack(NodeId client, std::uint32_t trans_id) {
-  served_.erase(ServedKey{client, trans_id});
+  served_.erase(trans_key(client, trans_id));
 }
 
 void KernelRpc::gc_served() {
   const sim::Time now = kernel_->sim().now();
-  for (auto it = served_.begin(); it != served_.end();) {
-    // Only *completed* transactions age out; an in-progress one (e.g. a
-    // guarded Orca operation parked as a continuation) must keep its
-    // duplicate suppression no matter how long it blocks.
-    if (it->second.replied && it->second.expires <= now) {
-      it = served_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  // Only *completed* transactions age out; an in-progress one (e.g. a
+  // guarded Orca operation parked as a continuation) must keep its
+  // duplicate suppression no matter how long it blocks. Erasure order is
+  // unobservable, so the flat map's erase_if is safe here.
+  served_.erase_if([now](std::uint64_t, const ServedEntry& e) {
+    return e.replied && e.expires <= now;
+  });
   if (!served_.empty()) {
     gc_timer_.schedule(kernel_->costs().reply_cache_ttl / 2, [this] { gc_served(); });
   }

@@ -17,15 +17,13 @@
 
 #include <cstdint>
 #include <deque>
-#include <map>
-#include <memory>
-#include <unordered_map>
 
 #include "amoeba/flip.h"
 #include "amoeba/kernel.h"
 #include "metrics/handles.h"
 #include "net/buffer.h"
 #include "sim/co.h"
+#include "sim/flat_map.h"
 #include "sim/timer.h"
 
 namespace amoeba {
@@ -125,13 +123,6 @@ class KernelRpc {
     std::deque<Thread*> waiting;
   };
 
-  struct ServedKey {
-    NodeId client;
-    std::uint32_t trans_id;
-    bool operator<(const ServedKey& o) const noexcept {
-      return client != o.client ? client < o.client : trans_id < o.trans_id;
-    }
-  };
   struct ServedEntry {
     bool replied = false;
     ServiceId service = 0;
@@ -163,9 +154,14 @@ class KernelRpc {
   metrics::HistogramHandle m_latency_;
   bool client_endpoint_ready_ = false;
   std::uint32_t next_trans_ = 1;
-  std::unordered_map<std::uint32_t, std::unique_ptr<ClientCall>> calls_;
-  std::unordered_map<ServiceId, Service> services_;
-  std::map<ServedKey, ServedEntry> served_;
+  // Hot per-packet state lives in flat/slab containers (sim/flat_map.h):
+  // calls_ and services_ hand out pointers that must survive inserts while a
+  // coroutine is suspended, so they get slab-backed stable addresses; the
+  // reply cache is keyed by the packed (client, trans_id) word and never
+  // escapes a reference across a suspension.
+  sim::SlabMap<std::uint32_t, ClientCall> calls_;
+  sim::SlabMap<ServiceId, Service> services_;
+  sim::FlatMap<std::uint64_t, ServedEntry> served_;
   sim::Timer gc_timer_{kernel_->sim()};
   std::uint64_t served_count_ = 0;
   std::uint64_t retransmits_ = 0;

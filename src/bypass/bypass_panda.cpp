@@ -40,7 +40,7 @@ class BypassPanda final : public Panda {
 
   void start() override {
     start_thread("bypass-cq-poller",
-                 [this](Thread& t) -> sim::Co<void> { co_await poll_loop(t); });
+                 [this](Thread& t) { return poll_loop(t); });
   }
 
   [[nodiscard]] bypass::BypassDevice* bypass_device() noexcept override {

@@ -44,14 +44,12 @@ BypassDevice::BypassDevice(Kernel& kernel)
 // --- Small helpers -----------------------------------------------------------
 
 BypassDevice::Conn& BypassDevice::conn(NodeId peer) {
-  auto it = conns_.find(peer);
-  if (it == conns_.end()) {
-    auto c = std::make_unique<Conn>(kernel_->sim());
+  auto [c, fresh] = conns_.try_emplace(peer, kernel_->sim());
+  if (fresh) {
     c->peer = peer;
     c->mac = net::Network::mac_of(peer);
-    it = conns_.emplace(peer, std::move(c)).first;
   }
-  return *it->second;
+  return *c;
 }
 
 std::uint64_t BypassDevice::make_wr() noexcept {
@@ -591,10 +589,10 @@ sim::Co<Completion> BypassDevice::fetch_add(NodeId peer, std::uint64_t rkey,
 void BypassDevice::silence() {
   silenced_ = true;
   rxq_.clear();
-  for (auto& [peer, c] : conns_) {
-    c->rto.cancel();
-    c->ack_timer.cancel();
-  }
+  conns_.for_each([](NodeId, Conn& c) {
+    c.rto.cancel();
+    c.ack_timer.cancel();
+  });
 }
 
 }  // namespace bypass

@@ -41,6 +41,7 @@
 #include "amoeba/kernel.h"
 #include "net/buffer.h"
 #include "net/frame.h"
+#include "sim/flat_map.h"
 #include "sim/sync.h"
 #include "sim/timer.h"
 #include "trace/tracer.h"
@@ -265,7 +266,10 @@ class BypassDevice {
                                                   std::uint32_t post_bytes);
 
   Kernel* kernel_;
-  std::unordered_map<NodeId, std::unique_ptr<Conn>> conns_;
+  // Per-peer QP state packed in a slab (sim/flat_map.h): dense NodeId
+  // lookup, stable Conn addresses (pump/retransmit hold Conn& across
+  // suspensions), and no per-connection heap node.
+  sim::SlabMap<NodeId, Conn> conns_;
   std::unordered_map<std::uint64_t, Region> regions_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Waiter>> waiters_;
   std::deque<Completion> cq_;

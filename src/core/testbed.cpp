@@ -215,9 +215,13 @@ struct ObserveOpts {
   sim::Time series_window = 0;
   SeriesCapture* series = nullptr;
   TracedRun* traced = nullptr;
+  /// When set, receives the simulator clock at the end of the run — the
+  /// sim-seconds numerator of the BM_SimRate host-speed gauge.
+  sim::Time* total_sim_time = nullptr;
 };
 
 void harvest(Testbed& bed, sim::Time latency, const ObserveOpts& opts) {
+  if (opts.total_sim_time != nullptr) *opts.total_sim_time = bed.sim().now();
   if (opts.series != nullptr && bed.series() != nullptr) {
     bed.series()->finish(bed.sim().now());
     opts.series->window = bed.series()->window();
@@ -307,6 +311,15 @@ sim::Time measure_rpc_latency(Binding binding, std::size_t bytes, int rounds,
 sim::Time measure_group_latency(Binding binding, std::size_t bytes, int rounds,
                                 std::uint64_t seed) {
   return group_latency_run(binding, bytes, rounds, seed, {});
+}
+
+sim::Time rpc_loop_sim_time(Binding binding, std::size_t bytes, int rounds,
+                            std::uint64_t seed) {
+  ObserveOpts opts;
+  sim::Time total = 0;
+  opts.total_sim_time = &total;
+  (void)rpc_latency_run(binding, bytes, rounds, seed, opts);
+  return total;
 }
 
 TracedRun traced_rpc_run(Binding binding, std::size_t bytes, int rounds,

@@ -128,6 +128,13 @@ class Testbed {
                                             int rounds = 10,
                                             std::uint64_t seed = 42);
 
+/// Total simulated time of a complete RPC-loop run (boot + warm-up +
+/// `rounds` calls of `bytes` each): the sim-seconds numerator of the
+/// BM_SimRate sim-seconds-per-host-second gauge in bench_sim_engine.
+[[nodiscard]] sim::Time rpc_loop_sim_time(Binding binding, std::size_t bytes,
+                                          int rounds = 10,
+                                          std::uint64_t seed = 42);
+
 /// Group latency: 2 members, sequencer on the other machine, sender waits
 /// for its own message (Table 1, group columns).
 [[nodiscard]] sim::Time measure_group_latency(Binding binding, std::size_t bytes,

@@ -83,6 +83,8 @@ void RunReport::add_registry(const MetricsRegistry& reg,
   }
 }
 
+const char* RunReport::git_stamp() noexcept { return AMOEBA_GIT_DESCRIBE; }
+
 std::string RunReport::json() const {
   JsonWriter w;
   w.begin_object();

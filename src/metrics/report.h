@@ -36,6 +36,10 @@ class RunReport {
 
   explicit RunReport(std::string bench) : bench_(std::move(bench)) {}
 
+  /// The `git describe --always --dirty` stamp every report carries (baked
+  /// in at configure time). Lets writers refuse or flag `-dirty` baselines.
+  [[nodiscard]] static const char* git_stamp() noexcept;
+
   // Run configuration (testbed shape, seed, flags).
   void set_config(std::string key, std::string value);
   void set_config(std::string key, std::int64_t value);

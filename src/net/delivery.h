@@ -37,20 +37,21 @@ class DeliveryPort {
                        const Attachment* originator) = 0;
 };
 
-/// Single-engine delivery: schedule into the destination segment's simulator.
+/// Single-engine delivery: schedule into the destination segment's simulator,
+/// coalescing same-tick frames per destination (Segment::enqueue_delivery)
+/// into one dispatched event.
 class DirectDeliveryPort final : public DeliveryPort {
  public:
   void deliver(Segment& /*from*/, Segment& to, sim::Time t, Frame frame,
                const Attachment* originator) override {
-    to.simulator().at(
-        t, [&to, frame = std::move(frame), originator]() mutable {
-          to.transmit(std::move(frame), originator);
-        });
+    to.enqueue_delivery(t, std::move(frame), originator);
   }
 };
 
 /// Partitioned delivery: cross-partition frames become mailbox messages and
-/// never schedule into a foreign heap.
+/// never schedule into a foreign heap; same-partition frames take the
+/// coalescing path of the single-engine port, so the intra-partition hot path
+/// batches exactly like the mailboxes batch across the barrier.
 class PartitionedDeliveryPort final : public DeliveryPort {
  public:
   explicit PartitionedDeliveryPort(sim::PartitionedSimulator& psim)
@@ -58,6 +59,10 @@ class PartitionedDeliveryPort final : public DeliveryPort {
 
   void deliver(Segment& from, Segment& to, sim::Time t, Frame frame,
                const Attachment* originator) override {
+    if (from.partition() == to.partition()) {
+      to.enqueue_delivery(t, std::move(frame), originator);
+      return;
+    }
     psim_->post(from.partition(), to.partition(), t,
                 sim::EventFn([&to, frame = std::move(frame),
                               originator]() mutable {

@@ -22,6 +22,49 @@ std::uint64_t pack_src_dst(const Frame& f) noexcept {
 
 }  // namespace
 
+bool Segment::coalesce_deliveries_ = true;
+
+void Segment::set_delivery_coalescing(bool on) noexcept {
+  coalesce_deliveries_ = on;
+}
+
+bool Segment::delivery_coalescing() noexcept { return coalesce_deliveries_; }
+
+void Segment::enqueue_delivery(sim::Time t, Frame frame,
+                               const Attachment* originator) {
+  // Absorb into the armed batch only when nothing was scheduled on this
+  // engine since the batch event: next_seq() still where arming left it.
+  // Then no event can order between the folded frames, so dispatching them
+  // from one event is indistinguishable from one event per frame.
+  if (batch_armed_ && batch_t_ == t && sim_->next_seq() == batch_guard_seq_) {
+    batch_items_.push_back(Pending{std::move(frame), originator});
+    return;
+  }
+  if (!coalesce_deliveries_ || batch_armed_) {
+    // Coalescing off, or a batch is in flight that cannot absorb this frame
+    // (other events intervened): a plain per-frame event, carrying exactly
+    // the sequence number the unbatched reference would have drawn.
+    sim_->at(t, [this, frame = std::move(frame), originator]() mutable {
+      transmit(std::move(frame), originator);
+    });
+    return;
+  }
+  batch_armed_ = true;
+  batch_t_ = t;
+  batch_items_.push_back(Pending{std::move(frame), originator});
+  sim_->at(t, [this] { flush_delivery_batch(); });
+  batch_guard_seq_ = sim_->next_seq();
+}
+
+void Segment::flush_delivery_batch() {
+  batch_armed_ = false;
+  // Swap the items out before transmitting: a transmit can re-arm a fresh
+  // batch on this very segment, which must not alias the draining list.
+  batch_scratch_.swap(batch_items_);
+  for (Pending& p : batch_scratch_) transmit(std::move(p.frame), p.originator);
+  batch_scratch_.clear();
+}
+
 void Segment::transmit(Frame frame, const Attachment* originator) {
   sim::require(frame.payload.size() <= wire_.mtu,
                "Segment::transmit: frame exceeds the 1500-byte MTU; the "

@@ -39,6 +39,22 @@ class Segment {
   /// its own transmission.
   void transmit(Frame frame, const Attachment* originator = nullptr);
 
+  /// Schedule `frame` to enter transmit() on this segment at absolute time
+  /// `t`, coalescing same-tick deliveries into one engine event when that is
+  /// provably invisible: a pending batch absorbs another frame only while
+  /// the engine's next sequence number is exactly where the batch left it —
+  /// i.e. *nothing at all* was scheduled on this engine in between, so no
+  /// other event can order between the folded frames and the relabelling is
+  /// observationally exact (the trace fixtures replay byte-identical with
+  /// coalescing on or off). This is the intra-partition mirror of the
+  /// cross-partition mailboxes, which already batch at window barriers.
+  void enqueue_delivery(sim::Time t, Frame frame, const Attachment* originator);
+
+  /// Process-wide test hook: disable same-tick delivery coalescing so replay
+  /// suites can pin batched == unbatched. Flip only between runs.
+  static void set_delivery_coalescing(bool on) noexcept;
+  [[nodiscard]] static bool delivery_coalescing() noexcept;
+
   /// Install a wire-level loss hook: return true to drop the frame after it
   /// consumed wire time (no station receives it).
   void set_loss_hook(std::function<bool(const Frame&)> hook) {
@@ -86,6 +102,7 @@ class Segment {
   };
 
   void start_next();
+  void flush_delivery_batch();
 
   sim::Simulator* sim_;
   unsigned partition_ = 0;
@@ -101,6 +118,18 @@ class Segment {
   std::uint64_t bytes_ = 0;
   std::uint64_t dropped_ = 0;
   std::size_t queue_peak_ = 0;
+
+  // Same-tick delivery batch (see enqueue_delivery). Only this segment's
+  // engine touches it, so it is partition-local by construction. The items
+  // and scratch vectors ping-pong in flush to keep their capacity without
+  // aliasing a re-armed batch while the flush loop is still draining.
+  std::vector<Pending> batch_items_;
+  std::vector<Pending> batch_scratch_;
+  sim::Time batch_t_ = 0;
+  std::uint64_t batch_guard_seq_ = 0;
+  bool batch_armed_ = false;
+
+  static bool coalesce_deliveries_;
 };
 
 }  // namespace net

@@ -62,9 +62,7 @@ PanGroup::Unit PanGroup::parse_wire(const net::Payload& p,
 
 void PanGroup::start() {
   sys_->register_handler(PanSys::Module::kGroup,
-                         [this](SysMsg m) -> sim::Co<void> {
-                           co_await on_group_message(std::move(m));
-                         });
+                         [this](SysMsg m) { return on_group_message(std::move(m)); });
   if (config_->replicated_sequencer) {
     paxos::Config pc;
     pc.replicas = config_->replica_set();
@@ -77,9 +75,8 @@ void PanGroup::start() {
       // pays the daemon -> sequencer thread switch, the user-space cost the
       // paper measures (§4.3) — now on the whole replica set.
       seq_thread_ = &kernel_->start_thread(
-          "pan_group-sequencer", [this](Thread& self) -> sim::Co<void> {
-            co_await sequencer_loop(self);
-          });
+          "pan_group-sequencer",
+          [this](Thread& self) { return sequencer_loop(self); });
       sys_->set_sequencer_thread(*seq_thread_);
     }
     return;
@@ -87,9 +84,8 @@ void PanGroup::start() {
   if (is_sequencer()) {
     seq_ = std::make_unique<SequencerState>();
     seq_thread_ = &kernel_->start_thread(
-        "pan_group-sequencer", [this](Thread& self) -> sim::Co<void> {
-          co_await sequencer_loop(self);
-        });
+        "pan_group-sequencer",
+        [this](Thread& self) { return sequencer_loop(self); });
     sys_->set_sequencer_thread(*seq_thread_);
   }
 }
@@ -394,9 +390,11 @@ void PanGroup::lag_watchdog_tick() {
   for (const NodeId member : config_->nodes) {
     const std::uint32_t h = member == kernel_->node()
                                 ? next_expected_ - 1
-                                : (seq.horizon.contains(member)
-                                       ? seq.horizon.at(member)
-                                       : 0);
+                                : [&] {
+                                    const std::uint32_t* hm =
+                                        seq.horizon.find(member);
+                                    return hm ? *hm : 0u;
+                                  }();
     if (h >= target) continue;
     lagging = true;
     // Resend the first message this member is missing (if still in history);
@@ -459,9 +457,9 @@ void PanGroup::seq_trim() {
   std::uint32_t min_horizon = next_expected_ - 1;
   for (const NodeId member : config_->nodes) {
     if (member == kernel_->node()) continue;
-    const auto it = seq.horizon.find(member);
-    if (it == seq.horizon.end()) return;  // someone has never reported
-    min_horizon = std::min(min_horizon, it->second);
+    const std::uint32_t* h = seq.horizon.find(member);
+    if (!h) return;  // someone has never reported
+    min_horizon = std::min(min_horizon, *h);
   }
   while (!seq.history.empty() && seq.history.front().seqno <= min_horizon) {
     // Keep the dedup entry past the trim (a retry may still be in flight;

@@ -31,6 +31,7 @@
 #include "panda/pan_sys.h"
 #include "panda/panda.h"
 #include "paxos/paxos.h"
+#include "sim/flat_map.h"
 #include "sim/co.h"
 
 namespace panda {
@@ -140,7 +141,7 @@ class PanGroup {
     // answered from history or dropped, never sequenced a second time.
     std::map<UnitKey, std::uint32_t> sequenced;
     std::deque<UnitKey> retired;  // trimmed message keys, oldest first
-    std::unordered_map<NodeId, std::uint32_t> horizon;
+    sim::FlatMap<NodeId, std::uint32_t> horizon;
     std::deque<Unit> pending;
     bool status_round_active = false;
     std::uint64_t total_sequenced = 0;

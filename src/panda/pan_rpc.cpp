@@ -22,9 +22,8 @@ constexpr sim::Time kExplicitAckDelay = sim::msec(20);
 }  // namespace
 
 void PanRpc::start() {
-  sys_->register_handler(PanSys::Module::kRpc, [this](SysMsg m) -> sim::Co<void> {
-    co_await on_message(std::move(m));
-  });
+  sys_->register_handler(PanSys::Module::kRpc,
+                         [this](SysMsg m) { return on_message(std::move(m)); });
 }
 
 net::Payload PanRpc::make_wire(MsgType type, std::uint32_t trans_id,
@@ -64,12 +63,10 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
                trans_key(kernel_->node(), trans_id), dst, request.size());
   }
   std::uint32_t piggyback = 0;
-  if (const auto it = unacked_reply_.find(dst); it != unacked_reply_.end()) {
-    piggyback = it->second;
-    unacked_reply_.erase(it);
-    if (const auto t = ack_timers_.find(dst); t != ack_timers_.end()) {
-      t->second.cancel();
-    }
+  if (const std::uint32_t* unacked = unacked_reply_.find(dst)) {
+    piggyback = *unacked;
+    unacked_reply_.erase(dst);
+    if (sim::EventHandle* t = ack_timers_.find(dst)) t->cancel();
     ++piggy_acks_;
     if (auto* tr = kernel_->sim().tracer()) {
       tr->record(kernel_->node(), trace::EventKind::kAck,
@@ -77,12 +74,10 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
     }
   }
 
-  auto out = std::make_unique<Outstanding>();
-  out->thread = &self;
-  out->dst = dst;
-  out->wire = make_wire(MsgType::kRequest, trans_id, piggyback, request);
-  Outstanding* raw = out.get();
-  outstanding_.emplace(trans_id, std::move(out));
+  Outstanding* raw = outstanding_.try_emplace(trans_id).first;
+  raw->thread = &self;
+  raw->dst = dst;
+  raw->wire = make_wire(MsgType::kRequest, trans_id, piggyback, request);
 
   ++raw->sends;
   co_await sys_->unicast(self, dst, PanSys::Module::kRpc, raw->wire);
@@ -115,9 +110,9 @@ sim::Co<RpcReply> PanRpc::call(Thread& self, NodeId dst, net::Payload request) {
 void PanRpc::retransmit_tick(std::uint32_t trans_id) {
   // The tick is cancelled when the call settles, so a live fire always finds
   // an unfinished call.
-  const auto it = outstanding_.find(trans_id);
-  if (it == outstanding_.end()) return;
-  Outstanding& out = *it->second;
+  Outstanding* found = outstanding_.find(trans_id);
+  if (!found) return;
+  Outstanding& out = *found;
   const CostModel& c = kernel_->costs();
   if (out.sends > c.rpc_max_retransmits) {
     out.done = true;
@@ -140,10 +135,10 @@ void PanRpc::retransmit_tick(std::uint32_t trans_id) {
 }
 
 void PanRpc::ack_tick(NodeId dst) {
-  const auto it = unacked_reply_.find(dst);
-  if (it == unacked_reply_.end()) return;
-  const std::uint32_t trans_id = it->second;
-  unacked_reply_.erase(it);
+  const std::uint32_t* unacked = unacked_reply_.find(dst);
+  if (!unacked) return;
+  const std::uint32_t trans_id = *unacked;
+  unacked_reply_.erase(dst);
   ++explicit_acks_;
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kAck,
@@ -156,18 +151,17 @@ void PanRpc::ack_tick(NodeId dst) {
 }
 
 sim::Co<void> PanRpc::reply(Thread& self, RpcTicket ticket, net::Payload payload) {
-  const auto it = tickets_.find(ticket.id);
-  sim::require(it != tickets_.end(), "PanRpc::reply: unknown ticket");
-  const TicketState ts = it->second;
-  tickets_.erase(it);
+  const TicketState* found = tickets_.find(ticket.id);
+  sim::require(found != nullptr, "PanRpc::reply: unknown ticket");
+  const TicketState ts = *found;
+  tickets_.erase(ticket.id);
 
   const CostModel& c = kernel_->costs();
   co_await charge_locks(1);
   co_await kernel_->charge(Prio::kUserHigh, Mechanism::kProtocolProcessing,
                            c.rpc_protocol_processing);
   net::Payload wire = make_wire(MsgType::kReply, ts.trans_id, 0, payload);
-  served_[ServedKey{ts.client, ts.trans_id}] =
-      ServedEntry{true, wire};
+  served_[trans_key(ts.client, ts.trans_id)] = ServedEntry{true, wire};
   ++served_count_;
   if (auto* tr = kernel_->sim().tracer()) {
     tr->record(kernel_->node(), trace::EventKind::kRpcReply,
@@ -187,15 +181,15 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
   co_await charge_locks(1);
 
   if (piggyback != 0) {
-    served_.erase(ServedKey{msg.src, piggyback});
+    served_.erase(trans_key(msg.src, piggyback));
   }
 
   switch (type) {
     case MsgType::kRequest: {
-      const ServedKey key{msg.src, trans_id};
-      if (const auto it = served_.find(key); it != served_.end()) {
+      const std::uint64_t key = trans_key(msg.src, trans_id);
+      if (const ServedEntry* entry = served_.find(key)) {
         Thread* daemon = sys_->daemon_thread();
-        if (it->second.replied) {
+        if (entry->replied) {
           ++retransmits_;
           m_retransmits_.add();
           if (auto* tr = kernel_->sim().tracer()) {
@@ -204,7 +198,7 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
                        trace::kReasonCachedReply);
           }
           co_await sys_->unicast(*daemon, msg.src, PanSys::Module::kRpc,
-                                 it->second.cached_reply_wire);
+                                 entry->cached_reply_wire);
         } else {
           // Reply still pending (parked continuation): keepalive.
           co_await sys_->unicast(*daemon, msg.src, PanSys::Module::kRpc,
@@ -218,7 +212,7 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
         tr->record(kernel_->node(), trace::EventKind::kRpcExec,
                    trans_key(msg.src, trans_id));
       }
-      served_.emplace(key, ServedEntry{});
+      served_.try_emplace(key);
       const std::uint64_t ticket_id = next_ticket_++;
       tickets_[ticket_id] = TicketState{msg.src, trans_id};
       co_await kernel_->charge(Prio::kUserHigh, Mechanism::kProtocolProcessing,
@@ -235,9 +229,9 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
       break;
     }
     case MsgType::kReply: {
-      const auto it = outstanding_.find(trans_id);
-      if (it == outstanding_.end() || it->second->done) co_return;
-      Outstanding& out = *it->second;
+      Outstanding* found = outstanding_.find(trans_id);
+      if (!found || found->done) co_return;
+      Outstanding& out = *found;
       out.retransmit.cancel();
       out.done = true;
       out.status = RpcStatus::kOk;
@@ -258,11 +252,11 @@ sim::Co<void> PanRpc::on_message(SysMsg msg) {
       break;
     }
     case MsgType::kAck:
-      served_.erase(ServedKey{msg.src, trans_id});
+      served_.erase(trans_key(msg.src, trans_id));
       break;
     case MsgType::kServerBusy: {
-      const auto it = outstanding_.find(trans_id);
-      if (it != outstanding_.end() && !it->second->done) it->second->sends = 1;
+      Outstanding* busy = outstanding_.find(trans_id);
+      if (busy && !busy->done) busy->sends = 1;
       break;
     }
   }

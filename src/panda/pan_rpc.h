@@ -13,15 +13,13 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
-#include <memory>
-#include <unordered_map>
 
 #include "amoeba/kernel.h"
 #include "metrics/handles.h"
 #include "panda/pan_sys.h"
 #include "panda/panda.h"
 #include "sim/co.h"
+#include "sim/flat_map.h"
 
 namespace panda {
 
@@ -75,13 +73,6 @@ class PanRpc {
     int sends = 0;
   };
 
-  struct ServedKey {
-    NodeId client;
-    std::uint32_t trans_id;
-    bool operator<(const ServedKey& o) const noexcept {
-      return client != o.client ? client < o.client : trans_id < o.trans_id;
-    }
-  };
   struct ServedEntry {
     bool replied = false;
     net::Payload cached_reply_wire;
@@ -111,12 +102,16 @@ class PanRpc {
   RpcHandler handler_;
   std::uint32_t next_trans_ = 1;
   std::uint64_t next_ticket_ = 1;
-  std::unordered_map<std::uint32_t, std::unique_ptr<Outstanding>> outstanding_;
-  std::map<ServedKey, ServedEntry> served_;
-  std::unordered_map<std::uint64_t, TicketState> tickets_;
+  // Dense protocol state (sim/flat_map.h): outstanding calls hand a raw
+  // pointer across suspensions, so they live in a slab; everything else is
+  // looked up fresh per packet and sits in flat tables. The reply cache is
+  // keyed by the packed (client, trans_id) word.
+  sim::SlabMap<std::uint32_t, Outstanding> outstanding_;
+  sim::FlatMap<std::uint64_t, ServedEntry> served_;
+  sim::FlatMap<std::uint64_t, TicketState> tickets_;
   // Per-server unacknowledged reply (piggyback state) + explicit-ack event.
-  std::unordered_map<NodeId, std::uint32_t> unacked_reply_;
-  std::unordered_map<NodeId, sim::EventHandle> ack_timers_;
+  sim::FlatMap<NodeId, std::uint32_t> unacked_reply_;
+  sim::FlatMap<NodeId, sim::EventHandle> ack_timers_;
   std::uint64_t lock_ops_ = 0;
   std::uint64_t piggy_acks_ = 0;
   std::uint64_t explicit_acks_ = 0;

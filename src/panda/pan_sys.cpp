@@ -21,17 +21,12 @@ void PanSys::start() {
   started_ = true;
   kernel_->flip().register_endpoint(
       process_addr(kernel_->node()),
-      [this](amoeba::FlipMessage m) -> sim::Co<void> {
-        co_await on_flip_message(std::move(m));
-      });
+      [this](amoeba::FlipMessage m) { return on_flip_message(std::move(m)); });
   kernel_->flip().register_group(
-      process_group_addr(), [this](amoeba::FlipMessage m) -> sim::Co<void> {
-        co_await on_flip_message(std::move(m));
-      });
+      process_group_addr(),
+      [this](amoeba::FlipMessage m) { return on_flip_message(std::move(m)); });
   daemon_ = &kernel_->start_thread(
-      "pan_sys-daemon", [this](Thread& self) -> sim::Co<void> {
-        co_await daemon_loop(self);
-      });
+      "pan_sys-daemon", [this](Thread& self) { return daemon_loop(self); });
 }
 
 sim::Co<void> PanSys::unicast(Thread& self, NodeId dst, Module m,

@@ -67,9 +67,8 @@ class KernelPanda final : public Panda {
 
   void spawn_daemon() {
     ++daemon_count_;
-    start_thread("rpc-daemon", [this](Thread& self) -> sim::Co<void> {
-      co_await rpc_daemon_loop(self);
-    });
+    start_thread("rpc-daemon",
+                 [this](Thread& self) { return rpc_daemon_loop(self); });
   }
 
   sim::Co<RpcReply> rpc(Thread& self, NodeId dst, net::Payload request) override {

@@ -1,0 +1,337 @@
+// Cache-conscious associative containers for hot protocol state.
+//
+// The protocol layers (Amoeba RPC, FLIP, Panda RPC, bypass verbs) key their
+// per-transaction and per-connection state by small integers — transaction
+// ids, FLIP addresses, node ids. std::map and std::unordered_map put every
+// entry in its own heap node, so the per-packet lookup walks two or three
+// cache lines of pointers before it touches the state it wanted. The
+// containers here keep entries in flat arrays instead:
+//
+//   * FlatMap: open-addressing hash table, linear probing, backward-shift
+//     deletion (no tombstones). One contiguous slot array; a lookup is a
+//     hash, a masked index, and a short scan of adjacent slots. Values live
+//     inline, so rehashing MOVES them — never hold a reference across an
+//     operation that can insert, and never across a co_await (another
+//     coroutine may insert while this one is suspended).
+//   * Slab: chunked arena with stable addresses and O(1) free-list reuse,
+//     the same layout as the event engine's callable storage. For state
+//     whose address must survive inserts (a raw pointer held across a
+//     co_await, a handler whose coroutine frames point into it).
+//   * SlabMap: FlatMap<K, slot-index> over a Slab<V> — dense index-addressed
+//     lookup AND stable value addresses. The replacement for
+//     unordered_map<K, unique_ptr<V>> without the per-entry allocation.
+//
+// Determinism: layout depends only on the operation sequence and the hash
+// function (a fixed 64-bit mixer — no per-process seeding), so iteration
+// order is reproducible across runs, machines, and partition counts. It is
+// NOT insertion order: code must not let iteration order reach anything
+// observable (traces, wire traffic). Every converted call site was audited
+// for that; new iterating code should use erase_if/for_each and stay
+// order-independent.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "sim/require.h"
+
+namespace sim {
+
+/// Fixed 64-bit finalizer (splitmix64): full avalanche, so sequential ids —
+/// the common key distribution here — spread over the whole table.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// Default hash: any integral or enum key up to 64 bits.
+template <typename K>
+struct DenseHash {
+  [[nodiscard]] std::uint64_t operator()(const K& k) const noexcept {
+    return mix64(static_cast<std::uint64_t>(k));
+  }
+};
+
+// V must be default-constructible and movable: values live inline, empty
+// slots default-construct, and rehash/backward-shift relocate by move. (Not
+// a static_assert: nested classes with default member initializers only
+// become default-constructible once the enclosing class is complete, which
+// would reject valid member-of-member uses.)
+template <typename K, typename V, typename Hash = DenseHash<K>>
+class FlatMap {
+ public:
+  FlatMap() = default;
+  FlatMap(const FlatMap&) = delete;
+  FlatMap& operator=(const FlatMap&) = delete;
+  FlatMap(FlatMap&&) = default;
+  FlatMap& operator=(FlatMap&&) = default;
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  /// Pointer to the mapped value, or nullptr. Invalidated by any insert.
+  [[nodiscard]] V* find(const K& key) noexcept {
+    if (size_ == 0) return nullptr;
+    for (std::size_t i = ideal(key);; i = next(i)) {
+      Slot& s = slots_[i];
+      if (!s.used) return nullptr;
+      if (s.key == key) return &s.value;
+    }
+  }
+  [[nodiscard]] const V* find(const K& key) const noexcept {
+    return const_cast<FlatMap*>(this)->find(key);
+  }
+  [[nodiscard]] bool contains(const K& key) const noexcept {
+    return find(key) != nullptr;
+  }
+
+  /// Insert a default-constructed value if absent. Returns {value, inserted}.
+  std::pair<V*, bool> try_emplace(const K& key) {
+    reserve_one();
+    for (std::size_t i = ideal(key);; i = next(i)) {
+      Slot& s = slots_[i];
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        ++size_;
+        return {&s.value, true};
+      }
+      if (s.key == key) return {&s.value, false};
+    }
+  }
+
+  V& operator[](const K& key) { return *try_emplace(key).first; }
+
+  /// Erase by key; returns whether an entry was removed. Backward-shift
+  /// deletion keeps probe chains hole-free without tombstones.
+  bool erase(const K& key) {
+    if (size_ == 0) return false;
+    for (std::size_t i = ideal(key);; i = next(i)) {
+      Slot& s = slots_[i];
+      if (!s.used) return false;
+      if (s.key == key) {
+        erase_slot(i);
+        return true;
+      }
+    }
+  }
+
+  /// Erase every entry for which pred(key, value) is true. Safe with respect
+  /// to the backward-shift relocation (keys are collected first); use this
+  /// instead of iterate-and-erase.
+  template <typename Pred>
+  std::size_t erase_if(Pred&& pred) {
+    std::vector<K> doomed;
+    for (Slot& s : slots_) {
+      if (s.used && pred(const_cast<const K&>(s.key), s.value)) {
+        doomed.push_back(s.key);
+      }
+    }
+    for (const K& k : doomed) erase(k);
+    return doomed.size();
+  }
+
+  /// Visit every entry as f(const K&, V&). Slot order: deterministic but
+  /// arbitrary — callers must be order-independent.
+  template <typename F>
+  void for_each(F&& f) {
+    for (Slot& s : slots_) {
+      if (s.used) f(const_cast<const K&>(s.key), s.value);
+    }
+  }
+
+  void clear() noexcept {
+    slots_.clear();
+    size_ = 0;
+  }
+
+ private:
+  struct Slot {
+    K key{};
+    V value{};
+    bool used = false;
+  };
+
+  [[nodiscard]] std::size_t mask() const noexcept { return slots_.size() - 1; }
+  [[nodiscard]] std::size_t ideal(const K& key) const noexcept {
+    return static_cast<std::size_t>(Hash{}(key)) & mask();
+  }
+  [[nodiscard]] std::size_t next(std::size_t i) const noexcept {
+    return (i + 1) & mask();
+  }
+  void erase_slot(std::size_t i) {
+    // Knuth's deletion for linear probing: scan to the first empty slot,
+    // refilling the hole with any entry whose ideal position lies cyclically
+    // at or before it. Entries that hash strictly between the hole and their
+    // slot must stay put, but the scan continues past them — stopping at the
+    // first perfectly-placed entry would strand later entries behind the
+    // hole and corrupt their probe chains.
+    for (std::size_t j = next(i); slots_[j].used; j = next(j)) {
+      const std::size_t home = ideal(slots_[j].key);
+      if (((j - home) & mask()) >= ((j - i) & mask())) {
+        slots_[i].key = std::move(slots_[j].key);
+        slots_[i].value = std::move(slots_[j].value);
+        i = j;
+      }
+    }
+    slots_[i].used = false;
+    slots_[i].key = K{};
+    slots_[i].value = V{};  // release resources held by the vacated slot
+    --size_;
+  }
+
+  void reserve_one() {
+    // Grow at 7/8 load; doubling keeps the mask usable and the layout a pure
+    // function of the operation sequence.
+    if (slots_.empty()) {
+      slots_.resize(16);
+    } else if ((size_ + 1) * 8 > slots_.size() * 7) {
+      std::vector<Slot> old(std::move(slots_));
+      slots_.clear();
+      slots_.resize(old.size() * 2);
+      for (Slot& s : old) {
+        if (!s.used) continue;
+        for (std::size_t i = ideal(s.key);; i = next(i)) {
+          if (slots_[i].used) continue;
+          slots_[i].used = true;
+          slots_[i].key = std::move(s.key);
+          slots_[i].value = std::move(s.value);
+          break;
+        }
+      }
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+};
+
+/// Chunked arena with stable addresses: 64 values per chunk, O(1) free-list
+/// reuse, no relocation ever. Mirrors the event engine's callable slab.
+template <typename V>
+class Slab {
+ public:
+  static constexpr std::size_t kChunkShift = 6;
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+
+  Slab() = default;
+  Slab(const Slab&) = delete;
+  Slab& operator=(const Slab&) = delete;
+  ~Slab() {
+    for (std::uint32_t i = 0; i < static_cast<std::uint32_t>(live_.size()); ++i) {
+      if (live_[i]) slot_ptr(i)->~V();
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Construct a value, returning its stable index.
+  template <typename... Args>
+  std::uint32_t emplace(Args&&... args) {
+    std::uint32_t idx;
+    if (!free_.empty()) {
+      idx = free_.back();
+      free_.pop_back();
+    } else {
+      idx = static_cast<std::uint32_t>(live_.size());
+      if ((idx >> kChunkShift) == chunks_.size()) {
+        chunks_.push_back(std::make_unique<Chunk>());
+      }
+      live_.push_back(false);
+    }
+    ::new (static_cast<void*>(slot_ptr(idx))) V(std::forward<Args>(args)...);
+    live_[idx] = true;
+    ++size_;
+    return idx;
+  }
+
+  void erase(std::uint32_t idx) {
+    require(idx < live_.size() && live_[idx], "Slab::erase: dead index");
+    slot_ptr(idx)->~V();
+    live_[idx] = false;
+    free_.push_back(idx);
+    --size_;
+  }
+
+  [[nodiscard]] V& operator[](std::uint32_t idx) noexcept { return *slot_ptr(idx); }
+  [[nodiscard]] const V& operator[](std::uint32_t idx) const noexcept {
+    return *const_cast<Slab*>(this)->slot_ptr(idx);
+  }
+
+ private:
+  struct Chunk {
+    alignas(V) unsigned char raw[sizeof(V) * kChunkSize];
+  };
+
+  [[nodiscard]] V* slot_ptr(std::uint32_t idx) noexcept {
+    return std::launder(reinterpret_cast<V*>(
+        chunks_[idx >> kChunkShift]->raw + sizeof(V) * (idx & (kChunkSize - 1))));
+  }
+
+  std::vector<std::unique_ptr<Chunk>> chunks_;
+  std::vector<bool> live_;
+  std::vector<std::uint32_t> free_;
+  std::size_t size_ = 0;
+};
+
+/// FlatMap index over a Slab of values: dense hashed lookup, stable value
+/// addresses. Replaces unordered_map<K, unique_ptr<V>> — one flat probe plus
+/// one arena access instead of a node walk, and no per-entry allocation
+/// after warm-up.
+template <typename K, typename V, typename Hash = DenseHash<K>>
+class SlabMap {
+ public:
+  SlabMap() = default;
+  SlabMap(const SlabMap&) = delete;
+  SlabMap& operator=(const SlabMap&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return slab_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return slab_.size() == 0; }
+  [[nodiscard]] bool contains(const K& key) const noexcept {
+    return index_.contains(key);
+  }
+
+  /// Stable pointer to the mapped value, or nullptr. Survives inserts and
+  /// co_awaits (only erase(key) of this entry invalidates it).
+  [[nodiscard]] V* find(const K& key) noexcept {
+    std::uint32_t* idx = index_.find(key);
+    return idx ? &slab_[*idx] : nullptr;
+  }
+
+  /// Insert V(args...) if absent. Returns {stable value pointer, inserted}.
+  template <typename... Args>
+  std::pair<V*, bool> try_emplace(const K& key, Args&&... args) {
+    auto [idx, fresh] = index_.try_emplace(key);
+    if (!fresh) return {&slab_[*idx], false};
+    *idx = slab_.emplace(std::forward<Args>(args)...);
+    return {&slab_[*idx], true};
+  }
+
+  V& operator[](const K& key) { return *try_emplace(key).first; }
+
+  bool erase(const K& key) {
+    std::uint32_t* idx = index_.find(key);
+    if (!idx) return false;
+    slab_.erase(*idx);
+    index_.erase(key);
+    return true;
+  }
+
+  /// Visit every entry as f(const K&, V&); deterministic but arbitrary order.
+  template <typename F>
+  void for_each(F&& f) {
+    index_.for_each([&](const K& k, std::uint32_t idx) { f(k, slab_[idx]); });
+  }
+
+ private:
+  FlatMap<K, std::uint32_t, Hash> index_;
+  Slab<V> slab_;
+};
+
+}  // namespace sim

@@ -20,8 +20,10 @@ std::uint32_t Simulator::grow_slot() {
   if (meta_.size() == capacity) {
     // Default-init, not make_unique's value-init: a fresh chunk must not pay
     // a zero-fill of buffers that placement-new immediately overwrites.
+    // meta_ grows by emplace_back's geometric policy — an exact-size reserve
+    // here would force a full copy of the bookkeeping array every chunk,
+    // turning large scheduling bursts quadratic.
     fn_chunks_.emplace_back(new EventFn[kChunkSize]);
-    meta_.reserve(capacity + kChunkSize);
   }
   meta_.emplace_back();
   return static_cast<std::uint32_t>(meta_.size() - 1);
@@ -35,13 +37,6 @@ void Simulator::free_slot(std::uint32_t idx) noexcept {
   free_head_ = idx;
 }
 
-EventHandle Simulator::commit(Time t, std::uint32_t idx) {
-  const std::size_t pos = heap_.size();
-  heap_.push_back(HeapEntry{t, next_seq_++, idx});
-  sift_up(pos);  // writes the final backlink for idx
-  return EventHandle(this, idx, meta_[idx].gen);
-}
-
 bool Simulator::is_live(std::uint32_t idx, std::uint32_t gen) const noexcept {
   return idx < meta_.size() && meta_[idx].gen == gen &&
          meta_[idx].heap_pos != kNoPos;
@@ -49,7 +44,14 @@ bool Simulator::is_live(std::uint32_t idx, std::uint32_t gen) const noexcept {
 
 bool Simulator::cancel_event(std::uint32_t idx, std::uint32_t gen) noexcept {
   if (!is_live(idx, gen)) return false;
-  remove_heap_entry(meta_[idx].heap_pos);
+  if (meta_[idx].heap_pos == kInBuffer) {
+    // Buffered: the slot dies now, the stale buffer entry stays behind and is
+    // skipped at dispatch (its heap_pos is no longer kInBuffer — and a reused
+    // slot cannot re-enter the buffer before the buffer is fully consumed).
+    --buffered_live_;
+  } else {
+    remove_heap_entry(meta_[idx].heap_pos);
+  }
   fn_slot(idx).reset();  // destroy the callable eagerly
   free_slot(idx);
   ++cancelled_;
@@ -59,8 +61,20 @@ bool Simulator::cancel_event(std::uint32_t idx, std::uint32_t gen) noexcept {
 bool Simulator::reschedule_event(std::uint32_t idx, std::uint32_t gen,
                                  Time delay) {
   if (!is_live(idx, gen)) return false;
+  const Time t = after_time(delay);  // may throw; nothing mutated yet
+  if (meta_[idx].heap_pos == kInBuffer) {
+    // Buffered: move the event back into the heap with a fresh sequence
+    // number; the merge in step_limit() re-orders it against the remaining
+    // buffered entries exactly as cancel-then-schedule would. The stale
+    // buffer entry is skipped at dispatch.
+    --buffered_live_;
+    const std::size_t pos = heap_.size();
+    heap_.push_back(HeapEntry{t, next_seq_++, idx});
+    sift_up(pos);  // overwrites heap_pos with the real position
+    return true;
+  }
   const std::size_t pos = meta_[idx].heap_pos;
-  heap_[pos].t = after_time(delay);
+  heap_[pos].t = t;
   // A fresh sequence number keeps equal-timestamp FIFO semantics identical to
   // cancel-then-schedule, without destroying and re-erasing the callable.
   heap_[pos].seq = next_seq_++;
@@ -118,10 +132,83 @@ EventHandle Simulator::schedule_fn(Time t, EventFn&& fn) {
   return commit(t < now_ ? now_ : t, idx);
 }
 
-bool Simulator::step() {
+void Simulator::fill_run_buffer() {
+  run_buf_.clear();
+  run_pos_ = 0;
+  run_buf_.swap(heap_);  // both keep their capacity across the exchange
+  // For the monotone schedule pattern — every new event later than all its
+  // predecessors — sift_up never moves anything and the heap array *is* the
+  // sorted order, so the common drain is one linear scan and no sort at all.
+  if (!std::is_sorted(run_buf_.begin(), run_buf_.end(), &before)) {
+    std::sort(run_buf_.begin(), run_buf_.end(), &before);
+  }
+  for (const HeapEntry& e : run_buf_) meta_[e.idx].heap_pos = kInBuffer;
+  buffered_live_ = run_buf_.size();
+}
+
+const Simulator::HeapEntry* Simulator::peek_buffered() noexcept {
+  while (run_pos_ < run_buf_.size()) {
+    const HeapEntry& e = run_buf_[run_pos_];
+    if (meta_[e.idx].heap_pos == kInBuffer) return &e;
+    ++run_pos_;  // cancelled or rescheduled while buffered: skip the husk
+  }
+  return nullptr;
+}
+
+void Simulator::execute(Time t, std::uint32_t idx) {
+  now_ = t;
+  ++executed_;
+  // Observe before the callback runs: window boundaries close on the state
+  // left by all events strictly earlier than `now_`.
+  if (step_observer_ != nullptr) step_observer_->on_step(now_);
+  // Invoke the callable in place — chunked storage guarantees its address is
+  // stable across any scheduling the callback does — then destroy it and
+  // recycle the slot, even if the callback throws (a SimError escaping run()
+  // must not leak the closure). Trivially destructible callables take the
+  // fast lane: clear first (nothing to unwind), invoke, free — no destroy-op
+  // test after the call.
+  EventFn& fn = fn_slot(idx);
+  if (fn.trivially_destructible()) {
+    struct FreeOnly {
+      Simulator* s;
+      std::uint32_t idx;
+      ~FreeOnly() { s->free_slot(idx); }
+    } finally{this, idx};
+    fn.invoke_trivial();
+    return;
+  }
+  struct Finally {
+    Simulator* s;
+    std::uint32_t idx;
+    ~Finally() {
+      s->fn_slot(idx).reset();
+      s->free_slot(idx);
+    }
+  } finally{this, idx};
+  fn();
+}
+
+bool Simulator::step_limit(Time limit, bool exclusive) {
+  if (run_pos_ == run_buf_.size() && heap_.size() >= kBatchMin) {
+    fill_run_buffer();
+  }
+  const HeapEntry* b = peek_buffered();
+  // Everything scheduled since the drain carries a later sequence number than
+  // every drained entry, so the two-way (t, seq) merge below reproduces exact
+  // pop-per-event order.
+  if (b != nullptr && (heap_.empty() || before(*b, heap_[0]))) {
+    if (exclusive ? b->t >= limit : b->t > limit) return false;
+    const std::uint32_t idx = b->idx;
+    const Time t = b->t;  // copy out: a nested run() could refill the buffer
+    ++run_pos_;
+    --buffered_live_;
+    meta_[idx].heap_pos = kNoPos;  // handles go inactive before the callback
+    execute(t, idx);
+    return true;
+  }
   if (heap_.empty()) return false;
   const HeapEntry top = heap_[0];
-  now_ = top.t;
+  if (exclusive ? top.t >= limit : top.t > limit) return false;
   // Take the event out of the heap before invoking it: every handle to *this*
   // event goes inactive, so self-cancellation from inside the callback is an
   // inert no-op.
@@ -132,43 +219,27 @@ bool Simulator::step() {
     heap_[0] = last;
     sift_down(0);
   }
-  ++executed_;
-  // Observe before the callback runs: window boundaries close on the state
-  // left by all events strictly earlier than `now_`.
-  if (step_observer_ != nullptr) step_observer_->on_step(now_);
-  // Invoke the callable in place — chunked storage guarantees its address is
-  // stable across any scheduling the callback does — then destroy it and
-  // recycle the slot, even if the callback throws (a SimError escaping run()
-  // must not leak the closure).
-  struct Finally {
-    Simulator* s;
-    std::uint32_t idx;
-    ~Finally() {
-      s->fn_slot(idx).reset();
-      s->free_slot(idx);
-    }
-  } finally{this, top.idx};
-  fn_slot(top.idx)();
+  execute(top.t, top.idx);
   return true;
 }
 
+bool Simulator::step() { return step_limit(kNever, /*exclusive=*/false); }
+
 std::size_t Simulator::run(std::size_t max_events) {
   std::size_t n = 0;
-  while (n < max_events && step()) ++n;
+  while (n < max_events && step_limit(kNever, /*exclusive=*/false)) ++n;
   return n;
 }
 
 void Simulator::run_until(Time t) {
-  while (!heap_.empty() && heap_[0].t <= t) step();
+  while (step_limit(t, /*exclusive=*/false)) {
+  }
   now_ = std::max(now_, t);
 }
 
 std::size_t Simulator::run_before(Time t) {
   std::size_t n = 0;
-  while (!heap_.empty() && heap_[0].t < t) {
-    step();
-    ++n;
-  }
+  while (step_limit(t, /*exclusive=*/true)) ++n;
   return n;
 }
 

@@ -23,6 +23,14 @@
 //    Each slot records its heap position, so cancel() and reschedule() are
 //    eager O(log n) heap fixups — no tombstones, pending() counts only live
 //    events, and a drained queue really is empty.
+//  * Dispatch is batched: once the heap is big enough, the run loop drains it
+//    wholesale into a sorted run buffer and walks that buffer linearly,
+//    two-way merging against whatever the callbacks schedule back into the
+//    (now small) live heap. Sequence numbers are globally monotone, so every
+//    event scheduled *during* the drain orders after the drained entries it
+//    ties with, and the merge reproduces exact pop-per-event order. For the
+//    common monotone schedule pattern the heap array is already sorted and
+//    the drain is a single O(n) is_sorted check plus a pointer swap.
 //  * at()/after() return an EventHandle: a weak, copyable reference carrying
 //    the slot index and a generation number. The generation bumps when the
 //    slot is freed, so a stale handle's cancel()/reschedule() is a safe no-op
@@ -122,12 +130,40 @@ class EventFn {
     construct<F, D>(std::forward<F>(fn));
   }
 
+  /// emplace() without the destroy-first test, for callers that know *this is
+  /// empty. The engine's slab recycles slots only after reset() (dispatch,
+  /// cancel), so its schedule path skips the dead branch.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  void emplace_empty(F&& fn) {
+    construct<F, D>(std::forward<F>(fn));
+  }
+
   /// Destroys the held callable (if any), leaving the EventFn empty.
   void reset() noexcept {
     if (ops_ != nullptr) {
       if (ops_->destroy != nullptr) ops_->destroy(buf_);
       ops_ = nullptr;
     }
+  }
+
+  /// True when destroying the held callable is a no-op (trivially
+  /// destructible capture, stored inline). Precondition: non-empty.
+  [[nodiscard]] bool trivially_destructible() const noexcept {
+    return ops_->destroy == nullptr;
+  }
+
+  /// Dispatch fast lane for trivially destructible callables: empties the
+  /// EventFn *first* (legal exactly because destruction is a no-op — there is
+  /// nothing to unwind if the callable throws), then invokes the closure
+  /// still sitting in the buffer. Skips the destroy-op test and the post-call
+  /// ops_ reload that reset() would pay. Precondition: trivially_destructible().
+  void invoke_trivial() {
+    const Ops* ops = ops_;
+    ops_ = nullptr;
+    ops->invoke(buf_);
   }
 
   /// Whether a callable of type D would be stored inline (no allocation).
@@ -261,7 +297,7 @@ class Simulator {
   EventHandle at(Time t, F&& fn) {
     reject_empty(fn);
     const std::uint32_t idx = alloc_slot();
-    fn_slot(idx).emplace(std::forward<F>(fn));
+    fn_slot(idx).emplace_empty(std::forward<F>(fn));
     return commit(t < now_ ? now_ : t, idx);
   }
 
@@ -272,7 +308,7 @@ class Simulator {
     reject_empty(fn);
     const Time t = after_time(delay);  // may throw; nothing allocated yet
     const std::uint32_t idx = alloc_slot();
-    fn_slot(idx).emplace(std::forward<F>(fn));
+    fn_slot(idx).emplace_empty(std::forward<F>(fn));
     return commit(t, idx);
   }
 
@@ -309,17 +345,35 @@ class Simulator {
   /// Run all events within the next `delay` of simulated time.
   void run_for(Time delay);
 
-  /// Number of pending events. Cancelled events leave the queue eagerly, so
-  /// they are never counted.
-  [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
+  /// Number of pending events. Cancelled events leave the queue eagerly
+  /// (from the heap or the run buffer alike), so they are never counted.
+  [[nodiscard]] std::size_t pending() const noexcept {
+    return heap_.size() + buffered_live_;
+  }
 
   /// Timestamp of the earliest pending event, or kNever when the queue is
   /// empty. The partitioned driver's window placement reads this to pick the
-  /// global minimum across engines.
+  /// global minimum across engines; it must see run-buffer leftovers from the
+  /// previous window, so both stores are consulted.
   static constexpr Time kNever = std::numeric_limits<Time>::max();
   [[nodiscard]] Time next_event_time() const noexcept {
-    return heap_.empty() ? kNever : heap_[0].t;
+    Time t = heap_.empty() ? kNever : heap_[0].t;
+    // The buffer is sorted, so the first live entry is the buffered minimum.
+    for (std::size_t i = run_pos_; i < run_buf_.size(); ++i) {
+      if (meta_[run_buf_[i].idx].heap_pos == kInBuffer) {
+        return std::min(t, run_buf_[i].t);
+      }
+    }
+    return t;
   }
+
+  /// The sequence number the next at()/after()/schedule_fn() call will
+  /// consume. The delivery-coalescing layer (net/delivery.h) uses this as its
+  /// exactness guard: a pending batch may only absorb another same-tick frame
+  /// if no event whatsoever was scheduled on this engine in between —
+  /// otherwise the batched schedule would be distinguishable from the
+  /// one-event-per-frame reference.
+  [[nodiscard]] std::uint64_t next_seq() const noexcept { return next_seq_; }
 
   /// Total events executed since construction.
   [[nodiscard]] std::uint64_t events_executed() const noexcept { return executed_; }
@@ -354,6 +408,13 @@ class Simulator {
   friend class EventHandle;
 
   static constexpr std::uint32_t kNoPos = std::numeric_limits<std::uint32_t>::max();
+  // `heap_pos` sentinel for "queued, but in the sorted run buffer rather than
+  // the heap". Real heap positions never reach it: the slab is capped below
+  // kNoPos slots, so positions top out at kNoPos - 2.
+  static constexpr std::uint32_t kInBuffer = kNoPos - 1;
+  // Heaps smaller than this are dispatched pop-per-event: a sort-and-drain of
+  // a handful of entries costs more than the sift work it saves.
+  static constexpr std::size_t kBatchMin = 32;
 
   // Callables live in fixed-size chunks so slot addresses are stable: growing
   // the slab never relocates an existing EventFn, and a callback can safely be
@@ -392,7 +453,21 @@ class Simulator {
   }
 
   [[nodiscard]] Time after_time(Time delay) const;
-  EventHandle commit(Time t, std::uint32_t idx);
+
+  // Inline on the schedule fast path: the common monotone pattern (each new
+  // event at or beyond everything pending) parks the entry as a heap leaf
+  // with a single parent comparison; only out-of-order inserts pay the
+  // out-of-line sift.
+  EventHandle commit(Time t, std::uint32_t idx) {
+    const std::size_t pos = heap_.size();
+    heap_.push_back(HeapEntry{t, next_seq_++, idx});
+    if (pos == 0 || !before(heap_[pos], heap_[(pos - 1) / 4])) {
+      meta_[idx].heap_pos = static_cast<std::uint32_t>(pos);
+    } else {
+      sift_up(pos);  // writes the final backlink for idx
+    }
+    return EventHandle(this, idx, meta_[idx].gen);
+  }
   [[nodiscard]] bool is_live(std::uint32_t idx, std::uint32_t gen) const noexcept;
   bool cancel_event(std::uint32_t idx, std::uint32_t gen) noexcept;
   bool reschedule_event(std::uint32_t idx, std::uint32_t gen, Time delay);
@@ -404,6 +479,21 @@ class Simulator {
   void sift_up(std::size_t pos);
   void sift_down(std::size_t pos);
   void remove_heap_entry(std::size_t pos);
+
+  /// Drain the whole heap into the sorted run buffer. Only called when the
+  /// buffer is exhausted, so no live buffered entry is ever overwritten.
+  void fill_run_buffer();
+  /// First live buffered entry, advancing past entries cancelled (or
+  /// rescheduled back into the heap) while they waited; nullptr when the
+  /// buffer is exhausted.
+  [[nodiscard]] const HeapEntry* peek_buffered() noexcept;
+  /// Dispatch the next event if its timestamp passes the bound (t > limit
+  /// stops an inclusive run, t >= limit an exclusive one), two-way merging
+  /// the run buffer against the live heap by (t, seq). This is the one
+  /// dispatch path: step()/run()/run_until()/run_before() all funnel here.
+  bool step_limit(Time limit, bool exclusive);
+  /// now_/observer/invoke/free for one event already removed from its queue.
+  void execute(Time t, std::uint32_t idx);
 
   // Free-list pop stays inline on the schedule fast path; growing the slab
   // (new chunk, metadata reserve) is the cold out-of-line branch.
@@ -424,6 +514,13 @@ class Simulator {
   }
 
   std::vector<HeapEntry> heap_;
+  // The sorted run buffer: drained heap entries awaiting dispatch, consumed
+  // from run_pos_ forward. buffered_live_ counts entries at or beyond
+  // run_pos_ whose slot still has heap_pos == kInBuffer (cancel and
+  // reschedule leave dead entries behind; dispatch skips them).
+  std::vector<HeapEntry> run_buf_;
+  std::size_t run_pos_ = 0;
+  std::size_t buffered_live_ = 0;
   std::vector<Meta> meta_;
   std::vector<std::unique_ptr<EventFn[]>> fn_chunks_;
   std::uint32_t free_head_ = kNoPos;

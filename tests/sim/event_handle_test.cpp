@@ -223,6 +223,106 @@ TEST(Simulator, AfterRejectsOverflowingDelay) {
   EXPECT_EQ(s.pending(), 2u);
 }
 
+// The batched run loop drains heaps of >= 32 entries into a sorted run
+// buffer; cancel/reschedule on a *buffered* event must behave exactly like
+// the heap path: cancel prevents execution and frees the slot, reschedule
+// consumes a fresh sequence number and re-orders against the remaining
+// buffered entries. These tests schedule enough events to force the drain
+// and then mutate from inside the first callback, when the rest of the
+// batch is sitting in the buffer.
+TEST(EventHandle, CancelWhileBatchedInRunBuffer) {
+  Simulator s;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 64; ++i) {
+    handles.push_back(s.at(usec(10 + i), [&order, i] { order.push_back(i); }));
+  }
+  // Runs first, with events 1..63 already drained into the run buffer.
+  s.at(usec(1), [&] {
+    EXPECT_TRUE(handles[7].cancel());
+    EXPECT_FALSE(handles[7].active());
+    EXPECT_FALSE(handles[7].cancel());  // second cancel is inert
+  });
+  s.run();
+  EXPECT_EQ(order.size(), 63u);
+  EXPECT_EQ(std::count(order.begin(), order.end(), 7), 0);
+  EXPECT_TRUE(std::is_sorted(order.begin(), order.end()));
+  EXPECT_EQ(s.events_cancelled(), 1u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(EventHandle, RescheduleWhileBatchedInRunBuffer) {
+  Simulator s;
+  std::vector<int> order;
+  std::vector<EventHandle> handles;
+  for (int i = 0; i < 64; ++i) {
+    handles.push_back(s.at(usec(10 + i), [&order, i] { order.push_back(i); }));
+  }
+  s.at(usec(1), [&] {
+    // Move event 5 from its buffered slot to beyond the whole batch: it must
+    // leave its buffer position (no double fire) and run last.
+    EXPECT_TRUE(handles[5].reschedule(msec(1)));
+    EXPECT_TRUE(handles[5].active());
+    // Rescheduling to a time that ties a buffered entry orders *after* it:
+    // the fresh sequence number loses the (t, seq) tie, same as
+    // cancel-then-schedule would.
+    EXPECT_TRUE(handles[9].reschedule(usec(20) - s.now()));
+  });
+  s.run();
+  ASSERT_EQ(order.size(), 64u);
+  EXPECT_EQ(order.back(), 5);
+  // 9 now fires after 10 (equal timestamps, later sequence number).
+  const auto at9 = std::find(order.begin(), order.end(), 9);
+  const auto at10 = std::find(order.begin(), order.end(), 10);
+  EXPECT_LT(at10, at9);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Simulator, PendingAndNextEventTimeSeeRunBufferLeftovers) {
+  // run_until() stops mid-buffer: the leftovers stay buffered across the
+  // call, and the introspection the partitioned driver relies on must keep
+  // counting them.
+  Simulator s;
+  int fired = 0;
+  for (int i = 0; i < 64; ++i) {
+    s.at(usec(10 + i), [&] { ++fired; });
+  }
+  s.run_until(usec(20));  // executes 0..10, leaves 53 in the buffer
+  EXPECT_EQ(fired, 11);
+  EXPECT_EQ(s.pending(), 53u);
+  EXPECT_EQ(s.next_event_time(), usec(21));
+  s.run();
+  EXPECT_EQ(fired, 64);
+  EXPECT_EQ(s.pending(), 0u);
+  EXPECT_EQ(s.next_event_time(), Simulator::kNever);
+}
+
+TEST(Simulator, EventsScheduledDuringDrainMergeInExactOrder) {
+  // While the drained batch executes, callbacks schedule new events both
+  // before and between the remaining buffered timestamps; the two-way merge
+  // must interleave them exactly as pop-per-event would.
+  Simulator s;
+  std::vector<int> order;
+  for (int i = 0; i < 40; ++i) {
+    const int tag = 100 + i;
+    s.at(usec(10 + 10 * i), [&order, tag] { order.push_back(tag); });
+  }
+  s.at(usec(10), [&] {
+    // Earlier than every remaining buffered event.
+    s.at(usec(15), [&order] { order.push_back(1); });
+    // Tied with the buffered event at 30us: the buffered one holds the
+    // earlier sequence number and must run first.
+    s.at(usec(30), [&order] { order.push_back(2); });
+  });
+  s.run();
+  ASSERT_EQ(order.size(), 42u);
+  EXPECT_EQ(order[0], 100);  // 10us buffered
+  EXPECT_EQ(order[1], 1);    // 15us scheduled mid-drain
+  EXPECT_EQ(order[2], 101);  // 20us buffered
+  EXPECT_EQ(order[3], 102);  // 30us buffered (earlier seq wins the tie)
+  EXPECT_EQ(order[4], 2);    // 30us scheduled mid-drain
+}
+
 TEST(Simulator, RescheduleRejectsOverflowingDelay) {
   constexpr Time kMax = std::numeric_limits<Time>::max();
   Simulator s;

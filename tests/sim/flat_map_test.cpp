@@ -1,0 +1,163 @@
+// FlatMap / Slab / SlabMap (sim/flat_map.h): the dense containers under the
+// protocol layers' per-packet state. The properties the call sites rely on:
+// probe chains stay intact across backward-shift deletion, rehash preserves
+// every entry, Slab addresses never move, and layout is a pure function of
+// the operation sequence (determinism).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "sim/flat_map.h"
+
+namespace sim {
+namespace {
+
+TEST(FlatMap, InsertFindErase) {
+  FlatMap<std::uint32_t, std::string> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(7), nullptr);
+  m[7] = "seven";
+  m[9] = "nine";
+  ASSERT_NE(m.find(7), nullptr);
+  EXPECT_EQ(*m.find(7), "seven");
+  EXPECT_EQ(m.size(), 2u);
+  auto [v, fresh] = m.try_emplace(7);
+  EXPECT_FALSE(fresh);
+  EXPECT_EQ(*v, "seven");
+  EXPECT_TRUE(m.erase(7));
+  EXPECT_FALSE(m.erase(7));
+  EXPECT_EQ(m.find(7), nullptr);
+  ASSERT_NE(m.find(9), nullptr);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap, AgreesWithStdMapUnderRandomChurn) {
+  // Fuzz against std::map through growth, shrink, and heavy deletion — the
+  // regime where backward-shift bugs corrupt probe chains.
+  FlatMap<std::uint64_t, std::uint64_t> m;
+  std::map<std::uint64_t, std::uint64_t> ref;
+  std::mt19937_64 rng(42);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t key = rng() % 512;  // force collisions and reuse
+    switch (rng() % 3) {
+      case 0:
+        m[key] = i;
+        ref[key] = static_cast<std::uint64_t>(i);
+        break;
+      case 1:
+        EXPECT_EQ(m.erase(key), ref.erase(key) > 0);
+        break;
+      case 2: {
+        const std::uint64_t* got = m.find(key);
+        const auto it = ref.find(key);
+        ASSERT_EQ(got != nullptr, it != ref.end()) << "key " << key;
+        if (got) EXPECT_EQ(*got, it->second);
+        break;
+      }
+    }
+    ASSERT_EQ(m.size(), ref.size());
+  }
+  // Full contents must match at the end.
+  std::size_t seen = 0;
+  m.for_each([&](const std::uint64_t& k, std::uint64_t& v) {
+    ++seen;
+    const auto it = ref.find(k);
+    ASSERT_NE(it, ref.end());
+    EXPECT_EQ(v, it->second);
+  });
+  EXPECT_EQ(seen, ref.size());
+}
+
+TEST(FlatMap, EraseIfRemovesExactlyTheMatches) {
+  FlatMap<std::uint32_t, std::uint32_t> m;
+  for (std::uint32_t k = 0; k < 100; ++k) m[k] = k;
+  const std::size_t removed =
+      m.erase_if([](const std::uint32_t& k, std::uint32_t&) { return k % 3 == 0; });
+  EXPECT_EQ(removed, 34u);
+  EXPECT_EQ(m.size(), 66u);
+  for (std::uint32_t k = 0; k < 100; ++k) {
+    EXPECT_EQ(m.find(k) != nullptr, k % 3 != 0) << k;
+  }
+}
+
+TEST(FlatMap, LayoutIsDeterministic) {
+  // Two maps fed the identical operation sequence iterate identically —
+  // the property that keeps flat state out of the trace fixtures' way.
+  FlatMap<std::uint64_t, int> a;
+  FlatMap<std::uint64_t, int> b;
+  for (int i = 0; i < 300; ++i) {
+    a[static_cast<std::uint64_t>(i * 7)] = i;
+    b[static_cast<std::uint64_t>(i * 7)] = i;
+    if (i % 3 == 0) {
+      a.erase(static_cast<std::uint64_t>(i * 7 / 2));
+      b.erase(static_cast<std::uint64_t>(i * 7 / 2));
+    }
+  }
+  std::vector<std::uint64_t> order_a;
+  std::vector<std::uint64_t> order_b;
+  a.for_each([&](const std::uint64_t& k, int&) { order_a.push_back(k); });
+  b.for_each([&](const std::uint64_t& k, int&) { order_b.push_back(k); });
+  EXPECT_EQ(order_a, order_b);
+}
+
+TEST(Slab, AddressesAreStableAcrossGrowthAndReuse) {
+  Slab<std::string> slab;
+  std::vector<std::uint32_t> idx;
+  std::vector<const std::string*> addr;
+  for (int i = 0; i < 500; ++i) {  // spans many chunks
+    idx.push_back(slab.emplace(std::to_string(i)));
+    addr.push_back(&slab[idx.back()]);
+  }
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_EQ(&slab[idx[i]], addr[i]);
+    EXPECT_EQ(slab[idx[i]], std::to_string(i));
+  }
+  // Free-list reuse: erased slots come back, everything else stays put.
+  slab.erase(idx[10]);
+  slab.erase(idx[20]);
+  EXPECT_EQ(slab.size(), 498u);
+  const std::uint32_t r1 = slab.emplace("reused");
+  const std::uint32_t r2 = slab.emplace("reused2");
+  EXPECT_TRUE(r1 == idx[10] || r1 == idx[20]);
+  EXPECT_TRUE((r2 == idx[10] || r2 == idx[20]) && r2 != r1);
+  EXPECT_EQ(&slab[idx[499]], addr[499]);
+}
+
+TEST(SlabMap, StablePointersSurviveInserts) {
+  SlabMap<std::uint32_t, std::vector<int>> m;
+  auto [first, fresh] = m.try_emplace(1);
+  ASSERT_TRUE(fresh);
+  first->push_back(42);
+  // Hammer in enough entries to rehash the index several times.
+  for (std::uint32_t k = 2; k < 400; ++k) m[k].push_back(static_cast<int>(k));
+  EXPECT_EQ(m.find(1), first);  // the slab never moved it
+  EXPECT_EQ((*first)[0], 42);
+  EXPECT_TRUE(m.erase(1));
+  EXPECT_EQ(m.find(1), nullptr);
+  EXPECT_EQ(m.size(), 398u);
+  std::size_t count = 0;
+  m.for_each([&](const std::uint32_t& k, std::vector<int>& v) {
+    ++count;
+    ASSERT_EQ(v.size(), 1u);
+    EXPECT_EQ(v[0], static_cast<int>(k));
+  });
+  EXPECT_EQ(count, 398u);
+}
+
+TEST(SlabMap, TryEmplaceForwardsConstructorArguments) {
+  SlabMap<std::uint32_t, std::string> m;
+  auto [v, fresh] = m.try_emplace(5, "hello");
+  EXPECT_TRUE(fresh);
+  EXPECT_EQ(*v, "hello");
+  auto [again, fresh2] = m.try_emplace(5, "ignored");
+  EXPECT_FALSE(fresh2);
+  EXPECT_EQ(*again, "hello");
+  EXPECT_EQ(v, again);
+}
+
+}  // namespace
+}  // namespace sim

@@ -114,6 +114,46 @@ TEST(ReportCompareCli, WarnOnlyExitsZeroOnARealRegression) {
   EXPECT_NE(r.output.find("(warn-only)"), std::string::npos) << r.output;
 }
 
+std::string gated_rows_text(double simrate, double host_sec) {
+  // The CI sim_engine shape in miniature: one deterministic headline row
+  // (higher-better) next to a host-time row (lower-better, machine-noisy).
+  metrics::RunReport r("cli");
+  r.add_metric("simrate.rpc_kernel", simrate, metrics::Better::kHigher,
+               "sim_s/s");
+  r.add_metric("host.elapsed.sec", host_sec, metrics::Better::kLower, "s");
+  return r.json();
+}
+
+TEST(ReportCompareCli, GatePatternArmsOnlyMatchingRows) {
+  const std::string a =
+      write_temp("rc_gate_old.json", gated_rows_text(100.0, 1.0));
+  // Only the ungated host-time row regresses: reported, but exit 0.
+  const std::string b =
+      write_temp("rc_gate_host.json", gated_rows_text(100.0, 2.0));
+  const CliResult soft = run_cli("--gate=simrate. " + a + " " + b);
+  EXPECT_EQ(soft.exit_code, 0) << soft.output;
+  EXPECT_NE(soft.output.find("REGRESSED"), std::string::npos) << soft.output;
+  EXPECT_NE(soft.output.find("no --gate row regressed"), std::string::npos)
+      << soft.output;
+  // The gated headline row regresses: exit 1.
+  const std::string c =
+      write_temp("rc_gate_sim.json", gated_rows_text(50.0, 1.0));
+  const CliResult hard = run_cli("--gate=simrate. " + a + " " + c);
+  EXPECT_EQ(hard.exit_code, 1) << hard.output;
+}
+
+TEST(ReportCompareCli, GatePatternsAreRepeatable) {
+  const std::string a =
+      write_temp("rc_gates_old.json", gated_rows_text(100.0, 1.0));
+  const std::string b =
+      write_temp("rc_gates_new.json", gated_rows_text(100.0, 2.0));
+  // The second pattern matches the regressed host row, so the run fails.
+  const CliResult r =
+      run_cli("--gate=simrate. --gate=host.elapsed " + a + " " + b);
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_EQ(run_cli("--gate= " + a + " " + b).exit_code, 2);
+}
+
 TEST(ReportCompareCli, MixedSchemasExitTwo) {
   const std::string a = write_temp("rc_mix_old.json", run_text(100.0));
   const std::string b = write_temp("rc_mix_new.json", sweep_text(100.0, 2.0));
